@@ -1,0 +1,101 @@
+"""E5 -- §4.3: compiler throughput.
+
+The paper: "Rupicola itself is not [fast]: it runs at the speed of Coq's
+proof engine, which in our experience means compiling anywhere between 2
+and 15 statements per second", with intrinsic complexity "essentially
+linear in the program size".  We measure the same quantity -- derived
+Bedrock2 statements per second of proof search -- for every suite
+program, plus a linearity check on a family of growing straight-line
+programs.
+"""
+
+import pytest
+
+from repro.core.spec import FnSpec, Model, scalar_arg, scalar_out
+from repro.programs import all_programs
+from repro.source import terms as t
+from repro.source.types import WORD
+from repro.stdlib import default_engine
+
+PROGRAMS = all_programs()
+
+
+@pytest.mark.parametrize("program", PROGRAMS, ids=lambda p: p.name)
+def test_bench_compile(benchmark, program):
+    model = program.build_model()
+    spec = program.build_spec()
+
+    def compile_once():
+        return default_engine().compile_function(model, spec)
+
+    compiled = benchmark(compile_once)
+    statements = compiled.statement_count()
+    benchmark.extra_info["statements"] = statements
+    mean = benchmark.stats.stats.mean if benchmark.stats else None
+    if mean:
+        benchmark.extra_info["statements_per_second"] = round(statements / mean, 1)
+
+
+def straightline_model(n: int, chained: bool) -> Model:
+    """n bindings; ``chained`` makes each depend on the previous one."""
+    term: t.Term = t.Var(f"x{n - 1}")
+    for index in reversed(range(n)):
+        if chained and index > 0:
+            prev: t.Term = t.Var(f"x{index - 1}")
+        else:
+            prev = t.Var("a")
+        term = t.Let(f"x{index}", t.Prim("word.add", (prev, t.Lit(index, WORD))), term)
+    return Model(f"chain{n}", [("a", WORD)], term, WORD)
+
+
+def _time_compile(n: int, chained: bool) -> float:
+    import time
+
+    model = straightline_model(n, chained)
+    spec = FnSpec(model.name, [scalar_arg("a")], [scalar_out()])
+    engine = default_engine()
+    start = time.perf_counter()
+    engine.compile_function(model, spec)
+    return time.perf_counter() - start
+
+
+def test_compile_time_roughly_linear():
+    """§4.3: intrinsic complexity essentially linear in program size,
+    measured on independent bindings (constant-size symbolic values)."""
+    _time_compile(10, chained=False)
+    small = min(_time_compile(40, chained=False) for _ in range(3))
+    large = min(_time_compile(160, chained=False) for _ in range(3))
+    # Linear ~4x; accept < 10x for noise and the O(locals) lookups.
+    assert large / small < 10, (small, large)
+
+
+def test_compile_time_value_chains_documented(capsys):
+    """Known limitation (documented in EXPERIMENTS.md): bindings that
+    each reference the previous value accumulate symbolic terms, so such
+    chains compile superlinearly -- the analogue of the paper's
+    autorewrite hotspots.  This test records the ratio, it does not
+    assert linearity."""
+    small = min(_time_compile(40, chained=True) for _ in range(2))
+    large = min(_time_compile(160, chained=True) for _ in range(2))
+    with capsys.disabled():
+        print(
+            f"\nvalue-chained compile times: 40 stmts {small * 1e3:.1f}ms, "
+            f"160 stmts {large * 1e3:.1f}ms (ratio {large / small:.1f}x for 4x size)"
+        )
+    assert large > 0  # informational
+
+
+def test_throughput_exceeds_coq_baseline():
+    """Sanity: our proof search is at least as fast as Coq's 2-15
+    statements/second (it should be orders faster -- smaller terms, no
+    kernel)."""
+    import time
+
+    program = PROGRAMS[0]
+    model, spec = program.build_model(), program.build_spec()
+    engine = default_engine()
+    start = time.perf_counter()
+    compiled = engine.compile_function(model, spec)
+    elapsed = time.perf_counter() - start
+    statements_per_second = compiled.statement_count() / max(elapsed, 1e-9)
+    assert statements_per_second > 15

@@ -1,0 +1,103 @@
+"""E2 -- Table 2: the benchmark suite and per-program programmer effort.
+
+Reproduces the structure of Table 2: per program, the size of the source
+model ("Source"), the number of user-proved incidental facts ("Lemmas"),
+the number of distinct compiler lemmas its derivation pulls in ("Hints"),
+whether the repository carries an end-to-end reference proof surrogate,
+and which compiler-extension features it uses.  Feature columns are
+checked against the derivation certificates, so the table cannot drift
+from reality.
+"""
+
+import inspect
+
+import pytest
+
+from repro.programs import all_programs
+
+FEATURES = ("Arithmetic", "Inline", "Arrays", "Loops", "Mutation")
+
+LOOP_LEMMAS = {
+    "compile_arraymap_inplace",
+    "compile_arrayfold",
+    "compile_rangedfor",
+    "compile_natiter",
+}
+MUTATION_LEMMAS = LOOP_LEMMAS | {"compile_array_put", "compile_cell_put", "compile_cell_iadd"}
+
+
+def table2_rows():
+    rows = []
+    for program in all_programs():
+        compiled = program.compile()
+        source_loc = len(inspect.getsource(program.build_model).splitlines())
+        rows.append(
+            {
+                "name": program.name,
+                "description": program.description,
+                "source": source_loc,
+                "lemmas": len(program.build_spec().facts),
+                "hints": len(compiled.certificate.distinct_lemmas()),
+                "end_to_end": program.end_to_end,
+                "features": program.features,
+            }
+        )
+    return rows
+
+
+def render_table2():
+    rows = table2_rows()
+    header = (
+        f"{'Name':<7} {'Source':>6} {'Lemmas':>6} {'Hints':>6} {'E2E':>4}  "
+        + " ".join(f"{f[:5]:>5}" for f in FEATURES)
+    )
+    lines = [
+        "Table 2 (reproduction): the benchmark suite",
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        marks = " ".join(
+            f"{'x' if f in row['features'] else '':>5}" for f in FEATURES
+        )
+        lines.append(
+            f"{row['name']:<7} {row['source']:>6} {row['lemmas']:>6} "
+            f"{row['hints']:>6} {'x' if row['end_to_end'] else '':>4}  {marks}"
+        )
+        lines.append(f"        {row['description']}")
+    return "\n".join(lines)
+
+
+def test_table2_renders_and_matches_certificates(capsys):
+    with capsys.disabled():
+        print()
+        print(render_table2())
+    for program in all_programs():
+        lemmas = set(program.compile().certificate.distinct_lemmas())
+        if "Loops" in program.features:
+            assert lemmas & LOOP_LEMMAS, program.name
+        else:
+            assert not (lemmas & LOOP_LEMMAS), program.name
+        if "Inline" in program.features:
+            assert "expr_inline_table_get" in lemmas, program.name
+        if "Mutation" in program.features:
+            assert lemmas & MUTATION_LEMMAS, program.name
+
+
+def test_table2_effort_is_small():
+    """Models are tens of lines, like the paper's 11-56 line sources."""
+    for row in table2_rows():
+        assert row["source"] <= 80, row
+        assert row["lemmas"] <= 5, row
+
+
+def test_suite_has_the_papers_seven_programs():
+    names = {program.name for program in all_programs()}
+    assert names == {"fnv1a", "utf8", "upstr", "m3s", "ip", "fasta", "crc32"}
+
+
+@pytest.mark.parametrize("program", all_programs(), ids=lambda p: p.name)
+def test_bench_table2_derivations(benchmark, program):
+    """Per-program derivation cost (feeds the Hints column context)."""
+    compiled = benchmark(lambda: program.compile(fresh=True))
+    benchmark.extra_info["hints"] = len(compiled.certificate.distinct_lemmas())

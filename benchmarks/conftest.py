@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark suite."""
+
+import pytest
+
+from repro.programs import all_programs
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-size",
+        action="store",
+        default="1024",
+        help="input size in bytes for Figure 2-style benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_size(request):
+    return int(request.config.getoption("--bench-size"))
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """All programs, compiled once."""
+    programs = all_programs()
+    for program in programs:
+        program.compile()
+    return programs

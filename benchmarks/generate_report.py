@@ -1,0 +1,419 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md: paper-vs-measured for every table and figure.
+
+Run:  python benchmarks/generate_report.py [--size N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.bench_table1 import render_table1, table1_rows
+from benchmarks.bench_table2 import render_table2, table2_rows
+from benchmarks.figure2 import COST_MODELS, figure2_rows, render_figure2
+from repro.programs import all_programs, get_program
+from repro.programs.extraction_baseline import EXTRACTED
+from repro.stdlib import default_engine
+
+
+def section_figure2(size: int) -> str:
+    rows = figure2_rows(size=size)
+    by_program = {}
+    for row in rows:
+        by_program.setdefault(row.program, {})[row.implementation] = row
+    lines = [
+        "## E3 — Figure 2: Rupicola vs handwritten (cost per byte)",
+        "",
+        "**Paper:** cycles/byte on an i5-1135G7 for GCC 10.3/11.1 and Clang 13.0;",
+        "Rupicola within compiler-to-compiler fluctuation of handwritten C on all",
+        "seven programs, with upstr the one outlier (missed GCC vectorization).",
+        "",
+        "**Measured** (Bedrock2 interpreter op counts under three weightings +",
+        "RV64IM retired instructions; see DESIGN.md for the substitution):",
+        "",
+        "```",
+        render_figure2(rows),
+        "```",
+        "",
+        "**Shape check:** Rupicola == handwritten exactly on "
+        + ", ".join(
+            name
+            for name, pair in sorted(by_program.items())
+            if abs(
+                pair["rupicola"].weighted_per_byte["uniform"]
+                - pair["handwritten"].weighted_per_byte["uniform"]
+            )
+            < 0.05
+        )
+        + "; the outlier is upstr (ours: temp + unconditional store vs the",
+        "handwritten conditional store; the paper's: vectorization).  Ablation C",
+        "(`benchmarks/bench_ablations.py`) closes the upstr gap to parity with a",
+        "~60-line user lemma, demonstrating the extension workflow the paper",
+        "leans on.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def section_native(size: int) -> str:
+    from benchmarks.native import have_cc, native_figure2, render_native
+
+    if not have_cc():
+        return (
+            "## E3 (native) — skipped\n\n"
+            "No host C compiler was found; the simulator-based measurement "
+            "above is the authoritative one on this machine.\n"
+        )
+    rows = native_figure2(size=max(size, 1 << 20), runs=5)
+    lines = [
+        "## E3 (native) — Figure 2 with a real C compiler",
+        "",
+        "**Paper methodology, literally:** the derived Bedrock2 is",
+        "pretty-printed to C and fed to the host C compiler at three",
+        "optimization levels (standing in for the paper's GCC 10.3 / GCC",
+        "11.1 / Clang 13.0); both implementations run on 1 MiB inputs and",
+        "wall-clock ns/byte is reported (multiply by your clock in GHz for",
+        "cycles/byte).",
+        "",
+        "```",
+        render_native(rows),
+        "```",
+        "",
+        "As in the paper, 'the differences both in favor and against",
+        "Rupicola are within the expected fluctuations across optimizing",
+        "compilers' -- note e.g. upstr, where relative order flips with the",
+        "optimization level (the paper's own outlier is upstr's missed",
+        "vectorization under one compiler).",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def section_table1() -> str:
+    lines = [
+        "## E1/E7 — Table 1: incremental extension effort",
+        "",
+        "**Paper:** per extension, ~22-57 lines of lemma + ~3-17 lines of proof,",
+        "minutes of work (nondet alloc/peek, cells get/put, iadd, io read/write).",
+        "",
+        "**Measured** (lines of Python lemma code per extension; the 'proof'",
+        "column's analogue is the per-extension validation in `tests/stdlib`):",
+        "",
+        "```",
+        render_table1(),
+        "```",
+        "",
+        "Every extension is tens of lines and independently pluggable; the",
+        "derivation benchmarks in `bench_table1.py` derive a sample program per",
+        "extension in milliseconds (paper: ~3 s in Coq for the writer example).",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def section_table2() -> str:
+    lines = [
+        "## E2 — Table 2: the benchmark suite",
+        "",
+        "**Paper:** 7 programs, sources of 11-56 lines, 0-16 lines of user",
+        "lemmas, 0-7 hint lines, feature checkmarks per program.",
+        "",
+        "**Measured** (model-builder source lines; incidental facts as the",
+        "Lemmas column; distinct compiler lemmas in the derivation as Hints;",
+        "features verified against the certificates):",
+        "",
+        "```",
+        render_table2(),
+        "```",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def section_extraction() -> str:
+    from benchmarks.bench_extraction import (
+        SIZE,
+        compiled_cost_per_byte,
+        extracted_cost_per_byte,
+    )
+    import random
+
+    rng = random.Random(0)
+    lines = [
+        "## E4 — §4.2: the OCaml-extraction baseline",
+        "",
+        "**Paper:** extracted OCaml is 'multiple orders of magnitude slower',",
+        "with asymptotic changes (linear `nth` vs constant-time dereference).",
+        "",
+        "**Measured** (memory-heavy weighting, per byte; extraction world charges",
+        "cons cells, pointer chases, closure calls, and Z-arithmetic):",
+        "",
+        "```",
+        f"{'program':<8} {'extracted':>12} {'rupicola':>12} {'ratio':>8}",
+    ]
+    for name in sorted(EXTRACTED):
+        data = get_program(name).gen_input(rng, SIZE)
+        extracted = extracted_cost_per_byte(name, data)
+        compiled = compiled_cost_per_byte(name, data)
+        lines.append(
+            f"{name:<8} {extracted:>12.1f} {compiled:>12.1f} {extracted / compiled:>8.1f}"
+        )
+    lines += [
+        "```",
+        "",
+        "crc32's ratio is dominated by the linear table `nth` (footnote 13's",
+        "asymptotic change); upstr's by the 26-case character match.  Absolute",
+        "ratios are smaller than the paper's because our cost model omits GC,",
+        "cache, and allocator effects entirely — it is a lower bound.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def section_compile_speed() -> str:
+    lines = [
+        "## E5 — §4.3: compiler throughput",
+        "",
+        "**Paper:** 2-15 statements/second (Coq's proof engine), intrinsic",
+        "complexity essentially linear in program size.",
+        "",
+        "**Measured:**",
+        "",
+        "```",
+        f"{'program':<8} {'stmts':>6} {'time (ms)':>10} {'stmts/s':>10}",
+    ]
+    for program in all_programs():
+        model, spec = program.build_model(), program.build_spec()
+        engine = default_engine()
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            compiled = engine.compile_function(model, spec)
+            best = min(best, time.perf_counter() - start)
+        statements = compiled.statement_count()
+        lines.append(
+            f"{program.name:<8} {statements:>6} {best * 1e3:>10.1f} "
+            f"{statements / best:>10.0f}"
+        )
+    lines += [
+        "```",
+        "",
+        "Our proof search runs orders of magnitude above the Coq baseline",
+        "(smaller terms, no kernel).  Like the paper's autorewrite hotspots, we",
+        "document a superlinear case: bindings that chain on the previous value",
+        "grow the symbolic state (see `bench_compile_speed.py`).",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def section_expr_ablation() -> str:
+    import inspect
+
+    import repro.stdlib.expr_reflective as reflective_mod
+    import repro.stdlib.exprs as relational_mod
+
+    reflective_loc = len(
+        inspect.getsource(reflective_mod.compile_expr_reflective).splitlines()
+    )
+    lemma_classes = [
+        relational_mod.ExprLit,
+        relational_mod.ExprLocalLookup,
+        relational_mod.ExprKnownLength,
+        relational_mod.ExprCellLoad,
+        relational_mod.ExprArrayGet,
+        relational_mod.ExprPrim,
+    ]
+    relational_loc = sum(len(inspect.getsource(c).splitlines()) for c in lemma_classes)
+    lines = [
+        "## E6 — §4.1.3: expression-compiler case study",
+        "",
+        "**Paper:** the reflective compiler was 450 lines and hard to extend;",
+        "the relational rewrite was ~250 lines (growing to ~400 with many more",
+        "features) and cost < 30% compile time overall.",
+        "",
+        "**Measured:** reflective monolith "
+        f"{reflective_loc} lines (one function, closed); relational lemmas "
+        f"{relational_loc} lines across {len(lemma_classes)} independently",
+        "replaceable units.  Outputs are bit-identical on the shared corpus",
+        "(`tests/stdlib/test_expr_reflective.py`), the per-expression overhead is",
+        "bounded (`bench_expr_ablation.py`), and only the relational version",
+        "admits user overrides without edits (demonstrated by the mul-to-shift",
+        "lemma in the same test file and `examples/extending_the_compiler.py`).",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def section_ablations(size: int) -> str:
+    import random
+
+    from benchmarks.bench_ablations import CompileMapCondStore, _crc32_memtable, _iadd_model
+    from benchmarks.figure2 import measure
+    from repro.bedrock2 import ast as b2
+    from repro.bedrock2.memory import Memory
+    from repro.bedrock2.semantics import Interpreter
+    from repro.bedrock2.word import Word
+    from repro.core.engine import Engine
+    from repro.programs import get_program
+    from repro.stdlib import default_databases, default_engine
+
+    lines = ["## Design-choice ablations (DESIGN.md §5)", ""]
+
+    # A: iadd.
+    model, spec = _iadd_model()
+    with_i = default_engine().compile_function(model, spec)
+    binding_db, expr_db = default_databases()
+    binding_db.remove("compile_cell_iadd")
+    without_i = Engine(binding_db, expr_db).compile_function(model, spec)
+    lines += [
+        "**A. iadd intrinsic** — `put c (get c + 7)` derives to "
+        f"{with_i.statement_count()} statement(s) with the intrinsic "
+        f"(lemma `compile_cell_iadd`) and {without_i.statement_count()} "
+        "without (generic `compile_cell_put`, whose expression subgoal "
+        "re-derives the load).  In this reproduction the generated code "
+        "coincides -- the relational expression compiler already inlines "
+        "the cell read -- so the ablation demonstrates the *override "
+        "mechanics*: the certificate names the user lemma, and removing "
+        "it falls back cleanly.",
+        "",
+    ]
+
+    # C: upstr conditional store.
+    program = get_program("upstr")
+    baseline = measure(program, "rupicola", size=size, with_riscv=False)
+    handwritten = measure(program, "handwritten", size=size, with_riscv=False)
+    binding_db, expr_db = default_databases()
+    engine = Engine(binding_db.extended(CompileMapCondStore()), expr_db)
+    compiled = engine.compile_function(program.build_model(), program.build_spec())
+    data = program.gen_input(random.Random(0), size)
+    memory = Memory()
+    base = memory.place_bytes(data)
+    interp = Interpreter(b2.Program((compiled.bedrock_fn,)))
+    interp.run("upstr", [Word(64, base), Word(64, len(data))], memory=memory)
+    uniform = {"arith": 1, "load": 1, "store": 1, "assign": 1, "branch": 1}
+    extended_cost = interp.counts.weighted(uniform) / len(data)
+    lines += [
+        "**C. Closing the upstr gap** — uniform cost/byte: generic map "
+        f"lemma {baseline.weighted_per_byte['uniform']:.2f}, with the "
+        f"~60-line conditional-store user lemma {extended_cost:.2f}, "
+        f"handwritten {handwritten.weighted_per_byte['uniform']:.2f}.  The "
+        "user lemma reaches (slightly better than) handwritten parity -- "
+        "the paper's extensibility thesis, quantified.",
+        "",
+        "**B. Inline vs in-memory crc32 table** — identical results and "
+        "op totals (modulo table-read accounting); the choice is about "
+        "keeping the table out of the spec, not speed "
+        "(`benchmarks/bench_ablations.py::test_ablation_inline_vs_memory_table`).",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def section_case_studies() -> str:
+    import inspect
+
+    from repro.stdlib import copying, errors
+    from repro.stdlib.loops import CompileArrayFoldBreak
+    from repro.stdlib.stack_alloc import CompileNdAlloc, CompileStackAlloc
+
+    def loc(cls):
+        return len(inspect.getsource(cls).splitlines())
+
+    lines = [
+        "## §4.1.1/§4.1.2 — extension case studies beyond Table 1",
+        "",
+        "**Paper:** adding the writer monad from a blank file took ~90 minutes",
+        "(~125 lines of code + ~30 of proofs); stack allocation cost 20-30",
+        "lines of lemmas + typeclass plumbing; inline tables likewise.  §4.3",
+        "adds that error monads and loop early exits are 'relatively easy'.",
+        "",
+        "**Measured** (each implemented as an ordinary pluggable lemma, with",
+        "its validation in the test suite):",
+        "",
+        "```",
+        f"{'extension':<28} {'lemma LoC':>10}",
+        f"{'stack allocation (init)':<28} {loc(CompileStackAlloc):>10}",
+        f"{'stack allocation (nondet)':<28} {loc(CompileNdAlloc):>10}",
+        f"{'error-monad guard':<28} {loc(errors.CompileErrGuard):>10}",
+        f"{'fold with early exit':<28} {loc(CompileArrayFoldBreak):>10}",
+        f"{'copy / out-of-place map':<28} {loc(copying.CompileCopyInto):>10}",
+        "```",
+        "",
+        "The multi-target conditional join (the paper's full CAS pair,",
+        "§3.4.2) and the derivation-replay check are exercised in",
+        "`tests/stdlib/test_multi_target.py` and",
+        "`tests/integration/test_pipeline.py`.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def section_e8() -> str:
+    from repro.stackmachine import SAdd, SInt, RelationalCompiler, STOT_RULES
+
+    derivation = RelationalCompiler(STOT_RULES).compile(SAdd(SInt(3), SInt(4)))
+    lines = [
+        "## E8 — §2: the stack-machine walkthrough",
+        "",
+        "**Paper:** `StoT (SAdd (SInt 3) (SInt 4))` and the relational/shallow",
+        "derivations all produce `[TPush 3; TPush 4; TPopAdd]`.",
+        "",
+        "**Measured:**",
+        "",
+        "```",
+        derivation.render(),
+        "```",
+        "",
+        "Functional, relational, and shallow compilation agree on random",
+        "expression trees (property-tested in `tests/stackmachine`).",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--size", type=int, default=2048)
+    parser.add_argument("--out", default="EXPERIMENTS.md")
+    args = parser.parse_args()
+
+    header = [
+        "# EXPERIMENTS — paper vs measured",
+        "",
+        "Regenerate this file with `python benchmarks/generate_report.py`;",
+        "individual experiments run under pytest-benchmark via",
+        "`pytest benchmarks/ --benchmark-only`.  The substitutions that make",
+        "these measurements meaningful (simulator cost models instead of an i5,",
+        "translation validation instead of Coq proofs) are tabulated in",
+        "DESIGN.md §2; the per-experiment index is DESIGN.md §4.",
+        "",
+        f"Input size for Figure 2-style measurements: {args.size} bytes",
+        "(per-byte costs for these streaming kernels are size-independent past",
+        "a few hundred bytes; the paper used 1 MiB).",
+        "",
+    ]
+    sections = [
+        section_figure2(args.size),
+        section_native(args.size),
+        section_table1(),
+        section_table2(),
+        section_extraction(),
+        section_compile_speed(),
+        section_expr_ablation(),
+        section_ablations(args.size),
+        section_case_studies(),
+        section_e8(),
+    ]
+    with open(args.out, "w") as handle:
+        handle.write("\n".join(header) + "\n" + "\n".join(sections))
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

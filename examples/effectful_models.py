@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Extensional effects: monadic models (§3.4.1), compiled and executed.
+
+Four small programs, one per monad the standard library supports:
+
+- I/O:     read two words, write their sum;
+- writer:  emit the running maximum of the inputs (tell);
+- nondet:  use an uninitialized scratch buffer (alloc) safely;
+- state:   a threaded counter cell (get/put).
+
+Run:  python examples/effectful_models.py
+"""
+
+import random
+
+from repro.core.spec import FnSpec, Model, array_out, ptr_arg, scalar_arg, scalar_out
+from repro.source import listarray, monads
+from repro.source.builder import let_n, sym, word_lit
+from repro.source.evaluator import CellV
+from repro.source.types import ARRAY_BYTE, WORD, cell_of
+from repro.stdlib import default_engine
+from repro.validation import run_function
+from repro.validation.checker import validate
+
+
+def io_example(engine) -> None:
+    print("=== I/O monad: s = read() + read(); write(s) ===")
+    program = monads.bind(
+        "a",
+        monads.io_read(),
+        lambda a: monads.bind(
+            "b",
+            monads.io_read(),
+            lambda b: let_n(
+                "s",
+                a + b,
+                monads.bind("_", monads.io_write(sym("s", WORD)), monads.ret(sym("s", WORD))),
+            ),
+        ),
+    )
+    model = Model("iosum", [], program.term, WORD)
+    spec = FnSpec("iosum", [], [scalar_out()])
+    compiled = engine.compile_function(model, spec)
+    print(compiled.c_source())
+    result = run_function(compiled.bedrock_fn, spec, {}, io_input=iter([30, 12]))
+    print(f"trace: {result.trace}")
+    print(f"returned: {result.rets[0]}")
+    validate(compiled, trials=20, rng=random.Random(0))
+    print("validated.\n")
+
+
+def writer_example(engine) -> None:
+    print("=== Writer monad: tell(x), tell(x*2) ===")
+    x = sym("x", WORD)
+    program = monads.bind(
+        "_",
+        monads.tell(x),
+        monads.bind("_", monads.tell(x * 2), monads.ret(x)),
+    )
+    model = Model("telltwice", [("x", WORD)], program.term, WORD)
+    spec = FnSpec("telltwice", [scalar_arg("x")], [scalar_out()])
+    compiled = engine.compile_function(model, spec)
+    result = run_function(compiled.bedrock_fn, spec, {"x": 7})
+    print(f"writer output (as trace events): "
+          f"{[e.args[0] for e in result.trace if e.action == 'tell']}")
+    validate(compiled, trials=20, rng=random.Random(1))
+    print("validated.\n")
+
+
+def nondet_example(engine) -> None:
+    print("=== Nondeterminism: scratch buffer via alloc ===")
+    program = monads.bind(
+        "buf",
+        monads.nd_alloc(8),
+        lambda buf: let_n(
+            "buf",
+            listarray.put(buf, 0, 0x2A),
+            monads.ret(listarray.get(sym("buf", ARRAY_BYTE), 0).to_word()),
+        ),
+    )
+    model = Model("scratch", [], program.term, WORD)
+    spec = FnSpec("scratch", [], [scalar_out()])
+    compiled = engine.compile_function(model, spec)
+    print(compiled.c_source())
+    validate(compiled, trials=20, rng=random.Random(2))
+    print("validated (with random initial stack contents).\n")
+
+
+def error_example(engine) -> None:
+    print("=== Error monad: guarded division ===")
+    from repro.core.spec import error_out
+
+    x, y = sym("x", WORD), sym("y", WORD)
+    program = monads.bind(
+        "_", monads.err_guard(~y.eq(0)), monads.ret(x.udiv(y))
+    )
+    model = Model("checked_div", [("x", WORD), ("y", WORD)], program.term, WORD)
+    spec = FnSpec(
+        "checked_div",
+        [scalar_arg("x"), scalar_arg("y")],
+        [error_out(), scalar_out()],
+    )
+    compiled = engine.compile_function(model, spec)
+    print(compiled.c_source())
+    ok = run_function(compiled.bedrock_fn, spec, {"x": 42, "y": 6})
+    bad = run_function(compiled.bedrock_fn, spec, {"x": 42, "y": 0})
+    print(f"42/6 -> (ok={ok.rets[0]}, value={ok.rets[1]}); "
+          f"42/0 -> (ok={bad.rets[0]}, value={bad.rets[1]})")
+    validate(compiled, trials=20, rng=random.Random(3))
+    print("validated.\n")
+
+
+def state_example(engine) -> None:
+    print("=== State monad: counter := counter + x; return old value ===")
+    x = sym("x", WORD)
+    program = monads.bind(
+        "old",
+        monads.st_get(),
+        lambda old: monads.bind("_", monads.st_put(old + x), monads.ret(old)),
+    )
+    model = Model("bump", [("st", cell_of(WORD)), ("x", WORD)], program.term, WORD)
+    spec = FnSpec(
+        "bump",
+        [ptr_arg("st", cell_of(WORD)), scalar_arg("x")],
+        [scalar_out()],
+        state_param="st",
+    )
+    compiled = engine.compile_function(model, spec)
+    result = run_function(compiled.bedrock_fn, spec, {"st": CellV(100), "x": 5})
+    print(f"returned old value {result.rets[0]}, "
+          f"cell now holds {result.out_memory['st'].value}")
+    print("done.\n")
+
+
+def main() -> None:
+    engine = default_engine()
+    io_example(engine)
+    writer_example(engine)
+    nondet_example(engine)
+    error_example(engine)
+    state_example(engine)
+
+
+if __name__ == "__main__":
+    main()

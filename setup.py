@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+``pip install -e .`` needs the ``wheel`` package; on hermetic machines
+without it, ``python setup.py develop --user`` (or adding ``src/`` to
+``PYTHONPATH``) installs the package with plain setuptools.
+"""
+
+from setuptools import setup
+
+setup()

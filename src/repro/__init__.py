@@ -1,0 +1,70 @@
+"""repro: a Python reproduction of Rupicola (PLDI 2022).
+
+Relational compilation for performance-critical applications: an
+extensible, proof-(certificate-)producing translator from annotated
+functional models to Bedrock2, with C and RISC-V backends.
+
+Typical usage mirrors the paper's workflow::
+
+    from repro import (
+        FnSpec, Model, array_out, len_arg, ptr_arg,
+        default_engine, validate,
+    )
+    from repro.source import listarray
+    from repro.source.builder import let_n, sym
+    from repro.source.types import ARRAY_BYTE
+
+    s = sym("s", ARRAY_BYTE)
+    model = Model("inv", [("s", ARRAY_BYTE)],
+                  let_n("s", listarray.map_(lambda b: b ^ 0xFF, s), s).term)
+    spec = FnSpec("inv", [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s")],
+                  [array_out("s")])
+    compiled = default_engine().compile_function(model, spec)
+    print(compiled.c_source())
+    validate(compiled)
+
+Subpackage map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.source`       -- the functional source language;
+- :mod:`repro.core`         -- the relational proof-search engine;
+- :mod:`repro.stdlib`       -- the standard compilation lemmas;
+- :mod:`repro.bedrock2`     -- the target language and its semantics;
+- :mod:`repro.riscv`        -- the RISC-V backend and simulator;
+- :mod:`repro.validation`   -- translation validation;
+- :mod:`repro.programs`     -- the paper's benchmark suite;
+- :mod:`repro.stackmachine` -- the §2 pedagogy.
+"""
+
+from repro.core.spec import (
+    ArgKind,
+    ArgSpec,
+    CompiledFunction,
+    FnSpec,
+    Model,
+    array_out,
+    len_arg,
+    ptr_arg,
+    scalar_arg,
+    scalar_out,
+)
+from repro.stdlib import default_databases, default_engine
+from repro.validation.checker import validate
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ArgKind",
+    "ArgSpec",
+    "CompiledFunction",
+    "FnSpec",
+    "Model",
+    "array_out",
+    "len_arg",
+    "ptr_arg",
+    "scalar_arg",
+    "scalar_out",
+    "default_databases",
+    "default_engine",
+    "validate",
+    "__version__",
+]

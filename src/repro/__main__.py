@@ -1,0 +1,139 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list``                      -- the benchmark suite (Table 2);
+- ``compile <program>``         -- derive a suite program; print its C;
+- ``cert <program>``            -- print the derivation certificate;
+- ``validate <program>``        -- certificate + differential validation;
+- ``riscv <program>``           -- compile through the RISC-V backend and
+  print instruction stats;
+- ``bench``                     -- print the reproduced Figure 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+
+def cmd_list(_args) -> int:
+    from repro.programs import all_programs
+
+    for program in all_programs():
+        features = ", ".join(program.features)
+        print(f"{program.name:<8} {program.description}  [{features}]")
+    return 0
+
+
+def _program(name: str):
+    from repro.programs import get_program
+
+    try:
+        return get_program(name)
+    except KeyError:
+        print(f"unknown program {name!r}; try `python -m repro list`", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def cmd_compile(args) -> int:
+    program = _program(args.program)
+    compiled = program.compile()
+    print(compiled.c_source())
+    return 0
+
+
+def cmd_cert(args) -> int:
+    program = _program(args.program)
+    compiled = program.compile()
+    print(compiled.certificate.render())
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.validation.checker import validate
+
+    program = _program(args.program)
+    compiled = program.compile()
+    kwargs = {}
+    if program.calling_style == "window":
+
+        def gen(rng):
+            data = program.gen_input(rng, 24)
+            return {"s": list(data), "off": rng.randrange(0, len(data) - 3)}
+
+        kwargs["input_gen"] = gen
+    elif program.calling_style != "scalar":
+        kwargs["input_gen"] = lambda rng: {
+            "s": list(program.gen_input(rng, rng.randrange(48)))
+        }
+    report = validate(
+        compiled, trials=args.trials, rng=random.Random(args.seed), **kwargs
+    )
+    print(
+        f"{compiled.name}: certificate ok; {report.trials} differential "
+        "trials, 0 failures"
+    )
+    return 0
+
+
+def cmd_riscv(args) -> int:
+    from repro.riscv import compile_function
+
+    program = _program(args.program)
+    compiled = program.compile()
+    rv_program = compile_function(compiled.bedrock_fn)
+    print(
+        f"{compiled.name}: {len(rv_program.instrs)} instructions "
+        f"({rv_program.size_bytes} bytes of code, "
+        f"{len(rv_program.data)} bytes of table data)"
+    )
+    if args.disasm:
+        from repro.riscv.isa import encode
+
+        for instr in rv_program.instrs:
+            print(f"  {encode(instr):08x}  {instr}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from benchmarks.figure2 import figure2_rows, render_figure2  # type: ignore
+
+    print(render_figure2(figure2_rows(size=args.size)))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Rupicola reproduction: relational compilation toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list the benchmark suite")
+    for name in ("compile", "cert", "riscv"):
+        p = sub.add_parser(name)
+        p.add_argument("program")
+        if name == "riscv":
+            p.add_argument("--disasm", action="store_true")
+    p = sub.add_parser("validate")
+    p.add_argument("program")
+    p.add_argument("--trials", type=int, default=30)
+    p.add_argument("--seed", type=int, default=0)
+    p = sub.add_parser("bench")
+    p.add_argument("--size", type=int, default=1024)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "compile": cmd_compile,
+        "cert": cmd_cert,
+        "validate": cmd_validate,
+        "riscv": cmd_riscv,
+        "bench": cmd_bench,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

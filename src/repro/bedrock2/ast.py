@@ -1,0 +1,362 @@
+"""Abstract syntax for Bedrock2 expressions, statements, and functions.
+
+This mirrors the ``expr`` and ``cmd`` inductives of the Bedrock2 Coq
+development (Box 2 in the paper): an untyped, C-like language whose
+expressions evaluate to machine words and whose statements mutate a
+locals map, a flat memory, and an I/O trace.
+
+All nodes are frozen dataclasses: Rupicola's proof search builds target
+programs by filling in existential variables, and immutability guarantees
+that a certificate's recorded code cannot be altered after derivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+# Access sizes, in bytes, for loads and stores.
+SIZE1, SIZE2, SIZE4, SIZE8 = 1, 2, 4, 8
+ACCESS_SIZES = (SIZE1, SIZE2, SIZE4, SIZE8)
+
+
+class Expr:
+    """Base class of Bedrock2 expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ELit(Expr):
+    """A word literal (stored as a plain int, truncated at evaluation)."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return f"ELit({self.value})"
+
+
+@dataclass(frozen=True)
+class EVar(Expr):
+    """A reference to a local variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"EVar({self.name!r})"
+
+
+@dataclass(frozen=True)
+class ELoad(Expr):
+    """A memory load of ``size`` bytes at the address given by ``addr``."""
+
+    size: int
+    addr: Expr
+
+    def __post_init__(self) -> None:
+        if self.size not in ACCESS_SIZES:
+            raise ValueError(f"invalid access size {self.size}")
+
+
+@dataclass(frozen=True)
+class EOp(Expr):
+    """A binary operation on words.
+
+    The operator set matches Bedrock2's ``bopname``: ``add sub mul mulhuu
+    divu remu and or xor sru slu srs lts ltu eq``.
+    """
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    OPS = frozenset(
+        [
+            "add",
+            "sub",
+            "mul",
+            "mulhuu",
+            "divu",
+            "remu",
+            "and",
+            "or",
+            "xor",
+            "sru",
+            "slu",
+            "srs",
+            "lts",
+            "ltu",
+            "eq",
+        ]
+    )
+
+    def __post_init__(self) -> None:
+        if self.op not in self.OPS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class EInlineTable(Expr):
+    """A read from a function-local constant table (Bedrock2 ``inlinetable``).
+
+    ``data`` is the table contents as raw bytes; the expression reads
+    ``size`` bytes, little-endian, at byte offset ``index * size``...
+    actually, like Bedrock2, at the byte offset given by ``index`` --
+    callers scale indices themselves when storing multi-byte entries.
+    """
+
+    size: int
+    data: bytes
+    index: Expr
+
+    def __post_init__(self) -> None:
+        if self.size not in ACCESS_SIZES:
+            raise ValueError(f"invalid access size {self.size}")
+
+
+class Stmt:
+    """Base class of Bedrock2 statements (Coq's ``cmd``)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SSkip(Stmt):
+    """No-op."""
+
+
+@dataclass(frozen=True)
+class SSet(Stmt):
+    """``lhs = rhs``: assign an expression's value to a local variable."""
+
+    lhs: str
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class SUnset(Stmt):
+    """Remove a variable from the locals map (scoping bookkeeping)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class SStore(Stmt):
+    """``*(size*)addr = value``: store ``size`` bytes to memory."""
+
+    size: int
+    addr: Expr
+    value: Expr
+
+    def __post_init__(self) -> None:
+        if self.size not in ACCESS_SIZES:
+            raise ValueError(f"invalid access size {self.size}")
+
+
+@dataclass(frozen=True)
+class SStackalloc(Stmt):
+    """Lexically scoped stack allocation.
+
+    Binds ``lhs`` to a pointer to ``nbytes`` fresh bytes for the duration
+    of ``body``; the memory is reclaimed afterwards.  Bedrock2 models the
+    initial contents as nondeterministic; our interpreter takes a policy
+    (zeros by default, or a caller-provided byte source) so that programs
+    whose behaviour depends on the initial contents can be flagged by the
+    differential tester.
+    """
+
+    lhs: str
+    nbytes: int
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class SCond(Stmt):
+    """``if (cond) { then_ } else { else_ }`` -- nonzero means true."""
+
+    cond: Expr
+    then_: Stmt
+    else_: Stmt
+
+
+@dataclass(frozen=True)
+class SSeq(Stmt):
+    """Sequencing of two statements."""
+
+    first: Stmt
+    second: Stmt
+
+
+@dataclass(frozen=True)
+class SWhile(Stmt):
+    """``while (cond) { body }``.
+
+    Bedrock2 semantics only give meaning to terminating loops; the
+    interpreter enforces this with fuel, so every successful run is a
+    total-correctness witness.
+    """
+
+    cond: Expr
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class SCall(Stmt):
+    """Call a named Bedrock2 function, binding its results to ``lhss``."""
+
+    lhss: Tuple[str, ...]
+    func: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class SInteract(Stmt):
+    """An external interaction (MMIO / syscall-like event).
+
+    Appends an event to the trace; the environment decides the returned
+    words.  This is how Rupicola compiles the I/O monad.
+    """
+
+    lhss: Tuple[str, ...]
+    action: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Function:
+    """A Bedrock2 function: argument names, return variable names, body."""
+
+    name: str
+    args: Tuple[str, ...]
+    rets: Tuple[str, ...]
+    body: Stmt
+
+    def __post_init__(self) -> None:
+        if len(set(self.args)) != len(self.args):
+            raise ValueError(f"duplicate argument names in {self.name}")
+
+
+@dataclass(frozen=True)
+class Program:
+    """A collection of Bedrock2 functions indexed by name."""
+
+    functions: Tuple[Function, ...] = field(default_factory=tuple)
+
+    def function(self, name: str) -> Function:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"no function named {name!r}")
+
+    def with_function(self, fn: Function) -> "Program":
+        return Program(self.functions + (fn,))
+
+
+# -- Construction helpers ----------------------------------------------------
+
+
+def seq_of(*stmts: Stmt) -> Stmt:
+    """Right-nested sequencing of any number of statements."""
+    items = [s for s in stmts if not isinstance(s, SSkip)]
+    if not items:
+        return SSkip()
+    result = items[-1]
+    for stmt in reversed(items[:-1]):
+        result = SSeq(stmt, result)
+    return result
+
+
+def lit(value: int) -> ELit:
+    return ELit(value)
+
+
+def var(name: str) -> EVar:
+    return EVar(name)
+
+
+def op(name: str, lhs: Expr, rhs: Expr) -> EOp:
+    return EOp(name, lhs, rhs)
+
+
+def add(lhs: Expr, rhs: Expr) -> EOp:
+    return EOp("add", lhs, rhs)
+
+
+def sub(lhs: Expr, rhs: Expr) -> EOp:
+    return EOp("sub", lhs, rhs)
+
+
+def mul(lhs: Expr, rhs: Expr) -> EOp:
+    return EOp("mul", lhs, rhs)
+
+
+def band(lhs: Expr, rhs: Expr) -> EOp:
+    return EOp("and", lhs, rhs)
+
+
+def bor(lhs: Expr, rhs: Expr) -> EOp:
+    return EOp("or", lhs, rhs)
+
+
+def bxor(lhs: Expr, rhs: Expr) -> EOp:
+    return EOp("xor", lhs, rhs)
+
+
+def shl(lhs: Expr, rhs: Expr) -> EOp:
+    return EOp("slu", lhs, rhs)
+
+
+def shr(lhs: Expr, rhs: Expr) -> EOp:
+    return EOp("sru", lhs, rhs)
+
+
+def ltu(lhs: Expr, rhs: Expr) -> EOp:
+    return EOp("ltu", lhs, rhs)
+
+
+def eq(lhs: Expr, rhs: Expr) -> EOp:
+    return EOp("eq", lhs, rhs)
+
+
+def load(size: int, addr: Expr) -> ELoad:
+    return ELoad(size, addr)
+
+
+def load1(addr: Expr) -> ELoad:
+    return ELoad(SIZE1, addr)
+
+
+def load4(addr: Expr) -> ELoad:
+    return ELoad(SIZE4, addr)
+
+
+def store(size: int, addr: Expr, value: Expr) -> SStore:
+    return SStore(size, addr, value)
+
+
+def statement_count(stmt: Stmt) -> int:
+    """Number of statement nodes, used for compiler-throughput metrics (E5)."""
+    if isinstance(stmt, SSeq):
+        return statement_count(stmt.first) + statement_count(stmt.second)
+    if isinstance(stmt, SCond):
+        return 1 + statement_count(stmt.then_) + statement_count(stmt.else_)
+    if isinstance(stmt, SWhile):
+        return 1 + statement_count(stmt.body)
+    if isinstance(stmt, SStackalloc):
+        return 1 + statement_count(stmt.body)
+    if isinstance(stmt, SSkip):
+        return 0
+    return 1
+
+
+def expr_vars(expr: Expr) -> set:
+    """The set of local-variable names read by ``expr``."""
+    if isinstance(expr, EVar):
+        return {expr.name}
+    if isinstance(expr, EOp):
+        return expr_vars(expr.lhs) | expr_vars(expr.rhs)
+    if isinstance(expr, ELoad):
+        return expr_vars(expr.addr)
+    if isinstance(expr, EInlineTable):
+        return expr_vars(expr.index)
+    return set()

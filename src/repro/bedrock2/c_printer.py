@@ -1,0 +1,236 @@
+"""Pretty-printing Bedrock2 to C.
+
+The paper (§4.3) emphasizes that Bedrock2's C pretty-printer is a ~200-line
+program "essentially implementing an identity function", and that keeping
+it small keeps the trusted base small.  This module plays the same role:
+a direct, syntax-directed rendering of the Bedrock2 AST into C, with no
+optimization whatsoever.  Everything is rendered over ``uintptr_t``
+(Bedrock2 is untyped; all locals are machine words), like the real
+pretty-printer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bedrock2 import ast
+
+_PRELUDE = """\
+#include <stdint.h>
+#include <string.h>
+
+// Bedrock2 memory accessors (little-endian, any alignment).
+static inline uintptr_t _br2_load(uintptr_t a, int sz) {
+  uintptr_t r = 0; memcpy(&r, (void*)a, sz); return r;
+}
+static inline void _br2_store(uintptr_t a, uintptr_t v, int sz) {
+  memcpy((void*)a, &v, sz);
+}
+static inline uintptr_t _br2_mulhuu(uintptr_t a, uintptr_t b) {
+  return (uintptr_t)(((__uint128_t)a * b) >> (8 * sizeof(uintptr_t)));
+}
+"""
+
+_INFIX_OPS: Dict[str, str] = {
+    "add": "+",
+    "sub": "-",
+    "mul": "*",
+    "divu": "/",
+    "remu": "%",
+    "and": "&",
+    "or": "|",
+    "xor": "^",
+    "sru": ">>",
+    "slu": "<<",
+    "ltu": "<",
+    "eq": "==",
+}
+
+
+def _print_expr(expr: ast.Expr, tables: Dict[int, str]) -> str:
+    if isinstance(expr, ast.ELit):
+        if expr.value < 0:
+            return f"(uintptr_t)({expr.value}LL)"
+        return f"(uintptr_t)({expr.value}ULL)"
+    if isinstance(expr, ast.EVar):
+        return expr.name
+    if isinstance(expr, ast.ELoad):
+        return f"_br2_load({_print_expr(expr.addr, tables)}, {expr.size})"
+    if isinstance(expr, ast.EInlineTable):
+        name = tables[id(expr.data)]
+        index = _print_expr(expr.index, tables)
+        return f"_br2_load((uintptr_t)&{name}[{index}], {expr.size})"
+    if isinstance(expr, ast.EOp):
+        lhs = _print_expr(expr.lhs, tables)
+        rhs = _print_expr(expr.rhs, tables)
+        if expr.op in _INFIX_OPS:
+            return f"({lhs} {_INFIX_OPS[expr.op]} {rhs})"
+        if expr.op == "lts":
+            return f"((intptr_t){lhs} < (intptr_t){rhs})"
+        if expr.op == "srs":
+            return f"((uintptr_t)((intptr_t){lhs} >> {rhs}))"
+        if expr.op == "mulhuu":
+            return f"_br2_mulhuu({lhs}, {rhs})"
+        raise ValueError(f"cannot print operator {expr.op!r}")
+    raise ValueError(f"cannot print expression {expr!r}")
+
+
+def _collect_tables(stmt: ast.Stmt, tables: Dict[int, bytes]) -> None:
+    def visit_expr(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.EInlineTable):
+            tables.setdefault(id(expr.data), expr.data)
+            visit_expr(expr.index)
+        elif isinstance(expr, ast.EOp):
+            visit_expr(expr.lhs)
+            visit_expr(expr.rhs)
+        elif isinstance(expr, ast.ELoad):
+            visit_expr(expr.addr)
+
+    if isinstance(stmt, ast.SSet):
+        visit_expr(stmt.rhs)
+    elif isinstance(stmt, ast.SStore):
+        visit_expr(stmt.addr)
+        visit_expr(stmt.value)
+    elif isinstance(stmt, ast.SSeq):
+        _collect_tables(stmt.first, tables)
+        _collect_tables(stmt.second, tables)
+    elif isinstance(stmt, ast.SCond):
+        visit_expr(stmt.cond)
+        _collect_tables(stmt.then_, tables)
+        _collect_tables(stmt.else_, tables)
+    elif isinstance(stmt, ast.SWhile):
+        visit_expr(stmt.cond)
+        _collect_tables(stmt.body, tables)
+    elif isinstance(stmt, ast.SStackalloc):
+        _collect_tables(stmt.body, tables)
+    elif isinstance(stmt, (ast.SCall, ast.SInteract)):
+        for arg in stmt.args:
+            visit_expr(arg)
+
+
+def _locals_of(stmt: ast.Stmt, bound: set) -> List[str]:
+    """Variables assigned in ``stmt`` that need a declaration."""
+    out: List[str] = []
+
+    def visit(node: ast.Stmt) -> None:
+        if isinstance(node, ast.SSet) and node.lhs not in bound:
+            bound.add(node.lhs)
+            out.append(node.lhs)
+        elif isinstance(node, ast.SStackalloc):
+            if node.lhs not in bound:
+                bound.add(node.lhs)
+                out.append(node.lhs)
+            visit(node.body)
+        elif isinstance(node, ast.SSeq):
+            visit(node.first)
+            visit(node.second)
+        elif isinstance(node, ast.SCond):
+            visit(node.then_)
+            visit(node.else_)
+        elif isinstance(node, ast.SWhile):
+            visit(node.body)
+        elif isinstance(node, (ast.SCall, ast.SInteract)):
+            for lhs in node.lhss:
+                if lhs not in bound:
+                    bound.add(lhs)
+                    out.append(lhs)
+
+    visit(stmt)
+    return out
+
+
+def _print_stmt(stmt: ast.Stmt, tables: Dict[int, str], indent: int) -> List[str]:
+    pad = "  " * indent
+    if isinstance(stmt, ast.SSkip):
+        return [f"{pad}/* skip */;"]
+    if isinstance(stmt, ast.SSet):
+        return [f"{pad}{stmt.lhs} = {_print_expr(stmt.rhs, tables)};"]
+    if isinstance(stmt, ast.SUnset):
+        return [f"{pad}/* unset {stmt.name} */;"]
+    if isinstance(stmt, ast.SStore):
+        addr = _print_expr(stmt.addr, tables)
+        value = _print_expr(stmt.value, tables)
+        return [f"{pad}_br2_store({addr}, {value}, {stmt.size});"]
+    if isinstance(stmt, ast.SStackalloc):
+        lines = [f"{pad}{{ uint8_t _stack_{stmt.lhs}[{stmt.nbytes}];"]
+        lines.append(f"{pad}  {stmt.lhs} = (uintptr_t)&_stack_{stmt.lhs}[0];")
+        lines.extend(_print_stmt(stmt.body, tables, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.SCond):
+        lines = [f"{pad}if ({_print_expr(stmt.cond, tables)}) {{"]
+        lines.extend(_print_stmt(stmt.then_, tables, indent + 1))
+        if not isinstance(stmt.else_, ast.SSkip):
+            lines.append(f"{pad}}} else {{")
+            lines.extend(_print_stmt(stmt.else_, tables, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.SSeq):
+        return _print_stmt(stmt.first, tables, indent) + _print_stmt(
+            stmt.second, tables, indent
+        )
+    if isinstance(stmt, ast.SWhile):
+        lines = [f"{pad}while ({_print_expr(stmt.cond, tables)}) {{"]
+        lines.extend(_print_stmt(stmt.body, tables, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.SCall):
+        args = ", ".join(_print_expr(a, tables) for a in stmt.args)
+        if len(stmt.lhss) == 0:
+            return [f"{pad}{stmt.func}({args});"]
+        if len(stmt.lhss) == 1:
+            return [f"{pad}{stmt.lhss[0]} = {stmt.func}({args});"]
+        outs = ", ".join(f"&{name}" for name in stmt.lhss)
+        return [f"{pad}{stmt.func}({args}, {outs});"]
+    if isinstance(stmt, ast.SInteract):
+        args = ", ".join(_print_expr(a, tables) for a in stmt.args)
+        lhss = "".join(f"{name} = " for name in stmt.lhss)
+        return [f"{pad}{lhss}_br2_interact_{stmt.action}({args});"]
+    raise ValueError(f"cannot print statement {stmt!r}")
+
+
+def print_c_function(fn: ast.Function) -> str:
+    """Render one Bedrock2 function as C text."""
+    tables_raw: Dict[int, bytes] = {}
+    _collect_tables(fn.body, tables_raw)
+    tables: Dict[int, str] = {}
+    table_decls: List[str] = []
+    for index, (key, data) in enumerate(tables_raw.items()):
+        name = f"_{fn.name}_table{index}"
+        tables[key] = name
+        contents = ", ".join(str(b) for b in data)
+        table_decls.append(
+            f"static const uint8_t {name}[{len(data)}] = {{{contents}}};"
+        )
+
+    if len(fn.rets) == 0:
+        ret_type, epilogue = "void", []
+    elif len(fn.rets) == 1:
+        ret_type, epilogue = "uintptr_t", [f"  return {fn.rets[0]};"]
+    else:
+        ret_type = "void"
+        epilogue = [f"  *_out{i} = {name};" for i, name in enumerate(fn.rets)]
+
+    params = [f"uintptr_t {name}" for name in fn.args]
+    if len(fn.rets) > 1:
+        params += [f"uintptr_t *_out{i}" for i in range(len(fn.rets))]
+    signature = f"{ret_type} {fn.name}({', '.join(params) or 'void'})"
+
+    bound = set(fn.args)
+    decls = _locals_of(fn.body, bound)
+    ret_decls = [r for r in fn.rets if r not in bound]
+
+    lines = table_decls + [signature + " {"]
+    for name in decls + ret_decls:
+        lines.append(f"  uintptr_t {name} = 0;")
+    lines.extend(_print_stmt(fn.body, tables, 1))
+    lines.extend(epilogue)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_c_program(program: ast.Program, include_prelude: bool = True) -> str:
+    """Render a whole Bedrock2 program as a single C translation unit."""
+    parts = [_PRELUDE] if include_prelude else []
+    parts.extend(print_c_function(fn) for fn in program.functions)
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,335 @@
+"""A fuel-based big-step interpreter for Bedrock2.
+
+Bedrock2's semantics (Box 2 of the paper) split program state into three
+parts: a flat memory, the current function's locals (a map from names to
+machine words), and an event trace of externally observable interactions.
+Loops only have meaning when they terminate, so the interpreter carries
+*fuel*; a successful run is therefore a total-correctness witness, which is
+exactly the property Rupicola's derivations claim.
+
+The interpreter doubles as the cost model for the Figure 2 reproduction:
+it counts each primitive operation it executes (arithmetic, loads, stores,
+assignments, branches), and the benchmark harness turns those counters
+into "cycles per byte"-shaped numbers under several weightings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bedrock2 import ast
+from repro.bedrock2.memory import Memory, MemoryError_
+from repro.bedrock2.word import Word, truthy
+
+
+class ExecutionError(Exception):
+    """The program's behaviour is undefined (bad variable, bad access, ...)."""
+
+
+class OutOfFuel(ExecutionError):
+    """The fuel bound was exhausted: no total-correctness witness produced."""
+
+
+@dataclass(frozen=True)
+class IOEvent:
+    """One entry of the Bedrock2 event trace."""
+
+    action: str
+    args: Tuple[int, ...]
+    rets: Tuple[int, ...]
+
+
+@dataclass
+class OpCounts:
+    """Primitive-operation counters, the basis of the Figure 2 cost models."""
+
+    arith: int = 0
+    load: int = 0
+    store: int = 0
+    assign: int = 0
+    branch: int = 0
+    call: int = 0
+    interact: int = 0
+    stackalloc: int = 0
+    table: int = 0
+
+    def total(self) -> int:
+        return (
+            self.arith
+            + self.load
+            + self.store
+            + self.assign
+            + self.branch
+            + self.call
+            + self.interact
+            + self.stackalloc
+            + self.table
+        )
+
+    def weighted(self, weights: Dict[str, float]) -> float:
+        """Total cost under a per-category weighting (a synthetic 'compiler')."""
+        cost = 0.0
+        for name, weight in weights.items():
+            cost += weight * getattr(self, name)
+        return cost
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "arith": self.arith,
+            "load": self.load,
+            "store": self.store,
+            "assign": self.assign,
+            "branch": self.branch,
+            "call": self.call,
+            "interact": self.interact,
+            "stackalloc": self.stackalloc,
+            "table": self.table,
+        }
+
+
+@dataclass
+class MachineState:
+    """Memory + locals + trace: the three components of Bedrock2 state."""
+
+    memory: Memory
+    locals: Dict[str, Word] = field(default_factory=dict)
+    trace: List[IOEvent] = field(default_factory=list)
+
+
+ExternalHandler = Callable[[str, Sequence[Word], MachineState], Sequence[Word]]
+StackInitPolicy = Callable[[int], bytes]
+
+
+def zero_stack_init(nbytes: int) -> bytes:
+    return bytes(nbytes)
+
+
+class Interpreter:
+    """Executes Bedrock2 statements against a :class:`MachineState`.
+
+    Parameters
+    ----------
+    program:
+        Resolves ``SCall`` targets.
+    width:
+        Target word width in bits (32 or 64).
+    external:
+        Handler for ``SInteract`` events; receives the action name and
+        argument words, may mutate state, and returns the result words.
+    stack_init:
+        Policy producing the initial contents of stack allocations
+        (Bedrock2 leaves them nondeterministic; defaults to zeros).
+    """
+
+    DEFAULT_FUEL = 10_000_000
+
+    def __init__(
+        self,
+        program: Optional[ast.Program] = None,
+        width: int = 64,
+        external: Optional[ExternalHandler] = None,
+        stack_init: StackInitPolicy = zero_stack_init,
+    ):
+        if width not in (32, 64):
+            raise ValueError("Bedrock2 targets are 32- or 64-bit")
+        self.program = program or ast.Program()
+        self.width = width
+        self.external = external
+        self.stack_init = stack_init
+        self.counts = OpCounts()
+
+    # -- Expressions ----------------------------------------------------------
+
+    def eval_expr(self, expr: ast.Expr, state: MachineState) -> Word:
+        if isinstance(expr, ast.ELit):
+            return Word(self.width, expr.value)
+        if isinstance(expr, ast.EVar):
+            try:
+                return state.locals[expr.name]
+            except KeyError:
+                raise ExecutionError(f"unbound local variable {expr.name!r}") from None
+        if isinstance(expr, ast.ELoad):
+            addr = self.eval_expr(expr.addr, state)
+            self.counts.load += 1
+            try:
+                raw = state.memory.load(addr.unsigned, expr.size)
+            except MemoryError_ as exc:
+                raise ExecutionError(str(exc)) from None
+            return Word(self.width, raw)
+        if isinstance(expr, ast.EOp):
+            lhs = self.eval_expr(expr.lhs, state)
+            rhs = self.eval_expr(expr.rhs, state)
+            self.counts.arith += 1
+            return self._apply_op(expr.op, lhs, rhs)
+        if isinstance(expr, ast.EInlineTable):
+            index = self.eval_expr(expr.index, state)
+            self.counts.table += 1
+            offset = index.unsigned
+            if offset + expr.size > len(expr.data):
+                raise ExecutionError(
+                    f"inline-table read of {expr.size} byte(s) at offset {offset} "
+                    f"exceeds table length {len(expr.data)}"
+                )
+            raw = int.from_bytes(expr.data[offset : offset + expr.size], "little")
+            return Word(self.width, raw)
+        raise ExecutionError(f"unknown expression node {expr!r}")
+
+    def _apply_op(self, op: str, lhs: Word, rhs: Word) -> Word:
+        width = self.width
+        if op == "add":
+            return lhs + rhs
+        if op == "sub":
+            return lhs - rhs
+        if op == "mul":
+            return lhs * rhs
+        if op == "mulhuu":
+            return Word(width, (lhs.unsigned * rhs.unsigned) >> width)
+        if op == "divu":
+            return lhs.udiv(rhs)
+        if op == "remu":
+            return lhs.umod(rhs)
+        if op == "and":
+            return lhs & rhs
+        if op == "or":
+            return lhs | rhs
+        if op == "xor":
+            return lhs ^ rhs
+        if op == "sru":
+            return lhs.shr(rhs)
+        if op == "slu":
+            return lhs.shl(rhs)
+        if op == "srs":
+            return lhs.sar(rhs)
+        if op == "lts":
+            return truthy(width, lhs.lts(rhs))
+        if op == "ltu":
+            return truthy(width, lhs.ltu(rhs))
+        if op == "eq":
+            return truthy(width, lhs == rhs)
+        raise ExecutionError(f"unknown operator {op!r}")
+
+    # -- Statements -------------------------------------------------------------
+
+    def exec_stmt(self, stmt: ast.Stmt, state: MachineState, fuel: int) -> int:
+        """Execute ``stmt``; returns the remaining fuel."""
+        if fuel <= 0:
+            raise OutOfFuel("ran out of fuel (nonterminating loop?)")
+        if isinstance(stmt, ast.SSkip):
+            return fuel
+        if isinstance(stmt, ast.SSet):
+            value = self.eval_expr(stmt.rhs, state)
+            state.locals[stmt.lhs] = value
+            self.counts.assign += 1
+            return fuel - 1
+        if isinstance(stmt, ast.SUnset):
+            state.locals.pop(stmt.name, None)
+            return fuel - 1
+        if isinstance(stmt, ast.SStore):
+            addr = self.eval_expr(stmt.addr, state)
+            value = self.eval_expr(stmt.value, state)
+            self.counts.store += 1
+            try:
+                state.memory.store(addr.unsigned, stmt.size, value.unsigned)
+            except MemoryError_ as exc:
+                raise ExecutionError(str(exc)) from None
+            return fuel - 1
+        if isinstance(stmt, ast.SStackalloc):
+            self.counts.stackalloc += 1
+            base = state.memory.allocate_stack(stmt.nbytes)
+            state.memory.store_bytes(base, self.stack_init(stmt.nbytes))
+            state.locals[stmt.lhs] = Word(self.width, base)
+            fuel = self.exec_stmt(stmt.body, state, fuel - 1)
+            state.memory.free(base)
+            return fuel
+        if isinstance(stmt, ast.SCond):
+            cond = self.eval_expr(stmt.cond, state)
+            self.counts.branch += 1
+            branch = stmt.then_ if cond.unsigned != 0 else stmt.else_
+            return self.exec_stmt(branch, state, fuel - 1)
+        if isinstance(stmt, ast.SSeq):
+            fuel = self.exec_stmt(stmt.first, state, fuel)
+            return self.exec_stmt(stmt.second, state, fuel)
+        if isinstance(stmt, ast.SWhile):
+            while True:
+                if fuel <= 0:
+                    raise OutOfFuel("ran out of fuel (nonterminating loop?)")
+                cond = self.eval_expr(stmt.cond, state)
+                self.counts.branch += 1
+                fuel -= 1
+                if cond.unsigned == 0:
+                    return fuel
+                fuel = self.exec_stmt(stmt.body, state, fuel)
+        if isinstance(stmt, ast.SCall):
+            self.counts.call += 1
+            args = [self.eval_expr(arg, state) for arg in stmt.args]
+            rets = self.call_function(stmt.func, args, state, fuel - 1)
+            if len(rets) != len(stmt.lhss):
+                raise ExecutionError(
+                    f"{stmt.func} returned {len(rets)} values, expected {len(stmt.lhss)}"
+                )
+            for name, value in zip(stmt.lhss, rets):
+                state.locals[name] = value
+            return fuel - 1
+        if isinstance(stmt, ast.SInteract):
+            if self.external is None:
+                raise ExecutionError(f"no external handler for action {stmt.action!r}")
+            self.counts.interact += 1
+            args = [self.eval_expr(arg, state) for arg in stmt.args]
+            rets = list(self.external(stmt.action, args, state))
+            state.trace.append(
+                IOEvent(
+                    stmt.action,
+                    tuple(a.unsigned for a in args),
+                    tuple(r.unsigned for r in rets),
+                )
+            )
+            if len(rets) != len(stmt.lhss):
+                raise ExecutionError(
+                    f"action {stmt.action!r} returned {len(rets)} values, "
+                    f"expected {len(stmt.lhss)}"
+                )
+            for name, value in zip(stmt.lhss, rets):
+                state.locals[name] = value
+            return fuel - 1
+        raise ExecutionError(f"unknown statement node {stmt!r}")
+
+    # -- Functions ------------------------------------------------------------
+
+    def call_function(
+        self,
+        name: str,
+        args: Sequence[Word],
+        state: MachineState,
+        fuel: int,
+    ) -> List[Word]:
+        """Call a Bedrock2 function with its own locals frame (memory is shared)."""
+        fn = self.program.function(name)
+        if len(args) != len(fn.args):
+            raise ExecutionError(
+                f"{name} takes {len(fn.args)} arguments, got {len(args)}"
+            )
+        frame = MachineState(
+            memory=state.memory,
+            locals=dict(zip(fn.args, args)),
+            trace=state.trace,
+        )
+        self.exec_stmt(fn.body, frame, fuel)
+        rets = []
+        for ret in fn.rets:
+            if ret not in frame.locals:
+                raise ExecutionError(f"{name} did not set return variable {ret!r}")
+            rets.append(frame.locals[ret])
+        return rets
+
+    def run(
+        self,
+        fn_name: str,
+        args: Sequence[Word],
+        memory: Optional[Memory] = None,
+        fuel: int = DEFAULT_FUEL,
+    ) -> Tuple[List[Word], MachineState]:
+        """Convenience entry point: run one function on a fresh state."""
+        state = MachineState(memory=memory if memory is not None else Memory(self.width))
+        rets = self.call_function(fn_name, args, state, fuel)
+        return rets, state

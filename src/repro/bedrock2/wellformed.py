@@ -1,0 +1,97 @@
+"""Static well-formedness checking for Bedrock2 functions.
+
+A lightweight definite-assignment and shape analysis, run by the
+validation layer before executing anything:
+
+- every variable is assigned before it is read, on every path;
+- every declared return variable is assigned on every path;
+- ``while`` bodies only rely on variables defined before the loop or
+  (re)defined unconditionally inside it on every earlier path;
+- access sizes and operator names are legal (the AST constructors check
+  these too; re-checked here for certificates whose ASTs were built
+  elsewhere).
+
+The analysis is a may/must dataflow over the structured AST: for each
+statement we compute the set of variables *definitely* assigned after it,
+joining branches by intersection.  This is exactly the class of bug the
+error-monad work surfaced (a return variable only set on the success
+path), so it runs as part of ``validate``.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from repro.bedrock2 import ast
+
+
+class IllFormed(Exception):
+    """The function reads undefined variables or misses a return."""
+
+
+def _expr_check(expr: ast.Expr, defined: Set[str], where: str) -> None:
+    for name in ast.expr_vars(expr):
+        if name not in defined:
+            raise IllFormed(
+                f"{where}: variable {name!r} may be read before assignment"
+            )
+
+
+def _stmt_defs(stmt: ast.Stmt, defined: Set[str]) -> Set[str]:
+    """Definitely-assigned set after ``stmt``; raises on undefined reads."""
+    if isinstance(stmt, (ast.SSkip,)):
+        return defined
+    if isinstance(stmt, ast.SUnset):
+        return defined - {stmt.name}
+    if isinstance(stmt, ast.SSet):
+        _expr_check(stmt.rhs, defined, f"assignment to {stmt.lhs!r}")
+        return defined | {stmt.lhs}
+    if isinstance(stmt, ast.SStore):
+        _expr_check(stmt.addr, defined, "store address")
+        _expr_check(stmt.value, defined, "store value")
+        return defined
+    if isinstance(stmt, ast.SSeq):
+        return _stmt_defs(stmt.second, _stmt_defs(stmt.first, defined))
+    if isinstance(stmt, ast.SCond):
+        _expr_check(stmt.cond, defined, "if condition")
+        then_defs = _stmt_defs(stmt.then_, set(defined))
+        else_defs = _stmt_defs(stmt.else_, set(defined))
+        return then_defs & else_defs
+    if isinstance(stmt, ast.SWhile):
+        _expr_check(stmt.cond, defined, "while condition")
+        # The body may not run at all: its definitions don't survive.
+        # It must itself be well-formed starting from the pre-loop set
+        # (plus its own earlier definitions, handled by recursion).
+        _stmt_defs(stmt.body, set(defined))
+        return defined
+    if isinstance(stmt, ast.SStackalloc):
+        # Only the *memory* is lexically scoped; the locals map is flat,
+        # so assignments made inside the body persist after it (reads
+        # through the stale pointer are runtime errors the interpreter
+        # catches).
+        return _stmt_defs(stmt.body, defined | {stmt.lhs})
+    if isinstance(stmt, ast.SCall):
+        for arg in stmt.args:
+            _expr_check(arg, defined, f"argument of call to {stmt.func!r}")
+        return defined | set(stmt.lhss)
+    if isinstance(stmt, ast.SInteract):
+        for arg in stmt.args:
+            _expr_check(arg, defined, f"argument of action {stmt.action!r}")
+        return defined | set(stmt.lhss)
+    raise IllFormed(f"unknown statement node {stmt!r}")
+
+
+def check_function(fn: ast.Function) -> None:
+    """Raise :class:`IllFormed` unless ``fn`` is definitely-assigned clean."""
+    defined = _stmt_defs(fn.body, set(fn.args))
+    for ret in fn.rets:
+        if ret not in defined:
+            raise IllFormed(
+                f"return variable {ret!r} of {fn.name!r} may be unset on "
+                "some path"
+            )
+
+
+def check_program(program: ast.Program) -> None:
+    for fn in program.functions:
+        check_function(fn)

@@ -1,0 +1,66 @@
+"""The relational-compilation engine (the paper's primary contribution).
+
+Relational compilation (§2) recasts a compiler as a database of
+correctness lemmas plus a proof-search driver: compiling ``s`` means
+proving ``exists t, t ~ s`` and reading the witness ``t`` out of the
+derivation.  This package provides the pieces Rupicola builds that idea
+from:
+
+- :mod:`repro.core.sepstate` -- the symbolic machine state the search
+  maintains (locals bindings, separation-logic heap clauses, facts);
+- :mod:`repro.core.goals` -- statement/expression compilation goals and
+  the stall-and-report errors (§3.1: "the default reaction to unexpected
+  input is to stop and ask for user guidance");
+- :mod:`repro.core.lemma` -- the compilation-lemma interface and ordered
+  hint databases (Coq's hint databases, §2.3);
+- :mod:`repro.core.solver` -- side-condition solvers (linear arithmetic
+  over bounds, structural length facts);
+- :mod:`repro.core.invariants` -- the predicate-inference heuristic for
+  conditionals and loops (§3.4.2);
+- :mod:`repro.core.certificate` -- derivation trees recording every lemma
+  application (our stand-in for Coq proof terms; checked by
+  :mod:`repro.validation`);
+- :mod:`repro.core.spec` -- function specifications (the ``fnspec`` ABI
+  of §3.2) and compiled-function bundles;
+- :mod:`repro.core.engine` -- the deterministic, non-backtracking proof
+  search driver (the ``compile.`` tactic).
+"""
+
+from repro.core.goals import (
+    CompilationStalled,
+    CompileError,
+    SideConditionFailed,
+)
+from repro.core.lemma import BindingLemma, ExprLemma, HintDb
+from repro.core.sepstate import (
+    Clause,
+    PointerBinding,
+    PtrSym,
+    ScalarBinding,
+    SymState,
+)
+from repro.core.certificate import Certificate, CertNode
+from repro.core.spec import ArgKind, ArgSpec, CompiledFunction, FnSpec, Model
+from repro.core.engine import Engine
+
+__all__ = [
+    "CompilationStalled",
+    "CompileError",
+    "SideConditionFailed",
+    "BindingLemma",
+    "ExprLemma",
+    "HintDb",
+    "Clause",
+    "PointerBinding",
+    "PtrSym",
+    "ScalarBinding",
+    "SymState",
+    "Certificate",
+    "CertNode",
+    "ArgKind",
+    "ArgSpec",
+    "CompiledFunction",
+    "FnSpec",
+    "Model",
+    "Engine",
+]

@@ -1,0 +1,93 @@
+"""Derivation certificates.
+
+In Coq, every Rupicola run produces a proof term certifying the derived
+Bedrock2 program against its functional model.  Without a proof kernel, we
+keep the *architecture*: the (untrusted) proof search records every lemma
+application into a :class:`Certificate`; a separate, much smaller checker
+(:mod:`repro.validation`) re-validates it.  This matches the paper's own
+observation (§5) that "it would not be unreasonable to classify Rupicola
+as a translation-validation system, since it uses unverified Ltac scripts
+to generate output programs along with 'witnesses' of correctness".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class SideCondition:
+    """A discharged obligation: what was proved, and by which solver."""
+
+    description: str
+    obligation_pretty: str
+    solver: str
+
+
+@dataclass
+class CertNode:
+    """One lemma application in the derivation tree."""
+
+    lemma: str
+    conclusion: str  # rendering of the goal this node solved
+    code: str  # rendering of the code fragment this node contributed
+    side_conditions: List[SideCondition] = field(default_factory=list)
+    children: List["CertNode"] = field(default_factory=list)
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+    def lemmas_used(self) -> List[str]:
+        names = [self.lemma]
+        for child in self.children:
+            names.extend(child.lemmas_used())
+        return names
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [f"{pad}[{self.lemma}] {self.conclusion}"]
+        for condition in self.side_conditions:
+            lines.append(
+                f"{pad}  |- {condition.description}: {condition.obligation_pretty}"
+                f"  (by {condition.solver})"
+            )
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass
+class Certificate:
+    """The complete derivation for one compiled function."""
+
+    function_name: str
+    root: CertNode
+    statements_compiled: int = 0
+
+    def size(self) -> int:
+        return self.root.size()
+
+    def lemmas_used(self) -> List[str]:
+        return self.root.lemmas_used()
+
+    def distinct_lemmas(self) -> List[str]:
+        seen: List[str] = []
+        for name in self.lemmas_used():
+            if name not in seen:
+                seen.append(name)
+        return seen
+
+    def side_condition_count(self) -> int:
+        def count(node: CertNode) -> int:
+            return len(node.side_conditions) + sum(count(c) for c in node.children)
+
+        return count(self.root)
+
+    def render(self) -> str:
+        return (
+            f"Derivation for {self.function_name!r} "
+            f"({self.size()} lemma applications, "
+            f"{self.side_condition_count()} side conditions):\n"
+            + self.root.render(1)
+        )

@@ -1,0 +1,509 @@
+"""The proof-search driver: deterministic, non-backtracking compilation.
+
+This is the Python counterpart of Rupicola's ``compile.`` tactic.  The
+engine walks the source program's ``let/n`` spine; for each binding it
+consults the *binding* hint database, commits to the first matching lemma
+(no backtracking, §3.1), and lets the lemma discharge its premises --
+recursive statement subgoals, expression subgoals (via the *expression*
+hint database), and logical side conditions (via the solver bank).  Every
+application is recorded in a certificate.
+
+A central device is :func:`resolve`: the symbolic state maps binder names
+to their functional values *as terms over the model's parameters*, and
+resolving a source term against the state rewrites binder references into
+those values.  This keeps every recorded value in "ghost" variables only,
+so that later syntactic matching (the essence of Rupicola's goal
+manipulation) works: after compiling a conditional, an array's symbolic
+content really is ``if t then ... else ...``, and the loop lemmas can
+search the state for a local holding ``of_nat (length s)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bedrock2 import ast
+from repro.core.certificate import Certificate, CertNode, SideCondition
+from repro.core.goals import (
+    BindingGoal,
+    CompilationStalled,
+    CompileError,
+    ExprGoal,
+    SideConditionFailed,
+)
+from repro.core.lemma import BindingLemma, ExprLemma, HintDb, WrapStmt
+from repro.core.sepstate import PointerBinding, ScalarBinding, SymState
+from repro.core.solver import SolverBank
+from repro.core.spec import ArgKind, CompiledFunction, FnSpec, Model, OutKind
+from repro.source import terms as t
+from repro.source.types import SourceType, TypeKind
+
+
+def resolve(state: SymState, term: t.Term, shadowed: frozenset = frozenset()) -> t.Term:
+    """Rewrite binder references into their symbolic (ghost-level) values."""
+    if isinstance(term, t.Var):
+        if term.name in shadowed:
+            return term
+        binding = state.binding(term.name)
+        if binding is None:
+            return term  # a ghost (model parameter or loop counter)
+        value = state.value_of(term.name)
+        if value is None:
+            raise CompileError(
+                f"variable {term.name!r} refers to an object whose memory "
+                "is no longer available (out-of-scope stack allocation?)"
+            )
+        return value
+    if isinstance(term, t.Let):
+        inner = shadowed | {term.name}
+        return t.Let(
+            term.name,
+            resolve(state, term.value, shadowed),
+            resolve(state, term.body, inner),
+        )
+    if isinstance(term, t.LetTuple):
+        inner = shadowed | set(term.names)
+        return t.LetTuple(
+            term.names,
+            resolve(state, term.value, shadowed),
+            resolve(state, term.body, inner),
+        )
+    if isinstance(term, t.MBind):
+        inner = shadowed | {term.name}
+        return t.MBind(
+            term.name,
+            resolve(state, term.ma, shadowed),
+            resolve(state, term.body, inner),
+        )
+    if isinstance(term, t.ArrayMap):
+        inner = shadowed | {term.elem_name}
+        return t.ArrayMap(
+            term.elem_name,
+            resolve(state, term.body, inner),
+            resolve(state, term.arr, shadowed),
+        )
+    if isinstance(term, t.ArrayFold):
+        inner = shadowed | {term.acc_name, term.elem_name}
+        return t.ArrayFold(
+            term.acc_name,
+            term.elem_name,
+            resolve(state, term.body, inner),
+            resolve(state, term.init, shadowed),
+            resolve(state, term.arr, shadowed),
+        )
+    if isinstance(term, t.ArrayFoldBreak):
+        inner = shadowed | {term.acc_name, term.elem_name}
+        pred_shadow = shadowed | {term.acc_name}
+        return t.ArrayFoldBreak(
+            term.acc_name,
+            term.elem_name,
+            resolve(state, term.body, inner),
+            resolve(state, term.init, shadowed),
+            resolve(state, term.arr, shadowed),
+            resolve(state, term.break_pred, pred_shadow),
+        )
+    if isinstance(term, t.RangedFor):
+        inner = shadowed | {term.idx_name, term.acc_name}
+        return t.RangedFor(
+            resolve(state, term.lo, shadowed),
+            resolve(state, term.hi, shadowed),
+            term.idx_name,
+            term.acc_name,
+            resolve(state, term.body, inner),
+            resolve(state, term.init, shadowed),
+        )
+    if isinstance(term, t.NatIter):
+        inner = shadowed | {term.acc_name}
+        return t.NatIter(
+            resolve(state, term.count, shadowed),
+            term.acc_name,
+            resolve(state, term.body, inner),
+            resolve(state, term.init, shadowed),
+        )
+    if isinstance(term, t.CellGet):
+        # A cell binder's functional value *is* its content (see FnSpec:
+        # cell clauses store content terms), so ``get c`` resolves to the
+        # clause value directly and the CellGet node disappears.
+        if (
+            isinstance(term.cell, t.Var)
+            and term.cell.name not in shadowed
+            and isinstance(state.binding(term.cell.name), PointerBinding)
+        ):
+            value = state.value_of(term.cell.name)
+            if value is None:
+                raise CompileError(
+                    f"cell {term.cell.name!r} has no owned memory clause"
+                )
+            return value
+        return t.CellGet(resolve(state, term.cell, shadowed))
+    # Congruence over nodes without binders, via subst-free reconstruction.
+    rebuilt = _rebuild(term, [resolve(state, c, shadowed) for c in term.children()])
+    return rebuilt
+
+
+def _rebuild(term: t.Term, children: List[t.Term]) -> t.Term:
+    """Reconstruct a binder-free node with new children (same shapes)."""
+    if isinstance(term, t.Prim):
+        return t.Prim(term.op, tuple(children))
+    if isinstance(term, t.If):
+        return t.If(children[0], children[1], children[2])
+    if isinstance(term, t.TupleTerm):
+        return t.TupleTerm(tuple(children))
+    if isinstance(term, t.ArrayLen):
+        return t.ArrayLen(children[0])
+    if isinstance(term, t.ArrayGet):
+        return t.ArrayGet(children[0], children[1])
+    if isinstance(term, t.ArrayPut):
+        return t.ArrayPut(children[0], children[1], children[2])
+    if isinstance(term, t.FirstN):
+        return t.FirstN(children[0], children[1])
+    if isinstance(term, t.SkipN):
+        return t.SkipN(children[0], children[1])
+    if isinstance(term, t.Append):
+        return t.Append(children[0], children[1])
+    if isinstance(term, t.TableGet):
+        return t.TableGet(term.data, term.elem_ty, children[0])
+    if isinstance(term, t.CellGet):
+        return t.CellGet(children[0])
+    if isinstance(term, t.CellPut):
+        return t.CellPut(children[0], children[1])
+    if isinstance(term, t.Stack):
+        return t.Stack(children[0])
+    if isinstance(term, t.Copy):
+        return t.Copy(children[0])
+    if isinstance(term, t.Call):
+        return t.Call(term.func, tuple(children))
+    if isinstance(term, t.MRet):
+        return t.MRet(children[0])
+    if isinstance(term, t.IOWrite):
+        return t.IOWrite(children[0])
+    if isinstance(term, t.WriterTell):
+        return t.WriterTell(children[0])
+    if isinstance(term, t.StPut):
+        return t.StPut(children[0])
+    if isinstance(term, t.ErrGuard):
+        return t.ErrGuard(children[0])
+    return term  # leaves: Lit, IORead, NdAny, NdAllocBytes, StGet
+
+
+class Engine:
+    """A relational compiler: hint databases + solvers + the driver."""
+
+    def __init__(
+        self,
+        binding_db: HintDb,
+        expr_db: HintDb,
+        solvers: Optional[SolverBank] = None,
+        width: int = 64,
+    ):
+        self.binding_db = binding_db
+        self.expr_db = expr_db
+        self.solvers = solvers or SolverBank()
+        self.width = width
+        self._condition_stack: List[List[SideCondition]] = []
+
+    # -- Side conditions -----------------------------------------------------------
+
+    def discharge(self, obligation: t.Term, state: SymState, description: str) -> None:
+        """Discharge a logical side condition or fail loudly (no backtracking)."""
+        for solver in self.solvers.solvers:
+            if solver(obligation, state):
+                if self._condition_stack:
+                    self._condition_stack[-1].append(
+                        SideCondition(
+                            description=description,
+                            obligation_pretty=t.pretty(obligation),
+                            solver=getattr(solver, "__name__", repr(solver)),
+                        )
+                    )
+                return
+        raise SideConditionFailed("<current>", obligation, state.describe())
+
+    # -- Expression compilation ------------------------------------------------------
+
+    def compile_expr_term(
+        self, state: SymState, term: t.Term, ty: Optional[SourceType] = None
+    ) -> Tuple[ast.Expr, CertNode]:
+        goal = ExprGoal(state=state, term=term, ty=ty)
+        for lemma in self.expr_db:
+            if lemma.matches(goal):
+                self._condition_stack.append([])
+                try:
+                    expr, children = lemma.apply(goal, self)
+                except SideConditionFailed as failure:
+                    failure.lemma = lemma.name
+                    raise
+                finally:
+                    conditions = self._condition_stack.pop()
+                node = CertNode(
+                    lemma=lemma.name,
+                    conclusion=f"EXPR |- {t.pretty(term)}",
+                    code=_render_expr(expr),
+                    side_conditions=conditions,
+                    children=children,
+                )
+                return expr, node
+        raise CompilationStalled(
+            goal.describe(),
+            advice=(
+                "no expression-compilation lemma matches this term; "
+                f"known lemmas: {', '.join(self.expr_db.lemma_names())}"
+            ),
+        )
+
+    # -- Binding compilation -----------------------------------------------------------
+
+    def compile_binding(
+        self,
+        state: SymState,
+        name: str,
+        value: t.Term,
+        spec: FnSpec,
+        monadic: bool = False,
+        names: Optional[Tuple[str, ...]] = None,
+    ) -> Tuple[ast.Stmt, SymState, CertNode]:
+        goal = BindingGoal(
+            state=state, name=name, value=value, spec=spec, monadic=monadic, names=names
+        )
+        for lemma in self.binding_db:
+            if lemma.matches(goal):
+                self._condition_stack.append([])
+                try:
+                    stmt, new_state, children = lemma.apply(goal, self)
+                except SideConditionFailed as failure:
+                    failure.lemma = lemma.name
+                    raise
+                finally:
+                    conditions = self._condition_stack.pop()
+                node = CertNode(
+                    lemma=lemma.name,
+                    conclusion=f"let/n {name} := {t.pretty(value)}",
+                    code=_render_stmt_head(stmt),
+                    side_conditions=conditions,
+                    children=children,
+                )
+                return stmt, new_state, node
+        raise CompilationStalled(
+            goal.describe(),
+            advice=(
+                "no binding-compilation lemma matches this value shape; "
+                f"known lemmas: {', '.join(self.binding_db.lemma_names())}"
+            ),
+        )
+
+    def compile_value_into(
+        self, state: SymState, target: str, term: t.Term, spec: FnSpec
+    ) -> Tuple[ast.Stmt, SymState, List[CertNode]]:
+        """Compile an arbitrary value-producing term into the local ``target``.
+
+        Handles nested let-chains (flattening them into sequenced
+        bindings), then dispatches the final value through the binding
+        database.  This is the engine primitive loop/conditional lemmas
+        use for their bodies and branches.
+        """
+        if isinstance(term, t.Let):
+            first, mid_state, node = self.compile_binding(state, term.name, term.value, spec)
+            rest, final_state, nodes = self.compile_value_into(
+                mid_state, target, term.body, spec
+            )
+            if isinstance(first, WrapStmt):
+                return first.wrap(rest), final_state, [node] + nodes
+            return ast.seq_of(first, rest), final_state, [node] + nodes
+        stmt, final_state, node = self.compile_binding(state, target, term, spec)
+        if isinstance(stmt, WrapStmt):
+            stmt = stmt.wrap(ast.SSkip())
+        return stmt, final_state, [node]
+
+    # -- Chains and whole functions -----------------------------------------------------
+
+    def compile_chain(
+        self, state: SymState, term: t.Term, spec: FnSpec
+    ) -> Tuple[ast.Stmt, SymState, List[CertNode], Tuple[str, ...]]:
+        """Compile a (possibly monadic) let-chain down to its terminal."""
+        if isinstance(term, (t.Let, t.MBind)):
+            monadic = isinstance(term, t.MBind)
+            value = term.ma if monadic else term.value
+            stmt, mid_state, node = self.compile_binding(
+                state, term.name, value, spec, monadic=monadic
+            )
+            rest, final_state, nodes, rets = self.compile_chain(mid_state, term.body, spec)
+            if isinstance(stmt, WrapStmt):
+                return stmt.wrap(rest), final_state, [node] + nodes, rets
+            return ast.seq_of(stmt, rest), final_state, [node] + nodes, rets
+        if isinstance(term, t.LetTuple):
+            stmt, mid_state, node = self.compile_binding(
+                state, term.names[0], term.value, spec, names=term.names
+            )
+            rest, final_state, nodes, rets = self.compile_chain(mid_state, term.body, spec)
+            if isinstance(stmt, WrapStmt):
+                return stmt.wrap(rest), final_state, [node] + nodes, rets
+            return ast.seq_of(stmt, rest), final_state, [node] + nodes, rets
+        return self._compile_terminal(state, term, spec)
+
+    def _compile_terminal(
+        self, state: SymState, term: t.Term, spec: FnSpec
+    ) -> Tuple[ast.Stmt, SymState, List[CertNode], Tuple[str, ...]]:
+        """Check the postcondition: results are delivered per the spec."""
+        inner = term.value if isinstance(term, t.MRet) else term
+        components = list(inner.items) if isinstance(inner, t.TupleTerm) else [inner]
+        value_outputs = [o for o in spec.outputs if o.kind is not OutKind.ERROR_FLAG]
+        if len(components) != len(value_outputs):
+            raise CompilationStalled(
+                f"terminal {t.pretty(term)} has {len(components)} component(s) "
+                f"but the spec declares {len(value_outputs)} value output(s)",
+            )
+        if spec.has_error_flag:
+            if any(o.kind is OutKind.ARRAY for o in spec.outputs):
+                raise CompilationStalled(
+                    "error-monad functions deliver results through return "
+                    "values only (a failed guard leaves memory partially "
+                    "updated, so an array postcondition cannot hold on the "
+                    "failure path)"
+                )
+            if sum(1 for o in spec.outputs if o.kind is OutKind.SCALAR) > 1:
+                raise CompilationStalled(
+                    "error-monad functions support one value output "
+                    "alongside the error flag"
+                )
+        rets: List[str] = []
+        descriptions: List[str] = []
+        epilogue: List[ast.Stmt] = []
+        children: List[CertNode] = []
+        component_iter = iter(components)
+        for output in spec.outputs:
+            if output.kind is OutKind.ERROR_FLAG:
+                if state.binding(self.ERROR_FLAG_LOCAL) is None:
+                    raise CompilationStalled(
+                        "spec declares an error flag but no guard prologue "
+                        "was emitted (is the spec's outputs list right?)"
+                    )
+                rets.append(self.ERROR_FLAG_LOCAL)
+                descriptions.append("ret _ok = no guard failed")
+                continue
+            component = next(component_iter)
+            resolved = resolve(state, component)
+            if output.kind is OutKind.SCALAR:
+                local = state.find_local_by_value(resolved)
+                if local is None:
+                    # The result is a computed value: emit one final
+                    # assignment into a fresh return variable.
+                    from repro.core.typecheck import TypeInferenceError, infer_type
+
+                    try:
+                        ty = infer_type(state, resolved)
+                    except TypeInferenceError as error:
+                        raise CompilationStalled(
+                            "cannot compile the function's result\n"
+                            f"  result: {t.pretty(resolved)} ({error})\n"
+                            + state.describe(),
+                            advice="bind the result with let/n before returning it",
+                        ) from None
+                    expr_term = resolved
+                    if ty.kind.value == "nat":
+                        expr_term = t.Prim("cast.of_nat", (resolved,))
+                    expr, node = self.compile_expr_term(state, expr_term, ty)
+                    children.append(node)
+                    local = state.fresh_local("_ret")
+                    state = state.copy()
+                    state.bind_scalar(local, resolved, ty)
+                    epilogue.append(ast.SSet(local, expr))
+                if spec.has_error_flag:
+                    # Route the value through the pre-initialized forward
+                    # local so the failure path also defines the return
+                    # variable (the guard prologue set it to zero).
+                    epilogue.append(ast.SSet(self.ERROR_VALUE_LOCAL, ast.EVar(local)))
+                    local = self.ERROR_VALUE_LOCAL
+                rets.append(local)
+                descriptions.append(f"ret {local} = {t.pretty(resolved)}")
+            else:
+                assert output.param is not None
+                arg = spec.arg_for_param(output.param, ArgKind.POINTER)
+                if arg is None:
+                    raise CompilationStalled(
+                        f"spec output references pointer param {output.param!r} "
+                        "but no pointer argument carries it"
+                    )
+                clause = state.clause_of_local(arg.name)
+                if clause is None:
+                    raise CompilationStalled(
+                        f"no memory clause for output argument {arg.name!r}\n"
+                        + state.describe()
+                    )
+                if clause.value != resolved:
+                    raise CompilationStalled(
+                        "final memory does not match the declared output:\n"
+                        f"  memory holds: {t.pretty(clause.value)}\n"
+                        f"  spec expects: {t.pretty(resolved)}",
+                        advice=(
+                            "the model's result must be exactly the final "
+                            "mutated value of the output array"
+                        ),
+                    )
+                descriptions.append(f"memory({arg.name}) = {t.pretty(resolved)}")
+        node = CertNode(
+            lemma="compile_done",
+            conclusion="; ".join(descriptions) or "no outputs",
+            code="/* postcondition check */",
+            children=children,
+        )
+        return ast.seq_of(*epilogue), state, [node], tuple(rets)
+
+    ERROR_FLAG_LOCAL = "_ok"
+    ERROR_VALUE_LOCAL = "_errv"
+
+    def compile_function(self, model: Model, spec: FnSpec) -> CompiledFunction:
+        """The ``Derive ... SuchThat ... As`` entry point (§3.2)."""
+        state = spec.initial_state(model, self.width)
+        prologue: List[ast.Stmt] = []
+        if spec.has_error_flag:
+            # Error-monad functions: the success flag starts true and the
+            # forwarded result starts zero, so both return variables are
+            # defined on every path (a failed guard only clears the flag).
+            from repro.source.types import BOOL as _BOOL, WORD as _WORD
+
+            prologue.append(ast.SSet(self.ERROR_FLAG_LOCAL, ast.ELit(1)))
+            prologue.append(ast.SSet(self.ERROR_VALUE_LOCAL, ast.ELit(0)))
+            state.bind_scalar(self.ERROR_FLAG_LOCAL, t.Lit(True, _BOOL), _BOOL)
+            state.bind_scalar(self.ERROR_VALUE_LOCAL, t.Lit(0, _WORD), _WORD)
+        body, final_state, nodes, rets = self.compile_chain(state, model.term, spec)
+        if prologue:
+            body = ast.seq_of(*prologue, body)
+        root = CertNode(
+            lemma="derive",
+            conclusion=(
+                f'defn! "{spec.fname}" ({", ".join(spec.arg_names())}) '
+                f"implements {model.name}"
+            ),
+            code="<function body>",
+            children=nodes,
+        )
+        fn = ast.Function(spec.fname, spec.arg_names(), tuple(rets), body)
+        certificate = Certificate(
+            function_name=spec.fname,
+            root=root,
+            statements_compiled=ast.statement_count(body),
+        )
+        return CompiledFunction(
+            bedrock_fn=fn, certificate=certificate, spec=spec, model=model
+        )
+
+    # -- Representation helpers used by lemmas --------------------------------------------
+
+    def elem_byte_size(self, composite: SourceType) -> int:
+        return composite.elem_size(self.width // 8)
+
+    def scalar_byte_size(self, scalar: SourceType) -> int:
+        return scalar.scalar_size(self.width // 8)
+
+
+def _render_expr(expr: ast.Expr) -> str:
+    return repr(expr)
+
+
+def _render_stmt_head(stmt) -> str:
+    if isinstance(stmt, WrapStmt):
+        return "SStackalloc(..., <continuation>)"
+    name = type(stmt).__name__
+    if isinstance(stmt, ast.SSeq):
+        return f"SSeq({_render_stmt_head(stmt.first)}, ...)"
+    return name

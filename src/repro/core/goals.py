@@ -1,0 +1,104 @@
+"""Compilation goals and stall-and-report errors.
+
+Rupicola "makes as much progress as possible and then presents unsolved
+compilation subgoals to the user, who may then plug in new lemmas ...
+users never have to guess at what is happening: they can learn the shape
+of missing lemmas from the goals printed by Rupicola" (§3.1).  The errors
+below carry that same information: the goal being attempted (rendered in
+the judgment syntax of §3.3), the databases consulted, and -- for side
+conditions -- the exact obligation no solver could discharge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.source import terms as t
+from repro.source.types import SourceType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.sepstate import SymState
+    from repro.core.spec import FnSpec
+
+
+@dataclass
+class BindingGoal:
+    """Compile ``let/n name := value in ...`` -- one target assignment.
+
+    ``monadic`` distinguishes ``let/n!`` (monadic bind) from plain lets;
+    most lemmas do not care, which is how "a single lemma for compiling
+    (pure) addition [applies] to all monadic programs" (§3.4.1).
+    """
+
+    state: "SymState"
+    name: str
+    value: t.Term
+    spec: "FnSpec"
+    monadic: bool = False
+    # Multi-target bindings (let/n (r, c) := ... -- the CAS of §3.4.2):
+    # when set, `name` is names[0] and lemmas supporting tuple targets
+    # consult the full list.
+    names: Optional[tuple] = None
+
+    def describe(self) -> str:
+        binder = ", ".join(self.names) if self.names else self.name
+        header = "{ t; m; l; sigma } ?c { pred (let/n%s %s := %s in ...) }" % (
+            "!" if self.monadic else "",
+            binder,
+            t.pretty(self.value),
+        )
+        return header + "\n" + self.state.describe()
+
+
+@dataclass
+class ExprGoal:
+    """Compile a scalar source term into a Bedrock2 expression.
+
+    The judgment is the paper's ``EXPR m l E (value)``: find ``E`` such
+    that evaluating it under the symbolic locals/memory yields the word
+    encoding of ``term``.
+    """
+
+    state: "SymState"
+    term: t.Term
+    ty: Optional[SourceType] = None
+
+    def describe(self) -> str:
+        return f"EXPR m l ?e ({t.pretty(self.term)})\n" + self.state.describe()
+
+
+class CompileError(Exception):
+    """Base class of compilation failures."""
+
+
+class CompilationStalled(CompileError):
+    """No lemma in the hint database applies to the goal.
+
+    This is Rupicola's designed behaviour for unexpected input: stop and
+    show the unsolved subgoal so the user can plug in a new lemma.
+    """
+
+    def __init__(self, goal_description: str, advice: str = ""):
+        self.goal_description = goal_description
+        self.advice = advice
+        message = "compilation stalled on unsolved subgoal:\n" + goal_description
+        if advice:
+            message += "\n\nhint: " + advice
+        super().__init__(message)
+
+
+class SideConditionFailed(CompileError):
+    """A lemma matched but one of its side conditions could not be solved."""
+
+    def __init__(self, lemma: str, obligation: t.Term, state_description: str):
+        self.lemma = lemma
+        self.obligation = obligation
+        super().__init__(
+            f"lemma {lemma!r} applies, but its side condition could not be "
+            f"discharged:\n  {t.pretty(obligation)}\n"
+            f"in context:\n{state_description}\n\n"
+            "hint: prove this property at the source level and register it "
+            "as a fact, or plug in a solver that recognizes it (§3.4.2, "
+            "'incidental' properties)."
+        )

@@ -1,0 +1,135 @@
+"""Compilation lemmas and hint databases.
+
+"A relational compiler is just a collection of facts connecting target
+programs to source programs" (§2.3).  Here each fact is a
+:class:`BindingLemma` (relating one source binding shape to a Bedrock2
+statement template) or an :class:`ExprLemma` (relating a scalar term shape
+to a Bedrock2 expression), and a compiler is an ordered
+:class:`HintDb` of them.  Extending a compiler = registering a lemma;
+overriding a default = registering at higher priority, exactly the
+workflow the paper's Table 1 measures.
+
+Lemmas are *committed* on first match: per §3.1, compilers built with
+Rupicola "(almost) never backtrack", so a lemma whose side conditions fail
+reports an error rather than silently trying the next lemma.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Tuple
+
+from repro.core.goals import BindingGoal, ExprGoal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bedrock2 import ast
+    from repro.core.certificate import CertNode
+    from repro.core.engine import Engine
+    from repro.core.sepstate import SymState
+
+
+class WrapStmt:
+    """A binding whose statement *wraps* the continuation.
+
+    ``SStackalloc`` is lexically scoped: the allocated block is only live
+    inside the statement's body, so the stack-allocation lemmas cannot
+    return a standalone statement -- they return a ``WrapStmt`` whose
+    ``wrap`` receives the compiled continuation and nests it inside the
+    allocation.  This mirrors how the paper's lemmas carry continuation
+    premises (§3.3).
+    """
+
+    def __init__(self, wrap):
+        self.wrap = wrap
+
+
+class BindingLemma:
+    """Relates one ``let/n name := <value shape>`` to a statement template.
+
+    Subclasses implement:
+
+    - ``matches(goal)``: cheap syntactic test on the goal's value term
+      (the analogue of Coq unifying the lemma's conclusion with the goal);
+    - ``apply(goal, engine)``: discharge premises (recursive compilation
+      subgoals, side conditions) and return ``(stmt, state, children)``
+      where ``stmt`` is the derived Bedrock2 code for the binding,
+      ``state`` the updated symbolic state, and ``children`` the
+      certificate nodes of the premises.
+
+    ``apply`` must not be called unless ``matches`` returned True.
+    """
+
+    name: str = "<unnamed>"
+
+    def matches(self, goal: BindingGoal) -> bool:
+        raise NotImplementedError
+
+    def apply(
+        self, goal: BindingGoal, engine: "Engine"
+    ) -> Tuple["ast.Stmt", "SymState", List["CertNode"]]:
+        raise NotImplementedError
+
+
+class ExprLemma:
+    """Relates a scalar term shape to a Bedrock2 expression template."""
+
+    name: str = "<unnamed>"
+
+    def matches(self, goal: ExprGoal) -> bool:
+        raise NotImplementedError
+
+    def apply(
+        self, goal: ExprGoal, engine: "Engine"
+    ) -> Tuple["ast.Expr", List["CertNode"]]:
+        raise NotImplementedError
+
+
+class HintDb:
+    """An ordered, named collection of lemmas (Coq's hint database).
+
+    Priorities order lookup: *lower* numbers are tried first, and within a
+    priority later registrations win, so user extensions (registered after
+    the standard library, often at priority 0) can override defaults --
+    "complete control over the compiler's output".
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._entries: List[Tuple[int, int, object]] = []
+        self._counter = 0
+
+    def register(self, lemma: object, priority: int = 10) -> object:
+        """Add a lemma; returns it so this can be used as a decorator helper."""
+        self._counter += 1
+        self._entries.append((priority, -self._counter, lemma))
+        self._entries.sort(key=lambda e: (e[0], e[1]))
+        return lemma
+
+    def remove(self, lemma_name: str) -> bool:
+        """Remove a lemma by name; returns whether something was removed."""
+        before = len(self._entries)
+        self._entries = [
+            entry for entry in self._entries if getattr(entry[2], "name", None) != lemma_name
+        ]
+        return len(self._entries) != before
+
+    def __iter__(self) -> Iterator[object]:
+        return (entry[2] for entry in self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lemma_names(self) -> List[str]:
+        return [getattr(lemma, "name", "<unnamed>") for lemma in self]
+
+    def copy(self, name: Optional[str] = None) -> "HintDb":
+        clone = HintDb(name or self.name)
+        clone._entries = list(self._entries)
+        clone._counter = self._counter
+        return clone
+
+    def extended(self, *lemmas: object, priority: int = 0, name: Optional[str] = None) -> "HintDb":
+        """A copy of this database with extra (high-priority) lemmas."""
+        clone = self.copy(name)
+        for lemma in lemmas:
+            clone.register(lemma, priority=priority)
+        return clone

@@ -1,0 +1,91 @@
+"""Type inference over (resolved) source terms.
+
+Lemmas need to know source types to pick representations: byte arrays use
+1-byte loads, word arrays use word-size loads, bools are 0/1 words, nats
+carry no-overflow obligations.  Since the source subset is simply typed
+and first order, types are inferable from the term plus the symbolic
+state's knowledge of ghost variables.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.sepstate import PointerBinding, ScalarBinding, SymState
+from repro.source import terms as t
+from repro.source.ops import get_op
+from repro.source.types import (
+    BOOL,
+    BYTE,
+    NAT,
+    WORD,
+    SourceType,
+    TypeKind,
+    array_of,
+)
+
+
+class TypeInferenceError(Exception):
+    """The term's type cannot be determined from the context."""
+
+
+def infer_type(state: SymState, term: t.Term) -> SourceType:
+    """Infer the source type of a term against the symbolic state."""
+    if isinstance(term, t.Lit):
+        return term.ty
+    if isinstance(term, t.Var):
+        if term.name in state.ghost_types:
+            return state.ghost_types[term.name]
+        binding = state.binding(term.name)
+        if isinstance(binding, ScalarBinding):
+            return binding.ty
+        if isinstance(binding, PointerBinding):
+            return binding.ty
+        raise TypeInferenceError(f"unknown variable {term.name!r}")
+    if isinstance(term, t.Prim):
+        return get_op(term.op).result_type
+    if isinstance(term, t.If):
+        return infer_type(state, term.then_)
+    if isinstance(term, t.ArrayLen):
+        return NAT
+    if isinstance(term, (t.ArrayGet,)):
+        arr_ty = infer_type(state, term.arr)
+        if arr_ty.kind is not TypeKind.ARRAY or arr_ty.elem is None:
+            raise TypeInferenceError(f"get from non-array {t.pretty(term.arr)}")
+        return arr_ty.elem
+    if isinstance(term, (t.ArrayPut, t.ArrayMap)):
+        return infer_type(state, term.arr)
+    if isinstance(term, (t.ArrayFold, t.ArrayFoldBreak)):
+        return infer_type(state, term.init)
+    if isinstance(term, (t.RangedFor, t.NatIter)):
+        return infer_type(state, term.init)
+    if isinstance(term, (t.FirstN, t.SkipN)):
+        return infer_type(state, term.arr)
+    if isinstance(term, t.Append):
+        return infer_type(state, term.first)
+    if isinstance(term, t.TableGet):
+        return term.elem_ty
+    if isinstance(term, t.CellGet):
+        cell_ty = infer_type(state, term.cell)
+        if cell_ty.kind is not TypeKind.CELL or cell_ty.elem is None:
+            raise TypeInferenceError("get from non-cell")
+        return cell_ty.elem
+    if isinstance(term, t.CellPut):
+        return infer_type(state, term.cell)
+    if isinstance(term, (t.Stack, t.Copy)):
+        return infer_type(state, term.value)
+    if isinstance(term, t.MRet):
+        return infer_type(state, term.value)
+    if isinstance(term, t.IORead):
+        return WORD
+    if isinstance(term, (t.IOWrite, t.WriterTell, t.StPut, t.StGet)):
+        return WORD
+    if isinstance(term, t.ErrGuard):
+        return WORD  # unit-like; the bind result is never used
+    if isinstance(term, t.NdAny):
+        return term.ty
+    if isinstance(term, t.NdAllocBytes):
+        return array_of(BYTE)
+    if isinstance(term, t.Call):
+        return WORD  # external calls return machine words
+    raise TypeInferenceError(f"cannot infer type of {term!r}")

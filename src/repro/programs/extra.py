@@ -1,0 +1,307 @@
+"""The auxiliary program suite.
+
+§4.2: "Not discussed in the following is an additional suite of dozens of
+programs testing features around arithmetic, monadic extensions, and
+stack allocation."  This module is that suite's counterpart: small
+programs, each exercising one feature combination, all derived and
+validated by ``tests/programs/test_extra_suite.py``.
+
+Each entry returns ``(model, spec, reference)`` where ``reference`` is a
+plain-Python oracle taking the model's parameters as keyword arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.core.spec import (
+    FnSpec,
+    Model,
+    array_out,
+    error_out,
+    len_arg,
+    ptr_arg,
+    scalar_arg,
+    scalar_out,
+)
+from repro.source import cells, listarray, monads
+from repro.source import terms as t
+from repro.source.annotations import copy, stack
+from repro.source.builder import (
+    SymValue,
+    ite,
+    let_n,
+    nat_iter,
+    ranged_for,
+    sym,
+    word_lit,
+)
+from repro.source.types import ARRAY_BYTE, ARRAY_WORD, NAT, WORD, array_of, BYTE, cell_of
+
+EXTRA: Dict[str, Callable[[], Tuple[Model, FnSpec, Callable]]] = {}
+
+
+def register(name: str):
+    def wrap(builder):
+        EXTRA[name] = builder
+        return builder
+
+    return wrap
+
+
+def byte_array_spec(fname, outputs, extra_args=(), facts=()):
+    return FnSpec(
+        fname,
+        [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s"), *extra_args],
+        outputs,
+        facts=list(facts),
+    )
+
+
+# -- Arithmetic ---------------------------------------------------------------------
+
+
+@register("abs_diff")
+def _abs_diff():
+    x, y = sym("x", WORD), sym("y", WORD)
+    body = let_n("r", ite(x.ltu(y), y - x, x - y), sym("r", WORD))
+    model = Model("abs_diff", [("x", WORD), ("y", WORD)], body.term, WORD)
+    spec = FnSpec("abs_diff", [scalar_arg("x"), scalar_arg("y")], [scalar_out()])
+    return model, spec, lambda x, y: (y - x if x < y else x - y) % 2**64
+
+
+@register("parity")
+def _parity():
+    x = sym("x", WORD)
+    folded = nat_iter(6, lambda a: a ^ (a >> 1), x, name="a")
+    # popcount parity via xor-folding: p = x ^ x>>32 ^ ... & 1
+    step = let_n("p", x ^ (x >> 32), sym("p", WORD))
+    p = sym("p", WORD)
+    body = let_n(
+        "p",
+        x ^ (x >> 32),
+        let_n(
+            "p",
+            p ^ (p >> 16),
+            let_n(
+                "p",
+                p ^ (p >> 8),
+                let_n(
+                    "p",
+                    p ^ (p >> 4),
+                    let_n(
+                        "p",
+                        p ^ (p >> 2),
+                        let_n("p", p ^ (p >> 1), let_n("r", p & 1, sym("r", WORD))),
+                    ),
+                ),
+            ),
+        ),
+    )
+    model = Model("parity", [("x", WORD)], body.term, WORD)
+    spec = FnSpec("parity", [scalar_arg("x")], [scalar_out()])
+    return model, spec, lambda x: bin(x).count("1") & 1
+
+
+@register("clamp255")
+def _clamp255():
+    x = sym("x", WORD)
+    body = let_n("r", ite(x.ltu(255), x, word_lit(255)), sym("r", WORD))
+    model = Model("clamp255", [("x", WORD)], body.term, WORD)
+    spec = FnSpec("clamp255", [scalar_arg("x")], [scalar_out()])
+    return model, spec, lambda x: min(x, 255)
+
+
+# -- Arrays and loops --------------------------------------------------------------------
+
+
+@register("memset42")
+def _memset42():
+    s = sym("s", ARRAY_BYTE)
+    body = let_n("s", listarray.map_(lambda b: SymValue(t.Lit(0x42, BYTE), BYTE), s), s)
+    model = Model("memset42", [("s", ARRAY_BYTE)], body.term, ARRAY_BYTE)
+    spec = byte_array_spec("memset42", [array_out("s")])
+    return model, spec, lambda s: [0x42] * len(s)
+
+
+@register("xor_cipher")
+def _xor_cipher():
+    s, key = sym("s", ARRAY_BYTE), sym("key", WORD)
+    body = let_n(
+        "s", listarray.map_(lambda b: b ^ key.to_byte(), s, elem_name="b"), s
+    )
+    model = Model("xor_cipher", [("s", ARRAY_BYTE), ("key", WORD)], body.term, ARRAY_BYTE)
+    spec = byte_array_spec(
+        "xor_cipher", [array_out("s")], extra_args=[scalar_arg("key")]
+    )
+    return model, spec, lambda s, key: [b ^ (key & 0xFF) for b in s]
+
+
+@register("djb2")
+def _djb2():
+    s = sym("s", ARRAY_BYTE)
+    fold = listarray.fold(
+        lambda h, b: h * 33 + b.to_word(), word_lit(5381), s, names=("h", "b")
+    )
+    body = let_n("h", fold, sym("h", WORD))
+    model = Model("djb2", [("s", ARRAY_BYTE)], body.term, WORD)
+    spec = byte_array_spec("djb2", [scalar_out()])
+
+    def reference(s):
+        h = 5381
+        for b in s:
+            h = (h * 33 + b) % 2**64
+        return h
+
+    return model, spec, reference
+
+
+@register("count_spaces")
+def _count_spaces():
+    s = sym("s", ARRAY_BYTE)
+    fold = listarray.fold(
+        lambda n, b: ite(b.eq(0x20), n + 1, n), word_lit(0), s, names=("n", "b")
+    )
+    body = let_n("n", fold, sym("n", WORD))
+    model = Model("count_spaces", [("s", ARRAY_BYTE)], body.term, WORD)
+    spec = byte_array_spec("count_spaces", [scalar_out()])
+    return model, spec, lambda s: sum(1 for b in s if b == 0x20)
+
+
+@register("sum_words")
+def _sum_words():
+    a = sym("a", ARRAY_WORD)
+    fold = listarray.fold(lambda acc, w: acc + w, word_lit(0), a, names=("acc", "w"))
+    body = let_n("acc", fold, sym("acc", WORD))
+    model = Model("sum_words", [("a", ARRAY_WORD)], body.term, WORD)
+    spec = FnSpec(
+        "sum_words", [ptr_arg("a", ARRAY_WORD), len_arg("len", "a")], [scalar_out()]
+    )
+    return model, spec, lambda a: sum(a) % 2**64
+
+
+@register("find42")
+def _find42():
+    s = sym("s", ARRAY_BYTE)
+    fold = listarray.fold_break(
+        lambda found, b: b.eq(0x2A).to_word(),
+        word_lit(0),
+        s,
+        until=lambda found: found.eq(1),
+        names=("found", "b"),
+    )
+    body = let_n("found", fold, sym("found", WORD))
+    model = Model("find42", [("s", ARRAY_BYTE)], body.term, WORD)
+    spec = byte_array_spec("find42", [scalar_out()])
+    return model, spec, lambda s: int(0x2A in s)
+
+
+@register("reverse_sum")
+def _reverse_sum():
+    """Strided indexed access: sum s[len-1-i] over i (exercises nat.sub
+    side conditions discharged from loop facts)."""
+    s = sym("s", ARRAY_BYTE)
+    length = listarray.length(s)
+    body = let_n(
+        "acc",
+        ranged_for(
+            0,
+            length,
+            lambda i, acc: acc + listarray.get(s, length - 1 - i).to_word(),
+            word_lit(0),
+            names=("i", "acc"),
+        ),
+        sym("acc", WORD),
+    )
+    model = Model("reverse_sum", [("s", ARRAY_BYTE)], body.term, WORD)
+    spec = byte_array_spec("reverse_sum", [scalar_out()])
+    return model, spec, lambda s: sum(s) % 2**64
+
+
+@register("memcpy")
+def _memcpy():
+    s, d = sym("s", ARRAY_BYTE), sym("d", ARRAY_BYTE)
+    body = let_n("d", copy(s), d)
+    model = Model("memcpy", [("s", ARRAY_BYTE), ("d", ARRAY_BYTE)], body.term, ARRAY_BYTE)
+    spec = FnSpec(
+        "memcpy",
+        [ptr_arg("s", ARRAY_BYTE), ptr_arg("d", ARRAY_BYTE), len_arg("len", "s")],
+        [array_out("d")],
+        facts=[t.Prim("nat.eqb", (t.ArrayLen(t.Var("d")), t.ArrayLen(t.Var("s"))))],
+    )
+    return model, spec, lambda s, d: list(s)
+
+
+# -- Stack allocation --------------------------------------------------------------------
+
+
+@register("stack_swap_table")
+def _stack_swap_table():
+    """A stack-allocated 2-entry lookup used to branchlessly swap 0/1."""
+    table = t.Lit((1, 0), array_of(BYTE))
+    x = sym("x", WORD)
+    body = let_n(
+        "tmp",
+        stack(SymValue(table, array_of(BYTE))),
+        let_n(
+            "r",
+            listarray.get(sym("tmp", array_of(BYTE)), (x & 1).to_nat()).to_word(),
+            sym("r", WORD),
+        ),
+    )
+    model = Model("stack_swap", [("x", WORD)], body.term, WORD)
+    spec = FnSpec("stack_swap", [scalar_arg("x")], [scalar_out()])
+    return model, spec, lambda x: 1 - (x & 1)
+
+
+# -- Monadic extensions ---------------------------------------------------------------------
+
+
+@register("echo_sum")
+def _echo_sum():
+    program = monads.bind(
+        "a",
+        monads.io_read(),
+        lambda a: monads.bind(
+            "b",
+            monads.io_read(),
+            lambda b: monads.bind("_", monads.io_write(a + b), monads.ret(a + b)),
+        ),
+    )
+    model = Model("echo_sum", [], program.term, WORD)
+    spec = FnSpec("echo_sum", [], [scalar_out()])
+    return model, spec, None  # validated via differential IO comparison
+
+
+@register("checked_index")
+def _checked_index():
+    s, j = sym("s", ARRAY_BYTE), sym("j", NAT)
+    program = monads.bind(
+        "_",
+        monads.err_guard(j.ltu(listarray.length(s))),
+        monads.ret(listarray.get(s, j).to_word()),
+    )
+    model = Model("checked_index", [("s", ARRAY_BYTE), ("j", NAT)], program.term, WORD)
+    spec = byte_array_spec(
+        "checked_index",
+        [error_out(), scalar_out()],
+        extra_args=[scalar_arg("j", ty=NAT)],
+    )
+
+    def reference(s, j):
+        return (1, s[j]) if j < len(s) else (0, 0)
+
+    return model, spec, reference
+
+
+@register("counter_bump")
+def _counter_bump():
+    c, x = cells.cell_var("c", WORD), sym("x", WORD)
+    body = let_n("c", cells.put(c, cells.get(c) + x), c)
+    model = Model("counter_bump", [("c", cell_of(WORD)), ("x", WORD)], body.term, cell_of(WORD))
+    spec = FnSpec(
+        "counter_bump",
+        [ptr_arg("c", cell_of(WORD)), scalar_arg("x")],
+        [array_out("c")],
+    )
+    return model, spec, lambda c, x: (c.value + x) % 2**64

@@ -1,0 +1,93 @@
+"""fasta: in-place DNA sequence complement.
+
+The complement map (A<->T, C<->G, case-insensitive, everything else --
+in particular N -- fixed) is a 256-entry translation table, realized as a
+Bedrock2 inline table inside an in-place ``ListArray.map`` loop.
+"""
+
+from __future__ import annotations
+
+from repro.bedrock2 import ast
+from repro.core.spec import FnSpec, Model, array_out, len_arg, ptr_arg
+from repro.programs.registry import BenchProgram, register_program
+from repro.source import listarray
+from repro.source.builder import let_n, sym
+from repro.source.inline_table import byte_table
+from repro.source.types import ARRAY_BYTE
+
+_PAIRS = {
+    "A": "T", "T": "A", "C": "G", "G": "C",
+    "a": "t", "t": "a", "c": "g", "g": "c",
+    "U": "A", "u": "a",
+    "R": "Y", "Y": "R", "r": "y", "y": "r",
+    "K": "M", "M": "K", "k": "m", "m": "k",
+}
+
+
+def _make_table():
+    table = list(range(256))
+    for key, value in _PAIRS.items():
+        table[ord(key)] = ord(value)
+    return table
+
+
+COMPLEMENT = _make_table()
+
+
+def build_model() -> Model:
+    table = byte_table(COMPLEMENT)
+    s = sym("s", ARRAY_BYTE)
+    program = let_n(
+        "s",
+        listarray.map_(lambda b: table.get(b.to_nat()), s, elem_name="b"),
+        s,
+    )
+    return Model("fasta", [("s", ARRAY_BYTE)], program.term, ARRAY_BYTE)
+
+
+def build_spec() -> FnSpec:
+    return FnSpec(
+        "fasta",
+        [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s")],
+        [array_out("s")],
+    )
+
+
+def reference(data: bytes) -> bytes:
+    return bytes(COMPLEMENT[b] for b in data)
+
+
+def build_handwritten() -> ast.Function:
+    """for (...) s[i] = comp[s[i]]; with comp a const table."""
+    from repro.bedrock2.ast import EInlineTable, ELit, EOp, SSet, SStore, SWhile, load1, seq_of, var
+
+    from repro.stdlib.inline_tables import pack_table
+
+    packed = pack_table(COMPLEMENT, 1)
+    i, s, ln = var("i"), var("s"), var("len")
+    body = seq_of(
+        SStore(1, EOp("add", s, i), EInlineTable(1, packed, load1(EOp("add", s, i)))),
+        SSet("i", EOp("add", i, ELit(1))),
+    )
+    code = seq_of(SSet("i", ELit(0)), SWhile(EOp("ltu", i, ln), body))
+    return ast.Function("fasta_hw", ("s", "len"), (), code)
+
+
+def gen_dna(rng, n: int) -> bytes:
+    return bytes(rng.choice(b"ACGTacgtN") for _ in range(n))
+
+
+register_program(
+    BenchProgram(
+        name="fasta",
+        description="In-place DNA sequence complement",
+        build_model=build_model,
+        build_spec=build_spec,
+        reference=reference,
+        build_handwritten=build_handwritten,
+        calling_style="inplace",
+        features=("Arithmetic", "Inline", "Arrays", "Loops", "Mutation"),
+        end_to_end=True,
+        gen_input=gen_dna,
+    )
+)

@@ -1,0 +1,80 @@
+"""fnv1a: the Fowler-Noll-Vo (noncryptographic) 64-bit hash.
+
+Model: a fold over the input bytes, ``h := (h ^ b) * prime`` starting
+from the offset basis.  Compiles to the canonical single-pass C loop.
+"""
+
+from __future__ import annotations
+
+from repro.bedrock2 import ast
+from repro.core.spec import FnSpec, Model, len_arg, ptr_arg, scalar_out
+from repro.programs.registry import BenchProgram, register_program
+from repro.source import listarray
+from repro.source.builder import let_n, sym, word_lit
+from repro.source.types import ARRAY_BYTE, WORD
+
+FNV_PRIME = 0x100000001B3
+FNV_OFFSET_BASIS = 0xCBF29CE484222325
+MASK64 = (1 << 64) - 1
+
+
+def build_model() -> Model:
+    s = sym("s", ARRAY_BYTE)
+    fold = listarray.fold(
+        lambda h, b: (h ^ b.to_word()) * FNV_PRIME,
+        word_lit(FNV_OFFSET_BASIS),
+        s,
+        names=("h", "b"),
+    )
+    program = let_n("h", fold, sym("h", WORD))
+    return Model("fnv1a", [("s", ARRAY_BYTE)], program.term, WORD)
+
+
+def build_spec() -> FnSpec:
+    return FnSpec(
+        "fnv1a",
+        [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s")],
+        [scalar_out()],
+    )
+
+
+def reference(data: bytes) -> int:
+    h = FNV_OFFSET_BASIS
+    for b in data:
+        h = ((h ^ b) * FNV_PRIME) & MASK64
+    return h
+
+
+def build_handwritten() -> ast.Function:
+    """uint64_t h = BASIS; for (...) h = (h ^ s[i]) * PRIME; return h;"""
+    from repro.bedrock2.ast import ELit, EOp, SSet, SWhile, load1, seq_of, var
+
+    i, s, ln, h = var("i"), var("s"), var("len"), var("h")
+    body = seq_of(
+        SSet(
+            "h",
+            EOp("mul", EOp("xor", h, load1(EOp("add", s, i))), ELit(FNV_PRIME)),
+        ),
+        SSet("i", EOp("add", i, ELit(1))),
+    )
+    code = seq_of(
+        SSet("h", ELit(FNV_OFFSET_BASIS)),
+        SSet("i", ELit(0)),
+        SWhile(EOp("ltu", i, ln), body),
+    )
+    return ast.Function("fnv1a_hw", ("s", "len"), ("h",), code)
+
+
+register_program(
+    BenchProgram(
+        name="fnv1a",
+        description="Fowler-Noll-Vo (noncryptographic) hash",
+        build_model=build_model,
+        build_spec=build_spec,
+        reference=reference,
+        build_handwritten=build_handwritten,
+        calling_style="hash",
+        features=("Arithmetic", "Loops"),
+        end_to_end=True,
+    )
+)

@@ -1,0 +1,150 @@
+"""ip: the IP one's-complement checksum (RFC 1071).
+
+Model: a ranged ``for`` over 16-bit pairs accumulating into a word, a
+guarded load for the trailing odd byte (the guard's path condition is
+exactly the bounds fact the array access needs), a fixed number of carry
+folds, and a final complement:
+
+    acc := for i in [0, (len+1)/2):
+             acc + (s[2i] | (if 2i+1 < len then s[2i+1] else 0) << 8)
+    acc := Nat.iter 4 (fun a => (a & 0xffff) + (a >> 16)) acc
+    chk := ~acc & 0xffff
+
+The fixed carry-fold count is the verified-implementation refinement of
+RFC 1071's ``while (sum >> 16)`` loop; four folds suffice for inputs up
+to 1 MiB, which the spec records as an *incidental* fact (§3.4.2) -- this
+is the paper's "Lemmas: 3" column for ip in Table 2.
+"""
+
+from __future__ import annotations
+
+from repro.bedrock2 import ast
+from repro.core.spec import FnSpec, Model, len_arg, ptr_arg, scalar_out
+from repro.programs.registry import BenchProgram, register_program
+from repro.source import listarray
+from repro.source import terms as t
+from repro.source.builder import ite, let_n, nat_iter, ranged_for, sym, word_lit
+from repro.source.types import ARRAY_BYTE, NAT, WORD
+
+MAX_LEN = 1 << 20  # carry folds are exact up to 1 MiB inputs
+
+
+def build_model() -> Model:
+    s = sym("s", ARRAY_BYTE)
+    length = listarray.length(s)
+    pairs = (length + 1).udiv(2)
+
+    def step(i, acc):
+        lo = listarray.get(s, i * 2).to_word()
+        hi_value = ite(
+            (i * 2 + 1).ltu(length),
+            listarray.get(s, i * 2 + 1).to_word(),
+            word_lit(0),
+        )
+        return let_n(
+            "lo",
+            lo,
+            let_n(
+                "hi",
+                hi_value,
+                acc + (sym("lo", WORD) | (sym("hi", WORD) << 8)),
+            ),
+        )
+
+    total = ranged_for(0, pairs, step, word_lit(0), names=("i", "acc"))
+    folded = nat_iter(
+        4,
+        lambda a: (a & 0xFFFF) + (a >> 16),
+        sym("acc", WORD),
+        name="a",
+    )
+    program = let_n(
+        "acc",
+        total,
+        let_n(
+            "acc",
+            folded,
+            let_n("chk", (~sym("acc", WORD)) & 0xFFFF, sym("chk", WORD)),
+        ),
+    )
+    return Model("ip_checksum", [("s", ARRAY_BYTE)], program.term, WORD)
+
+
+def build_spec() -> FnSpec:
+    # The incidental facts a user proves at the source level: the input is
+    # bounded (justifying both of_nat lowering of (len+1) and the fixed
+    # carry-fold count).
+    bounded = t.Prim(
+        "nat.ltb", (t.ArrayLen(t.Var("s")), t.Lit(MAX_LEN, NAT))
+    )
+    return FnSpec(
+        "ip_checksum",
+        [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s")],
+        [scalar_out()],
+        facts=[bounded],
+    )
+
+
+def reference(data: bytes) -> int:
+    """RFC 1071, the textbook way (while-loop carry folding)."""
+    total = 0
+    for offset in range(0, len(data) - 1, 2):
+        total += data[offset] | (data[offset + 1] << 8)
+    if len(data) % 2:
+        total += data[-1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def build_handwritten() -> ast.Function:
+    """The C implementation: pairwise sum with a guarded odd byte, then
+    two-and-more carry folds (unrolled to four, like the model)."""
+    from repro.bedrock2.ast import ELit, EOp, SCond, SSet, SWhile, load1, seq_of, var
+
+    i, s, ln, acc = var("i"), var("s"), var("len"), var("acc")
+    two_i = EOp("mul", ELit(2), i)
+    lo = load1(EOp("add", s, two_i))
+    hi_addr = EOp("add", s, EOp("add", two_i, ELit(1)))
+    body = seq_of(
+        SSet("lo", lo),
+        SCond(
+            EOp("ltu", EOp("add", two_i, ELit(1)), ln),
+            SSet("hi", load1(hi_addr)),
+            SSet("hi", ELit(0)),
+        ),
+        SSet("acc", EOp("add", acc, EOp("or", var("lo"), EOp("slu", var("hi"), ELit(8))))),
+        SSet("i", EOp("add", i, ELit(1))),
+    )
+    fold = SSet(
+        "acc",
+        EOp("add", EOp("and", acc, ELit(0xFFFF)), EOp("sru", acc, ELit(16))),
+    )
+    code = seq_of(
+        SSet("acc", ELit(0)),
+        SSet("pairs", EOp("divu", EOp("add", ln, ELit(1)), ELit(2))),
+        SSet("i", ELit(0)),
+        SWhile(EOp("ltu", i, var("pairs")), body),
+        fold,
+        fold,
+        fold,
+        fold,
+        SSet("chk", EOp("and", EOp("xor", acc, ELit((1 << 64) - 1)), ELit(0xFFFF))),
+    )
+    return ast.Function("ip_hw", ("s", "len"), ("chk",), code)
+
+
+register_program(
+    BenchProgram(
+        name="ip",
+        description="IP (one's-complement) checksum (RFC 1071)",
+        build_model=build_model,
+        build_spec=build_spec,
+        reference=reference,
+        build_handwritten=build_handwritten,
+        calling_style="hash",
+        features=("Arithmetic", "Arrays", "Loops"),
+        end_to_end=True,
+        max_len=MAX_LEN,
+    )
+)

@@ -1,0 +1,99 @@
+"""m3s: the scramble step of the Murmur3 hash.
+
+A straight-line, loop-free scalar computation (Table 2 marks it with the
+Arithmetic feature only):
+
+    k *= 0xcc9e2d51;
+    k = (k << 15) | (k >> 17);    // rotl32(k, 15)
+    k *= 0x1b873593;
+
+Murmur3 works on 32-bit lanes; on our 64-bit target each step masks back
+to 32 bits, exactly as portable C on a 64-bit machine would with
+``uint32_t`` semantics spelled out.
+"""
+
+from __future__ import annotations
+
+from repro.bedrock2 import ast
+from repro.core.spec import FnSpec, Model, scalar_arg, scalar_out
+from repro.programs.registry import BenchProgram, register_program
+from repro.source.builder import let_n, sym
+from repro.source.types import WORD
+
+C1 = 0xCC9E2D51
+C2 = 0x1B873593
+MASK32 = 0xFFFFFFFF
+
+
+def build_model() -> Model:
+    k = sym("k", WORD)
+    step1 = let_n("k", (k * C1) & MASK32, sym("k", WORD))
+    k1 = sym("k", WORD)
+    rot = ((k1 << 15) | (k1 >> 17)) & MASK32
+    step2 = let_n("k", rot, sym("k", WORD))
+    step3 = let_n("k", (sym("k", WORD) * C2) & MASK32, sym("k", WORD))
+    # Chain the steps: let k := ...*c1 in let k := rotl in let k := ...*c2 in k.
+    from repro.source import terms as t
+
+    program = t.Let(
+        "k",
+        step1.term.value,
+        t.Let("k", step2.term.value, t.Let("k", step3.term.value, t.Var("k"))),
+    )
+    return Model("m3s", [("k", WORD)], program, WORD)
+
+
+def build_spec() -> FnSpec:
+    return FnSpec("m3s", [scalar_arg("k")], [scalar_out()])
+
+
+def reference(k: int) -> int:
+    k = (k * C1) & MASK32
+    k = ((k << 15) | (k >> 17)) & MASK32
+    k = (k * C2) & MASK32
+    return k
+
+
+def reference_bytes(data: bytes) -> int:
+    """Byte-wise driver used by the benchmark harness: scramble a running
+    lane fed 4 bytes at a time (the shape of Murmur3's inner loop)."""
+    acc = 0
+    for offset in range(0, len(data) - 3, 4):
+        lane = int.from_bytes(data[offset : offset + 4], "little")
+        acc = (acc ^ reference(lane)) & MASK32
+    return acc
+
+
+def build_handwritten() -> ast.Function:
+    from repro.bedrock2.ast import ELit, EOp, SSet, seq_of, var
+
+    k = var("k")
+    code = seq_of(
+        SSet("k", EOp("and", EOp("mul", k, ELit(C1)), ELit(MASK32))),
+        SSet(
+            "k",
+            EOp(
+                "and",
+                EOp("or", EOp("slu", k, ELit(15)), EOp("sru", k, ELit(17))),
+                ELit(MASK32),
+            ),
+        ),
+        SSet("k", EOp("and", EOp("mul", k, ELit(C2)), ELit(MASK32))),
+    )
+    return ast.Function("m3s_hw", ("k",), ("k",), code)
+
+
+register_program(
+    BenchProgram(
+        name="m3s",
+        description="Scramble part of the Murmur3 algorithm",
+        build_model=build_model,
+        build_spec=build_spec,
+        reference=reference,
+        build_handwritten=build_handwritten,
+        calling_style="scalar",
+        features=("Arithmetic",),
+        end_to_end=False,
+        scalar_args=("k",),
+    )
+)

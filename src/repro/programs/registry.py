@@ -1,0 +1,90 @@
+"""The program registry shared by tests, validation, and benchmarks.
+
+A :class:`BenchProgram` bundles everything the harnesses need about one
+suite entry: how to build its model and spec, how to generate inputs, how
+to call the compiled/handwritten Bedrock2 functions, and which compiler
+features it exercises (the checkmark columns of Table 2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bedrock2 import ast
+from repro.core.spec import CompiledFunction, FnSpec, Model
+
+
+@dataclass
+class BenchProgram:
+    """One row of Table 2."""
+
+    name: str
+    description: str
+    build_model: Callable[[], Model]
+    build_spec: Callable[[], FnSpec]
+    reference: Callable  # plain-Python spec-level implementation
+    build_handwritten: Callable[[], ast.Function]  # the "handwritten C" baseline
+    # How the function consumes/produces data, for the runner harnesses:
+    #   "inplace"  -- (ptr, len) in, transformed buffer out
+    #   "hash"     -- (ptr, len) in, scalar out
+    #   "scalar"   -- scalar args in, scalar out
+    calling_style: str = "hash"
+    # Table 2 feature checkmarks.
+    features: Tuple[str, ...] = ()
+    end_to_end: bool = False
+    # Input generator for differential testing / benchmarking.
+    gen_input: Callable[[random.Random, int], bytes] = lambda rng, n: bytes(
+        rng.randrange(256) for _ in range(n)
+    )
+    # Extra scalar arguments (for "scalar" style programs).
+    scalar_args: Tuple[str, ...] = ()
+    # Maximum input length the model's side conditions assume (documented
+    # incidental facts, e.g. ip's carry-fold bound).
+    max_len: Optional[int] = None
+
+    _compiled: Optional[CompiledFunction] = field(default=None, repr=False)
+
+    def compile(self, fresh: bool = False) -> CompiledFunction:
+        """Derive the Bedrock2 implementation (cached)."""
+        if self._compiled is None or fresh:
+            from repro.stdlib import default_engine
+
+            engine = default_engine()
+            self._compiled = engine.compile_function(
+                self.build_model(), self.build_spec()
+            )
+        return self._compiled
+
+
+PROGRAMS: Dict[str, BenchProgram] = {}
+
+
+def register_program(program: BenchProgram) -> BenchProgram:
+    if program.name in PROGRAMS:
+        raise ValueError(f"duplicate program {program.name!r}")
+    PROGRAMS[program.name] = program
+    return program
+
+
+def get_program(name: str) -> BenchProgram:
+    _load_all()
+    return PROGRAMS[name]
+
+
+_LOADED = False
+
+
+def _load_all() -> None:
+    global _LOADED
+    if _LOADED:
+        return
+    from repro.programs import crc32, fasta, fnv1a, ip, m3s, upstr, utf8  # noqa: F401
+
+    _LOADED = True
+
+
+def all_programs() -> List[BenchProgram]:
+    _load_all()
+    return [PROGRAMS[name] for name in sorted(PROGRAMS)]

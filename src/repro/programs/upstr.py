@@ -1,0 +1,101 @@
+"""upstr: in-place string uppercase (the paper's Box 1 / §3.2 example).
+
+High-level spec: ``String.map Char.toupper``.  The lowered model works on
+``list byte`` with ``ListArray.map`` and the efficient byte computation
+``toupper'`` of §3.2:
+
+    Definition toupper' (b: byte) : byte :=
+      if wrap (b - "a") <? 26 then b & x5f else b.
+
+The four transformations of the walkthrough happen exactly as in the
+paper: strings-as-arrays comes from the ABI (pointer + length), map
+becomes a for loop, the rebinding of ``s`` licenses in-place mutation,
+and the bit trick is the model's body (plugged in as a program
+equivalence at the source level -- see ``tests/programs`` for the
+model-vs-reference proof surrogate).
+"""
+
+from __future__ import annotations
+
+from repro.bedrock2 import ast
+from repro.core.spec import FnSpec, Model, array_out, len_arg, ptr_arg
+from repro.programs.registry import BenchProgram, register_program
+from repro.source import listarray
+from repro.source.builder import ite, let_n, sym
+from repro.source.types import ARRAY_BYTE
+
+
+def toupper_prime(b):
+    """The efficient byte-level uppercase: branch on ``wrap (b - 'a') < 26``."""
+    return ite((b - ord("a")).ltu(26), b & 0x5F, b)
+
+
+def build_model() -> Model:
+    s = sym("s", ARRAY_BYTE)
+    program = let_n("s", listarray.map_(toupper_prime, s, elem_name="b"), s)
+    return Model("upstr'", [("s", ARRAY_BYTE)], program.term, ARRAY_BYTE)
+
+
+def build_spec() -> FnSpec:
+    """The fnspec of §3.2: requires ``wlen = of_nat (length s)`` and
+    ``(array p s * r) m``; ensures the same memory holds ``upstr' s``."""
+    return FnSpec(
+        "upstr",
+        [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s")],
+        [array_out("s")],
+    )
+
+
+def reference(data: bytes) -> bytes:
+    """The high-level specification: ASCII uppercase."""
+    return bytes(b - 32 if ord("a") <= b <= ord("z") else b for b in data)
+
+
+def build_handwritten() -> ast.Function:
+    """The handwritten C of Box 1, transcribed to Bedrock2:
+
+        for (int i = 0; i < len; i++) str[i] = toupper(str[i]);
+
+    with toupper open-coded as the comparison + bitmask.
+    """
+    from repro.bedrock2.ast import (
+        EOp,
+        EVar,
+        ELit,
+        SCond,
+        SSet,
+        SStore,
+        SWhile,
+        load1,
+        seq_of,
+        var,
+    )
+
+    i, s, ln = var("i"), var("s"), var("len")
+    elem = load1(EOp("add", s, i))
+    body = seq_of(
+        SCond(
+            EOp("ltu", EOp("and", EOp("sub", elem, ELit(97)), ELit(0xFF)), ELit(26)),
+            SStore(1, EOp("add", s, i), EOp("and", elem, ELit(0x5F))),
+            ast.SSkip(),
+        ),
+        SSet("i", EOp("add", i, ELit(1))),
+    )
+    loop = seq_of(SSet("i", ELit(0)), SWhile(EOp("ltu", i, ln), body))
+    return ast.Function("upstr_hw", ("s", "len"), (), loop)
+
+
+register_program(
+    BenchProgram(
+        name="upstr",
+        description="In-place string uppercase (Box 1)",
+        build_model=build_model,
+        build_spec=build_spec,
+        reference=reference,
+        build_handwritten=build_handwritten,
+        calling_style="inplace",
+        features=("Arithmetic", "Arrays", "Loops", "Mutation"),
+        end_to_end=True,
+        gen_input=lambda rng, n: bytes(rng.randrange(32, 127) for _ in range(n)),
+    )
+)

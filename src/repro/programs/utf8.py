@@ -1,0 +1,203 @@
+"""utf8: branchless UTF-8 decoding.
+
+A table-driven, branch-free decoder (the shape of Bjoern Hoehrmann's /
+Chris Wellons' branchless decoders), reading one codepoint from a byte
+buffer at a caller-supplied offset: the sequence length is looked up from
+the lead byte's top five bits, and the codepoint is assembled
+unconditionally from four bytes then shifted right by a length-indexed
+amount.  Table 2 marks utf8 with Arithmetic + Inline + Arrays and *no*
+loops or mutation -- it is a straight-line function; callers (like the
+Figure 2 driver) slide the offset across the buffer.
+
+The caller contract ``off + 3 < length s`` is the program's incidental
+fact (§3.4.2): it is what makes the four unconditional reads safe.
+"""
+
+from __future__ import annotations
+
+from repro.bedrock2 import ast
+from repro.core.spec import FnSpec, Model, len_arg, ptr_arg, scalar_arg, scalar_out
+from repro.programs.registry import BenchProgram, register_program
+from repro.source import listarray
+from repro.source import terms as t
+from repro.source.builder import let_n, sym
+from repro.source.inline_table import byte_table
+from repro.source.types import ARRAY_BYTE, NAT, WORD
+
+# Sequence length from the lead byte's top 5 bits (0 = invalid lead).
+LENGTHS = (
+    [1] * 16  # 0x00-0x7F: ASCII
+    + [0] * 8  # 0x80-0xBF: continuation bytes cannot lead
+    + [2] * 4  # 0xC0-0xDF
+    + [3] * 2  # 0xE0-0xEF
+    + [4]  # 0xF0-0xF7
+    + [0]  # 0xF8-0xFF: invalid
+)
+assert len(LENGTHS) == 32
+
+# Lead-byte payload mask, indexed by sequence length.
+MASKS = [0x00, 0x7F, 0x1F, 0x0F, 0x07]
+# Right-shift fixing up the unconditionally assembled 21-bit scaffold.
+SHIFTC = [0, 18, 12, 6, 0]
+
+
+def build_model() -> Model:
+    lengths = byte_table(LENGTHS)
+    masks = byte_table(MASKS)
+    shiftc = byte_table(SHIFTC)
+    s = sym("s", ARRAY_BYTE)
+    off = sym("off", NAT)
+
+    s0 = sym("s0", WORD)
+    s1 = sym("s1", WORD)
+    s2 = sym("s2", WORD)
+    s3 = sym("s3", WORD)
+    n = sym("n", WORD)
+    scaffold = (
+        ((s0 & masks.get(n.to_nat()).to_word()) << 18)
+        | ((s1 & 0x3F) << 12)
+        | ((s2 & 0x3F) << 6)
+        | (s3 & 0x3F)
+    )
+    program = let_n(
+        "s0",
+        listarray.get(s, off).to_word(),
+        let_n(
+            "s1",
+            listarray.get(s, off + 1).to_word(),
+            let_n(
+                "s2",
+                listarray.get(s, off + 2).to_word(),
+                let_n(
+                    "s3",
+                    listarray.get(s, off + 3).to_word(),
+                    let_n(
+                        "n",
+                        lengths.get((s0 >> 3).to_nat()).to_word(),
+                        let_n(
+                            "cp",
+                            scaffold,
+                            let_n(
+                                "cp",
+                                sym("cp", WORD) >> shiftc.get(n.to_nat()).to_word(),
+                                sym("cp", WORD),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+    return Model(
+        "utf8_decode", [("s", ARRAY_BYTE), ("off", NAT)], program.term, WORD
+    )
+
+
+def build_spec() -> FnSpec:
+    # The caller contract: the window fits (off + 3 < length s).
+    window_fits = t.Prim(
+        "nat.ltb",
+        (t.Prim("nat.add", (t.Var("off"), t.Lit(3, NAT))), t.ArrayLen(t.Var("s"))),
+    )
+    return FnSpec(
+        "utf8_decode",
+        [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s"), scalar_arg("off", ty=NAT)],
+        [scalar_out()],
+        facts=[window_fits],
+    )
+
+
+def reference(data: bytes, off: int = 0) -> int:
+    """Decode one codepoint from four bytes at ``off``."""
+    s0, s1, s2, s3 = data[off], data[off + 1], data[off + 2], data[off + 3]
+    n = LENGTHS[s0 >> 3]
+    cp = (
+        ((s0 & MASKS[n]) << 18)
+        | ((s1 & 0x3F) << 12)
+        | ((s2 & 0x3F) << 6)
+        | (s3 & 0x3F)
+    )
+    return cp >> SHIFTC[n]
+
+
+def reference_bytes(data: bytes) -> int:
+    """Benchmark driver: decode at every 4-byte window, xor the results."""
+    acc = 0
+    for offset in range(0, len(data) - 3, 4):
+        acc ^= reference(data, offset)
+    return acc
+
+
+def build_handwritten() -> ast.Function:
+    from repro.bedrock2.ast import EInlineTable, ELit, EOp, SSet, load1, seq_of, var
+
+    from repro.stdlib.inline_tables import pack_table
+
+    lengths = pack_table(LENGTHS, 1)
+    masks = pack_table(MASKS, 1)
+    shiftc = pack_table(SHIFTC, 1)
+    s, off = var("s"), var("off")
+    base = EOp("add", s, off)
+    s0 = var("s0")
+    code = seq_of(
+        SSet("s0", load1(base)),
+        SSet("s1", load1(EOp("add", base, ELit(1)))),
+        SSet("s2", load1(EOp("add", base, ELit(2)))),
+        SSet("s3", load1(EOp("add", base, ELit(3)))),
+        SSet("n", EInlineTable(1, lengths, EOp("sru", s0, ELit(3)))),
+        SSet(
+            "cp",
+            EOp(
+                "or",
+                EOp(
+                    "or",
+                    EOp(
+                        "or",
+                        EOp(
+                            "slu",
+                            EOp("and", s0, EInlineTable(1, masks, var("n"))),
+                            ELit(18),
+                        ),
+                        EOp("slu", EOp("and", var("s1"), ELit(0x3F)), ELit(12)),
+                    ),
+                    EOp("slu", EOp("and", var("s2"), ELit(0x3F)), ELit(6)),
+                ),
+                EOp("and", var("s3"), ELit(0x3F)),
+            ),
+        ),
+        SSet("cp", EOp("sru", var("cp"), EInlineTable(1, shiftc, var("n")))),
+    )
+    return ast.Function("utf8_hw", ("s", "len", "off"), ("cp",), code)
+
+
+def gen_utf8(rng, n: int) -> bytes:
+    """Valid-ish UTF-8: a mix of codepoint widths, padded to >= 4 bytes."""
+    out = bytearray()
+    while len(out) < max(n, 4):
+        choice = rng.randrange(4)
+        if choice == 0:
+            out.append(rng.randrange(0x20, 0x7F))
+        elif choice == 1:
+            out.extend(chr(rng.randrange(0x80, 0x800)).encode("utf-8"))
+        elif choice == 2:
+            out.extend(chr(rng.randrange(0x800, 0xD800)).encode("utf-8"))
+        else:
+            out.extend(chr(rng.randrange(0x10000, 0x10FFFF)).encode("utf-8"))
+    return bytes(out[: max(n, 4)])
+
+
+register_program(
+    BenchProgram(
+        name="utf8",
+        description="Branchless UTF-8 decoding",
+        build_model=build_model,
+        build_spec=build_spec,
+        reference=reference,
+        build_handwritten=build_handwritten,
+        calling_style="window",
+        features=("Arithmetic", "Inline", "Arrays"),
+        end_to_end=True,
+        gen_input=gen_utf8,
+        scalar_args=("off",),
+    )
+)

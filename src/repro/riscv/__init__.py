@@ -1,0 +1,31 @@
+"""A RISC-V (RV64IM) backend for Bedrock2.
+
+The real Bedrock2 development ships a *verified* compiler to RISC-V; the
+paper's pipeline optionally uses it instead of the C pretty-printer for
+end-to-end assurance (Figure 1).  This package reproduces that pipeline
+stage, unverified but differentially tested against the Bedrock2
+interpreter:
+
+- :mod:`repro.riscv.isa` -- the RV64IM instruction subset, with binary
+  encoding and decoding;
+- :mod:`repro.riscv.compiler` -- a syntax-directed Bedrock2-to-RISC-V
+  compiler (locals in stack slots, expression stack in temporaries);
+- :mod:`repro.riscv.machine` -- an RV64IM simulator whose retired
+  instruction counts serve as the second cost model of the Figure 2
+  reproduction.
+"""
+
+from repro.riscv.isa import Instr, encode, decode
+from repro.riscv.compiler import CompileError, compile_function, compile_program
+from repro.riscv.machine import Machine, MachineFault
+
+__all__ = [
+    "Instr",
+    "encode",
+    "decode",
+    "CompileError",
+    "compile_function",
+    "compile_program",
+    "Machine",
+    "MachineFault",
+]

@@ -1,0 +1,236 @@
+"""The RV64IM instruction subset used by the Bedrock2 backend.
+
+Instructions are represented symbolically (mnemonic + operands); the
+:func:`encode`/:func:`decode` pair maps them to and from their standard
+32-bit encodings so the binary path is exercised too (the simulator can
+run either representation).  Branch and jump offsets are in bytes,
+relative to the instruction's own address, exactly as in the ISA manual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+# Register ABI names (index = register number).
+REG_NAMES = (
+    "zero ra sp gp tp t0 t1 t2 s0 s1 a0 a1 a2 a3 a4 a5 "
+    "a6 a7 s2 s3 s4 s5 s6 s7 s8 s9 s10 s11 t3 t4 t5 t6"
+).split()
+REG_NUM: Dict[str, int] = {name: index for index, name in enumerate(REG_NAMES)}
+
+R_TYPE = {
+    # name: (opcode, funct3, funct7)
+    "add": (0b0110011, 0b000, 0b0000000),
+    "sub": (0b0110011, 0b000, 0b0100000),
+    "sll": (0b0110011, 0b001, 0b0000000),
+    "slt": (0b0110011, 0b010, 0b0000000),
+    "sltu": (0b0110011, 0b011, 0b0000000),
+    "xor": (0b0110011, 0b100, 0b0000000),
+    "srl": (0b0110011, 0b101, 0b0000000),
+    "sra": (0b0110011, 0b101, 0b0100000),
+    "or": (0b0110011, 0b110, 0b0000000),
+    "and": (0b0110011, 0b111, 0b0000000),
+    "mul": (0b0110011, 0b000, 0b0000001),
+    "mulhu": (0b0110011, 0b011, 0b0000001),
+    "divu": (0b0110011, 0b101, 0b0000001),
+    "remu": (0b0110011, 0b111, 0b0000001),
+}
+
+I_TYPE = {
+    "addi": (0b0010011, 0b000),
+    "slti": (0b0010011, 0b010),
+    "sltiu": (0b0010011, 0b011),
+    "xori": (0b0010011, 0b100),
+    "ori": (0b0010011, 0b110),
+    "andi": (0b0010011, 0b111),
+    "slli": (0b0010011, 0b001),
+    "srli": (0b0010011, 0b101),
+    "srai": (0b0010011, 0b101),
+    "jalr": (0b1100111, 0b000),
+    "lb": (0b0000011, 0b000),
+    "lh": (0b0000011, 0b001),
+    "lw": (0b0000011, 0b010),
+    "ld": (0b0000011, 0b011),
+    "lbu": (0b0000011, 0b100),
+    "lhu": (0b0000011, 0b101),
+    "lwu": (0b0000011, 0b110),
+}
+
+S_TYPE = {
+    "sb": (0b0100011, 0b000),
+    "sh": (0b0100011, 0b001),
+    "sw": (0b0100011, 0b010),
+    "sd": (0b0100011, 0b011),
+}
+
+B_TYPE = {
+    "beq": (0b1100011, 0b000),
+    "bne": (0b1100011, 0b001),
+    "blt": (0b1100011, 0b100),
+    "bge": (0b1100011, 0b101),
+    "bltu": (0b1100011, 0b110),
+    "bgeu": (0b1100011, 0b111),
+}
+
+U_TYPE = {"lui": 0b0110111, "auipc": 0b0010111}
+J_TYPE = {"jal": 0b1101111}
+SYSTEM = {"ecall": 0x00000073}
+
+LOAD_SIZES = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4, "lwu": 4, "ld": 8}
+STORE_SIZES = {"sb": 1, "sh": 2, "sw": 4, "sd": 8}
+SIGNED_LOADS = {"lb", "lh", "lw"}
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One symbolic instruction: mnemonic plus up to three operands.
+
+    Operand meaning by format:
+      R: rd, rs1, rs2        I: rd, rs1, imm       S: rs2, rs1, imm
+      B: rs1, rs2, imm       U/J: rd, imm          ecall: none
+    """
+
+    name: str
+    a: int = 0
+    b: int = 0
+    c: int = 0
+
+    def __repr__(self) -> str:
+        return f"Instr({self.name!r}, {self.a}, {self.b}, {self.c})"
+
+
+def _check_imm(value: int, bits: int, name: str) -> int:
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not lo <= value <= hi:
+        raise ValueError(f"immediate {value} out of range for {name}")
+    return value & ((1 << bits) - 1)
+
+
+def encode(instr: Instr) -> int:
+    """Encode one instruction into its 32-bit representation."""
+    name = instr.name
+    if name in R_TYPE:
+        opcode, funct3, funct7 = R_TYPE[name]
+        return (
+            (funct7 << 25)
+            | (instr.c << 20)
+            | (instr.b << 15)
+            | (funct3 << 12)
+            | (instr.a << 7)
+            | opcode
+        )
+    if name in I_TYPE:
+        opcode, funct3 = I_TYPE[name]
+        imm = instr.c
+        if name in ("slli", "srli", "srai"):
+            if not 0 <= imm < 64:
+                raise ValueError(f"shift amount {imm} out of range")
+            if name == "srai":
+                imm |= 0b010000 << 6
+        else:
+            imm = _check_imm(imm, 12, name)
+        return (
+            (imm << 20) | (instr.b << 15) | (funct3 << 12) | (instr.a << 7) | opcode
+        )
+    if name in S_TYPE:
+        opcode, funct3 = S_TYPE[name]
+        imm = _check_imm(instr.c, 12, name)
+        return (
+            ((imm >> 5) << 25)
+            | (instr.a << 20)
+            | (instr.b << 15)
+            | (funct3 << 12)
+            | ((imm & 0x1F) << 7)
+            | opcode
+        )
+    if name in B_TYPE:
+        opcode, funct3 = B_TYPE[name]
+        imm = _check_imm(instr.c, 13, name)
+        if imm & 1:
+            raise ValueError("branch offsets are even")
+        return (
+            ((imm >> 12 & 1) << 31)
+            | ((imm >> 5 & 0x3F) << 25)
+            | (instr.b << 20)
+            | (instr.a << 15)
+            | (funct3 << 12)
+            | ((imm >> 1 & 0xF) << 8)
+            | ((imm >> 11 & 1) << 7)
+            | opcode
+        )
+    if name in U_TYPE:
+        imm = instr.b & 0xFFFFF
+        return (imm << 12) | (instr.a << 7) | U_TYPE[name]
+    if name in J_TYPE:
+        imm = _check_imm(instr.b, 21, name)
+        return (
+            ((imm >> 20 & 1) << 31)
+            | ((imm >> 1 & 0x3FF) << 21)
+            | ((imm >> 11 & 1) << 20)
+            | ((imm >> 12 & 0xFF) << 12)
+            | (instr.a << 7)
+            | J_TYPE[name]
+        )
+    if name in SYSTEM:
+        return SYSTEM[name]
+    raise ValueError(f"unknown mnemonic {name!r}")
+
+
+def _sext(value: int, bits: int) -> int:
+    return value - (1 << bits) if value >> (bits - 1) else value
+
+
+def decode(word: int) -> Instr:
+    """Decode a 32-bit instruction word (of the supported subset)."""
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+    if word == SYSTEM["ecall"]:
+        return Instr("ecall")
+    if opcode == 0b0110011:
+        for name, (op, f3, f7) in R_TYPE.items():
+            if funct3 == f3 and funct7 == f7:
+                return Instr(name, rd, rs1, rs2)
+    if opcode in (0b0010011, 0b0000011, 0b1100111):
+        imm = _sext(word >> 20, 12)
+        for name, (op, f3) in I_TYPE.items():
+            if op == opcode and funct3 == f3:
+                if name in ("slli", "srli", "srai"):
+                    shamt = (word >> 20) & 0x3F
+                    if name == "srli" and (word >> 26) == 0b010000:
+                        return Instr("srai", rd, rs1, shamt)
+                    return Instr(name, rd, rs1, shamt)
+                return Instr(name, rd, rs1, imm)
+    if opcode == 0b0100011:
+        imm = _sext((funct7 << 5) | rd, 12)
+        for name, (op, f3) in S_TYPE.items():
+            if funct3 == f3:
+                return Instr(name, rs2, rs1, imm)
+    if opcode == 0b1100011:
+        imm = (
+            ((word >> 31 & 1) << 12)
+            | ((word >> 7 & 1) << 11)
+            | ((word >> 25 & 0x3F) << 5)
+            | ((word >> 8 & 0xF) << 1)
+        )
+        imm = _sext(imm, 13)
+        for name, (op, f3) in B_TYPE.items():
+            if funct3 == f3:
+                return Instr(name, rs1, rs2, imm)
+    if opcode == U_TYPE["lui"]:
+        return Instr("lui", rd, (word >> 12) & 0xFFFFF)
+    if opcode == U_TYPE["auipc"]:
+        return Instr("auipc", rd, (word >> 12) & 0xFFFFF)
+    if opcode == J_TYPE["jal"]:
+        imm = (
+            ((word >> 31 & 1) << 20)
+            | ((word >> 12 & 0xFF) << 12)
+            | ((word >> 20 & 1) << 11)
+            | ((word >> 21 & 0x3FF) << 1)
+        )
+        return Instr("jal", rd, _sext(imm, 21))
+    raise ValueError(f"cannot decode {word:#010x}")

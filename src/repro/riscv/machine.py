@@ -1,0 +1,234 @@
+"""An RV64IM simulator.
+
+Executes the symbolic instruction stream produced by the compiler (the
+binary encoding is tested separately for fidelity).  Retired-instruction
+counts are the "riscv" cost model of the Figure 2 reproduction.
+
+Memory is the same byte-addressed :class:`repro.bedrock2.memory.Memory`
+used by the Bedrock2 interpreter, so out-of-footprint accesses fault the
+same way.  ``ecall`` dispatches to a host handler through the compiled
+program's action table (``a7`` holds the action index).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bedrock2.memory import Memory, MemoryError_
+from repro.riscv.compiler import CompiledProgram
+from repro.riscv.isa import (
+    B_TYPE,
+    Instr,
+    LOAD_SIZES,
+    REG_NUM,
+    SIGNED_LOADS,
+    STORE_SIZES,
+)
+
+MASK64 = (1 << 64) - 1
+CODE_BASE = 0x10000
+
+
+class MachineFault(Exception):
+    """Illegal execution: bad pc, bad memory access, missing handler."""
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value >> 63 else value
+
+
+class Machine:
+    """One RV64IM hart running a compiled Bedrock2 program."""
+
+    def __init__(
+        self,
+        program: CompiledProgram,
+        memory: Optional[Memory] = None,
+        stack_size: int = 1 << 16,
+        ecall_handler: Optional[Callable[[str, "Machine"], None]] = None,
+    ):
+        self.program = program
+        self.memory = memory if memory is not None else Memory(64)
+        self.regs: List[int] = [0] * 32
+        self.pc = 0
+        self.instret = 0
+        self.ecall_handler = ecall_handler
+        if program.data:
+            self.memory.store_bytes_at(program.data_base, program.data)
+        stack_top = (1 << 40) - 0x1000
+        self.memory.allocate(stack_size, label="machine-stack", base=stack_top - stack_size)
+        self.regs[REG_NUM["sp"]] = stack_top
+
+    # -- Register access --------------------------------------------------------
+
+    def get(self, reg: int) -> int:
+        return 0 if reg == 0 else self.regs[reg]
+
+    def set(self, reg: int, value: int) -> None:
+        if reg != 0:
+            self.regs[reg] = value & MASK64
+
+    # -- Execution ----------------------------------------------------------------
+
+    def load_binary(self) -> None:
+        """Encode the program into memory at ``CODE_BASE`` and switch the
+        machine to fetch-decode execution (the full binary path)."""
+        from repro.riscv.isa import encode
+
+        image = bytearray()
+        for instr in self.program.instrs:
+            image.extend(encode(instr).to_bytes(4, "little"))
+        self.memory.store_bytes_at(CODE_BASE, bytes(image))
+        self._binary = True
+
+    def fetch(self) -> Instr:
+        """Fetch and decode the instruction at the current pc (binary mode)."""
+        from repro.riscv.isa import decode
+
+        word = self.memory.load(CODE_BASE + 4 * self.pc, 4)
+        return decode(word)
+
+    def run_function(
+        self,
+        name: str,
+        args: Sequence[int],
+        max_instructions: int = 50_000_000,
+    ) -> List[int]:
+        """Call a compiled function; returns [a0, a1] on return."""
+        entry = self.program.entry_points[name]
+        halt_pc = (0xDEAD0000 - CODE_BASE) // 4  # where the sentinel ra lands
+        self.pc = entry
+        for index, arg in enumerate(args):
+            self.set(REG_NUM[f"a{index}"], arg)
+        self.regs[REG_NUM["ra"]] = 0xDEAD0000  # recognizable return address
+        budget = max_instructions
+        binary = getattr(self, "_binary", False)
+        while self.pc != halt_pc:
+            if budget <= 0:
+                raise MachineFault("instruction budget exhausted")
+            if not 0 <= self.pc < len(self.program.instrs):
+                raise MachineFault(f"pc out of range: {self.pc}")
+            instr = self.fetch() if binary else self.program.instrs[self.pc]
+            self.step(instr)
+            budget -= 1
+        return [self.get(REG_NUM["a0"]), self.get(REG_NUM["a1"])]
+
+    def step(self, instr: Instr) -> None:
+        self.instret += 1
+        name = instr.name
+        next_pc = self.pc + 1
+        if name in ("add", "sub", "mul", "and", "or", "xor", "sll", "srl", "sra",
+                    "sltu", "slt", "mulhu", "divu", "remu"):
+            lhs, rhs = self.get(instr.b), self.get(instr.c)
+            self.set(instr.a, self._alu(name, lhs, rhs))
+        elif name == "addi":
+            self.set(instr.a, self.get(instr.b) + instr.c)
+        elif name == "andi":
+            self.set(instr.a, self.get(instr.b) & instr.c)
+        elif name == "ori":
+            self.set(instr.a, self.get(instr.b) | instr.c)
+        elif name == "xori":
+            self.set(instr.a, self.get(instr.b) ^ instr.c)
+        elif name == "slti":
+            self.set(instr.a, 1 if _signed(self.get(instr.b)) < instr.c else 0)
+        elif name == "sltiu":
+            self.set(instr.a, 1 if self.get(instr.b) < (instr.c & MASK64) else 0)
+        elif name == "slli":
+            self.set(instr.a, self.get(instr.b) << instr.c)
+        elif name == "srli":
+            self.set(instr.a, self.get(instr.b) >> instr.c)
+        elif name == "srai":
+            self.set(instr.a, _signed(self.get(instr.b)) >> instr.c)
+        elif name == "lui":
+            value = instr.b << 12
+            if value >> 31:
+                value -= 1 << 32
+            self.set(instr.a, value)
+        elif name == "auipc":
+            self.set(instr.a, CODE_BASE + 4 * self.pc + (instr.b << 12))
+        elif name in LOAD_SIZES:
+            addr = (self.get(instr.b) + instr.c) & MASK64
+            try:
+                raw = self.memory.load(addr, LOAD_SIZES[name])
+            except MemoryError_ as exc:
+                raise MachineFault(str(exc)) from None
+            if name in SIGNED_LOADS:
+                bits = 8 * LOAD_SIZES[name]
+                if raw >> (bits - 1):
+                    raw -= 1 << bits
+            self.set(instr.a, raw)
+        elif name in STORE_SIZES:
+            addr = (self.get(instr.b) + instr.c) & MASK64
+            try:
+                self.memory.store(addr, STORE_SIZES[name], self.get(instr.a))
+            except MemoryError_ as exc:
+                raise MachineFault(str(exc)) from None
+        elif name in B_TYPE:
+            if self._branch_taken(name, self.get(instr.a), self.get(instr.b)):
+                next_pc = self.pc + instr.c // 4
+        elif name == "jal":
+            self.set(instr.a, 4 * (self.pc + 1) + CODE_BASE)
+            next_pc = self.pc + instr.b // 4
+        elif name == "jalr":
+            target = (self.get(instr.b) + instr.c) & ~1 & MASK64
+            self.set(instr.a, 4 * (self.pc + 1) + CODE_BASE)
+            if target == 0xDEAD0000:
+                next_pc = (0xDEAD0000 - CODE_BASE) // 4  # sentinel: return
+            else:
+                next_pc = (target - CODE_BASE) // 4
+        elif name == "ecall":
+            action_id = self.get(REG_NUM["a7"])
+            if self.ecall_handler is None:
+                raise MachineFault("ecall without a handler")
+            if not 0 <= action_id < len(self.program.actions):
+                raise MachineFault(f"unknown ecall action {action_id}")
+            self.ecall_handler(self.program.actions[action_id], self)
+        else:
+            raise MachineFault(f"unimplemented instruction {name!r}")
+        self.pc = next_pc
+
+    def _alu(self, name: str, lhs: int, rhs: int) -> int:
+        if name == "add":
+            return lhs + rhs
+        if name == "sub":
+            return lhs - rhs
+        if name == "mul":
+            return lhs * rhs
+        if name == "mulhu":
+            return (lhs * rhs) >> 64
+        if name == "divu":
+            return MASK64 if rhs == 0 else lhs // rhs
+        if name == "remu":
+            return lhs if rhs == 0 else lhs % rhs
+        if name == "and":
+            return lhs & rhs
+        if name == "or":
+            return lhs | rhs
+        if name == "xor":
+            return lhs ^ rhs
+        if name == "sll":
+            return lhs << (rhs % 64)
+        if name == "srl":
+            return lhs >> (rhs % 64)
+        if name == "sra":
+            return _signed(lhs) >> (rhs % 64)
+        if name == "sltu":
+            return 1 if lhs < rhs else 0
+        if name == "slt":
+            return 1 if _signed(lhs) < _signed(rhs) else 0
+        raise MachineFault(f"unknown ALU op {name!r}")
+
+    def _branch_taken(self, name: str, lhs: int, rhs: int) -> bool:
+        if name == "beq":
+            return lhs == rhs
+        if name == "bne":
+            return lhs != rhs
+        if name == "blt":
+            return _signed(lhs) < _signed(rhs)
+        if name == "bge":
+            return _signed(lhs) >= _signed(rhs)
+        if name == "bltu":
+            return lhs < rhs
+        if name == "bgeu":
+            return lhs >= rhs
+        raise MachineFault(f"unknown branch {name!r}")

@@ -1,0 +1,94 @@
+"""The source language: "lowered Gallina" functional models.
+
+Rupicola's inputs are *shallowly embedded* programs written in a restricted
+subset of Gallina: sequences of name-carrying ``let/n`` bindings over pure
+values, structured iteration (``ListArray.map``, folds, ``Nat.iter``,
+ranged ``for``), conditionals, and optional monadic structure for
+extensional effects.  This package is the Python incarnation of that
+subset:
+
+- :mod:`repro.source.types` -- the small type lattice (word, byte, bool,
+  nat, arrays, cells, tables) used to pick low-level representations;
+- :mod:`repro.source.ops` -- the catalog of pure primitive operations with
+  their evaluation semantics;
+- :mod:`repro.source.terms` -- the term IR (an inspectable reflection of
+  the shallow embedding, playing the role Coq's syntactic goal matching
+  plays for Rupicola);
+- :mod:`repro.source.evaluator` -- the functional semantics: terms
+  evaluate to plain Python values, which is what makes the embedding
+  "shallow" rather than a standalone object language;
+- :mod:`repro.source.builder` -- a combinator DSL plus tracing reification
+  of plain Python lambdas into terms;
+- :mod:`repro.source.monads` -- nondeterminism, state, writer, I/O and
+  free monads (extensional effects, §3.4.1 of the paper).
+"""
+
+from repro.source.types import (
+    ARRAY_BYTE,
+    ARRAY_WORD,
+    BOOL,
+    BYTE,
+    CELL_WORD,
+    NAT,
+    SourceType,
+    TypeKind,
+    UNIT,
+    WORD,
+    array_of,
+    cell_of,
+    table_of,
+)
+from repro.source import terms
+from repro.source.evaluator import EvalError, Evaluator, eval_term
+from repro.source.builder import (
+    bool_lit,
+    byte_lit,
+    ite,
+    let_n,
+    let_tuple,
+    nat_iter,
+    nat_lit,
+    ranged_for,
+    reify_expr,
+    sym,
+    tuple_of,
+    word_lit,
+)
+from repro.source import annotations, cells, inline_table, listarray, monads
+
+__all__ = [
+    "SourceType",
+    "TypeKind",
+    "WORD",
+    "BYTE",
+    "BOOL",
+    "NAT",
+    "UNIT",
+    "ARRAY_BYTE",
+    "ARRAY_WORD",
+    "CELL_WORD",
+    "array_of",
+    "cell_of",
+    "table_of",
+    "terms",
+    "Evaluator",
+    "EvalError",
+    "eval_term",
+    "let_n",
+    "let_tuple",
+    "tuple_of",
+    "ite",
+    "nat_iter",
+    "ranged_for",
+    "sym",
+    "reify_expr",
+    "word_lit",
+    "byte_lit",
+    "nat_lit",
+    "bool_lit",
+    "annotations",
+    "cells",
+    "inline_table",
+    "listarray",
+    "monads",
+]

@@ -1,0 +1,24 @@
+"""Semantically transparent annotations (§3.4.1).
+
+"Annotations can simply be unfolded away: Rupicola's name-carrying
+let-bindings unfold to regular let-bindings, functions like copy above
+simply disappear, and modules wrapping standard types unfold to reveal
+them."  Here ``stack`` and ``copy`` are identity functions on values;
+their only role is to steer the compiler (stack allocation, fresh copies
+instead of mutation).
+"""
+
+from __future__ import annotations
+
+from repro.source import terms as t
+from repro.source.builder import SymValue
+
+
+def stack(value: SymValue) -> SymValue:
+    """``stack (term)``: request stack allocation for the bound object."""
+    return SymValue(t.Stack(value.term), value.ty)
+
+
+def copy(value: SymValue) -> SymValue:
+    """``copy (term)``: request a fresh copy instead of in-place mutation."""
+    return SymValue(t.Copy(value.term), value.ty)

@@ -1,0 +1,368 @@
+"""Building source terms the way Rupicola users write Gallina.
+
+Two styles are supported, mirroring the paper:
+
+1. **Combinators**: ``let_n("s", ListArray.map(f, sym("s", ARRAY_BYTE)), ...)``
+   builds the annotated-let structure explicitly.
+
+2. **Tracing reification**: pure Python lambdas over :class:`SymValue`
+   (a term paired with its source type, with operator overloading) are
+   *traced* into terms.  This plays the role of Coq's syntactic matching
+   on shallowly embedded code: the user writes ``lambda b: b & 0x5f`` and
+   the library recovers ``byte.and b 0x5f`` as a term.
+
+Operator dispatch is type-directed: ``+`` on words is ``word.add``, on
+bytes ``byte.add``, on nats ``nat.add``.  Mixing types requires explicit
+casts (``.to_word()``, ``.to_byte()``, ...), just as Gallina would.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional, Sequence, Union
+
+from repro.source import terms as t
+from repro.source.types import (
+    BOOL,
+    BYTE,
+    NAT,
+    WORD,
+    SourceType,
+    TypeKind,
+)
+
+_fresh_counter = itertools.count()
+
+TermLike = Union["SymValue", t.Term, int, bool]
+
+
+def _fresh_name(prefix: str) -> str:
+    return f"{prefix}{next(_fresh_counter)}"
+
+
+class SymValue:
+    """A source term tagged with its type, with Gallina-flavoured operators."""
+
+    __slots__ = ("term", "ty")
+
+    def __init__(self, term: t.Term, ty: SourceType):
+        self.term = term
+        self.ty = ty
+
+    def __repr__(self) -> str:
+        return f"SymValue({t.pretty(self.term)} : {self.ty!r})"
+
+    # -- Lifting ----------------------------------------------------------------
+
+    def _lift(self, other: TermLike) -> "SymValue":
+        return lift(other, self.ty)
+
+    def _binop(self, opname: str, other: TermLike, result_ty: SourceType) -> "SymValue":
+        rhs = self._lift(other)
+        return SymValue(Prim2(opname, self.term, rhs.term), result_ty)
+
+    def _prefix(self) -> str:
+        return self.ty.kind.value
+
+    # -- Arithmetic ---------------------------------------------------------------
+
+    def __add__(self, other: TermLike) -> "SymValue":
+        return self._binop(f"{self._prefix()}.add", other, self.ty)
+
+    def __radd__(self, other: TermLike) -> "SymValue":
+        return lift(other, self.ty) + self
+
+    def __sub__(self, other: TermLike) -> "SymValue":
+        return self._binop(f"{self._prefix()}.sub", other, self.ty)
+
+    def __rsub__(self, other: TermLike) -> "SymValue":
+        return lift(other, self.ty) - self
+
+    def __mul__(self, other: TermLike) -> "SymValue":
+        return self._binop(f"{self._prefix()}.mul", other, self.ty)
+
+    def __rmul__(self, other: TermLike) -> "SymValue":
+        return lift(other, self.ty) * self
+
+    def __and__(self, other: TermLike) -> "SymValue":
+        name = "bool.andb" if self.ty is BOOL else f"{self._prefix()}.and"
+        return self._binop(name, other, self.ty)
+
+    def __or__(self, other: TermLike) -> "SymValue":
+        name = "bool.orb" if self.ty is BOOL else f"{self._prefix()}.or"
+        return self._binop(name, other, self.ty)
+
+    def __xor__(self, other: TermLike) -> "SymValue":
+        name = "bool.xorb" if self.ty is BOOL else f"{self._prefix()}.xor"
+        return self._binop(name, other, self.ty)
+
+    def __lshift__(self, other: TermLike) -> "SymValue":
+        return self._binop(f"{self._prefix()}.shl", other, self.ty)
+
+    def __rshift__(self, other: TermLike) -> "SymValue":
+        return self._binop(f"{self._prefix()}.shr", other, self.ty)
+
+    def __invert__(self) -> "SymValue":
+        if self.ty is BOOL:
+            return SymValue(t.Prim("bool.negb", (self.term,)), BOOL)
+        # ~x == x xor (-1): keep the catalog small.
+        all_ones = (1 << 64) - 1 if self.ty is WORD else 0xFF
+        return self ^ all_ones
+
+    def udiv(self, other: TermLike) -> "SymValue":
+        name = {"word": "word.divu", "byte": "byte.divu", "nat": "nat.div"}[
+            self._prefix()
+        ]
+        return self._binop(name, other, self.ty)
+
+    def umod(self, other: TermLike) -> "SymValue":
+        name = {"word": "word.remu", "byte": "byte.remu", "nat": "nat.mod"}[
+            self._prefix()
+        ]
+        return self._binop(name, other, self.ty)
+
+    def sar(self, other: TermLike) -> "SymValue":
+        return self._binop("word.sar", other, self.ty)
+
+    # -- Comparisons (named, like Gallina's ltu/ltb, to avoid rich-comparison
+    #    pitfalls with Python's chained comparisons) ------------------------------
+
+    def ltu(self, other: TermLike) -> "SymValue":
+        name = {"word": "word.ltu", "byte": "byte.ltu", "nat": "nat.ltb"}[self._prefix()]
+        return self._binop(name, other, BOOL)
+
+    def lts(self, other: TermLike) -> "SymValue":
+        return self._binop("word.lts", other, BOOL)
+
+    def leb(self, other: TermLike) -> "SymValue":
+        if self.ty is not NAT:
+            raise TypeError("leb is a nat comparison; use ltu on words")
+        return self._binop("nat.leb", other, BOOL)
+
+    def eq(self, other: TermLike) -> "SymValue":
+        name = {
+            "word": "word.eq",
+            "byte": "byte.eq",
+            "nat": "nat.eqb",
+            "bool": "bool.eqb",
+        }[self._prefix()]
+        return self._binop(name, other, BOOL)
+
+    # -- Casts -------------------------------------------------------------------
+
+    def to_word(self) -> "SymValue":
+        if self.ty is WORD:
+            return self
+        if self.ty is BYTE:
+            return SymValue(t.Prim("cast.b2w", (self.term,)), WORD)
+        if self.ty is NAT:
+            return SymValue(t.Prim("cast.of_nat", (self.term,)), WORD)
+        if self.ty is BOOL:
+            return SymValue(t.Prim("cast.bool2w", (self.term,)), WORD)
+        raise TypeError(f"cannot cast {self.ty!r} to word")
+
+    def to_byte(self) -> "SymValue":
+        if self.ty is BYTE:
+            return self
+        if self.ty is WORD:
+            return SymValue(t.Prim("cast.w2b", (self.term,)), BYTE)
+        raise TypeError(f"cannot cast {self.ty!r} to byte")
+
+    def to_nat(self) -> "SymValue":
+        if self.ty is NAT:
+            return self
+        if self.ty is WORD:
+            return SymValue(t.Prim("cast.to_nat", (self.term,)), NAT)
+        if self.ty is BYTE:
+            return SymValue(t.Prim("cast.b2n", (self.term,)), NAT)
+        raise TypeError(f"cannot cast {self.ty!r} to nat")
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "symbolic values have no truth value; use ite(cond, a, b) "
+            "instead of Python's if/and/or"
+        )
+
+
+def Prim2(op: str, lhs: t.Term, rhs: t.Term) -> t.Term:
+    return t.Prim(op, (lhs, rhs))
+
+
+def lift(value: TermLike, ty_hint: Optional[SourceType] = None) -> SymValue:
+    """Lift a Python int/bool (or a term) into a :class:`SymValue`."""
+    if isinstance(value, SymValue):
+        return value
+    if isinstance(value, t.Term):
+        if ty_hint is None:
+            raise TypeError("lifting a bare term requires a type hint")
+        return SymValue(value, ty_hint)
+    if isinstance(value, bool):
+        return SymValue(t.Lit(value, BOOL), BOOL)
+    if isinstance(value, int):
+        ty = ty_hint or WORD
+        if ty is BOOL:
+            return SymValue(t.Lit(bool(value), BOOL), BOOL)
+        return SymValue(t.Lit(value, ty), ty)
+    raise TypeError(f"cannot lift {value!r} into a source term")
+
+
+def to_term(value: TermLike, ty_hint: Optional[SourceType] = None) -> t.Term:
+    if isinstance(value, t.Term):
+        return value
+    return lift(value, ty_hint).term
+
+
+# -- Leaf constructors -------------------------------------------------------------
+
+
+def sym(name: str, ty: SourceType) -> SymValue:
+    """A free variable of the given type."""
+    return SymValue(t.Var(name), ty)
+
+
+def word_lit(value: int) -> SymValue:
+    return SymValue(t.Lit(value, WORD), WORD)
+
+
+def byte_lit(value: int) -> SymValue:
+    if not 0 <= value < 256:
+        raise ValueError("byte literal out of range")
+    return SymValue(t.Lit(value, BYTE), BYTE)
+
+
+def nat_lit(value: int) -> SymValue:
+    if value < 0:
+        raise ValueError("nat literal must be nonnegative")
+    return SymValue(t.Lit(value, NAT), NAT)
+
+
+def bool_lit(value: bool) -> SymValue:
+    return SymValue(t.Lit(bool(value), BOOL), BOOL)
+
+
+# -- Structured combinators -----------------------------------------------------------
+
+
+def ite(cond: TermLike, then_: TermLike, else_: TermLike) -> SymValue:
+    """A conditional expression (Gallina's ``if ... then ... else``)."""
+    cond_v = lift(cond, BOOL)
+    then_v = lift(then_) if isinstance(then_, (SymValue, t.Term)) else lift(then_, WORD)
+    else_v = lift(else_, then_v.ty if isinstance(then_v, SymValue) else None)
+    if isinstance(then_, int) and isinstance(else_, SymValue):
+        # Retype the literal branch to match the symbolic branch.
+        then_v = lift(then_, else_v.ty)
+    ty = then_v.ty if isinstance(then_v, SymValue) else else_v.ty
+    return SymValue(t.If(cond_v.term, then_v.term, else_v.term), ty)
+
+
+def let_n(name: str, value: TermLike, body: TermLike) -> SymValue:
+    """``let/n name := value in body`` (§3.4.1's annotated let)."""
+    value_v = lift(value) if isinstance(value, (SymValue, t.Term)) else lift(value, WORD)
+    if isinstance(value_v, SymValue):
+        value_term, value_ty = value_v.term, value_v.ty
+    else:  # pragma: no cover - lift always returns SymValue
+        value_term, value_ty = value_v, None
+    body_v = lift(body) if isinstance(body, SymValue) else lift(body, value_ty)
+    return SymValue(t.Let(name, value_term, body_v.term), body_v.ty)
+
+
+def tuple_of(*values: TermLike) -> SymValue:
+    """A tuple value (for multi-target lets and multi-output returns)."""
+    from repro.source.types import pair_of
+
+    items = tuple(lift(v, WORD).term if isinstance(v, (int, bool)) else v.term for v in values)
+    tys = [lift(v, WORD).ty if isinstance(v, (int, bool)) else v.ty for v in values]
+    ty = tys[0] if len(tys) == 1 else pair_of(tys[0], tys[-1])
+    return SymValue(t.TupleTerm(items), ty)
+
+
+def let_tuple(names: Sequence[str], value: TermLike, body: TermLike) -> SymValue:
+    """``let/n (a, b, ...) := value in body`` -- §3.4.2's pair-binding CAS."""
+    value_v = value if isinstance(value, SymValue) else lift(value, WORD)
+    body_v = body if isinstance(body, SymValue) else lift(body, WORD)
+    return SymValue(
+        t.LetTuple(tuple(names), value_v.term, body_v.term), body_v.ty
+    )
+
+
+def ranged_for(
+    lo: TermLike,
+    hi: TermLike,
+    fn: Callable[["SymValue", "SymValue"], TermLike],
+    init: TermLike,
+    names: Optional[Sequence[str]] = None,
+    acc_ty: Optional[SourceType] = None,
+) -> SymValue:
+    """``for i in [lo, hi) with acc := init { fn(i, acc) }`` -- an indexed fold."""
+    from repro.source.types import NAT
+
+    lo_v = lift(lo, NAT)
+    hi_v = lift(hi, NAT)
+    init_v = lift(init, acc_ty)
+    acc_ty = acc_ty or init_v.ty
+    traced_names, body, body_ty = trace_lambda(
+        fn, [NAT, acc_ty], list(names) if names else None
+    )
+    if body_ty != acc_ty:
+        raise TypeError(
+            f"ranged_for body must return the accumulator type ({acc_ty!r}), "
+            f"got {body_ty!r}"
+        )
+    return SymValue(
+        t.RangedFor(lo_v.term, hi_v.term, traced_names[0], traced_names[1], body, init_v.term),
+        acc_ty,
+    )
+
+
+def nat_iter(
+    count: TermLike,
+    fn: Callable[["SymValue"], TermLike],
+    init: TermLike,
+    name: Optional[str] = None,
+    acc_ty: Optional[SourceType] = None,
+) -> SymValue:
+    """``Nat.iter count (fun acc => fn acc) init``."""
+    from repro.source.types import NAT
+
+    count_v = lift(count, NAT)
+    init_v = lift(init, acc_ty)
+    acc_ty = acc_ty or init_v.ty
+    traced_names, body, body_ty = trace_lambda(fn, [acc_ty], [name] if name else None)
+    if body_ty != acc_ty:
+        raise TypeError(
+            f"Nat.iter body must return the accumulator type ({acc_ty!r}), "
+            f"got {body_ty!r}"
+        )
+    return SymValue(t.NatIter(count_v.term, traced_names[0], body, init_v.term), acc_ty)
+
+
+def trace_lambda(
+    fn: Callable[..., TermLike],
+    arg_types: Sequence[SourceType],
+    arg_names: Optional[Sequence[str]] = None,
+) -> tuple:
+    """Trace a Python lambda into (names, body_term, body_type).
+
+    The lambda receives one :class:`SymValue` per argument and must return
+    a SymValue (or an int, lifted at the first argument's type).
+    """
+    if arg_names is None:
+        code = getattr(fn, "__code__", None)
+        if code is not None and code.co_argcount == len(arg_types):
+            arg_names = code.co_varnames[: code.co_argcount]
+        else:
+            arg_names = [_fresh_name("x") for _ in arg_types]
+    args = [sym(name, ty) for name, ty in zip(arg_names, arg_types)]
+    result = fn(*args)
+    result_v = lift(result, arg_types[0] if arg_types else WORD)
+    return list(arg_names), result_v.term, result_v.ty
+
+
+def reify_expr(
+    fn: Callable[..., TermLike],
+    arg_types: Sequence[SourceType],
+    arg_names: Optional[Sequence[str]] = None,
+) -> t.Term:
+    """Reify a pure Python lambda into a closed-but-for-arguments term."""
+    _, body, _ = trace_lambda(fn, arg_types, arg_names)
+    return body

@@ -1,0 +1,33 @@
+"""The ``cell`` module: single-value mutable cells.
+
+Cells are the paper's running example for intensional state (§3.4.2's
+compare-and-swap, and the Table 1 ``cells get, put`` extension): a pure
+record holding one scalar, compiled to a one-element block of memory
+behind a pointer.  ``get``/``put`` are functionally a projection and a
+functional update.
+"""
+
+from __future__ import annotations
+
+from repro.source import terms as t
+from repro.source.builder import SymValue, to_term
+from repro.source.types import SourceType, TypeKind, cell_of
+
+
+def cell_var(name: str, elem: SourceType) -> SymValue:
+    """A cell-typed free variable."""
+    return SymValue(t.Var(name), cell_of(elem))
+
+
+def get(cell: SymValue) -> SymValue:
+    if cell.ty.kind is not TypeKind.CELL:
+        raise TypeError(f"get expects a cell, got {cell.ty!r}")
+    assert cell.ty.elem is not None
+    return SymValue(t.CellGet(cell.term), cell.ty.elem)
+
+
+def put(cell: SymValue, value) -> SymValue:
+    if cell.ty.kind is not TypeKind.CELL:
+        raise TypeError(f"put expects a cell, got {cell.ty!r}")
+    assert cell.ty.elem is not None
+    return SymValue(t.CellPut(cell.term, to_term(value, cell.ty.elem)), cell.ty)

@@ -1,0 +1,51 @@
+"""The ``InlineTable`` module (§4.1.2).
+
+Inline tables are function-local constant arrays, "useful for implementing
+lookup and translation tables".  The Gallina API "is exactly the same as
+that for arrays, except that only one operation (get) is available", and
+"simply unfolding the definition of InlineTable.get reveals that it is
+just the function nth on lists" -- which is exactly what our evaluator
+does with :class:`repro.source.terms.TableGet`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.source import terms as t
+from repro.source.builder import SymValue, to_term
+from repro.source.types import BYTE, NAT, WORD, SourceType
+
+
+class InlineTable:
+    """A constant lookup table destined to become a Bedrock2 inline table."""
+
+    __slots__ = ("data", "elem_ty")
+
+    def __init__(self, data: Sequence[int], elem_ty: SourceType = BYTE):
+        limit = 1 << (8 * elem_ty.scalar_size(8))
+        for value in data:
+            if not 0 <= value < limit:
+                raise ValueError(f"table entry {value} out of range for {elem_ty!r}")
+        self.data: Tuple[int, ...] = tuple(data)
+        self.elem_ty = elem_ty
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def get(self, index) -> SymValue:
+        """``InlineTable.get table i`` -- functionally ``nth i data``."""
+        return SymValue(
+            t.TableGet(self.data, self.elem_ty, to_term(index, NAT)), self.elem_ty
+        )
+
+    def __getitem__(self, index) -> SymValue:
+        return self.get(index)
+
+
+def byte_table(data: Sequence[int]) -> InlineTable:
+    return InlineTable(data, BYTE)
+
+
+def word_table(data: Sequence[int]) -> InlineTable:
+    return InlineTable(data, WORD)

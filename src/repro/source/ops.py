@@ -1,0 +1,258 @@
+"""The catalog of pure primitive operations of the source language.
+
+Each operation records its typing, its functional semantics (``impl``),
+and a *lowering spec* describing how the relational expression compiler
+realizes it on Bedrock2 words.  Lowering specs are deliberately tiny data,
+not code: the expression-compilation lemmas in ``repro.stdlib.exprs``
+interpret them, so a user-supplied lemma can always override the default
+lowering of any operation for a specific program (that is the whole point
+of relational compilation).
+
+Conventions mirroring Gallina:
+
+- ``word.*``  -- machine-word ops, modular semantics at the target width;
+- ``byte.*``  -- byte ops (range invariant ``0 <= v < 256``);
+- ``nat.*``   -- unbounded naturals; ``nat.sub`` truncates at zero like
+  Coq's ``Nat.sub``; lowering to words incurs no-overflow side conditions;
+- ``bool.*``  -- booleans, reified as 0/1 words in the target.
+
+Lowering spec forms (interpreted by the expression compiler):
+
+- ``("op", name)``        -- direct Bedrock2 binary operator;
+- ``("op_mask8", name)``  -- Bedrock2 operator followed by ``& 0xff``
+  (keeps the byte range invariant for ops that can carry out of 8 bits);
+- ``("eq0",)``            -- ``arg == 0`` (boolean negation);
+- ``("id",)``             -- identity (representation-only cast);
+- ``("mask8",)``          -- ``arg & 0xff`` (word-to-byte truncation);
+- ``("guarded", name)``   -- direct operator, plus a named side condition
+  the compiler must discharge (e.g. no-overflow for nat arithmetic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.source.types import BOOL, BYTE, NAT, WORD, SourceType
+
+
+@dataclass(frozen=True)
+class Op:
+    """One primitive operation of the source language."""
+
+    name: str
+    arg_types: Tuple[SourceType, ...]
+    result_type: SourceType
+    impl: Callable[..., object]  # (width, *args) -> value
+    lower: Tuple  # lowering spec, see module docstring
+    side_condition: Optional[str] = None  # name of an obligation, if any
+
+    @property
+    def arity(self) -> int:
+        return len(self.arg_types)
+
+
+REGISTRY: Dict[str, Op] = {}
+
+
+def _register(op: Op) -> Op:
+    if op.name in REGISTRY:
+        raise ValueError(f"duplicate op {op.name}")
+    REGISTRY[op.name] = op
+    return op
+
+
+def get_op(name: str) -> Op:
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown primitive operation {name!r}") from None
+
+
+def _mask(width: int, value: int) -> int:
+    return value & ((1 << width) - 1)
+
+
+def _signed(width: int, value: int) -> int:
+    value = _mask(width, value)
+    return value - (1 << width) if value >> (width - 1) else value
+
+
+# -- Machine words -------------------------------------------------------------
+
+_register(Op("word.add", (WORD, WORD), WORD, lambda w, a, b: _mask(w, a + b), ("op", "add")))
+_register(Op("word.sub", (WORD, WORD), WORD, lambda w, a, b: _mask(w, a - b), ("op", "sub")))
+_register(Op("word.mul", (WORD, WORD), WORD, lambda w, a, b: _mask(w, a * b), ("op", "mul")))
+_register(
+    Op(
+        "word.divu",
+        (WORD, WORD),
+        WORD,
+        lambda w, a, b: _mask(w, -1) if b == 0 else a // b,
+        ("op", "divu"),
+    )
+)
+_register(
+    Op(
+        "word.remu",
+        (WORD, WORD),
+        WORD,
+        lambda w, a, b: a if b == 0 else a % b,
+        ("op", "remu"),
+    )
+)
+_register(Op("word.and", (WORD, WORD), WORD, lambda w, a, b: a & b, ("op", "and")))
+_register(Op("word.or", (WORD, WORD), WORD, lambda w, a, b: a | b, ("op", "or")))
+_register(Op("word.xor", (WORD, WORD), WORD, lambda w, a, b: a ^ b, ("op", "xor")))
+_register(
+    Op("word.shl", (WORD, WORD), WORD, lambda w, a, b: _mask(w, a << (b % w)), ("op", "slu"))
+)
+_register(Op("word.shr", (WORD, WORD), WORD, lambda w, a, b: a >> (b % w), ("op", "sru")))
+_register(
+    Op(
+        "word.sar",
+        (WORD, WORD),
+        WORD,
+        lambda w, a, b: _mask(w, _signed(w, a) >> (b % w)),
+        ("op", "srs"),
+    )
+)
+_register(Op("word.ltu", (WORD, WORD), BOOL, lambda w, a, b: a < b, ("op", "ltu")))
+_register(
+    Op(
+        "word.lts",
+        (WORD, WORD),
+        BOOL,
+        lambda w, a, b: _signed(w, a) < _signed(w, b),
+        ("op", "lts"),
+    )
+)
+_register(Op("word.eq", (WORD, WORD), BOOL, lambda w, a, b: a == b, ("op", "eq")))
+_register(
+    Op(
+        "word.mulhuu",
+        (WORD, WORD),
+        WORD,
+        lambda w, a, b: (a * b) >> w,
+        ("op", "mulhuu"),
+    )
+)
+
+# -- Bytes ---------------------------------------------------------------------
+
+_register(Op("byte.and", (BYTE, BYTE), BYTE, lambda w, a, b: a & b, ("op", "and")))
+_register(Op("byte.or", (BYTE, BYTE), BYTE, lambda w, a, b: a | b, ("op", "or")))
+_register(Op("byte.xor", (BYTE, BYTE), BYTE, lambda w, a, b: a ^ b, ("op", "xor")))
+_register(
+    Op("byte.add", (BYTE, BYTE), BYTE, lambda w, a, b: (a + b) & 0xFF, ("op_mask8", "add"))
+)
+_register(
+    Op("byte.sub", (BYTE, BYTE), BYTE, lambda w, a, b: (a - b) & 0xFF, ("op_mask8", "sub"))
+)
+_register(
+    Op("byte.mul", (BYTE, BYTE), BYTE, lambda w, a, b: (a * b) & 0xFF, ("op_mask8", "mul"))
+)
+_register(Op("byte.shr", (BYTE, BYTE), BYTE, lambda w, a, b: a >> (b % w), ("op", "sru")))
+_register(
+    Op(
+        "byte.shl",
+        (BYTE, BYTE),
+        BYTE,
+        lambda w, a, b: (a << (b % w)) & 0xFF,
+        ("op_mask8", "slu"),
+    )
+)
+_register(Op("byte.ltu", (BYTE, BYTE), BOOL, lambda w, a, b: a < b, ("op", "ltu")))
+_register(Op("byte.eq", (BYTE, BYTE), BOOL, lambda w, a, b: a == b, ("op", "eq")))
+_register(
+    Op(
+        "byte.divu",
+        (BYTE, BYTE),
+        BYTE,
+        lambda w, a, b: 0xFF if b == 0 else a // b,
+        ("op_mask8", "divu"),
+    )
+)
+_register(
+    Op(
+        "byte.remu",
+        (BYTE, BYTE),
+        BYTE,
+        lambda w, a, b: a if b == 0 else a % b,
+        ("op", "remu"),
+    )
+)
+
+# -- Casts ----------------------------------------------------------------------
+
+_register(Op("cast.b2w", (BYTE,), WORD, lambda w, a: a, ("id",)))
+_register(Op("cast.w2b", (WORD,), BYTE, lambda w, a: a & 0xFF, ("mask8",)))
+_register(Op("cast.of_nat", (NAT,), WORD, lambda w, a: _mask(w, a), ("guarded", "fits_word")))
+_register(Op("cast.to_nat", (WORD,), NAT, lambda w, a: a, ("id",)))
+_register(Op("cast.b2n", (BYTE,), NAT, lambda w, a: a, ("id",)))
+_register(Op("cast.bool2w", (BOOL,), WORD, lambda w, a: 1 if a else 0, ("id",)))
+
+# -- Unbounded naturals ----------------------------------------------------------
+# Lowering a nat op to a word op is only sound when the mathematical result
+# fits in a word; those obligations are discharged by the bounds solver.
+
+_register(
+    Op(
+        "nat.add",
+        (NAT, NAT),
+        NAT,
+        lambda w, a, b: a + b,
+        ("guarded", "add_no_overflow"),
+        side_condition="add_no_overflow",
+    )
+)
+_register(
+    Op(
+        "nat.sub",
+        (NAT, NAT),
+        NAT,
+        lambda w, a, b: max(0, a - b),  # Coq's truncated subtraction
+        ("guarded", "sub_no_underflow"),
+        side_condition="sub_no_underflow",
+    )
+)
+_register(
+    Op(
+        "nat.mul",
+        (NAT, NAT),
+        NAT,
+        lambda w, a, b: a * b,
+        ("guarded", "mul_no_overflow"),
+        side_condition="mul_no_overflow",
+    )
+)
+_register(
+    Op(
+        "nat.div",
+        (NAT, NAT),
+        NAT,
+        lambda w, a, b: 0 if b == 0 else a // b,  # Coq: x / 0 = 0
+        ("guarded", "div_nonzero"),
+        side_condition="div_nonzero",
+    )
+)
+_register(Op("nat.mod", (NAT, NAT), NAT, lambda w, a, b: a if b == 0 else a % b, ("op", "remu")))
+_register(Op("nat.ltb", (NAT, NAT), BOOL, lambda w, a, b: a < b, ("op", "ltu")))
+_register(Op("nat.leb", (NAT, NAT), BOOL, lambda w, a, b: a <= b, ("leb",)))
+_register(Op("nat.eqb", (NAT, NAT), BOOL, lambda w, a, b: a == b, ("op", "eq")))
+
+# -- Booleans ---------------------------------------------------------------------
+
+_register(Op("bool.andb", (BOOL, BOOL), BOOL, lambda w, a, b: a and b, ("op", "and")))
+_register(Op("bool.orb", (BOOL, BOOL), BOOL, lambda w, a, b: a or b, ("op", "or")))
+_register(Op("bool.xorb", (BOOL, BOOL), BOOL, lambda w, a, b: bool(a) != bool(b), ("op", "xor")))
+_register(Op("bool.negb", (BOOL,), BOOL, lambda w, a: not a, ("eq0",)))
+_register(Op("bool.eqb", (BOOL, BOOL), BOOL, lambda w, a, b: bool(a) == bool(b), ("op", "eq")))
+
+
+def eval_op(name: str, width: int, args: Sequence[object]) -> object:
+    """Evaluate a primitive operation at the given word width."""
+    op = get_op(name)
+    if len(args) != op.arity:
+        raise TypeError(f"{name} expects {op.arity} arguments, got {len(args)}")
+    return op.impl(width, *args)

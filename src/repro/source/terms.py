@@ -1,0 +1,718 @@
+"""The term IR: an inspectable reflection of Rupicola's Gallina subset.
+
+Rupicola expects source programs to be "sequences of let-bindings, one per
+desired assignment in the target language" (§3.4.1), where each ``let/n``
+carries the *name* of the variable it binds -- the user's choice of names
+is what drives mutation-vs-allocation decisions.  The nodes below cover
+exactly the constructs the paper lists: arithmetic over several types,
+conditionals, iteration patterns (map, fold, ``Nat.iter``, ranged for,
+with early exit), flat data structures (arrays, cells, inline tables),
+plain and monadic binds, stack allocation, and external calls.
+
+Terms evaluate to ordinary Python values (see ``evaluator``), which is the
+sense in which the embedding is shallow; the compiler, like Coq's proof
+engine, works by syntactic matching on these same nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.source.types import SourceType
+
+
+class Term:
+    """Base class of source terms."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["Term", ...]:
+        return ()
+
+    def binders(self) -> Tuple[str, ...]:
+        """Names bound by this node in its (last) child."""
+        return ()
+
+
+@dataclass(frozen=True)
+class Lit(Term):
+    """A literal: int for word/byte/nat, bool for bool."""
+
+    value: object
+    ty: SourceType
+
+    def __repr__(self) -> str:
+        return f"Lit({self.value!r}:{self.ty!r})"
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+@dataclass(frozen=True)
+class Prim(Term):
+    """Application of a primitive operation from :mod:`repro.source.ops`."""
+
+    op: str
+    args: Tuple[Term, ...]
+
+    def children(self) -> Tuple[Term, ...]:
+        return self.args
+
+
+@dataclass(frozen=True)
+class Let(Term):
+    """``let/n name := value in body`` -- the name-carrying binding.
+
+    The binder name doubles as the *target-language variable name*; reusing
+    the name of an existing array/cell variable is how sources express
+    in-place mutation (an intensional effect).
+    """
+
+    name: str
+    value: Term
+    body: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.value, self.body)
+
+    def binders(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+
+@dataclass(frozen=True)
+class LetTuple(Term):
+    """``let/n (a, b, ...) := value in body`` -- a multi-target binding.
+
+    The §3.4.2 compare-and-swap binds a pair: ``let r, c := (if t then
+    (true, put c x) else (false, c)) in k``.  Each name is a target of
+    the predicate-inference heuristic.
+    """
+
+    names: Tuple[str, ...]
+    value: Term
+    body: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.value, self.body)
+
+    def binders(self) -> Tuple[str, ...]:
+        return self.names
+
+
+@dataclass(frozen=True)
+class If(Term):
+    cond: Term
+    then_: Term
+    else_: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.cond, self.then_, self.else_)
+
+
+@dataclass(frozen=True)
+class TupleTerm(Term):
+    """A tuple of results (used for multi-target lets and returns)."""
+
+    items: Tuple[Term, ...]
+
+    def children(self) -> Tuple[Term, ...]:
+        return self.items
+
+
+# -- Arrays (the ListArray module) ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArrayLen(Term):
+    arr: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.arr,)
+
+
+@dataclass(frozen=True)
+class ArrayGet(Term):
+    """``ListArray.get a i`` -- functionally ``nth i a``."""
+
+    arr: Term
+    index: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.arr, self.index)
+
+
+@dataclass(frozen=True)
+class ArrayPut(Term):
+    """``ListArray.put a i v`` -- functionally ``a[i <- v]`` (a fresh list)."""
+
+    arr: Term
+    index: Term
+    value: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.arr, self.index, self.value)
+
+
+@dataclass(frozen=True)
+class ArrayMap(Term):
+    """``ListArray.map (fun elem => body) arr``."""
+
+    elem_name: str
+    body: Term
+    arr: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.body, self.arr)
+
+    def binders(self) -> Tuple[str, ...]:
+        return (self.elem_name,)
+
+
+@dataclass(frozen=True)
+class ArrayFold(Term):
+    """``List.fold_left (fun acc elem => body) arr init``."""
+
+    acc_name: str
+    elem_name: str
+    body: Term
+    init: Term
+    arr: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.body, self.init, self.arr)
+
+    def binders(self) -> Tuple[str, ...]:
+        return (self.acc_name, self.elem_name)
+
+
+@dataclass(frozen=True)
+class ArrayFoldBreak(Term):
+    """``fold_left`` with an early exit (§3: "folds, with and without
+    early exits").
+
+    Before each element, ``break_pred`` (over the accumulator, bound as
+    ``acc_name``) is evaluated; if true, the remaining elements are
+    skipped and the current accumulator is the result.
+    """
+
+    acc_name: str
+    elem_name: str
+    body: Term
+    init: Term
+    arr: Term
+    break_pred: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.body, self.init, self.arr, self.break_pred)
+
+    def binders(self) -> Tuple[str, ...]:
+        return (self.acc_name, self.elem_name)
+
+
+@dataclass(frozen=True)
+class RangedFor(Term):
+    """``fold over i in [lo, hi) with acc := init`` -- the ranged for loop.
+
+    ``body`` has free variables ``idx_name`` and ``acc_name`` and computes
+    the next accumulator.
+    """
+
+    lo: Term
+    hi: Term
+    idx_name: str
+    acc_name: str
+    body: Term
+    init: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.lo, self.hi, self.body, self.init)
+
+    def binders(self) -> Tuple[str, ...]:
+        return (self.idx_name, self.acc_name)
+
+
+@dataclass(frozen=True)
+class NatIter(Term):
+    """``Nat.iter count (fun acc => body) init`` (§3.4.2's example)."""
+
+    count: Term
+    acc_name: str
+    body: Term
+    init: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.count, self.body, self.init)
+
+    def binders(self) -> Tuple[str, ...]:
+        return (self.acc_name,)
+
+
+@dataclass(frozen=True)
+class FirstN(Term):
+    """``List.firstn n arr`` -- used in inferred loop invariants (§3.4.2)."""
+
+    count: Term
+    arr: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.count, self.arr)
+
+
+@dataclass(frozen=True)
+class SkipN(Term):
+    """``List.skipn n arr`` -- used in inferred loop invariants (§3.4.2)."""
+
+    count: Term
+    arr: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.count, self.arr)
+
+
+@dataclass(frozen=True)
+class Append(Term):
+    """``a ++ b`` -- used in inferred loop invariants (§3.4.2)."""
+
+    first: Term
+    second: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.first, self.second)
+
+
+# -- Inline tables ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableGet(Term):
+    """``InlineTable.get table i`` -- functionally just ``nth`` (§4.1.2).
+
+    The table contents are part of the term (they become a Bedrock2
+    ``inlinetable``, a function-local constant).
+    """
+
+    data: Tuple[int, ...]
+    elem_ty: SourceType
+    index: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.index,)
+
+
+# -- Cells --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellGet(Term):
+    cell: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.cell,)
+
+
+@dataclass(frozen=True)
+class CellPut(Term):
+    cell: Term
+    value: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.cell, self.value)
+
+
+# -- Annotations (semantically transparent, §3.4.1) -----------------------------------
+
+
+@dataclass(frozen=True)
+class Stack(Term):
+    """``stack (term)``: allocate the bound object on the stack."""
+
+    value: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.value,)
+
+
+@dataclass(frozen=True)
+class Copy(Term):
+    """``copy (term)``: force a fresh allocation instead of mutation."""
+
+    value: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.value,)
+
+
+# -- External calls ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Call(Term):
+    """A call to a separately compiled (or handwritten) low-level function."""
+
+    func: str
+    args: Tuple[Term, ...]
+
+    def children(self) -> Tuple[Term, ...]:
+        return self.args
+
+
+# -- Monadic structure (extensional effects, §3.4.1) -----------------------------------
+
+
+@dataclass(frozen=True)
+class MRet(Term):
+    """``ret v`` in whatever ambient monad the program lives in."""
+
+    value: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.value,)
+
+
+@dataclass(frozen=True)
+class MBind(Term):
+    """``bind ma (fun name => body)`` with a name-carrying binder."""
+
+    name: str
+    ma: Term
+    body: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.ma, self.body)
+
+    def binders(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+
+@dataclass(frozen=True)
+class IORead(Term):
+    """Read one word from the external world (I/O monad)."""
+
+
+@dataclass(frozen=True)
+class IOWrite(Term):
+    """Write one word to the external world (I/O monad)."""
+
+    value: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.value,)
+
+
+@dataclass(frozen=True)
+class WriterTell(Term):
+    """Append one word to the writer monad's output."""
+
+    value: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.value,)
+
+
+@dataclass(frozen=True)
+class ErrGuard(Term):
+    """The error monad's ``guard``: fail the whole computation unless
+    ``cond`` holds.  Failure short-circuits every later bind (§4.3:
+    "patterns like exceptions (using the error monad) ... are relatively
+    easy to support in Rupicola")."""
+
+    cond: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.cond,)
+
+
+@dataclass(frozen=True)
+class NdAny(Term):
+    """An unspecified scalar (nondeterminism monad's ``peek``)."""
+
+    ty: SourceType
+
+
+@dataclass(frozen=True)
+class NdAllocBytes(Term):
+    """A fresh buffer of ``nbytes`` unspecified bytes (nondet ``alloc``)."""
+
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class StGet(Term):
+    """Read the state-monad state."""
+
+
+@dataclass(frozen=True)
+class StPut(Term):
+    """Replace the state-monad state."""
+
+    value: Term
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.value,)
+
+
+# -- Generic helpers ---------------------------------------------------------------
+
+
+def free_vars(term: Term) -> set:
+    """Free variable names of ``term``."""
+    if isinstance(term, Var):
+        return {term.name}
+    if isinstance(term, Let):
+        return free_vars(term.value) | (free_vars(term.body) - {term.name})
+    if isinstance(term, LetTuple):
+        return free_vars(term.value) | (free_vars(term.body) - set(term.names))
+    if isinstance(term, MBind):
+        return free_vars(term.ma) | (free_vars(term.body) - {term.name})
+    if isinstance(term, ArrayMap):
+        return (free_vars(term.body) - {term.elem_name}) | free_vars(term.arr)
+    if isinstance(term, ArrayFold):
+        bound = {term.acc_name, term.elem_name}
+        return (
+            (free_vars(term.body) - bound)
+            | free_vars(term.init)
+            | free_vars(term.arr)
+        )
+    if isinstance(term, ArrayFoldBreak):
+        bound = {term.acc_name, term.elem_name}
+        return (
+            (free_vars(term.body) - bound)
+            | (free_vars(term.break_pred) - {term.acc_name})
+            | free_vars(term.init)
+            | free_vars(term.arr)
+        )
+    if isinstance(term, RangedFor):
+        bound = {term.idx_name, term.acc_name}
+        return (
+            free_vars(term.lo)
+            | free_vars(term.hi)
+            | (free_vars(term.body) - bound)
+            | free_vars(term.init)
+        )
+    if isinstance(term, NatIter):
+        return (
+            free_vars(term.count)
+            | (free_vars(term.body) - {term.acc_name})
+            | free_vars(term.init)
+        )
+    out: set = set()
+    for child in term.children():
+        out |= free_vars(child)
+    return out
+
+
+def subst(term: Term, name: str, replacement: Term) -> Term:
+    """Capture-avoiding-enough substitution (binders shadow)."""
+    if isinstance(term, Var):
+        return replacement if term.name == name else term
+    if isinstance(term, Let):
+        value = subst(term.value, name, replacement)
+        body = term.body if term.name == name else subst(term.body, name, replacement)
+        return Let(term.name, value, body)
+    if isinstance(term, LetTuple):
+        value = subst(term.value, name, replacement)
+        body = term.body if name in term.names else subst(term.body, name, replacement)
+        return LetTuple(term.names, value, body)
+    if isinstance(term, MBind):
+        ma = subst(term.ma, name, replacement)
+        body = term.body if term.name == name else subst(term.body, name, replacement)
+        return MBind(term.name, ma, body)
+    if isinstance(term, ArrayMap):
+        body = term.body if term.elem_name == name else subst(term.body, name, replacement)
+        return ArrayMap(term.elem_name, body, subst(term.arr, name, replacement))
+    if isinstance(term, ArrayFold):
+        shadowed = name in (term.acc_name, term.elem_name)
+        body = term.body if shadowed else subst(term.body, name, replacement)
+        return ArrayFold(
+            term.acc_name,
+            term.elem_name,
+            body,
+            subst(term.init, name, replacement),
+            subst(term.arr, name, replacement),
+        )
+    if isinstance(term, ArrayFoldBreak):
+        shadowed = name in (term.acc_name, term.elem_name)
+        body = term.body if shadowed else subst(term.body, name, replacement)
+        pred = (
+            term.break_pred
+            if name == term.acc_name
+            else subst(term.break_pred, name, replacement)
+        )
+        return ArrayFoldBreak(
+            term.acc_name,
+            term.elem_name,
+            body,
+            subst(term.init, name, replacement),
+            subst(term.arr, name, replacement),
+            pred,
+        )
+    if isinstance(term, RangedFor):
+        shadowed = name in (term.idx_name, term.acc_name)
+        body = term.body if shadowed else subst(term.body, name, replacement)
+        return RangedFor(
+            subst(term.lo, name, replacement),
+            subst(term.hi, name, replacement),
+            term.idx_name,
+            term.acc_name,
+            body,
+            subst(term.init, name, replacement),
+        )
+    if isinstance(term, NatIter):
+        body = term.body if term.acc_name == name else subst(term.body, name, replacement)
+        return NatIter(
+            subst(term.count, name, replacement),
+            term.acc_name,
+            body,
+            subst(term.init, name, replacement),
+        )
+    # Generic congruence case for nodes without binders.
+    if isinstance(term, Prim):
+        return Prim(term.op, tuple(subst(a, name, replacement) for a in term.args))
+    if isinstance(term, If):
+        return If(
+            subst(term.cond, name, replacement),
+            subst(term.then_, name, replacement),
+            subst(term.else_, name, replacement),
+        )
+    if isinstance(term, TupleTerm):
+        return TupleTerm(tuple(subst(a, name, replacement) for a in term.items))
+    if isinstance(term, ArrayLen):
+        return ArrayLen(subst(term.arr, name, replacement))
+    if isinstance(term, ArrayGet):
+        return ArrayGet(subst(term.arr, name, replacement), subst(term.index, name, replacement))
+    if isinstance(term, ArrayPut):
+        return ArrayPut(
+            subst(term.arr, name, replacement),
+            subst(term.index, name, replacement),
+            subst(term.value, name, replacement),
+        )
+    if isinstance(term, FirstN):
+        return FirstN(subst(term.count, name, replacement), subst(term.arr, name, replacement))
+    if isinstance(term, SkipN):
+        return SkipN(subst(term.count, name, replacement), subst(term.arr, name, replacement))
+    if isinstance(term, Append):
+        return Append(subst(term.first, name, replacement), subst(term.second, name, replacement))
+    if isinstance(term, TableGet):
+        return TableGet(term.data, term.elem_ty, subst(term.index, name, replacement))
+    if isinstance(term, CellGet):
+        return CellGet(subst(term.cell, name, replacement))
+    if isinstance(term, CellPut):
+        return CellPut(subst(term.cell, name, replacement), subst(term.value, name, replacement))
+    if isinstance(term, Stack):
+        return Stack(subst(term.value, name, replacement))
+    if isinstance(term, Copy):
+        return Copy(subst(term.value, name, replacement))
+    if isinstance(term, Call):
+        return Call(term.func, tuple(subst(a, name, replacement) for a in term.args))
+    if isinstance(term, MRet):
+        return MRet(subst(term.value, name, replacement))
+    if isinstance(term, IOWrite):
+        return IOWrite(subst(term.value, name, replacement))
+    if isinstance(term, WriterTell):
+        return WriterTell(subst(term.value, name, replacement))
+    if isinstance(term, StPut):
+        return StPut(subst(term.value, name, replacement))
+    return term
+
+
+def pretty(term: Term, indent: int = 0) -> str:
+    """A compact, Gallina-flavoured rendering used in stall messages."""
+    pad = "  " * indent
+    if isinstance(term, Lit):
+        return f"{term.value}"
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Prim):
+        args = ", ".join(pretty(a) for a in term.args)
+        return f"{term.op}({args})"
+    if isinstance(term, Let):
+        return (
+            f"let/n {term.name} := {pretty(term.value)} in\n"
+            f"{pad}{pretty(term.body, indent)}"
+        )
+    if isinstance(term, LetTuple):
+        return (
+            f"let/n ({', '.join(term.names)}) := {pretty(term.value)} in\n"
+            f"{pad}{pretty(term.body, indent)}"
+        )
+    if isinstance(term, If):
+        return f"if {pretty(term.cond)} then {pretty(term.then_)} else {pretty(term.else_)}"
+    if isinstance(term, TupleTerm):
+        return "(" + ", ".join(pretty(a) for a in term.items) + ")"
+    if isinstance(term, ArrayLen):
+        return f"len({pretty(term.arr)})"
+    if isinstance(term, ArrayGet):
+        return f"{pretty(term.arr)}[{pretty(term.index)}]"
+    if isinstance(term, ArrayPut):
+        return f"{pretty(term.arr)}[{pretty(term.index)} <- {pretty(term.value)}]"
+    if isinstance(term, ArrayMap):
+        return f"ListArray.map (fun {term.elem_name} => {pretty(term.body)}) {pretty(term.arr)}"
+    if isinstance(term, ArrayFold):
+        return (
+            f"fold_left (fun {term.acc_name} {term.elem_name} => {pretty(term.body)}) "
+            f"{pretty(term.arr)} {pretty(term.init)}"
+        )
+    if isinstance(term, ArrayFoldBreak):
+        return (
+            f"fold_left/break (fun {term.acc_name} {term.elem_name} => "
+            f"{pretty(term.body)}) {pretty(term.arr)} {pretty(term.init)} "
+            f"until {pretty(term.break_pred)}"
+        )
+    if isinstance(term, RangedFor):
+        return (
+            f"for {term.idx_name} in [{pretty(term.lo)}, {pretty(term.hi)}) "
+            f"(acc {term.acc_name} := {pretty(term.init)}) {{ {pretty(term.body)} }}"
+        )
+    if isinstance(term, NatIter):
+        return (
+            f"Nat.iter {pretty(term.count)} (fun {term.acc_name} => {pretty(term.body)}) "
+            f"{pretty(term.init)}"
+        )
+    if isinstance(term, FirstN):
+        return f"firstn {pretty(term.count)} {pretty(term.arr)}"
+    if isinstance(term, SkipN):
+        return f"skipn {pretty(term.count)} {pretty(term.arr)}"
+    if isinstance(term, Append):
+        return f"({pretty(term.first)} ++ {pretty(term.second)})"
+    if isinstance(term, TableGet):
+        return f"InlineTable.get <{len(term.data)} entries> {pretty(term.index)}"
+    if isinstance(term, CellGet):
+        return f"get({pretty(term.cell)})"
+    if isinstance(term, CellPut):
+        return f"put({pretty(term.cell)}, {pretty(term.value)})"
+    if isinstance(term, Stack):
+        return f"stack({pretty(term.value)})"
+    if isinstance(term, Copy):
+        return f"copy({pretty(term.value)})"
+    if isinstance(term, Call):
+        return f"{term.func}({', '.join(pretty(a) for a in term.args)})"
+    if isinstance(term, MRet):
+        return f"ret {pretty(term.value)}"
+    if isinstance(term, MBind):
+        return (
+            f"let/n! {term.name} := {pretty(term.ma)} in\n"
+            f"{pad}{pretty(term.body, indent)}"
+        )
+    if isinstance(term, IORead):
+        return "io.read()"
+    if isinstance(term, IOWrite):
+        return f"io.write({pretty(term.value)})"
+    if isinstance(term, WriterTell):
+        return f"tell({pretty(term.value)})"
+    if isinstance(term, ErrGuard):
+        return f"guard({pretty(term.cond)})"
+    if isinstance(term, NdAny):
+        return f"any({term.ty!r})"
+    if isinstance(term, NdAllocBytes):
+        return f"nd_alloc({term.nbytes})"
+    if isinstance(term, StGet):
+        return "st.get()"
+    if isinstance(term, StPut):
+        return f"st.put({pretty(term.value)})"
+    return repr(term)

@@ -1,0 +1,56 @@
+"""The step-by-step example of §2: compiling arithmetic to a stack machine.
+
+Language ``S`` is a simple arithmetic expression language; language ``T``
+is a stack machine.  The section develops, in order:
+
+1. a traditional *functional* compiler ``StoT`` (:mod:`compiler_fn`);
+2. the same compiler as a *relation* whose constructors mirror the
+   recursion (:mod:`relational`), run by proof search over an evar;
+3. *open-ended* compilation: no fixed relation, just a hint database of
+   facts (:mod:`relational`);
+4. compilation of *shallowly embedded* programs -- Python arithmetic over
+   symbolic values, which "would not even be expressible as a regular
+   Gallina function" (:mod:`shallow`).
+
+The equivalence ``t ~ s`` (running ``t`` pushes ``eval(s)`` on any stack)
+is checked by :func:`repro.stackmachine.lang.equivalent`.
+"""
+
+from repro.stackmachine.lang import (
+    SAdd,
+    SExpr,
+    SInt,
+    TOp,
+    TPopAdd,
+    TPush,
+    eval_s,
+    eval_t,
+    equivalent,
+)
+from repro.stackmachine.compiler_fn import s_to_t
+from repro.stackmachine.relational import (
+    Derivation,
+    RelationalCompiler,
+    STOT_RULES,
+    SHALLOW_RULES,
+)
+from repro.stackmachine.shallow import SymInt, compile_shallow
+
+__all__ = [
+    "SExpr",
+    "SInt",
+    "SAdd",
+    "TOp",
+    "TPush",
+    "TPopAdd",
+    "eval_s",
+    "eval_t",
+    "equivalent",
+    "s_to_t",
+    "Derivation",
+    "RelationalCompiler",
+    "STOT_RULES",
+    "SHALLOW_RULES",
+    "SymInt",
+    "compile_shallow",
+]

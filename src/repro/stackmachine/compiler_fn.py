@@ -1,0 +1,21 @@
+"""The traditional functional compiler of §2.1.
+
+    Fixpoint StoT (s: S) := match s with
+    | SInt z => [TPush z]
+    | SAdd s1 s2 => StoT s1 ++ StoT s2 ++ [TPopAdd]
+    end.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.stackmachine.lang import SAdd, SExpr, SInt, TOp, TPopAdd, TPush
+
+
+def s_to_t(expr: SExpr) -> Tuple[TOp, ...]:
+    if isinstance(expr, SInt):
+        return (TPush(expr.value),)
+    if isinstance(expr, SAdd):
+        return s_to_t(expr.lhs) + s_to_t(expr.rhs) + (TPopAdd(),)
+    raise TypeError(f"not an S expression: {expr!r}")

@@ -1,0 +1,100 @@
+"""Languages S and T of §2.1, with their semantics.
+
+S has constants and addition; T is a list of stack operations (push a
+constant, or pop two values and push their sum).  The equivalence
+``t ~ s`` is: for all stacks ``zs``, running ``t`` on ``zs`` yields
+``eval(s) :: zs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+
+class SExpr:
+    """Base class of source expressions (Coq's ``Inductive S``)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SInt(SExpr):
+    value: int
+
+    def __repr__(self) -> str:
+        return f"SInt({self.value})"
+
+
+@dataclass(frozen=True)
+class SAdd(SExpr):
+    lhs: SExpr
+    rhs: SExpr
+
+    def __repr__(self) -> str:
+        return f"SAdd({self.lhs!r}, {self.rhs!r})"
+
+
+class TOp:
+    """Base class of stack operations (Coq's ``Inductive T_Op``)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class TPush(TOp):
+    value: int
+
+    def __repr__(self) -> str:
+        return f"TPush({self.value})"
+
+
+@dataclass(frozen=True)
+class TPopAdd(TOp):
+    def __repr__(self) -> str:
+        return "TPopAdd"
+
+
+TProgram = Tuple[TOp, ...]
+
+
+def eval_s(expr: SExpr) -> int:
+    """``Fixpoint 𝜎S``."""
+    if isinstance(expr, SInt):
+        return expr.value
+    if isinstance(expr, SAdd):
+        return eval_s(expr.lhs) + eval_s(expr.rhs)
+    raise TypeError(f"not an S expression: {expr!r}")
+
+
+def eval_op(stack: List[int], op: TOp) -> List[int]:
+    """``Definition 𝜎Op``: invalid pops are no-ops, as in the paper."""
+    if isinstance(op, TPush):
+        return [op.value] + stack
+    if isinstance(op, TPopAdd):
+        if len(stack) >= 2:
+            z2, z1, *rest = stack
+            return [z1 + z2] + rest
+        return stack  # Invalid: no-op
+    raise TypeError(f"not a T operation: {op!r}")
+
+
+def eval_t(program: Sequence[TOp], stack: Sequence[int] = ()) -> List[int]:
+    """``Definition 𝜎T``: fold the operation semantics over the program."""
+    current = list(stack)
+    for op in program:
+        current = eval_op(current, op)
+    return current
+
+
+def equivalent(program: Sequence[TOp], expr: SExpr, probe_stacks=((), (1,), (5, 7))) -> bool:
+    """``t ~ s``: running ``t`` pushes ``eval s`` onto any stack.
+
+    The universal quantification over stacks is checked on probe stacks
+    plus the structural observation that T programs built from push/add
+    only touch what they push (tested separately with hypothesis).
+    """
+    expected = eval_s(expr)
+    return all(
+        eval_t(program, stack) == [expected] + list(stack) for stack in probe_stacks
+    )

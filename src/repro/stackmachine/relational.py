@@ -1,0 +1,141 @@
+"""Relational compilation of §2.2-2.3, in miniature.
+
+Instead of a function ``S -> T`` we have *rules* -- facts connecting
+target programs to source programs -- and a proof-search driver that
+solves goals of the form ``?t ~ s``: the placeholder ``?t`` (the paper's
+existential variable) is refined as rules are applied, and the finished
+derivation's witness is the compiled program.
+
+``STOT_RULES`` mirrors the two constructors of ``StoT_rel``:
+
+    | StoT_RInt : forall z, [TPush z] ℜ SInt z
+    | StoT_RAdd : forall t1 s1 t2 s2,
+        t1 ℜ s1 -> t2 ℜ s2 -> t1 ++ t2 ++ [TPopAdd] ℜ SAdd s1 s2
+
+``SHALLOW_RULES`` are the §2.4 lemmas over shallowly embedded sources
+(``GallinatoT_Z`` and ``GallinatoT_Zadd``); they match on the symbolic
+values of :mod:`repro.stackmachine.shallow` instead of S syntax.
+
+There is deliberately no fixed relation datatype: "a relational compiler
+is just a collection of facts", and :class:`RelationalCompiler` is just
+an ordered hint database plus logic-programming search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.stackmachine.lang import SAdd, SExpr, SInt, TOp, TPopAdd, TPush
+
+
+@dataclass
+class Rule:
+    """One correctness fact: a partial relation between T and S.
+
+    ``match`` returns None (rule inapplicable) or a pair
+    ``(subsources, combine)``: the sources of the premise subgoals and
+    the function assembling the conclusion's witness from their
+    witnesses.
+    """
+
+    name: str
+    match: Callable[[object], Optional[Tuple[Sequence[object], Callable]]]
+
+
+@dataclass
+class Derivation:
+    """A proof tree for ``t ~ s``; the paper prints these as proof terms."""
+
+    rule: str
+    source: object
+    program: Tuple[TOp, ...]
+    children: List["Derivation"] = field(default_factory=list)
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [f"{pad}({self.rule}) ?t := {list(self.program)} ~ {self.source!r}"]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+class CompilationFailed(Exception):
+    """No rule applies: the relational compiler is (by design) partial."""
+
+
+class RelationalCompiler:
+    """Proof search over an ordered collection of rules (a hint database)."""
+
+    def __init__(self, rules: Sequence[Rule]):
+        self.rules = list(rules)
+
+    def extended(self, *rules: Rule) -> "RelationalCompiler":
+        """User extension: new facts take priority over existing ones."""
+        return RelationalCompiler(list(rules) + self.rules)
+
+    def compile(self, source: object) -> Derivation:
+        """Prove ``exists t, t ~ source``; the witness is the program."""
+        for rule in self.rules:
+            matched = rule.match(source)
+            if matched is None:
+                continue
+            subsources, combine = matched
+            children = [self.compile(sub) for sub in subsources]
+            program = tuple(combine(*[child.program for child in children]))
+            return Derivation(rule.name, source, program, children)
+        raise CompilationFailed(
+            f"no rule applies to {source!r} "
+            f"(knows: {', '.join(rule.name for rule in self.rules)})"
+        )
+
+
+# -- The deep rules (§2.2): one per constructor of StoT_rel ---------------------
+
+
+def _match_int(source: object):
+    if isinstance(source, SInt):
+        return (), lambda: (TPush(source.value),)
+    return None
+
+
+def _match_add(source: object):
+    if isinstance(source, SAdd):
+        return (source.lhs, source.rhs), lambda t1, t2: t1 + t2 + (TPopAdd(),)
+    return None
+
+
+STOT_RULES = [
+    Rule("StoT_RInt", _match_int),
+    Rule("StoT_RAdd", _match_add),
+]
+
+
+# -- The shallow rules (§2.4): plain values on the right of ~ --------------------
+
+
+def _match_shallow_const(source: object):
+    from repro.stackmachine.shallow import SymInt
+
+    if isinstance(source, int):
+        return (), lambda: (TPush(source),)
+    if isinstance(source, SymInt) and source.op == "const":
+        return (), lambda: (TPush(source.value),)
+    return None
+
+
+def _match_shallow_add(source: object):
+    from repro.stackmachine.shallow import SymInt
+
+    if isinstance(source, SymInt) and source.op == "add":
+        return (source.lhs, source.rhs), lambda t1, t2: t1 + t2 + (TPopAdd(),)
+    return None
+
+
+SHALLOW_RULES = [
+    Rule("GallinatoT_Z", _match_shallow_const),
+    Rule("GallinatoT_Zadd", _match_shallow_add),
+]

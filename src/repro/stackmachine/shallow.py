@@ -1,0 +1,56 @@
+"""Shallow embedding for §2.4.
+
+In Coq, ``3 + 4`` is a Gallina term the proof engine can match on
+syntactically.  Python evaluates eagerly, so the shallow embedding uses
+:class:`SymInt`: a number that *is* usable as a value (it knows what it
+evaluates to) while also remembering how it was built -- the Python
+analogue of a shallowly embedded program that the compiler inspects.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.stackmachine.lang import TOp
+from repro.stackmachine.relational import Derivation, RelationalCompiler, SHALLOW_RULES
+
+IntLike = Union[int, "SymInt"]
+
+
+class SymInt:
+    """An integer-valued symbolic expression over constants and +."""
+
+    __slots__ = ("op", "value", "lhs", "rhs")
+
+    def __init__(self, value: int, op: str = "const", lhs=None, rhs=None):
+        self.op = op
+        self.value = value
+        self.lhs = lhs
+        self.rhs = rhs
+
+    @staticmethod
+    def lift(value: IntLike) -> "SymInt":
+        if isinstance(value, SymInt):
+            return value
+        return SymInt(int(value))
+
+    def __add__(self, other: IntLike) -> "SymInt":
+        rhs = SymInt.lift(other)
+        return SymInt(self.value + rhs.value, "add", self, rhs)
+
+    def __radd__(self, other: IntLike) -> "SymInt":
+        return SymInt.lift(other) + self
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        if self.op == "const":
+            return f"{self.value}"
+        return f"({self.lhs!r} + {self.rhs!r})"
+
+
+def compile_shallow(source: IntLike) -> Derivation:
+    """The §2.4 example: ``{ t7 | t7 ≈ 3 + 4 }`` by ``typeclasses eauto``."""
+    compiler = RelationalCompiler(SHALLOW_RULES)
+    return compiler.compile(source if isinstance(source, SymInt) else int(source))

@@ -1,0 +1,75 @@
+"""Rupicola's standard library of compilation lemmas.
+
+The core engine knows nothing about any particular source construct; all
+translation knowledge lives here, as pluggable lemmas grouped by domain
+exactly the way the paper's evaluation slices them (Table 1, §4.1.2):
+
+- :mod:`repro.stdlib.exprs` -- the relational expression compiler
+  (arithmetic over words/bytes/nats/bools, casts, locals lookup);
+- :mod:`repro.stdlib.bindings` -- plain scalar ``let/n`` bindings;
+- :mod:`repro.stdlib.mutation` -- in-place array/cell mutation
+  (intensional state, §3.4.1);
+- :mod:`repro.stdlib.control` -- conditionals with predicate inference;
+- :mod:`repro.stdlib.loops` -- map/fold/iter/ranged-for loop lemmas with
+  automatic invariant inference (§3.4.2);
+- :mod:`repro.stdlib.inline_tables` -- Bedrock2 inline tables (§4.1.2);
+- :mod:`repro.stdlib.stack_alloc` -- stack allocation (§4.1.2);
+- :mod:`repro.stdlib.monads` -- extensional effects: I/O, writer,
+  nondeterminism, state (§3.4.1);
+- :mod:`repro.stdlib.intrinsics` -- peephole-style program-specific
+  lemmas (Table 1's ``iadd``);
+- :mod:`repro.stdlib.calls` -- external function calls;
+- :mod:`repro.stdlib.expr_reflective` -- the §4.1.3 ablation: the
+  original monolithic (non-relational) expression compiler.
+
+:func:`default_databases` assembles the standard hint databases;
+:func:`default_engine` wires them into an engine.  Users extend a
+compiler by registering more lemmas -- see ``examples/extending.py``.
+"""
+
+from repro.core.engine import Engine
+from repro.core.lemma import HintDb
+from repro.core.solver import SolverBank
+
+
+def default_databases():
+    """The standard binding/expression hint databases (all extensions loaded)."""
+    from repro.stdlib import (
+        bindings,
+        calls,
+        control,
+        copying,
+        errors,
+        exprs,
+        inline_tables,
+        intrinsics,
+        loops,
+        monads,
+        mutation,
+        stack_alloc,
+    )
+
+    binding_db = HintDb("bindings")
+    expr_db = HintDb("exprs")
+    exprs.register(expr_db)
+    inline_tables.register(expr_db)
+    intrinsics.register_exprs(expr_db)
+    # Binding lemmas: order matters only within equal priorities; more
+    # specific shapes are registered at lower (= earlier) priorities.
+    intrinsics.register(binding_db)
+    mutation.register(binding_db)
+    copying.register(binding_db)
+    control.register(binding_db)
+    loops.register(binding_db)
+    stack_alloc.register(binding_db)
+    monads.register(binding_db)
+    errors.register(binding_db)
+    calls.register(binding_db)
+    bindings.register(binding_db)  # the generic scalar-set lemma goes last
+    return binding_db, expr_db
+
+
+def default_engine(width: int = 64, solvers: SolverBank = None) -> Engine:
+    """An engine with the full standard library loaded."""
+    binding_db, expr_db = default_databases()
+    return Engine(binding_db, expr_db, solvers=solvers or SolverBank(), width=width)

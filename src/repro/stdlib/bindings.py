@@ -1,0 +1,111 @@
+"""Plain scalar ``let/n`` bindings: one assignment per binding (§3.4.1).
+
+"In general, Rupicola expects input programs to be sequences of
+let-bindings, one per desired assignment in the target language."  The
+generic lemma here turns ``let/n x := <scalar value> in ...`` into
+``SSet(x, <compiled expression>)`` and records the binding in the
+symbolic state.  It is registered *last*: every more specific shape
+(mutation, loops, conditionals, effects) gets first refusal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bedrock2 import ast
+from repro.core.certificate import CertNode
+from repro.core.engine import resolve
+from repro.core.goals import BindingGoal, CompilationStalled
+from repro.core.lemma import BindingLemma, HintDb
+from repro.core.typecheck import infer_type
+from repro.source import terms as t
+from repro.source.types import NAT, WORD
+
+SCALAR_VALUE_NODES = (
+    t.Lit,
+    t.Var,
+    t.Prim,
+    t.ArrayGet,
+    t.ArrayLen,
+    t.TableGet,
+    t.CellGet,
+    t.MRet,
+)
+
+
+class CompilePointerIdentity(BindingLemma):
+    """``let/n a := a in k`` for a pointer-bound ``a``: nothing to emit.
+
+    Arises in conditional branches that leave an object unchanged (the
+    paper's CAS example: ``if t then (true, put c x) else (false, c)``);
+    compiling it as a scalar read would clobber the pointer local.
+    """
+
+    name = "compile_pointer_identity"
+
+    def matches(self, goal: BindingGoal) -> bool:
+        from repro.core.sepstate import PointerBinding
+
+        value = goal.value
+        if isinstance(value, t.MRet):
+            value = value.value
+        return (
+            isinstance(value, t.Var)
+            and value.name == goal.name
+            and isinstance(goal.state.binding(goal.name), PointerBinding)
+        )
+
+    def apply(self, goal: BindingGoal, engine) -> Tuple[ast.Stmt, object, List[CertNode]]:
+        from repro.bedrock2.ast import SSkip
+
+        return SSkip(), goal.state.copy(), []
+
+
+class CompileSetScalar(BindingLemma):
+    """``let/n x := v in k`` ~ ``SSeq (SSet x V) K`` for scalar ``v``.
+
+    Premises (mirroring the vector lemma of §3.3): an expression subgoal
+    ``EXPR m l V v``, and the continuation (handled by the engine's chain
+    walker, which passes the updated state along).
+    """
+
+    name = "compile_set_scalar"
+
+    def matches(self, goal: BindingGoal) -> bool:
+        value = goal.value
+        if isinstance(value, t.MRet):
+            value = value.value
+        if not isinstance(value, SCALAR_VALUE_NODES):
+            return False
+        try:
+            ty = infer_type(goal.state, resolve(goal.state, value))
+        except Exception:
+            return False
+        return ty.is_scalar
+
+    def apply(self, goal: BindingGoal, engine) -> Tuple[ast.Stmt, object, List[CertNode]]:
+        value = goal.value
+        if isinstance(value, t.MRet):
+            value = value.value
+        resolved = resolve(goal.state, value)
+        ty = infer_type(goal.state, resolved)
+        if ty is NAT:
+            # Nats are represented as words, so the emitted expression is
+            # the word encoding of_nat(v) (with its fits-in-a-word
+            # obligation); the *binding* keeps the nat term so that later
+            # nat-level uses (e.g. array indices) resolve correctly --
+            # the lookup lemma knows a NAT binding's local holds of_nat.
+            expr, node = engine.compile_expr_term(
+                goal.state, t.Prim("cast.of_nat", (resolved,)), WORD
+            )
+        else:
+            expr, node = engine.compile_expr_term(goal.state, resolved, ty)
+        state = goal.state.copy()
+        state.bind_scalar(goal.name, resolved, ty)
+        return ast.SSet(goal.name, expr), state, [node]
+
+
+def register(db: HintDb) -> HintDb:
+    db.register(CompilePointerIdentity(), priority=19)
+    db.register(CompileSetScalar(), priority=90)
+    return db

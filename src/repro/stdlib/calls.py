@@ -1,0 +1,77 @@
+"""External function calls.
+
+Rupicola supports "external functional calls" (§3): a model may invoke a
+separately compiled (or handwritten, even in machine code) Bedrock2
+function.  The call's functional meaning stays opaque -- a ``Call`` term
+over the resolved arguments -- and the validator resolves it against a
+user-supplied model-function table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bedrock2 import ast
+from repro.core.certificate import CertNode
+from repro.core.engine import resolve
+from repro.core.goals import BindingGoal
+from repro.core.lemma import BindingLemma, HintDb
+from repro.core.typecheck import infer_type
+from repro.source import terms as t
+from repro.source.types import WORD
+
+
+class CompileCall(BindingLemma):
+    """``let/n x := f(args) in k`` ~ ``SCall x = f(ARGS)`` (scalar args/result)."""
+
+    name = "compile_call"
+
+    def matches(self, goal: BindingGoal) -> bool:
+        return isinstance(goal.value, t.Call) and not goal.value.func.startswith(
+            "free."
+        )
+
+    def apply(self, goal: BindingGoal, engine) -> Tuple[ast.Stmt, object, List[CertNode]]:
+        value = goal.value
+        assert isinstance(value, t.Call)
+        state = goal.state
+        nodes: List[CertNode] = []
+        arg_exprs = []
+        resolved_args = []
+        for arg in value.args:
+            resolved = resolve(state, arg)
+            resolved_args.append(resolved)
+            ty = infer_type(state, resolved)
+            if not ty.is_scalar:
+                # Passing a buffer to an opaque callee would let it mutate
+                # memory behind the symbolic state's back; supporting that
+                # soundly needs a callee contract (a per-function spec), so
+                # it is a user extension, not a default.
+                from repro.core.goals import CompilationStalled
+
+                raise CompilationStalled(
+                    goal.describe(),
+                    advice=(
+                        "external calls take scalar arguments only; to pass "
+                        "a buffer, register a call lemma carrying the "
+                        "callee's footprint contract"
+                    ),
+                )
+            expr, node = engine.compile_expr_term(state, resolved, ty)
+            arg_exprs.append(expr)
+            if node is not None:
+                nodes.append(node)
+        new_state = state.copy()
+        new_state.bind_scalar(
+            goal.name, t.Call(value.func, tuple(resolved_args)), WORD
+        )
+        return (
+            ast.SCall((goal.name,), value.func, tuple(arg_exprs)),
+            new_state,
+            nodes,
+        )
+
+
+def register(db: HintDb) -> HintDb:
+    db.register(CompileCall(), priority=40)
+    return db

@@ -1,0 +1,188 @@
+"""Conditionals, with predicate inference at the join point (§3.4.2).
+
+The join problem: after ``if (t) { ... } else { ... }``, naive strongest
+postconditions produce a disjunction "incomprehensible to later
+compilation steps".  Rupicola instead computes a predicate *template*
+(abstract over each target's binding/clause) and instantiates it with the
+source conditional itself, so the merged symbolic value of target ``x``
+is literally ``if t then v1 else v2`` -- exactly what later syntactic
+matching expects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bedrock2 import ast
+from repro.core.certificate import CertNode
+from repro.core.engine import resolve
+from repro.core.goals import BindingGoal
+from repro.core.invariants import classify_target, merge_conditional
+from repro.core.lemma import BindingLemma, HintDb
+from repro.core.typecheck import infer_type
+from repro.source import terms as t
+from repro.source.types import BOOL
+
+
+class CompileIf(BindingLemma):
+    """``let/n x := if c then a else b in k`` ~ ``SCond``.
+
+    Each branch is compiled as its own mini-derivation targeting the same
+    binding; the join instantiates the inferred template with the source
+    ``if`` term, per the compare-and-swap walkthrough of §3.4.2.
+    """
+
+    name = "compile_if"
+
+    def matches(self, goal: BindingGoal) -> bool:
+        return isinstance(goal.value, t.If)
+
+    def apply(self, goal: BindingGoal, engine) -> Tuple[ast.Stmt, object, List[CertNode]]:
+        if goal.names is not None:
+            return self._apply_multi(goal, engine)
+        value = goal.value
+        assert isinstance(value, t.If)
+        state = goal.state
+        cond_resolved = resolve(state, value.cond)
+        cond_expr, cond_node = engine.compile_expr_term(state, cond_resolved, BOOL)
+
+        # Compile both branches against copies of the current state, each
+        # extended with its path condition (so e.g. a bounds access guarded
+        # by its own index test discharges inside the branch).
+        then_state_in = state.copy()
+        then_state_in.add_fact(cond_resolved)
+        then_stmt, then_state, then_nodes = engine.compile_value_into(
+            then_state_in, goal.name, value.then_, goal.spec
+        )
+        else_state_in = state.copy()
+        negated = _negate(cond_resolved)
+        if negated is not None:
+            else_state_in.add_fact(negated)
+        else_stmt, else_state, else_nodes = engine.compile_value_into(
+            else_state_in, goal.name, value.else_, goal.spec
+        )
+
+        # Step 1 of the heuristic: the target is the bound name.  Collect
+        # its branch values (scalar binding or heap clause, per step 2).
+        target = classify_target(state, goal.name)
+        self._check_single_target(goal, state, then_state, else_state, target)
+        then_value = then_state.value_of(goal.name)
+        else_value = else_state.value_of(goal.name)
+        if then_value is None or else_value is None:
+            # A branch did not bind the target (e.g. `else c`: the name
+            # existed before and is unchanged).
+            base_value = state.value_of(goal.name)
+            then_value = then_value if then_value is not None else base_value
+            else_value = else_value if else_value is not None else base_value
+        assert then_value is not None and else_value is not None
+
+        scalar_types: Dict[str, object] = {}
+        if target.kind == "scalar":
+            scalar_types[goal.name] = infer_type(
+                then_state if goal.name in then_state.locals else state, then_value
+            )
+        merged = merge_conditional(
+            state,
+            [goal.name],
+            cond_resolved,
+            {goal.name: then_value},
+            {goal.name: else_value},
+            scalar_types,  # type: ignore[arg-type]
+        )
+        stmt = ast.SCond(cond_expr, then_stmt, else_stmt)
+        return stmt, merged, [cond_node] + then_nodes + else_nodes
+
+    def _apply_multi(self, goal: BindingGoal, engine):
+        """The full §3.4.2 heuristic: several targets, one conditional.
+
+        ``let/n (r, c) := if t then (true, put c x) else (false, c)``:
+        each branch is a tuple of per-target values, compiled in order;
+        the join instantiates the template with one source conditional
+        per target.
+        """
+        from repro.core.goals import CompilationStalled
+
+        value = goal.value
+        assert isinstance(value, t.If) and goal.names is not None
+        names = list(goal.names)
+        state = goal.state
+        cond_resolved = resolve(state, value.cond)
+        cond_expr, cond_node = engine.compile_expr_term(state, cond_resolved, BOOL)
+        nodes = [cond_node]
+
+        def compile_branch(branch: t.Term, fact):
+            if not (isinstance(branch, t.TupleTerm) and len(branch.items) == len(names)):
+                raise CompilationStalled(
+                    goal.describe(),
+                    advice="each branch of a multi-target conditional must be "
+                    f"a {len(names)}-tuple",
+                )
+            branch_state = state.copy()
+            if fact is not None:
+                branch_state.add_fact(fact)
+            stmts = []
+            for target, component in zip(names, branch.items):
+                stmt, branch_state, child_nodes = engine.compile_value_into(
+                    branch_state, target, component, goal.spec
+                )
+                stmts.append(stmt)
+                nodes.extend(child_nodes)
+            values = {}
+            for target in names:
+                current = branch_state.value_of(target)
+                values[target] = current if current is not None else state.value_of(target)
+            return ast.seq_of(*stmts), branch_state, values
+
+        then_stmt, then_state, then_values = compile_branch(value.then_, cond_resolved)
+        else_stmt, else_state, else_values = compile_branch(
+            value.else_, _negate(cond_resolved)
+        )
+
+        scalar_types = {}
+        for target in names:
+            kind = classify_target(state, target)
+            if kind.kind == "scalar":
+                source_state = then_state if target in then_state.locals else state
+                scalar_types[target] = infer_type(source_state, then_values[target])
+        merged = merge_conditional(
+            state, names, cond_resolved, then_values, else_values, scalar_types
+        )
+        return ast.SCond(cond_expr, then_stmt, else_stmt), merged, nodes
+
+    def _check_single_target(self, goal, base, then_state, else_state, target):
+        """Refuse (loudly) branches that mutate anything but the target."""
+        from repro.core.goals import CompilationStalled
+
+        target_ptr = target.ptr
+        for branch_state in (then_state, else_state):
+            for ptr, clause in branch_state.heap.items():
+                if ptr == target_ptr:
+                    continue
+                base_clause = base.heap.get(ptr)
+                if base_clause is not None and base_clause.value != clause.value:
+                    raise CompilationStalled(
+                        goal.describe(),
+                        advice=(
+                            "a conditional branch mutates more than the bound "
+                            "target; bind every modified object in the "
+                            "conditional's result (multi-target joins are a "
+                            "compiler extension)"
+                        ),
+                    )
+
+
+def _negate(cond: t.Term):
+    """The negation of a comparison, when expressible as another fact."""
+    if isinstance(cond, t.Prim):
+        if cond.op == "nat.ltb":
+            return t.Prim("nat.leb", (cond.args[1], cond.args[0]))
+        if cond.op == "nat.leb":
+            return t.Prim("nat.ltb", (cond.args[1], cond.args[0]))
+        if cond.op == "bool.negb":
+            return cond.args[0]
+    return None
+
+
+def register(db: HintDb) -> HintDb:
+    db.register(CompileIf(), priority=30)
+    return db

@@ -1,0 +1,71 @@
+"""The error monad: guards with short-circuit compilation (§4.3).
+
+"Patterns like exceptions (using the error monad) ... are relatively easy
+to support in Rupicola" -- this module is that support.  A model written
+in the error monad interleaves ``guard cond`` steps with ordinary binds;
+each guard compiles to a conditional that either continues with the rest
+of the function or clears the success flag:
+
+    ok = 1; _errv = 0;            // engine prologue (error specs only)
+    ...
+    if (COND) { ...rest of the function... } else { ok = 0 }
+    return (ok, _errv)
+
+Because the guard lemma wraps the *continuation*, all code after a failed
+guard is skipped, matching the monad's short-circuit semantics; and the
+guard's condition becomes a path-condition fact for everything after it,
+so a bounds guard makes subsequent array accesses verifiable -- the same
+synergy the conditional lemma has (§3.4.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bedrock2 import ast
+from repro.core.certificate import CertNode
+from repro.core.engine import resolve
+from repro.core.goals import BindingGoal, CompilationStalled
+from repro.core.lemma import BindingLemma, HintDb, WrapStmt
+from repro.source import terms as t
+from repro.source.types import BOOL
+
+
+class CompileErrGuard(BindingLemma):
+    """``let/n! _ := guard cond in k`` ~ ``if (COND) { K } else { ok = 0 }``."""
+
+    name = "compile_err_guard"
+
+    def matches(self, goal: BindingGoal) -> bool:
+        return isinstance(goal.value, t.ErrGuard)
+
+    def apply(self, goal: BindingGoal, engine) -> Tuple[WrapStmt, object, List[CertNode]]:
+        value = goal.value
+        assert isinstance(value, t.ErrGuard)
+        state = goal.state
+        flag = engine.ERROR_FLAG_LOCAL
+        if state.binding(flag) is None:
+            raise CompilationStalled(
+                goal.describe(),
+                advice=(
+                    "guard appears in a function whose spec has no error "
+                    "flag; declare error_out() as the first output"
+                ),
+            )
+        cond_resolved = resolve(state, value.cond)
+        cond_expr, cond_node = engine.compile_expr_term(state, cond_resolved, BOOL)
+        new_state = state.copy()
+        # The continuation only runs when the guard held.
+        new_state.add_fact(cond_resolved)
+        new_state.bind_scalar(goal.name, t.Lit(0, BOOL), BOOL)
+        fail = ast.SSet(flag, ast.ELit(0))
+
+        def wrap(rest: ast.Stmt) -> ast.Stmt:
+            return ast.SCond(cond_expr, rest, fail)
+
+        return WrapStmt(wrap), new_state, [cond_node]
+
+
+def register(db: HintDb) -> HintDb:
+    db.register(CompileErrGuard(), priority=15)
+    return db

@@ -1,0 +1,159 @@
+"""The §4.1.3 ablation: Rupicola's *original* expression compiler.
+
+"Originally ... we compiled expressions by reifying them into an AST type
+and then using a very simple verified compiler targeting Bedrock2's
+expression language ... This was a miscalculation: extending that
+compiler was complicated ... and customizing its output for a specific
+program required duplicating the entire compiler to change just one
+case."
+
+This module reproduces that design as a single monolithic recursive
+function: same input shapes as the relational expression lemmas, one
+closed ``if/elif`` chain, no extension points.  The E6 benchmark compares
+it against the relational version on lines of code, extension ergonomics
+(you *can't* extend this one without editing it), and compile time (the
+paper reports the relational version cost < 30% overall).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bedrock2 import ast
+from repro.core.goals import CompilationStalled, ExprGoal
+from repro.core.sepstate import SymState
+from repro.core.solver import canonicalize
+from repro.source import terms as t
+from repro.source.ops import get_op
+from repro.source.types import NAT
+from repro.stdlib.exprs import clause_for_array, find_local_canonical, scaled_index
+from repro.stdlib.inline_tables import pack_table
+
+
+def compile_expr_reflective(engine, state: SymState, term: t.Term) -> ast.Expr:
+    """The monolithic compiler: one function, every case inlined.
+
+    Matches the relational compiler's outputs exactly (tested), so the
+    ablation isolates the *architecture*, not the generated code.
+    """
+    # Case 1: literals.
+    if isinstance(term, t.Lit) and not isinstance(term.value, (list, tuple)):
+        value = term.value
+        if isinstance(value, bool):
+            return ast.ELit(1 if value else 0)
+        if term.ty is NAT:
+            engine.discharge(
+                t.Prim("nat.ltb", (term, t.Lit(1 << engine.width, NAT))),
+                state,
+                "literal fits in a word",
+            )
+        return ast.ELit(value & ((1 << engine.width) - 1))
+
+    # Case 2: locals lookup.
+    local = find_local_canonical(state, term)
+    if local is not None:
+        return ast.EVar(local)
+
+    # Case 3: known-capacity lengths.
+    inner = term
+    if isinstance(inner, t.Prim) and inner.op == "cast.of_nat":
+        inner = inner.args[0]
+    if isinstance(inner, t.ArrayLen):
+        for clause in state.heap.values():
+            if clause.value == inner.arr and clause.capacity is not None:
+                return ast.ELit(clause.capacity)
+
+    # Case 4: cell loads.
+    for ptr, clause in state.heap.items():
+        if clause.ty.kind.value == "cell" and clause.value == term:
+            cell_local = state.find_pointer_local(ptr)
+            if cell_local is not None:
+                return ast.ELoad(engine.elem_byte_size(clause.ty), ast.EVar(cell_local))
+
+    # Case 5: array gets.
+    if isinstance(term, t.ArrayGet):
+        found = clause_for_array(state, term.arr, term.index)
+        if found is None:
+            raise CompilationStalled("reflective: no clause covers the array")
+        ptr, clause = found
+        arr_local = state.find_pointer_local(ptr)
+        if arr_local is None:
+            raise CompilationStalled("reflective: no local holds the pointer")
+        engine.discharge(
+            t.Prim("nat.ltb", (term.index, t.ArrayLen(term.arr))),
+            state,
+            "array index in bounds",
+        )
+        index = compile_expr_reflective(
+            engine, state, t.Prim("cast.of_nat", (term.index,))
+        )
+        size = engine.elem_byte_size(clause.ty)
+        return ast.ELoad(
+            size, ast.EOp("add", ast.EVar(arr_local), scaled_index(engine, index, size))
+        )
+
+    # Case 6: inline tables.
+    if isinstance(term, t.TableGet):
+        engine.discharge(
+            t.Prim("nat.ltb", (term.index, t.Lit(len(term.data), NAT))),
+            state,
+            "table index in bounds",
+        )
+        index = compile_expr_reflective(
+            engine, state, t.Prim("cast.of_nat", (term.index,))
+        )
+        size = engine.scalar_byte_size(term.elem_ty)
+        return ast.EInlineTable(
+            size, pack_table(term.data, size), scaled_index(engine, index, size)
+        )
+
+    # Case 7: primitive operations, every lowering spelled out.
+    if isinstance(term, t.Prim):
+        op = get_op(term.op)
+        lower = op.lower
+
+        def arg(index: int) -> ast.Expr:
+            return compile_expr_reflective(engine, state, term.args[index])
+
+        if lower[0] == "op":
+            return ast.EOp(lower[1], arg(0), arg(1))
+        if lower[0] == "op_mask8":
+            return ast.EOp("and", ast.EOp(lower[1], arg(0), arg(1)), ast.ELit(0xFF))
+        if lower[0] == "eq0":
+            return ast.EOp("eq", arg(0), ast.ELit(0))
+        if lower[0] == "id":
+            return arg(0)
+        if lower[0] == "mask8":
+            return ast.EOp("and", arg(0), ast.ELit(0xFF))
+        if lower[0] == "leb":
+            return ast.EOp("eq", ast.EOp("ltu", arg(1), arg(0)), ast.ELit(0))
+        if lower[0] == "guarded":
+            width_lit = t.Lit(1 << engine.width, NAT)
+            kind = lower[1]
+            if kind == "fits_word":
+                engine.discharge(
+                    t.Prim("nat.ltb", (term.args[0], width_lit)), state, "fits"
+                )
+                return arg(0)
+            if kind == "add_no_overflow":
+                engine.discharge(t.Prim("nat.ltb", (term, width_lit)), state, "fits")
+                return ast.EOp("add", arg(0), arg(1))
+            if kind == "sub_no_underflow":
+                engine.discharge(
+                    t.Prim("nat.leb", (term.args[1], term.args[0])), state, "fits"
+                )
+                return ast.EOp("sub", arg(0), arg(1))
+            if kind == "mul_no_overflow":
+                engine.discharge(t.Prim("nat.ltb", (term, width_lit)), state, "fits")
+                return ast.EOp("mul", arg(0), arg(1))
+            if kind == "div_nonzero":
+                engine.discharge(
+                    t.Prim("nat.ltb", (t.Lit(0, NAT), term.args[1])), state, "nonzero"
+                )
+                return ast.EOp("divu", arg(0), arg(1))
+
+    raise CompilationStalled(
+        f"reflective expression compiler: unhandled term {t.pretty(term)} "
+        "(to support it you must edit compile_expr_reflective itself -- "
+        "that is the point of the ablation)"
+    )

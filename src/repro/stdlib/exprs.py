@@ -1,0 +1,326 @@
+"""The relational expression compiler (§4.1.3).
+
+Originally Rupicola compiled expressions by reifying them into an AST and
+running a small verified compiler; the paper describes switching to
+relational compilation because extending the reflective compiler "required
+modifications in increasingly complex Coq tactics".  This module is the
+relational version: one small lemma per expression shape, registered into
+an ordered hint database.  (:mod:`repro.stdlib.expr_reflective` keeps the
+monolithic version for the E6 ablation.)
+
+Lemmas, in priority order:
+
+1. ``expr_lit``          -- literals;
+2. ``expr_local_lookup`` -- a local already holds this value (matching is
+   syntactic modulo length canonicalization);
+3. ``expr_cell_load``    -- some cell's content is this value;
+4. ``expr_array_get``    -- ``ListArray.get``, with a bounds obligation;
+5. ``expr_prim``         -- primitive ops via their catalog lowering
+   specs, including the guarded nat lowerings (overflow obligations).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.bedrock2 import ast
+from repro.core.certificate import CertNode
+from repro.core.goals import CompilationStalled, ExprGoal
+from repro.core.lemma import ExprLemma, HintDb
+from repro.core.sepstate import Clause, PtrSym, ScalarBinding, SymState
+from repro.core.solver import canonicalize, normalize_len
+from repro.core.typecheck import infer_type
+from repro.source import terms as t
+from repro.source.ops import get_op
+from repro.source.types import BOOL, NAT, TypeKind
+
+
+def find_local_canonical(state: SymState, term: t.Term) -> Optional[str]:
+    """Reverse lookup of a local by value, modulo length canonicalization.
+
+    A local bound at type ``nat`` physically holds ``of_nat`` of its
+    value, so such bindings also answer lookups for the of_nat-wrapped
+    term.
+    """
+    direct = state.find_local_by_value(term)
+    if direct is not None:
+        return direct
+    canonical = canonicalize(term)
+    for name, binding in state.locals.items():
+        if not isinstance(binding, ScalarBinding):
+            continue
+        stored = canonicalize(binding.term)
+        if stored == canonical:
+            return name
+        if binding.ty is NAT and canonicalize(
+            t.Prim("cast.of_nat", (binding.term,))
+        ) == canonical:
+            return name
+    return None
+
+
+def clause_for_array(
+    state: SymState, arr: t.Term, index: Optional[t.Term] = None
+) -> Optional[Tuple[PtrSym, Clause]]:
+    """Find the heap clause whose contents denote ``arr``.
+
+    Besides exact matches, this recognizes the loop-invariant shape: when
+    the heap holds ``prefix ++ skipn i l`` and we want element ``i`` of
+    ``l``, the addressed suffix is untouched, so the clause applies.
+    """
+    for ptr, clause in state.heap.items():
+        if clause.ty.kind is not TypeKind.ARRAY:
+            continue
+        if clause.value == arr:
+            return ptr, clause
+    if index is not None:
+        for ptr, clause in state.heap.items():
+            if clause.ty.kind is not TypeKind.ARRAY:
+                continue
+            value = clause.value
+            if (
+                isinstance(value, t.Append)
+                and isinstance(value.second, t.SkipN)
+                and value.second.arr == arr
+                and value.second.count == index
+            ):
+                return ptr, clause
+    return None
+
+
+def scaled_index(engine, index_expr: ast.Expr, elem_size: int) -> ast.Expr:
+    if elem_size == 1:
+        return index_expr
+    return ast.EOp("mul", index_expr, ast.ELit(elem_size))
+
+
+class ExprLit(ExprLemma):
+    """``[TPush z] ~ z`` for words: literals compile to literals."""
+
+    name = "expr_lit"
+
+    def matches(self, goal: ExprGoal) -> bool:
+        return isinstance(goal.term, t.Lit) and not isinstance(
+            goal.term.value, (list, tuple)
+        )
+
+    def apply(self, goal: ExprGoal, engine) -> Tuple[ast.Expr, List[CertNode]]:
+        value = goal.term.value
+        if isinstance(value, bool):
+            return ast.ELit(1 if value else 0), []
+        assert isinstance(value, int)
+        if goal.term.ty is NAT:
+            engine.discharge(
+                t.Prim("nat.ltb", (goal.term, t.Lit(1 << engine.width, NAT))),
+                goal.state,
+                "literal fits in a word",
+            )
+        return ast.ELit(value & ((1 << engine.width) - 1)), []
+
+
+class ExprLocalLookup(ExprLemma):
+    """A local variable already holds this value: emit a variable read.
+
+    This is the analogue of the paper's premise ``map.get l v = Some x``.
+    """
+
+    name = "expr_local_lookup"
+
+    def matches(self, goal: ExprGoal) -> bool:
+        return find_local_canonical(goal.state, goal.term) is not None
+
+    def apply(self, goal: ExprGoal, engine) -> Tuple[ast.Expr, List[CertNode]]:
+        local = find_local_canonical(goal.state, goal.term)
+        assert local is not None
+        return ast.EVar(local), []
+
+
+class ExprKnownLength(ExprLemma):
+    """``length a`` where the owning clause has a static capacity
+    (stack-allocated buffers): compile to the literal."""
+
+    name = "expr_known_len"
+
+    def _find(self, state: SymState, term: t.Term):
+        inner = term
+        if isinstance(inner, t.Prim) and inner.op == "cast.of_nat":
+            inner = inner.args[0]
+        if not isinstance(inner, t.ArrayLen):
+            return None
+        for clause in state.heap.values():
+            if clause.value == inner.arr and clause.capacity is not None:
+                return clause.capacity
+        return None
+
+    def matches(self, goal: ExprGoal) -> bool:
+        return self._find(goal.state, goal.term) is not None
+
+    def apply(self, goal: ExprGoal, engine) -> Tuple[ast.Expr, List[CertNode]]:
+        capacity = self._find(goal.state, goal.term)
+        assert capacity is not None
+        return ast.ELit(capacity), []
+
+
+class ExprCellLoad(ExprLemma):
+    """Some cell's content denotes this value: emit a load through its pointer."""
+
+    name = "expr_cell_load"
+
+    def _find(self, state: SymState, term: t.Term):
+        for ptr, clause in state.heap.items():
+            if clause.ty.kind is TypeKind.CELL and clause.value == term:
+                local = state.find_pointer_local(ptr)
+                if local is not None:
+                    return local, clause
+        return None
+
+    def matches(self, goal: ExprGoal) -> bool:
+        return self._find(goal.state, goal.term) is not None
+
+    def apply(self, goal: ExprGoal, engine) -> Tuple[ast.Expr, List[CertNode]]:
+        found = self._find(goal.state, goal.term)
+        assert found is not None
+        local, clause = found
+        size = engine.elem_byte_size(clause.ty)
+        return ast.ELoad(size, ast.EVar(local)), []
+
+
+class ExprArrayGet(ExprLemma):
+    """``ListArray.get a i`` becomes a load at ``p + i * elem_size``.
+
+    Premises: the state owns an array clause denoting ``a``; a local holds
+    its pointer; the index compiles; and ``i < length a`` (discharged by
+    the solver bank -- the "plug in Coq's linear-arithmetic solver to
+    handle index-bounds side conditions" step of §3.2).
+    """
+
+    name = "expr_array_get"
+
+    def matches(self, goal: ExprGoal) -> bool:
+        return isinstance(goal.term, t.ArrayGet)
+
+    def apply(self, goal: ExprGoal, engine) -> Tuple[ast.Expr, List[CertNode]]:
+        term = goal.term
+        assert isinstance(term, t.ArrayGet)
+        found = clause_for_array(goal.state, term.arr, term.index)
+        if found is None:
+            raise CompilationStalled(
+                goal.describe(),
+                advice="no separation-logic clause covers this array value",
+            )
+        ptr, clause = found
+        local = goal.state.find_pointer_local(ptr)
+        if local is None:
+            raise CompilationStalled(
+                goal.describe(), advice=f"no local variable holds pointer {ptr!r}"
+            )
+        engine.discharge(
+            t.Prim("nat.ltb", (term.index, t.ArrayLen(term.arr))),
+            goal.state,
+            "array index in bounds",
+        )
+        index_expr, index_node = engine.compile_expr_term(
+            goal.state, t.Prim("cast.of_nat", (term.index,)), None
+        )
+        size = engine.elem_byte_size(clause.ty)
+        addr = ast.EOp("add", ast.EVar(local), scaled_index(engine, index_expr, size))
+        return ast.ELoad(size, addr), [index_node]
+
+
+class ExprPrim(ExprLemma):
+    """Primitive operations, lowered per their catalog specs.
+
+    Each catalog entry's ``lower`` field is interpreted here; because this
+    is just one lemma among equals in the hint database, a user lemma
+    registered earlier can override the lowering of any particular
+    operation or term shape.
+    """
+
+    name = "expr_prim"
+
+    def matches(self, goal: ExprGoal) -> bool:
+        return isinstance(goal.term, t.Prim)
+
+    def apply(self, goal: ExprGoal, engine) -> Tuple[ast.Expr, List[CertNode]]:
+        term = goal.term
+        assert isinstance(term, t.Prim)
+        op = get_op(term.op)
+        lower = op.lower
+        nodes: List[CertNode] = []
+
+        def compile_arg(index: int) -> ast.Expr:
+            expr, node = engine.compile_expr_term(goal.state, term.args[index], None)
+            nodes.append(node)
+            return expr
+
+        if lower[0] == "op":
+            lhs, rhs = compile_arg(0), compile_arg(1)
+            return ast.EOp(lower[1], lhs, rhs), nodes
+        if lower[0] == "op_mask8":
+            lhs, rhs = compile_arg(0), compile_arg(1)
+            return ast.EOp("and", ast.EOp(lower[1], lhs, rhs), ast.ELit(0xFF)), nodes
+        if lower[0] == "eq0":
+            return ast.EOp("eq", compile_arg(0), ast.ELit(0)), nodes
+        if lower[0] == "id":
+            return compile_arg(0), nodes
+        if lower[0] == "mask8":
+            return ast.EOp("and", compile_arg(0), ast.ELit(0xFF)), nodes
+        if lower[0] == "leb":
+            # a <= b  ~>  !(b < a)  ~>  (b < a) == 0
+            lhs, rhs = compile_arg(0), compile_arg(1)
+            return ast.EOp("eq", ast.EOp("ltu", rhs, lhs), ast.ELit(0)), nodes
+        if lower[0] == "guarded":
+            kind = lower[1]
+            width_lit = t.Lit(1 << engine.width, NAT)
+            if kind == "fits_word":
+                engine.discharge(
+                    t.Prim("nat.ltb", (term.args[0], width_lit)),
+                    goal.state,
+                    "nat fits in a word",
+                )
+                return compile_arg(0), nodes
+            if kind == "add_no_overflow":
+                engine.discharge(
+                    t.Prim("nat.ltb", (term, width_lit)),
+                    goal.state,
+                    "nat addition does not overflow",
+                )
+                return ast.EOp("add", compile_arg(0), compile_arg(1)), nodes
+            if kind == "sub_no_underflow":
+                engine.discharge(
+                    t.Prim("nat.leb", (term.args[1], term.args[0])),
+                    goal.state,
+                    "nat subtraction does not underflow",
+                )
+                return ast.EOp("sub", compile_arg(0), compile_arg(1)), nodes
+            if kind == "mul_no_overflow":
+                engine.discharge(
+                    t.Prim("nat.ltb", (term, width_lit)),
+                    goal.state,
+                    "nat multiplication does not overflow",
+                )
+                return ast.EOp("mul", compile_arg(0), compile_arg(1)), nodes
+            if kind == "div_nonzero":
+                # Coq's x / 0 = 0, but divu by zero is all-ones: the
+                # lowering is only valid for a nonzero divisor.
+                engine.discharge(
+                    t.Prim("nat.ltb", (t.Lit(0, NAT), term.args[1])),
+                    goal.state,
+                    "nat division by nonzero",
+                )
+                return ast.EOp("divu", compile_arg(0), compile_arg(1)), nodes
+        raise CompilationStalled(
+            goal.describe(),
+            advice=f"no lowering interpretation for spec {lower!r} of {term.op}",
+        )
+
+
+def register(db: HintDb) -> HintDb:
+    """Register the standard expression lemmas (priority = listed order)."""
+    db.register(ExprLit(), priority=10)
+    db.register(ExprLocalLookup(), priority=11)
+    db.register(ExprKnownLength(), priority=12)
+    db.register(ExprCellLoad(), priority=12)
+    db.register(ExprArrayGet(), priority=13)
+    db.register(ExprPrim(), priority=14)
+    return db

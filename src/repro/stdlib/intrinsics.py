@@ -1,0 +1,84 @@
+"""Program-specific peephole lemmas: Table 1's ``iadd``.
+
+These illustrate the paper's headline extensibility claim: a user can
+capture a low-level implementation trick as a lemma and get "complete
+control over the compiler's output".  ``iadd`` recognizes the pure
+pattern ``put c (get c + v)`` and emits a single read-modify-write
+statement instead of the generic get-then-put sequence -- the kind of
+transformation a traditional compiler would need a new pass for.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bedrock2 import ast
+from repro.core.certificate import CertNode
+from repro.core.engine import resolve
+from repro.core.goals import BindingGoal
+from repro.core.lemma import BindingLemma, HintDb
+from repro.core.sepstate import PointerBinding
+from repro.source import terms as t
+
+
+def _match_iadd(goal: BindingGoal):
+    """Match ``let/n c := put c (get c + v)``; returns (cell_name, v) or None."""
+    value = goal.value
+    if not (isinstance(value, t.CellPut) and isinstance(value.cell, t.Var)):
+        return None
+    cell_name = value.cell.name
+    if goal.name != cell_name:
+        return None
+    inner = value.value
+    if not (isinstance(inner, t.Prim) and inner.op == "word.add"):
+        return None
+    lhs, rhs = inner.args
+    if isinstance(lhs, t.CellGet) and lhs.cell == t.Var(cell_name):
+        return cell_name, rhs
+    if isinstance(rhs, t.CellGet) and rhs.cell == t.Var(cell_name):
+        return cell_name, lhs
+    return None
+
+
+class CompileCellIAdd(BindingLemma):
+    """``let/n c := put c (get c + v) in k`` ~ ``*c = *c + V`` in one statement."""
+
+    name = "compile_cell_iadd"
+
+    def matches(self, goal: BindingGoal) -> bool:
+        if _match_iadd(goal) is None:
+            return False
+        cell_name, _ = _match_iadd(goal)
+        return isinstance(goal.state.binding(cell_name), PointerBinding)
+
+    def apply(self, goal: BindingGoal, engine) -> Tuple[ast.Stmt, object, List[CertNode]]:
+        matched = _match_iadd(goal)
+        assert matched is not None
+        cell_name, addend = matched
+        state = goal.state
+        binding = state.binding(cell_name)
+        assert isinstance(binding, PointerBinding)
+        clause = state.heap[binding.ptr]
+        resolved_addend = resolve(state, addend)
+        addend_expr, node = engine.compile_expr_term(state, resolved_addend, None)
+        size = engine.elem_byte_size(clause.ty)
+        new_content = t.Prim("word.add", (clause.value, resolved_addend))
+        new_state = state.copy()
+        new_state.set_heap_value(binding.ptr, new_content)
+        stmt = ast.SStore(
+            size,
+            ast.EVar(cell_name),
+            ast.EOp("add", ast.ELoad(size, ast.EVar(cell_name)), addend_expr),
+        )
+        return stmt, new_state, [node]
+
+
+def register(db: HintDb) -> HintDb:
+    # Priority below the generic cell-put lemma's 20 so iadd wins.
+    db.register(CompileCellIAdd(), priority=18)
+    return db
+
+
+def register_exprs(db: HintDb) -> HintDb:
+    """No expression intrinsics in the standard set (hook for users)."""
+    return db

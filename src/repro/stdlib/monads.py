@@ -1,0 +1,181 @@
+"""Extensional effects: compiling monadic binds (§3.4.1).
+
+Pure bindings inside monadic programs need no special handling -- the
+engine's chain walker feeds them to the same lemmas as pure programs
+("Rupicola has ... a single lemma for compiling (pure) addition,
+applicable to all monadic programs").  The lemmas here handle the
+*monadic* leaves, each implementing its monad's lift:
+
+- **I/O**: ``read``/``write`` become Bedrock2 ``SInteract`` events; the
+  symbolic state accumulates the same events in its trace, which the
+  validator compares against the interpreter's event trace.  A read's
+  result is a fresh ghost (the environment's choice), mirroring the
+  universally quantified value in the paper's bind rule.
+- **Writer**: ``tell o`` maps to an I/O trace operation, exactly the
+  implementation the paper reports building in ninety minutes; the lift
+  parameter ``o`` (accumulated output) is the symbolic trace itself.
+- **Nondeterminism**: ``peek``/``any`` compiles by *choosing* a value
+  (the existential direction of the lift: any choice refines the
+  predicate); ``alloc`` lives in :mod:`repro.stdlib.stack_alloc`.
+- **State**: ``get``/``put`` thread a designated cell argument
+  (``FnSpec.state_param``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bedrock2 import ast
+from repro.core.certificate import CertNode
+from repro.core.engine import resolve
+from repro.core.goals import BindingGoal, CompilationStalled
+from repro.core.lemma import BindingLemma, HintDb
+from repro.core.sepstate import PointerBinding, SymState
+from repro.core.typecheck import infer_type
+from repro.source import terms as t
+from repro.source.types import WORD
+
+
+class CompileIORead(BindingLemma):
+    """``let/n! x := io.read() in k`` ~ ``SInteract x = read()``."""
+
+    name = "compile_io_read"
+
+    def matches(self, goal: BindingGoal) -> bool:
+        return isinstance(goal.value, t.IORead)
+
+    def apply(self, goal: BindingGoal, engine) -> Tuple[ast.Stmt, object, List[CertNode]]:
+        state = goal.state.copy()
+        ghost = SymState.fresh_ghost("io_in")
+        state.ghost_types[ghost] = WORD
+        state.bind_scalar(goal.name, t.Var(ghost), WORD)
+        state.io_reads += 1
+        state.append_trace("read", (t.Var(ghost),))
+        return ast.SInteract((goal.name,), "read", ()), state, []
+
+
+class CompileIOWrite(BindingLemma):
+    """``let/n! _ := io.write v in k`` ~ ``SInteract write(V)``."""
+
+    name = "compile_io_write"
+
+    def matches(self, goal: BindingGoal) -> bool:
+        return isinstance(goal.value, t.IOWrite)
+
+    def apply(self, goal: BindingGoal, engine) -> Tuple[ast.Stmt, object, List[CertNode]]:
+        value = goal.value
+        assert isinstance(value, t.IOWrite)
+        resolved = resolve(goal.state, value.value)
+        expr, node = engine.compile_expr_term(goal.state, resolved, WORD)
+        state = goal.state.copy()
+        state.append_trace("write", (resolved,))
+        # The bind's result (the written value) is not materialized in a
+        # Bedrock2 local; programs that want it should bind it with let/n.
+        return ast.SInteract((), "write", (expr,)), state, [node]
+
+
+class CompileWriterTell(BindingLemma):
+    """``let/n! _ := tell v in k`` -- writer output as I/O trace events."""
+
+    name = "compile_writer_tell"
+
+    def matches(self, goal: BindingGoal) -> bool:
+        return isinstance(goal.value, t.WriterTell)
+
+    def apply(self, goal: BindingGoal, engine) -> Tuple[ast.Stmt, object, List[CertNode]]:
+        value = goal.value
+        assert isinstance(value, t.WriterTell)
+        resolved = resolve(goal.state, value.value)
+        expr, node = engine.compile_expr_term(goal.state, resolved, WORD)
+        state = goal.state.copy()
+        state.append_trace("tell", (resolved,))
+        return ast.SInteract((), "tell", (expr,)), state, [node]
+
+
+class CompileNdAny(BindingLemma):
+    """Nondet ``peek``: the compiler picks a witness (zero).
+
+    Any concrete choice refines ``fun v => True``; validation runs the
+    model with an oracle returning the same choice.
+    """
+
+    name = "compile_nd_any"
+
+    def matches(self, goal: BindingGoal) -> bool:
+        return isinstance(goal.value, t.NdAny)
+
+    def apply(self, goal: BindingGoal, engine) -> Tuple[ast.Stmt, object, List[CertNode]]:
+        value = goal.value
+        assert isinstance(value, t.NdAny)
+        state = goal.state.copy()
+        chosen = t.Lit(False, value.ty) if value.ty.kind.value == "bool" else t.Lit(0, value.ty)
+        state.bind_scalar(goal.name, chosen, value.ty)
+        return ast.SSet(goal.name, ast.ELit(0)), state, []
+
+
+class CompileStGet(BindingLemma):
+    """State monad ``get``: read the designated state cell."""
+
+    name = "compile_st_get"
+
+    def matches(self, goal: BindingGoal) -> bool:
+        return isinstance(goal.value, t.StGet) and goal.spec.state_param is not None
+
+    def apply(self, goal: BindingGoal, engine) -> Tuple[ast.Stmt, object, List[CertNode]]:
+        state = goal.state
+        cell_local = self._state_cell(goal)
+        content = state.value_of(cell_local)
+        assert content is not None
+        expr, node = engine.compile_expr_term(state, content, None)
+        new_state = state.copy()
+        new_state.bind_scalar(goal.name, content, WORD)
+        return ast.SSet(goal.name, expr), new_state, [node]
+
+    def _state_cell(self, goal: BindingGoal) -> str:
+        param = goal.spec.state_param
+        from repro.core.spec import ArgKind
+
+        arg = goal.spec.arg_for_param(param, ArgKind.POINTER)
+        if arg is None or not isinstance(
+            goal.state.binding(arg.name), PointerBinding
+        ):
+            raise CompilationStalled(
+                goal.describe(),
+                advice="the state monad needs a pointer argument named by "
+                "FnSpec.state_param",
+            )
+        return arg.name
+
+
+class CompileStPut(CompileStGet):
+    """State monad ``put``: overwrite the designated state cell."""
+
+    name = "compile_st_put"
+
+    def matches(self, goal: BindingGoal) -> bool:
+        return isinstance(goal.value, t.StPut) and goal.spec.state_param is not None
+
+    def apply(self, goal: BindingGoal, engine) -> Tuple[ast.Stmt, object, List[CertNode]]:
+        value = goal.value
+        assert isinstance(value, t.StPut)
+        state = goal.state
+        cell_local = self._state_cell(goal)
+        binding = state.binding(cell_local)
+        assert isinstance(binding, PointerBinding)
+        clause = state.heap[binding.ptr]
+        resolved = resolve(state, value.value)
+        expr, node = engine.compile_expr_term(state, resolved, None)
+        size = engine.elem_byte_size(clause.ty)
+        new_state = state.copy()
+        new_state.set_heap_value(binding.ptr, resolved)
+        return ast.SStore(size, ast.EVar(cell_local), expr), new_state, [node]
+
+
+def register(db: HintDb) -> HintDb:
+    db.register(CompileIORead(), priority=15)
+    db.register(CompileIOWrite(), priority=15)
+    db.register(CompileWriterTell(), priority=15)
+    db.register(CompileNdAny(), priority=15)
+    db.register(CompileStGet(), priority=15)
+    db.register(CompileStPut(), priority=15)
+    return db

@@ -1,0 +1,141 @@
+"""Stack allocation (§4.1.2's first case study).
+
+Two source forms, exactly as in the paper:
+
+- ``let/n x := stack (term) in ...`` for stack objects that are
+  immediately initialized: "When Rupicola sees let x := stack (term) in
+  ..., it generates a stack allocation in Bedrock2 and resumes
+  compilation with the plain program let x := term in ...".
+- the nondeterminism monad's ``alloc`` for *uninitialized* buffers,
+  modeled as beginning with unconstrained contents (see
+  :mod:`repro.stdlib.monads`).
+
+Because Bedrock2's ``SStackalloc`` is lexically scoped, these lemmas
+return :class:`WrapStmt` values that nest the compiled continuation
+inside the allocation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bedrock2 import ast
+from repro.core.certificate import CertNode
+from repro.core.engine import resolve
+from repro.core.goals import BindingGoal, CompilationStalled
+from repro.core.lemma import BindingLemma, HintDb, WrapStmt
+from repro.core.sepstate import Clause, PtrSym
+from repro.core.typecheck import infer_type
+from repro.source import terms as t
+from repro.source.types import TypeKind
+
+
+class CompileStackAlloc(BindingLemma):
+    """``let/n x := stack (init) in k`` ~ ``SStackalloc x nbytes { init; K }``."""
+
+    name = "compile_stack_alloc"
+
+    def matches(self, goal: BindingGoal) -> bool:
+        return isinstance(goal.value, t.Stack)
+
+    def apply(self, goal: BindingGoal, engine) -> Tuple[WrapStmt, object, List[CertNode]]:
+        value = goal.value
+        assert isinstance(value, t.Stack)
+        state = goal.state
+        init = resolve(state, value.value)
+        ty = infer_type(state, init)
+        if ty.kind is not TypeKind.ARRAY:
+            raise CompilationStalled(
+                goal.describe(),
+                advice="stack(...) expects an array value (cells: wrap in a 1-cell array)",
+            )
+        if not (isinstance(init, t.Lit) and isinstance(init.value, tuple)):
+            raise CompilationStalled(
+                goal.describe(),
+                advice=(
+                    "stack initialization must be a literal array in this "
+                    "version; plug in a copying lemma for dynamic initializers"
+                ),
+            )
+        elements = init.value
+        esz = engine.elem_byte_size(ty)
+        nbytes = len(elements) * esz
+
+        ptr = PtrSym(f"stk_{goal.name}_{SymState_fresh()}")
+        new_state = state.copy()
+        new_state.bind_pointer(goal.name, ptr, ty)
+        new_state.add_clause(
+            Clause(ptr=ptr, ty=ty, value=init, capacity=len(elements))
+        )
+
+        init_stores = [
+            ast.SStore(
+                esz,
+                ast.EOp("add", ast.EVar(goal.name), ast.ELit(offset * esz)),
+                ast.ELit(int(element)),
+            )
+            for offset, element in enumerate(elements)
+        ]
+        name = goal.name
+
+        def wrap(rest: ast.Stmt) -> ast.Stmt:
+            return ast.SStackalloc(name, nbytes, ast.seq_of(*init_stores, rest))
+
+        return WrapStmt(wrap), new_state, []
+
+
+def SymState_fresh() -> str:
+    from repro.core.sepstate import SymState
+
+    return SymState.fresh_ghost("s")
+
+
+class CompileNdAlloc(BindingLemma):
+    """Nondet ``alloc``: a stack buffer with unconstrained initial bytes.
+
+    Functionally the allocation is *any* list of ``n`` bytes (the paper's
+    ``fun l => length l = n`` predicate); the symbolic state gets a fresh
+    ghost array constrained only in length.  The compiled program is
+    correct for every initial content, which the differential validator
+    exercises by injecting random bytes.
+    """
+
+    name = "compile_nd_alloc"
+
+    def matches(self, goal: BindingGoal) -> bool:
+        return isinstance(goal.value, t.NdAllocBytes)
+
+    def apply(self, goal: BindingGoal, engine) -> Tuple[WrapStmt, object, List[CertNode]]:
+        value = goal.value
+        assert isinstance(value, t.NdAllocBytes)
+        from repro.core.sepstate import SymState
+        from repro.source.types import ARRAY_BYTE, NAT
+
+        state = goal.state
+        ghost = SymState.fresh_ghost("nd")
+        ptr = PtrSym(f"stk_{goal.name}_{SymState.fresh_ghost('s')}")
+        new_state = state.copy()
+        new_state.ghost_types[ghost] = ARRAY_BYTE
+        new_state.bind_pointer(goal.name, ptr, ARRAY_BYTE)
+        new_state.add_clause(
+            Clause(ptr=ptr, ty=ARRAY_BYTE, value=t.Var(ghost), capacity=value.nbytes)
+        )
+        new_state.add_fact(
+            t.Prim(
+                "nat.eqb",
+                (t.ArrayLen(t.Var(ghost)), t.Lit(value.nbytes, NAT)),
+            )
+        )
+        name = goal.name
+        nbytes = value.nbytes
+
+        def wrap(rest: ast.Stmt) -> ast.Stmt:
+            return ast.SStackalloc(name, nbytes, rest)
+
+        return WrapStmt(wrap), new_state, []
+
+
+def register(db: HintDb) -> HintDb:
+    db.register(CompileStackAlloc(), priority=22)
+    db.register(CompileNdAlloc(), priority=22)
+    return db

@@ -1,0 +1,209 @@
+"""Spec-driven execution of Bedrock2 functions and functional models.
+
+The ``FnSpec`` is the single source of truth for the ABI: the same spec
+that seeded the compiler's symbolic precondition tells the runner how to
+lay out memory, pass arguments, and read results back.  Anything the
+compiled code touches outside that layout is an immediate
+``ExecutionError`` (the memory model only maps declared regions), which
+operationally enforces the separation-logic frame.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.bedrock2 import ast
+from repro.bedrock2.memory import Memory
+from repro.bedrock2.semantics import Interpreter, IOEvent, MachineState, OpCounts
+from repro.bedrock2.word import Word
+from repro.core.spec import ArgKind, FnSpec, Model, OutKind
+from repro.source import terms as t
+from repro.source.evaluator import CellV, EffectContext, Evaluator
+from repro.source.types import SourceType, TypeKind
+
+
+@dataclass
+class RunResult:
+    """Everything observable from one target-function execution."""
+
+    rets: List[int]
+    out_memory: Dict[str, List[int]]  # final contents per pointer param
+    trace: List[IOEvent]
+    counts: OpCounts
+
+
+def _elem_size(ty: SourceType, width: int) -> int:
+    return ty.elem_size(width // 8)
+
+
+def _encode_composite(value, ty: SourceType, width: int) -> bytes:
+    size = _elem_size(ty, width)
+    if ty.kind is TypeKind.CELL:
+        assert isinstance(value, CellV)
+        return int(value.value).to_bytes(size, "little")
+    out = bytearray()
+    for element in value:
+        out.extend(int(element).to_bytes(size, "little"))
+    return bytes(out)
+
+
+def _decode_composite(data: bytes, ty: SourceType, width: int):
+    size = _elem_size(ty, width)
+    values = [
+        int.from_bytes(data[offset : offset + size], "little")
+        for offset in range(0, len(data), size)
+    ]
+    if ty.kind is TypeKind.CELL:
+        return CellV(values[0])
+    return values
+
+
+def run_function(
+    fn: ast.Function,
+    spec: FnSpec,
+    param_values: Dict[str, object],
+    width: int = 64,
+    io_input: Optional[Iterator[int]] = None,
+    stack_init=None,
+    program: Optional[ast.Program] = None,
+    fuel: int = Interpreter.DEFAULT_FUEL,
+) -> RunResult:
+    """Run ``fn`` under the memory layout ``spec`` declares."""
+    memory = Memory(width)
+    arg_words: List[Word] = []
+    pointer_bases: Dict[str, Tuple[int, int, SourceType]] = {}
+
+    for arg in spec.args:
+        value = param_values[arg.param]
+        if arg.kind is ArgKind.POINTER:
+            encoded = _encode_composite(value, arg.ty, width)
+            if encoded:
+                base = memory.place_bytes(encoded, label=arg.name)
+            else:
+                base = memory.allocate(0, label=arg.name)
+            pointer_bases[arg.param] = (base, len(encoded), arg.ty)
+            arg_words.append(Word(width, base))
+        elif arg.kind is ArgKind.LENGTH:
+            arg_words.append(Word(width, len(value)))  # type: ignore[arg-type]
+        else:
+            scalar = value.value if isinstance(value, CellV) else value
+            if isinstance(scalar, bool):
+                scalar = int(scalar)
+            arg_words.append(Word(width, int(scalar)))  # type: ignore[arg-type]
+
+    reads = io_input if io_input is not None else iter(())
+
+    def external(action: str, args: Sequence[Word], state: MachineState) -> List[Word]:
+        if action == "read":
+            try:
+                return [Word(width, next(reads))]
+            except StopIteration:
+                raise RuntimeError("target performed more reads than provided")
+        if action in ("write", "tell"):
+            return []
+        raise RuntimeError(f"unknown external action {action!r}")
+
+    interp = Interpreter(
+        program or ast.Program((fn,)),
+        width=width,
+        external=external,
+        stack_init=stack_init or (lambda n: bytes(n)),
+    )
+    state = MachineState(memory=memory)
+    rets = interp.call_function(fn.name, arg_words, state, fuel)
+
+    out_memory: Dict[str, List[int]] = {}
+    for param, (base, nbytes, ty) in pointer_bases.items():
+        decoded = _decode_composite(memory.load_bytes(base, nbytes), ty, width)
+        out_memory[param] = decoded
+    return RunResult(
+        rets=[r.unsigned for r in rets],
+        out_memory=out_memory,
+        trace=list(state.trace),
+        counts=interp.counts,
+    )
+
+
+@dataclass
+class ModelResult:
+    """The functional model's observable behaviour on the same inputs."""
+
+    outputs: List[object]  # aligned with spec.outputs
+    io_output: List[int]
+    writer_output: List[int]
+    reads_consumed: int
+    error: bool = False
+
+
+def eval_model(
+    model: Model,
+    spec: FnSpec,
+    param_values: Dict[str, object],
+    width: int = 64,
+    io_input: Optional[Sequence[int]] = None,
+    oracle=None,
+) -> ModelResult:
+    """Evaluate the model and align its results with the spec's outputs."""
+    inputs = list(io_input or ())
+    consumed = {"n": 0}
+
+    def counting_reads():
+        for value in inputs:
+            consumed["n"] += 1
+            yield value
+
+    fx = EffectContext(io_input=counting_reads())
+    if oracle is not None:
+        fx.oracle = oracle
+    env = dict(param_values)
+    result = Evaluator(width=width).eval(model.term, env, fx)
+    components = list(result) if isinstance(result, tuple) else [result]
+    value_outputs = [o for o in spec.outputs if o.kind is not OutKind.ERROR_FLAG]
+    if len(components) != len(value_outputs):
+        raise ValueError(
+            f"model produced {len(components)} outputs, spec declares "
+            f"{len(value_outputs)} value output(s)"
+        )
+    # Weave the error flag (an ambient effect, not a model component)
+    # into its declared position.
+    if len(value_outputs) != len(spec.outputs):
+        woven = []
+        component_iter = iter(components)
+        for output in spec.outputs:
+            if output.kind is OutKind.ERROR_FLAG:
+                woven.append(0 if fx.error else 1)
+            else:
+                woven.append(next(component_iter))
+        components = woven
+    return ModelResult(
+        outputs=components,
+        io_output=fx.io_output,
+        writer_output=fx.writer_output,
+        reads_consumed=consumed["n"],
+        error=fx.error,
+    )
+
+
+def make_inputs(
+    model: Model, rng: random.Random, array_len: int = 16
+) -> Dict[str, object]:
+    """Random parameter values matching the model's parameter types."""
+    values: Dict[str, object] = {}
+    for name, ty in model.params:
+        if ty.kind is TypeKind.ARRAY:
+            assert ty.elem is not None
+            limit = 1 << (8 * ty.elem.scalar_size(8))
+            values[name] = [rng.randrange(limit) for _ in range(array_len)]
+        elif ty.kind is TypeKind.CELL:
+            values[name] = CellV(rng.getrandbits(32))
+        elif ty.kind is TypeKind.BOOL:
+            values[name] = bool(rng.getrandbits(1))
+        elif ty.kind is TypeKind.BYTE:
+            values[name] = rng.randrange(256)
+        elif ty.kind is TypeKind.NAT:
+            values[name] = rng.randrange(array_len + 1)
+        else:
+            values[name] = rng.getrandbits(64)
+    return values

@@ -1,0 +1,84 @@
+"""Tests for Bedrock2 AST construction helpers and metrics."""
+
+import pytest
+
+from repro.bedrock2 import ast as b2
+
+
+class TestSeqOf:
+    def test_empty_is_skip(self):
+        assert isinstance(b2.seq_of(), b2.SSkip)
+
+    def test_single_statement_unwrapped(self):
+        stmt = b2.SSet("x", b2.ELit(1))
+        assert b2.seq_of(stmt) is stmt
+
+    def test_skips_are_dropped(self):
+        stmt = b2.SSet("x", b2.ELit(1))
+        assert b2.seq_of(b2.SSkip(), stmt, b2.SSkip()) is stmt
+
+    def test_right_nesting(self):
+        a, b, c = (b2.SSet(n, b2.ELit(0)) for n in "abc")
+        seq = b2.seq_of(a, b, c)
+        assert isinstance(seq, b2.SSeq)
+        assert seq.first is a
+        assert isinstance(seq.second, b2.SSeq)
+
+    def test_all_skips_is_skip(self):
+        assert isinstance(b2.seq_of(b2.SSkip(), b2.SSkip()), b2.SSkip)
+
+
+class TestStatementCount:
+    def test_skip_is_zero(self):
+        assert b2.statement_count(b2.SSkip()) == 0
+
+    def test_seq_sums(self):
+        stmt = b2.seq_of(b2.SSet("a", b2.ELit(0)), b2.SSet("b", b2.ELit(1)))
+        assert b2.statement_count(stmt) == 2
+
+    def test_control_flow_counts_itself_and_children(self):
+        cond = b2.SCond(b2.ELit(1), b2.SSet("a", b2.ELit(0)), b2.SSkip())
+        assert b2.statement_count(cond) == 2
+        loop = b2.SWhile(b2.ELit(0), b2.SSet("a", b2.ELit(0)))
+        assert b2.statement_count(loop) == 2
+        alloc = b2.SStackalloc("p", 8, b2.SSet("a", b2.ELit(0)))
+        assert b2.statement_count(alloc) == 2
+
+
+class TestExprVars:
+    def test_literal_has_none(self):
+        assert b2.expr_vars(b2.ELit(5)) == set()
+
+    def test_var(self):
+        assert b2.expr_vars(b2.EVar("x")) == {"x"}
+
+    def test_nested_ops(self):
+        expr = b2.EOp("add", b2.EVar("x"), b2.ELoad(1, b2.EVar("p")))
+        assert b2.expr_vars(expr) == {"x", "p"}
+
+    def test_inline_table_index(self):
+        expr = b2.EInlineTable(1, b"\x00", b2.EVar("i"))
+        assert b2.expr_vars(expr) == {"i"}
+
+
+class TestValidation:
+    def test_bad_access_size_rejected(self):
+        with pytest.raises(ValueError):
+            b2.ELoad(3, b2.ELit(0))
+        with pytest.raises(ValueError):
+            b2.SStore(5, b2.ELit(0), b2.ELit(0))
+        with pytest.raises(ValueError):
+            b2.EInlineTable(7, b"\x00" * 8, b2.ELit(0))
+
+    def test_program_lookup(self):
+        fn = b2.Function("f", (), (), b2.SSkip())
+        program = b2.Program((fn,))
+        assert program.function("f") is fn
+        with pytest.raises(KeyError):
+            program.function("g")
+
+    def test_with_function(self):
+        program = b2.Program(())
+        extended = program.with_function(b2.Function("f", (), (), b2.SSkip()))
+        assert len(extended.functions) == 1
+        assert len(program.functions) == 0

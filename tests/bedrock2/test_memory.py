@@ -1,0 +1,155 @@
+"""Tests for the flat byte-addressed memory model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bedrock2.memory import Memory, MemoryError_
+
+
+class TestAllocation:
+    def test_allocate_returns_disjoint_regions(self):
+        mem = Memory()
+        a = mem.allocate(16)
+        b = mem.allocate(16)
+        assert a + 16 <= b or b + 16 <= a
+
+    def test_allocate_at_fixed_base(self):
+        mem = Memory()
+        assert mem.allocate(8, base=0x2000) == 0x2000
+
+    def test_overlapping_allocation_rejected(self):
+        mem = Memory()
+        mem.allocate(16, base=0x1000)
+        with pytest.raises(MemoryError_):
+            mem.allocate(16, base=0x1008)
+
+    def test_free_then_reallocate(self):
+        mem = Memory()
+        mem.allocate(16, base=0x1000)
+        mem.free(0x1000)
+        assert mem.allocate(16, base=0x1000) == 0x1000
+
+    def test_free_unallocated_rejected(self):
+        mem = Memory()
+        with pytest.raises(MemoryError_):
+            mem.free(0xDEAD)
+
+    def test_negative_size_rejected(self):
+        mem = Memory()
+        with pytest.raises(ValueError):
+            mem.allocate(-1)
+
+    def test_stack_allocations_are_fresh(self):
+        mem = Memory()
+        a = mem.allocate_stack(64)
+        b = mem.allocate_stack(64)
+        assert a != b
+
+
+class TestAccess:
+    def test_load_store_roundtrip(self):
+        mem = Memory()
+        base = mem.allocate(8)
+        mem.store(base, 4, 0xDEADBEEF)
+        assert mem.load(base, 4) == 0xDEADBEEF
+
+    def test_little_endian_layout(self):
+        mem = Memory()
+        base = mem.allocate(4)
+        mem.store(base, 4, 0x11223344)
+        assert mem.load(base, 1) == 0x44
+        assert mem.load(base + 3, 1) == 0x11
+
+    def test_unaligned_access_allowed_within_region(self):
+        mem = Memory()
+        base = mem.allocate(8)
+        mem.store(base + 1, 4, 0xCAFEBABE)
+        assert mem.load(base + 1, 4) == 0xCAFEBABE
+
+    def test_out_of_bounds_load_rejected(self):
+        mem = Memory()
+        base = mem.allocate(4)
+        with pytest.raises(MemoryError_):
+            mem.load(base + 2, 4)  # straddles the end
+
+    def test_out_of_bounds_store_rejected(self):
+        mem = Memory()
+        base = mem.allocate(4)
+        with pytest.raises(MemoryError_):
+            mem.store(base + 4, 1, 0)
+
+    def test_unmapped_access_rejected(self):
+        mem = Memory()
+        with pytest.raises(MemoryError_):
+            mem.load(0x9999, 1)
+
+    def test_access_must_be_within_single_region(self):
+        mem = Memory()
+        mem.allocate(4, base=0x1000)
+        mem.allocate(4, base=0x1004)
+        # Regions are adjacent but separate allocations: straddling is UB.
+        with pytest.raises(MemoryError_):
+            mem.load(0x1002, 4)
+
+    def test_bulk_bytes(self):
+        mem = Memory()
+        base = mem.place_bytes(b"hello")
+        assert mem.load_bytes(base, 5) == b"hello"
+        mem.store_bytes(base, b"HELLO")
+        assert mem.load_bytes(base, 5) == b"HELLO"
+
+    def test_store_bytes_at(self):
+        mem = Memory()
+        mem.store_bytes_at(0x4000, b"abc")
+        assert mem.load_bytes(0x4000, 3) == b"abc"
+
+
+class TestIntrospection:
+    def test_snapshot_is_a_copy(self):
+        mem = Memory()
+        base = mem.allocate(2)
+        snap = mem.snapshot()
+        mem.store(base, 1, 7)
+        assert snap[base] == 0
+
+    def test_copy_is_independent(self):
+        mem = Memory()
+        base = mem.allocate(2)
+        clone = mem.copy()
+        mem.store(base, 1, 9)
+        assert clone.load(base, 1) == 0
+
+    def test_region_at(self):
+        mem = Memory()
+        base = mem.allocate(4, label="buf")
+        assert mem.region_at(base).label == "buf"
+        with pytest.raises(MemoryError_):
+            mem.region_at(base + 1)
+
+    def test_counts(self):
+        mem = Memory()
+        base = mem.allocate(4)
+        mem.store(base, 4, 1)
+        mem.load(base, 4)
+        assert mem.write_count == 1
+        assert mem.read_count == 1
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=2**64 - 1),
+)
+def test_load_store_roundtrip_property(nbytes, value):
+    mem = Memory()
+    base = mem.allocate(8)
+    truncated = value & ((1 << (8 * nbytes)) - 1)
+    mem.store(base, nbytes, truncated)
+    assert mem.load(base, nbytes) == truncated
+
+
+@given(st.binary(min_size=0, max_size=64))
+def test_bytes_roundtrip_property(data):
+    mem = Memory()
+    base = mem.place_bytes(data) if data else mem.allocate(0)
+    assert mem.load_bytes(base, len(data)) == data

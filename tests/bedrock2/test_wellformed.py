@@ -1,0 +1,115 @@
+"""Tests for the definite-assignment checker."""
+
+import pytest
+
+from repro.bedrock2 import ast as b2
+from repro.bedrock2.wellformed import IllFormed, check_function, check_program
+from repro.programs import all_programs
+
+
+def fn(body, args=(), rets=()):
+    return b2.Function("f", tuple(args), tuple(rets), body)
+
+
+class TestDefiniteAssignment:
+    def test_clean_function_passes(self):
+        check_function(
+            fn(b2.SSet("r", b2.EOp("add", b2.EVar("x"), b2.ELit(1))), ("x",), ("r",))
+        )
+
+    def test_read_before_assignment_rejected(self):
+        with pytest.raises(IllFormed):
+            check_function(fn(b2.SSet("r", b2.EVar("ghost")), (), ("r",)))
+
+    def test_arguments_are_defined(self):
+        check_function(fn(b2.SSet("r", b2.EVar("x")), ("x",), ("r",)))
+
+    def test_sequencing_accumulates(self):
+        body = b2.seq_of(b2.SSet("a", b2.ELit(1)), b2.SSet("b", b2.EVar("a")))
+        check_function(fn(body, (), ("b",)))
+
+    def test_branch_join_is_intersection(self):
+        body = b2.SCond(
+            b2.EVar("x"),
+            b2.SSet("r", b2.ELit(1)),
+            b2.SSkip(),  # r unset here
+        )
+        with pytest.raises(IllFormed) as excinfo:
+            check_function(fn(body, ("x",), ("r",)))
+        assert "may be unset" in str(excinfo.value)
+
+    def test_both_branches_assign_passes(self):
+        body = b2.SCond(
+            b2.EVar("x"), b2.SSet("r", b2.ELit(1)), b2.SSet("r", b2.ELit(2))
+        )
+        check_function(fn(body, ("x",), ("r",)))
+
+    def test_loop_definitions_do_not_escape(self):
+        # r is only assigned inside the (possibly zero-trip) loop.
+        body = b2.SWhile(b2.EVar("x"), b2.SSet("r", b2.ELit(1)))
+        with pytest.raises(IllFormed):
+            check_function(fn(body, ("x",), ("r",)))
+
+    def test_loop_body_checked(self):
+        body = b2.SWhile(b2.EVar("x"), b2.SSet("r", b2.EVar("undefined")))
+        with pytest.raises(IllFormed):
+            check_function(fn(body, ("x",)))
+
+    def test_unset_removes_definition(self):
+        body = b2.seq_of(
+            b2.SSet("r", b2.ELit(1)),
+            b2.SUnset("r"),
+            b2.SSet("out", b2.EVar("r")),
+        )
+        with pytest.raises(IllFormed):
+            check_function(fn(body))
+
+    def test_stackalloc_binds_pointer(self):
+        body = b2.SStackalloc("tmp", 8, b2.SStore(1, b2.EVar("tmp"), b2.ELit(0)))
+        check_function(fn(body))
+
+    def test_call_and_interact_bind_results(self):
+        body = b2.seq_of(
+            b2.SInteract(("v",), "read", ()),
+            b2.SSet("r", b2.EVar("v")),
+        )
+        check_function(fn(body, (), ("r",)))
+
+    def test_call_arguments_checked(self):
+        body = b2.SCall(("r",), "g", (b2.EVar("nope"),))
+        with pytest.raises(IllFormed):
+            check_function(fn(body))
+
+    def test_store_operands_checked(self):
+        with pytest.raises(IllFormed):
+            check_function(fn(b2.SStore(1, b2.EVar("p"), b2.ELit(0))))
+
+
+class TestWholeSuite:
+    def test_every_derived_program_is_wellformed(self):
+        """All Rupicola output passes definite assignment -- including the
+        error-monad prologue discipline."""
+        for program in all_programs():
+            check_function(program.compile().bedrock_fn)
+
+    def test_handwritten_baselines_are_wellformed(self):
+        check_program(
+            b2.Program(tuple(p.build_handwritten() for p in all_programs()))
+        )
+
+    def test_error_monad_output_is_wellformed(self):
+        from repro.core.spec import FnSpec, error_out, scalar_arg, scalar_out
+        from repro.source import monads
+        from repro.source.builder import sym
+        from repro.source.types import WORD
+        from tests.stdlib.helpers import compile_model
+
+        x, y = sym("x", WORD), sym("y", WORD)
+        program = monads.bind(
+            "_", monads.err_guard(~y.eq(0)), monads.ret(x.udiv(y))
+        )
+        spec = FnSpec(
+            "cdiv", [scalar_arg("x"), scalar_arg("y")], [error_out(), scalar_out()]
+        )
+        compiled = compile_model("cdiv", [("x", WORD), ("y", WORD)], program.term, spec)
+        check_function(compiled.bedrock_fn)

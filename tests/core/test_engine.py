@@ -1,0 +1,210 @@
+"""Tests for the proof-search driver: resolution, stalls, certificates."""
+
+import pytest
+
+from repro.bedrock2 import ast as b2
+from repro.core.engine import Engine, resolve
+from repro.core.goals import CompilationStalled, SideConditionFailed
+from repro.core.lemma import HintDb
+from repro.core.sepstate import Clause, PtrSym, SymState
+from repro.core.spec import (
+    FnSpec,
+    Model,
+    array_out,
+    len_arg,
+    ptr_arg,
+    scalar_arg,
+    scalar_out,
+)
+from repro.source import terms as t
+from repro.source.builder import let_n, sym
+from repro.source.types import ARRAY_BYTE, NAT, WORD, cell_of
+from repro.stdlib import default_databases, default_engine
+
+
+def w(value):
+    return t.Lit(value, WORD)
+
+
+class TestResolve:
+    def test_ghost_variables_stay(self):
+        state = SymState()
+        assert resolve(state, t.Var("s")) == t.Var("s")
+
+    def test_scalar_binding_resolved(self):
+        state = SymState()
+        state.bind_scalar("x", w(1), WORD)
+        term = t.Prim("word.add", (t.Var("x"), t.Var("x")))
+        assert resolve(state, term) == t.Prim("word.add", (w(1), w(1)))
+
+    def test_array_binding_resolves_to_contents(self):
+        state = SymState()
+        ptr = PtrSym("p")
+        state.bind_pointer("s", ptr, ARRAY_BYTE)
+        state.add_clause(Clause(ptr, ARRAY_BYTE, t.Var("s0")))
+        assert resolve(state, t.ArrayLen(t.Var("s"))) == t.ArrayLen(t.Var("s0"))
+
+    def test_binder_shadowing(self):
+        state = SymState()
+        state.bind_scalar("x", w(1), WORD)
+        term = t.Let("x", w(2), t.Var("x"))
+        resolved = resolve(state, term)
+        assert resolved.body == t.Var("x")  # inner x shadowed, untouched
+
+    def test_map_binder_shadowing(self):
+        state = SymState()
+        state.bind_scalar("b", w(7), WORD)
+        term = t.ArrayMap("b", t.Var("b"), t.Var("a"))
+        assert resolve(state, term).body == t.Var("b")
+
+    def test_cell_get_resolves_to_content(self):
+        state = SymState()
+        ptr = PtrSym("p")
+        state.bind_pointer("c", ptr, cell_of(WORD))
+        state.add_clause(Clause(ptr, cell_of(WORD), t.Var("c0")))
+        assert resolve(state, t.CellGet(t.Var("c"))) == t.Var("c0")
+
+    def test_cell_var_resolves_to_content(self):
+        state = SymState()
+        ptr = PtrSym("p")
+        state.bind_pointer("c", ptr, cell_of(WORD))
+        state.add_clause(Clause(ptr, cell_of(WORD), t.Var("c0")))
+        assert resolve(state, t.Var("c")) == t.Var("c0")
+
+
+def compile_simple(body, params, spec):
+    engine = default_engine()
+    model = Model(spec.fname, params, body, None)
+    return engine.compile_function(model, spec)
+
+
+class TestCompileFunction:
+    def test_scalar_function(self):
+        body = let_n("r", sym("x", WORD) + sym("y", WORD), sym("r", WORD)).term
+        spec = FnSpec("add2", [scalar_arg("x"), scalar_arg("y")], [scalar_out()])
+        compiled = compile_simple(body, [("x", WORD), ("y", WORD)], spec)
+        assert compiled.bedrock_fn.rets == ("r",)
+        assert compiled.certificate.size() > 0
+
+    def test_certificate_records_lemmas(self):
+        body = let_n("r", sym("x", WORD) + 1, sym("r", WORD)).term
+        spec = FnSpec("inc", [scalar_arg("x")], [scalar_out()])
+        compiled = compile_simple(body, [("x", WORD)], spec)
+        lemmas = compiled.certificate.distinct_lemmas()
+        assert "compile_set_scalar" in lemmas
+        assert "compile_done" in lemmas
+
+    def test_c_source_rendering(self):
+        body = let_n("r", sym("x", WORD) + 1, sym("r", WORD)).term
+        spec = FnSpec("inc", [scalar_arg("x")], [scalar_out()])
+        compiled = compile_simple(body, [("x", WORD)], spec)
+        assert "uintptr_t inc(uintptr_t x)" in compiled.c_source()
+
+
+class TestStalls:
+    def test_empty_database_stalls_with_goal(self):
+        engine = Engine(HintDb("empty"), HintDb("empty"))
+        spec = FnSpec("f", [scalar_arg("x")], [scalar_out()])
+        model = Model("f", [("x", WORD)], let_n("r", sym("x", WORD) + 1, sym("r", WORD)).term)
+        with pytest.raises(CompilationStalled) as excinfo:
+            engine.compile_function(model, spec)
+        assert "let/n r" in str(excinfo.value)
+
+    def test_stall_lists_known_lemmas(self):
+        binding_db, expr_db = default_databases()
+        engine = Engine(binding_db, HintDb("no_exprs"))
+        spec = FnSpec("f", [scalar_arg("x")], [scalar_out()])
+        model = Model("f", [("x", WORD)], let_n("r", sym("x", WORD) + 1, sym("r", WORD)).term)
+        with pytest.raises(CompilationStalled) as excinfo:
+            engine.compile_function(model, spec)
+        assert "no expression-compilation lemma" in str(excinfo.value)
+
+    def test_unbound_result_stalls(self):
+        # Returning a variable that was never bound.
+        spec = FnSpec("f", [scalar_arg("x")], [scalar_out()])
+        model = Model("f", [("x", WORD)], t.Var("never_bound"))
+        engine = default_engine()
+        with pytest.raises(CompilationStalled):
+            engine.compile_function(model, spec)
+
+    def test_output_arity_mismatch_stalls(self):
+        spec = FnSpec("f", [scalar_arg("x")], [])  # no outputs declared
+        model = Model("f", [("x", WORD)], let_n("r", sym("x", WORD), sym("r", WORD)).term)
+        engine = default_engine()
+        with pytest.raises(CompilationStalled) as excinfo:
+            engine.compile_function(model, spec)
+        assert "output" in str(excinfo.value)
+
+    def test_side_condition_failure_reports_obligation(self):
+        # Array get with an index the solver cannot bound.
+        s = sym("s", ARRAY_BYTE)
+        from repro.source import listarray
+
+        body = let_n(
+            "r",
+            listarray.get(s, sym("j", NAT)).to_word(),
+            sym("r", WORD),
+        ).term
+        spec = FnSpec(
+            "f",
+            [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s"), scalar_arg("j", ty=NAT)],
+            [scalar_out()],
+        )
+        engine = default_engine()
+        model = Model("f", [("s", ARRAY_BYTE), ("j", NAT)], body)
+        with pytest.raises(SideConditionFailed) as excinfo:
+            engine.compile_function(model, spec)
+        assert "could not be discharged" in str(excinfo.value)
+
+    def test_incidental_fact_unblocks_side_condition(self):
+        """§3.4.2: incidental properties are plugged in as hints."""
+        s = sym("s", ARRAY_BYTE)
+        from repro.source import listarray
+
+        body = let_n(
+            "r",
+            listarray.get(s, sym("j", NAT)).to_word(),
+            sym("r", WORD),
+        ).term
+        fact = t.Prim("nat.ltb", (t.Var("j"), t.ArrayLen(t.Var("s"))))
+        spec = FnSpec(
+            "f",
+            [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s"), scalar_arg("j", ty=NAT)],
+            [scalar_out()],
+            facts=[fact],
+        )
+        engine = default_engine()
+        model = Model("f", [("s", ARRAY_BYTE), ("j", NAT)], body)
+        compiled = engine.compile_function(model, spec)
+        assert compiled.certificate.side_condition_count() >= 1
+
+
+class TestHintDb:
+    def test_priority_order(self):
+        db = HintDb("test")
+        db.register("second", priority=10)
+        db.register("first", priority=5)
+        assert list(db) == ["first", "second"]
+
+    def test_later_registration_wins_within_priority(self):
+        db = HintDb("test")
+        db.register("old", priority=10)
+        db.register("new", priority=10)
+        assert list(db) == ["new", "old"]
+
+    def test_extended_copy_does_not_mutate(self):
+        db = HintDb("base")
+        db.register("a", priority=10)
+        extended = db.extended("b")
+        assert len(db) == 1
+        assert list(extended) == ["b", "a"]
+
+    def test_remove_by_name(self):
+        class L:
+            name = "the_lemma"
+
+        db = HintDb("test")
+        db.register(L())
+        assert db.remove("the_lemma")
+        assert len(db) == 0
+        assert not db.remove("the_lemma")

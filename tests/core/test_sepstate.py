@@ -1,0 +1,123 @@
+"""Tests for the symbolic separation-logic state."""
+
+import pytest
+
+from repro.core.sepstate import (
+    Clause,
+    PointerBinding,
+    PtrSym,
+    ScalarBinding,
+    SymState,
+)
+from repro.source import terms as t
+from repro.source.types import ARRAY_BYTE, NAT, WORD, cell_of
+
+
+def w(value):
+    return t.Lit(value, WORD)
+
+
+class TestBindings:
+    def test_bind_and_query_scalar(self):
+        state = SymState()
+        state.bind_scalar("x", w(1), WORD)
+        binding = state.binding("x")
+        assert isinstance(binding, ScalarBinding)
+        assert binding.term == w(1)
+
+    def test_bind_pointer_and_clause(self):
+        state = SymState()
+        ptr = PtrSym("p_s")
+        state.bind_pointer("s", ptr, ARRAY_BYTE)
+        state.add_clause(Clause(ptr, ARRAY_BYTE, t.Var("s0")))
+        assert state.pointer_of("s") == ptr
+        assert state.clause_of_local("s").value == t.Var("s0")
+
+    def test_duplicate_clause_rejected(self):
+        state = SymState()
+        ptr = PtrSym("p")
+        state.add_clause(Clause(ptr, ARRAY_BYTE, t.Var("a")))
+        with pytest.raises(ValueError):
+            state.add_clause(Clause(ptr, ARRAY_BYTE, t.Var("b")))
+
+    def test_set_heap_value(self):
+        state = SymState()
+        ptr = PtrSym("p")
+        state.add_clause(Clause(ptr, ARRAY_BYTE, t.Var("a")))
+        state.set_heap_value(ptr, t.Var("b"))
+        assert state.heap[ptr].value == t.Var("b")
+
+    def test_value_of_scalar_and_pointer(self):
+        state = SymState()
+        state.bind_scalar("x", w(3), WORD)
+        ptr = PtrSym("p")
+        state.bind_pointer("s", ptr, ARRAY_BYTE)
+        state.add_clause(Clause(ptr, ARRAY_BYTE, t.Var("s0")))
+        assert state.value_of("x") == w(3)
+        assert state.value_of("s") == t.Var("s0")
+        assert state.value_of("missing") is None
+
+
+class TestLookups:
+    def test_find_local_by_value(self):
+        state = SymState()
+        state.bind_scalar("x", w(42), WORD)
+        assert state.find_local_by_value(w(42)) == "x"
+        assert state.find_local_by_value(w(43)) is None
+
+    def test_find_pointer_local(self):
+        state = SymState()
+        ptr = PtrSym("p")
+        state.bind_pointer("s", ptr, ARRAY_BYTE)
+        assert state.find_pointer_local(ptr) == "s"
+        assert state.find_pointer_local(PtrSym("q")) is None
+
+    def test_fresh_local_avoids_collisions(self):
+        state = SymState()
+        state.bind_scalar("i", w(0), WORD)
+        fresh = state.fresh_local("i")
+        assert fresh != "i"
+        assert fresh not in state.locals
+
+    def test_fresh_ghosts_are_distinct(self):
+        assert SymState.fresh_ghost("g") != SymState.fresh_ghost("g")
+
+
+class TestCopySemantics:
+    def test_copy_is_independent(self):
+        state = SymState()
+        state.bind_scalar("x", w(1), WORD)
+        clone = state.copy()
+        clone.bind_scalar("x", w(2), WORD)
+        clone.add_fact(t.Lit(True, WORD))
+        assert state.binding("x").term == w(1)
+        assert state.facts == []
+
+    def test_facts_deduplicated(self):
+        state = SymState()
+        fact = t.Prim("nat.ltb", (t.Var("i"), t.Var("n")))
+        state.add_fact(fact)
+        state.add_fact(fact)
+        assert len(state.facts) == 1
+
+    def test_trace_append(self):
+        state = SymState()
+        state.append_trace("write", (w(1),))
+        clone = state.copy()
+        clone.append_trace("write", (w(2),))
+        assert len(state.trace) == 1
+        assert len(clone.trace) == 2
+
+
+class TestDescribe:
+    def test_describe_renders_bindings_and_clauses(self):
+        state = SymState()
+        state.bind_scalar("x", w(1), WORD)
+        ptr = PtrSym("p")
+        state.bind_pointer("s", ptr, ARRAY_BYTE)
+        state.add_clause(Clause(ptr, ARRAY_BYTE, t.Var("s0")))
+        state.add_fact(t.Prim("nat.ltb", (t.Var("i"), t.Var("n"))))
+        text = state.describe()
+        assert '"x"' in text
+        assert "&p" in text
+        assert "facts:" in text

@@ -1,0 +1,261 @@
+"""Tests for side-condition solvers: normalization, lia, interval bounds."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sepstate import SymState
+from repro.core.solver import (
+    SolverBank,
+    bitmask_bounds_solver,
+    canonicalize,
+    ground_eval_solver,
+    linear_arithmetic_solver,
+    normalize_len,
+    upper_bound,
+)
+from repro.source import terms as t
+from repro.source.types import BYTE, NAT, WORD
+
+
+def n(value):
+    return t.Lit(value, NAT)
+
+
+def ltb(a, b):
+    return t.Prim("nat.ltb", (a, b))
+
+
+def leb(a, b):
+    return t.Prim("nat.leb", (a, b))
+
+
+def eqb(a, b):
+    return t.Prim("nat.eqb", (a, b))
+
+
+def state_with_facts(*facts):
+    state = SymState()
+    for fact in facts:
+        state.add_fact(fact)
+    return state
+
+
+LEN_S = t.ArrayLen(t.Var("s"))
+
+
+class TestNormalizeLen:
+    def test_put_preserves_length(self):
+        term = t.ArrayPut(t.Var("s"), n(0), t.Lit(1, BYTE))
+        assert normalize_len(term) == LEN_S
+
+    def test_map_preserves_length(self):
+        term = t.ArrayMap("b", t.Var("b"), t.Var("s"))
+        assert normalize_len(term) == LEN_S
+
+    def test_invariant_shape_collapses(self):
+        i = t.Var("i")
+        shape = t.Append(
+            t.ArrayMap("b", t.Var("b"), t.FirstN(i, t.Var("s"))),
+            t.SkipN(i, t.Var("s")),
+        )
+        assert canonicalize(t.ArrayLen(shape)) == LEN_S
+
+    def test_if_with_equal_lengths(self):
+        term = t.If(
+            t.Var("c"),
+            t.ArrayPut(t.Var("s"), n(0), t.Lit(1, BYTE)),
+            t.Var("s"),
+        )
+        assert normalize_len(term) == LEN_S
+
+    def test_literal_array(self):
+        assert normalize_len(t.Lit((1, 2, 3), WORD)) == n(3)
+
+    def test_nd_alloc(self):
+        assert normalize_len(t.NdAllocBytes(16)) == n(16)
+
+    def test_copy_stack_transparent(self):
+        assert normalize_len(t.Copy(t.Var("s"))) == LEN_S
+        assert normalize_len(t.Stack(t.Var("s"))) == LEN_S
+
+
+class TestCanonicalize:
+    def test_of_nat_len_sees_through_map(self):
+        mapped = t.ArrayMap("b", t.Var("b"), t.Var("s"))
+        lhs = canonicalize(t.Prim("cast.of_nat", (t.ArrayLen(mapped),)))
+        rhs = canonicalize(t.Prim("cast.of_nat", (LEN_S,)))
+        assert lhs == rhs
+
+    def test_non_length_terms_unchanged(self):
+        term = t.Prim("word.add", (t.Var("x"), t.Lit(1, WORD)))
+        assert canonicalize(term) == term
+
+
+class TestGroundSolver:
+    def test_closed_true(self):
+        assert ground_eval_solver(ltb(n(1), n(2)), SymState())
+
+    def test_closed_false(self):
+        assert not ground_eval_solver(ltb(n(2), n(1)), SymState())
+
+    def test_open_not_solved(self):
+        assert not ground_eval_solver(ltb(t.Var("i"), n(2)), SymState())
+
+
+class TestLinearSolver:
+    def test_trivial_true(self):
+        assert linear_arithmetic_solver(t.Lit(True, WORD), SymState())
+
+    def test_fact_implies_obligation(self):
+        # i < len  |-  i < len
+        state = state_with_facts(ltb(t.Var("i"), LEN_S))
+        assert linear_arithmetic_solver(ltb(t.Var("i"), LEN_S), state)
+
+    def test_transitivity(self):
+        # i < n, n <= m  |-  i < m
+        state = state_with_facts(ltb(t.Var("i"), t.Var("n")), leb(t.Var("n"), t.Var("m")))
+        assert linear_arithmetic_solver(ltb(t.Var("i"), t.Var("m")), state)
+
+    def test_strictness_respected(self):
+        # i < n does NOT imply i + 1 < n.
+        state = state_with_facts(ltb(t.Var("i"), t.Var("n")))
+        obligation = ltb(t.Prim("nat.add", (t.Var("i"), n(1))), t.Var("n"))
+        assert not linear_arithmetic_solver(obligation, state)
+
+    def test_le_from_lt(self):
+        # i < n  |-  i + 1 <= n (integers).
+        state = state_with_facts(ltb(t.Var("i"), t.Var("n")))
+        obligation = leb(t.Prim("nat.add", (t.Var("i"), n(1))), t.Var("n"))
+        assert linear_arithmetic_solver(obligation, state)
+
+    def test_nonnegativity_used(self):
+        # |- 0 <= i for a nat atom.
+        assert linear_arithmetic_solver(leb(n(0), t.Var("i")), SymState())
+
+    def test_equality_facts(self):
+        state = state_with_facts(eqb(t.Var("a"), t.Var("b")), ltb(t.Var("b"), n(10)))
+        assert linear_arithmetic_solver(ltb(t.Var("a"), n(10)), state)
+
+    def test_equality_obligation(self):
+        state = state_with_facts(eqb(t.Var("a"), t.Var("b")))
+        assert linear_arithmetic_solver(eqb(t.Var("b"), t.Var("a")), state)
+
+    def test_length_normalization_in_facts(self):
+        # i < len(s)  |-  i < len(map f s).
+        state = state_with_facts(ltb(t.Var("i"), LEN_S))
+        mapped = t.ArrayMap("b", t.Var("b"), t.Var("s"))
+        assert linear_arithmetic_solver(ltb(t.Var("i"), t.ArrayLen(mapped)), state)
+
+    def test_invariant_shape_length(self):
+        # i < len(s)  |-  i < len(map f (firstn i s) ++ skipn i s).
+        i = t.Var("i")
+        shape = t.Append(
+            t.ArrayMap("b", t.Var("b"), t.FirstN(i, t.Var("s"))),
+            t.SkipN(i, t.Var("s")),
+        )
+        state = state_with_facts(ltb(i, LEN_S))
+        assert linear_arithmetic_solver(ltb(i, t.ArrayLen(shape)), state)
+
+    def test_scaled_fact(self):
+        # 2i + 1 < n follows from i < m and 2m <= n - 1?  Keep it simple:
+        # from i < m and n = 2m:  2i + 1 < n is NOT generally true (i=m-1
+        # gives 2m-1 < 2m, true); check the solver gets it via linearity.
+        two_i_plus_1 = t.Prim("nat.add", (t.Prim("nat.mul", (n(2), t.Var("i"))), n(1)))
+        state = state_with_facts(
+            ltb(t.Var("i"), t.Var("m")),
+            eqb(t.Var("n"), t.Prim("nat.mul", (n(2), t.Var("m")))),
+        )
+        assert linear_arithmetic_solver(ltb(two_i_plus_1, t.Var("n")), state)
+
+    def test_unprovable_stays_unproved(self):
+        assert not linear_arithmetic_solver(ltb(t.Var("i"), t.Var("n")), SymState())
+
+    def test_word_ltu_facts_accepted(self):
+        state = state_with_facts(t.Prim("word.ltu", (t.Var("i"), t.Var("n"))))
+        assert linear_arithmetic_solver(ltb(t.Var("i"), t.Var("n")), state)
+
+
+class TestUpperBound:
+    def test_literal(self):
+        assert upper_bound(n(7), 64) == 7
+
+    def test_mask(self):
+        term = t.Prim("word.and", (t.Var("x"), t.Lit(0xFF, WORD)))
+        assert upper_bound(term, 64) == 0xFF
+
+    def test_remu(self):
+        term = t.Prim("word.remu", (t.Var("x"), t.Lit(10, WORD)))
+        assert upper_bound(term, 64) == 9
+
+    def test_shift(self):
+        term = t.Prim("word.shr", (t.Lit(0xFF, WORD), t.Lit(4, WORD)))
+        assert upper_bound(term, 64) == 0xF
+
+    def test_byte_typed_variable(self):
+        state = SymState()
+        state.ghost_types["b"] = BYTE
+        assert upper_bound(t.Var("b"), 64, state) == 0xFF
+
+    def test_table_entries(self):
+        term = t.TableGet((3, 9, 5), BYTE, t.Var("i"))
+        assert upper_bound(term, 64) == 9
+
+    def test_unknown_is_full_range(self):
+        assert upper_bound(t.Var("x"), 64) == 2**64 - 1
+
+
+class TestBitmaskSolver:
+    def test_masked_index_in_bounds(self):
+        masked = t.Prim(
+            "cast.to_nat", (t.Prim("word.and", (t.Var("x"), t.Lit(0xFF, WORD))),)
+        )
+        assert bitmask_bounds_solver(ltb(masked, n(256)), SymState())
+
+    def test_masked_index_out_of_bounds(self):
+        masked = t.Prim(
+            "cast.to_nat", (t.Prim("word.and", (t.Var("x"), t.Lit(0xFF, WORD))),)
+        )
+        assert not bitmask_bounds_solver(ltb(masked, n(255)), SymState())
+
+    def test_non_literal_rhs_not_handled(self):
+        assert not bitmask_bounds_solver(ltb(t.Var("x"), t.Var("y")), SymState())
+
+
+class TestSolverBank:
+    def test_default_bank_solves_ground(self):
+        bank = SolverBank()
+        assert bank.solve(ltb(n(1), n(2)), SymState())
+
+    def test_register_front(self):
+        calls = []
+
+        def custom(obligation, state):
+            calls.append(obligation)
+            return True
+
+        bank = SolverBank()
+        bank.register(custom, front=True)
+        assert bank.solve(ltb(t.Var("i"), n(0)), SymState())
+        assert calls
+
+
+# -- Property: the linear solver never proves a falsifiable obligation --------
+
+
+@given(
+    st.integers(min_value=0, max_value=50),
+    st.integers(min_value=0, max_value=50),
+    st.integers(min_value=0, max_value=50),
+)
+def test_linear_solver_soundness(i, j, k):
+    """If the solver proves facts |- obligation, the obligation must hold
+    for every concrete valuation satisfying the facts."""
+    from repro.source.evaluator import eval_term
+
+    state = state_with_facts(ltb(t.Var("i"), t.Var("j")), leb(t.Var("j"), t.Var("k")))
+    obligation = ltb(t.Var("i"), t.Var("k"))
+    env = {"i": i, "j": j, "k": k}
+    facts_hold = i < j and j <= k
+    if linear_arithmetic_solver(obligation, state) and facts_hold:
+        assert eval_term(obligation, env)

@@ -1,0 +1,165 @@
+"""Direct tests for the spec (ABI) and certificate modules."""
+
+import pytest
+
+from repro.core.certificate import Certificate, CertNode, SideCondition
+from repro.core.sepstate import PointerBinding, ScalarBinding
+from repro.core.spec import (
+    ArgKind,
+    FnSpec,
+    Model,
+    OutKind,
+    array_out,
+    error_out,
+    len_arg,
+    ptr_arg,
+    scalar_arg,
+    scalar_out,
+)
+from repro.source import terms as t
+from repro.source.types import ARRAY_BYTE, NAT, WORD, cell_of
+
+
+class TestArgConstructors:
+    def test_scalar_arg_defaults(self):
+        arg = scalar_arg("x")
+        assert arg.kind is ArgKind.SCALAR
+        assert arg.param == "x"
+        assert arg.ty is WORD
+
+    def test_scalar_arg_param_override(self):
+        assert scalar_arg("xw", "x").param == "x"
+
+    def test_ptr_arg_requires_composite(self):
+        with pytest.raises(ValueError):
+            ptr_arg("x", WORD)
+
+    def test_len_arg(self):
+        arg = len_arg("len", "s")
+        assert arg.kind is ArgKind.LENGTH
+        assert arg.param == "s"
+
+    def test_outputs(self):
+        assert scalar_out().kind is OutKind.SCALAR
+        assert array_out("s").param == "s"
+        assert error_out().kind is OutKind.ERROR_FLAG
+
+    def test_duplicate_function_args_rejected(self):
+        from repro.bedrock2.ast import Function, SSkip
+
+        with pytest.raises(ValueError):
+            Function("f", ("x", "x"), (), SSkip())
+
+
+class TestInitialState:
+    def model(self):
+        return Model(
+            "m",
+            [("s", ARRAY_BYTE), ("n", NAT), ("w", WORD), ("c", cell_of(WORD))],
+            t.Var("w"),
+            WORD,
+        )
+
+    def spec(self):
+        return FnSpec(
+            "m",
+            [
+                ptr_arg("s", ARRAY_BYTE),
+                len_arg("len", "s"),
+                scalar_arg("n", ty=NAT),
+                scalar_arg("w"),
+                ptr_arg("c", cell_of(WORD)),
+            ],
+            [scalar_out()],
+        )
+
+    def test_ghosts_are_renamed(self):
+        state = self.spec().initial_state(self.model())
+        ghost = FnSpec.ghost_name("s")
+        assert ghost in state.ghost_types
+        # No ghost shares a name with a local.
+        assert not set(state.ghost_types) & set(state.locals)
+
+    def test_pointer_args_get_clauses(self):
+        state = self.spec().initial_state(self.model())
+        binding = state.binding("s")
+        assert isinstance(binding, PointerBinding)
+        assert state.heap[binding.ptr].value == t.Var(FnSpec.ghost_name("s"))
+
+    def test_cell_clause_holds_content_term(self):
+        state = self.spec().initial_state(self.model())
+        clause = state.clause_of_local("c")
+        assert isinstance(clause.value, t.CellGet)
+
+    def test_length_arg_binding_and_fact(self):
+        state = self.spec().initial_state(self.model())
+        binding = state.binding("len")
+        assert isinstance(binding, ScalarBinding)
+        assert binding.ty is NAT
+        assert any(
+            isinstance(fact, t.Prim) and fact.op == "nat.ltb" for fact in state.facts
+        )
+
+    def test_nat_scalar_fact(self):
+        state = self.spec().initial_state(self.model())
+        ghost = t.Var(FnSpec.ghost_name("n"))
+        assert t.Prim("nat.ltb", (ghost, t.Lit(1 << 64, NAT))) in state.facts
+
+    def test_user_facts_rewritten_over_ghosts(self):
+        fact = t.Prim("nat.ltb", (t.ArrayLen(t.Var("s")), t.Lit(100, NAT)))
+        spec = self.spec()
+        spec.facts.append(fact)
+        state = spec.initial_state(self.model())
+        rewritten = t.Prim(
+            "nat.ltb", (t.ArrayLen(t.Var(FnSpec.ghost_name("s"))), t.Lit(100, NAT))
+        )
+        assert rewritten in state.facts
+
+    def test_width_parameter(self):
+        state = self.spec().initial_state(self.model(), width=32)
+        assert state.width == 32
+        assert t.Prim(
+            "nat.ltb",
+            (t.ArrayLen(t.Var(FnSpec.ghost_name("s"))), t.Lit(1 << 32, NAT)),
+        ) in state.facts
+
+    def test_has_error_flag(self):
+        assert not self.spec().has_error_flag
+        spec = FnSpec("e", [scalar_arg("x")], [error_out(), scalar_out()])
+        assert spec.has_error_flag
+
+
+class TestCertificateStructure:
+    def make(self):
+        leaf = CertNode(
+            "compile_set_scalar",
+            "let/n r := x + 1",
+            "SSet",
+            side_conditions=[SideCondition("fits", "x + 1 < 2^64", "lia")],
+        )
+        done = CertNode("compile_done", "ret r", "/* post */")
+        root = CertNode("derive", "defn f", "<body>", children=[leaf, done])
+        return Certificate("f", root, statements_compiled=1)
+
+    def test_size_counts_nodes(self):
+        assert self.make().size() == 3
+
+    def test_lemmas_used_preorder(self):
+        assert self.make().lemmas_used() == [
+            "derive",
+            "compile_set_scalar",
+            "compile_done",
+        ]
+
+    def test_distinct_lemmas_stable_order(self):
+        cert = self.make()
+        cert.root.children.append(CertNode("compile_set_scalar", "again", "SSet"))
+        assert cert.distinct_lemmas().count("compile_set_scalar") == 1
+
+    def test_side_condition_count(self):
+        assert self.make().side_condition_count() == 1
+
+    def test_render_includes_solver(self):
+        text = self.make().render()
+        assert "(by lia)" in text
+        assert "1 side conditions" in text

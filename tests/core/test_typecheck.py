@@ -1,0 +1,107 @@
+"""Direct tests for type inference over resolved terms."""
+
+import pytest
+
+from repro.core.sepstate import Clause, PtrSym, SymState
+from repro.core.typecheck import TypeInferenceError, infer_type
+from repro.source import terms as t
+from repro.source.types import (
+    ARRAY_BYTE,
+    ARRAY_WORD,
+    BOOL,
+    BYTE,
+    NAT,
+    WORD,
+    cell_of,
+)
+
+
+def make_state():
+    state = SymState()
+    state.ghost_types["s"] = ARRAY_BYTE
+    state.ghost_types["w"] = WORD
+    state.ghost_types["n"] = NAT
+    state.bind_scalar("x", t.Var("w"), WORD)
+    ptr = PtrSym("p_c")
+    state.bind_pointer("c", ptr, cell_of(WORD))
+    state.add_clause(Clause(ptr, cell_of(WORD), t.Var("c0")))
+    return state
+
+
+class TestLeaves:
+    def test_lit(self):
+        assert infer_type(make_state(), t.Lit(1, BYTE)) is BYTE
+
+    def test_ghost_var(self):
+        assert infer_type(make_state(), t.Var("s")) == ARRAY_BYTE
+
+    def test_local_var(self):
+        assert infer_type(make_state(), t.Var("x")) is WORD
+
+    def test_pointer_var(self):
+        assert infer_type(make_state(), t.Var("c")) == cell_of(WORD)
+
+    def test_unknown_var(self):
+        with pytest.raises(TypeInferenceError):
+            infer_type(make_state(), t.Var("mystery"))
+
+
+class TestComposite:
+    def test_prim_result(self):
+        term = t.Prim("word.ltu", (t.Var("w"), t.Var("w")))
+        assert infer_type(make_state(), term) is BOOL
+
+    def test_array_get(self):
+        assert infer_type(make_state(), t.ArrayGet(t.Var("s"), t.Var("n"))) is BYTE
+
+    def test_array_get_from_scalar_rejected(self):
+        with pytest.raises(TypeInferenceError):
+            infer_type(make_state(), t.ArrayGet(t.Var("w"), t.Var("n")))
+
+    def test_len_is_nat(self):
+        assert infer_type(make_state(), t.ArrayLen(t.Var("s"))) is NAT
+
+    def test_map_put_preserve_array_type(self):
+        state = make_state()
+        assert infer_type(state, t.ArrayMap("b", t.Var("b"), t.Var("s"))) == ARRAY_BYTE
+        put = t.ArrayPut(t.Var("s"), t.Var("n"), t.Lit(0, BYTE))
+        assert infer_type(state, put) == ARRAY_BYTE
+
+    def test_folds_take_init_type(self):
+        state = make_state()
+        fold = t.ArrayFold("a", "b", t.Var("a"), t.Lit(0, WORD), t.Var("s"))
+        assert infer_type(state, fold) is WORD
+        brk = t.ArrayFoldBreak(
+            "a", "b", t.Var("a"), t.Lit(0, WORD), t.Var("s"), t.Lit(True, BOOL)
+        )
+        assert infer_type(state, brk) is WORD
+
+    def test_if_takes_then_branch(self):
+        term = t.If(t.Lit(True, BOOL), t.Lit(1, BYTE), t.Lit(2, BYTE))
+        assert infer_type(make_state(), term) is BYTE
+
+    def test_invariant_shapes(self):
+        state = make_state()
+        shape = t.Append(
+            t.FirstN(t.Var("n"), t.Var("s")), t.SkipN(t.Var("n"), t.Var("s"))
+        )
+        assert infer_type(state, shape) == ARRAY_BYTE
+
+    def test_cell_get(self):
+        assert infer_type(make_state(), t.CellGet(t.Var("c"))) is WORD
+
+    def test_table_get(self):
+        term = t.TableGet((1, 2), BYTE, t.Var("n"))
+        assert infer_type(make_state(), term) is BYTE
+
+    def test_annotations_transparent(self):
+        state = make_state()
+        assert infer_type(state, t.Stack(t.Var("s"))) == ARRAY_BYTE
+        assert infer_type(state, t.Copy(t.Var("s"))) == ARRAY_BYTE
+
+    def test_effects_are_words(self):
+        state = make_state()
+        assert infer_type(state, t.IORead()) is WORD
+        assert infer_type(state, t.ErrGuard(t.Lit(True, BOOL))) is WORD
+        assert infer_type(state, t.Call("f", ())) is WORD
+        assert infer_type(state, t.NdAllocBytes(4)) == ARRAY_BYTE

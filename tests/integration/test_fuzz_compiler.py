@@ -1,0 +1,150 @@
+"""Compiler fuzzing: random models must compile correctly or stall cleanly.
+
+Hypothesis generates random scalar models (let-chains of word arithmetic
+with conditionals) and random array models (map/fold with random bodies);
+every successful derivation is differentially tested against the model's
+evaluation, and the only acceptable failures are explicit stalls or
+side-condition reports -- never wrong code, never internal errors.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bedrock2 import ast as b2
+from repro.bedrock2.memory import Memory
+from repro.bedrock2.semantics import Interpreter
+from repro.bedrock2.word import Word
+from repro.core.goals import CompileError
+from repro.core.spec import FnSpec, Model, len_arg, ptr_arg, scalar_arg, scalar_out
+from repro.source import terms as t
+from repro.source.evaluator import eval_term
+from repro.source.types import ARRAY_BYTE, BOOL, BYTE, WORD
+from repro.stdlib import default_engine
+
+WORD_OPS = ["word.add", "word.sub", "word.mul", "word.and", "word.or", "word.xor",
+            "word.shl", "word.shr"]
+CMP_OPS = ["word.ltu", "word.eq", "word.lts"]
+
+
+@st.composite
+def scalar_exprs(draw, vars_available, depth=0):
+    """A random scalar WORD expression over the given variables."""
+    choice = draw(st.integers(0, 5 if depth < 3 else 1))
+    if choice == 0:
+        return t.Lit(draw(st.integers(0, 2**16)), WORD)
+    if choice == 1:
+        return t.Var(draw(st.sampled_from(vars_available)))
+    if choice <= 4:
+        op = draw(st.sampled_from(WORD_OPS))
+        lhs = draw(scalar_exprs(vars_available, depth + 1))
+        rhs = draw(scalar_exprs(vars_available, depth + 1))
+        return t.Prim(op, (lhs, rhs))
+    cond = t.Prim(
+        draw(st.sampled_from(CMP_OPS)),
+        (
+            draw(scalar_exprs(vars_available, depth + 1)),
+            draw(scalar_exprs(vars_available, depth + 1)),
+        ),
+    )
+    return t.If(
+        cond,
+        draw(scalar_exprs(vars_available, depth + 1)),
+        draw(scalar_exprs(vars_available, depth + 1)),
+    )
+
+
+@st.composite
+def scalar_models(draw):
+    """let x0 := e0 in let x1 := e1 in ... in x_last."""
+    n_bindings = draw(st.integers(1, 4))
+    vars_available = ["a", "b"]
+    bindings = []
+    for index in range(n_bindings):
+        name = f"x{index}"
+        bindings.append((name, draw(scalar_exprs(vars_available))))
+        vars_available = vars_available + [name]
+    term = t.Var(bindings[-1][0])
+    for name, value in reversed(bindings):
+        term = t.Let(name, value, term)
+    return term
+
+
+@settings(max_examples=40, deadline=None)
+@given(scalar_models(), st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1))
+def test_fuzz_scalar_models(term, a, b):
+    model = Model("fuzz", [("a", WORD), ("b", WORD)], term, WORD)
+    spec = FnSpec("fuzz", [scalar_arg("a"), scalar_arg("b")], [scalar_out()])
+    engine = default_engine()
+    try:
+        compiled = engine.compile_function(model, spec)
+    except CompileError:
+        return  # clean stall is acceptable; wrong code is not
+    interp = Interpreter(b2.Program((compiled.bedrock_fn,)))
+    rets, _ = interp.run("fuzz", [Word(64, a), Word(64, b)])
+    want = eval_term(term, {"a": a, "b": b})
+    assert rets[0].unsigned == want
+
+
+@st.composite
+def byte_exprs(draw, depth=0):
+    """A random BYTE expression over the map element variable ``e``."""
+    choice = draw(st.integers(0, 4 if depth < 2 else 1))
+    if choice == 0:
+        return t.Lit(draw(st.integers(0, 255)), BYTE)
+    if choice == 1:
+        return t.Var("e")
+    op = draw(st.sampled_from(["byte.add", "byte.sub", "byte.and", "byte.or", "byte.xor"]))
+    return t.Prim(op, (draw(byte_exprs(depth + 1)), draw(byte_exprs(depth + 1))))
+
+
+@settings(max_examples=25, deadline=None)
+@given(byte_exprs(), st.binary(min_size=0, max_size=24))
+def test_fuzz_map_bodies(body, data):
+    term = t.Let("s", t.ArrayMap("e", body, t.Var("s")), t.Var("s"))
+    model = Model("fuzzmap", [("s", ARRAY_BYTE)], term, ARRAY_BYTE)
+    from repro.core.spec import array_out
+
+    spec = FnSpec(
+        "fuzzmap", [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s")], [array_out("s")]
+    )
+    engine = default_engine()
+    try:
+        compiled = engine.compile_function(model, spec)
+    except CompileError:
+        return
+    memory = Memory()
+    base = memory.place_bytes(data) if data else memory.allocate(0)
+    interp = Interpreter(b2.Program((compiled.bedrock_fn,)))
+    interp.run("fuzzmap", [Word(64, base), Word(64, len(data))], memory=memory)
+    want = eval_term(term, {"s": list(data)})
+    assert list(memory.load_bytes(base, len(data))) == want
+
+
+@settings(max_examples=25, deadline=None)
+@given(byte_exprs(), st.binary(min_size=0, max_size=24), st.integers(0, 255))
+def test_fuzz_fold_bodies(elem_expr, data, init):
+    """Random folds: acc' = acc + f(e) for random byte-level f."""
+    body = t.Prim("word.add", (t.Var("acc"), t.Prim("cast.b2w", (elem_expr,))))
+    term = t.Let(
+        "acc",
+        t.ArrayFold("acc", "e", body, t.Lit(init, WORD), t.Var("s")),
+        t.Var("acc"),
+    )
+    model = Model("fuzzfold", [("s", ARRAY_BYTE)], term, WORD)
+    spec = FnSpec(
+        "fuzzfold", [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s")], [scalar_out()]
+    )
+    engine = default_engine()
+    try:
+        compiled = engine.compile_function(model, spec)
+    except CompileError:
+        return
+    memory = Memory()
+    base = memory.place_bytes(data) if data else memory.allocate(0)
+    interp = Interpreter(b2.Program((compiled.bedrock_fn,)))
+    rets, _ = interp.run("fuzzfold", [Word(64, base), Word(64, len(data))], memory=memory)
+    want = eval_term(term, {"s": list(data)})
+    assert rets[0].unsigned == want

@@ -1,0 +1,205 @@
+"""Whole-pipeline integration tests: the Figure 1 picture, executable.
+
+model -> relational compilation -> Bedrock2 -> {interpreter, C text,
+RISC-V} -> validation, including multi-function linking and derivation
+replay.
+"""
+
+import random
+
+import pytest
+
+from repro import FnSpec, Model, default_engine, scalar_arg, scalar_out, validate
+from repro.bedrock2 import ast as b2
+from repro.bedrock2.c_printer import print_c_program
+from repro.bedrock2.memory import Memory
+from repro.bedrock2.semantics import Interpreter
+from repro.bedrock2.word import Word
+from repro.core.spec import array_out, len_arg, ptr_arg
+from repro.riscv import Machine, compile_program
+from repro.source import listarray
+from repro.source import terms as t
+from repro.source.builder import let_n, sym
+from repro.source.types import ARRAY_BYTE, WORD
+from repro.validation.checker import CertificateError, replay_derivation
+
+
+class TestMultiFunctionLinking:
+    """Rupicola output links against other Bedrock2 code (§3.2: "linking
+    against separately compiled (or handwritten) verified fragments")."""
+
+    def build(self):
+        engine = default_engine()
+        # A derived helper: clamp8(x) = x & 0xff.
+        helper_body = let_n("r", sym("x", WORD) & 0xFF, sym("r", WORD))
+        helper = engine.compile_function(
+            Model("clamp8", [("x", WORD)], helper_body.term, WORD),
+            FnSpec("clamp8", [scalar_arg("x")], [scalar_out()]),
+        )
+        # A derived caller: sums clamp8 over the bytes' word-sums.
+        caller_term = t.Let(
+            "a",
+            t.Call("clamp8", (t.Var("x"),)),
+            t.Let(
+                "b",
+                t.Call("clamp8", (t.Var("y"),)),
+                t.Let(
+                    "r",
+                    t.Prim("word.add", (t.Var("a"), t.Var("b"))),
+                    t.Var("r"),
+                ),
+            ),
+        )
+        caller = engine.compile_function(
+            Model("sum8", [("x", WORD), ("y", WORD)], caller_term, WORD),
+            FnSpec("sum8", [scalar_arg("x"), scalar_arg("y")], [scalar_out()]),
+        )
+        return helper, caller
+
+    def test_linked_through_interpreter(self):
+        helper, caller = self.build()
+        program = b2.Program((helper.bedrock_fn, caller.bedrock_fn))
+        interp = Interpreter(program)
+        rets, _ = interp.run("sum8", [Word(64, 0x1FF), Word(64, 0x203)])
+        assert rets[0].unsigned == 0xFF + 0x03
+
+    def test_linked_through_riscv(self):
+        helper, caller = self.build()
+        program = b2.Program((helper.bedrock_fn, caller.bedrock_fn))
+        rv = compile_program(program)
+        machine = Machine(rv)
+        assert machine.run_function("sum8", [0x1FF, 0x203])[0] == 0x102
+
+    def test_linked_c_translation_unit(self):
+        helper, caller = self.build()
+        text = print_c_program(b2.Program((helper.bedrock_fn, caller.bedrock_fn)))
+        assert "uintptr_t clamp8(uintptr_t x)" in text
+        assert "a = clamp8(x);" in text
+
+    def test_caller_model_validates_with_function_table(self):
+        """The model of a calling function is evaluated by supplying
+        Python models for its callees."""
+        helper, caller = self.build()
+        from repro.source.evaluator import eval_term
+
+        env = {
+            "x": 0x1FF,
+            "y": 0x203,
+            "__functions__": {"clamp8": lambda v: v & 0xFF},
+        }
+        assert eval_term(caller.model.term, env) == 0x102
+
+
+class TestDerivationReplay:
+    def test_replay_confirms_authentic_bundle(self):
+        engine = default_engine()
+        body = let_n("r", sym("x", WORD) * 3, sym("r", WORD))
+        compiled = engine.compile_function(
+            Model("triple", [("x", WORD)], body.term, WORD),
+            FnSpec("triple", [scalar_arg("x")], [scalar_out()]),
+        )
+        replay_derivation(compiled)
+        validate(compiled, trials=5, rng=random.Random(0), replay=True)
+
+    def test_replay_detects_tampered_code(self):
+        engine = default_engine()
+        body = let_n("r", sym("x", WORD) * 3, sym("r", WORD))
+        compiled = engine.compile_function(
+            Model("triple", [("x", WORD)], body.term, WORD),
+            FnSpec("triple", [scalar_arg("x")], [scalar_out()]),
+        )
+        compiled.bedrock_fn = b2.Function(
+            "triple", ("x",), ("r",), b2.SSet("r", b2.EOp("mul", b2.EVar("x"), b2.ELit(4)))
+        )
+        with pytest.raises(CertificateError):
+            replay_derivation(compiled)
+
+    def test_suite_replays_deterministically(self):
+        from repro.programs import all_programs
+
+        for program in all_programs():
+            replay_derivation(program.compile(fresh=True))
+
+
+class TestCLI:
+    def run_cli(self, *argv):
+        import contextlib
+        import io
+
+        from repro.__main__ import main
+
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = main(list(argv))
+        return code, out.getvalue()
+
+    def test_list(self):
+        code, out = self.run_cli("list")
+        assert code == 0
+        assert "crc32" in out and "upstr" in out
+
+    def test_compile(self):
+        code, out = self.run_cli("compile", "fnv1a")
+        assert code == 0
+        assert "uintptr_t fnv1a" in out
+
+    def test_cert(self):
+        code, out = self.run_cli("cert", "m3s")
+        assert code == 0
+        assert "compile_set_scalar" in out
+
+    def test_validate(self):
+        code, out = self.run_cli("validate", "upstr", "--trials", "5")
+        assert code == 0
+        assert "0 failures" in out
+
+    def test_riscv(self):
+        code, out = self.run_cli("riscv", "fasta")
+        assert code == 0
+        assert "instructions" in out
+
+    def test_unknown_program(self):
+        with pytest.raises(SystemExit):
+            self.run_cli("compile", "nonexistent")
+
+
+class TestEndToEndNewProgram:
+    """A program not in the suite, built through the public API only."""
+
+    def test_rot13(self):
+        s = sym("s", ARRAY_BYTE)
+        from repro.source.builder import ite
+
+        def rot13(b):
+            upper = ite((b - ord("A")).ltu(26), (b - ord("A") + 13).umod(26) + ord("A"), b)
+            return ite(
+                (b - ord("a")).ltu(26),
+                (b - ord("a") + 13).umod(26) + ord("a"),
+                upper,
+            )
+
+        body = let_n("s", listarray.map_(rot13, s, elem_name="b"), s)
+        model = Model("rot13", [("s", ARRAY_BYTE)], body.term, ARRAY_BYTE)
+        spec = FnSpec(
+            "rot13", [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s")], [array_out("s")]
+        )
+        compiled = default_engine().compile_function(model, spec)
+
+        import codecs
+
+        data = b"Attack at Dawn! 123"
+        memory = Memory()
+        base = memory.place_bytes(data)
+        interp = Interpreter(b2.Program((compiled.bedrock_fn,)))
+        interp.run("rot13", [Word(64, base), Word(64, len(data))], memory=memory)
+        expected = codecs.encode(data.decode(), "rot13").encode()
+        assert memory.load_bytes(base, len(data)) == expected
+
+        validate(
+            compiled,
+            trials=20,
+            rng=random.Random(0),
+            input_gen=lambda rng: {
+                "s": [rng.randrange(32, 127) for _ in range(rng.randrange(40))]
+            },
+        )

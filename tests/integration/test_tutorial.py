@@ -1,0 +1,84 @@
+"""The tutorial's snippets (docs/tutorial.md), kept runnable."""
+
+import random
+
+from repro import (
+    FnSpec,
+    Model,
+    array_out,
+    default_engine,
+    len_arg,
+    ptr_arg,
+    validate,
+)
+from repro.source import listarray
+from repro.source.builder import ite, let_n, sym
+from repro.source.types import ARRAY_BYTE
+from repro.stackmachine import (
+    RelationalCompiler,
+    SAdd,
+    SInt,
+    STOT_RULES,
+    TPopAdd,
+    TPush,
+    eval_t,
+    s_to_t,
+)
+
+
+def test_section_1_compilers_as_facts():
+    program = s_to_t(SAdd(SInt(3), SInt(4)))
+    assert list(program) == [TPush(3), TPush(4), TPopAdd()]
+    assert eval_t(program) == [7]
+
+    derivation = RelationalCompiler(STOT_RULES).compile(SAdd(SInt(3), SInt(4)))
+    text = derivation.render()
+    assert "StoT_RAdd" in text and "StoT_RInt" in text
+    assert tuple(derivation.program) == program
+
+
+def build_upstr():
+    s = sym("s", ARRAY_BYTE)
+    model_term = let_n(
+        "s",
+        listarray.map_(lambda b: ite((b - ord("a")).ltu(26), b & 0x5F, b), s),
+        s,
+    )
+    model = Model("upstr'", [("s", ARRAY_BYTE)], model_term.term, ARRAY_BYTE)
+    spec = FnSpec(
+        "upstr",
+        [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s")],
+        [array_out("s")],
+    )
+    return model, spec
+
+
+def test_sections_2_to_6_derivation_and_validation():
+    model, spec = build_upstr()
+    compiled = default_engine().compile_function(model, spec)
+    assert "while" in compiled.c_source()
+    assert "compile_arraymap_inplace" in compiled.certificate.render()
+    validate(
+        compiled,
+        trials=15,
+        rng=random.Random(0),
+        replay=True,
+        input_gen=lambda rng: {
+            "s": [rng.randrange(32, 127) for _ in range(rng.randrange(32))]
+        },
+    )
+
+
+def test_section_7_downstream_riscv():
+    from repro.bedrock2.memory import Memory
+    from repro.riscv import Machine, compile_function
+
+    model, spec = build_upstr()
+    compiled = default_engine().compile_function(model, spec)
+    rv = compile_function(compiled.bedrock_fn)
+    memory = Memory()
+    data = b"tutorial"
+    base = memory.place_bytes(data)
+    machine = Machine(rv, memory)
+    machine.run_function("upstr", [base, len(data)])
+    assert memory.load_bytes(base, len(data)) == b"TUTORIAL"

@@ -1,0 +1,111 @@
+"""Cross-cutting: compiling and running on a 32-bit target.
+
+Bedrock2 "can be compiled to RISC-V or pretty-printed to C" on 32- and
+64-bit targets; the engine's width parameter must thread through word
+semantics, overflow side conditions, and element sizes.
+"""
+
+import random
+
+import pytest
+
+from repro.bedrock2 import ast as b2
+from repro.bedrock2.memory import Memory
+from repro.bedrock2.semantics import Interpreter
+from repro.bedrock2.word import Word
+from repro.core.spec import FnSpec, Model, array_out, len_arg, ptr_arg, scalar_arg, scalar_out
+from repro.source import listarray
+from repro.source.builder import let_n, sym
+from repro.source.types import ARRAY_BYTE, ARRAY_WORD, WORD
+from repro.stdlib import default_engine
+from repro.validation import differential_check
+
+
+def compile32(name, params, term, spec):
+    engine = default_engine(width=32)
+    model = Model(name, params, term, None)
+    return engine.compile_function(model, spec)
+
+
+class TestWidth32:
+    def test_arithmetic_wraps_at_32(self):
+        x = sym("x", WORD)
+        body = let_n("r", x * x, sym("r", WORD))
+        spec = FnSpec("sq", [scalar_arg("x")], [scalar_out()])
+        compiled = compile32("sq", [("x", WORD)], body.term, spec)
+        interp = Interpreter(b2.Program((compiled.bedrock_fn,)), width=32)
+        rets, _ = interp.run("sq", [Word(32, 1 << 20)])
+        assert rets[0].unsigned == (1 << 40) % 2**32 == 0
+
+    def test_differential_at_width_32(self):
+        x = sym("x", WORD)
+        body = let_n("r", (x << 5) ^ (x + 12345), sym("r", WORD))
+        spec = FnSpec("mix", [scalar_arg("x")], [scalar_out()])
+        compiled = compile32("mix", [("x", WORD)], body.term, spec)
+        report = differential_check(
+            compiled, trials=30, rng=random.Random(0), width=32
+        )
+        report.raise_on_failure()
+
+    def test_word_array_uses_4_byte_elements(self):
+        a = sym("a", ARRAY_WORD)
+        body = let_n("a", listarray.map_(lambda v: v + 1, a), a)
+        spec = FnSpec(
+            "incall", [ptr_arg("a", ARRAY_WORD), len_arg("len", "a")], [array_out("a")]
+        )
+        compiled = compile32("incall", [("a", ARRAY_WORD)], body.term, spec)
+        # 4-byte loads/stores on a 32-bit target.
+        text = compiled.c_source()
+        assert "_br2_store(" in text and ", 4)" in text
+
+        def gen(rng):
+            return {"a": [rng.getrandbits(32) for _ in range(rng.randrange(10))]}
+
+        differential_check(
+            compiled, trials=20, rng=random.Random(1), width=32, input_gen=gen
+        ).raise_on_failure()
+
+    def test_fold_at_width_32(self):
+        s = sym("s", ARRAY_BYTE)
+        from repro.source.builder import word_lit
+
+        body = let_n(
+            "h",
+            listarray.fold(
+                lambda h, c: (h ^ c.to_word()) * 16777619, word_lit(2166136261), s,
+                names=("h", "c"),
+            ),
+            sym("h", WORD),
+        )
+        spec = FnSpec(
+            "fnv32", [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s")], [scalar_out()]
+        )
+        compiled = compile32("fnv32", [("s", ARRAY_BYTE)], body.term, spec)
+
+        def fnv32(data):
+            h = 2166136261
+            for c in data:
+                h = ((h ^ c) * 16777619) % 2**32
+            return h
+
+        interp = Interpreter(b2.Program((compiled.bedrock_fn,)), width=32)
+        data = b"hello 32-bit world"
+        mem = Memory(32)
+        base = mem.place_bytes(data)
+        rets, _ = interp.run("fnv32", [Word(32, base), Word(32, len(data))], memory=mem)
+        assert rets[0].unsigned == fnv32(data)
+
+    def test_overflow_side_conditions_use_32_bit_bound(self):
+        """A nat literal that fits 64 but not 32 bits is rejected at 32."""
+        from repro.core.goals import SideConditionFailed
+        from repro.source.types import NAT
+        from repro.source import terms as t
+
+        body = t.Let("r", t.Prim("cast.of_nat", (t.Lit(2**40, NAT),)), t.Var("r"))
+        spec = FnSpec("big", [scalar_arg("x")], [scalar_out()])
+        with pytest.raises(SideConditionFailed):
+            compile32("big", [("x", WORD)], body, spec)
+        # The same program compiles fine at width 64.
+        default_engine(width=64).compile_function(
+            Model("big", [("x", WORD)], body, None), spec
+        )

@@ -1,0 +1,89 @@
+"""Tests for the extraction-baseline cost simulation (E4)."""
+
+import pytest
+
+from repro.programs import get_program
+from repro.programs.extraction_baseline import (
+    EXTRACTED,
+    ExtractedRuntime,
+    crc32_extracted,
+    fasta_extracted,
+    fnv1a_extracted,
+    upstr_extracted,
+)
+
+
+class TestCorrectness:
+    """The extracted versions compute the same functions -- they are just
+    catastrophically less efficient, like real extraction output."""
+
+    def test_upstr(self):
+        runtime = ExtractedRuntime()
+        assert upstr_extracted(runtime, b"hello!") == b"HELLO!"
+
+    def test_fnv1a(self):
+        runtime = ExtractedRuntime()
+        data = b"rupicola"
+        assert fnv1a_extracted(runtime, data) == get_program("fnv1a").reference(data)
+
+    def test_crc32(self):
+        runtime = ExtractedRuntime()
+        data = b"123456789"
+        assert crc32_extracted(runtime, data) == 0xCBF43926
+
+    def test_fasta(self):
+        runtime = ExtractedRuntime()
+        assert fasta_extracted(runtime, b"ACGT") == b"TGCA"
+
+    def test_registry_agrees_with_references(self):
+        for name, extracted in EXTRACTED.items():
+            program = get_program(name)
+            data = b"The quick brown fox"
+            runtime = ExtractedRuntime()
+            assert extracted(runtime, data) == program.reference(data)
+
+
+class TestCosts:
+    def test_map_allocates_per_element(self):
+        runtime = ExtractedRuntime()
+        upstr_extracted(runtime, b"x" * 50)
+        assert runtime.costs.alloc >= 50  # one fresh cell per character
+
+    def test_nth_is_linear(self):
+        """crc32's table lookups dominate: cost grows with table index."""
+        # crc starts at 0xFFFFFFFF, so byte 0xFF indexes entry 0 (cheap)
+        # and byte 0x00 indexes entry 255 (a full-list walk).
+        cheap = ExtractedRuntime()
+        crc32_extracted(cheap, bytes([0xFF]))
+        expensive = ExtractedRuntime()
+        crc32_extracted(expensive, bytes([0x00]))
+        assert expensive.costs.deref > cheap.costs.deref
+
+    def test_extraction_orders_of_magnitude_slower(self):
+        """The §4.2 claim, at our scale: extracted cost per byte exceeds
+        the compiled Bedrock2 cost per byte by a wide margin."""
+        from repro.bedrock2 import ast as b2
+        from repro.bedrock2.memory import Memory
+        from repro.bedrock2.semantics import Interpreter
+        from repro.bedrock2.word import Word
+
+        program = get_program("crc32")
+        compiled = program.compile()
+        data = bytes(range(200))
+
+        mem = Memory()
+        base = mem.place_bytes(data)
+        interp = Interpreter(b2.Program((compiled.bedrock_fn,)))
+        interp.run("crc32", [Word(64, base), Word(64, len(data))], memory=mem)
+        compiled_cost = interp.counts.total()
+
+        runtime = ExtractedRuntime()
+        crc32_extracted(runtime, data)
+        extracted_cost = runtime.costs.total()
+
+        assert extracted_cost > 10 * compiled_cost
+
+    def test_weighted_costs(self):
+        runtime = ExtractedRuntime()
+        upstr_extracted(runtime, b"abc")
+        assert runtime.costs.weighted({"alloc": 10.0}) == 10.0 * runtime.costs.alloc

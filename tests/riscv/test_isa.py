@@ -1,0 +1,109 @@
+"""Encoding/decoding tests for the RV64IM subset."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.riscv.isa import (
+    B_TYPE,
+    I_TYPE,
+    Instr,
+    R_TYPE,
+    S_TYPE,
+    decode,
+    encode,
+)
+
+regs = st.integers(min_value=0, max_value=31)
+imm12 = st.integers(min_value=-2048, max_value=2047)
+shamt = st.integers(min_value=0, max_value=63)
+
+
+class TestKnownEncodings:
+    def test_addi(self):
+        # addi a0, a0, 1 == 0x00150513
+        assert encode(Instr("addi", 10, 10, 1)) == 0x00150513
+
+    def test_add(self):
+        # add a0, a1, a2 == 0x00C58533
+        assert encode(Instr("add", 10, 11, 12)) == 0x00C58533
+
+    def test_ld(self):
+        # ld a0, 8(sp) == 0x00813503
+        assert encode(Instr("ld", 10, 2, 8)) == 0x00813503
+
+    def test_sd(self):
+        # sd a0, 8(sp) == 0x00A13423
+        assert encode(Instr("sd", 10, 2, 8)) == 0x00A13423
+
+    def test_ecall(self):
+        assert encode(Instr("ecall")) == 0x00000073
+
+    def test_jal_ra(self):
+        # jal ra, +8
+        word = encode(Instr("jal", 1, 8))
+        assert decode(word) == Instr("jal", 1, 8)
+
+    def test_branch_offset_must_be_even(self):
+        with pytest.raises(ValueError):
+            encode(Instr("beq", 1, 2, 3))
+
+    def test_immediate_range_checked(self):
+        with pytest.raises(ValueError):
+            encode(Instr("addi", 1, 1, 5000))
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(ValueError):
+            encode(Instr("frobnicate"))
+
+
+@given(st.sampled_from(sorted(R_TYPE)), regs, regs, regs)
+def test_rtype_roundtrip(name, rd, rs1, rs2):
+    instr = Instr(name, rd, rs1, rs2)
+    assert decode(encode(instr)) == instr
+
+
+@given(
+    st.sampled_from(sorted(set(I_TYPE) - {"slli", "srli", "srai"})),
+    regs,
+    regs,
+    imm12,
+)
+def test_itype_roundtrip(name, rd, rs1, imm):
+    instr = Instr(name, rd, rs1, imm)
+    assert decode(encode(instr)) == instr
+
+
+@given(st.sampled_from(["slli", "srli", "srai"]), regs, regs, shamt)
+def test_shift_roundtrip(name, rd, rs1, amount):
+    instr = Instr(name, rd, rs1, amount)
+    assert decode(encode(instr)) == instr
+
+
+@given(st.sampled_from(sorted(S_TYPE)), regs, regs, imm12)
+def test_stype_roundtrip(name, rs2, rs1, imm):
+    instr = Instr(name, rs2, rs1, imm)
+    assert decode(encode(instr)) == instr
+
+
+@given(
+    st.sampled_from(sorted(B_TYPE)),
+    regs,
+    regs,
+    st.integers(min_value=-2048, max_value=2047).map(lambda x: x * 2),
+)
+def test_btype_roundtrip(name, rs1, rs2, offset):
+    instr = Instr(name, rs1, rs2, offset)
+    assert decode(encode(instr)) == instr
+
+
+@given(regs, st.integers(min_value=0, max_value=(1 << 20) - 1))
+def test_lui_roundtrip(rd, imm):
+    instr = Instr("lui", rd, imm)
+    assert decode(encode(instr)) == instr
+
+
+@given(regs, st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1).map(lambda x: x * 2))
+def test_jal_roundtrip(rd, offset):
+    instr = Instr("jal", rd, offset)
+    assert decode(encode(instr)) == instr

@@ -1,0 +1,236 @@
+"""Tests for the combinator DSL and tracing reification."""
+
+import pytest
+
+from repro.source import listarray
+from repro.source import terms as t
+from repro.source.annotations import copy, stack
+from repro.source.builder import (
+    SymValue,
+    byte_lit,
+    bool_lit,
+    ite,
+    let_n,
+    lift,
+    nat_lit,
+    reify_expr,
+    sym,
+    trace_lambda,
+    word_lit,
+)
+from repro.source.cells import cell_var, get as cell_get, put as cell_put
+from repro.source.evaluator import CellV, eval_term
+from repro.source.inline_table import byte_table, word_table
+from repro.source.types import ARRAY_BYTE, BOOL, BYTE, NAT, WORD, array_of
+
+
+class TestLiterals:
+    def test_word_lit(self):
+        v = word_lit(5)
+        assert v.ty is WORD
+        assert eval_term(v.term) == 5
+
+    def test_byte_lit_range_checked(self):
+        with pytest.raises(ValueError):
+            byte_lit(256)
+
+    def test_nat_lit_nonnegative(self):
+        with pytest.raises(ValueError):
+            nat_lit(-1)
+
+    def test_bool_lit(self):
+        assert eval_term(bool_lit(True).term) is True
+
+
+class TestOperatorDispatch:
+    def test_word_ops_use_word_catalog(self):
+        v = sym("x", WORD) + 1
+        assert isinstance(v.term, t.Prim)
+        assert v.term.op == "word.add"
+
+    def test_byte_ops_use_byte_catalog(self):
+        v = sym("b", BYTE) & 0x5F
+        assert v.term.op == "byte.and"
+
+    def test_nat_ops_use_nat_catalog(self):
+        v = sym("n", NAT) - 1
+        assert v.term.op == "nat.sub"
+
+    def test_bool_ops(self):
+        v = sym("p", BOOL) & sym("q", BOOL)
+        assert v.term.op == "bool.andb"
+        assert (~sym("p", BOOL)).term.op == "bool.negb"
+
+    def test_invert_word_is_xor_all_ones(self):
+        v = ~sym("x", WORD)
+        assert v.term.op == "word.xor"
+        assert eval_term(v.term, {"x": 0}) == 2**64 - 1
+
+    def test_shift_ops(self):
+        assert (sym("x", WORD) << 3).term.op == "word.shl"
+        assert (sym("x", WORD) >> 3).term.op == "word.shr"
+
+    def test_reflected_operands(self):
+        v = 10 - sym("x", WORD)
+        assert eval_term(v.term, {"x": 3}) == 7
+
+    def test_comparisons_produce_bool(self):
+        assert sym("x", WORD).ltu(5).ty is BOOL
+        assert sym("b", BYTE).eq(0).ty is BOOL
+        assert sym("n", NAT).leb(3).ty is BOOL
+
+    def test_leb_rejected_on_words(self):
+        with pytest.raises(TypeError):
+            sym("x", WORD).leb(1)
+
+    def test_division_helpers(self):
+        assert sym("x", WORD).udiv(2).term.op == "word.divu"
+        assert sym("x", WORD).umod(2).term.op == "word.remu"
+        assert sym("x", WORD).sar(2).term.op == "word.sar"
+
+
+class TestCasts:
+    def test_byte_to_word(self):
+        assert sym("b", BYTE).to_word().term.op == "cast.b2w"
+
+    def test_word_to_byte(self):
+        assert sym("x", WORD).to_byte().term.op == "cast.w2b"
+
+    def test_nat_to_word(self):
+        assert sym("n", NAT).to_word().term.op == "cast.of_nat"
+
+    def test_cast_identity(self):
+        x = sym("x", WORD)
+        assert x.to_word() is x
+
+    def test_byte_to_nat(self):
+        assert sym("b", BYTE).to_nat().term.op == "cast.b2n"
+
+
+class TestControl:
+    def test_ite_builds_if(self):
+        v = ite(sym("c", BOOL), word_lit(1), word_lit(2))
+        assert isinstance(v.term, t.If)
+
+    def test_ite_evaluates(self):
+        v = ite(sym("x", WORD).ltu(5), word_lit(1), word_lit(0))
+        assert eval_term(v.term, {"x": 3}) == 1
+        assert eval_term(v.term, {"x": 9}) == 0
+
+    def test_no_python_truthiness(self):
+        with pytest.raises(TypeError):
+            bool(sym("c", BOOL))
+
+    def test_let_n(self):
+        body = let_n("y", sym("x", WORD) + 1, sym("y", WORD) * 2)
+        assert isinstance(body.term, t.Let)
+        assert eval_term(body.term, {"x": 4}) == 10
+
+
+class TestTracing:
+    def test_trace_lambda_captures_names(self):
+        names, body, ty = trace_lambda(lambda b: b & 0x5F, [BYTE])
+        assert names == ["b"]
+        assert ty is BYTE
+        assert t.free_vars(body) == {"b"}
+
+    def test_trace_lambda_two_args(self):
+        names, body, ty = trace_lambda(lambda acc, b: acc + b.to_word(), [WORD, BYTE])
+        assert names == ["acc", "b"]
+        assert ty is WORD
+
+    def test_reify_expr(self):
+        body = reify_expr(lambda x: x * x, [WORD])
+        assert eval_term(body, {"x": 6}) == 36
+
+    def test_trace_constant_result_lifted(self):
+        names, body, ty = trace_lambda(lambda b: 0, [BYTE])
+        assert isinstance(body, t.Lit)
+
+
+class TestListArray:
+    def test_get_typed_by_element(self):
+        a = sym("a", ARRAY_BYTE)
+        assert listarray.get(a, nat_lit(0)).ty is BYTE
+
+    def test_put_preserves_array_type(self):
+        a = sym("a", ARRAY_BYTE)
+        assert listarray.put(a, 0, byte_lit(1)).ty == ARRAY_BYTE
+
+    def test_length_is_nat(self):
+        assert listarray.length(sym("a", ARRAY_BYTE)).ty is NAT
+
+    def test_map_builds_arraymap(self):
+        v = listarray.map_(lambda b: b ^ 0xFF, sym("a", ARRAY_BYTE))
+        assert isinstance(v.term, t.ArrayMap)
+        assert eval_term(v.term, {"a": [0, 1]}) == [255, 254]
+
+    def test_map_must_preserve_elem_type(self):
+        with pytest.raises(TypeError):
+            listarray.map_(lambda b: b.to_word(), sym("a", ARRAY_BYTE))
+
+    def test_fold(self):
+        v = listarray.fold(
+            lambda acc, b: acc + b.to_word(), word_lit(0), sym("a", ARRAY_BYTE)
+        )
+        assert isinstance(v.term, t.ArrayFold)
+        assert eval_term(v.term, {"a": [3, 4]}) == 7
+
+    def test_fold_type_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            listarray.fold(lambda acc, b: b, word_lit(0), sym("a", ARRAY_BYTE))
+
+    def test_non_array_rejected(self):
+        with pytest.raises(TypeError):
+            listarray.get(sym("x", WORD), 0)
+
+
+class TestInlineTable:
+    def test_byte_table_get(self):
+        table = byte_table([9, 8, 7])
+        v = table.get(nat_lit(2))
+        assert isinstance(v.term, t.TableGet)
+        assert eval_term(v.term) == 7
+
+    def test_getitem_sugar(self):
+        assert eval_term(byte_table([1, 2])[nat_lit(1)].term) == 2
+
+    def test_range_checked(self):
+        with pytest.raises(ValueError):
+            byte_table([300])
+
+    def test_word_table_allows_large_entries(self):
+        table = word_table([2**40])
+        assert eval_term(table.get(nat_lit(0)).term) == 2**40
+
+
+class TestCellsModule:
+    def test_get_put(self):
+        c = cell_var("c", WORD)
+        assert eval_term(cell_get(c).term, {"c": CellV(4)}) == 4
+        assert eval_term(cell_put(c, 9).term, {"c": CellV(4)}) == CellV(9)
+
+    def test_non_cell_rejected(self):
+        with pytest.raises(TypeError):
+            cell_get(sym("x", WORD))
+
+
+class TestAnnotations:
+    def test_stack_wraps(self):
+        v = stack(sym("a", ARRAY_BYTE))
+        assert isinstance(v.term, t.Stack)
+        assert v.ty == ARRAY_BYTE
+
+    def test_copy_wraps(self):
+        v = copy(sym("a", ARRAY_BYTE))
+        assert isinstance(v.term, t.Copy)
+
+
+class TestLift:
+    def test_bare_term_needs_hint(self):
+        with pytest.raises(TypeError):
+            lift(t.Var("x"))
+
+    def test_unknown_value_rejected(self):
+        with pytest.raises(TypeError):
+            lift("strings are not source values")

@@ -1,0 +1,207 @@
+"""Tests for the functional semantics of source terms."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.source import terms as t
+from repro.source.evaluator import CellV, EffectContext, EvalError, Evaluator, eval_term
+from repro.source.types import BOOL, BYTE, NAT, WORD
+
+
+def w(value):
+    return t.Lit(value, WORD)
+
+
+def n(value):
+    return t.Lit(value, NAT)
+
+
+class TestPureCore:
+    def test_lit(self):
+        assert eval_term(w(42)) == 42
+
+    def test_var(self):
+        assert eval_term(t.Var("x"), {"x": 7}) == 7
+
+    def test_unbound_var(self):
+        with pytest.raises(EvalError):
+            eval_term(t.Var("x"))
+
+    def test_prim_word_add_wraps(self):
+        term = t.Prim("word.add", (w(2**64 - 1), w(1)))
+        assert eval_term(term) == 0
+
+    def test_prim_width_respected(self):
+        term = t.Prim("word.add", (w(2**32 - 1), w(1)))
+        assert eval_term(term, width=32) == 0
+        assert eval_term(term, width=64) == 2**32
+
+    def test_nat_sub_truncates(self):
+        term = t.Prim("nat.sub", (n(3), n(5)))
+        assert eval_term(term) == 0
+
+    def test_let(self):
+        term = t.Let("x", w(3), t.Prim("word.add", (t.Var("x"), t.Var("x"))))
+        assert eval_term(term) == 6
+
+    def test_let_shadows(self):
+        term = t.Let("x", w(1), t.Let("x", w(2), t.Var("x")))
+        assert eval_term(term) == 2
+
+    def test_if(self):
+        term = t.If(t.Lit(True, BOOL), w(1), w(2))
+        assert eval_term(term) == 1
+        term = t.If(t.Lit(False, BOOL), w(1), w(2))
+        assert eval_term(term) == 2
+
+    def test_tuple(self):
+        term = t.TupleTerm((w(1), w(2)))
+        assert eval_term(term) == (1, 2)
+
+
+class TestArrays:
+    def test_len(self):
+        assert eval_term(t.ArrayLen(t.Var("a")), {"a": [1, 2, 3]}) == 3
+
+    def test_get(self):
+        assert eval_term(t.ArrayGet(t.Var("a"), n(1)), {"a": [10, 20]}) == 20
+
+    def test_get_out_of_bounds(self):
+        with pytest.raises(EvalError):
+            eval_term(t.ArrayGet(t.Var("a"), n(5)), {"a": [1]})
+
+    def test_put_is_functional(self):
+        original = [1, 2, 3]
+        result = eval_term(t.ArrayPut(t.Var("a"), n(0), w(9)), {"a": original})
+        assert result == [9, 2, 3]
+        assert original == [1, 2, 3]  # purity: no mutation of the input
+
+    def test_map(self):
+        term = t.ArrayMap("b", t.Prim("byte.xor", (t.Var("b"), t.Lit(0xFF, BYTE))), t.Var("a"))
+        assert eval_term(term, {"a": [0, 0x0F]}) == [0xFF, 0xF0]
+
+    def test_fold(self):
+        body = t.Prim("word.add", (t.Var("acc"), t.Prim("cast.b2w", (t.Var("b"),))))
+        term = t.ArrayFold("acc", "b", body, w(0), t.Var("a"))
+        assert eval_term(term, {"a": [1, 2, 3]}) == 6
+
+    def test_ranged_for(self):
+        body = t.Prim("word.add", (t.Var("acc"), t.Prim("cast.of_nat", (t.Var("i"),))))
+        term = t.RangedFor(n(0), n(5), "i", "acc", body, w(0))
+        assert eval_term(term) == 10
+
+    def test_nat_iter(self):
+        term = t.NatIter(n(4), "acc", t.Prim("word.add", (t.Var("acc"), w(1))), w(0))
+        assert eval_term(term) == 4
+
+    def test_non_array_rejected(self):
+        with pytest.raises(EvalError):
+            eval_term(t.ArrayLen(w(1)))
+
+
+class TestTablesAndCells:
+    def test_table_get(self):
+        term = t.TableGet((5, 6, 7), BYTE, n(2))
+        assert eval_term(term) == 7
+
+    def test_table_out_of_bounds(self):
+        with pytest.raises(EvalError):
+            eval_term(t.TableGet((5,), BYTE, n(1)))
+
+    def test_cell_get(self):
+        assert eval_term(t.CellGet(t.Var("c")), {"c": CellV(11)}) == 11
+
+    def test_cell_put_is_functional(self):
+        cell = CellV(1)
+        result = eval_term(t.CellPut(t.Var("c"), w(2)), {"c": cell})
+        assert result == CellV(2)
+        assert cell.value == 1
+
+    def test_cell_type_errors(self):
+        with pytest.raises(EvalError):
+            eval_term(t.CellGet(w(1)))
+        with pytest.raises(EvalError):
+            eval_term(t.CellPut(w(1), w(2)))
+
+
+class TestAnnotationsUnfold:
+    def test_stack_is_identity(self):
+        assert eval_term(t.Stack(w(5))) == 5
+
+    def test_copy_is_identity(self):
+        assert eval_term(t.Copy(t.Var("a")), {"a": [1]}) == [1]
+
+
+class TestEffects:
+    def test_io_read_write(self):
+        fx = EffectContext(io_input=iter([10, 20]))
+        term = t.MBind(
+            "x", t.IORead(), t.MBind("_", t.IOWrite(t.Var("x")), t.MRet(t.Var("x")))
+        )
+        assert eval_term(term, effects=fx) == 10
+        assert fx.io_output == [10]
+
+    def test_io_read_past_end(self):
+        with pytest.raises(EvalError):
+            eval_term(t.IORead(), effects=EffectContext(io_input=iter(())))
+
+    def test_writer_tell(self):
+        fx = EffectContext()
+        term = t.MBind("_", t.WriterTell(w(1)), t.WriterTell(w(2)))
+        eval_term(term, effects=fx)
+        assert fx.writer_output == [1, 2]
+
+    def test_state_monad(self):
+        fx = EffectContext(state=5)
+        term = t.MBind("s", t.StGet(), t.StPut(t.Prim("word.add", (t.Var("s"), w(1)))))
+        eval_term(term, effects=fx)
+        assert fx.state == 6
+
+    def test_nondet_default_oracle(self):
+        assert eval_term(t.NdAny(WORD)) == 0
+        assert eval_term(t.NdAllocBytes(3)) == [0, 0, 0]
+
+    def test_nondet_custom_oracle(self):
+        fx = EffectContext(oracle=lambda tag, arg: [7] * arg if tag == "alloc" else 42)
+        assert eval_term(t.NdAny(WORD), effects=fx) == 42
+        assert eval_term(t.NdAllocBytes(2), effects=fx) == [7, 7]
+
+    def test_call_resolved_via_function_table(self):
+        env = {"__functions__": {"double": lambda x: 2 * x}, "x": 21}
+        assert eval_term(t.Call("double", (t.Var("x"),)), env) == 42
+
+    def test_call_without_model_rejected(self):
+        with pytest.raises(EvalError):
+            eval_term(t.Call("mystery", ()))
+
+
+class TestFuel:
+    def test_fuel_exhaustion(self):
+        evaluator = Evaluator(fuel=10)
+        term = t.NatIter(n(1000), "acc", t.Var("acc"), w(0))
+        with pytest.raises(EvalError):
+            evaluator.eval(term)
+
+
+# -- Properties: the IR's iteration constructs agree with Python folds --------
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), max_size=30))
+def test_fold_matches_python_sum(data):
+    body = t.Prim("word.add", (t.Var("acc"), t.Prim("cast.b2w", (t.Var("b"),))))
+    term = t.ArrayFold("acc", "b", body, w(0), t.Var("a"))
+    assert eval_term(term, {"a": data}) == sum(data) % 2**64
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), max_size=30))
+def test_map_matches_python_map(data):
+    term = t.ArrayMap("b", t.Prim("byte.xor", (t.Var("b"), t.Lit(0x20, BYTE))), t.Var("a"))
+    assert eval_term(term, {"a": data}) == [b ^ 0x20 for b in data]
+
+
+@given(st.integers(min_value=0, max_value=100), st.integers(min_value=0, max_value=100))
+def test_ranged_for_bounds(lo, hi):
+    body = t.Prim("nat.add", (t.Var("acc"), n(1)))
+    term = t.RangedFor(n(lo), n(hi), "i", "acc", body, n(0))
+    assert eval_term(term) == max(0, hi - lo)

@@ -1,0 +1,121 @@
+"""Tests for the source term IR: free variables, substitution, printing."""
+
+from repro.source import terms as t
+from repro.source.types import BYTE, NAT, WORD
+
+
+def w(value):
+    return t.Lit(value, WORD)
+
+
+class TestFreeVars:
+    def test_var(self):
+        assert t.free_vars(t.Var("x")) == {"x"}
+
+    def test_lit(self):
+        assert t.free_vars(w(1)) == set()
+
+    def test_prim(self):
+        term = t.Prim("word.add", (t.Var("x"), t.Var("y")))
+        assert t.free_vars(term) == {"x", "y"}
+
+    def test_let_binds_body(self):
+        term = t.Let("x", t.Var("y"), t.Var("x"))
+        assert t.free_vars(term) == {"y"}
+
+    def test_let_value_not_bound(self):
+        term = t.Let("x", t.Var("x"), t.Var("x"))
+        assert t.free_vars(term) == {"x"}
+
+    def test_map_binds_elem(self):
+        term = t.ArrayMap("b", t.Prim("byte.and", (t.Var("b"), t.Var("m"))), t.Var("a"))
+        assert t.free_vars(term) == {"m", "a"}
+
+    def test_fold_binds_acc_and_elem(self):
+        body = t.Prim("word.add", (t.Var("acc"), t.Var("b")))
+        term = t.ArrayFold("acc", "b", body, t.Var("init"), t.Var("a"))
+        assert t.free_vars(term) == {"init", "a"}
+
+    def test_ranged_for(self):
+        body = t.Prim("word.add", (t.Var("acc"), t.Var("i")))
+        term = t.RangedFor(w(0), t.Var("n"), "i", "acc", body, t.Var("z"))
+        assert t.free_vars(term) == {"n", "z"}
+
+    def test_nat_iter(self):
+        term = t.NatIter(t.Var("n"), "acc", t.Var("acc"), t.Var("c"))
+        assert t.free_vars(term) == {"n", "c"}
+
+    def test_mbind(self):
+        term = t.MBind("x", t.IORead(), t.IOWrite(t.Var("x")))
+        assert t.free_vars(term) == set()
+
+
+class TestSubst:
+    def test_var_replaced(self):
+        assert t.subst(t.Var("x"), "x", w(1)) == w(1)
+
+    def test_other_var_untouched(self):
+        assert t.subst(t.Var("y"), "x", w(1)) == t.Var("y")
+
+    def test_shadowing_let(self):
+        term = t.Let("x", t.Var("x"), t.Var("x"))
+        result = t.subst(term, "x", w(5))
+        assert result == t.Let("x", w(5), t.Var("x"))
+
+    def test_subst_under_let(self):
+        term = t.Let("y", w(0), t.Var("x"))
+        assert t.subst(term, "x", w(7)).body == w(7)
+
+    def test_subst_in_prim(self):
+        term = t.Prim("word.add", (t.Var("x"), t.Var("x")))
+        assert t.subst(term, "x", w(2)) == t.Prim("word.add", (w(2), w(2)))
+
+    def test_map_shadowing(self):
+        term = t.ArrayMap("b", t.Var("b"), t.Var("a"))
+        result = t.subst(term, "b", w(9))
+        assert result.body == t.Var("b")
+
+    def test_subst_in_if(self):
+        term = t.If(t.Var("c"), t.Var("x"), t.Var("x"))
+        result = t.subst(term, "x", w(3))
+        assert result.then_ == w(3) and result.else_ == w(3)
+
+    def test_subst_array_nodes(self):
+        term = t.ArrayPut(t.Var("a"), t.Var("i"), t.Var("v"))
+        result = t.subst(t.subst(term, "i", w(0)), "v", w(1))
+        assert result == t.ArrayPut(t.Var("a"), w(0), w(1))
+
+
+class TestBindersAndChildren:
+    def test_let_binders(self):
+        assert t.Let("x", w(0), t.Var("x")).binders() == ("x",)
+
+    def test_fold_binders(self):
+        term = t.ArrayFold("acc", "b", t.Var("acc"), w(0), t.Var("a"))
+        assert term.binders() == ("acc", "b")
+
+    def test_lit_has_no_children(self):
+        assert w(0).children() == ()
+
+    def test_prim_children(self):
+        term = t.Prim("word.add", (w(1), w(2)))
+        assert term.children() == (w(1), w(2))
+
+
+class TestPretty:
+    def test_let_renders_with_name(self):
+        text = t.pretty(t.Let("h", w(0), t.Var("h")))
+        assert "let/n h :=" in text
+
+    def test_map_renders_lambda(self):
+        term = t.ArrayMap("b", t.Var("b"), t.Var("s"))
+        assert "ListArray.map (fun b =>" in t.pretty(term)
+
+    def test_table_renders_size(self):
+        term = t.TableGet((1, 2, 3), BYTE, t.Var("i"))
+        assert "<3 entries>" in t.pretty(term)
+
+    def test_monadic_bind_renders(self):
+        term = t.MBind("x", t.IORead(), t.MRet(t.Var("x")))
+        text = t.pretty(term)
+        assert "let/n! x := io.read()" in text

@@ -1,0 +1,147 @@
+"""Tests replaying §2 of the paper: functional, relational, and shallow
+compilation of arithmetic to a stack machine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stackmachine import (
+    SAdd,
+    SInt,
+    SymInt,
+    TPopAdd,
+    TPush,
+    RelationalCompiler,
+    STOT_RULES,
+    compile_shallow,
+    equivalent,
+    eval_s,
+    eval_t,
+    s_to_t,
+)
+from repro.stackmachine.relational import CompilationFailed, Rule
+
+
+# Strategy for random S expressions.
+s_exprs = st.recursive(
+    st.integers(min_value=-100, max_value=100).map(SInt),
+    lambda children: st.tuples(children, children).map(lambda p: SAdd(*p)),
+    max_leaves=16,
+)
+
+
+class TestSemantics:
+    def test_eval_s(self):
+        assert eval_s(SAdd(SInt(3), SInt(4))) == 7
+
+    def test_eval_t_pushes(self):
+        assert eval_t([TPush(3), TPush(4), TPopAdd()]) == [7]
+
+    def test_eval_t_preserves_stack(self):
+        assert eval_t([TPush(1)], [9, 8]) == [1, 9, 8]
+
+    def test_invalid_popadd_is_noop(self):
+        assert eval_t([TPopAdd()], [5]) == [5]
+        assert eval_t([TPopAdd()]) == []
+
+
+class TestFunctionalCompiler:
+    def test_paper_example(self):
+        """StoT (SAdd (SInt 3) (SInt 4)) = [TPush 3; TPush 4; TPopAdd]."""
+        assert s_to_t(SAdd(SInt(3), SInt(4))) == (TPush(3), TPush(4), TPopAdd())
+
+    def test_int(self):
+        assert s_to_t(SInt(5)) == (TPush(5),)
+
+    @given(s_exprs)
+    def test_stot_correct(self, expr):
+        """Lemma StoT_ok: forall s, StoT s ~ s."""
+        assert equivalent(s_to_t(expr), expr)
+
+
+class TestRelationalCompiler:
+    def compiler(self):
+        return RelationalCompiler(STOT_RULES)
+
+    def test_paper_derivation(self):
+        """Example t7_rel: { t7 | t7 ℜ s7 } with s7 = SAdd (SInt 3) (SInt 4)."""
+        derivation = self.compiler().compile(SAdd(SInt(3), SInt(4)))
+        assert derivation.program == (TPush(3), TPush(4), TPopAdd())
+
+    def test_derivation_mirrors_recursion(self):
+        derivation = self.compiler().compile(SAdd(SInt(3), SInt(4)))
+        assert derivation.rule == "StoT_RAdd"
+        assert [child.rule for child in derivation.children] == [
+            "StoT_RInt",
+            "StoT_RInt",
+        ]
+
+    def test_derivation_renders_as_proof_term(self):
+        derivation = self.compiler().compile(SAdd(SInt(1), SInt(2)))
+        text = derivation.render()
+        assert "StoT_RAdd" in text
+        assert "TPush(1)" in text
+
+    @given(s_exprs)
+    def test_relational_agrees_with_functional(self, expr):
+        """Theorem StoT_rel_ok, instantiated: the relational witness is
+        semantically equivalent (here: syntactically equal) to StoT."""
+        assert self.compiler().compile(expr).program == s_to_t(expr)
+
+    @given(s_exprs)
+    def test_relational_correct(self, expr):
+        assert equivalent(self.compiler().compile(expr).program, expr)
+
+    def test_incompleteness(self):
+        """The main cost of relational compilation: partiality."""
+        with pytest.raises(CompilationFailed):
+            self.compiler().compile("not an S expression")
+
+    def test_extension_overrides(self):
+        """User rules take priority: constant-fold additions of literals."""
+
+        def match_fold(source):
+            if isinstance(source, SAdd) and isinstance(source.lhs, SInt) and isinstance(
+                source.rhs, SInt
+            ):
+                total = source.lhs.value + source.rhs.value
+                return (), lambda: (TPush(total),)
+            return None
+
+        extended = self.compiler().extended(Rule("StoT_fold", match_fold))
+        derivation = extended.compile(SAdd(SInt(3), SInt(4)))
+        assert derivation.program == (TPush(7),)  # shorter, still correct
+        assert equivalent(derivation.program, SAdd(SInt(3), SInt(4)))
+
+
+class TestShallowCompilation:
+    def test_paper_example(self):
+        """Example t7_shallow: { t7 | t7 ≈ 3 + 4 }."""
+        derivation = compile_shallow(SymInt(3) + SymInt(4))
+        assert derivation.program == (TPush(3), TPush(4), TPopAdd())
+
+    def test_plain_int(self):
+        assert compile_shallow(7).program == (TPush(7),)
+
+    def test_mixed_lifting(self):
+        derivation = compile_shallow(1 + SymInt(2) + 3)
+        assert eval_t(derivation.program) == [6]
+
+    def test_rules_named_after_lemmas(self):
+        derivation = compile_shallow(SymInt(3) + SymInt(4))
+        assert derivation.rule == "GallinatoT_Zadd"
+
+    @given(st.integers(-50, 50), st.integers(-50, 50), st.integers(-50, 50))
+    def test_shallow_correct(self, a, b, c):
+        value = SymInt(a) + (SymInt(b) + SymInt(c))
+        derivation = compile_shallow(value)
+        assert eval_t(derivation.program) == [a + b + c]
+
+    @given(st.lists(st.integers(-9, 9), min_size=1, max_size=10), st.lists(st.integers(), max_size=3))
+    def test_stack_framing(self, values, initial):
+        """The ~ relation's universal stack quantification."""
+        expr = SymInt(values[0])
+        for value in values[1:]:
+            expr = expr + SymInt(value)
+        program = compile_shallow(expr).program
+        assert eval_t(program, initial) == [sum(values)] + initial

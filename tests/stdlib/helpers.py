@@ -1,0 +1,36 @@
+"""Shared helpers for stdlib lemma tests: compile and run tiny models."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.core.spec import FnSpec, Model
+from repro.source.types import SourceType
+from repro.stdlib import default_engine
+from repro.validation import differential_check
+from repro.validation.runners import run_function
+
+
+def compile_model(
+    name: str,
+    params,
+    term,
+    spec: FnSpec,
+    engine=None,
+):
+    engine = engine or default_engine()
+    model = Model(name, list(params), term, None)
+    return engine.compile_function(model, spec)
+
+
+def check(compiled, trials: int = 20, seed: int = 0, **kwargs):
+    report = differential_check(
+        compiled, trials=trials, rng=random.Random(seed), **kwargs
+    )
+    report.raise_on_failure()
+    return report
+
+
+def run_once(compiled, param_values: Dict[str, object], **kwargs):
+    return run_function(compiled.bedrock_fn, compiled.spec, param_values, **kwargs)

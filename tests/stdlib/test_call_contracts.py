@@ -1,0 +1,167 @@
+"""External calls: scalar defaults, and footprint contracts as extensions.
+
+The default call lemma refuses buffer arguments (no contract => the callee
+could mutate memory behind the compiler's back).  This module exercises
+the stall and then does what its advice says: registers a user lemma for a
+specific callee (``bzero``) that carries the callee's footprint contract
+-- after the call, the buffer's symbolic contents are all zeros.
+"""
+
+import random
+
+import pytest
+
+from repro.bedrock2 import ast as b2
+from repro.core.engine import Engine, resolve
+from repro.core.goals import BindingGoal, CompilationStalled
+from repro.core.lemma import BindingLemma
+from repro.core.sepstate import PointerBinding
+from repro.core.spec import FnSpec, Model, array_out, len_arg, ptr_arg, scalar_out
+from repro.source import listarray
+from repro.source import terms as t
+from repro.source.builder import SymValue, let_n, sym
+from repro.source.types import ARRAY_BYTE, BYTE, NAT, WORD
+from repro.stdlib import default_databases
+
+from tests.stdlib.helpers import compile_model
+
+
+def call_bzero_model():
+    """let s := bzero(s) in s  -- an external zeroing routine."""
+    term = t.Let("s", t.Call("bzero", (t.Var("s"),)), t.Var("s"))
+    return Model("clear_via_bzero", [("s", ARRAY_BYTE)], term, ARRAY_BYTE)
+
+
+def spec():
+    return FnSpec(
+        "clear_via_bzero",
+        [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s")],
+        [array_out("s")],
+    )
+
+
+def test_buffer_argument_stalls_by_default():
+    with pytest.raises(CompilationStalled) as excinfo:
+        compile_model("clear_via_bzero", [("s", ARRAY_BYTE)], call_bzero_model().term, spec())
+    assert "footprint contract" in str(excinfo.value)
+
+
+class CompileBzeroCall(BindingLemma):
+    """``let/n a := bzero(a) in k``: the contract says the buffer's new
+    contents are ``map (fun _ => 0) a`` and nothing else changes."""
+
+    name = "compile_call_bzero"
+
+    def matches(self, goal: BindingGoal) -> bool:
+        value = goal.value
+        return (
+            isinstance(value, t.Call)
+            and value.func == "bzero"
+            and len(value.args) == 1
+            and isinstance(value.args[0], t.Var)
+            and goal.name == value.args[0].name
+            and isinstance(goal.state.binding(goal.name), PointerBinding)
+        )
+
+    def apply(self, goal: BindingGoal, engine):
+        state = goal.state
+        binding = state.binding(goal.name)
+        clause = state.heap[binding.ptr]
+        length_expr, node = engine.compile_expr_term(
+            state, t.Prim("cast.of_nat", (t.ArrayLen(clause.value),)), None
+        )
+        new_state = state.copy()
+        new_state.set_heap_value(
+            binding.ptr,
+            t.ArrayMap("_b", t.Lit(0, BYTE), clause.value),
+        )
+        stmt = b2.SCall((), "bzero", (b2.EVar(goal.name), length_expr))
+        return stmt, new_state, [node]
+
+
+def bzero_bedrock():
+    """A handwritten Bedrock2 bzero to link against."""
+    return b2.Function(
+        "bzero",
+        ("p", "n"),
+        (),
+        b2.seq_of(
+            b2.SSet("i", b2.ELit(0)),
+            b2.SWhile(
+                b2.EOp("ltu", b2.EVar("i"), b2.EVar("n")),
+                b2.seq_of(
+                    b2.SStore(1, b2.EOp("add", b2.EVar("p"), b2.EVar("i")), b2.ELit(0)),
+                    b2.SSet("i", b2.EOp("add", b2.EVar("i"), b2.ELit(1))),
+                ),
+            ),
+        ),
+    )
+
+
+def test_contract_lemma_enables_the_call():
+    binding_db, expr_db = default_databases()
+    engine = Engine(binding_db.extended(CompileBzeroCall()), expr_db)
+    # The model's terminal must match the contract's postcondition, so
+    # declare the result as map-to-zero of the input.
+    term = t.Let(
+        "s",
+        t.Call("bzero", (t.Var("s"),)),
+        t.Var("s"),
+    )
+    # The model's functional meaning: bzero == map (fun _ => 0).
+    model = Model("clear_via_bzero", [("s", ARRAY_BYTE)], term, ARRAY_BYTE)
+    compiled = engine.compile_function(model, spec())
+    assert "compile_call_bzero" in compiled.certificate.distinct_lemmas()
+
+    # Run, linking against the handwritten callee.
+    from repro.validation.runners import run_function
+
+    result = run_function(
+        compiled.bedrock_fn,
+        compiled.spec,
+        {"s": [1, 2, 3, 4]},
+        program=b2.Program((compiled.bedrock_fn, bzero_bedrock())),
+    )
+    assert result.out_memory["s"] == [0, 0, 0, 0]
+
+
+def test_contract_postcondition_is_symbolic():
+    """After the call, the heap clause holds the contract's map term, so
+    downstream code can keep reasoning (e.g. reading a zeroed element)."""
+    binding_db, expr_db = default_databases()
+    engine = Engine(binding_db.extended(CompileBzeroCall()), expr_db)
+    term = t.Let(
+        "s",
+        t.Call("bzero", (t.Var("s"),)),
+        t.Let(
+            "r",
+            t.Prim(
+                "cast.b2w",
+                (t.ArrayGet(t.Var("s"), t.Lit(0, NAT)),),
+            ),
+            t.TupleTerm((t.Var("r"), t.Var("s"))),
+        ),
+    )
+    model = Model("clear_read", [("s", ARRAY_BYTE)], term, None)
+    this_spec = FnSpec(
+        "clear_read",
+        [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s")],
+        [scalar_out(), array_out("s")],
+        facts=[
+            t.Prim(
+                "nat.ltb",
+                (t.Lit(0, NAT), t.ArrayLen(t.Var("s"))),
+            )
+        ],
+    )
+    compiled = engine.compile_function(model, this_spec)
+    from repro.validation.runners import run_function
+
+    result = run_function(
+        compiled.bedrock_fn,
+        compiled.spec,
+        {"s": [9, 9]},
+        program=b2.Program((compiled.bedrock_fn, bzero_bedrock())),
+    )
+    assert result.rets == [0]
+    assert result.out_memory["s"] == [0, 0]

@@ -1,0 +1,206 @@
+"""Tests for the error monad (§4.3: exceptions via guards)."""
+
+import random
+
+import pytest
+
+from repro.core.goals import CompilationStalled
+from repro.core.spec import (
+    FnSpec,
+    array_out,
+    error_out,
+    len_arg,
+    ptr_arg,
+    scalar_arg,
+    scalar_out,
+)
+from repro.source import listarray, monads
+from repro.source import terms as t
+from repro.source.builder import let_n, sym, word_lit
+from repro.source.evaluator import EffectContext, eval_term
+from repro.source.types import ARRAY_BYTE, NAT, WORD
+
+from tests.stdlib.helpers import check, compile_model, run_once
+
+
+def checked_div_model():
+    """checked_div(x, y) = guard (y != 0); ret (x / y)."""
+    x, y = sym("x", WORD), sym("y", WORD)
+    program = monads.bind(
+        "_",
+        monads.err_guard(~y.eq(0)),
+        monads.ret(x.udiv(y)),
+    )
+    return program.term
+
+
+DIV_SPEC = FnSpec(
+    "checked_div",
+    [scalar_arg("x"), scalar_arg("y")],
+    [error_out(), scalar_out()],
+)
+
+
+class TestEvaluator:
+    def test_guard_passes(self):
+        fx = EffectContext()
+        assert eval_term(checked_div_model(), {"x": 10, "y": 2}, effects=fx) == 5
+        assert not fx.error
+
+    def test_guard_fails_and_short_circuits(self):
+        fx = EffectContext()
+        eval_term(checked_div_model(), {"x": 10, "y": 0}, effects=fx)
+        assert fx.error
+
+    def test_failure_skips_later_effects(self):
+        fx = EffectContext()
+        program = monads.bind(
+            "_",
+            monads.err_guard(sym("y", WORD).eq(1)),
+            monads.bind("_", monads.io_write(word_lit(9)), monads.ret(word_lit(0))),
+        )
+        eval_term(program.term, {"y": 0}, effects=fx)
+        assert fx.error and fx.io_output == []
+        fx2 = EffectContext()
+        eval_term(program.term, {"y": 1}, effects=fx2)
+        assert not fx2.error and fx2.io_output == [9]
+
+
+class TestCompilation:
+    def test_checked_div(self):
+        compiled = compile_model(
+            "checked_div", [("x", WORD), ("y", WORD)], checked_div_model(), DIV_SPEC
+        )
+        assert "compile_err_guard" in compiled.certificate.distinct_lemmas()
+        ok = run_once(compiled, {"x": 10, "y": 2})
+        assert ok.rets == [1, 5]
+        fail = run_once(compiled, {"x": 10, "y": 0})
+        assert fail.rets == [0, 0]
+        check(compiled, trials=40)
+
+    def test_code_shape(self):
+        """Prologue, one conditional per guard, flag cleared on failure."""
+        compiled = compile_model(
+            "checked_div", [("x", WORD), ("y", WORD)], checked_div_model(), DIV_SPEC
+        )
+        text = compiled.c_source()
+        assert "_ok = (uintptr_t)(1ULL);" in text
+        assert "_ok = (uintptr_t)(0ULL);" in text
+        assert text.count("if (") == 1
+
+    def test_guard_gives_path_conditions(self):
+        """A bounds guard licenses the access it protects -- the paper's
+        'incidental properties' workflow without any user lemma."""
+        s = sym("s", ARRAY_BYTE)
+        j = sym("j", NAT)
+        program = monads.bind(
+            "_",
+            monads.err_guard(j.ltu(listarray.length(s))),
+            monads.ret(listarray.get(s, j).to_word()),
+        )
+        spec = FnSpec(
+            "checked_get",
+            [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s"), scalar_arg("j", ty=NAT)],
+            [error_out(), scalar_out()],
+        )
+        compiled = compile_model(
+            "checked_get", [("s", ARRAY_BYTE), ("j", NAT)], program.term, spec
+        )
+        hit = run_once(compiled, {"s": [10, 20, 30], "j": 1})
+        assert hit.rets == [1, 20]
+        miss = run_once(compiled, {"s": [10, 20, 30], "j": 7})
+        assert miss.rets == [0, 0]
+
+        def gen(rng):
+            n = rng.randrange(12)
+            return {
+                "s": [rng.randrange(256) for _ in range(n)],
+                "j": rng.randrange(16),
+            }
+
+        check(compiled, trials=40, input_gen=gen)
+
+    def test_multiple_guards(self):
+        x, y = sym("x", WORD), sym("y", WORD)
+        program = monads.bind(
+            "_",
+            monads.err_guard(x.ltu(100)),
+            monads.bind(
+                "_",
+                monads.err_guard(~y.eq(0)),
+                monads.ret(x.udiv(y)),
+            ),
+        )
+        spec = FnSpec(
+            "div100",
+            [scalar_arg("x"), scalar_arg("y")],
+            [error_out(), scalar_out()],
+        )
+        compiled = compile_model("div100", [("x", WORD), ("y", WORD)], program.term, spec)
+        assert run_once(compiled, {"x": 50, "y": 5}).rets == [1, 10]
+        assert run_once(compiled, {"x": 500, "y": 5}).rets == [0, 0]
+        assert run_once(compiled, {"x": 50, "y": 0}).rets == [0, 0]
+        check(compiled, trials=30)
+
+    def test_guard_skips_io(self):
+        program = monads.bind(
+            "_",
+            monads.err_guard(sym("x", WORD).eq(1)),
+            monads.bind("_", monads.io_write(word_lit(7)), monads.ret(word_lit(0))),
+        )
+        spec = FnSpec("maybe_write", [scalar_arg("x")], [error_out(), scalar_out()])
+        compiled = compile_model("maybe_write", [("x", WORD)], program.term, spec)
+        ok = run_once(compiled, {"x": 1})
+        assert [e.args[0] for e in ok.trace] == [7]
+        fail = run_once(compiled, {"x": 2})
+        assert fail.trace == []
+        check(compiled, trials=20)
+
+    def test_guard_without_error_output_stalls(self):
+        spec = FnSpec("noflag", [scalar_arg("x"), scalar_arg("y")], [scalar_out()])
+        with pytest.raises(CompilationStalled) as excinfo:
+            compile_model("noflag", [("x", WORD), ("y", WORD)], checked_div_model(), spec)
+        assert "error_out" in str(excinfo.value)
+
+    def test_array_output_with_guards_stalls(self):
+        s = sym("s", ARRAY_BYTE)
+        program = monads.bind(
+            "_",
+            monads.err_guard(listarray.length(s).ltu(100)),
+            monads.bind(
+                "s",
+                monads.ret(listarray.map_(lambda b: b ^ 1, s)),
+                monads.ret(s),
+            ),
+        )
+        spec = FnSpec(
+            "guarded_inv",
+            [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s")],
+            [error_out(), array_out("s")],
+        )
+        with pytest.raises(CompilationStalled):
+            compile_model("guarded_inv", [("s", ARRAY_BYTE)], program.term, spec)
+
+    def test_validator_catches_wrong_flag(self):
+        from repro.bedrock2 import ast as b2
+        from repro.validation import differential_check
+
+        compiled = compile_model(
+            "checked_div", [("x", WORD), ("y", WORD)], checked_div_model(), DIV_SPEC
+        )
+        # Tamper: always report success.
+        fn = compiled.bedrock_fn
+        always_ok = b2.Function(
+            fn.name,
+            fn.args,
+            fn.rets,
+            b2.seq_of(fn.body, b2.SSet("_ok", b2.ELit(1))),
+        )
+        compiled.bedrock_fn = always_ok
+        report = differential_check(
+            compiled,
+            trials=30,
+            rng=random.Random(0),
+            input_gen=lambda rng: {"x": rng.getrandbits(8), "y": rng.randrange(3)},
+        )
+        assert not report.ok

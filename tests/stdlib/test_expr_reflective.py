@@ -1,0 +1,101 @@
+"""Tests for the reflective-compiler ablation (E6, §4.1.3).
+
+The key property: the monolithic compiler produces *exactly* the same
+Bedrock2 expressions as the relational one on everything it handles, so
+the E6 comparison isolates architecture (extensibility, LoC), not output.
+"""
+
+import pytest
+
+from repro.core.goals import CompilationStalled
+from repro.core.sepstate import Clause, PtrSym, SymState
+from repro.source import terms as t
+from repro.source.types import ARRAY_BYTE, BOOL, BYTE, NAT, WORD
+from repro.stdlib import default_engine
+from repro.stdlib.expr_reflective import compile_expr_reflective
+
+
+def make_state():
+    state = SymState()
+    ptr = PtrSym("p_s")
+    state.bind_pointer("s", ptr, ARRAY_BYTE)
+    state.add_clause(Clause(ptr, ARRAY_BYTE, t.Var("s0")))
+    state.ghost_types["s0"] = ARRAY_BYTE
+    state.bind_scalar("len", t.ArrayLen(t.Var("s0")), NAT)
+    state.bind_scalar("x", t.Var("gx"), WORD)
+    state.ghost_types["gx"] = WORD
+    state.ghost_types["gi"] = NAT
+    state.bind_scalar("i", t.Var("gi"), NAT)
+    state.add_fact(t.Prim("nat.ltb", (t.Var("gi"), t.ArrayLen(t.Var("s0")))))
+    return state
+
+
+CASES = [
+    t.Lit(42, WORD),
+    t.Lit(True, BOOL),
+    t.Var("gx"),
+    t.Prim("word.add", (t.Var("gx"), t.Lit(1, WORD))),
+    t.Prim("word.mul", (t.Var("gx"), t.Var("gx"))),
+    t.Prim("byte.add", (t.Lit(1, BYTE), t.Lit(2, BYTE))),
+    t.Prim("bool.negb", (t.Lit(False, BOOL),)),
+    t.Prim("cast.w2b", (t.Var("gx"),)),
+    t.Prim("cast.of_nat", (t.ArrayLen(t.Var("s0")),)),
+    t.Prim("nat.leb", (t.Lit(1, NAT), t.Lit(2, NAT))),
+    t.ArrayGet(t.Var("s0"), t.Var("gi")),
+    t.TableGet((1, 2, 3, 4), BYTE, t.Lit(2, NAT)),
+    t.Prim(
+        "word.xor",
+        (
+            t.Prim("cast.b2w", (t.ArrayGet(t.Var("s0"), t.Var("gi")),)),
+            t.Lit(0x5F, WORD),
+        ),
+    ),
+]
+
+
+@pytest.mark.parametrize("term", CASES, ids=lambda c: t.pretty(c)[:40])
+def test_reflective_matches_relational(term):
+    engine = default_engine()
+    state = make_state()
+    relational, _ = engine.compile_expr_term(state, term, None)
+    reflective = compile_expr_reflective(engine, state, term)
+    assert reflective == relational
+
+
+def test_reflective_rejects_unknown_shapes():
+    engine = default_engine()
+    with pytest.raises(CompilationStalled) as excinfo:
+        compile_expr_reflective(engine, SymState(), t.Var("unknown"))
+    assert "edit compile_expr_reflective itself" in str(excinfo.value)
+
+
+def test_relational_is_extensible_where_reflective_is_not():
+    """The §4.1.3 story: plugging a lemma into the relational compiler vs
+    editing the monolith.  A custom lemma lowers x*8 to a shift."""
+    from repro.bedrock2 import ast as b2
+    from repro.core.lemma import ExprLemma
+
+    class MulEightToShift(ExprLemma):
+        name = "expr_mul8_shift"
+
+        def matches(self, goal):
+            term = goal.term
+            return (
+                isinstance(term, t.Prim)
+                and term.op == "word.mul"
+                and term.args[1] == t.Lit(8, WORD)
+            )
+
+        def apply(self, goal, engine):
+            expr, node = engine.compile_expr_term(goal.state, goal.term.args[0], WORD)
+            return b2.EOp("slu", expr, b2.ELit(3)), [node]
+
+    engine = default_engine()
+    engine.expr_db = engine.expr_db.extended(MulEightToShift())
+    state = make_state()
+    term = t.Prim("word.mul", (t.Var("gx"), t.Lit(8, WORD)))
+    expr, _ = engine.compile_expr_term(state, term, None)
+    assert expr == b2.EOp("slu", b2.EVar("x"), b2.ELit(3))
+    # The reflective compiler cannot be extended: it still emits the mul.
+    reflective = compile_expr_reflective(engine, state, term)
+    assert reflective == b2.EOp("mul", b2.EVar("x"), b2.ELit(8))

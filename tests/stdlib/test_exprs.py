@@ -1,0 +1,217 @@
+"""Tests for the relational expression compiler."""
+
+import pytest
+
+from repro.bedrock2 import ast as b2
+from repro.core.goals import CompilationStalled, ExprGoal, SideConditionFailed
+from repro.core.sepstate import Clause, PtrSym, SymState
+from repro.core.spec import (
+    FnSpec,
+    Model,
+    array_out,
+    len_arg,
+    ptr_arg,
+    scalar_arg,
+    scalar_out,
+)
+from repro.source import listarray
+from repro.source import terms as t
+from repro.source.builder import let_n, sym
+from repro.source.types import ARRAY_BYTE, BOOL, BYTE, NAT, WORD, cell_of
+from repro.stdlib import default_engine
+
+from tests.stdlib.helpers import check, compile_model, run_once
+
+
+def expr_compile(state, term, engine=None):
+    engine = engine or default_engine()
+    return engine.compile_expr_term(state, term, None)
+
+
+class TestLiterals:
+    def test_word_literal(self):
+        expr, _ = expr_compile(SymState(), t.Lit(42, WORD))
+        assert expr == b2.ELit(42)
+
+    def test_bool_literal_reified(self):
+        expr, _ = expr_compile(SymState(), t.Lit(True, BOOL))
+        assert expr == b2.ELit(1)
+
+    def test_negative_literal_wrapped(self):
+        expr, _ = expr_compile(SymState(), t.Lit(-1, WORD))
+        assert expr == b2.ELit(2**64 - 1)
+
+    def test_huge_nat_literal_rejected(self):
+        with pytest.raises(SideConditionFailed):
+            expr_compile(SymState(), t.Lit(2**64, NAT))
+
+
+class TestLocalLookup:
+    def test_exact_match(self):
+        state = SymState()
+        state.bind_scalar("x", t.Var("gx"), WORD)
+        expr, _ = expr_compile(state, t.Var("gx"))
+        assert expr == b2.EVar("x")
+
+    def test_lookup_modulo_length_canonicalization(self):
+        state = SymState()
+        length = t.ArrayLen(t.Var("s"))
+        state.bind_scalar("len", length, NAT)
+        mapped = t.ArrayMap("b", t.Var("b"), t.Var("s"))
+        expr, _ = expr_compile(
+            state, t.Prim("cast.of_nat", (t.ArrayLen(mapped),))
+        )
+        assert expr == b2.EVar("len")
+
+    def test_nat_binding_answers_of_nat(self):
+        state = SymState()
+        state.bind_scalar("n", t.Var("gn"), NAT)
+        state.ghost_types["gn"] = NAT
+        expr, _ = expr_compile(state, t.Prim("cast.of_nat", (t.Var("gn"),)))
+        assert expr == b2.EVar("n")
+
+
+class TestPrimLowering:
+    def test_direct_op(self):
+        expr, _ = expr_compile(
+            SymState(), t.Prim("word.add", (t.Lit(1, WORD), t.Lit(2, WORD)))
+        )
+        assert expr == b2.EOp("add", b2.ELit(1), b2.ELit(2))
+
+    def test_byte_add_masked(self):
+        expr, _ = expr_compile(
+            SymState(), t.Prim("byte.add", (t.Lit(1, BYTE), t.Lit(2, BYTE)))
+        )
+        assert expr == b2.EOp("and", b2.EOp("add", b2.ELit(1), b2.ELit(2)), b2.ELit(0xFF))
+
+    def test_bool_negb_is_eq_zero(self):
+        expr, _ = expr_compile(SymState(), t.Prim("bool.negb", (t.Lit(True, BOOL),)))
+        assert expr == b2.EOp("eq", b2.ELit(1), b2.ELit(0))
+
+    def test_cast_b2w_is_identity(self):
+        expr, _ = expr_compile(SymState(), t.Prim("cast.b2w", (t.Lit(7, BYTE),)))
+        assert expr == b2.ELit(7)
+
+    def test_cast_w2b_masks(self):
+        expr, _ = expr_compile(SymState(), t.Prim("cast.w2b", (t.Lit(0x1FF, WORD),)))
+        assert expr == b2.EOp("and", b2.ELit(0x1FF), b2.ELit(0xFF))
+
+    def test_nat_leb_lowering(self):
+        expr, _ = expr_compile(SymState(), t.Prim("nat.leb", (t.Lit(1, NAT), t.Lit(2, NAT))))
+        assert expr == b2.EOp("eq", b2.EOp("ltu", b2.ELit(2), b2.ELit(1)), b2.ELit(0))
+
+    def test_nat_add_requires_no_overflow(self):
+        state = SymState()
+        state.ghost_types["n"] = NAT
+        with pytest.raises(SideConditionFailed):
+            expr_compile(state, t.Prim("nat.add", (t.Var("n"), t.Lit(1, NAT))))
+
+    def test_nat_add_with_bound_fact(self):
+        state = SymState()
+        state.ghost_types["n"] = NAT
+        state.add_fact(t.Prim("nat.ltb", (t.Var("n"), t.Lit(100, NAT))))
+        state.bind_scalar("nl", t.Var("n"), NAT)
+        expr, _ = expr_compile(state, t.Prim("nat.add", (t.Var("n"), t.Lit(1, NAT))))
+        assert expr == b2.EOp("add", b2.EVar("nl"), b2.ELit(1))
+
+    def test_nat_sub_requires_no_underflow(self):
+        state = SymState()
+        state.ghost_types["n"] = NAT
+        state.bind_scalar("nl", t.Var("n"), NAT)
+        with pytest.raises(SideConditionFailed):
+            expr_compile(state, t.Prim("nat.sub", (t.Var("n"), t.Lit(1, NAT))))
+
+
+class TestArrayGet:
+    def make_state(self):
+        state = SymState()
+        ptr = PtrSym("p_s")
+        state.bind_pointer("s", ptr, ARRAY_BYTE)
+        state.add_clause(Clause(ptr, ARRAY_BYTE, t.Var("s")))
+        state.ghost_types["s"] = ARRAY_BYTE
+        state.bind_scalar("len", t.ArrayLen(t.Var("s")), NAT)
+        return state
+
+    def test_get_emits_load(self):
+        state = self.make_state()
+        state.ghost_types["i"] = NAT
+        state.bind_scalar("iv", t.Var("i"), NAT)
+        state.add_fact(t.Prim("nat.ltb", (t.Var("i"), t.ArrayLen(t.Var("s")))))
+        expr, _ = expr_compile(state, t.ArrayGet(t.Var("s"), t.Var("i")))
+        assert expr == b2.ELoad(1, b2.EOp("add", b2.EVar("s"), b2.EVar("iv")))
+
+    def test_get_without_bound_fails(self):
+        state = self.make_state()
+        state.ghost_types["i"] = NAT
+        state.bind_scalar("iv", t.Var("i"), NAT)
+        with pytest.raises(SideConditionFailed):
+            expr_compile(state, t.ArrayGet(t.Var("s"), t.Var("i")))
+
+    def test_get_with_unknown_array_stalls(self):
+        state = self.make_state()
+        with pytest.raises(CompilationStalled):
+            expr_compile(state, t.ArrayGet(t.Var("other"), t.Lit(0, NAT)))
+
+    def test_word_array_scales_index(self):
+        from repro.source.types import ARRAY_WORD
+
+        state = SymState()
+        ptr = PtrSym("p_a")
+        state.bind_pointer("a", ptr, ARRAY_WORD)
+        state.add_clause(Clause(ptr, ARRAY_WORD, t.Var("a")))
+        state.ghost_types["a"] = ARRAY_WORD
+        state.add_fact(t.Prim("nat.ltb", (t.Lit(2, NAT), t.ArrayLen(t.Var("a")))))
+        expr, _ = expr_compile(state, t.ArrayGet(t.Var("a"), t.Lit(2, NAT)))
+        assert expr == b2.ELoad(
+            8, b2.EOp("add", b2.EVar("a"), b2.EOp("mul", b2.ELit(2), b2.ELit(8)))
+        )
+
+    def test_suffix_clause_matching(self):
+        """The loop-invariant shape: heap holds prefix ++ skipn i s, and
+        we read element i of s."""
+        state = self.make_state()
+        state.ghost_types["i"] = NAT
+        state.bind_scalar("iv", t.Var("i"), NAT)
+        state.add_fact(t.Prim("nat.ltb", (t.Var("i"), t.ArrayLen(t.Var("s")))))
+        invariant = t.Append(
+            t.ArrayMap("b", t.Var("b"), t.FirstN(t.Var("i"), t.Var("s"))),
+            t.SkipN(t.Var("i"), t.Var("s")),
+        )
+        state.set_heap_value(PtrSym("p_s"), invariant)
+        expr, _ = expr_compile(state, t.ArrayGet(t.Var("s"), t.Var("i")))
+        assert isinstance(expr, b2.ELoad)
+
+
+class TestCellLoad:
+    def test_cell_content_loads(self):
+        state = SymState()
+        ptr = PtrSym("p_c")
+        state.bind_pointer("c", ptr, cell_of(WORD))
+        state.add_clause(Clause(ptr, cell_of(WORD), t.Var("c0")))
+        expr, _ = expr_compile(state, t.Var("c0"))
+        assert expr == b2.ELoad(8, b2.EVar("c"))
+
+
+class TestEndToEndExpressions:
+    """Whole functions exercising expression shapes, diff-tested."""
+
+    def test_bool_function(self):
+        x = sym("x", WORD)
+        body = let_n("r", (x.ltu(10) & x.eq(x)).to_word(), sym("r", WORD))
+        spec = FnSpec("isLow", [scalar_arg("x")], [scalar_out()])
+        compiled = compile_model("isLow", [("x", WORD)], body.term, spec)
+        check(compiled)
+
+    def test_shift_tower(self):
+        x = sym("x", WORD)
+        body = let_n("r", ((x << 3) ^ (x >> 5)) | (x.sar(2)), sym("r", WORD))
+        spec = FnSpec("mix", [scalar_arg("x")], [scalar_out()])
+        compiled = compile_model("mix", [("x", WORD)], body.term, spec)
+        check(compiled)
+
+    def test_division_ops(self):
+        x, y = sym("x", WORD), sym("y", WORD)
+        body = let_n("r", x.udiv(y) + x.umod(y), sym("r", WORD))
+        spec = FnSpec("divmod", [scalar_arg("x"), scalar_arg("y")], [scalar_out()])
+        compiled = compile_model("divmod", [("x", WORD), ("y", WORD)], body.term, spec)
+        check(compiled)

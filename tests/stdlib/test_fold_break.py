@@ -1,0 +1,146 @@
+"""Tests for folds with early exits (§3's "with and without early exits")."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bedrock2 import ast as b2
+from repro.bedrock2.memory import Memory
+from repro.bedrock2.semantics import Interpreter
+from repro.bedrock2.word import Word
+from repro.core.spec import FnSpec, len_arg, ptr_arg, scalar_out
+from repro.source import listarray
+from repro.source import terms as t
+from repro.source.builder import let_n, sym, word_lit
+from repro.source.evaluator import eval_term
+from repro.source.types import ARRAY_BYTE, BOOL, WORD
+
+from tests.stdlib.helpers import check, compile_model
+
+
+def contains_model():
+    """contains(s, 0x2A): fold a boolean flag, stop once it is set."""
+    s = sym("s", ARRAY_BYTE)
+    fold = listarray.fold_break(
+        lambda found, b: b.eq(0x2A).to_word(),
+        word_lit(0),
+        s,
+        until=lambda found: found.eq(1),
+        names=("found", "b"),
+    )
+    return let_n("found", fold, sym("found", WORD)).term
+
+
+def spec():
+    return FnSpec(
+        "contains42",
+        [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s")],
+        [scalar_out()],
+    )
+
+
+class TestEvaluator:
+    def test_break_stops_early(self):
+        term = contains_model()
+        assert eval_term(term, {"s": [1, 0x2A, 7]}) == 1
+        assert eval_term(term, {"s": [1, 2, 3]}) == 0
+
+    def test_break_pred_checked_before_elements(self):
+        # init already satisfies the predicate: nothing is folded.
+        s_term = t.Var("s")
+        fold = t.ArrayFoldBreak(
+            "acc",
+            "b",
+            t.Prim("word.add", (t.Var("acc"), t.Lit(1, WORD))),
+            t.Lit(5, WORD),
+            s_term,
+            t.Prim("word.eq", (t.Var("acc"), t.Lit(5, WORD))),
+        )
+        assert eval_term(fold, {"s": [1, 2, 3]}) == 5
+
+    def test_free_vars_and_subst(self):
+        fold = t.ArrayFoldBreak(
+            "acc", "b", t.Var("x"), t.Var("init"), t.Var("arr"), t.Var("acc")
+        )
+        assert t.free_vars(fold) == {"x", "init", "arr"}
+        replaced = t.subst(fold, "x", t.Lit(0, WORD))
+        assert replaced.body == t.Lit(0, WORD)
+
+
+class TestBuilder:
+    def test_fold_break_builds_term(self):
+        term = contains_model()
+        assert isinstance(term, t.Let)
+        assert isinstance(term.value, t.ArrayFoldBreak)
+
+    def test_predicate_must_be_boolean(self):
+        s = sym("s", ARRAY_BYTE)
+        with pytest.raises(TypeError):
+            listarray.fold_break(
+                lambda acc, b: acc, word_lit(0), s, until=lambda acc: acc + 1
+            )
+
+    def test_body_type_checked(self):
+        s = sym("s", ARRAY_BYTE)
+        with pytest.raises(TypeError):
+            listarray.fold_break(
+                lambda acc, b: b, word_lit(0), s, until=lambda acc: acc.eq(0)
+            )
+
+
+class TestCompilation:
+    def test_compiles_and_validates(self):
+        compiled = compile_model("contains42", [("s", ARRAY_BYTE)], contains_model(), spec())
+        assert "compile_arrayfold_break" in compiled.certificate.distinct_lemmas()
+
+        def gen(rng):
+            data = [rng.randrange(256) for _ in range(rng.randrange(32))]
+            if rng.random() < 0.5 and data:
+                data[rng.randrange(len(data))] = 0x2A
+            return {"s": data}
+
+        check(compiled, trials=40, input_gen=gen)
+
+    def test_guard_contains_break_condition(self):
+        compiled = compile_model("contains42", [("s", ARRAY_BYTE)], contains_model(), spec())
+        text = compiled.c_source()
+        assert "while" in text
+        assert "== (uintptr_t)(0ULL)" in text  # the negated predicate
+
+    def test_early_exit_saves_work(self):
+        """The point of the extension: fewer operations when the match is
+        early."""
+        compiled = compile_model("contains42", [("s", ARRAY_BYTE)], contains_model(), spec())
+
+        def ops_for(data):
+            memory = Memory()
+            base = memory.place_bytes(bytes(data))
+            interp = Interpreter(b2.Program((compiled.bedrock_fn,)))
+            interp.run(
+                "contains42", [Word(64, base), Word(64, len(data))], memory=memory
+            )
+            return interp.counts.total()
+
+        early = ops_for([0x2A] + [0] * 99)
+        late = ops_for([0] * 99 + [0x2A])
+        assert early < late / 5
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=255), max_size=30))
+def test_fold_break_differential_property(data):
+    compiled_holder = getattr(test_fold_break_differential_property, "_compiled", None)
+    if compiled_holder is None:
+        compiled_holder = compile_model(
+            "contains42", [("s", ARRAY_BYTE)], contains_model(), spec()
+        )
+        test_fold_break_differential_property._compiled = compiled_holder
+    memory = Memory()
+    base = memory.place_bytes(bytes(data)) if data else memory.allocate(0)
+    interp = Interpreter(b2.Program((compiled_holder.bedrock_fn,)))
+    rets, _ = interp.run(
+        "contains42", [Word(64, base), Word(64, len(data))], memory=memory
+    )
+    assert rets[0].unsigned == (1 if 0x2A in data else 0)

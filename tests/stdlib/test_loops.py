@@ -1,0 +1,261 @@
+"""Tests for loop lemmas and their inferred invariants (§3.4.2)."""
+
+import pytest
+
+from repro.bedrock2 import ast as b2
+from repro.core.goals import CompilationStalled
+from repro.core.spec import (
+    FnSpec,
+    array_out,
+    len_arg,
+    ptr_arg,
+    scalar_arg,
+    scalar_out,
+)
+from repro.source import listarray
+from repro.source import terms as t
+from repro.source.builder import (
+    ite,
+    let_n,
+    nat_iter,
+    ranged_for,
+    sym,
+    word_lit,
+)
+from repro.source.types import ARRAY_BYTE, ARRAY_WORD, NAT, WORD
+
+from tests.stdlib.helpers import check, compile_model
+
+
+def byte_gen(max_len=32):
+    def gen(rng):
+        return {"s": [rng.randrange(256) for _ in range(rng.randrange(max_len))]}
+
+    return gen
+
+
+class TestArrayMap:
+    def spec(self, name):
+        return FnSpec(
+            name, [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s")], [array_out("s")]
+        )
+
+    def test_xor_map(self):
+        s = sym("s", ARRAY_BYTE)
+        body = let_n("s", listarray.map_(lambda b: b ^ 0xFF, s), s)
+        compiled = compile_model("invert", [("s", ARRAY_BYTE)], body.term, self.spec("invert"))
+        check(compiled, input_gen=byte_gen())
+
+    def test_map_generates_single_while(self):
+        s = sym("s", ARRAY_BYTE)
+        body = let_n("s", listarray.map_(lambda b: b ^ 1, s), s)
+        compiled = compile_model("flip", [("s", ARRAY_BYTE)], body.term, self.spec("flip"))
+        text = compiled.c_source()
+        assert text.count("while") == 1
+        # Expression bodies inline the load into the store (no temp).
+        assert "_v" not in text
+
+    def test_map_with_conditional_body_uses_temp(self):
+        s = sym("s", ARRAY_BYTE)
+        body = let_n(
+            "s", listarray.map_(lambda b: ite(b.ltu(128), b, b ^ 0x80), s), s
+        )
+        compiled = compile_model("clamp7", [("s", ARRAY_BYTE)], body.term, self.spec("clamp7"))
+        assert "if (" in compiled.c_source()
+        check(compiled, input_gen=byte_gen())
+
+    def test_two_maps_in_sequence(self):
+        s = sym("s", ARRAY_BYTE)
+        body = let_n(
+            "s",
+            listarray.map_(lambda b: b ^ 0x0F, s),
+            let_n("s", listarray.map_(lambda b: b ^ 0xF0, s), s),
+        )
+        compiled = compile_model("twice", [("s", ARRAY_BYTE)], body.term, self.spec("twice"))
+        check(compiled, input_gen=byte_gen())
+
+    def test_map_under_fresh_name_stalls(self):
+        s = sym("s", ARRAY_BYTE)
+        body = let_n("s2", listarray.map_(lambda b: b, s), sym("s2", ARRAY_BYTE))
+        with pytest.raises(CompilationStalled) as excinfo:
+            compile_model("aliasmap", [("s", ARRAY_BYTE)], body.term, self.spec("aliasmap"))
+        assert "in-place map" in str(excinfo.value)
+
+    def test_word_array_map(self):
+        a = sym("a", ARRAY_WORD)
+        body = let_n("a", listarray.map_(lambda x: x * 3, a), a)
+        spec = FnSpec(
+            "tripleall", [ptr_arg("a", ARRAY_WORD), len_arg("len", "a")], [array_out("a")]
+        )
+        compiled = compile_model("tripleall", [("a", ARRAY_WORD)], body.term, spec)
+
+        def gen(rng):
+            return {"a": [rng.getrandbits(64) for _ in range(rng.randrange(16))]}
+
+        check(compiled, input_gen=gen)
+
+
+class TestArrayFold:
+    def spec(self, name):
+        return FnSpec(
+            name, [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s")], [scalar_out()]
+        )
+
+    def test_sum_fold(self):
+        s = sym("s", ARRAY_BYTE)
+        body = let_n(
+            "acc",
+            listarray.fold(lambda acc, b: acc + b.to_word(), word_lit(0), s),
+            sym("acc", WORD),
+        )
+        compiled = compile_model("sumbytes", [("s", ARRAY_BYTE)], body.term, self.spec("sumbytes"))
+        check(compiled, input_gen=byte_gen())
+
+    def test_fold_with_distinct_binder_names(self):
+        s = sym("s", ARRAY_BYTE)
+        body = let_n(
+            "result",
+            listarray.fold(
+                lambda state, item: state ^ item.to_word(), word_lit(0), s,
+                names=("state", "item"),
+            ),
+            sym("result", WORD),
+        )
+        compiled = compile_model("xorall", [("s", ARRAY_BYTE)], body.term, self.spec("xorall"))
+        check(compiled, input_gen=byte_gen())
+
+    def test_fold_body_with_conditional(self):
+        s = sym("s", ARRAY_BYTE)
+        body = let_n(
+            "count",
+            listarray.fold(
+                lambda count, b: ite(b.ltu(32), count + 1, count), word_lit(0), s,
+                names=("count", "b"),
+            ),
+            sym("count", WORD),
+        )
+        compiled = compile_model("count_ctrl", [("s", ARRAY_BYTE)], body.term, self.spec("count_ctrl"))
+        check(compiled, input_gen=byte_gen())
+
+    def test_fold_then_use_result(self):
+        s = sym("s", ARRAY_BYTE)
+        body = let_n(
+            "acc",
+            listarray.fold(lambda acc, b: acc + b.to_word(), word_lit(0), s),
+            let_n("r", sym("acc", WORD) & 0xFF, sym("r", WORD)),
+        )
+        compiled = compile_model("summask", [("s", ARRAY_BYTE)], body.term, self.spec("summask"))
+        check(compiled, input_gen=byte_gen())
+
+    def test_invariant_records_fold_prefix(self):
+        """The certificate's fold derivation works at a symbolic iteration;
+        the final binding must be the full fold over the whole array."""
+        s = sym("s", ARRAY_BYTE)
+        body = let_n(
+            "acc",
+            listarray.fold(lambda acc, b: acc + b.to_word(), word_lit(0), s),
+            sym("acc", WORD),
+        )
+        compiled = compile_model("sum2", [("s", ARRAY_BYTE)], body.term, self.spec("sum2"))
+        assert "compile_arrayfold" in compiled.certificate.distinct_lemmas()
+
+
+class TestRangedFor:
+    def test_sum_of_indices(self):
+        n = sym("n", NAT)
+        body = let_n(
+            "acc",
+            ranged_for(0, n, lambda i, acc: acc + i.to_word(), word_lit(0), names=("i", "acc")),
+            sym("acc", WORD),
+        )
+        spec = FnSpec("sumto", [scalar_arg("n", ty=NAT)], [scalar_out()])
+        compiled = compile_model("sumto", [("n", NAT)], body.term, spec)
+
+        def gen(rng):
+            return {"n": rng.randrange(50)}
+
+        check(compiled, input_gen=gen)
+
+    def test_nonzero_lower_bound(self):
+        n = sym("n", NAT)
+        body = let_n(
+            "acc",
+            ranged_for(1, n, lambda i, acc: acc * 2, word_lit(1), names=("i", "acc")),
+            sym("acc", WORD),
+        )
+        spec = FnSpec("pow2ish", [scalar_arg("n", ty=NAT)], [scalar_out()])
+        compiled = compile_model("pow2ish", [("n", NAT)], body.term, spec)
+
+        def gen(rng):
+            return {"n": rng.randrange(30)}
+
+        check(compiled, input_gen=gen)
+
+    def test_strided_array_access(self):
+        """Every-other-byte sum: index arithmetic with division bounds."""
+        s = sym("s", ARRAY_BYTE)
+        length = listarray.length(s)
+        body = let_n(
+            "acc",
+            ranged_for(
+                0,
+                length.udiv(2),
+                lambda i, acc: acc + listarray.get(s, i * 2).to_word(),
+                word_lit(0),
+                names=("i", "acc"),
+            ),
+            sym("acc", WORD),
+        )
+        spec = FnSpec(
+            "evensum", [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s")], [scalar_out()]
+        )
+        compiled = compile_model("evensum", [("s", ARRAY_BYTE)], body.term, spec)
+        check(compiled, input_gen=byte_gen())
+
+
+class TestNatIter:
+    def test_constant_iteration(self):
+        x = sym("x", WORD)
+        body = let_n(
+            "r",
+            nat_iter(10, lambda a: a + 3, x, name="a"),
+            sym("r", WORD),
+        )
+        spec = FnSpec("addthirty", [scalar_arg("x")], [scalar_out()])
+        compiled = compile_model("addthirty", [("x", WORD)], body.term, spec)
+        check(compiled)
+
+    def test_iter_count_from_argument(self):
+        n = sym("n", NAT)
+        body = let_n(
+            "r",
+            nat_iter(n, lambda a: a * 2, word_lit(1), name="a"),
+            sym("r", WORD),
+        )
+        spec = FnSpec("pow2", [scalar_arg("n", ty=NAT)], [scalar_out()])
+        compiled = compile_model("pow2", [("n", NAT)], body.term, spec)
+
+        def gen(rng):
+            return {"n": rng.randrange(40)}
+
+        check(compiled, input_gen=gen)
+
+    def test_paper_example_shape(self):
+        """§3.4.2: let c := Nat.iter 10 incr c in c, via get/put around it."""
+        from repro.source import cells
+        from repro.source.types import cell_of
+
+        c = cells.cell_var("c", WORD)
+        body = let_n(
+            "v",
+            cells.get(c),
+            let_n(
+                "v",
+                nat_iter(10, lambda a: a + 1, sym("v", WORD), name="a"),
+                let_n("c", cells.put(c, sym("v", WORD)), c),
+            ),
+        )
+        spec = FnSpec("iter10", [ptr_arg("c", cell_of(WORD))], [array_out("c")])
+        compiled = compile_model("iter10", [("c", cell_of(WORD))], body.term, spec)
+        check(compiled)
+        assert "compile_natiter" in compiled.certificate.distinct_lemmas()

@@ -1,0 +1,251 @@
+"""Tests for extensional effects (§3.4.1) and stack allocation (§4.1.2)."""
+
+import random
+
+import pytest
+
+from repro.bedrock2 import ast as b2
+from repro.core.goals import CompilationStalled
+from repro.core.spec import (
+    FnSpec,
+    array_out,
+    len_arg,
+    ptr_arg,
+    scalar_arg,
+    scalar_out,
+)
+from repro.source import cells, listarray, monads
+from repro.source import terms as t
+from repro.source.annotations import stack
+from repro.source.builder import SymValue, let_n, sym, word_lit
+from repro.source.types import ARRAY_BYTE, BYTE, WORD, array_of, cell_of
+from repro.validation.runners import run_function
+
+from tests.stdlib.helpers import check, compile_model, run_once
+
+
+class TestIOMonad:
+    def test_read_write_echo(self):
+        program = monads.bind(
+            "x", monads.io_read(), lambda x: monads.bind(
+                "_", monads.io_write(x), monads.ret(x)
+            )
+        )
+        spec = FnSpec("echo", [], [scalar_out()])
+        compiled = compile_model("echo", [], program.term, spec)
+        check(compiled)
+
+    def test_pure_code_interleaves_with_io(self):
+        """The single pure-addition lemma applies inside the I/O monad."""
+        program = monads.bind(
+            "a",
+            monads.io_read(),
+            lambda a: monads.bind(
+                "b",
+                monads.io_read(),
+                lambda b: let_n(
+                    "s", a + b, monads.bind("_", monads.io_write(sym("s", WORD)), monads.ret(sym("s", WORD)))
+                ),
+            ),
+        )
+        spec = FnSpec("iosum", [], [scalar_out()])
+        compiled = compile_model("iosum", [], program.term, spec)
+        check(compiled)
+        assert "compile_set_scalar" in compiled.certificate.distinct_lemmas()
+        assert "compile_io_read" in compiled.certificate.distinct_lemmas()
+
+    def test_write_only(self):
+        program = monads.bind("_", monads.io_write(word_lit(42)), monads.ret(word_lit(0)))
+        spec = FnSpec("w42", [], [scalar_out()])
+        compiled = compile_model("w42", [], program.term, spec)
+        result = run_once(compiled, {})
+        assert [e.args[0] for e in result.trace if e.action == "write"] == [42]
+
+    def test_trace_mismatch_detected(self):
+        """Sanity-check the validator: a wrong trace must be flagged."""
+        program = monads.bind("_", monads.io_write(word_lit(1)), monads.ret(word_lit(0)))
+        spec = FnSpec("w1", [], [scalar_out()])
+        compiled = compile_model("w1", [], program.term, spec)
+        # Tamper with the compiled code: write 2 instead of 1.
+        tampered = b2.Function(
+            "w1",
+            (),
+            compiled.bedrock_fn.rets,
+            b2.seq_of(
+                b2.SInteract((), "write", (b2.ELit(2),)),
+                b2.SSet(compiled.bedrock_fn.rets[0], b2.ELit(0)),
+            ),
+        )
+        object.__setattr__(compiled, "bedrock_fn", tampered)
+        from repro.validation import differential_check
+
+        report = differential_check(compiled, trials=3, rng=random.Random(0))
+        assert not report.ok
+        assert any(f.kind == "trace" for f in report.failures)
+
+
+class TestWriterMonad:
+    def test_tell_accumulates(self):
+        program = monads.bind(
+            "_",
+            monads.tell(word_lit(1)),
+            monads.bind("_", monads.tell(word_lit(2)), monads.ret(word_lit(0))),
+        )
+        spec = FnSpec("tell2", [], [scalar_out()])
+        compiled = compile_model("tell2", [], program.term, spec)
+        check(compiled)
+        result = run_once(compiled, {})
+        assert [e.args[0] for e in result.trace if e.action == "tell"] == [1, 2]
+
+    def test_tell_computed_value(self):
+        x = sym("x", WORD)
+        program = monads.bind("_", monads.tell(x * 2), monads.ret(x))
+        spec = FnSpec("tellx", [scalar_arg("x")], [scalar_out()])
+        compiled = compile_model("tellx", [("x", WORD)], program.term, spec)
+        check(compiled)
+
+
+class TestNondetMonad:
+    def test_nd_any_refines(self):
+        program = monads.bind("v", monads.nd_any(WORD), lambda v: monads.ret(v & 0))
+        spec = FnSpec("anyzero", [], [scalar_out()])
+        compiled = compile_model("anyzero", [], program.term, spec)
+        # v & 0 == 0 regardless of the choice; validation would catch a
+        # compiler that picked inconsistent values.
+        result = run_once(compiled, {})
+        assert result.rets == [0]
+
+    def test_nd_alloc_scoped(self):
+        program = monads.bind(
+            "buf",
+            monads.nd_alloc(8),
+            lambda buf: monads.ret(listarray.length(buf).to_word()),
+        )
+        spec = FnSpec("alloclen", [], [scalar_out()])
+        compiled = compile_model("alloclen", [], program.term, spec)
+        check(compiled)
+        result = run_once(compiled, {})
+        assert result.rets == [8]
+        assert "SStackalloc" in repr(compiled.bedrock_fn.body)
+
+    def test_nd_alloc_write_then_read(self):
+        program = monads.bind(
+            "buf",
+            monads.nd_alloc(4),
+            lambda buf: let_n(
+                "buf",
+                listarray.put(buf, 0, 0xAB),
+                monads.ret(listarray.get(sym("buf", ARRAY_BYTE), 0).to_word()),
+            ),
+        )
+        spec = FnSpec("scratch", [], [scalar_out()])
+        compiled = compile_model("scratch", [], program.term, spec)
+        check(compiled)
+        result = run_once(compiled, {})
+        assert result.rets == [0xAB]
+
+
+class TestStateMonad:
+    def make(self, program, fname):
+        spec = FnSpec(
+            fname,
+            [ptr_arg("st", cell_of(WORD))],
+            [scalar_out()],
+            state_param="st",
+        )
+        return compile_model(fname, [("st", cell_of(WORD))], program.term, spec)
+
+    def test_get(self):
+        program = monads.bind("v", monads.st_get(), lambda v: monads.ret(v))
+        compiled = self.make(program, "stget")
+        from repro.source.evaluator import CellV
+
+        result = run_once(compiled, {"st": CellV(99)})
+        assert result.rets == [99]
+
+    def test_get_put_roundtrip(self):
+        program = monads.bind(
+            "v",
+            monads.st_get(),
+            lambda v: monads.bind("_", monads.st_put(v + 1), monads.ret(v)),
+        )
+        compiled = self.make(program, "stincr")
+        from repro.source.evaluator import CellV
+
+        result = run_once(compiled, {"st": CellV(5)})
+        assert result.rets == [5]
+        assert result.out_memory["st"] == CellV(6)
+
+    def test_state_monad_needs_state_param(self):
+        program = monads.bind("v", monads.st_get(), lambda v: monads.ret(v))
+        spec = FnSpec("nostate", [], [scalar_out()])
+        with pytest.raises(CompilationStalled):
+            compile_model("nostate", [], program.term, spec)
+
+
+class TestStackAnnotation:
+    def test_stack_literal_array(self):
+        table = t.Lit((1, 2, 3, 4), array_of(BYTE))
+        program = let_n(
+            "tmp",
+            stack(SymValue(table, array_of(BYTE))),
+            let_n(
+                "r",
+                listarray.get(sym("tmp", array_of(BYTE)), 2).to_word(),
+                sym("r", WORD),
+            ),
+        )
+        spec = FnSpec("stk", [], [scalar_out()])
+        compiled = compile_model("stk", [], program.term, spec)
+        check(compiled)
+        result = run_once(compiled, {})
+        assert result.rets == [3]
+
+    def test_stack_mutation(self):
+        table = t.Lit((0, 0), array_of(BYTE))
+        buf = sym("tmp", array_of(BYTE))
+        program = let_n(
+            "tmp",
+            stack(SymValue(table, array_of(BYTE))),
+            let_n(
+                "tmp",
+                listarray.put(buf, 1, 9),
+                let_n("r", listarray.get(buf, 1).to_word(), sym("r", WORD)),
+            ),
+        )
+        spec = FnSpec("stkput", [], [scalar_out()])
+        compiled = compile_model("stkput", [], program.term, spec)
+        check(compiled)
+        result = run_once(compiled, {})
+        assert result.rets == [9]
+
+    def test_stack_non_literal_stalls(self):
+        s = sym("s", ARRAY_BYTE)
+        program = let_n("tmp", stack(s), monads.ret(word_lit(0)))
+        spec = FnSpec(
+            "stkcopy", [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s")], [scalar_out()]
+        )
+        with pytest.raises(CompilationStalled):
+            compile_model("stkcopy", [("s", ARRAY_BYTE)], program.term, spec)
+
+
+class TestExternalCalls:
+    def test_call_known_function(self):
+        x = sym("x", WORD)
+        program = let_n(
+            "r",
+            SymValue(t.Call("double", (x.term,)), WORD),
+            sym("r", WORD),
+        )
+        spec = FnSpec("callfn", [scalar_arg("x")], [scalar_out()])
+        compiled = compile_model("callfn", [("x", WORD)], program.term, spec)
+        assert "compile_call" in compiled.certificate.distinct_lemmas()
+        # Provide the callee at the Bedrock2 level and at the model level.
+        double = b2.Function(
+            "double", ("v",), ("r",), b2.SSet("r", b2.EOp("add", b2.EVar("v"), b2.EVar("v")))
+        )
+        program_env = b2.Program((compiled.bedrock_fn, double))
+        result = run_function(
+            compiled.bedrock_fn, compiled.spec, {"x": 21}, program=program_env
+        )
+        assert result.rets == [42]

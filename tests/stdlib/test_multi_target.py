@@ -1,0 +1,163 @@
+"""Multi-target conditionals: the full CAS of §3.4.2.
+
+    let r, c := (if t then (true, put c x) else (false, c)) in k
+
+Targets "r" (a fresh scalar) and "c" (a pointer into memory) are
+classified, abstracted, and merged exactly as the paper's heuristic
+walkthrough describes.
+"""
+
+import random
+
+import pytest
+
+from repro.bedrock2 import ast as b2
+from repro.core.goals import CompilationStalled
+from repro.core.spec import (
+    FnSpec,
+    Model,
+    array_out,
+    ptr_arg,
+    scalar_arg,
+    scalar_out,
+)
+from repro.source import cells
+from repro.source import terms as t
+from repro.source.builder import bool_lit, ite, let_tuple, sym, tuple_of, word_lit
+from repro.source.evaluator import CellV, eval_term
+from repro.source.types import BOOL, WORD, cell_of
+
+from tests.stdlib.helpers import check, compile_model, run_once
+
+
+def cas_term():
+    c = cells.cell_var("c", WORD)
+    conditional = ite(
+        sym("t", WORD).eq(1),
+        tuple_of(bool_lit(True), cells.put(c, sym("x", WORD))),
+        tuple_of(bool_lit(False), c),
+    )
+    # Return both: did we swap, and the (possibly updated) cell.
+    return t.LetTuple(
+        ("r", "c"),
+        conditional.term,
+        t.TupleTerm((t.Var("r"), t.Var("c"))),
+    )
+
+
+def cas_spec():
+    return FnSpec(
+        "cas",
+        [ptr_arg("c", cell_of(WORD)), scalar_arg("t"), scalar_arg("x")],
+        [scalar_out(), array_out("c")],
+    )
+
+
+PARAMS = [("c", cell_of(WORD)), ("t", WORD), ("x", WORD)]
+
+
+class TestEvaluator:
+    def test_let_tuple_binds_components(self):
+        term = t.LetTuple(
+            ("a", "b"),
+            t.TupleTerm((t.Lit(1, WORD), t.Lit(2, WORD))),
+            t.Prim("word.add", (t.Var("a"), t.Var("b"))),
+        )
+        assert eval_term(term) == 3
+
+    def test_arity_mismatch_rejected(self):
+        term = t.LetTuple(("a", "b"), t.Lit(1, WORD), t.Var("a"))
+        from repro.source.evaluator import EvalError
+
+        with pytest.raises(EvalError):
+            eval_term(term)
+
+    def test_cas_model_semantics(self):
+        term = cas_term()
+        swapped = eval_term(term, {"c": CellV(5), "t": 1, "x": 9})
+        assert swapped == (True, CellV(9))
+        unchanged = eval_term(term, {"c": CellV(5), "t": 0, "x": 9})
+        assert unchanged == (False, CellV(5))
+
+
+class TestCompilation:
+    def test_cas_compiles_and_validates(self):
+        compiled = compile_model("cas", PARAMS, cas_term(), cas_spec())
+        check(compiled, trials=30)
+
+    def test_cas_code_shape(self):
+        """One conditional; store only in the then-branch; flag in both."""
+        compiled = compile_model("cas", PARAMS, cas_term(), cas_spec())
+        text = compiled.c_source()
+        assert text.count("if (") == 1
+        assert text.count("_br2_store") == 1
+        assert "r = (uintptr_t)(1ULL);" in text
+        assert "r = (uintptr_t)(0ULL);" in text
+
+    def test_cas_returns_flag(self):
+        compiled = compile_model("cas", PARAMS, cas_term(), cas_spec())
+        hit = run_once(compiled, {"c": CellV(4), "t": 1, "x": 7})
+        assert hit.rets == [1]
+        assert hit.out_memory["c"] == CellV(7)
+        miss = run_once(compiled, {"c": CellV(4), "t": 0, "x": 7})
+        assert miss.rets == [0]
+        assert miss.out_memory["c"] == CellV(4)
+
+    def test_merged_values_are_source_conditionals(self):
+        """After the join, downstream code sees if-terms, not disjunctions:
+        we can keep computing with both targets."""
+        c = cells.cell_var("c", WORD)
+        conditional = ite(
+            sym("t", WORD).eq(1),
+            tuple_of(word_lit(10), cells.put(c, word_lit(1))),
+            tuple_of(word_lit(20), c),
+        )
+        term = t.LetTuple(
+            ("r", "c"),
+            conditional.term,
+            t.Let(
+                "r2",
+                t.Prim("word.add", (t.Var("r"), cells.get(c).term)),
+                t.TupleTerm((t.Var("r2"), t.Var("c"))),
+            ),
+        )
+        compiled = compile_model("casplus", PARAMS, term, cas_spec())
+        check(compiled, trials=20)
+
+    def test_branch_arity_mismatch_stalls(self):
+        c = cells.cell_var("c", WORD)
+        conditional = ite(
+            sym("t", WORD).eq(1),
+            tuple_of(bool_lit(True), cells.put(c, word_lit(1))),
+            c,  # not a 2-tuple
+        )
+        term = t.LetTuple(
+            ("r", "c"), conditional.term, t.TupleTerm((t.Var("r"), t.Var("c")))
+        )
+        with pytest.raises(CompilationStalled):
+            compile_model("badcas", PARAMS, term, cas_spec())
+
+    def test_three_targets(self):
+        x = sym("x", WORD)
+        conditional = ite(
+            x.ltu(10),
+            tuple_of(word_lit(1), word_lit(2), word_lit(3)),
+            tuple_of(word_lit(4), word_lit(5), word_lit(6)),
+        )
+        term = t.LetTuple(
+            ("a", "b", "cc"),
+            conditional.term,
+            t.Let(
+                "total",
+                t.Prim(
+                    "word.add",
+                    (t.Prim("word.add", (t.Var("a"), t.Var("b"))), t.Var("cc")),
+                ),
+                t.Var("total"),
+            ),
+        )
+        spec = FnSpec("three", [scalar_arg("x")], [scalar_out()])
+        compiled = compile_model("three", [("x", WORD)], term, spec)
+        assert run_once(compiled, {"x": 5}).rets == [6]
+        assert run_once(compiled, {"x": 50}).rets == [15]
+        check(compiled, trials=15)

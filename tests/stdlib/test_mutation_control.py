@@ -1,0 +1,219 @@
+"""Tests for intensional mutation and conditionals (§3.4.1, §3.4.2)."""
+
+import pytest
+
+from repro.bedrock2 import ast as b2
+from repro.core.goals import CompilationStalled
+from repro.core.spec import (
+    FnSpec,
+    Model,
+    array_out,
+    len_arg,
+    ptr_arg,
+    scalar_arg,
+    scalar_out,
+)
+from repro.source import cells, listarray
+from repro.source import terms as t
+from repro.source.builder import byte_lit, ite, let_n, nat_lit, sym, word_lit
+from repro.source.types import ARRAY_BYTE, NAT, WORD, cell_of
+from repro.stdlib import default_engine
+
+from tests.stdlib.helpers import check, compile_model, run_once
+
+
+def byte_array_spec(fname, extra_args=(), outputs=None):
+    return FnSpec(
+        fname,
+        [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s"), *extra_args],
+        outputs if outputs is not None else [array_out("s")],
+    )
+
+
+class TestArrayPut:
+    def test_put_first_element(self):
+        s = sym("s", ARRAY_BYTE)
+        body = let_n("s", listarray.put(s, nat_lit(0), byte_lit(0x7F)), s)
+        spec = byte_array_spec("setfirst")
+        spec.facts.append(t.Prim("nat.ltb", (t.Lit(0, NAT), t.ArrayLen(t.Var("s")))))
+        compiled = compile_model("setfirst", [("s", ARRAY_BYTE)], body.term, spec)
+
+        def gen(rng):
+            return {"s": [rng.randrange(256) for _ in range(1 + rng.randrange(8))]}
+
+        check(compiled, input_gen=gen)
+
+    def test_put_emits_single_store(self):
+        s = sym("s", ARRAY_BYTE)
+        body = let_n("s", listarray.put(s, nat_lit(0), byte_lit(1)), s)
+        spec = byte_array_spec("setf")
+        spec.facts.append(t.Prim("nat.ltb", (t.Lit(0, NAT), t.ArrayLen(t.Var("s")))))
+        compiled = compile_model("setf", [("s", ARRAY_BYTE)], body.term, spec)
+        assert "compile_array_put" in compiled.certificate.distinct_lemmas()
+        assert compiled.statement_count() == 1
+
+    def test_put_under_new_name_stalls(self):
+        """Mutation is never guessed: a fresh name needs copy()."""
+        s = sym("s", ARRAY_BYTE)
+        body = let_n("s2", listarray.put(s, nat_lit(0), byte_lit(1)), sym("s2", ARRAY_BYTE))
+        spec = byte_array_spec("renamed")
+        with pytest.raises(CompilationStalled) as excinfo:
+            compile_model("renamed", [("s", ARRAY_BYTE)], body.term, spec)
+        assert "copy" in str(excinfo.value)
+
+    def test_put_out_of_bounds_index_fails(self):
+        s = sym("s", ARRAY_BYTE)
+        body = let_n("s", listarray.put(s, nat_lit(100), byte_lit(1)), s)
+        spec = byte_array_spec("oob")
+        from repro.core.goals import SideConditionFailed
+
+        with pytest.raises(SideConditionFailed):
+            compile_model("oob", [("s", ARRAY_BYTE)], body.term, spec)
+
+    def test_sequential_puts(self):
+        s = sym("s", ARRAY_BYTE)
+        body = let_n(
+            "s",
+            listarray.put(s, nat_lit(0), byte_lit(1)),
+            let_n("s", listarray.put(s, nat_lit(1), byte_lit(2)), s),
+        )
+        spec = byte_array_spec("two_puts")
+        spec.facts.append(t.Prim("nat.ltb", (t.Lit(1, NAT), t.ArrayLen(t.Var("s")))))
+        compiled = compile_model("two_puts", [("s", ARRAY_BYTE)], body.term, spec)
+
+        def gen(rng):
+            return {"s": [rng.randrange(256) for _ in range(2 + rng.randrange(8))]}
+
+        check(compiled, input_gen=gen)
+
+
+class TestCellPut:
+    def make(self, body_fn, fname="cellfn"):
+        c = cells.cell_var("c", WORD)
+        body = body_fn(c)
+        spec = FnSpec(fname, [ptr_arg("c", cell_of(WORD))], [array_out("c")])
+        return compile_model(fname, [("c", cell_of(WORD))], body.term, spec)
+
+    def test_put_constant(self):
+        compiled = self.make(lambda c: let_n("c", cells.put(c, word_lit(5)), c))
+        check(compiled)
+
+    def test_get_then_put(self):
+        compiled = self.make(
+            lambda c: let_n("c", cells.put(c, cells.get(c) * 3), c), "triple"
+        )
+        check(compiled)
+
+    def test_iadd_intrinsic_fires(self):
+        """Table 1's iadd: put c (get c + v) compiles to one RMW store."""
+        compiled = self.make(
+            lambda c: let_n("c", cells.put(c, cells.get(c) + 7), c), "incr7"
+        )
+        assert "compile_cell_iadd" in compiled.certificate.distinct_lemmas()
+        check(compiled)
+
+    def test_iadd_can_be_disabled(self):
+        """Removing the intrinsic falls back to the generic cell put."""
+        from repro.stdlib import default_databases
+        from repro.core.engine import Engine
+
+        binding_db, expr_db = default_databases()
+        binding_db.remove("compile_cell_iadd")
+        engine = Engine(binding_db, expr_db)
+        c = cells.cell_var("c", WORD)
+        body = let_n("c", cells.put(c, cells.get(c) + 7), c)
+        spec = FnSpec("incr7b", [ptr_arg("c", cell_of(WORD))], [array_out("c")])
+        compiled = compile_model(
+            "incr7b", [("c", cell_of(WORD))], body.term, spec, engine=engine
+        )
+        assert "compile_cell_iadd" not in compiled.certificate.distinct_lemmas()
+        assert "compile_cell_put" in compiled.certificate.distinct_lemmas()
+        check(compiled)
+
+
+class TestConditionals:
+    def test_scalar_if(self):
+        x = sym("x", WORD)
+        body = let_n("r", ite(x.ltu(10), x * 2, x - 10), sym("r", WORD))
+        spec = FnSpec("clamp", [scalar_arg("x")], [scalar_out()])
+        compiled = compile_model("clamp", [("x", WORD)], body.term, spec)
+        check(compiled)
+
+    def test_cas_shape(self):
+        """The §3.4.2 compare-and-swap: memory merged as a source if."""
+        c = cells.cell_var("c", WORD)
+        body = let_n(
+            "c", ite(sym("t", WORD).eq(1), cells.put(c, sym("x", WORD)), c), c
+        )
+        spec = FnSpec(
+            "cas",
+            [ptr_arg("c", cell_of(WORD)), scalar_arg("t"), scalar_arg("x")],
+            [array_out("c")],
+        )
+        compiled = compile_model(
+            "cas", [("c", cell_of(WORD)), ("t", WORD), ("x", WORD)], body.term, spec
+        )
+        check(compiled)
+        # The unchanged branch compiles to skip, not a pointer clobber.
+        assert "compile_pointer_identity" in compiled.certificate.distinct_lemmas()
+
+    def test_nested_ifs(self):
+        x = sym("x", WORD)
+        inner = ite(x.ltu(5), word_lit(1), word_lit(2))
+        body = let_n("r", ite(x.ltu(10), inner, word_lit(3)), sym("r", WORD))
+        spec = FnSpec("three_way", [scalar_arg("x")], [scalar_out()])
+        compiled = compile_model("three_way", [("x", WORD)], body.term, spec)
+        check(compiled)
+
+    def test_path_condition_enables_bounds(self):
+        """A branch guarded by an index test can use that test's fact."""
+        s = sym("s", ARRAY_BYTE)
+        j = sym("j", NAT)
+        body = let_n(
+            "r",
+            ite(j.ltu(listarray.length(s)), listarray.get(s, j).to_word(), word_lit(0)),
+            sym("r", WORD),
+        )
+        spec = FnSpec(
+            "safe_get",
+            [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s"), scalar_arg("j", ty=NAT)],
+            [scalar_out()],
+        )
+        compiled = compile_model(
+            "safe_get", [("s", ARRAY_BYTE), ("j", NAT)], body.term, spec
+        )
+        check(compiled)
+
+    def test_if_with_array_mutation_in_branch(self):
+        s = sym("s", ARRAY_BYTE)
+        flag = sym("flag", WORD)
+        body = let_n(
+            "s",
+            ite(flag.eq(1), listarray.put(s, nat_lit(0), byte_lit(0)), s),
+            s,
+        )
+        spec = byte_array_spec("maybe_clear", extra_args=[scalar_arg("flag")])
+        spec.facts.append(t.Prim("nat.ltb", (t.Lit(0, NAT), t.ArrayLen(t.Var("s")))))
+        compiled = compile_model(
+            "maybe_clear", [("s", ARRAY_BYTE), ("flag", WORD)], body.term, spec
+        )
+
+        def gen(rng):
+            return {
+                "s": [rng.randrange(256) for _ in range(1 + rng.randrange(6))],
+                "flag": rng.randrange(2),
+            }
+
+        check(compiled, input_gen=gen)
+
+    def test_merged_value_visible_downstream(self):
+        """After the join, downstream code can reference the merged value."""
+        x = sym("x", WORD)
+        body = let_n(
+            "r",
+            ite(x.ltu(10), word_lit(1), word_lit(0)),
+            let_n("r2", sym("r", WORD) + 5, sym("r2", WORD)),
+        )
+        spec = FnSpec("merged", [scalar_arg("x")], [scalar_out()])
+        compiled = compile_model("merged", [("x", WORD)], body.term, spec)
+        check(compiled)
