@@ -17,7 +17,6 @@ C. **Closing the upstr gap with a user lemma**: our generic
 
 import random
 
-import pytest
 
 from repro.bedrock2 import ast as b2
 from repro.bedrock2.memory import Memory
@@ -30,7 +29,7 @@ from repro.core.sepstate import PointerBinding, SymState
 from repro.core.spec import FnSpec, Model, array_out, len_arg, ptr_arg, scalar_out
 from repro.source import cells, listarray
 from repro.source import terms as t
-from repro.source.builder import ite, let_n, sym, word_lit
+from repro.source.builder import let_n, sym, word_lit
 from repro.source.types import ARRAY_BYTE, ARRAY_WORD, NAT, WORD, cell_of
 from repro.stdlib import default_databases, default_engine
 from repro.validation.checker import validate

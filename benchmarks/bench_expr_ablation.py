@@ -13,7 +13,6 @@ other two axes are apples-to-apples).
 
 import inspect
 
-import pytest
 
 from repro.core.sepstate import Clause, PtrSym, SymState
 from repro.source import terms as t

@@ -16,7 +16,13 @@ import random
 
 import pytest
 
-from benchmarks.figure2 import COST_MODELS, figure2_rows, measure, render_figure2
+from benchmarks.figure2 import (
+    COST_MODELS,
+    figure2_rows,
+    optimizer_rows,
+    render_figure2,
+    render_optimizer_table,
+)
 from repro.bedrock2 import ast as b2
 from repro.bedrock2.memory import Memory
 from repro.bedrock2.semantics import Interpreter
@@ -101,3 +107,24 @@ def test_figure2_shape(bench_size, capsys):
     # Most of the suite is *identical* to handwritten, per the paper's
     # "semantically indistinguishable" claim.
     assert exact_parity >= 5
+
+
+def test_optimizer_strictly_improves(bench_size, capsys):
+    """The ``repro.opt`` acceptance bar: ``-O1`` strictly reduces both
+    Bedrock2 op counts and RV64IM instructions/byte on most of the
+    suite, with every applied pass surviving per-pass translation
+    validation; prints the optimized-vs-unoptimized comparison table."""
+    rows = optimizer_rows(size=min(bench_size, 2048))
+    with capsys.disabled():
+        print()
+        print(render_optimizer_table(rows))
+    assert len(rows) == 7
+    for row in rows:
+        # Never a regression, and never an unvalidated pass.
+        assert row.total_ops_opt <= row.total_ops_unopt, row.program
+        assert row.opt.riscv_per_byte <= row.unopt.riscv_per_byte, row.program
+        assert row.all_passes_validated, row.program
+    improved = sum(row.strictly_improved for row in rows)
+    assert improved >= 5, [
+        (row.program, row.ops_reduced, row.riscv_reduced) for row in rows
+    ]

@@ -25,7 +25,6 @@ from benchmarks.native import (
     OPT_LEVELS,
     build_shared_object,
     have_cc,
-    measure_native,
     native_figure2,
     render_native,
 )

@@ -13,7 +13,6 @@ with it and the derivation timed (pytest-benchmark).
 """
 
 import inspect
-import random
 
 import pytest
 

@@ -13,9 +13,9 @@ Run:  python examples/effectful_models.py
 
 import random
 
-from repro.core.spec import FnSpec, Model, array_out, ptr_arg, scalar_arg, scalar_out
+from repro.core.spec import FnSpec, Model, ptr_arg, scalar_arg, scalar_out
 from repro.source import listarray, monads
-from repro.source.builder import let_n, sym, word_lit
+from repro.source.builder import let_n, sym
 from repro.source.evaluator import CellV
 from repro.source.types import ARRAY_BYTE, WORD, cell_of
 from repro.stdlib import default_engine

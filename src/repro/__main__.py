@@ -9,6 +9,12 @@ Commands:
 - ``riscv <program>``           -- compile through the RISC-V backend and
   print instruction stats;
 - ``bench``                     -- print the reproduced Figure 2.
+
+``compile``, ``validate``, ``riscv``, and ``bench`` accept ``-O0`` (the
+default) or ``-O1`` to run the translation-validated optimizer
+(``repro.opt``) on the derived code first.  All commands accept
+``--seed`` and seed Python's ``random`` module themselves, so runs are
+reproducible rather than depending on ambient RNG state.
 """
 
 from __future__ import annotations
@@ -37,10 +43,27 @@ def _program(name: str):
         raise SystemExit(2)
 
 
-def cmd_compile(args) -> int:
+def _compiled(args):
+    """Compile the named program at the requested optimization level."""
     program = _program(args.program)
-    compiled = program.compile()
+    return program, program.compile(opt_level=getattr(args, "opt_level", 0))
+
+
+def _print_opt_summary(compiled) -> None:
+    report = compiled.opt_report
+    if report is not None:
+        applied = ", ".join(report.applied) or "none"
+        print(f"// optimizer: {report.stmts_before} -> {report.stmts_after} "
+              f"statements; passes applied: {applied}", file=sys.stderr)
+        for cert in report.rejected:
+            print(f"// optimizer: rejected {cert.pass_name}: {cert.detail}",
+                  file=sys.stderr)
+
+
+def cmd_compile(args) -> int:
+    _, compiled = _compiled(args)
     print(compiled.c_source())
+    _print_opt_summary(compiled)
     return 0
 
 
@@ -54,26 +77,21 @@ def cmd_cert(args) -> int:
 def cmd_validate(args) -> int:
     from repro.validation.checker import validate
 
-    program = _program(args.program)
-    compiled = program.compile()
+    program, compiled = _compiled(args)
     kwargs = {}
-    if program.calling_style == "window":
-
-        def gen(rng):
-            data = program.gen_input(rng, 24)
-            return {"s": list(data), "off": rng.randrange(0, len(data) - 3)}
-
-        kwargs["input_gen"] = gen
-    elif program.calling_style != "scalar":
-        kwargs["input_gen"] = lambda rng: {
-            "s": list(program.gen_input(rng, rng.randrange(48)))
-        }
+    input_gen = program.validation_input_gen()
+    if input_gen is not None:
+        kwargs["input_gen"] = input_gen
     report = validate(
         compiled, trials=args.trials, rng=random.Random(args.seed), **kwargs
     )
+    suffix = ""
+    if compiled.opt_report is not None:
+        applied = ", ".join(compiled.opt_report.applied) or "none"
+        suffix = f"; optimizer passes validated: {applied}"
     print(
         f"{compiled.name}: certificate ok; {report.trials} differential "
-        "trials, 0 failures"
+        f"trials, 0 failures{suffix}"
     )
     return 0
 
@@ -81,14 +99,14 @@ def cmd_validate(args) -> int:
 def cmd_riscv(args) -> int:
     from repro.riscv import compile_function
 
-    program = _program(args.program)
-    compiled = program.compile()
+    _, compiled = _compiled(args)
     rv_program = compile_function(compiled.bedrock_fn)
     print(
         f"{compiled.name}: {len(rv_program.instrs)} instructions "
         f"({rv_program.size_bytes} bytes of code, "
         f"{len(rv_program.data)} bytes of table data)"
     )
+    _print_opt_summary(compiled)
     if args.disasm:
         from repro.riscv.isa import encode
 
@@ -101,6 +119,11 @@ def cmd_bench(args) -> int:
     from benchmarks.figure2 import figure2_rows, render_figure2  # type: ignore
 
     print(render_figure2(figure2_rows(size=args.size)))
+    if args.opt_level > 0:
+        from benchmarks.figure2 import optimizer_rows, render_optimizer_table
+
+        print()
+        print(render_optimizer_table(optimizer_rows(size=args.size)))
     return 0
 
 
@@ -109,21 +132,39 @@ def main(argv=None) -> int:
         prog="python -m repro",
         description="Rupicola reproduction: relational compilation toolkit",
     )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for Python's random module (reproducible runs)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list the benchmark suite")
     for name in ("compile", "cert", "riscv"):
         p = sub.add_parser(name)
         p.add_argument("program")
+        if name != "cert":
+            p.add_argument(
+                "-O", dest="opt_level", type=int, choices=(0, 1), default=0,
+                help="optimization level (-O0 none, -O1 validated passes)",
+            )
         if name == "riscv":
             p.add_argument("--disasm", action="store_true")
     p = sub.add_parser("validate")
     p.add_argument("program")
     p.add_argument("--trials", type=int, default=30)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "-O", dest="opt_level", type=int, choices=(0, 1), default=0,
+        help="validate the optimized code instead of the raw derivation",
+    )
     p = sub.add_parser("bench")
     p.add_argument("--size", type=int, default=1024)
+    p.add_argument(
+        "-O", dest="opt_level", type=int, choices=(0, 1), default=0,
+        help="also print the optimized-vs-unoptimized comparison",
+    )
 
     args = parser.parse_args(argv)
+    random.seed(args.seed)
     handlers = {
         "list": cmd_list,
         "compile": cmd_compile,

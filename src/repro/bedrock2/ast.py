@@ -13,7 +13,7 @@ that a certificate's recorded code cannot be altered after derivation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Tuple
 
 # Access sizes, in bytes, for loads and stores.
 SIZE1, SIZE2, SIZE4, SIZE8 = 1, 2, 4, 8
@@ -347,6 +347,17 @@ def statement_count(stmt: Stmt) -> int:
     if isinstance(stmt, SSkip):
         return 0
     return 1
+
+
+def fingerprint(node) -> str:
+    """A short stable hash of an AST node (used by optimizer certificates).
+
+    Frozen dataclasses have deterministic ``repr``s that recurse over the
+    whole tree, so hashing the repr fingerprints the exact syntax.
+    """
+    import hashlib
+
+    return hashlib.sha256(repr(node).encode("utf-8")).hexdigest()[:16]
 
 
 def expr_vars(expr: Expr) -> set:

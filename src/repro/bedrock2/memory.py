@@ -15,7 +15,7 @@ reject the execution.  We model this as a set of disjoint allocated
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 class MemoryError_(Exception):

@@ -27,6 +27,48 @@ class ExecutionError(Exception):
     """The program's behaviour is undefined (bad variable, bad access, ...)."""
 
 
+def apply_op(op: str, lhs: Word, rhs: Word) -> Word:
+    """Evaluate one Bedrock2 binary operator on machine words.
+
+    This is the single source of truth for operator semantics: the
+    interpreter calls it per ``EOp``, and the optimizer's constant folder
+    (:mod:`repro.opt.passes`) calls it at compile time, so folded
+    literals are bit-exact by construction.
+    """
+    width = lhs.width
+    if op == "add":
+        return lhs + rhs
+    if op == "sub":
+        return lhs - rhs
+    if op == "mul":
+        return lhs * rhs
+    if op == "mulhuu":
+        return Word(width, (lhs.unsigned * rhs.unsigned) >> width)
+    if op == "divu":
+        return lhs.udiv(rhs)
+    if op == "remu":
+        return lhs.umod(rhs)
+    if op == "and":
+        return lhs & rhs
+    if op == "or":
+        return lhs | rhs
+    if op == "xor":
+        return lhs ^ rhs
+    if op == "sru":
+        return lhs.shr(rhs)
+    if op == "slu":
+        return lhs.shl(rhs)
+    if op == "srs":
+        return lhs.sar(rhs)
+    if op == "lts":
+        return truthy(width, lhs.lts(rhs))
+    if op == "ltu":
+        return truthy(width, lhs.ltu(rhs))
+    if op == "eq":
+        return truthy(width, lhs == rhs)
+    raise ExecutionError(f"unknown operator {op!r}")
+
+
 class OutOfFuel(ExecutionError):
     """The fuel bound was exhausted: no total-correctness witness produced."""
 
@@ -176,38 +218,7 @@ class Interpreter:
         raise ExecutionError(f"unknown expression node {expr!r}")
 
     def _apply_op(self, op: str, lhs: Word, rhs: Word) -> Word:
-        width = self.width
-        if op == "add":
-            return lhs + rhs
-        if op == "sub":
-            return lhs - rhs
-        if op == "mul":
-            return lhs * rhs
-        if op == "mulhuu":
-            return Word(width, (lhs.unsigned * rhs.unsigned) >> width)
-        if op == "divu":
-            return lhs.udiv(rhs)
-        if op == "remu":
-            return lhs.umod(rhs)
-        if op == "and":
-            return lhs & rhs
-        if op == "or":
-            return lhs | rhs
-        if op == "xor":
-            return lhs ^ rhs
-        if op == "sru":
-            return lhs.shr(rhs)
-        if op == "slu":
-            return lhs.shl(rhs)
-        if op == "srs":
-            return lhs.sar(rhs)
-        if op == "lts":
-            return truthy(width, lhs.lts(rhs))
-        if op == "ltu":
-            return truthy(width, lhs.ltu(rhs))
-        if op == "eq":
-            return truthy(width, lhs == rhs)
-        raise ExecutionError(f"unknown operator {op!r}")
+        return apply_op(op, lhs, rhs)
 
     # -- Statements -------------------------------------------------------------
 

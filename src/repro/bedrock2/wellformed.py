@@ -20,7 +20,7 @@ path), so it runs as part of ``validate``.
 
 from __future__ import annotations
 
-from typing import Set, Tuple
+from typing import Set
 
 from repro.bedrock2 import ast
 

@@ -13,7 +13,7 @@ to generate output programs along with 'witnesses' of correctness".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List
 
 
 @dataclass

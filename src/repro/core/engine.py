@@ -20,7 +20,7 @@ search the state for a local holding ``of_nat (length s)``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.bedrock2 import ast
 from repro.core.certificate import Certificate, CertNode, SideCondition
@@ -31,12 +31,12 @@ from repro.core.goals import (
     ExprGoal,
     SideConditionFailed,
 )
-from repro.core.lemma import BindingLemma, ExprLemma, HintDb, WrapStmt
-from repro.core.sepstate import PointerBinding, ScalarBinding, SymState
+from repro.core.lemma import HintDb, WrapStmt
+from repro.core.sepstate import PointerBinding, SymState
 from repro.core.solver import SolverBank
 from repro.core.spec import ArgKind, CompiledFunction, FnSpec, Model, OutKind
 from repro.source import terms as t
-from repro.source.types import SourceType, TypeKind
+from repro.source.types import SourceType
 
 
 def resolve(state: SymState, term: t.Term, shadowed: frozenset = frozenset()) -> t.Term:

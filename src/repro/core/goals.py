@@ -11,8 +11,8 @@ conditions -- the exact obligation no solver could discharge.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.source import terms as t
 from repro.source.types import SourceType

@@ -27,7 +27,7 @@ as ``map f (firstn i l) ++ skipn i l``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.core.sepstate import PointerBinding, PtrSym, ScalarBinding, SymState
 from repro.source import terms as t

@@ -16,7 +16,7 @@ reports an error rather than silently trying the next lemma.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 from repro.core.goals import BindingGoal, ExprGoal
 

@@ -21,11 +21,11 @@ the state reached after symbolically executing the already-derived prefix"
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.source import terms as t
-from repro.source.types import SourceType, TypeKind
+from repro.source.types import SourceType
 
 
 @dataclass(frozen=True)

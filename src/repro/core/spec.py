@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.bedrock2 import ast
 from repro.core.certificate import Certificate
@@ -203,6 +203,9 @@ class CompiledFunction:
     certificate: Certificate
     spec: FnSpec
     model: Model
+    # Set by ``optimize``: the per-pass certificates of the optimizer run
+    # that produced this bundle's code (None for unoptimized output).
+    opt_report: Optional[object] = None
 
     @property
     def name(self) -> str:
@@ -215,3 +218,35 @@ class CompiledFunction:
 
     def statement_count(self) -> int:
         return ast.statement_count(self.bedrock_fn.body)
+
+    def optimize(
+        self,
+        level: int = 1,
+        *,
+        trials: int = 8,
+        rng=None,
+        input_gen=None,
+        width: int = 64,
+    ) -> "CompiledFunction":
+        """Run the translation-validated optimizer (``repro.opt``).
+
+        Every pass is checked: well-formedness plus a differential test
+        of the candidate against this bundle's model under its spec.  A
+        failing pass is rejected and the pipeline continues from the
+        pre-pass AST, so the result is never less correct than the
+        input.  The returned bundle carries the per-pass certificates in
+        ``opt_report``; ``level <= 0`` returns ``self`` unchanged.
+        """
+        if level <= 0:
+            return self
+        from repro.validation.passcheck import optimize_compiled
+
+        optimized, _ = optimize_compiled(
+            self,
+            level=level,
+            trials=trials,
+            rng=rng,
+            input_gen=input_gen,
+            width=width,
+        )
+        return optimized

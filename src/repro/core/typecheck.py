@@ -9,20 +9,11 @@ state's knowledge of ghost variables.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.sepstate import PointerBinding, ScalarBinding, SymState
 from repro.source import terms as t
 from repro.source.ops import get_op
-from repro.source.types import (
-    BOOL,
-    BYTE,
-    NAT,
-    WORD,
-    SourceType,
-    TypeKind,
-    array_of,
-)
+from repro.source.types import BYTE, NAT, WORD, SourceType, TypeKind, array_of
 
 
 class TypeInferenceError(Exception):

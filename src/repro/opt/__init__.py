@@ -1,0 +1,49 @@
+"""Translation-validated Bedrock2 optimization pipeline.
+
+``repro.opt`` optimizes the Bedrock2 code the relational compiler
+produces, without joining the trusted base: every pass application is
+certified (:class:`~repro.opt.manager.PassCertificate`), re-checked for
+well-formedness, and — when run through
+:meth:`repro.core.spec.CompiledFunction.optimize` — differentially
+tested against the functional model under the function's ``FnSpec``.
+A failing pass is rejected and the pipeline falls back to the pre-pass
+AST.  See ``docs/optimizer.md``.
+"""
+
+from repro.opt.manager import (
+    OptimizationReport,
+    PassCertificate,
+    PassManager,
+    optimize_function,
+    pipeline_for,
+)
+from repro.opt.passes import (
+    BranchSimplification,
+    ConstantFolding,
+    CopyPropagation,
+    DeadCodeElimination,
+    ForwardSubstitution,
+    LoadCSE,
+    NormalizeStmts,
+    Pass,
+    PointerStrengthReduction,
+    default_pipeline,
+)
+
+__all__ = [
+    "BranchSimplification",
+    "ConstantFolding",
+    "CopyPropagation",
+    "DeadCodeElimination",
+    "ForwardSubstitution",
+    "LoadCSE",
+    "NormalizeStmts",
+    "OptimizationReport",
+    "Pass",
+    "PassCertificate",
+    "PassManager",
+    "PointerStrengthReduction",
+    "default_pipeline",
+    "optimize_function",
+    "pipeline_for",
+]

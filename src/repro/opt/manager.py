@@ -1,0 +1,168 @@
+"""The optimization pass manager and its per-pass certificates.
+
+The manager treats every pass as untrusted, mirroring how the repo
+treats the relational compiler itself (README: untrusted search, per-run
+witnesses, a small checker).  After each pass it:
+
+1. records a :class:`PassCertificate` — pass name plus fingerprints of
+   the AST before and after (``bedrock2.ast.fingerprint``);
+2. re-runs the definite-assignment well-formedness check
+   (:func:`repro.bedrock2.wellformed.check_function`);
+3. hands the candidate to an optional *validator* callback — for
+   compiled suite programs this is the spec-driven differential tester
+   (see :func:`repro.validation.passcheck.pass_validator`).
+
+A pass that fails any check is **rejected**: its certificate records the
+reason and the pipeline continues from the pre-pass AST, so a buggy or
+unsound pass degrades optimization, never correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.bedrock2 import ast
+from repro.bedrock2.wellformed import IllFormed, check_function
+from repro.opt.passes import Pass, default_pipeline
+
+# Returns None to accept the candidate, or a human-readable reason to
+# reject it.
+PassValidator = Callable[[ast.Function, str], Optional[str]]
+
+
+@dataclass(frozen=True)
+class PassCertificate:
+    """The witness that one pass application was checked."""
+
+    pass_name: str
+    before_hash: str
+    after_hash: str
+    status: str  # "validated" | "no-change" | "rejected"
+    detail: str = ""
+
+    @property
+    def accepted(self) -> bool:
+        return self.status == "validated"
+
+
+@dataclass
+class OptimizationReport:
+    """Everything one ``optimize`` call did to one function."""
+
+    function: str
+    level: int
+    certificates: List[PassCertificate] = field(default_factory=list)
+    stmts_before: int = 0
+    stmts_after: int = 0
+
+    @property
+    def applied(self) -> List[str]:
+        return [c.pass_name for c in self.certificates if c.accepted]
+
+    @property
+    def rejected(self) -> List[PassCertificate]:
+        return [c for c in self.certificates if c.status == "rejected"]
+
+    def render(self) -> str:
+        lines = [
+            f"optimize(level={self.level}) on {self.function}: "
+            f"{self.stmts_before} -> {self.stmts_after} statements"
+        ]
+        for cert in self.certificates:
+            line = (
+                f"  [{cert.status:>9}] {cert.pass_name:<12} "
+                f"{cert.before_hash} -> {cert.after_hash}"
+            )
+            if cert.detail:
+                line += f"  ({cert.detail})"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+class PassManager:
+    """Runs a pass pipeline with per-pass certification and fallback."""
+
+    def __init__(
+        self,
+        passes: Sequence[Pass],
+        width: int = 64,
+        validator: Optional[PassValidator] = None,
+    ):
+        self.passes = list(passes)
+        self.width = width
+        self.validator = validator
+
+    def run(self, fn: ast.Function) -> "tuple[ast.Function, List[PassCertificate]]":
+        certificates: List[PassCertificate] = []
+        for pass_ in self.passes:
+            before_hash = ast.fingerprint(fn)
+            try:
+                candidate = pass_.run(fn, self.width)
+            except Exception as exc:  # noqa: BLE001 - a crashing pass is rejected
+                certificates.append(
+                    PassCertificate(
+                        pass_.name,
+                        before_hash,
+                        before_hash,
+                        "rejected",
+                        f"pass raised {exc!r}",
+                    )
+                )
+                continue
+            after_hash = ast.fingerprint(candidate)
+            if candidate == fn:
+                certificates.append(
+                    PassCertificate(pass_.name, before_hash, after_hash, "no-change")
+                )
+                continue
+            error = self._check(candidate, pass_.name)
+            if error is not None:
+                certificates.append(
+                    PassCertificate(
+                        pass_.name, before_hash, before_hash, "rejected", error
+                    )
+                )
+                continue  # graceful degradation: keep the pre-pass AST
+            certificates.append(
+                PassCertificate(pass_.name, before_hash, after_hash, "validated")
+            )
+            fn = candidate
+        return fn, certificates
+
+    def _check(self, candidate: ast.Function, pass_name: str) -> Optional[str]:
+        try:
+            check_function(candidate)
+        except IllFormed as exc:
+            return f"ill-formed output: {exc}"
+        if self.validator is not None:
+            return self.validator(candidate, pass_name)
+        return None
+
+
+def pipeline_for(level: int) -> List[Pass]:
+    """The pass list for an ``-O<level>`` flag (0 = none)."""
+    if level <= 0:
+        return []
+    return default_pipeline()
+
+
+def optimize_function(
+    fn: ast.Function,
+    level: int = 1,
+    width: int = 64,
+    validator: Optional[PassValidator] = None,
+) -> "tuple[ast.Function, OptimizationReport]":
+    """Optimize a bare Bedrock2 function.
+
+    Without a validator this still checks well-formedness per pass; use
+    :meth:`repro.core.spec.CompiledFunction.optimize` to get differential
+    validation against the functional model as well.
+    """
+    report = OptimizationReport(
+        function=fn.name, level=level, stmts_before=ast.statement_count(fn.body)
+    )
+    manager = PassManager(pipeline_for(level), width=width, validator=validator)
+    fn, report.certificates = manager.run(fn)
+    report.stmts_after = ast.statement_count(fn.body)
+    return fn, report

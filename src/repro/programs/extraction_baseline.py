@@ -18,7 +18,7 @@ like crc32, asymptotic (footnote 13: a linear ``nth`` lookup per byte).
 from __future__ import annotations
 
 import sys
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 

@@ -45,9 +45,16 @@ class BenchProgram:
     max_len: Optional[int] = None
 
     _compiled: Optional[CompiledFunction] = field(default=None, repr=False)
+    _optimized: Dict[int, CompiledFunction] = field(default_factory=dict, repr=False)
 
-    def compile(self, fresh: bool = False) -> CompiledFunction:
-        """Derive the Bedrock2 implementation (cached)."""
+    def compile(self, fresh: bool = False, opt_level: int = 0) -> CompiledFunction:
+        """Derive the Bedrock2 implementation (cached).
+
+        With ``opt_level > 0`` the derived code is additionally run
+        through the translation-validated optimizer (``repro.opt``),
+        using this program's input generator for the per-pass
+        differential checks; the result is cached per level.
+        """
         if self._compiled is None or fresh:
             from repro.stdlib import default_engine
 
@@ -55,7 +62,35 @@ class BenchProgram:
             self._compiled = engine.compile_function(
                 self.build_model(), self.build_spec()
             )
-        return self._compiled
+            self._optimized.clear()
+        if opt_level <= 0:
+            return self._compiled
+        if opt_level not in self._optimized:
+            self._optimized[opt_level] = self._compiled.optimize(
+                opt_level, input_gen=self.validation_input_gen()
+            )
+        return self._optimized[opt_level]
+
+    def validation_input_gen(self):
+        """The input generator differential testing should use, or None.
+
+        ``None`` means the generic ``make_inputs`` (scalar programs);
+        pointer-taking programs draw byte arrays from ``gen_input``, and
+        window-style programs also need an in-range offset.  Shared by
+        ``python -m repro validate``, the optimizer's per-pass checks,
+        and the fault-injection tests.
+        """
+        if self.calling_style == "scalar":
+            return None
+        if self.calling_style == "window":
+
+            def gen(rng: random.Random):
+                data = self.gen_input(rng, 24)
+                return {"s": list(data), "off": rng.randrange(0, len(data) - 3)}
+
+            return gen
+
+        return lambda rng: {"s": list(self.gen_input(rng, rng.randrange(48)))}
 
 
 PROGRAMS: Dict[str, BenchProgram] = {}

@@ -60,7 +60,6 @@ def build_handwritten() -> ast.Function:
     """
     from repro.bedrock2.ast import (
         EOp,
-        EVar,
         ELit,
         SCond,
         SSet,

@@ -19,8 +19,8 @@ Calling convention: arguments in ``a0..a7``, results in ``a0``/``a1``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
 
 from repro.bedrock2 import ast
 from repro.riscv.isa import Instr, REG_NUM

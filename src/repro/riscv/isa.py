@@ -10,7 +10,7 @@ relative to the instruction's own address, exactly as in the ISA manual.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict
 
 # Register ABI names (index = register number).
 REG_NAMES = (

@@ -12,7 +12,7 @@ program's action table (``a7`` holds the action index).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.bedrock2.memory import Memory, MemoryError_
 from repro.riscv.compiler import CompiledProgram

@@ -22,14 +22,7 @@ import itertools
 from typing import Callable, Optional, Sequence, Union
 
 from repro.source import terms as t
-from repro.source.types import (
-    BOOL,
-    BYTE,
-    NAT,
-    WORD,
-    SourceType,
-    TypeKind,
-)
+from repro.source.types import BOOL, BYTE, NAT, WORD, SourceType
 
 _fresh_counter = itertools.count()
 

@@ -26,7 +26,6 @@ from typing import Callable, Iterator, List, Optional
 
 from repro.source import terms as t
 from repro.source.ops import eval_op
-from repro.source.types import TypeKind
 
 
 class EvalError(Exception):

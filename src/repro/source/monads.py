@@ -14,7 +14,7 @@ the compilation lemmas in :mod:`repro.stdlib.monads`.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Union
+from typing import Callable, Union
 
 from repro.source import terms as t
 from repro.source.builder import SymValue, lift, sym

@@ -16,8 +16,8 @@ engine, works by syntactic matching on these same nodes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from repro.source.types import SourceType
 

@@ -9,7 +9,7 @@ constant, or pop two values and push their sum).  The equivalence
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple, Union
+from typing import List, Sequence, Tuple
 
 
 class SExpr:

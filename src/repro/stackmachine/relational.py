@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.stackmachine.lang import SAdd, SExpr, SInt, TOp, TPopAdd, TPush
+from repro.stackmachine.lang import SAdd, SInt, TOp, TPopAdd, TPush
 
 
 @dataclass

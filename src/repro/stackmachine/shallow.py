@@ -9,9 +9,8 @@ analogue of a shallowly embedded program that the compiler inspects.
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+from typing import Union
 
-from repro.stackmachine.lang import TOp
 from repro.stackmachine.relational import Derivation, RelationalCompiler, SHALLOW_RULES
 
 IntLike = Union[int, "SymInt"]

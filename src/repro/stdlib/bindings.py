@@ -15,7 +15,7 @@ from typing import List, Tuple
 from repro.bedrock2 import ast
 from repro.core.certificate import CertNode
 from repro.core.engine import resolve
-from repro.core.goals import BindingGoal, CompilationStalled
+from repro.core.goals import BindingGoal
 from repro.core.lemma import BindingLemma, HintDb
 from repro.core.typecheck import infer_type
 from repro.source import terms as t

@@ -17,12 +17,10 @@ paper reports the relational version cost < 30% overall).
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.bedrock2 import ast
-from repro.core.goals import CompilationStalled, ExprGoal
+from repro.core.goals import CompilationStalled
 from repro.core.sepstate import SymState
-from repro.core.solver import canonicalize
 from repro.source import terms as t
 from repro.source.ops import get_op
 from repro.source.types import NAT

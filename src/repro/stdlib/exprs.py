@@ -28,11 +28,10 @@ from repro.core.certificate import CertNode
 from repro.core.goals import CompilationStalled, ExprGoal
 from repro.core.lemma import ExprLemma, HintDb
 from repro.core.sepstate import Clause, PtrSym, ScalarBinding, SymState
-from repro.core.solver import canonicalize, normalize_len
-from repro.core.typecheck import infer_type
+from repro.core.solver import canonicalize
 from repro.source import terms as t
 from repro.source.ops import get_op
-from repro.source.types import BOOL, NAT, TypeKind
+from repro.source.types import NAT, TypeKind
 
 
 def find_local_canonical(state: SymState, term: t.Term) -> Optional[str]:

@@ -23,7 +23,7 @@ compiler with a temporary.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.bedrock2 import ast
 from repro.core.certificate import CertNode

@@ -31,7 +31,6 @@ from repro.core.engine import resolve
 from repro.core.goals import BindingGoal, CompilationStalled
 from repro.core.lemma import BindingLemma, HintDb
 from repro.core.sepstate import PointerBinding, SymState
-from repro.core.typecheck import infer_type
 from repro.source import terms as t
 from repro.source.types import WORD
 

@@ -24,7 +24,6 @@ from repro.core.lemma import BindingLemma, HintDb
 from repro.core.sepstate import PointerBinding
 from repro.core.typecheck import infer_type
 from repro.source import terms as t
-from repro.source.types import TypeKind
 from repro.stdlib.exprs import scaled_index
 
 

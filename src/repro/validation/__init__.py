@@ -20,6 +20,10 @@ that architecture with three layers of checking, all driven by the same
    programs (the nondeterminism monad is checked in its existential
    direction by replaying the target's actual choices into the model's
    oracle).
+4. **Per-pass optimizer validation** (:mod:`repro.validation.passcheck`):
+   each ``repro.opt`` pass application is re-checked for well-formedness
+   and differentially tested against the model; failing passes are
+   rejected and the optimizer falls back to the pre-pass AST.
 """
 
 from repro.validation.checker import CertificateError, check_certificate
@@ -28,6 +32,7 @@ from repro.validation.differential import (
     ValidationReport,
     differential_check,
 )
+from repro.validation.passcheck import optimize_compiled, pass_validator
 from repro.validation.runners import RunResult, eval_model, make_inputs, run_function
 
 __all__ = [
@@ -36,6 +41,8 @@ __all__ = [
     "DifferentialFailure",
     "ValidationReport",
     "differential_check",
+    "optimize_compiled",
+    "pass_validator",
     "RunResult",
     "run_function",
     "eval_model",

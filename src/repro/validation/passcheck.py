@@ -1,0 +1,94 @@
+"""Per-pass translation validation for the optimizer.
+
+The optimizer (:mod:`repro.opt`) treats every pass as untrusted.  This
+module supplies the semantic half of the per-pass check: a validator
+closure that wraps each candidate AST in a clone of the original
+:class:`~repro.core.spec.CompiledFunction` and runs the existing
+spec-driven differential tester against the functional model.  Because
+the model is the same one the original derivation was validated against,
+accepting a pass means the optimized code agrees with the unoptimized
+code on every observable the spec declares, on every sampled input.
+
+``optimize_compiled`` is the main entry point (also exposed as
+``CompiledFunction.optimize``): it runs the ``-O<level>`` pipeline with
+this validator attached, so a pass that breaks the program is rejected
+and the pipeline falls back to the pre-pass AST.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.bedrock2 import ast
+from repro.core.spec import CompiledFunction
+from repro.opt.manager import OptimizationReport, PassManager, pipeline_for
+from repro.validation.differential import differential_check
+
+InputGen = Callable[[random.Random], Dict[str, object]]
+
+
+def pass_validator(
+    compiled: CompiledFunction,
+    trials: int = 8,
+    rng: Optional[random.Random] = None,
+    input_gen: Optional[InputGen] = None,
+    width: int = 64,
+):
+    """A :data:`repro.opt.manager.PassValidator` closure for ``compiled``."""
+    rng = rng or random.Random(0xC0DE)
+
+    def validator(candidate_fn: ast.Function, pass_name: str) -> Optional[str]:
+        candidate = replace(compiled, bedrock_fn=candidate_fn)
+        seed = rng.randrange(1 << 30)
+        try:
+            report = differential_check(
+                candidate,
+                trials=trials,
+                rng=random.Random(seed),
+                input_gen=input_gen,
+                width=width,
+            )
+        except Exception as exc:  # noqa: BLE001 - a broken harness is a rejection
+            return f"differential harness raised {exc!r}"
+        if not report.ok:
+            return (
+                f"differential check failed "
+                f"({len(report.failures)}/{report.trials} trials): "
+                f"{report.failures[0]}"
+            )
+        return None
+
+    return validator
+
+
+def optimize_compiled(
+    compiled: CompiledFunction,
+    level: int = 1,
+    trials: int = 8,
+    rng: Optional[random.Random] = None,
+    input_gen: Optional[InputGen] = None,
+    width: int = 64,
+) -> Tuple[CompiledFunction, OptimizationReport]:
+    """Optimize a compiled function with per-pass differential validation.
+
+    Returns a new :class:`CompiledFunction` (same certificate, spec, and
+    model; rewritten ``bedrock_fn``) together with the
+    :class:`OptimizationReport` carrying one ``PassCertificate`` per
+    pipeline stage.  The report is also attached to the returned bundle
+    as ``opt_report``.
+    """
+    report = OptimizationReport(
+        function=compiled.name,
+        level=level,
+        stmts_before=compiled.statement_count(),
+    )
+    validator = pass_validator(
+        compiled, trials=trials, rng=rng, input_gen=input_gen, width=width
+    )
+    manager = PassManager(pipeline_for(level), width=width, validator=validator)
+    fn, report.certificates = manager.run(compiled.bedrock_fn)
+    report.stmts_after = ast.statement_count(fn.body)
+    optimized = replace(compiled, bedrock_fn=fn, opt_report=report)
+    return optimized, report

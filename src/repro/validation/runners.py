@@ -11,7 +11,7 @@ operationally enforces the separation-logic frame.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.bedrock2 import ast
@@ -19,7 +19,6 @@ from repro.bedrock2.memory import Memory
 from repro.bedrock2.semantics import Interpreter, IOEvent, MachineState, OpCounts
 from repro.bedrock2.word import Word
 from repro.core.spec import ArgKind, FnSpec, Model, OutKind
-from repro.source import terms as t
 from repro.source.evaluator import CellV, EffectContext, Evaluator
 from repro.source.types import SourceType, TypeKind
 

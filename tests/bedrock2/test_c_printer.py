@@ -1,6 +1,5 @@
 """Tests for the Bedrock2-to-C pretty-printer."""
 
-import pytest
 
 from repro.bedrock2 import ast
 from repro.bedrock2.ast import (

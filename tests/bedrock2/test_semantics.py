@@ -17,7 +17,6 @@ from repro.bedrock2.ast import (
     SSet,
     SSkip,
     SStackalloc,
-    SStore,
     SUnset,
     SWhile,
     add,

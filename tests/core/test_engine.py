@@ -2,20 +2,11 @@
 
 import pytest
 
-from repro.bedrock2 import ast as b2
 from repro.core.engine import Engine, resolve
 from repro.core.goals import CompilationStalled, SideConditionFailed
 from repro.core.lemma import HintDb
 from repro.core.sepstate import Clause, PtrSym, SymState
-from repro.core.spec import (
-    FnSpec,
-    Model,
-    array_out,
-    len_arg,
-    ptr_arg,
-    scalar_arg,
-    scalar_out,
-)
+from repro.core.spec import FnSpec, Model, len_arg, ptr_arg, scalar_arg, scalar_out
 from repro.source import terms as t
 from repro.source.builder import let_n, sym
 from repro.source.types import ARRAY_BYTE, NAT, WORD, cell_of

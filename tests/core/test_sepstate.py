@@ -2,15 +2,9 @@
 
 import pytest
 
-from repro.core.sepstate import (
-    Clause,
-    PointerBinding,
-    PtrSym,
-    ScalarBinding,
-    SymState,
-)
+from repro.core.sepstate import Clause, PtrSym, ScalarBinding, SymState
 from repro.source import terms as t
-from repro.source.types import ARRAY_BYTE, NAT, WORD, cell_of
+from repro.source.types import ARRAY_BYTE, WORD
 
 
 def w(value):

@@ -1,6 +1,5 @@
 """Tests for side-condition solvers: normalization, lia, interval bounds."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

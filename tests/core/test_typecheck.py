@@ -5,15 +5,7 @@ import pytest
 from repro.core.sepstate import Clause, PtrSym, SymState
 from repro.core.typecheck import TypeInferenceError, infer_type
 from repro.source import terms as t
-from repro.source.types import (
-    ARRAY_BYTE,
-    ARRAY_WORD,
-    BOOL,
-    BYTE,
-    NAT,
-    WORD,
-    cell_of,
-)
+from repro.source.types import ARRAY_BYTE, BOOL, BYTE, NAT, WORD, cell_of
 
 
 def make_state():

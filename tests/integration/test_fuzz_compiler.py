@@ -9,7 +9,6 @@ side-condition reports -- never wrong code, never internal errors.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -21,7 +20,7 @@ from repro.core.goals import CompileError
 from repro.core.spec import FnSpec, Model, len_arg, ptr_arg, scalar_arg, scalar_out
 from repro.source import terms as t
 from repro.source.evaluator import eval_term
-from repro.source.types import ARRAY_BYTE, BOOL, BYTE, WORD
+from repro.source.types import ARRAY_BYTE, BYTE, WORD
 from repro.stdlib import default_engine
 
 WORD_OPS = ["word.add", "word.sub", "word.mul", "word.and", "word.or", "word.xor",

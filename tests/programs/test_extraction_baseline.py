@@ -1,6 +1,5 @@
 """Tests for the extraction-baseline cost simulation (E4)."""
 
-import pytest
 
 from repro.programs import get_program
 from repro.programs.extraction_baseline import (

@@ -18,7 +18,6 @@ from repro.bedrock2.semantics import Interpreter
 from repro.bedrock2.word import Word
 from repro.programs import all_programs, get_program
 from repro.source.evaluator import eval_term
-from repro.validation import differential_check
 from repro.validation.checker import validate
 
 PROGRAMS = all_programs()

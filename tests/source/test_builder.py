@@ -6,7 +6,6 @@ from repro.source import listarray
 from repro.source import terms as t
 from repro.source.annotations import copy, stack
 from repro.source.builder import (
-    SymValue,
     byte_lit,
     bool_lit,
     ite,
@@ -21,7 +20,7 @@ from repro.source.builder import (
 from repro.source.cells import cell_var, get as cell_get, put as cell_put
 from repro.source.evaluator import CellV, eval_term
 from repro.source.inline_table import byte_table, word_table
-from repro.source.types import ARRAY_BYTE, BOOL, BYTE, NAT, WORD, array_of
+from repro.source.types import ARRAY_BYTE, BOOL, BYTE, NAT, WORD
 
 
 class TestLiterals:

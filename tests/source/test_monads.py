@@ -6,7 +6,7 @@ from repro.source import monads
 from repro.source import terms as t
 from repro.source.builder import let_n, sym, word_lit
 from repro.source.evaluator import EffectContext, eval_term
-from repro.source.types import BOOL, BYTE, WORD, array_of
+from repro.source.types import BYTE, WORD, array_of
 
 
 class TestBindAndRet:

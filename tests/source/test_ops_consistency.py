@@ -14,9 +14,8 @@ from hypothesis import strategies as st
 from repro.bedrock2 import ast as b2
 from repro.bedrock2.semantics import Interpreter, MachineState
 from repro.bedrock2.memory import Memory
-from repro.bedrock2.word import Word
 from repro.source.ops import REGISTRY, eval_op
-from repro.source.types import BOOL, BYTE, NAT, WORD
+from repro.source.types import BOOL, BYTE, NAT
 
 WIDTH = 64
 

@@ -1,7 +1,7 @@
 """Tests for the source term IR: free variables, substitution, printing."""
 
 from repro.source import terms as t
-from repro.source.types import BYTE, NAT, WORD
+from repro.source.types import BYTE, WORD
 
 
 def w(value):

@@ -3,10 +3,9 @@
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.core.spec import FnSpec, Model
-from repro.source.types import SourceType
 from repro.stdlib import default_engine
 from repro.validation import differential_check
 from repro.validation.runners import run_function

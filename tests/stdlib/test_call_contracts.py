@@ -7,20 +7,17 @@ specific callee (``bzero``) that carries the callee's footprint contract
 -- after the call, the buffer's symbolic contents are all zeros.
 """
 
-import random
 
 import pytest
 
 from repro.bedrock2 import ast as b2
-from repro.core.engine import Engine, resolve
+from repro.core.engine import Engine
 from repro.core.goals import BindingGoal, CompilationStalled
 from repro.core.lemma import BindingLemma
 from repro.core.sepstate import PointerBinding
 from repro.core.spec import FnSpec, Model, array_out, len_arg, ptr_arg, scalar_out
-from repro.source import listarray
 from repro.source import terms as t
-from repro.source.builder import SymValue, let_n, sym
-from repro.source.types import ARRAY_BYTE, BYTE, NAT, WORD
+from repro.source.types import ARRAY_BYTE, BYTE, NAT
 from repro.stdlib import default_databases
 
 from tests.stdlib.helpers import compile_model

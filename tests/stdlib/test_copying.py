@@ -2,13 +2,13 @@
 
 import pytest
 
-from repro.core.goals import CompilationStalled, SideConditionFailed
+from repro.core.goals import SideConditionFailed
 from repro.core.spec import FnSpec, Model, array_out, len_arg, ptr_arg
 from repro.source import listarray
 from repro.source import terms as t
 from repro.source.annotations import copy
 from repro.source.builder import let_n, sym
-from repro.source.types import ARRAY_BYTE, NAT
+from repro.source.types import ARRAY_BYTE
 
 from tests.stdlib.helpers import check, compile_model
 

@@ -15,8 +15,7 @@ from repro.core.spec import (
     scalar_out,
 )
 from repro.source import listarray, monads
-from repro.source import terms as t
-from repro.source.builder import let_n, sym, word_lit
+from repro.source.builder import sym, word_lit
 from repro.source.evaluator import EffectContext, eval_term
 from repro.source.types import ARRAY_BYTE, NAT, WORD
 

@@ -3,24 +3,15 @@
 import pytest
 
 from repro.bedrock2 import ast as b2
-from repro.core.goals import CompilationStalled, ExprGoal, SideConditionFailed
+from repro.core.goals import CompilationStalled, SideConditionFailed
 from repro.core.sepstate import Clause, PtrSym, SymState
-from repro.core.spec import (
-    FnSpec,
-    Model,
-    array_out,
-    len_arg,
-    ptr_arg,
-    scalar_arg,
-    scalar_out,
-)
-from repro.source import listarray
+from repro.core.spec import FnSpec, scalar_arg, scalar_out
 from repro.source import terms as t
 from repro.source.builder import let_n, sym
 from repro.source.types import ARRAY_BYTE, BOOL, BYTE, NAT, WORD, cell_of
 from repro.stdlib import default_engine
 
-from tests.stdlib.helpers import check, compile_model, run_once
+from tests.stdlib.helpers import check, compile_model
 
 
 def expr_compile(state, term, engine=None):

@@ -15,7 +15,7 @@ from repro.source import listarray
 from repro.source import terms as t
 from repro.source.builder import let_n, sym, word_lit
 from repro.source.evaluator import eval_term
-from repro.source.types import ARRAY_BYTE, BOOL, WORD
+from repro.source.types import ARRAY_BYTE, WORD
 
 from tests.stdlib.helpers import check, compile_model
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.bedrock2 import ast as b2
 from repro.core.goals import CompilationStalled
 from repro.core.spec import (
     FnSpec,
@@ -13,7 +12,6 @@ from repro.core.spec import (
     scalar_out,
 )
 from repro.source import listarray
-from repro.source import terms as t
 from repro.source.builder import (
     ite,
     let_n,

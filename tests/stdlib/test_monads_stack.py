@@ -6,15 +6,8 @@ import pytest
 
 from repro.bedrock2 import ast as b2
 from repro.core.goals import CompilationStalled
-from repro.core.spec import (
-    FnSpec,
-    array_out,
-    len_arg,
-    ptr_arg,
-    scalar_arg,
-    scalar_out,
-)
-from repro.source import cells, listarray, monads
+from repro.core.spec import FnSpec, len_arg, ptr_arg, scalar_arg, scalar_out
+from repro.source import listarray, monads
 from repro.source import terms as t
 from repro.source.annotations import stack
 from repro.source.builder import SymValue, let_n, sym, word_lit

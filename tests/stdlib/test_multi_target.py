@@ -7,25 +7,16 @@ classified, abstracted, and merged exactly as the paper's heuristic
 walkthrough describes.
 """
 
-import random
 
 import pytest
 
-from repro.bedrock2 import ast as b2
 from repro.core.goals import CompilationStalled
-from repro.core.spec import (
-    FnSpec,
-    Model,
-    array_out,
-    ptr_arg,
-    scalar_arg,
-    scalar_out,
-)
+from repro.core.spec import FnSpec, array_out, ptr_arg, scalar_arg, scalar_out
 from repro.source import cells
 from repro.source import terms as t
-from repro.source.builder import bool_lit, ite, let_tuple, sym, tuple_of, word_lit
+from repro.source.builder import bool_lit, ite, sym, tuple_of, word_lit
 from repro.source.evaluator import CellV, eval_term
-from repro.source.types import BOOL, WORD, cell_of
+from repro.source.types import WORD, cell_of
 
 from tests.stdlib.helpers import check, compile_model, run_once
 

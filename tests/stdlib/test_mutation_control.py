@@ -2,24 +2,14 @@
 
 import pytest
 
-from repro.bedrock2 import ast as b2
 from repro.core.goals import CompilationStalled
-from repro.core.spec import (
-    FnSpec,
-    Model,
-    array_out,
-    len_arg,
-    ptr_arg,
-    scalar_arg,
-    scalar_out,
-)
+from repro.core.spec import FnSpec, array_out, len_arg, ptr_arg, scalar_arg, scalar_out
 from repro.source import cells, listarray
 from repro.source import terms as t
 from repro.source.builder import byte_lit, ite, let_n, nat_lit, sym, word_lit
 from repro.source.types import ARRAY_BYTE, NAT, WORD, cell_of
-from repro.stdlib import default_engine
 
-from tests.stdlib.helpers import check, compile_model, run_once
+from tests.stdlib.helpers import check, compile_model
 
 
 def byte_array_spec(fname, extra_args=(), outputs=None):

@@ -7,7 +7,6 @@ and check the validator reports a failure.
 """
 
 import random
-from dataclasses import replace
 
 import pytest
 

@@ -6,12 +6,11 @@ import pytest
 
 from repro.bedrock2 import ast as b2
 from repro.core.certificate import Certificate, CertNode
-from repro.core.spec import FnSpec, Model, array_out, len_arg, ptr_arg, scalar_arg, scalar_out
+from repro.core.spec import FnSpec, Model, array_out, ptr_arg, scalar_arg, scalar_out
 from repro.programs import get_program
-from repro.source import listarray
 from repro.source.builder import let_n, sym
 from repro.source.evaluator import CellV
-from repro.source.types import ARRAY_BYTE, WORD, cell_of
+from repro.source.types import WORD, cell_of
 from repro.stdlib import default_engine
 from repro.validation import (
     CertificateError,
