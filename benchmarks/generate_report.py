@@ -104,6 +104,49 @@ def section_optimizer(size: int) -> str:
     return "\n".join(lines)
 
 
+def section_resilience() -> str:
+    from repro.resilience import run_faults, run_fuzz
+
+    fuzz = run_fuzz(seed=0, budget=60, trials=4, riscv_trials=1)
+    faults = run_faults(seed=0)
+    stall_parts = ", ".join(f"{k}={v}" for k, v in sorted(fuzz.stalls.items())) or "none"
+    family_parts = ", ".join(f"{k}={v}" for k, v in sorted(fuzz.by_family.items()))
+    lines = [
+        "## E10 — `repro.resilience`: fuzzing and fault injection",
+        "",
+        "**Paper:** the TCB argument (§5) -- lemmas, solvers, and optimizer",
+        "passes are untrusted; correctness rests on small trusted checkers.",
+        "The resilience harness tests that argument adversarially: random",
+        "well-typed models through the full pipeline (compile → certificate →",
+        "differential → `-O1` → RISC-V), and targeted corruption of every",
+        "untrusted component (see `docs/resilience.md`).",
+        "",
+        "**Measured** (`python -m repro fuzz --seed 0 --budget 60`,",
+        "`python -m repro faults --seed 0`):",
+        "",
+        "```",
+        f"fuzz:   {fuzz.cases_run} cases, {fuzz.compiled} compiled, "
+        f"{len(fuzz.violations)} soundness violations, {len(fuzz.crashes)} crashes",
+        f"        families: {family_parts}",
+        f"        stalls: {stall_parts}",
+        f"faults: {faults.injected} injections, {faults.count('detected')} detected, "
+        f"{faults.count('rejected')} cleanly rejected, "
+        f"{faults.count('harmless')} harmless, {faults.count('crash')} crashes, "
+        f"{faults.count('silent')} silent-wrong",
+        f"        detection rate (faults reaching an artifact): "
+        f"{faults.detection_rate:.0%}",
+        "```",
+        "",
+        "**Acceptance check:** zero soundness violations and zero crashes under",
+        "fuzzing; 100% of artifact-reaching faults detected by a trusted checker",
+        "(determinism replay catches lemma/solver/certificate tampering; per-pass",
+        "translation validation catches optimizer miscompilation), zero silent",
+        "wrong binaries.  Both campaigns are deterministic per seed.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
 def section_native(size: int) -> str:
     from benchmarks.native import have_cc, native_figure2, render_native
 
@@ -445,6 +488,7 @@ def main() -> None:
     sections = [
         section_figure2(args.size),
         section_optimizer(args.size),
+        section_resilience(),
         section_native(args.size),
         section_table1(),
         section_table2(),

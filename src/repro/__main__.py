@@ -8,7 +8,11 @@ Commands:
 - ``validate <program>``        -- certificate + differential validation;
 - ``riscv <program>``           -- compile through the RISC-V backend and
   print instruction stats;
-- ``bench``                     -- print the reproduced Figure 2.
+- ``bench``                     -- print the reproduced Figure 2;
+- ``fuzz``                      -- seeded pipeline fuzzing campaign
+  (random models through compile/certify/validate/optimize/RISC-V);
+- ``faults``                    -- cross-layer fault-injection campaign
+  (corrupt untrusted components; assert the trusted checkers notice).
 
 ``compile``, ``validate``, ``riscv``, and ``bench`` accept ``-O0`` (the
 default) or ``-O1`` to run the translation-validated optimizer
@@ -77,6 +81,24 @@ def cmd_cert(args) -> int:
 def cmd_validate(args) -> int:
     from repro.validation.checker import validate
 
+    if getattr(args, "degrade", False):
+        from repro.resilience.degrade import DegradedFunction, compile_or_degrade
+
+        program = _program(args.program)
+        result = compile_or_degrade(program.build_model(), program.build_spec())
+        if isinstance(result, DegradedFunction):
+            print(result.banner(), file=sys.stderr)
+            rng = random.Random(args.seed)
+            from repro.validation.runners import make_inputs
+
+            for _ in range(min(3, args.trials)):
+                result.run(make_inputs(result.model, rng))
+            print(
+                f"{result.name}: DEGRADED (unverified model interpretation); "
+                f"stall reason: {result.report.reason}"
+            )
+            return 0
+
     program, compiled = _compiled(args)
     kwargs = {}
     input_gen = program.validation_input_gen()
@@ -113,6 +135,49 @@ def cmd_riscv(args) -> int:
         for instr in rv_program.instrs:
             print(f"  {encode(instr):08x}  {instr}")
     return 0
+
+
+def cmd_fuzz(args) -> int:
+    from repro.resilience.fuzzer import run_fuzz
+
+    def progress(message: str) -> None:
+        print(f"// {message}", file=sys.stderr)
+
+    report = run_fuzz(
+        seed=args.seed,
+        budget=args.budget,
+        trials=args.trials,
+        fuel=args.fuel,
+        deadline=args.deadline,
+        progress=progress if args.verbose else None,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_faults(args) -> int:
+    from repro.resilience.faults import run_faults
+
+    def progress(message: str) -> None:
+        print(f"// {message}", file=sys.stderr)
+
+    report = run_faults(
+        seed=args.seed,
+        budget=args.budget,
+        progress=progress if args.verbose else None,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def cmd_bench(args) -> int:
@@ -156,6 +221,28 @@ def main(argv=None) -> int:
         "-O", dest="opt_level", type=int, choices=(0, 1), default=0,
         help="validate the optimized code instead of the raw derivation",
     )
+    p.add_argument(
+        "--degrade", action="store_true",
+        help="on compilation failure, fall back to interpreting the "
+        "functional model (clearly marked unverified) instead of aborting",
+    )
+    p = sub.add_parser("fuzz", help="seeded pipeline fuzzing campaign")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--budget", type=int, default=100, help="number of cases")
+    p.add_argument("--trials", type=int, default=6,
+                   help="differential trials per case")
+    p.add_argument("--fuel", type=int, default=200_000,
+                   help="proof-search fuel per case")
+    p.add_argument("--deadline", type=float, default=20.0,
+                   help="wall-clock seconds per case")
+    p.add_argument("--json", action="store_true", help="machine-readable report")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p = sub.add_parser("faults", help="cross-layer fault-injection campaign")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--budget", type=int, default=None,
+                   help="cap the number of injections")
+    p.add_argument("--json", action="store_true", help="machine-readable report")
+    p.add_argument("-v", "--verbose", action="store_true")
     p = sub.add_parser("bench")
     p.add_argument("--size", type=int, default=1024)
     p.add_argument(
@@ -172,6 +259,8 @@ def main(argv=None) -> int:
         "validate": cmd_validate,
         "riscv": cmd_riscv,
         "bench": cmd_bench,
+        "fuzz": cmd_fuzz,
+        "faults": cmd_faults,
     }
     return handlers[args.command](args)
 

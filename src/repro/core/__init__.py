@@ -29,7 +29,10 @@ from:
 from repro.core.goals import (
     CompilationStalled,
     CompileError,
+    OutOfScopeValue,
+    ResourceExhausted,
     SideConditionFailed,
+    StallReport,
 )
 from repro.core.lemma import BindingLemma, ExprLemma, HintDb
 from repro.core.sepstate import (
@@ -46,7 +49,10 @@ from repro.core.engine import Engine
 __all__ = [
     "CompilationStalled",
     "CompileError",
+    "OutOfScopeValue",
+    "ResourceExhausted",
     "SideConditionFailed",
+    "StallReport",
     "BindingLemma",
     "ExprLemma",
     "HintDb",

@@ -27,9 +27,10 @@ from repro.core.certificate import Certificate, CertNode, SideCondition
 from repro.core.goals import (
     BindingGoal,
     CompilationStalled,
-    CompileError,
     ExprGoal,
+    OutOfScopeValue,
     SideConditionFailed,
+    StallReport,
 )
 from repro.core.lemma import HintDb, WrapStmt
 from repro.core.sepstate import PointerBinding, SymState
@@ -49,9 +50,8 @@ def resolve(state: SymState, term: t.Term, shadowed: frozenset = frozenset()) ->
             return term  # a ghost (model parameter or loop counter)
         value = state.value_of(term.name)
         if value is None:
-            raise CompileError(
-                f"variable {term.name!r} refers to an object whose memory "
-                "is no longer available (out-of-scope stack allocation?)"
+            raise OutOfScopeValue(
+                term.name, binding_site=state.binding_site(term.name)
             )
         return value
     if isinstance(term, t.Let):
@@ -131,8 +131,10 @@ def resolve(state: SymState, term: t.Term, shadowed: frozenset = frozenset()) ->
         ):
             value = state.value_of(term.cell.name)
             if value is None:
-                raise CompileError(
-                    f"cell {term.cell.name!r} has no owned memory clause"
+                raise OutOfScopeValue(
+                    term.cell.name,
+                    binding_site=state.binding_site(term.cell.name),
+                    kind="cell",
                 )
             return value
         return t.CellGet(resolve(state, term.cell, shadowed))
@@ -195,17 +197,24 @@ class Engine:
         expr_db: HintDb,
         solvers: Optional[SolverBank] = None,
         width: int = 64,
+        budget=None,
     ):
         self.binding_db = binding_db
         self.expr_db = expr_db
         self.solvers = solvers or SolverBank()
         self.width = width
+        self.budget = budget  # Optional[repro.resilience.budget.Budget]
         self._condition_stack: List[List[SideCondition]] = []
+
+    def _charge(self, goal_description: str) -> None:
+        if self.budget is not None:
+            self.budget.charge(1, goal=goal_description)
 
     # -- Side conditions -----------------------------------------------------------
 
     def discharge(self, obligation: t.Term, state: SymState, description: str) -> None:
         """Discharge a logical side condition or fail loudly (no backtracking)."""
+        self._charge(f"side condition: {t.pretty(obligation)}")
         for solver in self.solvers.solvers:
             if solver(obligation, state):
                 if self._condition_stack:
@@ -217,7 +226,9 @@ class Engine:
                         )
                     )
                 return
-        raise SideConditionFailed("<current>", obligation, state.describe())
+        raise SideConditionFailed(
+            "<current>", obligation, state.describe(), solvers=tuple(self.solvers.names())
+        )
 
     # -- Expression compilation ------------------------------------------------------
 
@@ -225,6 +236,7 @@ class Engine:
         self, state: SymState, term: t.Term, ty: Optional[SourceType] = None
     ) -> Tuple[ast.Expr, CertNode]:
         goal = ExprGoal(state=state, term=term, ty=ty)
+        self._charge(f"expr goal: {t.pretty(term)}")
         for lemma in self.expr_db:
             if lemma.matches(goal):
                 self._condition_stack.append([])
@@ -249,6 +261,10 @@ class Engine:
                 "no expression-compilation lemma matches this term; "
                 f"known lemmas: {', '.join(self.expr_db.lemma_names())}"
             ),
+            reason=StallReport.NO_EXPR_LEMMA,
+            family="engine",
+            databases=(self.expr_db.name,),
+            nearest_misses=tuple(self.expr_db.nearest_misses(term)),
         )
 
     # -- Binding compilation -----------------------------------------------------------
@@ -265,6 +281,7 @@ class Engine:
         goal = BindingGoal(
             state=state, name=name, value=value, spec=spec, monadic=monadic, names=names
         )
+        self._charge(f"binding goal: let/n {name} := {t.pretty(value)}")
         for lemma in self.binding_db:
             if lemma.matches(goal):
                 self._condition_stack.append([])
@@ -275,6 +292,7 @@ class Engine:
                     raise
                 finally:
                     conditions = self._condition_stack.pop()
+                new_state.note_binding_site(name, t.pretty(value))
                 node = CertNode(
                     lemma=lemma.name,
                     conclusion=f"let/n {name} := {t.pretty(value)}",
@@ -289,6 +307,10 @@ class Engine:
                 "no binding-compilation lemma matches this value shape; "
                 f"known lemmas: {', '.join(self.binding_db.lemma_names())}"
             ),
+            reason=StallReport.NO_BINDING_LEMMA,
+            family="engine",
+            databases=(self.binding_db.name,),
+            nearest_misses=tuple(self.binding_db.nearest_misses(value)),
         )
 
     def compile_value_into(
@@ -351,6 +373,8 @@ class Engine:
             raise CompilationStalled(
                 f"terminal {t.pretty(term)} has {len(components)} component(s) "
                 f"but the spec declares {len(value_outputs)} value output(s)",
+                reason=StallReport.SPEC_MISMATCH,
+                family="engine",
             )
         if spec.has_error_flag:
             if any(o.kind is OutKind.ARRAY for o in spec.outputs):
@@ -358,12 +382,16 @@ class Engine:
                     "error-monad functions deliver results through return "
                     "values only (a failed guard leaves memory partially "
                     "updated, so an array postcondition cannot hold on the "
-                    "failure path)"
+                    "failure path)",
+                    reason=StallReport.SPEC_MISMATCH,
+                    family="engine",
                 )
             if sum(1 for o in spec.outputs if o.kind is OutKind.SCALAR) > 1:
                 raise CompilationStalled(
                     "error-monad functions support one value output "
-                    "alongside the error flag"
+                    "alongside the error flag",
+                    reason=StallReport.SPEC_MISMATCH,
+                    family="engine",
                 )
         rets: List[str] = []
         descriptions: List[str] = []
@@ -375,7 +403,9 @@ class Engine:
                 if state.binding(self.ERROR_FLAG_LOCAL) is None:
                     raise CompilationStalled(
                         "spec declares an error flag but no guard prologue "
-                        "was emitted (is the spec's outputs list right?)"
+                        "was emitted (is the spec's outputs list right?)",
+                        reason=StallReport.SPEC_MISMATCH,
+                        family="engine",
                     )
                 rets.append(self.ERROR_FLAG_LOCAL)
                 descriptions.append("ret _ok = no guard failed")
@@ -397,6 +427,8 @@ class Engine:
                             f"  result: {t.pretty(resolved)} ({error})\n"
                             + state.describe(),
                             advice="bind the result with let/n before returning it",
+                            reason=StallReport.UNSUPPORTED_SHAPE,
+                            family="engine",
                         ) from None
                     expr_term = resolved
                     if ty.kind.value == "nat":
@@ -421,13 +453,17 @@ class Engine:
                 if arg is None:
                     raise CompilationStalled(
                         f"spec output references pointer param {output.param!r} "
-                        "but no pointer argument carries it"
+                        "but no pointer argument carries it",
+                        reason=StallReport.SPEC_MISMATCH,
+                        family="engine",
                     )
                 clause = state.clause_of_local(arg.name)
                 if clause is None:
                     raise CompilationStalled(
                         f"no memory clause for output argument {arg.name!r}\n"
-                        + state.describe()
+                        + state.describe(),
+                        reason=StallReport.MISSING_CLAUSE,
+                        family="engine",
                     )
                 if clause.value != resolved:
                     raise CompilationStalled(
@@ -438,6 +474,8 @@ class Engine:
                             "the model's result must be exactly the final "
                             "mutated value of the output array"
                         ),
+                        reason=StallReport.POSTCONDITION,
+                        family="engine",
                     )
                 descriptions.append(f"memory({arg.name}) = {t.pretty(resolved)}")
         node = CertNode(

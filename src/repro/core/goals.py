@@ -11,8 +11,9 @@ conditions -- the exact obligation no solver could discharge.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.source import terms as t
 from repro.source.types import SourceType
@@ -68,32 +69,122 @@ class ExprGoal:
         return f"EXPR m l ?e ({t.pretty(self.term)})\n" + self.state.describe()
 
 
+@dataclass
+class StallReport:
+    """A machine-readable stall-and-report record (§3.1, made structured).
+
+    Every stall the pipeline emits carries one of these so that tools --
+    the fuzzer, the fault campaign, the CLI's JSON output -- can consume
+    stalls without parsing prose.  ``reason`` is a stable slug from the
+    taxonomy below; ``goal`` is the unsolved subgoal in the judgment
+    syntax of §3.3; ``databases`` names the hint databases (or solver
+    bank) consulted; ``nearest_misses`` lists lemmas whose declared
+    *shape* matches the goal's head constructor but whose guards refused
+    it -- the "shape of missing lemmas" a user learns from.
+    """
+
+    # Taxonomy slugs (kept in one place so tools can enumerate them):
+    NO_BINDING_LEMMA = "no-binding-lemma"
+    NO_EXPR_LEMMA = "no-expr-lemma"
+    SIDE_CONDITION = "side-condition-unsolved"
+    UNSUPPORTED_SHAPE = "unsupported-shape"
+    MISSING_CLAUSE = "missing-memory-clause"
+    POSTCONDITION = "postcondition-mismatch"
+    SPEC_MISMATCH = "spec-mismatch"
+    OUT_OF_SCOPE = "out-of-scope-value"
+    RESOURCE_EXHAUSTED = "resource-exhausted"
+    INTERNAL = "internal-error"
+
+    reason: str = UNSUPPORTED_SHAPE
+    goal: str = ""
+    family: str = ""  # which component raised: "engine", "stdlib.loops", ...
+    databases: Tuple[str, ...] = ()
+    hint: str = ""
+    nearest_misses: Tuple[str, ...] = field(default_factory=tuple)
+
+    def to_dict(self) -> dict:
+        return {
+            "reason": self.reason,
+            "goal": self.goal,
+            "family": self.family,
+            "databases": list(self.databases),
+            "hint": self.hint,
+            "nearest_misses": list(self.nearest_misses),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
 class CompileError(Exception):
     """Base class of compilation failures."""
+
+    @property
+    def report(self) -> StallReport:
+        """A structured report; subclasses refine it."""
+        return StallReport(reason=StallReport.INTERNAL, goal=str(self))
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return self.report.to_json(indent=indent)
 
 
 class CompilationStalled(CompileError):
     """No lemma in the hint database applies to the goal.
 
     This is Rupicola's designed behaviour for unexpected input: stop and
-    show the unsolved subgoal so the user can plug in a new lemma.
+    show the unsolved subgoal so the user can plug in a new lemma.  The
+    rendered message (``str(exc)``) is unchanged from the bare-string
+    era; the structured taxonomy rides along in keyword-only fields and
+    is exposed as ``exc.report`` / ``exc.to_json()``.
     """
 
-    def __init__(self, goal_description: str, advice: str = ""):
+    def __init__(
+        self,
+        goal_description: str,
+        advice: str = "",
+        *,
+        reason: str = StallReport.UNSUPPORTED_SHAPE,
+        family: str = "",
+        databases: Tuple[str, ...] = (),
+        nearest_misses: Tuple[str, ...] = (),
+    ):
         self.goal_description = goal_description
         self.advice = advice
+        self.reason = reason
+        self.family = family
+        self.databases = tuple(databases)
+        self.nearest_misses = tuple(nearest_misses)
         message = "compilation stalled on unsolved subgoal:\n" + goal_description
         if advice:
             message += "\n\nhint: " + advice
         super().__init__(message)
 
+    @property
+    def report(self) -> StallReport:
+        return StallReport(
+            reason=self.reason,
+            goal=self.goal_description,
+            family=self.family,
+            databases=self.databases,
+            hint=self.advice,
+            nearest_misses=self.nearest_misses,
+        )
+
 
 class SideConditionFailed(CompileError):
     """A lemma matched but one of its side conditions could not be solved."""
 
-    def __init__(self, lemma: str, obligation: t.Term, state_description: str):
+    def __init__(
+        self,
+        lemma: str,
+        obligation: t.Term,
+        state_description: str,
+        solvers: Tuple[str, ...] = (),
+    ):
         self.lemma = lemma
         self.obligation = obligation
+        self.state_description = state_description
+        self.solvers = tuple(solvers)
         super().__init__(
             f"lemma {lemma!r} applies, but its side condition could not be "
             f"discharged:\n  {t.pretty(obligation)}\n"
@@ -101,4 +192,84 @@ class SideConditionFailed(CompileError):
             "hint: prove this property at the source level and register it "
             "as a fact, or plug in a solver that recognizes it (§3.4.2, "
             "'incidental' properties)."
+        )
+
+    @property
+    def report(self) -> StallReport:
+        return StallReport(
+            reason=StallReport.SIDE_CONDITION,
+            goal=t.pretty(self.obligation),
+            family=f"lemma:{self.lemma}",
+            databases=self.solvers,
+            hint="register the property as a fact or plug in a solver",
+        )
+
+
+class OutOfScopeValue(CompileError):
+    """A binder refers to memory that is no longer available.
+
+    The classic trigger is a stack allocation whose lexical scope ended:
+    the ``let/n`` binding still names the object, but its clause left the
+    symbolic heap.  Carries the binder name and (when recorded) the
+    ``let/n`` binding site so stall reports can point at the source line.
+    """
+
+    def __init__(self, name: str, binding_site: Optional[str] = None, kind: str = "variable"):
+        self.name = name
+        self.binding_site = binding_site
+        self.kind = kind
+        message = (
+            f"{kind} {name!r} refers to an object whose memory is no longer "
+            "available (out-of-scope stack allocation?)"
+        )
+        if binding_site:
+            message += f"\n  bound at: let/n {name} := {binding_site}"
+        super().__init__(message)
+
+    @property
+    def report(self) -> StallReport:
+        return StallReport(
+            reason=StallReport.OUT_OF_SCOPE,
+            goal=f"resolve {self.name}",
+            family="engine.resolve",
+            hint=(
+                f"binding site: let/n {self.name} := {self.binding_site}"
+                if self.binding_site
+                else "keep stack-allocated objects inside their lexical scope"
+            ),
+        )
+
+
+class ResourceExhausted(CompileError):
+    """Proof search ran out of fuel or wall-clock budget.
+
+    Raised by the engine when a :class:`repro.resilience.budget.Budget`
+    is attached and spent; a typed error (never a hang) so callers can
+    fall back to degraded interpretation.
+    """
+
+    def __init__(self, resource: str, spent: float, limit: float, goal: str = ""):
+        self.resource = resource  # "fuel" | "deadline"
+        self.spent = spent
+        self.limit = limit
+        self.goal = goal
+        unit = "steps" if resource == "fuel" else "s"
+        message = (
+            f"proof search exhausted its {resource} budget "
+            f"({spent:g}/{limit:g} {unit})"
+        )
+        if goal:
+            message += f" while attempting:\n{goal}"
+        super().__init__(message)
+
+    @property
+    def report(self) -> StallReport:
+        return StallReport(
+            reason=StallReport.RESOURCE_EXHAUSTED,
+            goal=self.goal,
+            family="engine.budget",
+            hint=(
+                f"{self.resource} limit {self.limit:g} reached after "
+                f"{self.spent:g}; raise the budget or simplify the model"
+            ),
         )

@@ -56,9 +56,17 @@ class BindingLemma:
       certificate nodes of the premises.
 
     ``apply`` must not be called unless ``matches`` returned True.
+
+    ``shapes`` optionally names the source-term head constructors
+    (``Term`` subclass names, e.g. ``("ArrayMap",)``) this lemma is
+    *about*.  A lemma whose shape matches a stalled goal but whose
+    ``matches`` guard refused it is a **nearest miss** -- exactly the
+    "shape of the missing lemma" §3.1 says users learn from stall
+    reports, so stalls list these lemmas first.
     """
 
     name: str = "<unnamed>"
+    shapes: Tuple[str, ...] = ()
 
     def matches(self, goal: BindingGoal) -> bool:
         raise NotImplementedError
@@ -73,6 +81,7 @@ class ExprLemma:
     """Relates a scalar term shape to a Bedrock2 expression template."""
 
     name: str = "<unnamed>"
+    shapes: Tuple[str, ...] = ()
 
     def matches(self, goal: ExprGoal) -> bool:
         raise NotImplementedError
@@ -120,6 +129,21 @@ class HintDb:
 
     def lemma_names(self) -> List[str]:
         return [getattr(lemma, "name", "<unnamed>") for lemma in self]
+
+    def nearest_misses(self, term: object) -> List[str]:
+        """Lemmas whose declared shape matches ``term``'s head constructor.
+
+        Used by stall reports: these lemmas are *about* the right source
+        construct but their guards (name conventions, binding kinds,
+        memory-clause requirements) refused the goal -- the closest
+        existing lemmas to the one the user would need to write.
+        """
+        head = type(term).__name__
+        return [
+            getattr(lemma, "name", "<unnamed>")
+            for lemma in self
+            if head in getattr(lemma, "shapes", ())
+        ]
 
     def copy(self, name: Optional[str] = None) -> "HintDb":
         clone = HintDb(name or self.name)

@@ -96,11 +96,15 @@ class SymState:
         self.io_reads = io_reads  # how many io.read events happened so far
         # Types of ghost variables: model parameters and loop counters.
         self.ghost_types: Dict[str, SourceType] = dict(ghost_types or {})
+        # Source positions: binder name -> rendering of the `let/n` value
+        # it was bound to, recorded by the engine so out-of-scope errors
+        # can point at the binding site (a "source line" stand-in).
+        self.binding_sites: Dict[str, str] = {}
 
     # -- Construction -------------------------------------------------------------
 
     def copy(self) -> "SymState":
-        return SymState(
+        clone = SymState(
             self.width,
             self.locals,
             self.heap,
@@ -109,6 +113,8 @@ class SymState:
             self.io_reads,
             self.ghost_types,
         )
+        clone.binding_sites = dict(self.binding_sites)
+        return clone
 
     @staticmethod
     def fresh_ghost(prefix: str = "g") -> str:
@@ -137,6 +143,13 @@ class SymState:
     def add_fact(self, fact: t.Term) -> None:
         if fact not in self.facts:
             self.facts.append(fact)
+
+    def note_binding_site(self, name: str, rendered_value: str) -> None:
+        """Record where ``name`` was last bound (for stall reports)."""
+        self.binding_sites[name] = rendered_value
+
+    def binding_site(self, name: str) -> Optional[str]:
+        return self.binding_sites.get(name)
 
     def append_trace(self, action: str, args: Tuple[t.Term, ...]) -> None:
         self.trace = self.trace + ((action, args),)

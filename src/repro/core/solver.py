@@ -483,7 +483,13 @@ DEFAULT_SOLVERS: List[SolverFn] = [
 
 
 class SolverBank:
-    """The registered side-condition solvers, tried in order."""
+    """The registered side-condition solvers, tried in order.
+
+    Solvers are *untrusted*: a lying solver can only cause the engine to
+    accept an obligation that later differential validation refutes (the
+    fault-injection campaign in :mod:`repro.resilience.faults` exercises
+    exactly this), never to change what code a matched lemma emits.
+    """
 
     def __init__(self, solvers: Optional[List[SolverFn]] = None):
         self.solvers: List[SolverFn] = list(
@@ -495,6 +501,10 @@ class SolverBank:
             self.solvers.insert(0, solver)
         else:
             self.solvers.append(solver)
+
+    def names(self) -> List[str]:
+        """The registered solvers' names (for structured stall reports)."""
+        return [getattr(s, "__name__", repr(s)) for s in self.solvers]
 
     def solve(self, obligation: t.Term, state) -> bool:
         return any(solver(obligation, state) for solver in self.solvers)

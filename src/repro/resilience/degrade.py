@@ -1,0 +1,123 @@
+"""Graceful degradation: fall back to interpreting the functional model.
+
+A compilation that stalls or exhausts its budget should not take the
+whole toolchain down with it: benchmarking and validation harnesses can
+still *run* the functional model, they just cannot claim anything about
+derived low-level code.  :func:`compile_or_degrade` makes that policy a
+value: it returns either a verified
+:class:`~repro.core.spec.CompiledFunction` or a
+:class:`DegradedFunction` that executes the model through the source
+evaluator under the same ABI -- clearly marked ``verified=False`` and
+carrying the structured stall report explaining why.
+
+The degraded path reuses :func:`repro.validation.runners.eval_model`, so
+its observable behaviour (scalar returns, final memory) matches what a
+correct compilation would have produced; what is missing is precisely
+the certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.goals import CompileError, StallReport
+from repro.core.spec import FnSpec, Model, OutKind
+
+
+@dataclass
+class DegradedResult:
+    """What a degraded execution observed (mirrors RunResult's shape)."""
+
+    rets: List[int]
+    out_memory: Dict[str, List[int]]
+    verified: bool = False
+
+
+@dataclass
+class DegradedFunction:
+    """An *unverified* stand-in for a failed compilation.
+
+    Runs the functional model instead of derived code.  Every result is
+    marked ``verified=False`` and :meth:`banner` renders the warning
+    harnesses must surface before reporting numbers produced this way.
+    """
+
+    model: Model
+    spec: FnSpec
+    reason: Optional[CompileError] = None
+    verified: bool = field(default=False, init=False)
+
+    @property
+    def name(self) -> str:
+        return self.spec.fname
+
+    @property
+    def report(self) -> StallReport:
+        if self.reason is not None:
+            return self.reason.report
+        return StallReport(reason=StallReport.INTERNAL, goal="unknown failure")
+
+    def banner(self) -> str:
+        why = self.report.reason
+        return (
+            f"WARNING: {self.name!r} is running in DEGRADED mode "
+            f"(unverified model interpretation; compilation failed: {why})"
+        )
+
+    def run(
+        self,
+        param_values: Dict[str, object],
+        width: int = 64,
+        io_input=None,
+    ) -> DegradedResult:
+        """Interpret the model under the spec's ABI conventions."""
+        from repro.source.evaluator import CellV
+        from repro.validation.runners import eval_model
+
+        result = eval_model(
+            self.model, self.spec, param_values, width=width, io_input=io_input
+        )
+        mask = (1 << width) - 1
+        rets: List[int] = []
+        out_memory: Dict[str, List[int]] = {}
+        for output, value in zip(self.spec.outputs, result.outputs):
+            if output.kind is OutKind.ARRAY:
+                assert output.param is not None
+                if isinstance(value, CellV):
+                    out_memory[output.param] = [int(value.value) & mask]
+                else:
+                    out_memory[output.param] = [int(v) & mask for v in value]
+            else:
+                scalar = value.value if isinstance(value, CellV) else value
+                if isinstance(scalar, bool):
+                    scalar = int(scalar)
+                rets.append(int(scalar) & mask)
+        return DegradedResult(rets=rets, out_memory=out_memory)
+
+
+def compile_or_degrade(
+    model: Model,
+    spec: FnSpec,
+    engine=None,
+    budget=None,
+    width: int = 64,
+):
+    """Compile; on a typed failure, fall back to the unverified model.
+
+    Returns either a :class:`~repro.core.spec.CompiledFunction` (the
+    normal, certifiable path) or a :class:`DegradedFunction`.  Crashes
+    that are not :class:`~repro.core.goals.CompileError` propagate --
+    degradation is for *designed* failure modes (stalls, unsolved side
+    conditions, exhausted budgets), not for masking bugs.
+    """
+    if engine is None:
+        from repro.stdlib import default_engine
+
+        engine = default_engine(width=width)
+    if budget is not None:
+        engine.budget = budget
+    try:
+        return engine.compile_function(model, spec)
+    except CompileError as exc:
+        return DegradedFunction(model=model, spec=spec, reason=exc)

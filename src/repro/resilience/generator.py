@@ -1,0 +1,311 @@
+"""Seeded generation of random well-typed annotated source models.
+
+The fuzzer's front end: given a :class:`random.Random`, produce a
+:class:`FuzzCase` -- an annotated functional model together with the
+``FnSpec`` that makes it compilable and an input generator matched to the
+spec's incidental facts.  Cases are drawn from families mirroring the
+paper's feature matrix (Table 2): scalar let-chains with conditionals,
+in-place ``ListArray.map``, byte folds, ranged loops, literal-index
+mutation, and stack-allocated lookup tables.
+
+Everything is driven off the supplied ``Random`` instance, so the same
+seed always yields the same case -- a hard requirement for reproducible
+``repro fuzz`` runs and for resuming a failing case from its report.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.core.spec import (
+    FnSpec,
+    Model,
+    array_out,
+    len_arg,
+    ptr_arg,
+    scalar_arg,
+    scalar_out,
+)
+from repro.source import listarray, terms as t
+from repro.source.annotations import stack
+from repro.source.builder import SymValue, ite, let_n, sym, word_lit
+from repro.source.types import ARRAY_BYTE, NAT, WORD, array_of, BYTE
+
+InputGen = Callable[[random.Random], Dict[str, object]]
+
+
+@dataclass
+class FuzzCase:
+    """One generated model + ABI, ready for the full pipeline."""
+
+    name: str
+    family: str
+    model: Model
+    spec: FnSpec
+    input_gen: InputGen
+    # How the RISC-V stage calls the function and reads results back:
+    # "scalar" (args in registers, scalar ret), "hash" ((ptr, len) in,
+    # scalar out), "inplace" ((ptr, len) in, memory out).
+    riscv_style: str
+
+
+# -- Random scalar expressions -----------------------------------------------------
+
+
+_WORD_BINOPS = ("add", "sub", "mul", "and", "or", "xor")
+
+
+def _word_expr(rng: random.Random, pool: List[SymValue], depth: int) -> SymValue:
+    """A random WORD-typed expression over the available locals."""
+    if depth <= 0 or rng.random() < 0.3:
+        if pool and rng.random() < 0.7:
+            return rng.choice(pool)
+        return word_lit(rng.getrandbits(rng.choice((8, 16, 32))))
+    kind = rng.randrange(8)
+    if kind < 6:
+        op = rng.choice(_WORD_BINOPS)
+        lhs = _word_expr(rng, pool, depth - 1)
+        rhs = _word_expr(rng, pool, depth - 1)
+        return {
+            "add": lhs + rhs,
+            "sub": lhs - rhs,
+            "mul": lhs * rhs,
+            "and": lhs & rhs,
+            "or": lhs | rhs,
+            "xor": lhs ^ rhs,
+        }[op]
+    inner = _word_expr(rng, pool, depth - 1)
+    amount = rng.randrange(1, 16)
+    return inner << amount if kind == 6 else inner >> amount
+
+
+def _word_cond(rng: random.Random, pool: List[SymValue]) -> SymValue:
+    lhs = _word_expr(rng, pool, 1)
+    rhs = _word_expr(rng, pool, 1)
+    return lhs.ltu(rhs) if rng.random() < 0.7 else lhs.eq(rhs)
+
+
+def _byte_expr(rng: random.Random, b: SymValue, depth: int) -> SymValue:
+    """A random BYTE-typed expression over the map/loop element ``b``."""
+    lit = rng.randrange(256)
+    choice = rng.randrange(6)
+    base = (
+        b ^ lit
+        if choice == 0
+        else b & lit
+        if choice == 1
+        else b | lit
+        if choice == 2
+        else b + lit
+        if choice == 3
+        else b - lit
+        if choice == 4
+        else b
+    )
+    if depth > 0 and rng.random() < 0.5:
+        return _byte_expr(rng, base, depth - 1)
+    return base
+
+
+# -- Case families ----------------------------------------------------------------
+
+
+def _gen_scalar_chain(rng: random.Random, name: str) -> FuzzCase:
+    """``let/n x0 := ...; let/n x1 := ...; ... ret xk`` over two word params."""
+    pool: List[SymValue] = [sym("a", WORD), sym("b", WORD)]
+    bindings = []
+    for index in range(rng.randint(1, 4)):
+        if rng.random() < 0.25:
+            value = ite(
+                _word_cond(rng, pool),
+                _word_expr(rng, pool, 2),
+                _word_expr(rng, pool, 2),
+            )
+        else:
+            value = _word_expr(rng, pool, 2)
+        binder = f"x{index}"
+        bindings.append((binder, value))
+        pool.append(sym(binder, WORD))
+    program = pool[-1]
+    for binder, value in reversed(bindings):
+        program = let_n(binder, value, program)
+    model = Model(name, [("a", WORD), ("b", WORD)], program.term, WORD)
+    spec = FnSpec(name, [scalar_arg("a"), scalar_arg("b")], [scalar_out()])
+
+    def input_gen(r: random.Random) -> Dict[str, object]:
+        return {"a": r.getrandbits(64), "b": r.getrandbits(64)}
+
+    return FuzzCase(name, "scalar_chain", model, spec, input_gen, "scalar")
+
+
+def _gen_byte_map(rng: random.Random, name: str) -> FuzzCase:
+    """In-place ``ListArray.map`` over a byte buffer (the upstr shape)."""
+    # Freeze the body term now: tracing must happen once, with this rng.
+    use_cond = rng.random() < 0.4
+    lit = rng.randrange(1, 255)
+    depth = rng.randint(0, 2)
+    state = rng.getrandbits(64)
+
+    def body(b: SymValue) -> SymValue:
+        body_rng = random.Random(state)
+        mapped = _byte_expr(body_rng, b, depth)
+        if use_cond:
+            return ite(b.ltu(lit), mapped, b)
+        return mapped
+
+    s = sym("s", ARRAY_BYTE)
+    program = let_n("s", listarray.map_(body, s, elem_name="b"), s)
+    model = Model(name, [("s", ARRAY_BYTE)], program.term, ARRAY_BYTE)
+    spec = FnSpec(
+        name, [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s")], [array_out("s")]
+    )
+
+    def input_gen(r: random.Random) -> Dict[str, object]:
+        return {"s": [r.randrange(256) for _ in range(r.randrange(24))]}
+
+    return FuzzCase(name, "byte_map", model, spec, input_gen, "inplace")
+
+
+def _gen_byte_fold(rng: random.Random, name: str) -> FuzzCase:
+    """A hash-style fold ``h := f(h, b)`` over a byte buffer."""
+    template = rng.randrange(4)
+    mult = rng.getrandbits(32) | 1  # odd multiplier
+    mix = rng.getrandbits(32)
+    shift = rng.randrange(1, 12)
+
+    def body(h: SymValue, b: SymValue) -> SymValue:
+        if template == 0:
+            return (h ^ b.to_word()) * mult
+        if template == 1:
+            return h * mult + b.to_word()
+        if template == 2:
+            return (h + b.to_word()) ^ mix
+        return ((h << shift) ^ h) + b.to_word()
+
+    s = sym("s", ARRAY_BYTE)
+    fold = listarray.fold(body, word_lit(rng.getrandbits(64)), s, names=("h", "b"))
+    program = let_n("h", fold, sym("h", WORD))
+    model = Model(name, [("s", ARRAY_BYTE)], program.term, WORD)
+    spec = FnSpec(
+        name, [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s")], [scalar_out()]
+    )
+
+    def input_gen(r: random.Random) -> Dict[str, object]:
+        return {"s": [r.randrange(256) for _ in range(r.randrange(24))]}
+
+    return FuzzCase(name, "byte_fold", model, spec, input_gen, "hash")
+
+
+def _gen_ranged_sum(rng: random.Random, name: str) -> FuzzCase:
+    """``for i in [0, n) with acc`` accumulation over a nat parameter."""
+    from repro.source.builder import ranged_for
+
+    template = rng.randrange(4)
+    mult = rng.getrandbits(16) | 1
+    mix = rng.getrandbits(32)
+    shift = rng.randrange(1, 8)
+
+    def body(i: SymValue, acc: SymValue) -> SymValue:
+        if template == 0:
+            return acc + i.to_word()
+        if template == 1:
+            return acc ^ (i.to_word() * mult)
+        if template == 2:
+            return acc + (i.to_word() << shift)
+        return acc * 3 + (i.to_word() ^ mix)
+
+    init = word_lit(rng.getrandbits(32))
+    program = let_n(
+        "acc",
+        ranged_for(0, sym("n", NAT), body, init, names=("i", "acc")),
+        sym("acc", WORD),
+    )
+    model = Model(name, [("n", NAT)], program.term, WORD)
+    spec = FnSpec(name, [scalar_arg("n", ty=NAT)], [scalar_out()])
+
+    def input_gen(r: random.Random) -> Dict[str, object]:
+        return {"n": r.randrange(48)}
+
+    return FuzzCase(name, "ranged_sum", model, spec, input_gen, "scalar")
+
+
+def _gen_array_put(rng: random.Random, name: str) -> FuzzCase:
+    """Literal-index ``ListArray.put`` chains, bounds provable from facts."""
+    indices = rng.sample(range(6), rng.randint(1, 3))
+    min_len = max(indices) + 1
+    s_ty = ARRAY_BYTE
+    program: SymValue = sym("s", s_ty)
+    ops = []
+    for idx in indices:
+        if rng.random() < 0.5:
+            value: object = rng.randrange(256)
+        else:
+            src = rng.choice(indices)
+            value = listarray.get(sym("s", s_ty), src) ^ rng.randrange(256)
+        ops.append((idx, value))
+    for idx, value in reversed(ops):
+        program = let_n("s", listarray.put(sym("s", s_ty), idx, value), program)
+    model = Model(name, [("s", s_ty)], program.term, s_ty)
+    facts = [
+        t.Prim("nat.ltb", (t.Lit(i, NAT), t.ArrayLen(t.Var("s"))))
+        for i in sorted(set(indices))
+    ]
+    spec = FnSpec(
+        name,
+        [ptr_arg("s", s_ty), len_arg("len", "s")],
+        [array_out("s")],
+        facts=facts,
+    )
+
+    def input_gen(r: random.Random) -> Dict[str, object]:
+        length = r.randrange(min_len, min_len + 16)
+        return {"s": [r.randrange(256) for _ in range(length)]}
+
+    return FuzzCase(name, "array_put", model, spec, input_gen, "inplace")
+
+
+def _gen_stack_table(rng: random.Random, name: str) -> FuzzCase:
+    """A stack-allocated literal table indexed by a masked word param."""
+    size = rng.choice((4, 8, 16))
+    table = t.Lit(tuple(rng.randrange(256) for _ in range(size)), array_of(BYTE))
+    a = sym("a", WORD)
+    index = (a & (size - 1)).to_nat()
+    program = let_n(
+        "tmp",
+        stack(SymValue(table, array_of(BYTE))),
+        let_n(
+            "r",
+            listarray.get(sym("tmp", array_of(BYTE)), index).to_word(),
+            sym("r", WORD),
+        ),
+    )
+    model = Model(name, [("a", WORD)], program.term, WORD)
+    spec = FnSpec(name, [scalar_arg("a")], [scalar_out()])
+
+    def input_gen(r: random.Random) -> Dict[str, object]:
+        return {"a": r.getrandbits(64)}
+
+    return FuzzCase(name, "stack_table", model, spec, input_gen, "scalar")
+
+
+FAMILIES = (
+    _gen_scalar_chain,
+    _gen_byte_map,
+    _gen_byte_fold,
+    _gen_ranged_sum,
+    _gen_array_put,
+    _gen_stack_table,
+)
+
+FAMILY_NAMES = tuple(fn.__name__.replace("_gen_", "") for fn in FAMILIES)
+
+
+def generate_case(rng: random.Random, index: int) -> FuzzCase:
+    """Draw one case; all randomness comes from ``rng`` (reproducible)."""
+    family = FAMILIES[index % len(FAMILIES)] if rng.random() < 0.5 else rng.choice(
+        FAMILIES
+    )
+    name = f"fz_{family.__name__.replace('_gen_', '')}_{index}"
+    return family(rng, name)

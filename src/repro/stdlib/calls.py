@@ -14,7 +14,7 @@ from typing import List, Tuple
 from repro.bedrock2 import ast
 from repro.core.certificate import CertNode
 from repro.core.engine import resolve
-from repro.core.goals import BindingGoal
+from repro.core.goals import BindingGoal, CompilationStalled, StallReport
 from repro.core.lemma import BindingLemma, HintDb
 from repro.core.typecheck import infer_type
 from repro.source import terms as t
@@ -25,6 +25,7 @@ class CompileCall(BindingLemma):
     """``let/n x := f(args) in k`` ~ ``SCall x = f(ARGS)`` (scalar args/result)."""
 
     name = "compile_call"
+    shapes = ("Call",)
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.Call) and not goal.value.func.startswith(
@@ -47,8 +48,6 @@ class CompileCall(BindingLemma):
                 # memory behind the symbolic state's back; supporting that
                 # soundly needs a callee contract (a per-function spec), so
                 # it is a user extension, not a default.
-                from repro.core.goals import CompilationStalled
-
                 raise CompilationStalled(
                     goal.describe(),
                     advice=(
@@ -56,6 +55,8 @@ class CompileCall(BindingLemma):
                         "a buffer, register a call lemma carrying the "
                         "callee's footprint contract"
                     ),
+                    reason=StallReport.UNSUPPORTED_SHAPE,
+                    family="calls",
                 )
             expr, node = engine.compile_expr_term(state, resolved, ty)
             arg_exprs.append(expr)

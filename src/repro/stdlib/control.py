@@ -16,7 +16,7 @@ from typing import Dict, List, Tuple
 from repro.bedrock2 import ast
 from repro.core.certificate import CertNode
 from repro.core.engine import resolve
-from repro.core.goals import BindingGoal
+from repro.core.goals import BindingGoal, CompilationStalled, StallReport
 from repro.core.invariants import classify_target, merge_conditional
 from repro.core.lemma import BindingLemma, HintDb
 from repro.core.typecheck import infer_type
@@ -33,6 +33,7 @@ class CompileIf(BindingLemma):
     """
 
     name = "compile_if"
+    shapes = ("If",)
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.If)
@@ -100,7 +101,6 @@ class CompileIf(BindingLemma):
         the join instantiates the template with one source conditional
         per target.
         """
-        from repro.core.goals import CompilationStalled
 
         value = goal.value
         assert isinstance(value, t.If) and goal.names is not None
@@ -116,6 +116,8 @@ class CompileIf(BindingLemma):
                     goal.describe(),
                     advice="each branch of a multi-target conditional must be "
                     f"a {len(names)}-tuple",
+                    reason=StallReport.UNSUPPORTED_SHAPE,
+                    family="control",
                 )
             branch_state = state.copy()
             if fact is not None:
@@ -151,7 +153,6 @@ class CompileIf(BindingLemma):
 
     def _check_single_target(self, goal, base, then_state, else_state, target):
         """Refuse (loudly) branches that mutate anything but the target."""
-        from repro.core.goals import CompilationStalled
 
         target_ptr = target.ptr
         for branch_state in (then_state, else_state):
@@ -168,6 +169,8 @@ class CompileIf(BindingLemma):
                             "conditional's result (multi-target joins are a "
                             "compiler extension)"
                         ),
+                        reason=StallReport.UNSUPPORTED_SHAPE,
+                        family="control",
                     )
 
 

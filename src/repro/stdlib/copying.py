@@ -19,7 +19,7 @@ from typing import List, Optional, Tuple
 from repro.bedrock2 import ast
 from repro.core.certificate import CertNode
 from repro.core.engine import resolve
-from repro.core.goals import BindingGoal, CompilationStalled
+from repro.core.goals import BindingGoal, CompilationStalled, StallReport
 from repro.core.lemma import BindingLemma, HintDb
 from repro.core.sepstate import PointerBinding, SymState
 from repro.core.typecheck import infer_type
@@ -48,6 +48,7 @@ class CompileCopyInto(BindingLemma):
     """``let/n d := copy(v) in k`` ~ an element-by-element copy loop."""
 
     name = "compile_copy_into"
+    shapes = ("Copy",)
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.Copy) and isinstance(
@@ -63,11 +64,17 @@ class CompileCopyInto(BindingLemma):
         clause = state.heap.get(binding.ptr)
         if clause is None:
             raise CompilationStalled(
-                goal.describe(), advice=f"no clause owns {binding.ptr!r}"
+                goal.describe(),
+                advice=f"no clause owns {binding.ptr!r}",
+                reason=StallReport.MISSING_CLAUSE,
+                family="copying",
             )
         if clause.ty.kind is not TypeKind.ARRAY or clause.ty.elem is None:
             raise CompilationStalled(
-                goal.describe(), advice="copy targets array buffers"
+                goal.describe(),
+                advice="copy targets array buffers",
+                reason=StallReport.UNSUPPORTED_SHAPE,
+                family="copying",
             )
         dest0 = clause.value
         src = resolve(state, value.value)
@@ -76,6 +83,8 @@ class CompileCopyInto(BindingLemma):
             raise CompilationStalled(
                 goal.describe(),
                 advice=f"copy source has type {src_ty!r}, destination {clause.ty!r}",
+                reason=StallReport.UNSUPPORTED_SHAPE,
+                family="copying",
             )
         # The destination must be exactly as long as the source.
         engine.discharge(
@@ -109,6 +118,8 @@ class CompileCopyInto(BindingLemma):
             raise CompilationStalled(
                 goal.describe(),
                 advice="copy source shape not supported (plug in a lemma)",
+                reason=StallReport.UNSUPPORTED_SHAPE,
+                family="copying",
             )
         idx_expr, idx_node = engine.compile_expr_term(
             loop_state, t.Prim("cast.of_nat", (t.Var(ghost),)), None

@@ -25,7 +25,7 @@ from typing import List, Tuple
 from repro.bedrock2 import ast
 from repro.core.certificate import CertNode
 from repro.core.engine import resolve
-from repro.core.goals import BindingGoal, CompilationStalled
+from repro.core.goals import BindingGoal, CompilationStalled, StallReport
 from repro.core.lemma import BindingLemma, HintDb, WrapStmt
 from repro.source import terms as t
 from repro.source.types import BOOL
@@ -35,6 +35,7 @@ class CompileErrGuard(BindingLemma):
     """``let/n! _ := guard cond in k`` ~ ``if (COND) { K } else { ok = 0 }``."""
 
     name = "compile_err_guard"
+    shapes = ("ErrGuard",)
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.ErrGuard)
@@ -51,6 +52,8 @@ class CompileErrGuard(BindingLemma):
                     "guard appears in a function whose spec has no error "
                     "flag; declare error_out() as the first output"
                 ),
+                reason=StallReport.SPEC_MISMATCH,
+                family="errors",
             )
         cond_resolved = resolve(state, value.cond)
         cond_expr, cond_node = engine.compile_expr_term(state, cond_resolved, BOOL)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 
 from repro.bedrock2 import ast
-from repro.core.goals import CompilationStalled
+from repro.core.goals import CompilationStalled, StallReport
 from repro.core.sepstate import SymState
 from repro.source import terms as t
 from repro.source.ops import get_op
@@ -72,11 +72,19 @@ def compile_expr_reflective(engine, state: SymState, term: t.Term) -> ast.Expr:
     if isinstance(term, t.ArrayGet):
         found = clause_for_array(state, term.arr, term.index)
         if found is None:
-            raise CompilationStalled("reflective: no clause covers the array")
+            raise CompilationStalled(
+                "reflective: no clause covers the array",
+                reason=StallReport.MISSING_CLAUSE,
+                family="expr_reflective",
+            )
         ptr, clause = found
         arr_local = state.find_pointer_local(ptr)
         if arr_local is None:
-            raise CompilationStalled("reflective: no local holds the pointer")
+            raise CompilationStalled(
+                "reflective: no local holds the pointer",
+                reason=StallReport.MISSING_CLAUSE,
+                family="expr_reflective",
+            )
         engine.discharge(
             t.Prim("nat.ltb", (term.index, t.ArrayLen(term.arr))),
             state,
@@ -153,5 +161,7 @@ def compile_expr_reflective(engine, state: SymState, term: t.Term) -> ast.Expr:
     raise CompilationStalled(
         f"reflective expression compiler: unhandled term {t.pretty(term)} "
         "(to support it you must edit compile_expr_reflective itself -- "
-        "that is the point of the ablation)"
+        "that is the point of the ablation)",
+        reason=StallReport.NO_EXPR_LEMMA,
+        family="expr_reflective",
     )

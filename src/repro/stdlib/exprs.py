@@ -25,7 +25,7 @@ from typing import List, Optional, Tuple
 
 from repro.bedrock2 import ast
 from repro.core.certificate import CertNode
-from repro.core.goals import CompilationStalled, ExprGoal
+from repro.core.goals import CompilationStalled, ExprGoal, StallReport
 from repro.core.lemma import ExprLemma, HintDb
 from repro.core.sepstate import Clause, PtrSym, ScalarBinding, SymState
 from repro.core.solver import canonicalize
@@ -97,6 +97,7 @@ class ExprLit(ExprLemma):
     """``[TPush z] ~ z`` for words: literals compile to literals."""
 
     name = "expr_lit"
+    shapes = ("Lit",)
 
     def matches(self, goal: ExprGoal) -> bool:
         return isinstance(goal.term, t.Lit) and not isinstance(
@@ -124,6 +125,7 @@ class ExprLocalLookup(ExprLemma):
     """
 
     name = "expr_local_lookup"
+    shapes = ("Var",)
 
     def matches(self, goal: ExprGoal) -> bool:
         return find_local_canonical(goal.state, goal.term) is not None
@@ -139,6 +141,7 @@ class ExprKnownLength(ExprLemma):
     (stack-allocated buffers): compile to the literal."""
 
     name = "expr_known_len"
+    shapes = ("ArrayLen",)
 
     def _find(self, state: SymState, term: t.Term):
         inner = term
@@ -164,6 +167,7 @@ class ExprCellLoad(ExprLemma):
     """Some cell's content denotes this value: emit a load through its pointer."""
 
     name = "expr_cell_load"
+    shapes = ("CellGet",)
 
     def _find(self, state: SymState, term: t.Term):
         for ptr, clause in state.heap.items():
@@ -194,6 +198,7 @@ class ExprArrayGet(ExprLemma):
     """
 
     name = "expr_array_get"
+    shapes = ("ArrayGet",)
 
     def matches(self, goal: ExprGoal) -> bool:
         return isinstance(goal.term, t.ArrayGet)
@@ -206,12 +211,17 @@ class ExprArrayGet(ExprLemma):
             raise CompilationStalled(
                 goal.describe(),
                 advice="no separation-logic clause covers this array value",
+                reason=StallReport.MISSING_CLAUSE,
+                family="exprs",
             )
         ptr, clause = found
         local = goal.state.find_pointer_local(ptr)
         if local is None:
             raise CompilationStalled(
-                goal.describe(), advice=f"no local variable holds pointer {ptr!r}"
+                goal.describe(),
+                advice=f"no local variable holds pointer {ptr!r}",
+                reason=StallReport.MISSING_CLAUSE,
+                family="exprs",
             )
         engine.discharge(
             t.Prim("nat.ltb", (term.index, t.ArrayLen(term.arr))),
@@ -236,6 +246,7 @@ class ExprPrim(ExprLemma):
     """
 
     name = "expr_prim"
+    shapes = ("Prim",)
 
     def matches(self, goal: ExprGoal) -> bool:
         return isinstance(goal.term, t.Prim)
@@ -311,6 +322,8 @@ class ExprPrim(ExprLemma):
         raise CompilationStalled(
             goal.describe(),
             advice=f"no lowering interpretation for spec {lower!r} of {term.op}",
+            reason=StallReport.UNSUPPORTED_SHAPE,
+            family="exprs",
         )
 
 

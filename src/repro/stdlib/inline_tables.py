@@ -33,6 +33,7 @@ class ExprTableGet(ExprLemma):
     """``InlineTable.get table i`` ~ ``inlinetable`` access, bounds-checked."""
 
     name = "expr_inline_table_get"
+    shapes = ("TableGet",)
 
     def matches(self, goal: ExprGoal) -> bool:
         return isinstance(goal.term, t.TableGet)

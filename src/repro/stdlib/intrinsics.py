@@ -44,6 +44,7 @@ class CompileCellIAdd(BindingLemma):
     """``let/n c := put c (get c + v) in k`` ~ ``*c = *c + V`` in one statement."""
 
     name = "compile_cell_iadd"
+    shapes = ("CellPut",)
 
     def matches(self, goal: BindingGoal) -> bool:
         if _match_iadd(goal) is None:

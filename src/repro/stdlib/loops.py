@@ -28,7 +28,7 @@ from typing import List, Tuple
 from repro.bedrock2 import ast
 from repro.core.certificate import CertNode
 from repro.core.engine import resolve
-from repro.core.goals import BindingGoal, CompilationStalled
+from repro.core.goals import BindingGoal, CompilationStalled, StallReport
 from repro.core.lemma import BindingLemma, HintDb
 from repro.core.sepstate import PointerBinding, SymState
 from repro.core.typecheck import infer_type
@@ -173,6 +173,7 @@ class CompileArrayMapInPlace(_LoopLemma):
     """
 
     name = "compile_arraymap_inplace"
+    shapes = ("ArrayMap",)
 
     def matches(self, goal: BindingGoal) -> bool:
         value = goal.value
@@ -193,6 +194,8 @@ class CompileArrayMapInPlace(_LoopLemma):
                     "in-place map requires rebinding the array's own name; "
                     "use copy(...) for an out-of-place map"
                 ),
+                reason=StallReport.UNSUPPORTED_SHAPE,
+                family="loops",
             )
         state = goal.state
         binding = state.binding(arr_name)
@@ -200,7 +203,10 @@ class CompileArrayMapInPlace(_LoopLemma):
         clause = state.heap.get(binding.ptr)
         if clause is None:
             raise CompilationStalled(
-                goal.describe(), advice=f"no clause owns {binding.ptr!r}"
+                goal.describe(),
+                advice=f"no clause owns {binding.ptr!r}",
+                reason=StallReport.MISSING_CLAUSE,
+                family="loops",
             )
         arr0 = clause.value
         resolved_map = resolve(state, value)
@@ -271,6 +277,7 @@ class CompileArrayFold(_LoopLemma):
     """
 
     name = "compile_arrayfold"
+    shapes = ("ArrayFold",)
 
     def matches(self, goal: BindingGoal) -> bool:
         value = goal.value
@@ -290,7 +297,10 @@ class CompileArrayFold(_LoopLemma):
         clause = state.heap.get(binding.ptr)
         if clause is None:
             raise CompilationStalled(
-                goal.describe(), advice=f"no clause owns {binding.ptr!r}"
+                goal.describe(),
+                advice=f"no clause owns {binding.ptr!r}",
+                reason=StallReport.MISSING_CLAUSE,
+                family="loops",
             )
         arr0 = clause.value
         resolved_fold = resolve(state, value)
@@ -354,6 +364,7 @@ class CompileArrayFoldBreak(_LoopLemma):
     """
 
     name = "compile_arrayfold_break"
+    shapes = ("ArrayFoldBreak",)
 
     def matches(self, goal: BindingGoal) -> bool:
         value = goal.value
@@ -373,7 +384,10 @@ class CompileArrayFoldBreak(_LoopLemma):
         clause = state.heap.get(binding.ptr)
         if clause is None:
             raise CompilationStalled(
-                goal.describe(), advice=f"no clause owns {binding.ptr!r}"
+                goal.describe(),
+                advice=f"no clause owns {binding.ptr!r}",
+                reason=StallReport.MISSING_CLAUSE,
+                family="loops",
             )
         arr0 = clause.value
         resolved = resolve(state, value)
@@ -442,6 +456,7 @@ class CompileRangedFor(_LoopLemma):
     """
 
     name = "compile_rangedfor"
+    shapes = ("RangedFor",)
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.RangedFor)
@@ -496,6 +511,7 @@ class CompileNatIter(_LoopLemma):
     """``let/n x := Nat.iter n f init in k`` -- §3.4.2's cell example."""
 
     name = "compile_natiter"
+    shapes = ("NatIter",)
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.NatIter)

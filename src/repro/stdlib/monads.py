@@ -28,7 +28,7 @@ from typing import List, Tuple
 from repro.bedrock2 import ast
 from repro.core.certificate import CertNode
 from repro.core.engine import resolve
-from repro.core.goals import BindingGoal, CompilationStalled
+from repro.core.goals import BindingGoal, CompilationStalled, StallReport
 from repro.core.lemma import BindingLemma, HintDb
 from repro.core.sepstate import PointerBinding, SymState
 from repro.source import terms as t
@@ -39,6 +39,7 @@ class CompileIORead(BindingLemma):
     """``let/n! x := io.read() in k`` ~ ``SInteract x = read()``."""
 
     name = "compile_io_read"
+    shapes = ("IORead",)
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.IORead)
@@ -57,6 +58,7 @@ class CompileIOWrite(BindingLemma):
     """``let/n! _ := io.write v in k`` ~ ``SInteract write(V)``."""
 
     name = "compile_io_write"
+    shapes = ("IOWrite",)
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.IOWrite)
@@ -77,6 +79,7 @@ class CompileWriterTell(BindingLemma):
     """``let/n! _ := tell v in k`` -- writer output as I/O trace events."""
 
     name = "compile_writer_tell"
+    shapes = ("WriterTell",)
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.WriterTell)
@@ -99,6 +102,7 @@ class CompileNdAny(BindingLemma):
     """
 
     name = "compile_nd_any"
+    shapes = ("NdAny",)
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.NdAny)
@@ -116,6 +120,7 @@ class CompileStGet(BindingLemma):
     """State monad ``get``: read the designated state cell."""
 
     name = "compile_st_get"
+    shapes = ("StGet",)
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.StGet) and goal.spec.state_param is not None
@@ -142,6 +147,8 @@ class CompileStGet(BindingLemma):
                 goal.describe(),
                 advice="the state monad needs a pointer argument named by "
                 "FnSpec.state_param",
+                reason=StallReport.SPEC_MISMATCH,
+                family="monads",
             )
         return arg.name
 
@@ -150,6 +157,7 @@ class CompileStPut(CompileStGet):
     """State monad ``put``: overwrite the designated state cell."""
 
     name = "compile_st_put"
+    shapes = ("StPut",)
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.StPut) and goal.spec.state_param is not None

@@ -19,7 +19,7 @@ from typing import List, Tuple
 from repro.bedrock2 import ast
 from repro.core.certificate import CertNode
 from repro.core.engine import resolve
-from repro.core.goals import BindingGoal, CompilationStalled
+from repro.core.goals import BindingGoal, CompilationStalled, StallReport
 from repro.core.lemma import BindingLemma, HintDb
 from repro.core.sepstate import PointerBinding
 from repro.core.typecheck import infer_type
@@ -37,6 +37,7 @@ class CompileArrayPut(BindingLemma):
     """
 
     name = "compile_array_put"
+    shapes = ("ArrayPut",)
 
     def matches(self, goal: BindingGoal) -> bool:
         value = goal.value
@@ -58,6 +59,8 @@ class CompileArrayPut(BindingLemma):
                     f"({goal.name!r}); in-place mutation requires rebinding the "
                     "same name, and fresh copies require the copy annotation"
                 ),
+                reason=StallReport.UNSUPPORTED_SHAPE,
+                family="mutation",
             )
         state = goal.state
         binding = state.binding(arr_name)
@@ -67,6 +70,8 @@ class CompileArrayPut(BindingLemma):
             raise CompilationStalled(
                 goal.describe(),
                 advice=f"no separation-logic clause owns {binding.ptr!r}",
+                reason=StallReport.MISSING_CLAUSE,
+                family="mutation",
             )
         index = resolve(state, value.index)
         new_elem = resolve(state, value.value)
@@ -99,6 +104,7 @@ class CompileCellPut(BindingLemma):
     """``let/n c := put c v in k`` ~ ``store c V`` (Table 1's cells row)."""
 
     name = "compile_cell_put"
+    shapes = ("CellPut",)
 
     def matches(self, goal: BindingGoal) -> bool:
         value = goal.value
@@ -116,6 +122,8 @@ class CompileCellPut(BindingLemma):
             raise CompilationStalled(
                 goal.describe(),
                 advice="cell mutation requires rebinding the cell's own name",
+                reason=StallReport.UNSUPPORTED_SHAPE,
+                family="mutation",
             )
         state = goal.state
         binding = state.binding(cell_name)
@@ -125,6 +133,8 @@ class CompileCellPut(BindingLemma):
             raise CompilationStalled(
                 goal.describe(),
                 advice=f"no separation-logic clause owns {binding.ptr!r}",
+                reason=StallReport.MISSING_CLAUSE,
+                family="mutation",
             )
         content = resolve(state, value.value)
         content_ty = infer_type(state, content)

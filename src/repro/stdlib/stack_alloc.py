@@ -22,7 +22,7 @@ from typing import List, Tuple
 from repro.bedrock2 import ast
 from repro.core.certificate import CertNode
 from repro.core.engine import resolve
-from repro.core.goals import BindingGoal, CompilationStalled
+from repro.core.goals import BindingGoal, CompilationStalled, StallReport
 from repro.core.lemma import BindingLemma, HintDb, WrapStmt
 from repro.core.sepstate import Clause, PtrSym
 from repro.core.typecheck import infer_type
@@ -34,6 +34,7 @@ class CompileStackAlloc(BindingLemma):
     """``let/n x := stack (init) in k`` ~ ``SStackalloc x nbytes { init; K }``."""
 
     name = "compile_stack_alloc"
+    shapes = ("Stack",)
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.Stack)
@@ -48,6 +49,8 @@ class CompileStackAlloc(BindingLemma):
             raise CompilationStalled(
                 goal.describe(),
                 advice="stack(...) expects an array value (cells: wrap in a 1-cell array)",
+                reason=StallReport.UNSUPPORTED_SHAPE,
+                family="stack_alloc",
             )
         if not (isinstance(init, t.Lit) and isinstance(init.value, tuple)):
             raise CompilationStalled(
@@ -56,6 +59,8 @@ class CompileStackAlloc(BindingLemma):
                     "stack initialization must be a literal array in this "
                     "version; plug in a copying lemma for dynamic initializers"
                 ),
+                reason=StallReport.UNSUPPORTED_SHAPE,
+                family="stack_alloc",
             )
         elements = init.value
         esz = engine.elem_byte_size(ty)

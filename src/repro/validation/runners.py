@@ -125,6 +125,64 @@ def run_function(
     )
 
 
+def run_function_riscv(
+    fn: ast.Function,
+    spec: FnSpec,
+    param_values: Dict[str, object],
+    width: int = 64,
+    max_instructions: int = 20_000_000,
+    program=None,
+) -> RunResult:
+    """Run ``fn`` through the RISC-V backend under the same ABI layout.
+
+    Mirrors :func:`run_function` exactly -- same little-endian composite
+    encoding, same argument order -- but executes the compiled RV64IM
+    code on the simulator instead of interpreting the Bedrock2 AST, so
+    the fuzzer can close the loop at the machine-code level.  The RISC-V
+    ABI returns at most two scalar values (``a0``/``a1``); functions with
+    more return values are not supported here.
+    """
+    from repro.riscv import Machine
+    from repro.riscv import compile_function as rv_compile
+
+    if len(fn.rets) > 2:
+        raise ValueError("RISC-V runner supports at most two return values")
+    memory = Memory(width)
+    args: List[int] = []
+    pointer_bases: Dict[str, Tuple[int, int, SourceType]] = {}
+    for arg in spec.args:
+        value = param_values[arg.param]
+        if arg.kind is ArgKind.POINTER:
+            encoded = _encode_composite(value, arg.ty, width)
+            if encoded:
+                base = memory.place_bytes(encoded, label=arg.name)
+            else:
+                base = memory.allocate(0, label=arg.name)
+            pointer_bases[arg.param] = (base, len(encoded), arg.ty)
+            args.append(base)
+        elif arg.kind is ArgKind.LENGTH:
+            args.append(len(value))  # type: ignore[arg-type]
+        else:
+            scalar = value.value if isinstance(value, CellV) else value
+            if isinstance(scalar, bool):
+                scalar = int(scalar)
+            args.append(int(scalar) & ((1 << width) - 1))
+
+    compiled = program or rv_compile(fn)
+    machine = Machine(compiled, memory)
+    rets = machine.run_function(fn.name, args, max_instructions=max_instructions)
+
+    out_memory: Dict[str, List[int]] = {}
+    for param, (base, nbytes, ty) in pointer_bases.items():
+        out_memory[param] = _decode_composite(memory.load_bytes(base, nbytes), ty, width)
+    return RunResult(
+        rets=list(rets[: len(fn.rets)]),
+        out_memory=out_memory,
+        trace=[],
+        counts=OpCounts(),
+    )
+
+
 @dataclass
 class ModelResult:
     """The functional model's observable behaviour on the same inputs."""

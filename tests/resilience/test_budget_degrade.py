@@ -1,0 +1,141 @@
+"""Fuel/deadline guards, typed resource errors, and graceful degradation."""
+
+import pytest
+
+from repro.core.engine import resolve
+from repro.core.goals import OutOfScopeValue, ResourceExhausted, StallReport
+from repro.core.sepstate import PtrSym, SymState
+from repro.core.spec import FnSpec, Model, scalar_arg, scalar_out
+from repro.resilience import Budget, DegradedFunction, compile_or_degrade, unlimited
+from repro.source import terms as t
+from repro.source.builder import let_n, sym, word_lit
+from repro.source.types import ARRAY_BYTE, WORD
+from repro.stdlib import default_engine
+
+
+def deep_chain_model(name, depth):
+    """An adversarially deep let/n chain: one binding goal per level."""
+    body = sym(f"x{depth - 1}", WORD)
+    for index in reversed(range(depth)):
+        prev = sym(f"x{index - 1}", WORD) if index else sym("a", WORD)
+        body = let_n(f"x{index}", prev + word_lit(index), body)
+    model = Model(name, [("a", WORD)], body.term, WORD)
+    spec = FnSpec(name, [scalar_arg("a")], [scalar_out()])
+    return model, spec
+
+
+class TestBudget:
+    def test_fuel_charges_and_exhausts(self):
+        budget = Budget(fuel=3)
+        budget.charge(1, goal="a")
+        budget.charge(1, goal="b")
+        budget.charge(1, goal="c")
+        with pytest.raises(ResourceExhausted) as excinfo:
+            budget.charge(1, goal="d")
+        exc = excinfo.value
+        assert exc.resource == "fuel"
+        assert exc.report.reason == StallReport.RESOURCE_EXHAUSTED
+        assert "d" in str(exc)
+
+    def test_deadline_uses_injected_clock(self):
+        now = {"t": 0.0}
+        budget = Budget(deadline=5.0, clock=lambda: now["t"])
+        budget.charge(1)
+        now["t"] = 10.0
+        with pytest.raises(ResourceExhausted) as excinfo:
+            budget.charge(1, goal="slow goal")
+        assert excinfo.value.resource == "deadline"
+
+    def test_unlimited_never_exhausts(self):
+        budget = unlimited()
+        for _ in range(10_000):
+            budget.charge(1)
+
+    def test_adversarial_model_exhausts_not_hangs(self):
+        model, spec = deep_chain_model("deep", 200)
+        engine = default_engine()
+        engine.budget = Budget(fuel=50)
+        with pytest.raises(ResourceExhausted) as excinfo:
+            engine.compile_function(model, spec)
+        exc = excinfo.value
+        assert exc.spent >= 50
+        assert exc.report.reason == StallReport.RESOURCE_EXHAUSTED
+        # The report names the goal being compiled when fuel ran out.
+        assert exc.goal
+
+    def test_budget_reset_allows_reuse(self):
+        model, spec = deep_chain_model("deep2", 10)
+        engine = default_engine()
+        engine.budget = Budget(fuel=100_000)
+        engine.compile_function(model, spec)
+        engine.budget.reset()
+        engine.compile_function(model, spec)
+
+
+class TestOutOfScope:
+    def test_resolve_pointer_without_clause_is_typed(self):
+        state = SymState()
+        state.bind_pointer("tmp", PtrSym("p_tmp"), ARRAY_BYTE)  # no clause
+        with pytest.raises(OutOfScopeValue) as excinfo:
+            resolve(state, t.Var("tmp"))
+        exc = excinfo.value
+        assert exc.name == "tmp"
+        assert exc.report.reason == StallReport.OUT_OF_SCOPE
+        assert "no longer available" in str(exc)
+
+    def test_resolve_error_names_binding_site(self):
+        state = SymState()
+        state.bind_pointer("tmp", PtrSym("p_tmp"), ARRAY_BYTE)
+        state.note_binding_site("tmp", "stack ((1, 2, 3, 4))")
+        with pytest.raises(OutOfScopeValue) as excinfo:
+            resolve(state, t.Var("tmp"))
+        assert "stack ((1, 2, 3, 4))" in str(excinfo.value)
+        assert excinfo.value.binding_site == "stack ((1, 2, 3, 4))"
+
+
+class TestDegradation:
+    def test_successful_compilation_is_not_degraded(self):
+        model, spec = deep_chain_model("fine", 3)
+        result = compile_or_degrade(model, spec)
+        assert not isinstance(result, DegradedFunction)
+        assert result.certificate is not None
+
+    def test_stalled_compilation_degrades_with_report(self):
+        # A map over a non-Var array: no binding lemma supports the shape.
+        from repro.source import listarray
+
+        s = sym("s", ARRAY_BYTE)
+        mapped = listarray.map_(lambda b: b ^ 1, listarray.map_(lambda b: b + 1, s))
+        body = let_n("s", mapped, s)
+        from repro.core.spec import array_out, len_arg, ptr_arg
+
+        model = Model("degr", [("s", ARRAY_BYTE)], body.term, ARRAY_BYTE)
+        spec = FnSpec(
+            "degr",
+            [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s")],
+            [array_out("s")],
+        )
+        result = compile_or_degrade(model, spec)
+        assert isinstance(result, DegradedFunction)
+        assert result.verified is False
+        assert result.report.reason == StallReport.NO_BINDING_LEMMA
+        assert "DEGRADED" in result.banner()
+        # Degraded execution still computes the model's answer.
+        run = result.run({"s": [1, 2, 3]})
+        assert run.verified is False
+        assert run.out_memory["s"] == [(v + 1) ^ 1 for v in [1, 2, 3]]
+
+    def test_exhausted_compilation_degrades(self):
+        model, spec = deep_chain_model("degr2", 100)
+        result = compile_or_degrade(model, spec, budget=Budget(fuel=20))
+        assert isinstance(result, DegradedFunction)
+        assert result.report.reason == StallReport.RESOURCE_EXHAUSTED
+        run = result.run({"a": 7})
+        # x_k = x_{k-1} + k, so the chain returns a + sum(0..99).
+        assert run.rets == [7 + sum(range(100))]
+
+    def test_degraded_scalar_outputs_masked(self):
+        model, spec = deep_chain_model("degr3", 100)
+        result = compile_or_degrade(model, spec, budget=Budget(fuel=10))
+        run = result.run({"a": (1 << 70) + 5})
+        assert run.rets == [((1 << 70) + 5 + sum(range(100))) & ((1 << 64) - 1)]
