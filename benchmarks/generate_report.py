@@ -464,6 +464,169 @@ def section_e8() -> str:
     return "\n".join(lines)
 
 
+def section_observability() -> str:
+    from repro.obs.trace import Tracer, use_tracer
+    from repro.stdlib import default_engine
+
+    lines = [
+        "## E11 — `repro.obs`: the proof-search flight recorder",
+        "",
+        "**Claim (§3.1-§3.3):** relational proof search is deterministic and",
+        "non-backtracking — each binding/expression goal is resolved by one",
+        "ordered scan of the hint database, so total lemma attempts grow",
+        "linearly with goal count and the per-goal constant is bounded by the",
+        "database length.",
+        "",
+        "**Measured** (deterministic flight-recorder metrics; the same numbers",
+        "are pinned byte-for-byte by `tests/obs/goldens/`):",
+        "",
+        "```",
+        f"{'program':<8} {'goals':>6} {'attempts':>9} {'att/goal':>9} "
+        f"{'hits':>6} {'solver':>7} {'rewrites':>9}",
+    ]
+    ratios = []
+    for program in all_programs():
+        model, spec = program.build_model(), program.build_spec()
+        tracer = Tracer()
+        with use_tracer(tracer):
+            default_engine().compile_function(model, spec)
+        c = tracer.metrics
+        goals = c.get("goals.binding") + c.get("goals.expr")
+        attempts = c.get("lemma.attempts")
+        ratio = attempts / goals if goals else 0.0
+        ratios.append(ratio)
+        lines.append(
+            f"{program.name:<8} {goals:>6} {attempts:>9} {ratio:>9.1f} "
+            f"{c.get('lemma.hits'):>6} {c.get('solver.calls'):>7} "
+            f"{c.get('resolve.rewrites'):>9}"
+        )
+    lines += [
+        "```",
+        "",
+        f"Attempts per goal stay in a narrow band ({min(ratios):.1f}-"
+        f"{max(ratios):.1f}) across programs whose goal counts span an order",
+        "of magnitude: proof search is linear in the number of bindings, with",
+        "the hint-database scan as the constant — no backtracking ever",
+        "revisits a goal (every goal also produces exactly one hit or a",
+        "stall).",
+        "",
+    ]
+
+    # Tracing overhead.  Workload: the full pipeline (compile + validate,
+    # 10 differential trials) over the whole suite -- what `--trace`
+    # actually wraps.  Off vs standard-detail runs are interleaved and we
+    # take best-of-N, so the comparison is warm-cache vs warm-cache.
+    # Compile-only numbers (the densest instrumentation) are reported
+    # separately for both detail tiers, so the pipeline figure cannot
+    # hide a hot-path regression.
+    import random as _random
+
+    from repro.validation.checker import validate
+
+    programs = list(all_programs())
+
+    # Each timed sample runs the workload twice: longer samples average
+    # scheduler hiccups into both arms instead of landing in one.
+    def run_pipeline() -> None:
+        for _ in range(2):
+            for program in programs:
+                compiled = program.compile(fresh=True)
+                kwargs = {}
+                input_gen = program.validation_input_gen()
+                if input_gen is not None:
+                    kwargs["input_gen"] = input_gen
+                validate(compiled, trials=10, rng=_random.Random(0), **kwargs)
+
+    def run_compile_only() -> None:
+        for _ in range(2):
+            for program in programs:
+                model, spec = program.build_model(), program.build_spec()
+                default_engine().compile_function(model, spec)
+
+    import gc
+
+    def timed(body, detail=None) -> float:
+        # GC pauses are ms-scale on a ~50 ms workload; collect up front
+        # and disable during the timed region.
+        gc.collect()
+        gc.disable()
+        try:
+            if detail is None:
+                start = time.perf_counter()
+                body()
+                return time.perf_counter() - start
+            with use_tracer(Tracer(detail=detail)):
+                start = time.perf_counter()
+                body()
+                return time.perf_counter() - start
+        finally:
+            gc.enable()
+
+    def compare(body, detail, n=25):
+        """Best-of-N per arm, runs alternating between off and on.
+
+        Container CPU throttling adds tens of percent of one-sided noise
+        mid-measurement, so any single paired comparison is unstable;
+        with enough alternating samples each arm hits an unthrottled
+        window, and the minima compare like-for-like.  Returns
+        (on/off ratio of minima, off-minimum seconds).
+        """
+        timed(body)
+        timed(body, detail)  # warm-up: caches, interned strings
+        offs, ons = [], []
+        for i in range(n):
+            if i % 2 == 0:
+                offs.append(timed(body))
+                ons.append(timed(body, detail))
+            else:
+                ons.append(timed(body, detail))
+                offs.append(timed(body))
+        return min(ons) / min(offs), min(offs)
+
+    pipe_ratio, pipe_off = compare(run_pipeline, "standard")
+    comp_std_ratio, comp_off = compare(run_compile_only, "standard")
+    comp_dbg_ratio, _ = compare(run_compile_only, "debug")
+
+    def pct(ratio: float) -> float:
+        return (ratio - 1.0) * 100
+
+    lines += [
+        "Tracing overhead (best-of-25 per configuration, runs alternating",
+        "between recorder-off and recorder-on to ride out CPU-throttling",
+        "noise).  The pipeline row is the",
+        "workload `--trace` wraps: compile + certificate check + 10",
+        "differential trials per program.  The compile-only rows isolate",
+        "proof search, where instrumentation is densest; `debug` detail adds",
+        "per-miss events, per-goal spans, and pretty-printed obligations on",
+        "top of the default `standard` tier:",
+        "",
+        "```",
+        f"pipeline      off {pipe_off / 2 * 1e3:6.1f} ms   standard "
+        f"{pct(pipe_ratio):+5.1f}%",
+        f"compile-only  off {comp_off / 2 * 1e3:6.1f} ms   standard "
+        f"{pct(comp_std_ratio):+5.1f}%   debug {pct(comp_dbg_ratio):+5.1f}%",
+        "```",
+        "",
+        f"With the recorder enabled at the default `standard` detail the",
+        f"end-to-end overhead is {pct(pipe_ratio):+.1f}% "
+        f"({'within' if pct(pipe_ratio) < 5 else 'against'} the <5% "
+        f"budget); when disabled (the",
+        "default for every command) the entire hot-path cost is one",
+        "`tracer.enabled` predicate per instrumentation point on the shared",
+        "null tracer — indistinguishable from noise.  `standard` drops no",
+        "aggregate information: hint databases are ordered and every",
+        "`lemma_hit` records how many entries were scanned, so the per-miss",
+        "events that `debug` emits are derivable (and",
+        "`tests/obs/test_trace_properties.py` asserts metrics and hit",
+        "sequences are identical across tiers).  Single-compile commands",
+        "(`compile --trace`, `validate --trace`, `profile`) opt into `debug`;",
+        "campaigns stay at `standard`.  See `docs/observability.md` for the",
+        "schema and `tests/obs/` for the golden-trace harness.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
 def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--size", type=int, default=2048)
@@ -498,6 +661,7 @@ def main() -> None:
         section_ablations(args.size),
         section_case_studies(),
         section_e8(),
+        section_observability(),
     ]
     with open(args.out, "w") as handle:
         handle.write("\n".join(header) + "\n" + "\n".join(sections))

@@ -1,0 +1,19 @@
+"""Repo-level pytest configuration.
+
+Adds the ``--update-goldens`` flag used by ``tests/obs``: when a trace
+schema change is intentional, rerun the golden-trace suite with
+
+    PYTHONPATH=src python -m pytest tests/obs --update-goldens
+
+to regenerate ``tests/obs/goldens/*.trace.jsonl`` in place, then commit
+the diff alongside the change that caused it.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/obs/goldens/*.trace.jsonl instead of comparing",
+    )

@@ -12,13 +12,18 @@ Commands:
 - ``fuzz``                      -- seeded pipeline fuzzing campaign
   (random models through compile/certify/validate/optimize/RISC-V);
 - ``faults``                    -- cross-layer fault-injection campaign
-  (corrupt untrusted components; assert the trusted checkers notice).
+  (corrupt untrusted components; assert the trusted checkers notice);
+- ``profile <program>``         -- compile under the flight recorder and
+  print the per-phase / per-lemma time breakdown.
 
 ``compile``, ``validate``, ``riscv``, and ``bench`` accept ``-O0`` (the
 default) or ``-O1`` to run the translation-validated optimizer
-(``repro.opt``) on the derived code first.  All commands accept
-``--seed`` and seed Python's ``random`` module themselves, so runs are
-reproducible rather than depending on ambient RNG state.
+(``repro.opt``) on the derived code first.  ``compile``, ``validate``,
+``bench``, ``fuzz``, and ``faults`` accept ``--trace FILE`` to record
+the run's flight-recorder events as JSON Lines (see
+``docs/observability.md``).  All commands accept ``--seed`` and seed
+Python's ``random`` module themselves, so runs are reproducible rather
+than depending on ambient RNG state.
 """
 
 from __future__ import annotations
@@ -26,6 +31,37 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+from contextlib import contextmanager
+
+
+@contextmanager
+def _maybe_trace(args, name: str, force: bool = False, detail: str = "standard"):
+    """Install a flight recorder when ``--trace`` (or ``force``) asks for one.
+
+    Yields the :class:`~repro.obs.trace.Tracer` (or ``None`` when tracing
+    is off -- the instrumented code then sees the zero-cost null tracer).
+    Single-compile commands pass ``detail="debug"`` for per-miss events
+    and per-goal spans; campaigns stay at "standard" so tracing is cheap
+    at scale.  The JSONL file is written when the block exits, so a trace
+    survives even if the command itself fails partway.
+    """
+    path = getattr(args, "trace", None)
+    if not path and not force:
+        yield None
+        return
+    from repro.obs.trace import Tracer, use_tracer
+
+    tracer = Tracer(name=name, detail=detail)
+    try:
+        with use_tracer(tracer):
+            yield tracer
+    finally:
+        if path:
+            tracer.write_jsonl(path)
+            print(
+                f"// trace: {len(tracer.events)} events -> {path}",
+                file=sys.stderr,
+            )
 
 
 def cmd_list(_args) -> int:
@@ -65,7 +101,8 @@ def _print_opt_summary(compiled) -> None:
 
 
 def cmd_compile(args) -> int:
-    _, compiled = _compiled(args)
+    with _maybe_trace(args, f"compile:{args.program}", detail="debug"):
+        _, compiled = _compiled(args)
     print(compiled.c_source())
     _print_opt_summary(compiled)
     return 0
@@ -99,14 +136,15 @@ def cmd_validate(args) -> int:
             )
             return 0
 
-    program, compiled = _compiled(args)
-    kwargs = {}
-    input_gen = program.validation_input_gen()
-    if input_gen is not None:
-        kwargs["input_gen"] = input_gen
-    report = validate(
-        compiled, trials=args.trials, rng=random.Random(args.seed), **kwargs
-    )
+    with _maybe_trace(args, f"validate:{args.program}", detail="debug"):
+        program, compiled = _compiled(args)
+        kwargs = {}
+        input_gen = program.validation_input_gen()
+        if input_gen is not None:
+            kwargs["input_gen"] = input_gen
+        report = validate(
+            compiled, trials=args.trials, rng=random.Random(args.seed), **kwargs
+        )
     suffix = ""
     if compiled.opt_report is not None:
         applied = ", ".join(compiled.opt_report.applied) or "none"
@@ -143,14 +181,15 @@ def cmd_fuzz(args) -> int:
     def progress(message: str) -> None:
         print(f"// {message}", file=sys.stderr)
 
-    report = run_fuzz(
-        seed=args.seed,
-        budget=args.budget,
-        trials=args.trials,
-        fuel=args.fuel,
-        deadline=args.deadline,
-        progress=progress if args.verbose else None,
-    )
+    with _maybe_trace(args, f"fuzz:{args.seed}"):
+        report = run_fuzz(
+            seed=args.seed,
+            budget=args.budget,
+            trials=args.trials,
+            fuel=args.fuel,
+            deadline=args.deadline,
+            progress=progress if args.verbose else None,
+        )
     if args.json:
         import json
 
@@ -166,11 +205,12 @@ def cmd_faults(args) -> int:
     def progress(message: str) -> None:
         print(f"// {message}", file=sys.stderr)
 
-    report = run_faults(
-        seed=args.seed,
-        budget=args.budget,
-        progress=progress if args.verbose else None,
-    )
+    with _maybe_trace(args, f"faults:{args.seed}"):
+        report = run_faults(
+            seed=args.seed,
+            budget=args.budget,
+            progress=progress if args.verbose else None,
+        )
     if args.json:
         import json
 
@@ -183,12 +223,48 @@ def cmd_faults(args) -> int:
 def cmd_bench(args) -> int:
     from benchmarks.figure2 import figure2_rows, render_figure2  # type: ignore
 
-    print(render_figure2(figure2_rows(size=args.size)))
-    if args.opt_level > 0:
-        from benchmarks.figure2 import optimizer_rows, render_optimizer_table
+    # --json always meters the run: the suite compilations happen under a
+    # tracer so the payload can carry the metrics registry.
+    with _maybe_trace(args, "bench", force=args.json) as tracer:
+        rows = figure2_rows(size=args.size)
+        opt_rows = None
+        if args.opt_level > 0:
+            from benchmarks.figure2 import optimizer_rows, render_optimizer_table
+
+            opt_rows = optimizer_rows(size=args.size)
+    if args.json:
+        import dataclasses
+        import json
+
+        payload = {
+            "size": args.size,
+            "rows": [dataclasses.asdict(row) for row in rows],
+            "metrics": tracer.metrics.to_dict(),
+        }
+        if opt_rows is not None:
+            payload["optimizer"] = [dataclasses.asdict(row) for row in opt_rows]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(render_figure2(rows))
+    if opt_rows is not None:
+        from benchmarks.figure2 import render_optimizer_table
 
         print()
-        print(render_optimizer_table(optimizer_rows(size=args.size)))
+        print(render_optimizer_table(opt_rows))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.obs.profile import profile_program
+
+    _program(args.program)  # friendly error for unknown names
+    report = profile_program(args.program, opt_level=args.opt_level)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render(top=args.top))
     return 0
 
 
@@ -203,6 +279,7 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list the benchmark suite")
+    trace_help = "record flight-recorder events to FILE (JSON Lines)"
     for name in ("compile", "cert", "riscv"):
         p = sub.add_parser(name)
         p.add_argument("program")
@@ -211,6 +288,8 @@ def main(argv=None) -> int:
                 "-O", dest="opt_level", type=int, choices=(0, 1), default=0,
                 help="optimization level (-O0 none, -O1 validated passes)",
             )
+        if name == "compile":
+            p.add_argument("--trace", metavar="FILE", help=trace_help)
         if name == "riscv":
             p.add_argument("--disasm", action="store_true")
     p = sub.add_parser("validate")
@@ -226,6 +305,7 @@ def main(argv=None) -> int:
         help="on compilation failure, fall back to interpreting the "
         "functional model (clearly marked unverified) instead of aborting",
     )
+    p.add_argument("--trace", metavar="FILE", help=trace_help)
     p = sub.add_parser("fuzz", help="seeded pipeline fuzzing campaign")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--budget", type=int, default=100, help="number of cases")
@@ -236,12 +316,14 @@ def main(argv=None) -> int:
     p.add_argument("--deadline", type=float, default=20.0,
                    help="wall-clock seconds per case")
     p.add_argument("--json", action="store_true", help="machine-readable report")
+    p.add_argument("--trace", metavar="FILE", help=trace_help)
     p.add_argument("-v", "--verbose", action="store_true")
     p = sub.add_parser("faults", help="cross-layer fault-injection campaign")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--budget", type=int, default=None,
                    help="cap the number of injections")
     p.add_argument("--json", action="store_true", help="machine-readable report")
+    p.add_argument("--trace", metavar="FILE", help=trace_help)
     p.add_argument("-v", "--verbose", action="store_true")
     p = sub.add_parser("bench")
     p.add_argument("--size", type=int, default=1024)
@@ -249,6 +331,19 @@ def main(argv=None) -> int:
         "-O", dest="opt_level", type=int, choices=(0, 1), default=0,
         help="also print the optimized-vs-unoptimized comparison",
     )
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable rows plus the metrics registry")
+    p.add_argument("--trace", metavar="FILE", help=trace_help)
+    p = sub.add_parser(
+        "profile", help="per-phase / per-lemma time breakdown of one compile"
+    )
+    p.add_argument("program")
+    p.add_argument(
+        "-O", dest="opt_level", type=int, choices=(0, 1), default=0,
+        help="profile the optimizer pipeline too",
+    )
+    p.add_argument("--top", type=int, default=10, help="hottest lemmas to show")
+    p.add_argument("--json", action="store_true", help="machine-readable report")
 
     args = parser.parse_args(argv)
     random.seed(args.seed)
@@ -261,6 +356,7 @@ def main(argv=None) -> int:
         "bench": cmd_bench,
         "fuzz": cmd_fuzz,
         "faults": cmd_faults,
+        "profile": cmd_profile,
     }
     return handlers[args.command](args)
 

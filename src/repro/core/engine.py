@@ -32,12 +32,15 @@ from repro.core.goals import (
     SideConditionFailed,
     StallReport,
 )
-from repro.core.lemma import HintDb, WrapStmt
+from repro.core.lemma import HintDb, WrapStmt, lemma_family
+from repro.core.render import render_expr, render_stmt_head, term_head
 from repro.core.sepstate import PointerBinding, SymState
 from repro.core.solver import SolverBank
 from repro.core.spec import ArgKind, CompiledFunction, FnSpec, Model, OutKind
+from repro.core.typecheck import TypeInferenceError, infer_type
+from repro.obs.trace import NULL_SPAN, current_tracer
 from repro.source import terms as t
-from repro.source.types import SourceType
+from repro.source.types import BOOL, WORD, SourceType
 
 
 def resolve(state: SymState, term: t.Term, shadowed: frozenset = frozenset()) -> t.Term:
@@ -53,6 +56,9 @@ def resolve(state: SymState, term: t.Term, shadowed: frozenset = frozenset()) ->
             raise OutOfScopeValue(
                 term.name, binding_site=state.binding_site(term.name)
             )
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.inc("resolve.rewrites")
         return value
     if isinstance(term, t.Let):
         inner = shadowed | {term.name}
@@ -136,6 +142,9 @@ def resolve(state: SymState, term: t.Term, shadowed: frozenset = frozenset()) ->
                     binding_site=state.binding_site(term.cell.name),
                     kind="cell",
                 )
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.inc("resolve.rewrites")
             return value
         return t.CellGet(resolve(state, term.cell, shadowed))
     # Congruence over nodes without binders, via subst-free reconstruction.
@@ -198,13 +207,40 @@ class Engine:
         solvers: Optional[SolverBank] = None,
         width: int = 64,
         budget=None,
+        tracer=None,
     ):
         self.binding_db = binding_db
         self.expr_db = expr_db
         self.solvers = solvers or SolverBank()
         self.width = width
         self.budget = budget  # Optional[repro.resilience.budget.Budget]
+        # An explicit tracer pins the engine to it; otherwise the engine
+        # re-reads the process-wide active tracer at every entry point,
+        # so CLI commands can install one around cached builders.
+        self._explicit_tracer = tracer
+        self.tracer = tracer if tracer is not None else current_tracer()
         self._condition_stack: List[List[SideCondition]] = []
+        # Memoized (family, counter-key, counter-key) tuples per lemma /
+        # solver: building the dotted counter names with f-strings on
+        # every hit is a measurable share of enabled-tracer overhead.
+        self._lemma_keys: dict = {}
+        self._solver_keys: dict = {}
+
+    def _lemma_trace_keys(self, lemma) -> Tuple[str, str, str]:
+        keys = self._lemma_keys.get(lemma.name)
+        if keys is None:
+            family = lemma_family(lemma)
+            keys = (family, f"lemma.family.{family}", f"lemma.hits.{lemma.name}")
+            self._lemma_keys[lemma.name] = keys
+        return keys
+
+    def _solver_trace_keys(self, solver) -> Tuple[str, str, str]:
+        keys = self._solver_keys.get(solver)
+        if keys is None:
+            name = getattr(solver, "__name__", repr(solver))
+            keys = (name, f"solver.calls.{name}", f"solver.hits.{name}")
+            self._solver_keys[solver] = keys
+        return keys
 
     def _charge(self, goal_description: str) -> None:
         if self.budget is not None:
@@ -215,20 +251,45 @@ class Engine:
     def discharge(self, obligation: t.Term, state: SymState, description: str) -> None:
         """Discharge a logical side condition or fail loudly (no backtracking)."""
         self._charge(f"side condition: {t.pretty(obligation)}")
-        for solver in self.solvers.solvers:
-            if solver(obligation, state):
-                if self._condition_stack:
-                    self._condition_stack[-1].append(
-                        SideCondition(
-                            description=description,
-                            obligation_pretty=t.pretty(obligation),
-                            solver=getattr(solver, "__name__", repr(solver)),
+        tracer = self.tracer
+        trace = tracer.enabled
+        # Per-obligation spans, solver_call events, and the pretty-printed
+        # goal are debug-tier payloads; standard detail keeps the solver
+        # counters (which identify the winning solver) and nothing per-goal.
+        debug = trace and tracer.debug
+        pretty = t.pretty(obligation) if debug else None
+        span = tracer.span("side_condition", name=description) if debug else NULL_SPAN
+        with span:
+            for solver in self.solvers.solvers:
+                solved = bool(solver(obligation, state))
+                if trace:
+                    solver_name, calls_key, hits_key = self._solver_trace_keys(solver)
+                    if debug:
+                        tracer.event(
+                            "solver_call", solver=solver_name, solved=solved, goal=pretty
                         )
-                    )
-                return
-        raise SideConditionFailed(
-            "<current>", obligation, state.describe(), solvers=tuple(self.solvers.names())
-        )
+                    tracer.inc("solver.calls")
+                    tracer.inc(calls_key)
+                    if solved:
+                        tracer.inc(hits_key)
+                if solved:
+                    if self._condition_stack:
+                        self._condition_stack[-1].append(
+                            SideCondition(
+                                description=description,
+                                obligation_pretty=t.pretty(obligation),
+                                solver=getattr(solver, "__name__", repr(solver)),
+                            )
+                        )
+                    return
+            if trace:
+                tracer.inc(f"stall.{StallReport.SIDE_CONDITION}")
+            raise SideConditionFailed(
+                "<current>",
+                obligation,
+                state.describe(),
+                solvers=tuple(self.solvers.names()),
+            )
 
     # -- Expression compilation ------------------------------------------------------
 
@@ -237,11 +298,50 @@ class Engine:
     ) -> Tuple[ast.Expr, CertNode]:
         goal = ExprGoal(state=state, term=term, ty=ty)
         self._charge(f"expr goal: {t.pretty(term)}")
-        for lemma in self.expr_db:
-            if lemma.matches(goal):
+        tracer = self.tracer
+        trace = tracer.enabled
+        debug = trace and tracer.debug
+        head = term_head(term) if trace else ""
+        outer = tracer.span("compile_expr", head=head) if debug else NULL_SPAN
+        with outer:
+            emit = tracer.event
+            db_name = self.expr_db.name
+            if trace:
+                tracer.inc("goals.expr")
+            scanned = 0
+            for lemma in self.expr_db:
+                scanned += 1
+                if not lemma.matches(goal):
+                    if debug:
+                        emit("lemma_miss", db=db_name, lemma=lemma.name, head=head)
+                    continue
+                if trace:
+                    family, family_key, hits_key = self._lemma_trace_keys(lemma)
+                    emit(
+                        "lemma_hit",
+                        db=db_name,
+                        lemma=lemma.name,
+                        head=head,
+                        family=family,
+                        scanned=scanned,
+                    )
+                    tracer.inc("lemma.hits")
+                    tracer.inc("lemma.misses", scanned - 1)
+                    tracer.inc("lemma.attempts", scanned)
+                    tracer.inc(family_key)
+                    tracer.inc(hits_key)
+                    tracer.observe("lemma.scan_length", scanned)
+                    span = (
+                        tracer.span("lemma_apply", name=lemma.name, family=family)
+                        if debug
+                        else NULL_SPAN
+                    )
+                else:
+                    span = NULL_SPAN
                 self._condition_stack.append([])
                 try:
-                    expr, children = lemma.apply(goal, self)
+                    with span:
+                        expr, children = lemma.apply(goal, self)
                 except SideConditionFailed as failure:
                     failure.lemma = lemma.name
                     raise
@@ -250,22 +350,33 @@ class Engine:
                 node = CertNode(
                     lemma=lemma.name,
                     conclusion=f"EXPR |- {t.pretty(term)}",
-                    code=_render_expr(expr),
+                    code=render_expr(expr),
                     side_conditions=conditions,
                     children=children,
                 )
+                if trace:
+                    tracer.inc("cert.nodes")
+                    if debug:
+                        tracer.event(
+                            "cert_node", lemma=lemma.name, kind="expr",
+                            conditions=len(conditions),
+                        )
                 return expr, node
-        raise CompilationStalled(
-            goal.describe(),
-            advice=(
-                "no expression-compilation lemma matches this term; "
-                f"known lemmas: {', '.join(self.expr_db.lemma_names())}"
-            ),
-            reason=StallReport.NO_EXPR_LEMMA,
-            family="engine",
-            databases=(self.expr_db.name,),
-            nearest_misses=tuple(self.expr_db.nearest_misses(term)),
-        )
+            if trace:
+                tracer.inc("lemma.attempts", scanned)
+                tracer.inc("lemma.misses", scanned)
+                tracer.inc(f"stall.{StallReport.NO_EXPR_LEMMA}")
+            raise CompilationStalled(
+                goal.describe(),
+                advice=(
+                    "no expression-compilation lemma matches this term; "
+                    f"known lemmas: {', '.join(self.expr_db.lemma_names())}"
+                ),
+                reason=StallReport.NO_EXPR_LEMMA,
+                family="engine",
+                databases=(self.expr_db.name,),
+                nearest_misses=tuple(self.expr_db.nearest_misses(term)),
+            )
 
     # -- Binding compilation -----------------------------------------------------------
 
@@ -282,11 +393,54 @@ class Engine:
             state=state, name=name, value=value, spec=spec, monadic=monadic, names=names
         )
         self._charge(f"binding goal: let/n {name} := {t.pretty(value)}")
-        for lemma in self.binding_db:
-            if lemma.matches(goal):
+        tracer = self.tracer
+        trace = tracer.enabled
+        debug = trace and tracer.debug
+        head = term_head(value) if trace else ""
+        outer = (
+            tracer.span("compile_binding", name=name, head=head, monadic=monadic)
+            if debug
+            else NULL_SPAN
+        )
+        with outer:
+            emit = tracer.event
+            db_name = self.binding_db.name
+            if trace:
+                tracer.inc("goals.binding")
+            scanned = 0
+            for lemma in self.binding_db:
+                scanned += 1
+                if not lemma.matches(goal):
+                    if debug:
+                        emit("lemma_miss", db=db_name, lemma=lemma.name, head=head)
+                    continue
+                if trace:
+                    family, family_key, hits_key = self._lemma_trace_keys(lemma)
+                    emit(
+                        "lemma_hit",
+                        db=db_name,
+                        lemma=lemma.name,
+                        head=head,
+                        family=family,
+                        scanned=scanned,
+                    )
+                    tracer.inc("lemma.hits")
+                    tracer.inc("lemma.misses", scanned - 1)
+                    tracer.inc("lemma.attempts", scanned)
+                    tracer.inc(family_key)
+                    tracer.inc(hits_key)
+                    tracer.observe("lemma.scan_length", scanned)
+                    span = (
+                        tracer.span("lemma_apply", name=lemma.name, family=family)
+                        if debug
+                        else NULL_SPAN
+                    )
+                else:
+                    span = NULL_SPAN
                 self._condition_stack.append([])
                 try:
-                    stmt, new_state, children = lemma.apply(goal, self)
+                    with span:
+                        stmt, new_state, children = lemma.apply(goal, self)
                 except SideConditionFailed as failure:
                     failure.lemma = lemma.name
                     raise
@@ -296,22 +450,33 @@ class Engine:
                 node = CertNode(
                     lemma=lemma.name,
                     conclusion=f"let/n {name} := {t.pretty(value)}",
-                    code=_render_stmt_head(stmt),
+                    code=render_stmt_head(stmt),
                     side_conditions=conditions,
                     children=children,
                 )
+                if trace:
+                    tracer.inc("cert.nodes")
+                    if debug:
+                        tracer.event(
+                            "cert_node", lemma=lemma.name, kind="binding",
+                            conditions=len(conditions),
+                        )
                 return stmt, new_state, node
-        raise CompilationStalled(
-            goal.describe(),
-            advice=(
-                "no binding-compilation lemma matches this value shape; "
-                f"known lemmas: {', '.join(self.binding_db.lemma_names())}"
-            ),
-            reason=StallReport.NO_BINDING_LEMMA,
-            family="engine",
-            databases=(self.binding_db.name,),
-            nearest_misses=tuple(self.binding_db.nearest_misses(value)),
-        )
+            if trace:
+                tracer.inc("lemma.attempts", scanned)
+                tracer.inc("lemma.misses", scanned)
+                tracer.inc(f"stall.{StallReport.NO_BINDING_LEMMA}")
+            raise CompilationStalled(
+                goal.describe(),
+                advice=(
+                    "no binding-compilation lemma matches this value shape; "
+                    f"known lemmas: {', '.join(self.binding_db.lemma_names())}"
+                ),
+                reason=StallReport.NO_BINDING_LEMMA,
+                family="engine",
+                databases=(self.binding_db.name,),
+                nearest_misses=tuple(self.binding_db.nearest_misses(value)),
+            )
 
     def compile_value_into(
         self, state: SymState, target: str, term: t.Term, spec: FnSpec
@@ -417,8 +582,6 @@ class Engine:
                 if local is None:
                     # The result is a computed value: emit one final
                     # assignment into a fresh return variable.
-                    from repro.core.typecheck import TypeInferenceError, infer_type
-
                     try:
                         ty = infer_type(state, resolved)
                     except TypeInferenceError as error:
@@ -484,6 +647,10 @@ class Engine:
             code="/* postcondition check */",
             children=children,
         )
+        if self.tracer.enabled:
+            self.tracer.inc("cert.nodes")
+            if self.tracer.debug:
+                self.tracer.event("cert_node", lemma="compile_done", kind="terminal")
         return ast.seq_of(*epilogue), state, [node], tuple(rets)
 
     ERROR_FLAG_LOCAL = "_ok"
@@ -491,39 +658,66 @@ class Engine:
 
     def compile_function(self, model: Model, spec: FnSpec) -> CompiledFunction:
         """The ``Derive ... SuchThat ... As`` entry point (§3.2)."""
-        state = spec.initial_state(model, self.width)
-        prologue: List[ast.Stmt] = []
-        if spec.has_error_flag:
-            # Error-monad functions: the success flag starts true and the
-            # forwarded result starts zero, so both return variables are
-            # defined on every path (a failed guard only clears the flag).
-            from repro.source.types import BOOL as _BOOL, WORD as _WORD
+        from repro.core.sepstate import reset_ghosts
 
-            prologue.append(ast.SSet(self.ERROR_FLAG_LOCAL, ast.ELit(1)))
-            prologue.append(ast.SSet(self.ERROR_VALUE_LOCAL, ast.ELit(0)))
-            state.bind_scalar(self.ERROR_FLAG_LOCAL, t.Lit(True, _BOOL), _BOOL)
-            state.bind_scalar(self.ERROR_VALUE_LOCAL, t.Lit(0, _WORD), _WORD)
-        body, final_state, nodes, rets = self.compile_chain(state, model.term, spec)
-        if prologue:
-            body = ast.seq_of(*prologue, body)
-        root = CertNode(
-            lemma="derive",
-            conclusion=(
-                f'defn! "{spec.fname}" ({", ".join(spec.arg_names())}) '
-                f"implements {model.name}"
-            ),
-            code="<function body>",
-            children=nodes,
+        # Ghost names are scoped to this derivation: resetting the supply
+        # makes the derivation (and its trace) independent of compile
+        # history in the process.
+        reset_ghosts()
+        # Late-bind the flight recorder: engines are often built before a
+        # CLI command installs its tracer.
+        if self._explicit_tracer is None:
+            self.tracer = current_tracer()
+        tracer = self.tracer
+        trace = tracer.enabled
+        span = (
+            tracer.span("compile_function", name=spec.fname, program=model.name)
+            if trace
+            else NULL_SPAN
         )
-        fn = ast.Function(spec.fname, spec.arg_names(), tuple(rets), body)
-        certificate = Certificate(
-            function_name=spec.fname,
-            root=root,
-            statements_compiled=ast.statement_count(body),
-        )
-        return CompiledFunction(
-            bedrock_fn=fn, certificate=certificate, spec=spec, model=model
-        )
+        with span as handle:
+            rewrites_before = tracer.metrics.get("resolve.rewrites") if trace else 0
+            state = spec.initial_state(model, self.width)
+            prologue: List[ast.Stmt] = []
+            if spec.has_error_flag:
+                # Error-monad functions: the success flag starts true and the
+                # forwarded result starts zero, so both return variables are
+                # defined on every path (a failed guard only clears the flag).
+                prologue.append(ast.SSet(self.ERROR_FLAG_LOCAL, ast.ELit(1)))
+                prologue.append(ast.SSet(self.ERROR_VALUE_LOCAL, ast.ELit(0)))
+                state.bind_scalar(self.ERROR_FLAG_LOCAL, t.Lit(True, BOOL), BOOL)
+                state.bind_scalar(self.ERROR_VALUE_LOCAL, t.Lit(0, WORD), WORD)
+            body, final_state, nodes, rets = self.compile_chain(state, model.term, spec)
+            if prologue:
+                body = ast.seq_of(*prologue, body)
+            root = CertNode(
+                lemma="derive",
+                conclusion=(
+                    f'defn! "{spec.fname}" ({", ".join(spec.arg_names())}) '
+                    f"implements {model.name}"
+                ),
+                code="<function body>",
+                children=nodes,
+            )
+            fn = ast.Function(spec.fname, spec.arg_names(), tuple(rets), body)
+            certificate = Certificate(
+                function_name=spec.fname,
+                root=root,
+                statements_compiled=ast.statement_count(body),
+            )
+            if trace:
+                tracer.inc("cert.nodes")
+                if tracer.debug:
+                    tracer.event("cert_node", lemma="derive", kind="root")
+                rewrites = tracer.metrics.get("resolve.rewrites") - rewrites_before
+                tracer.event("resolve_stats", rewrites=rewrites)
+                tracer.inc("functions.compiled")
+                tracer.observe("certificate.size", certificate.size())
+                tracer.observe("function.statements", certificate.statements_compiled)
+                handle.note(rewrites=rewrites)
+            return CompiledFunction(
+                bedrock_fn=fn, certificate=certificate, spec=spec, model=model
+            )
 
     # -- Representation helpers used by lemmas --------------------------------------------
 
@@ -532,16 +726,3 @@ class Engine:
 
     def scalar_byte_size(self, scalar: SourceType) -> int:
         return scalar.scalar_size(self.width // 8)
-
-
-def _render_expr(expr: ast.Expr) -> str:
-    return repr(expr)
-
-
-def _render_stmt_head(stmt) -> str:
-    if isinstance(stmt, WrapStmt):
-        return "SStackalloc(..., <continuation>)"
-    name = type(stmt).__name__
-    if isinstance(stmt, ast.SSeq):
-        return f"SSeq({_render_stmt_head(stmt.first)}, ...)"
-    return name

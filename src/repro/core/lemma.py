@@ -27,6 +27,18 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.sepstate import SymState
 
 
+def lemma_family(lemma: object) -> str:
+    """The lemma's *family*: the module that defines it.
+
+    Families are the aggregation grain of the flight recorder's metrics
+    (``lemma.family.<name>`` counters, per-family time in ``repro
+    profile``), matching how the paper's evaluation slices the standard
+    library (Table 1: loops, mutation, monads, ...).
+    """
+    module = type(lemma).__module__
+    return module.rsplit(".", 1)[-1]
+
+
 class WrapStmt:
     """A binding whose statement *wraps* the continuation.
 

@@ -1,0 +1,47 @@
+"""Shared rendering of code fragments and goal shapes.
+
+Certificate nodes, stall reports, and flight-recorder events all show
+the user fragments of the derivation: the statement head a lemma
+emitted, the expression it compiled, the head constructor of the source
+term it was looking at.  Keeping the renderers in one module guarantees
+the three surfaces format identically -- a trace's ``lemma_hit`` event
+and the certificate node it produced agree character-for-character on
+the code fragment, and a stall report names the same head-constructor
+shape a ``lemma_miss`` event does.
+"""
+
+from __future__ import annotations
+
+from repro.bedrock2 import ast
+
+
+def render_expr(expr: ast.Expr) -> str:
+    """Render a Bedrock2 expression for certificates and trace events."""
+    return repr(expr)
+
+
+def render_stmt_head(stmt) -> str:
+    """Render the head of a Bedrock2 statement (one level deep).
+
+    ``WrapStmt`` placeholders (stack allocations awaiting their
+    continuation) render with an explicit marker, and sequences show
+    only their first component, so the rendering stays one line no
+    matter how large the compiled fragment is.
+    """
+    from repro.core.lemma import WrapStmt
+
+    if isinstance(stmt, WrapStmt):
+        return "SStackalloc(..., <continuation>)"
+    if isinstance(stmt, ast.SSeq):
+        return f"SSeq({render_stmt_head(stmt.first)}, ...)"
+    return type(stmt).__name__
+
+
+def term_head(term) -> str:
+    """The head-constructor shape of a source term (``Term`` class name).
+
+    This is the shape stall reports teach users to write lemmas against
+    (§3.1's "shape of the missing lemma") and the shape ``lemma_hit`` /
+    ``lemma_miss`` trace events carry.
+    """
+    return type(term).__name__

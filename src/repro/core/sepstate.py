@@ -75,6 +75,18 @@ class Clause:
 _ghost_counter = itertools.count()
 
 
+def reset_ghosts() -> None:
+    """Restart the fresh-ghost supply.
+
+    Ghost names are scoped to one derivation; the engine resets the
+    supply at each ``compile_function`` entry so a derivation's names
+    (and hence its trace) do not depend on what was compiled before it
+    in the same process.
+    """
+    global _ghost_counter
+    _ghost_counter = itertools.count()
+
+
 class SymState:
     """The symbolic precondition of the current compilation goal."""
 

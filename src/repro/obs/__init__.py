@@ -1,0 +1,45 @@
+"""``repro.obs`` -- the proof-search flight recorder.
+
+Structured tracing (:mod:`repro.obs.trace`), metrics
+(:mod:`repro.obs.metrics`), and profiling (:mod:`repro.obs.profile`)
+for the compilation engine.  Tracing is default-off: the engine and the
+other instrumented layers emit to :data:`repro.obs.trace.NULL` unless a
+:class:`Tracer` is installed with :func:`use_tracer` (which is what
+``python -m repro compile --trace out.jsonl`` and ``python -m repro
+profile`` do).
+
+See ``docs/observability.md`` for the trace schema and the span
+taxonomy, and ``tests/obs`` for the golden-trace harness that pins the
+schema down.
+"""
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.profile import ProfileReport, fold_trace, profile_program
+from repro.obs.trace import (
+    NULL,
+    NullTracer,
+    TraceError,
+    Tracer,
+    current_tracer,
+    normalize_events,
+    read_jsonl,
+    use_tracer,
+    validate_events,
+)
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "NULL",
+    "NullTracer",
+    "ProfileReport",
+    "TraceError",
+    "fold_trace",
+    "profile_program",
+    "Tracer",
+    "current_tracer",
+    "normalize_events",
+    "read_jsonl",
+    "use_tracer",
+    "validate_events",
+]

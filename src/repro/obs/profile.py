@@ -1,0 +1,174 @@
+"""Profiling on top of the flight recorder: where proof search spends time.
+
+:func:`profile_program` compiles one registry program fresh under a
+:class:`~repro.obs.trace.Tracer` and folds the recorded spans into a
+per-phase / per-lemma breakdown:
+
+- **phases** -- inclusive wall time per span kind (``compile_function``,
+  ``compile_binding``, ``compile_expr``, ``lemma_apply``,
+  ``side_condition``, ``opt_pass``, ...);
+- **lemmas** -- inclusive time and application count per lemma, ranked,
+  the "hottest lemmas" list ``python -m repro profile`` prints;
+- **families** -- the same aggregated by lemma family (defining module),
+  the grain the paper's hint databases are organized at;
+- **counters** -- the deterministic metrics registry (hits, misses,
+  scan lengths, solver calls, rewrites).
+
+Times come from ``Tracer.span_times`` -- the out-of-band wall-clock
+side table -- so profiling reuses exactly the trace the golden tests
+pin down, plus timing.  All reported times are *inclusive* (a binding
+span contains its expression subgoals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.trace import Tracer, use_tracer
+
+
+@dataclass
+class PhaseStat:
+    """Aggregate over all spans of one kind."""
+
+    kind: str
+    count: int = 0
+    ms: float = 0.0
+
+
+@dataclass
+class LemmaStat:
+    """Aggregate over all applications of one lemma (or family)."""
+
+    name: str
+    family: str = ""
+    count: int = 0
+    ms: float = 0.0
+
+
+@dataclass
+class ProfileReport:
+    """The folded result of one profiled compilation."""
+
+    program: str
+    opt_level: int
+    total_ms: float = 0.0
+    phases: List[PhaseStat] = field(default_factory=list)
+    lemmas: List[LemmaStat] = field(default_factory=list)
+    families: List[LemmaStat] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "opt_level": self.opt_level,
+            "total_ms": round(self.total_ms, 3),
+            "phases": [
+                {"kind": p.kind, "count": p.count, "ms": round(p.ms, 3)}
+                for p in self.phases
+            ],
+            "lemmas": [
+                {
+                    "lemma": s.name,
+                    "family": s.family,
+                    "count": s.count,
+                    "ms": round(s.ms, 3),
+                }
+                for s in self.lemmas
+            ],
+            "families": [
+                {"family": s.name, "count": s.count, "ms": round(s.ms, 3)}
+                for s in self.families
+            ],
+            "counters": dict(self.counters),
+        }
+
+    def render(self, top: int = 10) -> str:
+        lines = [
+            f"profile: {self.program} (-O{self.opt_level})  "
+            f"total {self.total_ms:.2f} ms"
+        ]
+        lines.append("  phase breakdown (inclusive wall time):")
+        for p in self.phases:
+            lines.append(f"    {p.kind:<18} {p.count:>4} span(s) {p.ms:>9.3f} ms")
+        if self.families:
+            lines.append("  lemma families:")
+            for s in self.families:
+                lines.append(
+                    f"    {s.name:<18} {s.count:>4} apply     {s.ms:>9.3f} ms"
+                )
+        if self.lemmas:
+            lines.append(f"  hottest lemmas (top {min(top, len(self.lemmas))}):")
+            for rank, s in enumerate(self.lemmas[:top], 1):
+                lines.append(
+                    f"    {rank:>2}. {s.name:<28} ({s.family})  "
+                    f"x{s.count}  {s.ms:.3f} ms"
+                )
+        interesting = (
+            "goals.binding",
+            "goals.expr",
+            "lemma.attempts",
+            "lemma.hits",
+            "lemma.misses",
+            "solver.calls",
+            "resolve.rewrites",
+            "cert.nodes",
+        )
+        shown = [(k, self.counters[k]) for k in interesting if k in self.counters]
+        if shown:
+            lines.append(
+                "  counters: " + " ".join(f"{k}={v}" for k, v in shown)
+            )
+        return "\n".join(lines)
+
+
+def fold_trace(tracer: Tracer, program: str, opt_level: int = 0) -> ProfileReport:
+    """Fold a recorded trace + its timing side table into a report."""
+    report = ProfileReport(program=program, opt_level=opt_level)
+    by_kind: Dict[str, PhaseStat] = {}
+    by_lemma: Dict[str, LemmaStat] = {}
+    by_family: Dict[str, LemmaStat] = {}
+    for event in tracer.events:
+        if event["ev"] != "span_open":
+            continue
+        duration_ms = tracer.span_times.get(event["span"], 0.0) * 1e3
+        kind = event["kind"]
+        stat = by_kind.setdefault(kind, PhaseStat(kind))
+        stat.count += 1
+        stat.ms += duration_ms
+        if kind == "compile_function":
+            report.total_ms += duration_ms
+        if kind == "lemma_apply":
+            name = event.get("name", "?")
+            family = event.get("family", "")
+            lemma = by_lemma.setdefault(name, LemmaStat(name, family))
+            lemma.count += 1
+            lemma.ms += duration_ms
+            fam = by_family.setdefault(family, LemmaStat(family))
+            fam.count += 1
+            fam.ms += duration_ms
+    report.phases = sorted(by_kind.values(), key=lambda p: -p.ms)
+    report.lemmas = sorted(by_lemma.values(), key=lambda s: (-s.ms, s.name))
+    report.families = sorted(by_family.values(), key=lambda s: (-s.ms, s.name))
+    report.counters = {
+        k: v for k, v in tracer.metrics.to_dict()["counters"].items()
+    }
+    return report
+
+
+def profile_program(
+    name: str,
+    opt_level: int = 0,
+    tracer: Optional[Tracer] = None,
+) -> ProfileReport:
+    """Compile one registry program fresh under a tracer and fold the trace."""
+    from repro.programs.registry import get_program
+
+    program = get_program(name)
+    if tracer is None:
+        # Debug detail: the hottest-lemmas table needs lemma_apply spans.
+        tracer = Tracer(name=f"profile:{name}", detail="debug")
+    with use_tracer(tracer):
+        program.compile(fresh=True, opt_level=opt_level)
+    return fold_trace(tracer, program=name, opt_level=opt_level)

@@ -24,6 +24,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.bedrock2 import ast
 from repro.bedrock2.wellformed import IllFormed, check_function
+from repro.obs.trace import NULL_SPAN, current_tracer
 from repro.opt.passes import Pass, default_pipeline
 
 # Returns None to accept the candidate, or a human-readable reason to
@@ -94,41 +95,64 @@ class PassManager:
         self.validator = validator
 
     def run(self, fn: ast.Function) -> "tuple[ast.Function, List[PassCertificate]]":
+        tracer = current_tracer()
+        trace = tracer.enabled
         certificates: List[PassCertificate] = []
         for pass_ in self.passes:
-            before_hash = ast.fingerprint(fn)
-            try:
-                candidate = pass_.run(fn, self.width)
-            except Exception as exc:  # noqa: BLE001 - a crashing pass is rejected
-                certificates.append(
-                    PassCertificate(
-                        pass_.name,
-                        before_hash,
-                        before_hash,
-                        "rejected",
-                        f"pass raised {exc!r}",
+            span = tracer.span("opt_pass", name=pass_.name) if trace else NULL_SPAN
+            with span:
+                before_hash = ast.fingerprint(fn)
+                try:
+                    candidate = pass_.run(fn, self.width)
+                except Exception as exc:  # noqa: BLE001 - a crashing pass is rejected
+                    certificates.append(
+                        PassCertificate(
+                            pass_.name,
+                            before_hash,
+                            before_hash,
+                            "rejected",
+                            f"pass raised {exc!r}",
+                        )
                     )
-                )
-                continue
-            after_hash = ast.fingerprint(candidate)
-            if candidate == fn:
-                certificates.append(
-                    PassCertificate(pass_.name, before_hash, after_hash, "no-change")
-                )
-                continue
-            error = self._check(candidate, pass_.name)
-            if error is not None:
-                certificates.append(
-                    PassCertificate(
-                        pass_.name, before_hash, before_hash, "rejected", error
+                    self._trace_cert(tracer, certificates[-1])
+                    continue
+                after_hash = ast.fingerprint(candidate)
+                if candidate == fn:
+                    certificates.append(
+                        PassCertificate(pass_.name, before_hash, after_hash, "no-change")
                     )
+                    self._trace_cert(tracer, certificates[-1])
+                    continue
+                error = self._check(candidate, pass_.name)
+                if error is not None:
+                    certificates.append(
+                        PassCertificate(
+                            pass_.name, before_hash, before_hash, "rejected", error
+                        )
+                    )
+                    self._trace_cert(tracer, certificates[-1])
+                    continue  # graceful degradation: keep the pre-pass AST
+                certificates.append(
+                    PassCertificate(pass_.name, before_hash, after_hash, "validated")
                 )
-                continue  # graceful degradation: keep the pre-pass AST
-            certificates.append(
-                PassCertificate(pass_.name, before_hash, after_hash, "validated")
-            )
-            fn = candidate
+                self._trace_cert(tracer, certificates[-1])
+                fn = candidate
         return fn, certificates
+
+    @staticmethod
+    def _trace_cert(tracer, cert: PassCertificate) -> None:
+        if not tracer.enabled:
+            return
+        tracer.event(
+            "opt_pass",
+            **{"pass": cert.pass_name},
+            status=cert.status,
+            before=cert.before_hash,
+            after=cert.after_hash,
+            detail=cert.detail,
+        )
+        tracer.inc(f"opt.pass.{cert.status}")
+        tracer.inc("opt.passes")
 
     def _check(self, candidate: ast.Function, pass_name: str) -> Optional[str]:
         try:

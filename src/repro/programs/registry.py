@@ -55,7 +55,12 @@ class BenchProgram:
         using this program's input generator for the per-pass
         differential checks; the result is cached per level.
         """
-        if self._compiled is None or fresh:
+        from repro.obs.trace import current_tracer
+
+        if self._compiled is None or fresh or current_tracer().enabled:
+            # A flight recorder is watching: serve nothing from the cache,
+            # or the trace would silently miss the derivation it exists
+            # to record.
             from repro.stdlib import default_engine
 
             engine = default_engine()

@@ -618,6 +618,10 @@ def run_faults(
     ``budget`` caps the number of injections (default: every point
     against every target once).
     """
+    from repro.obs.trace import NULL_SPAN, current_tracer
+
+    tracer = current_tracer()
+    trace = tracer.enabled
     master = random.Random(seed)
     targets = _target_cases(master)
     report = FaultReport(seed=seed)
@@ -632,9 +636,24 @@ def run_faults(
         if progress is not None:
             progress(f"injecting {point_name} into {target.name} ({index + 1}/{len(plan)})")
         rng = random.Random(master.getrandbits(64))
-        try:
-            outcome = inject(target, rng, width)
-        except Exception as exc:  # noqa: BLE001 - a leaky harness is a crash finding
-            outcome = FaultOutcome(point_name, target.name, CRASH, repr(exc))
+        span = (
+            tracer.span("fault_injection", name=point_name, program=target.name)
+            if trace
+            else NULL_SPAN
+        )
+        with span:
+            try:
+                outcome = inject(target, rng, width)
+            except Exception as exc:  # noqa: BLE001 - a leaky harness is a crash finding
+                outcome = FaultOutcome(point_name, target.name, CRASH, repr(exc))
+        if trace:
+            tracer.event(
+                "fault_outcome",
+                point=outcome.point,
+                target=outcome.target,
+                outcome=outcome.outcome,
+            )
+            tracer.inc("faults.injected")
+            tracer.inc(f"faults.outcome.{outcome.outcome}")
         report.outcomes.append(outcome)
     return report

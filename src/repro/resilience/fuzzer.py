@@ -132,6 +132,150 @@ def _riscv_agrees(case: FuzzCase, compiled, params, width: int) -> Optional[str]
     return None
 
 
+def _fuzz_one(
+    case: FuzzCase,
+    case_seed: int,
+    report: FuzzReport,
+    binding_db,
+    expr_db,
+    width: int,
+    trials: int,
+    fuel: int,
+    deadline: float,
+    riscv_trials: int,
+) -> str:
+    """Drive one case through the pipeline; returns an outcome slug.
+
+    Slugs: ``ok``, ``stall:<reason>``, ``crash:<stage>``,
+    ``violation:<stage>`` -- also recorded as ``fuzz_outcome`` trace
+    events by the caller.
+    """
+    from repro.bedrock2.wellformed import IllFormed, check_function
+    from repro.core.engine import Engine
+    from repro.validation.checker import CertificateError, check_certificate
+    from repro.validation.differential import differential_check
+    from repro.validation.passcheck import optimize_compiled
+
+    # Stage 1: compile under a budget -- never a hang.
+    engine = Engine(
+        binding_db,
+        expr_db,
+        width=width,
+        budget=Budget(fuel=fuel, deadline=deadline),
+    )
+    try:
+        compiled = engine.compile_function(case.model, case.spec)
+    except ResourceExhausted as exc:
+        reason = exc.report.reason
+        report.stalls[reason] = report.stalls.get(reason, 0) + 1
+        return f"stall:{reason}"
+    except CompileError as exc:
+        reason = exc.report.reason
+        report.stalls[reason] = report.stalls.get(reason, 0) + 1
+        return f"stall:{reason}"
+    except Exception as exc:  # noqa: BLE001 - a compiler crash is a finding
+        report.crashes.append(
+            FuzzFinding(case.name, case.family, "compile", "crash", repr(exc))
+        )
+        return "crash:compile"
+    report.compiled += 1
+
+    # Stage 2 + 3: trusted structural checks.
+    try:
+        check_function(compiled.bedrock_fn)
+    except IllFormed as exc:
+        report.violations.append(
+            FuzzFinding(case.name, case.family, "wellformed", "soundness", str(exc))
+        )
+        return "violation:wellformed"
+    try:
+        check_certificate(
+            compiled.certificate, statement_count=compiled.statement_count()
+        )
+    except CertificateError as exc:
+        report.violations.append(
+            FuzzFinding(case.name, case.family, "certificate", "soundness", str(exc))
+        )
+        return "violation:certificate"
+
+    # Stage 4: differential validation of the raw derivation.
+    try:
+        diff = differential_check(
+            compiled,
+            trials=trials,
+            rng=random.Random(case_seed ^ 0xD1FF),
+            input_gen=case.input_gen,
+            width=width,
+        )
+    except Exception as exc:  # noqa: BLE001
+        report.crashes.append(
+            FuzzFinding(case.name, case.family, "differential", "crash", repr(exc))
+        )
+        return "crash:differential"
+    if not diff.ok:
+        report.violations.append(
+            FuzzFinding(
+                case.name,
+                case.family,
+                "differential",
+                "soundness",
+                str(diff.failures[0]),
+            )
+        )
+        return "violation:differential"
+
+    # Stage 5: the -O1 optimizer, then re-validate the optimized code.
+    try:
+        optimized, _ = optimize_compiled(
+            compiled,
+            level=1,
+            trials=max(2, trials // 2),
+            rng=random.Random(case_seed ^ 0x0B71),
+            input_gen=case.input_gen,
+            width=width,
+        )
+        diff_opt = differential_check(
+            optimized,
+            trials=max(2, trials // 2),
+            rng=random.Random(case_seed ^ 0x0B72),
+            input_gen=case.input_gen,
+            width=width,
+        )
+    except Exception as exc:  # noqa: BLE001
+        report.crashes.append(
+            FuzzFinding(case.name, case.family, "optimize", "crash", repr(exc))
+        )
+        return "crash:optimize"
+    if not diff_opt.ok:
+        report.violations.append(
+            FuzzFinding(
+                case.name,
+                case.family,
+                "optimize",
+                "soundness",
+                str(diff_opt.failures[0]),
+            )
+        )
+        return "violation:optimize"
+
+    # Stage 6: the RISC-V backend on concrete inputs.
+    rv_rng = random.Random(case_seed ^ 0x815C)
+    for params in _concrete_inputs(case, rv_rng, riscv_trials):
+        try:
+            mismatch = _riscv_agrees(case, optimized, params, width)
+        except Exception as exc:  # noqa: BLE001
+            report.crashes.append(
+                FuzzFinding(case.name, case.family, "riscv", "crash", repr(exc))
+            )
+            return "crash:riscv"
+        if mismatch is not None:
+            report.violations.append(
+                FuzzFinding(case.name, case.family, "riscv", "soundness", mismatch)
+            )
+            return "violation:riscv"
+    return "ok"
+
+
 def run_fuzz(
     seed: int = 0,
     budget: int = 100,
@@ -142,14 +286,18 @@ def run_fuzz(
     riscv_trials: int = 2,
     progress=None,
 ) -> FuzzReport:
-    """Run a seeded fuzzing campaign of ``budget`` cases."""
-    from repro.bedrock2.wellformed import IllFormed, check_function
-    from repro.core.engine import Engine
-    from repro.stdlib import default_databases
-    from repro.validation.checker import CertificateError, check_certificate
-    from repro.validation.differential import differential_check
-    from repro.validation.passcheck import optimize_compiled
+    """Run a seeded fuzzing campaign of ``budget`` cases.
 
+    With a flight recorder installed (:func:`repro.obs.use_tracer`) the
+    campaign emits one ``fuzz_case`` span and one ``fuzz_outcome`` event
+    per case, with the engine's own spans nested inside -- the
+    machine-readable telemetry ``python -m repro fuzz --trace`` writes.
+    """
+    from repro.obs.trace import NULL_SPAN, current_tracer
+    from repro.stdlib import default_databases
+
+    tracer = current_tracer()
+    trace = tracer.enabled
     master = random.Random(seed)
     report = FuzzReport(seed=seed, budget=budget)
     binding_db, expr_db = default_databases()
@@ -162,127 +310,20 @@ def run_fuzz(
         report.by_family[case.family] = report.by_family.get(case.family, 0) + 1
         if progress is not None and index % 25 == 0:
             progress(f"case {index}/{budget} ({case.family})")
-
-        # Stage 1: compile under a budget -- never a hang.
-        engine = Engine(
-            binding_db,
-            expr_db,
-            width=width,
-            budget=Budget(fuel=fuel, deadline=deadline),
+        span = (
+            tracer.span("fuzz_case", name=case.name, family=case.family)
+            if trace
+            else NULL_SPAN
         )
-        try:
-            compiled = engine.compile_function(case.model, case.spec)
-        except ResourceExhausted as exc:
-            report.stalls[exc.report.reason] = (
-                report.stalls.get(exc.report.reason, 0) + 1
+        with span:
+            outcome = _fuzz_one(
+                case, case_seed, report, binding_db, expr_db,
+                width, trials, fuel, deadline, riscv_trials,
             )
-            continue
-        except CompileError as exc:
-            reason = exc.report.reason
-            report.stalls[reason] = report.stalls.get(reason, 0) + 1
-            continue
-        except Exception as exc:  # noqa: BLE001 - a compiler crash is a finding
-            report.crashes.append(
-                FuzzFinding(case.name, case.family, "compile", "crash", repr(exc))
+        if trace:
+            tracer.event(
+                "fuzz_outcome", case=case.name, family=case.family, outcome=outcome
             )
-            continue
-        report.compiled += 1
-
-        # Stage 2 + 3: trusted structural checks.
-        try:
-            check_function(compiled.bedrock_fn)
-        except IllFormed as exc:
-            report.violations.append(
-                FuzzFinding(
-                    case.name, case.family, "wellformed", "soundness", str(exc)
-                )
-            )
-            continue
-        try:
-            check_certificate(
-                compiled.certificate, statement_count=compiled.statement_count()
-            )
-        except CertificateError as exc:
-            report.violations.append(
-                FuzzFinding(
-                    case.name, case.family, "certificate", "soundness", str(exc)
-                )
-            )
-            continue
-
-        # Stage 4: differential validation of the raw derivation.
-        try:
-            diff = differential_check(
-                compiled,
-                trials=trials,
-                rng=random.Random(case_seed ^ 0xD1FF),
-                input_gen=case.input_gen,
-                width=width,
-            )
-        except Exception as exc:  # noqa: BLE001
-            report.crashes.append(
-                FuzzFinding(case.name, case.family, "differential", "crash", repr(exc))
-            )
-            continue
-        if not diff.ok:
-            report.violations.append(
-                FuzzFinding(
-                    case.name,
-                    case.family,
-                    "differential",
-                    "soundness",
-                    str(diff.failures[0]),
-                )
-            )
-            continue
-
-        # Stage 5: the -O1 optimizer, then re-validate the optimized code.
-        try:
-            optimized, _ = optimize_compiled(
-                compiled,
-                level=1,
-                trials=max(2, trials // 2),
-                rng=random.Random(case_seed ^ 0x0B71),
-                input_gen=case.input_gen,
-                width=width,
-            )
-            diff_opt = differential_check(
-                optimized,
-                trials=max(2, trials // 2),
-                rng=random.Random(case_seed ^ 0x0B72),
-                input_gen=case.input_gen,
-                width=width,
-            )
-        except Exception as exc:  # noqa: BLE001
-            report.crashes.append(
-                FuzzFinding(case.name, case.family, "optimize", "crash", repr(exc))
-            )
-            continue
-        if not diff_opt.ok:
-            report.violations.append(
-                FuzzFinding(
-                    case.name,
-                    case.family,
-                    "optimize",
-                    "soundness",
-                    str(diff_opt.failures[0]),
-                )
-            )
-            continue
-
-        # Stage 6: the RISC-V backend on concrete inputs.
-        rv_rng = random.Random(case_seed ^ 0x815C)
-        for params in _concrete_inputs(case, rv_rng, riscv_trials):
-            try:
-                mismatch = _riscv_agrees(case, optimized, params, width)
-            except Exception as exc:  # noqa: BLE001
-                report.crashes.append(
-                    FuzzFinding(case.name, case.family, "riscv", "crash", repr(exc))
-                )
-                break
-            if mismatch is not None:
-                report.violations.append(
-                    FuzzFinding(case.name, case.family, "riscv", "soundness", mismatch)
-                )
-                break
+            tracer.inc("fuzz.cases")
+            tracer.inc(f"fuzz.outcome.{outcome.split(':', 1)[0]}")
     return report

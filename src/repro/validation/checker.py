@@ -126,16 +126,33 @@ def validate(
     requires bit-identical output (determinism replay).
     """
     from repro.bedrock2.wellformed import check_function
+    from repro.obs.trace import NULL_SPAN, current_tracer
     from repro.validation.differential import differential_check
 
-    check_function(compiled.bedrock_fn)
-    check_certificate(
-        compiled.certificate,
-        databases=databases,
-        statement_count=compiled.statement_count(),
-    )
-    if replay:
-        replay_derivation(compiled, databases=databases, width=width)
-    return differential_check(
-        compiled, trials=trials, rng=rng, width=width, **kwargs
-    ).raise_on_failure()
+    tracer = current_tracer()
+    trace = tracer.enabled
+    span = tracer.span("validate", name=compiled.name) if trace else NULL_SPAN
+    with span:
+        check_function(compiled.bedrock_fn)
+        if trace:
+            tracer.event(
+                "verdict", check="wellformed", ok=True, function=compiled.name
+            )
+        check_certificate(
+            compiled.certificate,
+            databases=databases,
+            statement_count=compiled.statement_count(),
+        )
+        if trace:
+            tracer.event(
+                "verdict", check="certificate", ok=True, function=compiled.name
+            )
+        if replay:
+            replay_derivation(compiled, databases=databases, width=width)
+            if trace:
+                tracer.event(
+                    "verdict", check="replay", ok=True, function=compiled.name
+                )
+        return differential_check(
+            compiled, trials=trials, rng=rng, width=width, **kwargs
+        ).raise_on_failure()

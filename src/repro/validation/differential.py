@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.core.spec import CompiledFunction, OutKind
+from repro.obs.trace import current_tracer
 from repro.source.evaluator import CellV
 from repro.validation.runners import eval_model, make_inputs, run_function
 
@@ -118,6 +119,20 @@ def differential_check(
             continue
 
         _compare(report, params, spec, run, model_result, width)
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "verdict",
+            check="differential",
+            ok=report.ok,
+            function=compiled.name,
+            trials=report.trials,
+            failures=len(report.failures),
+        )
+        tracer.inc("validate.differential.trials", report.trials)
+        tracer.inc(
+            "validate.differential." + ("ok" if report.ok else "failed")
+        )
     return report
 
 

@@ -1,0 +1,94 @@
+"""CLI integration: ``--trace``, ``profile``, and ``bench --json``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs.trace import NULL, current_tracer, read_jsonl, validate_events
+
+
+def test_compile_trace_writes_valid_jsonl(tmp_path, capsys):
+    trace_path = tmp_path / "t.jsonl"
+    assert main(["compile", "fnv1a", "--trace", str(trace_path)]) == 0
+    out = capsys.readouterr()
+    assert "uintptr_t" in out.out or "fnv1a" in out.out
+    assert str(trace_path) in out.err
+
+    records = read_jsonl(str(trace_path))
+    validate_events(records)
+    kinds = {r.get("ev") for r in records}
+    assert {"meta", "span_open", "span_close", "lemma_hit", "cert_node"} <= kinds
+    # Wall-clock data rides out-of-band in the trailing timings record.
+    assert records[-1]["ev"] == "timings"
+    metrics = [r for r in records if r.get("ev") == "metrics"]
+    assert metrics and metrics[0]["counters"]["functions.compiled"] == 1
+
+
+def test_compile_without_trace_leaves_null_tracer(capsys):
+    assert main(["compile", "fnv1a"]) == 0
+    capsys.readouterr()
+    assert current_tracer() is NULL
+
+
+def test_profile_renders_breakdown(capsys):
+    assert main(["profile", "fnv1a"]) == 0
+    out = capsys.readouterr().out
+    assert "phase breakdown" in out
+    assert "compile_binding" in out
+    assert "hottest lemmas" in out
+    assert "lemma.hits=" in out
+
+
+def test_profile_json(capsys):
+    assert main(["profile", "fnv1a", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["program"] == "fnv1a"
+    assert any(p["kind"] == "compile_function" for p in payload["phases"])
+    assert payload["counters"]["functions.compiled"] == 1
+    assert all(s["count"] >= 1 for s in payload["lemmas"])
+
+
+def test_profile_unknown_program_exits_2(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["profile", "nosuch"])
+    assert excinfo.value.code == 2
+
+
+def test_bench_json_has_metrics_block(capsys):
+    assert main(["bench", "--json", "--size", "64"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "rows" in payload and len(payload["rows"]) >= 14  # 7 programs x 2 impls
+    counters = payload["metrics"]["counters"]
+    assert counters["functions.compiled"] >= 7
+    assert counters["lemma.hits"] > counters["functions.compiled"]
+
+
+def test_fuzz_trace_has_outcomes(tmp_path, capsys):
+    trace_path = tmp_path / "fuzz.jsonl"
+    rc = main(["fuzz", "--budget", "3", "--trace", str(trace_path)])
+    assert rc == 0
+    capsys.readouterr()
+    records = read_jsonl(str(trace_path))
+    validate_events(records)
+    outcomes = [r for r in records if r.get("ev") == "fuzz_outcome"]
+    assert len(outcomes) == 3
+    spans = [
+        r
+        for r in records
+        if r.get("ev") == "span_open" and r.get("kind") == "fuzz_case"
+    ]
+    assert len(spans) == 3
+
+
+def test_faults_trace_has_outcomes(tmp_path, capsys):
+    trace_path = tmp_path / "faults.jsonl"
+    rc = main(["faults", "--budget", "2", "--trace", str(trace_path)])
+    assert rc == 0
+    capsys.readouterr()
+    records = read_jsonl(str(trace_path))
+    validate_events(records)
+    outcomes = [r for r in records if r.get("ev") == "fault_outcome"]
+    assert len(outcomes) == 2

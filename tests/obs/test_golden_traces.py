@@ -1,0 +1,106 @@
+"""Golden-trace regression tests: the flight recorder's output is pinned.
+
+Every registry program is compiled fresh under a :class:`Tracer`; the
+normalized trace (events with wall-clock data stripped, plus the
+deterministic metrics snapshot) must match the committed golden file
+byte for byte.  Because proof search is deterministic -- no backtracking,
+ordered hint databases -- any diff here means the *derivation* changed:
+a lemma was added/reordered, a side condition now takes a different
+solver, the certificate shape moved.  That is exactly the class of
+change a reviewer should see in a PR diff.
+
+Intentional changes: rerun with ``--update-goldens`` and commit the new
+files.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.trace import Tracer, use_tracer, validate_events
+from repro.programs import all_programs, get_program
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+PROGRAM_NAMES = sorted(p.name for p in all_programs())
+
+
+def compile_traced(name: str) -> Tracer:
+    """One fresh, traced compilation of a registry program."""
+    program = get_program(name)
+    # Debug detail: goldens pin the *maximal* trace, misses and all.
+    tracer = Tracer(name=f"golden:{name}", detail="debug")
+    with use_tracer(tracer):
+        program.compile(fresh=True)
+    return tracer
+
+
+def golden_text(tracer: Tracer) -> str:
+    return "".join(
+        json.dumps(record, sort_keys=True) + "\n"
+        for record in tracer.golden_lines()
+    )
+
+
+@pytest.mark.parametrize("name", PROGRAM_NAMES)
+def test_trace_matches_golden(name, request):
+    tracer = compile_traced(name)
+    validate_events(tracer.golden_lines())
+    actual = golden_text(tracer)
+    golden_path = GOLDEN_DIR / f"{name}.trace.jsonl"
+
+    if request.config.getoption("--update-goldens"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(actual)
+        return
+
+    assert golden_path.exists(), (
+        f"no golden trace for {name!r}; generate one with\n"
+        f"  PYTHONPATH=src python -m pytest tests/obs --update-goldens"
+    )
+    expected = golden_path.read_text()
+    if actual != expected:
+        diff = "\n".join(
+            difflib.unified_diff(
+                expected.splitlines(),
+                actual.splitlines(),
+                fromfile=f"goldens/{name}.trace.jsonl",
+                tofile="actual",
+                lineterm="",
+                n=2,
+            )
+        )
+        pytest.fail(
+            f"trace for {name!r} diverged from its golden file -- the "
+            f"derivation changed.  If intentional, rerun with "
+            f"--update-goldens and commit.\n{diff}"
+        )
+
+
+@pytest.mark.parametrize("name", ["fnv1a", "crc32"])
+def test_trace_is_stable_across_runs(name):
+    """Two consecutive traced compilations normalize identically."""
+    first = golden_text(compile_traced(name))
+    second = golden_text(compile_traced(name))
+    assert first == second
+
+
+def test_goldens_cover_every_registry_program():
+    """Adding a program to the registry requires committing its golden."""
+    committed = {p.stem.replace(".trace", "") for p in GOLDEN_DIR.glob("*.trace.jsonl")}
+    assert committed == set(PROGRAM_NAMES), (
+        f"golden files {sorted(committed)} do not match registry "
+        f"programs {PROGRAM_NAMES}; rerun with --update-goldens"
+    )
+
+
+def test_normalized_trace_has_no_wallclock_fields():
+    tracer = compile_traced("fnv1a")
+    for record in tracer.golden_lines():
+        for volatile in ("ms", "dur", "elapsed", "time"):
+            assert volatile not in record
+        assert record.get("ev") != "timings"

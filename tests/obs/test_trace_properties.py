@@ -1,0 +1,264 @@
+"""Property tests: every trace the pipeline emits is well formed.
+
+``validate_events`` enforces the schema and the span discipline (LIFO
+nesting, correct parent links, every span closed).  These tests run it
+over traces from every registry program, from fuzz-generator models
+(including ones that stall), and directly exercise the validator's
+rejection paths on hand-built malformed traces.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.goals import CompileError
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.trace import (
+    NULL,
+    TraceError,
+    Tracer,
+    current_tracer,
+    normalize_events,
+    use_tracer,
+    validate_events,
+)
+from repro.programs import all_programs, get_program
+
+PROGRAM_NAMES = sorted(p.name for p in all_programs())
+
+
+def traced_compile(name: str) -> Tracer:
+    tracer = Tracer(name=name, detail="debug")
+    with use_tracer(tracer):
+        get_program(name).compile(fresh=True)
+    return tracer
+
+
+@pytest.mark.parametrize("name", PROGRAM_NAMES)
+def test_registry_traces_are_schema_valid(name):
+    tracer = traced_compile(name)
+    validate_events(tracer.events)
+    validate_events(tracer.golden_lines())
+    assert tracer.open_spans() == []
+
+
+@pytest.mark.parametrize("name", PROGRAM_NAMES)
+def test_every_cert_node_has_a_matching_lemma_hit(name):
+    """The certificate is the record of the hits: one node per hit.
+
+    ``derive``/``compile_done`` roots are engine bookkeeping; every
+    *lemma* node in the certificate must correspond to exactly one
+    ``lemma_hit`` event, and vice versa -- the trace and the witness
+    describe the same derivation.
+    """
+    tracer = traced_compile(name)
+    hits: dict = {}
+    nodes: dict = {}
+    for event in tracer.events:
+        if event["ev"] == "lemma_hit":
+            hits[event["lemma"]] = hits.get(event["lemma"], 0) + 1
+        elif event["ev"] == "cert_node" and event["kind"] in ("expr", "binding"):
+            nodes[event["lemma"]] = nodes.get(event["lemma"], 0) + 1
+    assert nodes == hits
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_fuzz_generated_models_trace_cleanly(seed):
+    """Random models -- compiled or stalled -- still produce valid traces."""
+    from repro.resilience.budget import Budget
+    from repro.resilience.generator import generate_case
+    from repro.stdlib import default_databases
+
+    case = generate_case(random.Random(seed), seed)
+    binding_db, expr_db = default_databases()
+    tracer = Tracer(name=f"fuzz:{seed}")
+    with use_tracer(tracer):
+        from repro.core.engine import Engine
+
+        engine = Engine(
+            binding_db, expr_db, budget=Budget(fuel=200_000, deadline=20.0)
+        )
+        try:
+            engine.compile_function(case.model, case.spec)
+        except CompileError:
+            pass  # a stall must still close its spans
+    validate_events(tracer.events)
+    assert tracer.open_spans() == []
+
+
+def test_stalled_span_closes_with_reason():
+    """A stall classifies its enclosing spans instead of corrupting them."""
+    from repro.core.engine import Engine
+    from repro.core.lemma import HintDb
+    from repro.core.spec import FnSpec, Model, scalar_arg, scalar_out
+    from repro.source.builder import let_n, sym
+    from repro.source.types import WORD
+
+    body = let_n("r", sym("x", WORD) + 1, sym("r", WORD)).term
+    spec = FnSpec("f", [scalar_arg("x")], [scalar_out()])
+    model = Model("f", [("x", WORD)], body)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with pytest.raises(CompileError):
+            Engine(HintDb("empty"), HintDb("empty")).compile_function(model, spec)
+    closes = [
+        e
+        for e in tracer.events
+        if e["ev"] == "span_close" and e["status"] == "stalled"
+    ]
+    assert closes, "stall produced no stalled span_close"
+    assert all("reason" in e for e in closes)
+    validate_events(tracer.events)
+    assert tracer.open_spans() == []
+
+
+def test_standard_detail_preserves_metrics_and_hits():
+    """The cheap default tier loses no aggregate information.
+
+    Standard detail drops per-miss events and per-goal spans, but the
+    metrics registry and the hit sequence (with ``scanned`` counts, from
+    which misses are derivable) must be identical to debug detail.
+    """
+    standard = Tracer(detail="standard")
+    with use_tracer(standard):
+        get_program("fnv1a").compile(fresh=True)
+    debug = Tracer(detail="debug")
+    with use_tracer(debug):
+        get_program("fnv1a").compile(fresh=True)
+
+    assert standard.metrics.to_dict() == debug.metrics.to_dict()
+
+    def hits(tracer):
+        return [
+            {k: e[k] for k in ("db", "lemma", "head", "scanned")}
+            for e in tracer.events
+            if e["ev"] == "lemma_hit"
+        ]
+
+    assert hits(standard) == hits(debug)
+    assert not any(e["ev"] == "lemma_miss" for e in standard.events)
+    validate_events(standard.events)
+    validate_events(debug.events)
+
+
+def test_tracer_rejects_unknown_detail():
+    with pytest.raises(ValueError):
+        Tracer(detail="verbose")
+
+
+# -- Validator rejection paths ------------------------------------------------
+
+
+def _base(events):
+    return [{"i": 0, "ev": "meta", "schema": 1}] + events
+
+
+def test_validator_rejects_unknown_event_type():
+    with pytest.raises(TraceError, match="unknown type"):
+        validate_events(_base([{"i": 1, "ev": "warp_drive"}]))
+
+
+def test_validator_rejects_missing_required_field():
+    with pytest.raises(TraceError, match="missing field"):
+        validate_events(_base([{"i": 1, "ev": "lemma_hit", "db": "x"}]))
+
+
+def test_validator_rejects_unknown_field():
+    with pytest.raises(TraceError, match="unknown fields"):
+        validate_events(
+            _base(
+                [{"i": 1, "ev": "solver_call", "solver": "s", "solved": True, "x": 1}]
+            )
+        )
+
+
+def test_validator_rejects_out_of_order_close():
+    events = _base(
+        [
+            {"i": 1, "ev": "span_open", "span": 0, "kind": "validate", "parent": None},
+            {"i": 2, "ev": "span_open", "span": 1, "kind": "validate", "parent": 0},
+            {"i": 3, "ev": "span_close", "span": 0, "kind": "validate", "status": "ok"},
+        ]
+    )
+    with pytest.raises(TraceError, match="out of order"):
+        validate_events(events)
+
+
+def test_validator_rejects_unclosed_span():
+    events = _base(
+        [{"i": 1, "ev": "span_open", "span": 0, "kind": "validate", "parent": None}]
+    )
+    with pytest.raises(TraceError, match="unclosed"):
+        validate_events(events)
+
+
+def test_validator_rejects_wrong_parent():
+    events = _base(
+        [{"i": 1, "ev": "span_open", "span": 0, "kind": "validate", "parent": 7}]
+    )
+    with pytest.raises(TraceError, match="parent"):
+        validate_events(events)
+
+
+# -- Tracer mechanics ---------------------------------------------------------
+
+
+def test_use_tracer_restores_previous():
+    assert current_tracer() is NULL
+    tracer = Tracer()
+    with use_tracer(tracer):
+        assert current_tracer() is tracer
+        inner = Tracer()
+        with use_tracer(inner):
+            assert current_tracer() is inner
+        assert current_tracer() is tracer
+    assert current_tracer() is NULL
+
+
+def test_normalize_strips_timings_and_renumbers():
+    events = [
+        {"i": 0, "ev": "meta", "schema": 1},
+        {"i": 1, "ev": "timings", "spans": {}},
+        {"i": 2, "ev": "resolve_stats", "rewrites": 3, "ms": 1.5},
+    ]
+    normalized = normalize_events(events)
+    assert [e["i"] for e in normalized] == [0, 1]
+    assert normalized[1] == {"i": 1, "ev": "resolve_stats", "rewrites": 3}
+
+
+def test_null_tracer_is_inert():
+    with NULL.span("compile_function") as span:
+        span.note(rewrites=1)
+    NULL.event("lemma_hit", db="x", lemma="y", head="z")
+    NULL.inc("anything")
+    NULL.observe("anything", 1.0)
+    assert NULL.enabled is False
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1))
+def test_histogram_mean_is_bounded(values):
+    histogram = Histogram()
+    for value in values:
+        histogram.observe(value)
+    assert histogram.count == len(values)
+    assert histogram.min <= histogram.mean <= histogram.max
+
+
+@given(
+    st.dictionaries(st.sampled_from("abcdef"), st.integers(1, 100)),
+    st.dictionaries(st.sampled_from("abcdef"), st.integers(1, 100)),
+)
+def test_metrics_merge_adds_counters(left, right):
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    for k, v in left.items():
+        a.inc(k, v)
+    for k, v in right.items():
+        b.inc(k, v)
+    a.merge(b)
+    for key in set(left) | set(right):
+        assert a.get(key) == left.get(key, 0) + right.get(key, 0)
