@@ -135,17 +135,25 @@ def measure(
     seed: int = 0,
     with_riscv: bool = True,
     opt_level: int = 0,
+    cache=None,
 ) -> Measurement:
     """Measure one implementation of one suite program.
 
     ``opt_level`` only affects the ``"rupicola"`` implementation: the
     derived code is first run through the translation-validated
-    optimizer (``repro.opt``) at that level.
+    optimizer (``repro.opt``) at that level.  ``cache`` (a
+    :class:`repro.serve.cache.CompilationCache`) serves the derivation
+    from disk when warm -- re-validated, never trusted blindly.
     """
     rng = random.Random(seed)
     data = program.gen_input(rng, size)
     if implementation == "rupicola":
-        fn = program.compile(opt_level=opt_level).bedrock_fn
+        if cache is not None:
+            from repro.serve.cache import compile_program_cached
+
+            fn = compile_program_cached(cache, program, opt_level=opt_level)[0].bedrock_fn
+        else:
+            fn = program.compile(opt_level=opt_level).bedrock_fn
         if opt_level > 0:
             implementation = f"rupicola-O{opt_level}"
     elif implementation == "handwritten":
@@ -177,11 +185,15 @@ def measure(
     )
 
 
-def figure2_rows(size: int = DEFAULT_SIZE, with_riscv: bool = True) -> List[Measurement]:
+def figure2_rows(
+    size: int = DEFAULT_SIZE, with_riscv: bool = True, cache=None
+) -> List[Measurement]:
     """All programs x both implementations -- the full Figure 2 data."""
     rows: List[Measurement] = []
     for program in all_programs():
-        rows.append(measure(program, "rupicola", size, with_riscv=with_riscv))
+        rows.append(
+            measure(program, "rupicola", size, with_riscv=with_riscv, cache=cache)
+        )
         rows.append(measure(program, "handwritten", size, with_riscv=with_riscv))
     return rows
 
@@ -219,14 +231,21 @@ class OptimizerComparison:
 
 
 def optimizer_rows(
-    size: int = DEFAULT_SIZE, with_riscv: bool = True
+    size: int = DEFAULT_SIZE, with_riscv: bool = True, cache=None
 ) -> List[OptimizerComparison]:
     """``-O0`` vs ``-O1`` for every derived suite program."""
     rows: List[OptimizerComparison] = []
     for program in all_programs():
-        unopt = measure(program, "rupicola", size, with_riscv=with_riscv)
-        opt = measure(program, "rupicola", size, with_riscv=with_riscv, opt_level=1)
-        report = program.compile(opt_level=1).opt_report
+        unopt = measure(program, "rupicola", size, with_riscv=with_riscv, cache=cache)
+        opt = measure(
+            program, "rupicola", size, with_riscv=with_riscv, opt_level=1, cache=cache
+        )
+        if cache is not None:
+            from repro.serve.cache import compile_program_cached
+
+            report = compile_program_cached(cache, program, opt_level=1)[0].opt_report
+        else:
+            report = program.compile(opt_level=1).opt_report
         rows.append(
             OptimizerComparison(
                 program=program.name,

@@ -627,6 +627,104 @@ def section_observability() -> str:
     return "\n".join(lines)
 
 
+def section_serving() -> str:
+    from benchmarks.bench_serve import batch_throughputs, cold_warm_latencies
+
+    rows = cold_warm_latencies(opt_level=1)
+    cold_total = sum(r[1] for r in rows)
+    warm_total = sum(r[2] for r in rows)
+    speedup = cold_total / warm_total if warm_total else float("inf")
+
+    lines = [
+        "## E12 — `repro.serve`: content-addressed caching and batch throughput",
+        "",
+        "**Claim (§3.2, operationalized):** proof search is deterministic and",
+        "non-backtracking, so a derivation is a pure function of (model, spec,",
+        "ordered lemma databases, solver bank, word width, opt level) — which",
+        "makes compilation *memoizable by content address*.  `repro.serve`",
+        "fingerprints all of those inputs into a cache key; a warm request",
+        "decodes the stored Bedrock2 AST + certificate, digest-checks the",
+        "entry, and **re-runs the trusted checkers** (well-formedness +",
+        "structural certificate check) before serving it, so the cache adds",
+        "zero trust: a poisoned entry costs one cold compile, never",
+        "correctness.",
+        "",
+        "**Measured** (warm includes decode + digest check + re-validation;",
+        "`-O1`, so cold also runs the translation-validated optimizer):",
+        "",
+        "```",
+        f"{'program':<8} {'cold ms':>9} {'warm ms':>9} {'speedup':>9}",
+    ]
+    for name, cold_ms, warm_ms in rows:
+        ratio = cold_ms / warm_ms if warm_ms else float("inf")
+        lines.append(f"{name:<8} {cold_ms:>9.2f} {warm_ms:>9.2f} {ratio:>8.1f}x")
+    lines += [
+        f"{'total':<8} {cold_total:>9.2f} {warm_total:>9.2f} {speedup:>8.1f}x",
+        "```",
+        "",
+        f"Suite-level warm speedup: **{speedup:.1f}x** (acceptance bar: >=5x",
+        "with re-validation on; `benchmarks/bench_serve.py` pins this in CI).",
+        "Warm results are byte-identical to cold compiles",
+        "(`tests/serve/test_cache.py`), which is the determinism claim made",
+        "checkable: same inputs, same derivation, down to the serialized",
+        "certificate.",
+        "",
+    ]
+
+    import os
+
+    cpus = os.cpu_count() or 1
+    throughputs = batch_throughputs(jobs_counts=(1, 2, 4))
+    base = throughputs[1]
+    lines += [
+        "Batch compilation of a cold 17-job manifest (7 registry programs at",
+        "`-O1` + 10 fuzz-corpus models at `-O0`) under",
+        f"`python -m repro batch --jobs N`, fresh cache per run, on a",
+        f"{cpus}-CPU host:",
+        "",
+        "```",
+        f"{'jobs':>4} {'jobs/s':>8} {'scaling':>9}",
+    ]
+    for jobs_n, rate in sorted(throughputs.items()):
+        lines.append(f"{jobs_n:>4} {rate:>8.1f} {rate / base:>8.2f}x")
+    lines += [
+        "```",
+        "",
+    ]
+    if cpus == 1:
+        lines += [
+            "This measurement box has a **single CPU**, so the worker pool",
+            "cannot exhibit parallel speedup here — the `--jobs > 1` rows pay",
+            "process-pool and IPC overhead with no cores to spend it on, and",
+            "the honest reading is *overhead cost*, not *scaling*.  What the",
+            "suite does pin on any host is *equivalence*: the parallel batch,",
+            "fuzz, and fault campaigns produce bit-identical reports to their",
+            "single-process runs (`tests/serve/test_batch.py`,",
+            "`tests/resilience`), because every per-job seed is pre-drawn from",
+            "the master stream and workers regenerate their cases",
+            "deterministically.  On a multi-core host the jobs are",
+            "embarrassingly parallel (no shared state beyond the atomic-publish",
+            "cache directory), so throughput scales with cores until the",
+            "per-job compile cost is amortized.",
+            "",
+        ]
+    else:
+        lines += [
+            "Jobs are embarrassingly parallel (no shared state beyond the",
+            "atomic-publish cache directory); scaling is bounded by per-job",
+            "process overhead at millisecond compile sizes.",
+            "",
+        ]
+    lines += [
+        "Per-job fuel/deadline budgets from `repro.resilience` are enforced",
+        "inside the workers, and cache counters from all workers are merged",
+        "into the batch report.  See `docs/serving.md` for the key design and",
+        "trust model.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
 def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--size", type=int, default=2048)
@@ -662,6 +760,7 @@ def main() -> None:
         section_case_studies(),
         section_e8(),
         section_observability(),
+        section_serving(),
     ]
     with open(args.out, "w") as handle:
         handle.write("\n".join(header) + "\n" + "\n".join(sections))

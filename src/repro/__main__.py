@@ -14,16 +14,24 @@ Commands:
 - ``faults``                    -- cross-layer fault-injection campaign
   (corrupt untrusted components; assert the trusted checkers notice);
 - ``profile <program>``         -- compile under the flight recorder and
-  print the per-phase / per-lemma time breakdown.
+  print the per-phase / per-lemma time breakdown;
+- ``batch <manifest>``          -- compile a manifest of programs and/or
+  a fuzz corpus through the worker pool (``--jobs``) and the
+  content-addressed cache (``--cache``);
+- ``serve``                     -- long-lived JSON-lines compilation
+  service over stdio or a Unix socket (see ``docs/serving.md``).
 
 ``compile``, ``validate``, ``riscv``, and ``bench`` accept ``-O0`` (the
 default) or ``-O1`` to run the translation-validated optimizer
 (``repro.opt``) on the derived code first.  ``compile``, ``validate``,
 ``bench``, ``fuzz``, and ``faults`` accept ``--trace FILE`` to record
 the run's flight-recorder events as JSON Lines (see
-``docs/observability.md``).  All commands accept ``--seed`` and seed
-Python's ``random`` module themselves, so runs are reproducible rather
-than depending on ambient RNG state.
+``docs/observability.md``).  ``compile``, ``bench``, ``batch``, and
+``serve`` accept ``--cache DIR`` to reuse (re-validated) derivations
+across runs; ``fuzz``, ``faults``, and ``batch`` accept ``--jobs N``
+for a worker pool.  All commands accept ``--seed`` and seed Python's
+``random`` module themselves, so runs are reproducible rather than
+depending on ambient RNG state.
 """
 
 from __future__ import annotations
@@ -84,9 +92,23 @@ def _program(name: str):
 
 
 def _compiled(args):
-    """Compile the named program at the requested optimization level."""
+    """Compile the named program at the requested optimization level.
+
+    With ``--cache DIR`` the derivation is served from (and stored to)
+    the content-addressed cache; warm entries are re-validated by the
+    trusted checkers before use and the outcome is reported on stderr.
+    """
     program = _program(args.program)
-    return program, program.compile(opt_level=getattr(args, "opt_level", 0))
+    opt_level = getattr(args, "opt_level", 0)
+    cache_dir = getattr(args, "cache", None)
+    if cache_dir:
+        from repro.serve.cache import CompilationCache, compile_program_cached
+
+        cache = CompilationCache(cache_dir)
+        compiled, outcome = compile_program_cached(cache, program, opt_level=opt_level)
+        print(f"// cache: {outcome} ({cache_dir})", file=sys.stderr)
+        return program, compiled
+    return program, program.compile(opt_level=opt_level)
 
 
 def _print_opt_summary(compiled) -> None:
@@ -189,6 +211,7 @@ def cmd_fuzz(args) -> int:
             fuel=args.fuel,
             deadline=args.deadline,
             progress=progress if args.verbose else None,
+            jobs=args.jobs,
         )
     if args.json:
         import json
@@ -210,6 +233,7 @@ def cmd_faults(args) -> int:
             seed=args.seed,
             budget=args.budget,
             progress=progress if args.verbose else None,
+            jobs=args.jobs,
         )
     if args.json:
         import json
@@ -223,15 +247,27 @@ def cmd_faults(args) -> int:
 def cmd_bench(args) -> int:
     from benchmarks.figure2 import figure2_rows, render_figure2  # type: ignore
 
+    cache = None
+    if getattr(args, "cache", None):
+        from repro.serve.cache import CompilationCache
+
+        cache = CompilationCache(args.cache)
     # --json always meters the run: the suite compilations happen under a
     # tracer so the payload can carry the metrics registry.
     with _maybe_trace(args, "bench", force=args.json) as tracer:
-        rows = figure2_rows(size=args.size)
+        rows = figure2_rows(size=args.size, cache=cache)
         opt_rows = None
         if args.opt_level > 0:
             from benchmarks.figure2 import optimizer_rows, render_optimizer_table
 
-            opt_rows = optimizer_rows(size=args.size)
+            opt_rows = optimizer_rows(size=args.size, cache=cache)
+    if cache is not None:
+        stats = cache.stats
+        print(
+            f"// cache [{args.cache}]: {stats.hits} hits, {stats.misses} misses, "
+            f"{stats.invalidated} invalidated, {stats.stores} stores",
+            file=sys.stderr,
+        )
     if args.json:
         import dataclasses
         import json
@@ -251,6 +287,50 @@ def cmd_bench(args) -> int:
 
         print()
         print(render_optimizer_table(opt_rows))
+    return 0
+
+
+def cmd_batch(args) -> int:
+    from repro.serve.batch import load_manifest, run_batch
+
+    def progress(message: str) -> None:
+        print(f"// {message}", file=sys.stderr)
+
+    if args.manifest == "registry":
+        from repro.serve.batch import registry_manifest
+
+        jobs = registry_manifest(opt_level=args.opt_level)
+    else:
+        jobs = load_manifest(args.manifest)
+    with _maybe_trace(args, f"batch:{args.manifest}"):
+        report = run_batch(
+            jobs,
+            jobs_n=args.jobs,
+            cache_dir=args.cache,
+            fuel=args.fuel,
+            deadline=args.deadline,
+            progress=progress if args.verbose else None,
+        )
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if not report.crashes else 1
+
+
+def cmd_serve(args) -> int:
+    from repro.serve.service import CompileService
+
+    service = CompileService(cache_dir=args.cache)
+    with _maybe_trace(args, "serve"):
+        if args.socket:
+            print(f"// serving on {args.socket}", file=sys.stderr)
+            service.serve_socket(args.socket)
+        else:
+            service.serve_stdio()
+    print(f"// served {service.requests} requests", file=sys.stderr)
     return 0
 
 
@@ -290,6 +370,11 @@ def main(argv=None) -> int:
             )
         if name == "compile":
             p.add_argument("--trace", metavar="FILE", help=trace_help)
+            p.add_argument(
+                "--cache", metavar="DIR",
+                help="content-addressed derivation cache (entries are "
+                "re-validated by the trusted checkers on load)",
+            )
         if name == "riscv":
             p.add_argument("--disasm", action="store_true")
     p = sub.add_parser("validate")
@@ -318,6 +403,10 @@ def main(argv=None) -> int:
     p.add_argument("--json", action="store_true", help="machine-readable report")
     p.add_argument("--trace", metavar="FILE", help=trace_help)
     p.add_argument("-v", "--verbose", action="store_true")
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (default 1: single-process, full tracing)",
+    )
     p = sub.add_parser("faults", help="cross-layer fault-injection campaign")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--budget", type=int, default=None,
@@ -325,6 +414,10 @@ def main(argv=None) -> int:
     p.add_argument("--json", action="store_true", help="machine-readable report")
     p.add_argument("--trace", metavar="FILE", help=trace_help)
     p.add_argument("-v", "--verbose", action="store_true")
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (default 1: single-process, full tracing)",
+    )
     p = sub.add_parser("bench")
     p.add_argument("--size", type=int, default=1024)
     p.add_argument(
@@ -333,6 +426,37 @@ def main(argv=None) -> int:
     )
     p.add_argument("--json", action="store_true",
                    help="machine-readable rows plus the metrics registry")
+    p.add_argument("--trace", metavar="FILE", help=trace_help)
+    p.add_argument("--cache", metavar="DIR",
+                   help="serve suite derivations from this cache directory")
+    p = sub.add_parser(
+        "batch", help="compile a manifest of jobs through the worker pool"
+    )
+    p.add_argument(
+        "manifest",
+        help="JSON manifest path, or the literal 'registry' for the full suite",
+    )
+    p.add_argument("--jobs", type=int, default=1, help="worker processes")
+    p.add_argument("--cache", metavar="DIR",
+                   help="shared content-addressed derivation cache")
+    p.add_argument(
+        "-O", dest="opt_level", type=int, choices=(0, 1), default=0,
+        help="optimization level for the 'registry' shorthand manifest",
+    )
+    p.add_argument("--fuel", type=int, default=200_000,
+                   help="proof-search fuel per job")
+    p.add_argument("--deadline", type=float, default=20.0,
+                   help="wall-clock seconds per job")
+    p.add_argument("--json", action="store_true", help="machine-readable report")
+    p.add_argument("--trace", metavar="FILE", help=trace_help)
+    p.add_argument("-v", "--verbose", action="store_true")
+    p = sub.add_parser(
+        "serve", help="long-lived JSON-lines compilation service"
+    )
+    p.add_argument("--cache", metavar="DIR",
+                   help="content-addressed derivation cache")
+    p.add_argument("--socket", metavar="PATH",
+                   help="listen on a Unix domain socket instead of stdio")
     p.add_argument("--trace", metavar="FILE", help=trace_help)
     p = sub.add_parser(
         "profile", help="per-phase / per-lemma time breakdown of one compile"
@@ -357,6 +481,8 @@ def main(argv=None) -> int:
         "fuzz": cmd_fuzz,
         "faults": cmd_faults,
         "profile": cmd_profile,
+        "batch": cmd_batch,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

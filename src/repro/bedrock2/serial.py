@@ -1,0 +1,219 @@
+"""A canonical JSON codec for the Bedrock2 AST.
+
+The compilation cache (:mod:`repro.serve`) stores derived functions on
+disk; this module is the codec.  Design rules, mirroring the certificate
+serialization in :mod:`repro.core.certificate`:
+
+- **canonical** -- every node encodes as a tagged dict with sorted keys
+  and fixed separators, so structurally equal functions serialize to
+  identical bytes (the content-addressing property);
+- **versioned** -- a schema header is embedded at the function level and
+  checked on decode, so a format change can never be misread as data
+  corruption (or vice versa);
+- **total on decode errors** -- malformed input raises the typed
+  :class:`ASTDecodeError`, never an arbitrary exception, so cache-load
+  paths can treat any failure as "entry rejected" and fall back.
+
+All AST nodes are frozen dataclasses, so ``decode(encode(fn)) == fn``
+holds by structural equality -- pinned by ``tests/serve/test_serial.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bedrock2 import ast
+
+AST_SCHEMA_VERSION = 1
+
+
+class ASTDecodeError(Exception):
+    """A serialized AST is malformed or from another schema version."""
+
+
+def encode_expr(expr: ast.Expr) -> dict:
+    if isinstance(expr, ast.ELit):
+        return {"k": "lit", "value": expr.value}
+    if isinstance(expr, ast.EVar):
+        return {"k": "var", "name": expr.name}
+    if isinstance(expr, ast.ELoad):
+        return {"k": "load", "size": expr.size, "addr": encode_expr(expr.addr)}
+    if isinstance(expr, ast.EOp):
+        return {
+            "k": "op",
+            "op": expr.op,
+            "lhs": encode_expr(expr.lhs),
+            "rhs": encode_expr(expr.rhs),
+        }
+    if isinstance(expr, ast.EInlineTable):
+        return {
+            "k": "table",
+            "size": expr.size,
+            "data": expr.data.hex(),
+            "index": encode_expr(expr.index),
+        }
+    raise TypeError(f"cannot encode expression {expr!r}")
+
+
+def decode_expr(data: dict) -> ast.Expr:
+    try:
+        kind = data["k"]
+        if kind == "lit":
+            return ast.ELit(int(data["value"]))
+        if kind == "var":
+            return ast.EVar(data["name"])
+        if kind == "load":
+            return ast.ELoad(data["size"], decode_expr(data["addr"]))
+        if kind == "op":
+            return ast.EOp(data["op"], decode_expr(data["lhs"]), decode_expr(data["rhs"]))
+        if kind == "table":
+            return ast.EInlineTable(
+                data["size"], bytes.fromhex(data["data"]), decode_expr(data["index"])
+            )
+    except ASTDecodeError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - any malformed payload is a decode error
+        raise ASTDecodeError(f"bad expression payload: {exc!r}") from None
+    raise ASTDecodeError(f"unknown expression tag {data.get('k')!r}")
+
+
+def encode_stmt(stmt: ast.Stmt) -> dict:
+    if isinstance(stmt, ast.SSkip):
+        return {"k": "skip"}
+    if isinstance(stmt, ast.SSet):
+        return {"k": "set", "lhs": stmt.lhs, "rhs": encode_expr(stmt.rhs)}
+    if isinstance(stmt, ast.SUnset):
+        return {"k": "unset", "name": stmt.name}
+    if isinstance(stmt, ast.SStore):
+        return {
+            "k": "store",
+            "size": stmt.size,
+            "addr": encode_expr(stmt.addr),
+            "value": encode_expr(stmt.value),
+        }
+    if isinstance(stmt, ast.SStackalloc):
+        return {
+            "k": "stackalloc",
+            "lhs": stmt.lhs,
+            "nbytes": stmt.nbytes,
+            "body": encode_stmt(stmt.body),
+        }
+    if isinstance(stmt, ast.SCond):
+        return {
+            "k": "cond",
+            "cond": encode_expr(stmt.cond),
+            "then": encode_stmt(stmt.then_),
+            "else": encode_stmt(stmt.else_),
+        }
+    if isinstance(stmt, ast.SSeq):
+        return {
+            "k": "seq",
+            "first": encode_stmt(stmt.first),
+            "second": encode_stmt(stmt.second),
+        }
+    if isinstance(stmt, ast.SWhile):
+        return {"k": "while", "cond": encode_expr(stmt.cond), "body": encode_stmt(stmt.body)}
+    if isinstance(stmt, ast.SCall):
+        return {
+            "k": "call",
+            "lhss": list(stmt.lhss),
+            "func": stmt.func,
+            "args": [encode_expr(a) for a in stmt.args],
+        }
+    if isinstance(stmt, ast.SInteract):
+        return {
+            "k": "interact",
+            "lhss": list(stmt.lhss),
+            "action": stmt.action,
+            "args": [encode_expr(a) for a in stmt.args],
+        }
+    raise TypeError(f"cannot encode statement {stmt!r}")
+
+
+def decode_stmt(data: dict) -> ast.Stmt:
+    try:
+        kind = data["k"]
+        if kind == "skip":
+            return ast.SSkip()
+        if kind == "set":
+            return ast.SSet(data["lhs"], decode_expr(data["rhs"]))
+        if kind == "unset":
+            return ast.SUnset(data["name"])
+        if kind == "store":
+            return ast.SStore(
+                data["size"], decode_expr(data["addr"]), decode_expr(data["value"])
+            )
+        if kind == "stackalloc":
+            return ast.SStackalloc(data["lhs"], data["nbytes"], decode_stmt(data["body"]))
+        if kind == "cond":
+            return ast.SCond(
+                decode_expr(data["cond"]),
+                decode_stmt(data["then"]),
+                decode_stmt(data["else"]),
+            )
+        if kind == "seq":
+            return ast.SSeq(decode_stmt(data["first"]), decode_stmt(data["second"]))
+        if kind == "while":
+            return ast.SWhile(decode_expr(data["cond"]), decode_stmt(data["body"]))
+        if kind == "call":
+            return ast.SCall(
+                tuple(data["lhss"]),
+                data["func"],
+                tuple(decode_expr(a) for a in data["args"]),
+            )
+        if kind == "interact":
+            return ast.SInteract(
+                tuple(data["lhss"]),
+                data["action"],
+                tuple(decode_expr(a) for a in data["args"]),
+            )
+    except ASTDecodeError:
+        raise
+    except Exception as exc:  # noqa: BLE001
+        raise ASTDecodeError(f"bad statement payload: {exc!r}") from None
+    raise ASTDecodeError(f"unknown statement tag {data.get('k')!r}")
+
+
+def encode_function(fn: ast.Function) -> dict:
+    return {
+        "schema": AST_SCHEMA_VERSION,
+        "name": fn.name,
+        "args": list(fn.args),
+        "rets": list(fn.rets),
+        "body": encode_stmt(fn.body),
+    }
+
+
+def decode_function(data: dict) -> ast.Function:
+    if not isinstance(data, dict):
+        raise ASTDecodeError(f"function payload is {type(data).__name__}, not a dict")
+    schema = data.get("schema")
+    if schema != AST_SCHEMA_VERSION:
+        raise ASTDecodeError(
+            f"AST schema {schema!r} != {AST_SCHEMA_VERSION} "
+            "(stale or foreign serialization)"
+        )
+    try:
+        return ast.Function(
+            name=data["name"],
+            args=tuple(data["args"]),
+            rets=tuple(data["rets"]),
+            body=decode_stmt(data["body"]),
+        )
+    except ASTDecodeError:
+        raise
+    except Exception as exc:  # noqa: BLE001
+        raise ASTDecodeError(f"bad function payload: {exc!r}") from None
+
+
+def function_to_json(fn: ast.Function) -> str:
+    """Canonical JSON: sorted keys, compact separators, stable bytes."""
+    return json.dumps(encode_function(fn), sort_keys=True, separators=(",", ":"))
+
+
+def function_from_json(text: str) -> ast.Function:
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise ASTDecodeError(f"not JSON: {exc}") from None
+    return decode_function(data)

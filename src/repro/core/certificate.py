@@ -12,8 +12,19 @@ to generate output programs along with 'witnesses' of correctness".
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import List
+
+# Version header of the canonical serialization.  Bump whenever the
+# shape of the serialized tree changes; deserialization refuses other
+# versions, and the compilation cache (repro.serve) folds this number
+# into its keys so a schema change invalidates every stored entry.
+CERT_SCHEMA_VERSION = 1
+
+
+class CertificateDecodeError(Exception):
+    """A serialized certificate is malformed or from another schema."""
 
 
 @dataclass
@@ -23,6 +34,24 @@ class SideCondition:
     description: str
     obligation_pretty: str
     solver: str
+
+    def to_dict(self) -> dict:
+        return {
+            "description": self.description,
+            "obligation": self.obligation_pretty,
+            "solver": self.solver,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "SideCondition":
+        try:
+            return SideCondition(
+                description=data["description"],
+                obligation_pretty=data["obligation"],
+                solver=data["solver"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise CertificateDecodeError(f"bad side condition: {exc!r}") from None
 
 
 @dataclass
@@ -55,6 +84,32 @@ class CertNode:
         for child in self.children:
             lines.append(child.render(indent + 1))
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "lemma": self.lemma,
+            "conclusion": self.conclusion,
+            "code": self.code,
+            "side_conditions": [c.to_dict() for c in self.side_conditions],
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "CertNode":
+        try:
+            return CertNode(
+                lemma=data["lemma"],
+                conclusion=data["conclusion"],
+                code=data["code"],
+                side_conditions=[
+                    SideCondition.from_dict(c) for c in data["side_conditions"]
+                ],
+                children=[CertNode.from_dict(c) for c in data["children"]],
+            )
+        except CertificateDecodeError:
+            raise
+        except (KeyError, TypeError) as exc:
+            raise CertificateDecodeError(f"bad certificate node: {exc!r}") from None
 
 
 @dataclass
@@ -91,3 +146,54 @@ class Certificate:
             f"{self.side_condition_count()} side conditions):\n"
             + self.root.render(1)
         )
+
+    # -- Canonical serialization -------------------------------------------------
+    #
+    # The JSON form is *canonical*: keys sorted, separators fixed, no
+    # whitespace, a versioned schema header first.  Two structurally
+    # equal certificates therefore serialize to identical bytes -- the
+    # property the content-addressed cache (repro.serve) builds on, and
+    # the round-trip stability tests/serve/test_serial.py pins.
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": CERT_SCHEMA_VERSION,
+            "function_name": self.function_name,
+            "statements_compiled": self.statements_compiled,
+            "root": self.root.to_dict(),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Certificate":
+        if not isinstance(data, dict):
+            raise CertificateDecodeError(
+                f"certificate payload is {type(data).__name__}, not a dict"
+            )
+        schema = data.get("schema")
+        if schema != CERT_SCHEMA_VERSION:
+            raise CertificateDecodeError(
+                f"certificate schema {schema!r} != {CERT_SCHEMA_VERSION} "
+                "(stale or foreign serialization)"
+            )
+        try:
+            return Certificate(
+                function_name=data["function_name"],
+                root=CertNode.from_dict(data["root"]),
+                statements_compiled=data["statements_compiled"],
+            )
+        except CertificateDecodeError:
+            raise
+        except (KeyError, TypeError) as exc:
+            raise CertificateDecodeError(f"bad certificate: {exc!r}") from None
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, compact, deterministic bytes."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @staticmethod
+    def from_json(text: str) -> "Certificate":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise CertificateDecodeError(f"not JSON: {exc}") from None
+        return Certificate.from_dict(data)

@@ -246,6 +246,28 @@ class Engine:
         if self.budget is not None:
             self.budget.charge(1, goal=goal_description)
 
+    def fingerprint(self) -> str:
+        """A stable hash of everything engine-side that determines output.
+
+        Because proof search never backtracks and hint databases are
+        ordered, the derived code and certificate are a pure function of
+        (model, spec, this fingerprint): the ordered contents of both
+        hint databases, the solver bank (in scan order -- solvers decide
+        which side conditions discharge), and the target word width.
+        The compilation cache (:mod:`repro.serve`) folds this into its
+        content-addressed keys, so swapping a lemma, reordering solvers,
+        or retargeting the width invalidates exactly the affected
+        entries.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(self.binding_db.fingerprint().encode("ascii"))
+        digest.update(self.expr_db.fingerprint().encode("ascii"))
+        digest.update("\x1f".join(self.solvers.names()).encode("utf-8"))
+        digest.update(str(self.width).encode("ascii"))
+        return digest.hexdigest()[:16]
+
     # -- Side conditions -----------------------------------------------------------
 
     def discharge(self, obligation: t.Term, state: SymState, description: str) -> None:

@@ -142,6 +142,39 @@ class HintDb:
     def lemma_names(self) -> List[str]:
         return [getattr(lemma, "name", "<unnamed>") for lemma in self]
 
+    def fingerprint(self) -> str:
+        """A short stable hash of the database's *ordered* contents.
+
+        Proof search is deterministic and non-backtracking, so a
+        derivation is a pure function of the ordered lemma sequence (and
+        the model/spec/engine flags): two databases with equal
+        fingerprints drive identical derivations.  The digest covers, in
+        scan order, each lemma's registered name, its defining class
+        (module + qualname, so a same-named replacement lemma changes
+        the key), and its declared shapes.  Used by the compilation
+        cache (:mod:`repro.serve`) as the lemma-DB component of its
+        content-addressed keys: registering, removing, reordering, or
+        reprioritizing any lemma invalidates exactly the keys derived
+        from this database.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(self.name.encode("utf-8"))
+        for lemma in self:
+            cls = type(lemma)
+            digest.update(
+                "\x1f".join(
+                    (
+                        getattr(lemma, "name", "<unnamed>"),
+                        f"{cls.__module__}.{cls.__qualname__}",
+                        ",".join(getattr(lemma, "shapes", ())),
+                    )
+                ).encode("utf-8")
+            )
+            digest.update(b"\x1e")
+        return digest.hexdigest()[:16]
+
     def nearest_misses(self, term: object) -> List[str]:
         """Lemmas whose declared shape matches ``term``'s head constructor.
 

@@ -73,6 +73,14 @@ EVENT_SCHEMA: Dict[str, Dict[str, tuple]] = {
         "required": ("point", "outcome"),
         "optional": ("target", "detail"),
     },
+    # repro.serve: cache traffic and batch-compilation progress.
+    "cache_lookup": {"required": ("key", "outcome"), "optional": ("program", "level")},
+    "cache_store": {"required": ("key",), "optional": ("program", "level")},
+    "batch_job": {
+        "required": ("job", "outcome"),
+        "optional": ("kind", "cache", "level", "detail"),
+    },
+    "serve_request": {"required": ("op", "ok"), "optional": ("program", "detail")},
     "timings": {"required": ("spans",), "optional": ("total_ms",)},
 }
 
@@ -89,6 +97,9 @@ SPAN_KINDS = (
     "validate",
     "fuzz_case",
     "fault_injection",
+    "cache_load",
+    "batch_job",
+    "serve_request",
 )
 
 

@@ -46,6 +46,25 @@ class PassCertificate:
     def accepted(self) -> bool:
         return self.status == "validated"
 
+    def to_dict(self) -> dict:
+        return {
+            "pass": self.pass_name,
+            "before": self.before_hash,
+            "after": self.after_hash,
+            "status": self.status,
+            "detail": self.detail,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "PassCertificate":
+        return PassCertificate(
+            pass_name=data["pass"],
+            before_hash=data["before"],
+            after_hash=data["after"],
+            status=data["status"],
+            detail=data.get("detail", ""),
+        )
+
 
 @dataclass
 class OptimizationReport:
@@ -64,6 +83,25 @@ class OptimizationReport:
     @property
     def rejected(self) -> List[PassCertificate]:
         return [c for c in self.certificates if c.status == "rejected"]
+
+    def to_dict(self) -> dict:
+        return {
+            "function": self.function,
+            "level": self.level,
+            "stmts_before": self.stmts_before,
+            "stmts_after": self.stmts_after,
+            "certificates": [c.to_dict() for c in self.certificates],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "OptimizationReport":
+        return OptimizationReport(
+            function=data["function"],
+            level=data["level"],
+            stmts_before=data["stmts_before"],
+            stmts_after=data["stmts_after"],
+            certificates=[PassCertificate.from_dict(c) for c in data["certificates"]],
+        )
 
     def render(self) -> str:
         lines = [
@@ -169,6 +207,28 @@ def pipeline_for(level: int) -> List[Pass]:
     if level <= 0:
         return []
     return default_pipeline()
+
+
+def pipeline_fingerprint(level: int) -> str:
+    """A stable hash of the ``-O<level>`` pipeline's ordered pass identities.
+
+    Each :class:`PassCertificate` already fingerprints individual pass
+    *applications* (AST hash before/after); this digest fingerprints the
+    pipeline itself -- pass names and defining classes, in run order --
+    so the compilation cache (:mod:`repro.serve`) can distinguish ``-O0``
+    from ``-O1`` output and invalidate entries whenever the pass roster
+    changes.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    digest.update(str(level).encode("ascii"))
+    for pass_ in pipeline_for(level):
+        cls = type(pass_)
+        digest.update(
+            f"{pass_.name}\x1f{cls.__module__}.{cls.__qualname__}\x1e".encode("utf-8")
+        )
+    return digest.hexdigest()[:16]
 
 
 def optimize_function(

@@ -20,6 +20,7 @@ can catch it and fall back to degraded interpretation
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.goals import ResourceExhausted
@@ -74,3 +75,22 @@ class Budget:
 def unlimited() -> Budget:
     """A budget that never exhausts (both guards disabled)."""
     return Budget(fuel=None, deadline=None)
+
+
+@dataclass(frozen=True)
+class BudgetSpec:
+    """A picklable description of a per-job budget.
+
+    :class:`Budget` itself holds a clock reference and a running start
+    time, so it cannot cross a process boundary; the parallel batch
+    compiler (:mod:`repro.serve.batch`) ships one ``BudgetSpec`` per job
+    to its worker pool, and each worker materializes a fresh
+    :class:`Budget` with :meth:`make` -- the deadline clock starts when
+    the *job* starts, not when the batch was submitted.
+    """
+
+    fuel: Optional[int] = None
+    deadline: Optional[float] = None
+
+    def make(self) -> Budget:
+        return Budget(fuel=self.fuel, deadline=self.deadline)

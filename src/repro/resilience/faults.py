@@ -607,16 +607,98 @@ INJECTION_POINTS = (
 )
 
 
+def _fault_worker(seed: int, plan_index: int, rng_seed: int, width: int) -> dict:
+    """One injection in a worker process; returns a plain dict.
+
+    Injection points hold lambdas and targets hold input-generator
+    closures, so neither can cross the process boundary; the worker
+    replays the campaign's deterministic setup (``_target_cases`` over
+    the same master stream prefix) and indexes into the same plan the
+    parent enumerated.
+    """
+    master = random.Random(seed)
+    targets = _target_cases(master)
+    plan = [
+        (point_name, inject, target)
+        for point_name, inject in INJECTION_POINTS
+        for target in targets
+    ]
+    point_name, inject, target = plan[plan_index]
+    try:
+        outcome = inject(target, random.Random(rng_seed), width)
+    except Exception as exc:  # noqa: BLE001 - a leaky harness is a crash finding
+        outcome = FaultOutcome(point_name, target.name, CRASH, repr(exc))
+    return {
+        "point": outcome.point,
+        "target": outcome.target,
+        "outcome": outcome.outcome,
+        "detail": outcome.detail,
+    }
+
+
+def _run_faults_parallel(
+    report: FaultReport,
+    seed: int,
+    plan,
+    rng_seeds,
+    jobs: int,
+    width: int,
+    progress,
+    tracer,
+) -> FaultReport:
+    """Fan the injection plan over a process pool; merge in plan order.
+
+    Per-injection RNG seeds were pre-drawn from the master stream, so
+    the merged report is identical to the single-process campaign's.
+    Workers run with the null tracer; the parent re-emits one
+    ``fault_outcome`` event per injection.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    trace = tracer.enabled
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(_fault_worker, seed, index, rng_seed, width)
+            for index, rng_seed in enumerate(rng_seeds)
+        ]
+        for index, future in enumerate(futures):
+            result = future.result()
+            if progress is not None:
+                progress(
+                    f"injected {result['point']} into {result['target']} "
+                    f"({index + 1}/{len(plan)})"
+                )
+            outcome = FaultOutcome(
+                result["point"], result["target"],
+                result["outcome"], result["detail"],
+            )
+            if trace:
+                tracer.event(
+                    "fault_outcome",
+                    point=outcome.point,
+                    target=outcome.target,
+                    outcome=outcome.outcome,
+                )
+                tracer.inc("faults.injected")
+                tracer.inc(f"faults.outcome.{outcome.outcome}")
+            report.outcomes.append(outcome)
+    return report
+
+
 def run_faults(
     seed: int = 0,
     budget: Optional[int] = None,
     width: int = 64,
     progress=None,
+    jobs: int = 1,
 ) -> FaultReport:
     """Run the fault-injection campaign; deterministic per seed.
 
     ``budget`` caps the number of injections (default: every point
-    against every target once).
+    against every target once).  ``jobs > 1`` fans the plan over a
+    process pool with an identical resulting report; golden-trace runs
+    keep the single-process default, which also records
+    ``fault_injection`` spans around each injection.
     """
     from repro.obs.trace import NULL_SPAN, current_tracer
 
@@ -632,6 +714,11 @@ def run_faults(
     ]
     if budget is not None:
         plan = plan[:budget]
+    if jobs > 1:
+        rng_seeds = [master.getrandbits(64) for _ in plan]
+        return _run_faults_parallel(
+            report, seed, plan, rng_seeds, jobs, width, progress, tracer
+        )
     for index, (point_name, inject, target) in enumerate(plan):
         if progress is not None:
             progress(f"injecting {point_name} into {target.name} ({index + 1}/{len(plan)})")

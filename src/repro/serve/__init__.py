@@ -1,0 +1,53 @@
+"""``repro.serve``: content-addressed caching and batch compilation.
+
+The paper's proof search is deterministic and non-backtracking (§3.2): a
+derivation is a *pure function* of the annotated model, the ABI spec,
+the ordered lemma databases, the solver bank, the word width, and the
+optimization level.  That purity is exactly the precondition for two
+serving-scale features:
+
+- :mod:`repro.serve.cache` -- a content-addressed compilation cache
+  whose keys fingerprint every derivation input
+  (:mod:`repro.serve.fingerprint`), storing the serialized Bedrock2 AST
+  and :class:`~repro.core.certificate.Certificate` on disk.  The cache
+  is **untrusted**: entries are re-validated by the existing checkers on
+  every load, keeping the TCB where it already was.
+- :mod:`repro.serve.batch` -- an embarrassingly parallel batch compiler
+  (``ProcessPoolExecutor`` worker pool, per-job
+  :class:`~repro.resilience.budget.Budget` guards) over manifests of
+  registry programs and fuzz corpora.
+- :mod:`repro.serve.service` -- a long-lived JSON-lines front end
+  (``python -m repro serve``) speaking over stdio or a Unix socket.
+
+Cache traffic is observable through :mod:`repro.obs` (``cache_lookup`` /
+``cache_store`` events, ``cache.*`` counters); see ``docs/serving.md``.
+"""
+
+from repro.serve.batch import (
+    BatchJob,
+    BatchReport,
+    expand_manifest,
+    fuzz_manifest,
+    load_manifest,
+    registry_manifest,
+    run_batch,
+)
+from repro.serve.cache import CompilationCache, compile_program_cached
+from repro.serve.fingerprint import compile_key, source_fingerprint, spec_fingerprint
+from repro.serve.service import CompileService
+
+__all__ = [
+    "BatchJob",
+    "BatchReport",
+    "CompilationCache",
+    "CompileService",
+    "compile_key",
+    "compile_program_cached",
+    "expand_manifest",
+    "fuzz_manifest",
+    "load_manifest",
+    "registry_manifest",
+    "run_batch",
+    "source_fingerprint",
+    "spec_fingerprint",
+]

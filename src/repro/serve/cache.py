@@ -1,0 +1,337 @@
+"""The content-addressed compilation cache.
+
+Each entry maps a :func:`~repro.serve.fingerprint.compile_key` -- a
+digest of every input the derivation is a pure function of -- to the
+serialized Bedrock2 AST, the derivation
+:class:`~repro.core.certificate.Certificate`, and (for optimized
+entries) the per-pass :class:`~repro.opt.manager.OptimizationReport`.
+
+**Trust model.**  The cache is *untrusted*, exactly like the proof
+search that fills it (the paper's §5 translation-validation stance):
+
+- a stored payload digest catches corruption and truncation;
+- every loaded entry is re-checked by the existing trusted checkers --
+  definite-assignment well-formedness on the decoded AST and the
+  structural certificate checker -- before it is served;
+- any failure (decode error, digest mismatch, schema drift, checker
+  rejection) demotes the entry to a cold compile.  A poisoned cache can
+  cost time, never correctness.
+
+**Invalidation** is purely content-addressed: editing a lemma database,
+flipping ``-O0``/``-O1``, changing the solver bank or word width, or
+bumping a serialization schema all move the key, so stale entries are
+simply never addressed again.  Entries that *are* addressed but fail
+re-validation are counted as ``invalidated`` and overwritten by the
+fallback compile's fresh result.
+
+All cache traffic is observable: ``cache_lookup`` / ``cache_store``
+events and ``cache.{hits,misses,invalidated,stores}`` counters flow to
+the active :mod:`repro.obs` tracer, and warm loads run under a
+``cache_load`` span so traces show exactly which derivations were
+served from disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.bedrock2.serial import (
+    ASTDecodeError,
+    decode_function,
+    encode_function,
+)
+from repro.core.certificate import Certificate, CertificateDecodeError
+from repro.core.spec import CompiledFunction, FnSpec, Model
+from repro.serve.fingerprint import compile_key
+
+ENTRY_SCHEMA_VERSION = 1
+
+HIT = "hit"
+MISS = "miss"
+INVALIDATED = "invalidated"
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache handle's lifetime (also mirrored to obs)."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidated: int = 0
+    stores: int = 0
+    invalidation_reasons: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidated": self.invalidated,
+            "stores": self.stores,
+            "invalidation_reasons": dict(self.invalidation_reasons),
+        }
+
+    def merge(self, other: dict) -> None:
+        """Fold another handle's ``to_dict()`` into this one (batch workers)."""
+        self.hits += other.get("hits", 0)
+        self.misses += other.get("misses", 0)
+        self.invalidated += other.get("invalidated", 0)
+        self.stores += other.get("stores", 0)
+        for reason, count in other.get("invalidation_reasons", {}).items():
+            self.invalidation_reasons[reason] = (
+                self.invalidation_reasons.get(reason, 0) + count
+            )
+
+
+def _payload_digest(entry: dict) -> str:
+    """Digest of the canonical entry body (everything but the digest field)."""
+    body = {k: v for k, v in entry.items() if k != "payload_sha"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class CacheRejected(Exception):
+    """An addressed entry failed re-validation (internal control flow)."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class CompilationCache:
+    """A directory of re-validated, content-addressed derivations."""
+
+    def __init__(self, root: str, revalidate: bool = True):
+        self.root = root
+        self.revalidate = revalidate
+        self.stats = CacheStats()
+        os.makedirs(root, exist_ok=True)
+
+    # -- Addressing ------------------------------------------------------------
+
+    def key_for(
+        self, model: Model, spec: FnSpec, engine=None, opt_level: int = 0
+    ) -> str:
+        if engine is None:
+            from repro.stdlib import default_engine
+
+            engine = default_engine()
+        return compile_key(model, spec, engine, opt_level)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def contains(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    # -- Load path -------------------------------------------------------------
+
+    def _decode_entry(self, key: str, raw: str) -> Tuple[object, Certificate, object]:
+        try:
+            entry = json.loads(raw)
+        except ValueError as exc:
+            raise CacheRejected(f"not JSON: {exc}") from None
+        if not isinstance(entry, dict):
+            raise CacheRejected("entry is not a JSON object")
+        if entry.get("entry_schema") != ENTRY_SCHEMA_VERSION:
+            raise CacheRejected(
+                f"entry schema {entry.get('entry_schema')!r} != {ENTRY_SCHEMA_VERSION}"
+            )
+        if entry.get("key") != key:
+            raise CacheRejected("stored key does not match the address")
+        if entry.get("payload_sha") != _payload_digest(entry):
+            raise CacheRejected("payload digest mismatch (corrupted entry)")
+        try:
+            fn = decode_function(entry["function"])
+            certificate = Certificate.from_dict(entry["certificate"])
+        except (ASTDecodeError, CertificateDecodeError, KeyError) as exc:
+            raise CacheRejected(f"decode failed: {exc}") from None
+        opt_report = None
+        if entry.get("opt_report") is not None:
+            from repro.opt.manager import OptimizationReport
+
+            try:
+                opt_report = OptimizationReport.from_dict(entry["opt_report"])
+            except (KeyError, TypeError) as exc:
+                raise CacheRejected(f"bad optimization report: {exc!r}") from None
+        return fn, certificate, opt_report
+
+    def _revalidate(self, fn, certificate: Certificate, spec: FnSpec) -> None:
+        """The trusted half: run the existing checkers over the decoded entry.
+
+        The checkers *are* the TCB -- the cache adds no trust of its
+        own.  (Semantic differential validation remains available to
+        callers via ``repro.validation.checker.validate``, exactly as
+        for freshly compiled bundles.)
+        """
+        from repro.bedrock2 import ast
+        from repro.bedrock2.wellformed import IllFormed, check_function
+        from repro.validation.checker import CertificateError, check_certificate
+
+        if fn.name != spec.fname:
+            raise CacheRejected(
+                f"entry is for function {fn.name!r}, request is {spec.fname!r}"
+            )
+        try:
+            check_function(fn)
+        except IllFormed as exc:
+            raise CacheRejected(f"wellformed: {exc}") from None
+        try:
+            check_certificate(
+                certificate, statement_count=ast.statement_count(fn.body)
+            )
+        except CertificateError as exc:
+            raise CacheRejected(f"certificate: {exc}") from None
+
+    def lookup(
+        self, key: str, model: Model, spec: FnSpec
+    ) -> Tuple[Optional[CompiledFunction], str]:
+        """Serve ``key`` if present and re-validated; returns (bundle, outcome).
+
+        Outcomes: :data:`HIT` (validated entry), :data:`MISS` (no entry),
+        :data:`INVALIDATED` (an entry existed but was rejected).
+        """
+        from repro.obs.trace import NULL_SPAN, current_tracer
+
+        tracer = current_tracer()
+        trace = tracer.enabled
+        path = self._path(key)
+        span = (
+            tracer.span("cache_load", name=spec.fname) if trace else NULL_SPAN
+        )
+        with span as handle:
+            try:
+                with open(path) as fh:
+                    raw = fh.read()
+            except OSError:
+                self.stats.misses += 1
+                self._trace_lookup(tracer, key, MISS, spec.fname)
+                return None, MISS
+            try:
+                fn, certificate, opt_report = self._decode_entry(key, raw)
+                if self.revalidate:
+                    self._revalidate(fn, certificate, spec)
+            except CacheRejected as rejection:
+                self.stats.invalidated += 1
+                reason = rejection.reason.split(":", 1)[0]
+                self.stats.invalidation_reasons[reason] = (
+                    self.stats.invalidation_reasons.get(reason, 0) + 1
+                )
+                if trace:
+                    handle.note(reason="rejected")
+                self._trace_lookup(tracer, key, INVALIDATED, spec.fname)
+                return None, INVALIDATED
+            self.stats.hits += 1
+            self._trace_lookup(tracer, key, HIT, spec.fname)
+            return (
+                CompiledFunction(
+                    bedrock_fn=fn,
+                    certificate=certificate,
+                    spec=spec,
+                    model=model,
+                    opt_report=opt_report,
+                ),
+                HIT,
+            )
+
+    _OUTCOME_COUNTERS = {HIT: "cache.hits", MISS: "cache.misses", INVALIDATED: "cache.invalidated"}
+
+    @classmethod
+    def _trace_lookup(cls, tracer, key: str, outcome: str, program: str) -> None:
+        if not tracer.enabled:
+            return
+        tracer.event("cache_lookup", key=key, outcome=outcome, program=program)
+        tracer.inc(cls._OUTCOME_COUNTERS[outcome])
+
+    # -- Store path ------------------------------------------------------------
+
+    def store(self, key: str, compiled: CompiledFunction, opt_level: int = 0) -> None:
+        from repro.obs.trace import current_tracer
+
+        entry = {
+            "entry_schema": ENTRY_SCHEMA_VERSION,
+            "key": key,
+            "program": compiled.name,
+            "opt_level": opt_level,
+            "function": encode_function(compiled.bedrock_fn),
+            "certificate": compiled.certificate.to_dict(),
+            "opt_report": (
+                compiled.opt_report.to_dict()
+                if compiled.opt_report is not None
+                else None
+            ),
+        }
+        entry["payload_sha"] = _payload_digest(entry)
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        # Atomic publish: a concurrent reader (or a killed writer) must
+        # never observe a half-written entry -- it would be rejected by
+        # the digest check anyway, but an os.replace keeps the cache
+        # clean under the parallel batch compiler's many writers.
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(json.dumps(entry, sort_keys=True, separators=(",", ":")))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.event("cache_store", key=key, program=compiled.name)
+            tracer.inc("cache.stores")
+
+    # -- The memoized compile --------------------------------------------------
+
+    def compile(
+        self,
+        model: Model,
+        spec: FnSpec,
+        engine=None,
+        opt_level: int = 0,
+        input_gen=None,
+    ) -> Tuple[CompiledFunction, str]:
+        """Compile through the cache; returns (bundle, outcome).
+
+        A warm entry is decoded, digest-checked, and re-validated by the
+        trusted checkers; anything else falls back to a cold derivation
+        (and, for ``opt_level > 0``, the translation-validated
+        optimizer), whose result is stored for next time.
+        """
+        if engine is None:
+            from repro.stdlib import default_engine
+
+            engine = default_engine()
+        key = compile_key(model, spec, engine, opt_level)
+        bundle, outcome = self.lookup(key, model, spec)
+        if bundle is not None:
+            return bundle, outcome
+        compiled = engine.compile_function(model, spec)
+        if opt_level > 0:
+            compiled = compiled.optimize(opt_level, input_gen=input_gen)
+        self.store(key, compiled, opt_level=opt_level)
+        return compiled, outcome
+
+
+def compile_program_cached(
+    cache: CompilationCache, program, opt_level: int = 0
+) -> Tuple[CompiledFunction, str]:
+    """Compile a registry :class:`~repro.programs.registry.BenchProgram`
+    through ``cache`` with the default engine; returns (bundle, outcome)."""
+    from repro.stdlib import default_engine
+
+    return cache.compile(
+        program.build_model(),
+        program.build_spec(),
+        engine=default_engine(),
+        opt_level=opt_level,
+        input_gen=program.validation_input_gen(),
+    )

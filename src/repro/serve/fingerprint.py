@@ -1,0 +1,87 @@
+"""Content-addressed cache keys for derivations.
+
+Soundness of memoization rests on the paper's §3.2 determinism argument:
+proof search never backtracks and scans ordered hint databases, so the
+(code, certificate) pair is a pure function of
+
+1. the reified source term, parameter list, and result type (the model);
+2. the ABI spec -- argument bindings, outputs, incidental facts;
+3. the ordered lemma-database contents and solver bank
+   (:meth:`repro.core.engine.Engine.fingerprint`);
+4. the optimization level and its ordered pass roster
+   (:func:`repro.opt.manager.pipeline_fingerprint`);
+5. the serialization schema versions (a format bump must never let an
+   old entry decode as current data).
+
+:func:`compile_key` digests all five.  Any change to any input moves the
+key, which *is* the invalidation mechanism: stale entries are simply
+never addressed again.
+
+Terms, types, and spec components are frozen dataclasses whose ``repr``
+recurses deterministically over the whole tree (the same property
+``bedrock2.ast.fingerprint`` relies on), so hashing reprs fingerprints
+the exact syntax without a second serializer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.bedrock2.serial import AST_SCHEMA_VERSION
+from repro.core.certificate import CERT_SCHEMA_VERSION
+from repro.core.spec import FnSpec, Model
+
+# Version of the key derivation itself; bump to orphan every existing
+# cache entry at once (e.g. when a fingerprint input is added).
+KEY_SCHEMA_VERSION = 1
+
+_SEP = b"\x1e"
+
+
+def _digest(*parts: str) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(_SEP)
+    return digest.hexdigest()
+
+
+def source_fingerprint(model: Model) -> str:
+    """A stable hash of the reified functional model."""
+    return _digest(
+        model.name,
+        repr(model.params),
+        repr(model.term),
+        repr(model.result_ty),
+    )[:16]
+
+
+def spec_fingerprint(spec: FnSpec) -> str:
+    """A stable hash of the ABI: args, outputs, facts, state threading."""
+    return _digest(
+        spec.fname,
+        repr(spec.args),
+        repr(spec.outputs),
+        repr(spec.facts),
+        repr(spec.state_param),
+    )[:16]
+
+
+def compile_key(model: Model, spec: FnSpec, engine, opt_level: int = 0) -> str:
+    """The content address of one derivation request.
+
+    ``engine`` is a :class:`repro.core.engine.Engine`; its
+    ``fingerprint()`` covers the ordered lemma databases, the solver
+    bank, and the word width.
+    """
+    from repro.opt.manager import pipeline_fingerprint
+
+    return _digest(
+        f"key-schema:{KEY_SCHEMA_VERSION}",
+        f"cert-schema:{CERT_SCHEMA_VERSION}",
+        f"ast-schema:{AST_SCHEMA_VERSION}",
+        source_fingerprint(model),
+        spec_fingerprint(spec),
+        engine.fingerprint(),
+        pipeline_fingerprint(opt_level),
+    )[:32]

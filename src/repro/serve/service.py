@@ -1,0 +1,202 @@
+"""The long-lived compilation service: ``python -m repro serve``.
+
+A tiny JSON-lines front end over the content-addressed cache, for
+driving the compiler from editors, build systems, or test harnesses
+without paying Python startup per derivation.  One request per line in,
+one response object per line out, over stdio (default) or a Unix domain
+socket (``--socket PATH``).
+
+Requests and responses::
+
+    {"op": "ping"}
+        -> {"ok": true, "op": "ping"}
+    {"op": "list"}
+        -> {"ok": true, "op": "list", "programs": ["crc32", ...]}
+    {"op": "compile", "program": "crc32", "opt_level": 1}
+        -> {"ok": true, "op": "compile", "program": "crc32",
+            "cache": "hit"|"miss"|"invalidated"|"off",
+            "c": "<C source>", "statements": N, "elapsed_ms": ...}
+    {"op": "cert", "program": "crc32"}
+        -> {"ok": true, "op": "cert", "certificate": {...}}
+    {"op": "stats"}
+        -> {"ok": true, "op": "stats", "requests": N, "cache": {...}}
+    {"op": "shutdown"}
+        -> {"ok": true, "op": "shutdown"}  (and the service exits)
+
+Errors never kill the service: a stall, an unknown program, or a
+malformed request produces ``{"ok": false, "error": ...}`` (stalls keep
+their taxonomy slug in ``"stall"``) and the loop continues.  Every
+request runs under a ``serve_request`` span and emits a
+``serve_request`` event, so ``--trace`` captures the full session.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Optional
+
+from repro.core.goals import CompileError
+from repro.serve.cache import CompilationCache
+
+
+class CompileService:
+    """Request dispatch for the JSON-lines protocol (transport-agnostic)."""
+
+    def __init__(self, cache_dir: Optional[str] = None):
+        self.cache = CompilationCache(cache_dir) if cache_dir is not None else None
+        self.requests = 0
+        self.running = True
+
+    # -- Request handling ------------------------------------------------------
+
+    def handle_line(self, line: str) -> dict:
+        line = line.strip()
+        if not line:
+            return {"ok": False, "error": "empty request"}
+        try:
+            request = json.loads(line)
+        except ValueError as exc:
+            return {"ok": False, "error": f"bad JSON: {exc}"}
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "request must be a JSON object"}
+        return self.handle(request)
+
+    def handle(self, request: dict) -> dict:
+        from repro.obs.trace import NULL_SPAN, current_tracer
+
+        self.requests += 1
+        op = request.get("op")
+        tracer = current_tracer()
+        span = (
+            tracer.span("serve_request", name=str(op)) if tracer.enabled else NULL_SPAN
+        )
+        with span:
+            handler = getattr(self, f"_op_{op}", None)
+            if handler is None:
+                response = {"ok": False, "error": f"unknown op {op!r}"}
+            else:
+                try:
+                    response = handler(request)
+                except CompileError as exc:
+                    response = {
+                        "ok": False,
+                        "error": str(exc).splitlines()[0],
+                        "stall": exc.report.reason,
+                    }
+                except Exception as exc:  # noqa: BLE001 - never kill the loop
+                    response = {"ok": False, "error": repr(exc)}
+            response.setdefault("op", op)
+        if tracer.enabled:
+            tracer.event(
+                "serve_request",
+                op=str(op),
+                ok=bool(response.get("ok")),
+                program=str(request.get("program", "")),
+                detail=str(response.get("error", "")),
+            )
+            tracer.inc("serve.requests")
+            tracer.inc(f"serve.{'ok' if response.get('ok') else 'error'}")
+        return response
+
+    # -- Ops -------------------------------------------------------------------
+
+    def _op_ping(self, _request: dict) -> dict:
+        return {"ok": True}
+
+    def _op_list(self, _request: dict) -> dict:
+        from repro.programs.registry import all_programs
+
+        return {"ok": True, "programs": [p.name for p in all_programs()]}
+
+    def _compile(self, request: dict):
+        from repro.programs.registry import get_program
+        from repro.serve.cache import compile_program_cached
+
+        name = request.get("program")
+        try:
+            program = get_program(name)
+        except KeyError:
+            raise ValueError(f"unknown program {name!r}") from None
+        opt_level = int(request.get("opt_level", 0))
+        if self.cache is not None:
+            return compile_program_cached(self.cache, program, opt_level=opt_level)
+        return program.compile(opt_level=opt_level), "off"
+
+    def _op_compile(self, request: dict) -> dict:
+        import time
+
+        start = time.perf_counter()
+        compiled, outcome = self._compile(request)
+        return {
+            "ok": True,
+            "program": compiled.name,
+            "cache": outcome,
+            "c": compiled.c_source(),
+            "statements": compiled.statement_count(),
+            "elapsed_ms": (time.perf_counter() - start) * 1000.0,
+        }
+
+    def _op_cert(self, request: dict) -> dict:
+        compiled, outcome = self._compile(request)
+        return {
+            "ok": True,
+            "program": compiled.name,
+            "cache": outcome,
+            "certificate": compiled.certificate.to_dict(),
+        }
+
+    def _op_stats(self, _request: dict) -> dict:
+        return {
+            "ok": True,
+            "requests": self.requests,
+            "cache": self.cache.stats.to_dict() if self.cache is not None else None,
+        }
+
+    def _op_shutdown(self, _request: dict) -> dict:
+        self.running = False
+        return {"ok": True}
+
+    # -- Transports ------------------------------------------------------------
+
+    def serve_stream(self, reader, writer) -> None:
+        """Pump one line-oriented connection until EOF or shutdown."""
+        for line in reader:
+            response = self.handle_line(line)
+            writer.write(json.dumps(response, sort_keys=True) + "\n")
+            writer.flush()
+            if not self.running:
+                break
+
+    def serve_stdio(self) -> None:
+        self.serve_stream(sys.stdin, sys.stdout)
+
+    def serve_socket(self, path: str) -> None:
+        """Listen on a Unix domain socket, one connection at a time.
+
+        Sequential accept keeps the service trivially race-free; batch
+        throughput is ``repro batch``'s job, not the socket's.
+        """
+        import os
+        import socket
+
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            server.bind(path)
+            server.listen(1)
+            while self.running:
+                conn, _ = server.accept()
+                with conn:
+                    reader = conn.makefile("r", encoding="utf-8")
+                    writer = conn.makefile("w", encoding="utf-8")
+                    self.serve_stream(reader, writer)
+        finally:
+            server.close()
+            try:
+                os.unlink(path)
+            except OSError:
+                pass

@@ -1,0 +1,118 @@
+"""The batch compiler: manifests, worker-pool equivalence, budgets."""
+
+import json
+
+import pytest
+
+from repro.serve.batch import (
+    BatchJob,
+    expand_manifest,
+    fuzz_manifest,
+    registry_manifest,
+    run_batch,
+)
+
+
+def test_registry_manifest_covers_the_suite():
+    jobs = registry_manifest(opt_level=1)
+    assert len(jobs) == 7
+    assert all(job.kind == "program" and job.opt_level == 1 for job in jobs)
+    assert sorted(j.name for j in jobs) == [
+        "crc32", "fasta", "fnv1a", "ip", "m3s", "upstr", "utf8",
+    ]
+
+
+def test_fuzz_manifest_is_deterministic():
+    a = fuzz_manifest(seed=9, count=5)
+    b = fuzz_manifest(seed=9, count=5)
+    assert a == b
+    assert len({j.seed for j in a}) == 5, "per-case seeds must be distinct"
+    assert fuzz_manifest(seed=10, count=5) != a
+
+
+def test_expand_manifest_shapes(tmp_path):
+    assert len(expand_manifest("registry")) == 7
+    assert [j.name for j in expand_manifest(["crc32", "utf8"])] == ["crc32", "utf8"]
+    combined = expand_manifest(
+        {"programs": ["crc32"], "fuzz": {"seed": 1, "count": 3}, "opt_level": 1}
+    )
+    assert len(combined) == 4
+    assert all(j.opt_level == 1 for j in combined)
+    explicit = expand_manifest(
+        {"jobs": [{"kind": "program", "name": "ip", "opt_level": 1}]}
+    )
+    assert explicit == [BatchJob(kind="program", name="ip", opt_level=1)]
+    with pytest.raises(ValueError):
+        expand_manifest({})
+    with pytest.raises(ValueError):
+        expand_manifest(42)
+
+
+def test_load_manifest_round_trip(tmp_path):
+    path = tmp_path / "manifest.json"
+    path.write_text(json.dumps({"programs": ["fnv1a"], "fuzz": {"seed": 2, "count": 2}}))
+    from repro.serve.batch import load_manifest
+
+    jobs = load_manifest(str(path))
+    assert len(jobs) == 3 and jobs[0].name == "fnv1a"
+
+
+def test_serial_and_parallel_batches_agree(tmp_path):
+    jobs = expand_manifest({"programs": ["crc32", "fnv1a"], "fuzz": {"seed": 3, "count": 4}})
+    serial = run_batch(jobs, jobs_n=1, cache_dir=str(tmp_path / "a"))
+    parallel = run_batch(jobs, jobs_n=2, cache_dir=str(tmp_path / "b"))
+    key = lambda r: (r["job"], r["outcome"], r["cache"], r["statements"])  # noqa: E731
+    assert sorted(map(key, serial.results)) == sorted(map(key, parallel.results))
+    assert serial.ok_count == parallel.ok_count
+    assert serial.cache_stats["stores"] == parallel.cache_stats["stores"]
+
+
+def test_warm_batch_is_all_hits(tmp_path):
+    jobs = registry_manifest()
+    cold = run_batch(jobs, jobs_n=1, cache_dir=str(tmp_path))
+    assert cold.cache_stats["misses"] == 7 and cold.cache_stats["stores"] == 7
+    warm = run_batch(jobs, jobs_n=2, cache_dir=str(tmp_path))
+    assert warm.cache_stats["hits"] == 7
+    assert warm.cache_stats["misses"] == 0 and warm.cache_stats["stores"] == 0
+    assert all(r["cache"] == "hit" for r in warm.results)
+
+
+def test_budget_is_enforced_per_job():
+    jobs = [BatchJob(kind="program", name="crc32")]
+    report = run_batch(jobs, jobs_n=1, fuel=3)
+    assert report.results[0]["outcome"] == "exhausted:fuel"
+    assert report.stalls == {"fuel": 1}
+    # The same job with a sane budget succeeds -- exhaustion is the
+    # budget's verdict, not a broken program.
+    assert run_batch(jobs, jobs_n=1).results[0]["outcome"] == "ok"
+
+
+def test_budget_is_enforced_in_workers():
+    jobs = [BatchJob(kind="program", name="crc32"), BatchJob(kind="program", name="utf8")]
+    report = run_batch(jobs, jobs_n=2, fuel=3)
+    assert [r["outcome"] for r in report.results] == ["exhausted:fuel"] * 2
+
+
+def test_unknown_job_is_a_crash_not_an_abort():
+    jobs = [
+        BatchJob(kind="program", name="no_such_program"),
+        BatchJob(kind="program", name="crc32"),
+    ]
+    report = run_batch(jobs, jobs_n=1)
+    outcomes = {r["job"]: r["outcome"] for r in report.results}
+    assert outcomes["no_such_program"] == "crash"
+    assert outcomes["crc32"] == "ok"
+
+
+def test_batch_jobs_are_traced(tmp_path):
+    from repro.obs.trace import Tracer, use_tracer
+
+    tracer = Tracer(name="batch-test")
+    with use_tracer(tracer):
+        run_batch(registry_manifest()[:2], jobs_n=1, cache_dir=str(tmp_path))
+    events = tracer.events_by_type("batch_job")
+    assert len(events) == 2
+    counters = tracer.metrics.to_dict()["counters"]
+    assert counters["batch.jobs"] == 2
+    assert counters["batch.outcome.ok"] == 2
+    assert counters["cache.misses"] == 2

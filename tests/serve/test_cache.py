@@ -1,0 +1,204 @@
+"""Cache correctness: hits are byte-identical, invalidation is exact,
+corruption falls back to a cold compile (ISSUE satellite 3).
+
+The trust model under test: the cache is untrusted; every load runs the
+trusted checkers, so the worst a poisoned entry can do is cost one cold
+compile.
+"""
+
+import json
+import os
+
+from repro.core.engine import Engine
+from repro.programs import all_programs, get_program
+from repro.serve.cache import (
+    HIT,
+    INVALIDATED,
+    MISS,
+    CompilationCache,
+    compile_program_cached,
+)
+from repro.serve.fingerprint import compile_key
+from repro.stdlib import default_databases, default_engine
+
+
+def _fresh(program, opt_level=0):
+    """A cold compile bypassing both the program memo and the disk cache."""
+    compiled = default_engine().compile_function(
+        program.build_model(), program.build_spec()
+    )
+    if opt_level > 0:
+        compiled = compiled.optimize(
+            opt_level, input_gen=program.validation_input_gen()
+        )
+    return compiled
+
+
+def test_warm_hit_is_byte_identical_to_cold(tmp_path):
+    cache = CompilationCache(str(tmp_path))
+    program = get_program("crc32")
+    cold, outcome = compile_program_cached(cache, program, opt_level=1)
+    assert outcome == MISS
+    warm, outcome = compile_program_cached(cache, program, opt_level=1)
+    assert outcome == HIT
+    assert warm.bedrock_fn == cold.bedrock_fn
+    assert warm.c_source() == cold.c_source()
+    assert warm.certificate.to_json() == cold.certificate.to_json()
+    assert warm.opt_report is not None
+    assert warm.opt_report.to_dict() == cold.opt_report.to_dict()
+    # ... and identical to a from-scratch derivation, not just to the
+    # stored copy: determinism is what licenses memoization.
+    fresh = _fresh(program, opt_level=1)
+    assert warm.bedrock_fn == fresh.bedrock_fn
+    assert warm.certificate.to_json() == fresh.certificate.to_json()
+
+
+def test_whole_suite_hits_after_one_pass(tmp_path):
+    cache = CompilationCache(str(tmp_path))
+    for program in all_programs():
+        _, outcome = compile_program_cached(cache, program)
+        assert outcome == MISS, program.name
+    for program in all_programs():
+        _, outcome = compile_program_cached(cache, program)
+        assert outcome == HIT, program.name
+    assert cache.stats.hits == 7 and cache.stats.misses == 7
+    assert cache.stats.invalidated == 0 and cache.stats.stores == 7
+
+
+def test_opt_level_flip_moves_only_that_key(tmp_path):
+    cache = CompilationCache(str(tmp_path))
+    program = get_program("fnv1a")
+    model, spec = program.build_model(), program.build_spec()
+    engine = default_engine()
+    key0 = compile_key(model, spec, engine, opt_level=0)
+    key1 = compile_key(model, spec, engine, opt_level=1)
+    assert key0 != key1
+    compile_program_cached(cache, program, opt_level=0)
+    assert cache.contains(key0) and not cache.contains(key1)
+    # -O1 is a separate entry; -O0 stays warm and untouched.
+    _, outcome = compile_program_cached(cache, program, opt_level=1)
+    assert outcome == MISS
+    _, outcome = compile_program_cached(cache, program, opt_level=0)
+    assert outcome == HIT
+
+
+def test_lemma_db_edit_invalidates_exactly_the_affected_keys(tmp_path):
+    """Removing one binding lemma moves every key derived *under that DB*
+    but leaves entries addressed under the original DB warm."""
+    cache = CompilationCache(str(tmp_path))
+    binding_db, expr_db = default_databases()
+    engine = Engine(binding_db, expr_db, width=64)
+
+    program = get_program("upstr")
+    model, spec = program.build_model(), program.build_spec()
+    old_key = compile_key(model, spec, engine, opt_level=0)
+    cache.compile(model, spec, engine=engine)
+    assert cache.contains(old_key)
+
+    edited = binding_db.copy()
+    removed = edited.lemma_names()[0]
+    assert edited.remove(removed)
+    edited_engine = Engine(edited, expr_db, width=64)
+    new_key = compile_key(model, spec, edited_engine, opt_level=0)
+    assert new_key != old_key, "editing the lemma DB must move the key"
+    assert not cache.contains(new_key)
+    assert cache.contains(old_key), "the original entry must survive untouched"
+
+    # An unrelated program's key is unaffected by which engine compiled
+    # upstr -- content addressing is per-derivation-input, not global.
+    other = get_program("fnv1a")
+    other_key = compile_key(other.build_model(), other.build_spec(), engine, 0)
+    assert other_key == compile_key(other.build_model(), other.build_spec(), engine, 0)
+
+
+def test_corrupted_entry_is_rejected_and_recompiled(tmp_path):
+    cache = CompilationCache(str(tmp_path))
+    program = get_program("utf8")
+    cold, _ = compile_program_cached(cache, program)
+    key = cache.key_for(program.build_model(), program.build_spec())
+    path = cache._path(key)
+
+    # Truncation: not even JSON any more.
+    with open(path, "w") as fh:
+        fh.write('{"entry_schema": 1, "key": "')
+    recovered, outcome = compile_program_cached(cache, program)
+    assert outcome == INVALIDATED
+    assert recovered.c_source() == cold.c_source()
+    # The fallback compile repaired the entry in place.
+    _, outcome = compile_program_cached(cache, program)
+    assert outcome == HIT
+
+
+def test_bitflip_fails_digest_check(tmp_path):
+    cache = CompilationCache(str(tmp_path))
+    program = get_program("utf8")
+    compile_program_cached(cache, program)
+    key = cache.key_for(program.build_model(), program.build_spec())
+    path = cache._path(key)
+    entry = json.loads(open(path).read())
+    entry["opt_level"] = 9  # silent mutation, digest now stale
+    with open(path, "w") as fh:
+        fh.write(json.dumps(entry, sort_keys=True, separators=(",", ":")))
+    _, outcome = compile_program_cached(cache, program)
+    assert outcome == INVALIDATED
+    assert cache.stats.invalidation_reasons.get("payload digest mismatch (corrupted entry)", 0) == 1
+
+
+def test_tampered_payload_rejected_by_revalidation(tmp_path):
+    """A forged entry with a *correct* digest still fails the trusted
+    checkers: swap in another program's function and re-sign."""
+    from repro.serve.cache import _payload_digest
+
+    cache = CompilationCache(str(tmp_path))
+    victim = get_program("crc32")
+    donor = get_program("fnv1a")
+    compile_program_cached(cache, victim)
+    donor_compiled, _ = compile_program_cached(cache, donor)
+    key = cache.key_for(victim.build_model(), victim.build_spec())
+    path = cache._path(key)
+    entry = json.loads(open(path).read())
+    from repro.bedrock2.serial import encode_function
+
+    entry["function"] = encode_function(donor_compiled.bedrock_fn)
+    entry.pop("payload_sha")
+    entry["payload_sha"] = _payload_digest(entry)  # attacker re-signs
+    with open(path, "w") as fh:
+        fh.write(json.dumps(entry, sort_keys=True, separators=(",", ":")))
+    recovered, outcome = compile_program_cached(cache, victim)
+    assert outcome == INVALIDATED
+    assert recovered.bedrock_fn.name == "crc32"
+
+
+def test_wrong_address_is_rejected(tmp_path):
+    """An entry copied to a different address fails the key check."""
+    cache = CompilationCache(str(tmp_path))
+    program = get_program("fnv1a")
+    compile_program_cached(cache, program)
+    key = cache.key_for(program.build_model(), program.build_spec())
+    fake_key = ("0" if key[0] != "0" else "1") + key[1:]
+    fake_path = cache._path(fake_key)
+    os.makedirs(os.path.dirname(fake_path), exist_ok=True)
+    with open(cache._path(key)) as src, open(fake_path, "w") as dst:
+        dst.write(src.read())
+    bundle, outcome = cache.lookup(
+        fake_key, program.build_model(), program.build_spec()
+    )
+    assert bundle is None and outcome == INVALIDATED
+
+
+def test_cache_traffic_is_traced(tmp_path):
+    from repro.obs.trace import Tracer, use_tracer
+
+    cache = CompilationCache(str(tmp_path))
+    program = get_program("fasta")
+    tracer = Tracer(name="test")
+    with use_tracer(tracer):
+        compile_program_cached(cache, program)
+        compile_program_cached(cache, program)
+    kinds = [e["ev"] for e in tracer.events if e["ev"].startswith("cache_")]
+    assert kinds.count("cache_lookup") == 2
+    assert kinds.count("cache_store") == 1
+    counters = tracer.metrics.to_dict()["counters"]
+    assert counters["cache.misses"] == 1
+    assert counters["cache.hits"] == 1
+    assert counters["cache.stores"] == 1

@@ -1,0 +1,88 @@
+"""The JSON-lines service front end (transport-agnostic dispatch)."""
+
+import io
+import json
+
+from repro.serve.service import CompileService
+
+
+def test_ping_and_list():
+    service = CompileService()
+    assert service.handle({"op": "ping"}) == {"ok": True, "op": "ping"}
+    programs = service.handle({"op": "list"})
+    assert programs["ok"] and "crc32" in programs["programs"]
+
+
+def test_compile_without_cache():
+    service = CompileService()
+    response = service.handle({"op": "compile", "program": "fnv1a"})
+    assert response["ok"] and response["cache"] == "off"
+    assert "uintptr_t fnv1a" in response["c"]
+    assert response["statements"] > 0
+
+
+def test_compile_hits_cache_on_second_request(tmp_path):
+    service = CompileService(cache_dir=str(tmp_path))
+    first = service.handle({"op": "compile", "program": "crc32", "opt_level": 1})
+    second = service.handle({"op": "compile", "program": "crc32", "opt_level": 1})
+    assert first["cache"] == "miss" and second["cache"] == "hit"
+    assert first["c"] == second["c"], "warm response must be byte-identical"
+    stats = service.handle({"op": "stats"})
+    assert stats["requests"] == 3
+    assert stats["cache"]["hits"] == 1 and stats["cache"]["misses"] == 1
+
+
+def test_cert_op_round_trips():
+    from repro.core.certificate import Certificate
+
+    service = CompileService()
+    response = service.handle({"op": "cert", "program": "upstr"})
+    assert response["ok"]
+    cert = Certificate.from_dict(response["certificate"])
+    assert cert.function_name == "upstr"
+
+
+def test_errors_do_not_kill_the_service():
+    service = CompileService()
+    assert not service.handle({"op": "no_such_op"})["ok"]
+    unknown = service.handle({"op": "compile", "program": "nope"})
+    assert not unknown["ok"] and "nope" in unknown["error"]
+    assert not service.handle_line("this is not json")["ok"]
+    assert not service.handle_line("")["ok"]
+    assert not service.handle_line('"just a string"')["ok"]
+    # Still alive and serving after all of that:
+    assert service.handle({"op": "ping"})["ok"]
+
+
+def test_stream_loop_and_shutdown():
+    service = CompileService()
+    requests = "\n".join(
+        json.dumps(r)
+        for r in (
+            {"op": "ping"},
+            {"op": "compile", "program": "m3s"},
+            {"op": "shutdown"},
+            {"op": "ping"},  # must never be read: shutdown stops the loop
+        )
+    )
+    out = io.StringIO()
+    service.serve_stream(io.StringIO(requests + "\n"), out)
+    responses = [json.loads(line) for line in out.getvalue().splitlines()]
+    assert [r["op"] for r in responses] == ["ping", "compile", "shutdown"]
+    assert all(r["ok"] for r in responses)
+    assert not service.running
+
+
+def test_requests_are_traced():
+    from repro.obs.trace import Tracer, use_tracer
+
+    service = CompileService()
+    tracer = Tracer(name="serve-test")
+    with use_tracer(tracer):
+        service.handle({"op": "ping"})
+        service.handle({"op": "compile", "program": "bogus"})
+    events = tracer.events_by_type("serve_request")
+    assert len(events) == 2
+    counters = tracer.metrics.to_dict()["counters"]
+    assert counters["serve.requests"] == 2
+    assert counters["serve.ok"] == 1 and counters["serve.error"] == 1
