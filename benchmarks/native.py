@@ -103,10 +103,11 @@ def measure_native(
     runs: int = 5,
     seed: int = 0,
 ) -> NativeMeasurement:
-    if implementation == "rupicola":
-        fn = program.compile().bedrock_fn
-    else:
-        fn = program.build_handwritten()
+    fn = (
+        program.compile().bedrock_fn
+        if implementation == "rupicola"
+        else program.build_handwritten()
+    )
     lib = build_shared_object(fn, program.calling_style, opt)
 
     data = program.gen_input(random.Random(seed), size)

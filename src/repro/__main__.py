@@ -19,7 +19,12 @@ Commands:
   a fuzz corpus through the worker pool (``--jobs``) and the
   content-addressed cache (``--cache``);
 - ``serve``                     -- long-lived JSON-lines compilation
-  service over stdio or a Unix socket (see ``docs/serving.md``).
+  service over stdio or a Unix socket (see ``docs/serving.md``);
+- ``lint``                      -- static analysis (``repro.analysis``):
+  audit the standard hint databases for determinism/coverage defects and
+  run the Bedrock2 dataflow lint over compiled suite programs; exits
+  nonzero on any error- or warning-severity diagnostic (see
+  ``docs/analysis.md``).
 
 ``compile``, ``validate``, ``riscv``, and ``bench`` accept ``-O0`` (the
 default) or ``-O1`` to run the translation-validated optimizer
@@ -88,7 +93,7 @@ def _program(name: str):
         return get_program(name)
     except KeyError:
         print(f"unknown program {name!r}; try `python -m repro list`", file=sys.stderr)
-        raise SystemExit(2)
+        raise SystemExit(2) from None
 
 
 def _compiled(args):
@@ -334,6 +339,33 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis.runner import run_lint
+
+    # Narrowing to one half narrows the run: `--db` alone skips the
+    # program lints and `--program` alone skips the DB audits; with
+    # neither, everything runs (the CI gate).
+    db_names = args.db or (None if not args.program else [])
+    program_names = args.program or (None if not args.db else [])
+    with _maybe_trace(args, "lint"):
+        try:
+            report = run_lint(
+                db_names=db_names,
+                program_names=program_names,
+                opt_levels=tuple(args.opt_levels) if args.opt_levels else (0, 1),
+            )
+        except KeyError as exc:
+            print(f"lint: {exc.args[0]}", file=sys.stderr)
+            raise SystemExit(2) from None
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def cmd_profile(args) -> int:
     from repro.obs.profile import profile_program
 
@@ -459,6 +491,25 @@ def main(argv=None) -> int:
                    help="listen on a Unix domain socket instead of stdio")
     p.add_argument("--trace", metavar="FILE", help=trace_help)
     p = sub.add_parser(
+        "lint",
+        help="static analysis: hint-DB audit + Bedrock2 dataflow lint",
+    )
+    p.add_argument(
+        "--db", action="append", metavar="NAME", default=[],
+        help="audit only this hint database (bindings, exprs); repeatable",
+    )
+    p.add_argument(
+        "--program", action="append", metavar="NAME", default=[],
+        help="lint only this suite program's compiled code; repeatable",
+    )
+    p.add_argument(
+        "-O", dest="opt_levels", action="append", type=int, choices=(0, 1),
+        default=[],
+        help="optimization level(s) to lint programs at (default: both)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable report")
+    p.add_argument("--trace", metavar="FILE", help=trace_help)
+    p = sub.add_parser(
         "profile", help="per-phase / per-lemma time breakdown of one compile"
     )
     p.add_argument("program")
@@ -483,6 +534,7 @@ def main(argv=None) -> int:
         "profile": cmd_profile,
         "batch": cmd_batch,
         "serve": cmd_serve,
+        "lint": cmd_lint,
     }
     return handlers[args.command](args)
 

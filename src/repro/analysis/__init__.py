@@ -1,0 +1,36 @@
+"""Static analysis for the relational-compilation toolchain.
+
+Two analyzers, one diagnostic vocabulary (``repro.analysis.diagnostics``):
+
+- :mod:`repro.analysis.hintdb` audits hint *databases* -- the compiler's
+  configuration -- for determinism hazards (overlapping lemmas),
+  dead configuration (shadowed lemmas), and coverage holes that predict
+  ``no-binding-lemma`` / ``no-expr-lemma`` stalls before any program is
+  ever compiled;
+- :mod:`repro.analysis.dataflow` lints compiled Bedrock2 *output* with
+  CFG-based dataflow analyses (uninitialized reads, dead stores,
+  unreachable code, stackalloc lifetime, spec footprint).
+
+:mod:`repro.analysis.runner` orchestrates both behind ``repro lint``.
+"""
+
+from repro.analysis.diagnostics import CATALOG, Diagnostic
+from repro.analysis.dataflow import lint_compiled, lint_function
+from repro.analysis.hintdb import (
+    CoverageMatrix,
+    audit_hintdb,
+    missing_lemma_suggestions,
+)
+from repro.analysis.runner import LintReport, run_lint
+
+__all__ = [
+    "CATALOG",
+    "CoverageMatrix",
+    "Diagnostic",
+    "LintReport",
+    "audit_hintdb",
+    "lint_compiled",
+    "lint_function",
+    "missing_lemma_suggestions",
+    "run_lint",
+]

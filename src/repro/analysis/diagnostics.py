@@ -1,0 +1,133 @@
+"""Stable diagnostic codes shared by every ``repro.analysis`` analyzer.
+
+The analyzers never raise on a finding -- they *report*, in the style of
+a compiler front end, so that CI gates, golden fixtures, and the JSON
+CLI output can key on codes that stay stable across refactors:
+
+======  ========  ===========================================================
+code    severity  meaning
+======  ========  ===========================================================
+RA101   warning   hint-DB overlap: two lemmas claim the same goal shape at
+                  the same priority, so which one fires is decided only by
+                  registration recency -- a nondeterminism hazard under the
+                  paper's priority-ordered, no-backtracking search (§3.1)
+RA102   warning   priority shadowing: a lemma that can never fire because an
+                  earlier, shape-total lemma subsumes every goal it matches
+RA103   error     duplicate lemma name inside one database
+RA201   info      coverage hole: a source ``Term`` head no lemma (and not
+                  the engine) handles -- a statically predicted
+                  ``no-binding-lemma`` / ``no-expr-lemma`` stall
+RB201   error     dataflow: a local may be read before assignment (or a
+                  declared return variable may be unset) on some path
+RB202   warning   dataflow: dead store -- the assigned value can never be
+                  observed on any path
+RB203   warning   dataflow: unreachable statement (constant branch/loop
+                  condition)
+RB204   error     dataflow: a stack-allocated pointer is read after its
+                  ``SStackalloc`` scope ended (use-after-scope)
+RB205   error     dataflow: a stack-allocated pointer escapes its scope
+                  (stored to memory or returned)
+RB206   error     dataflow: a store writes through a pointer argument the
+                  ``FnSpec`` does not declare writable (footprint violation)
+======  ========  ===========================================================
+
+Severity drives policy: ``error`` diagnostics reject cache entries and
+fail ``repro lint``; ``warning`` diagnostics fail ``repro lint`` but are
+advisory elsewhere; ``info`` diagnostics never gate anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+# code -> (severity, short slug used in rendered output)
+CATALOG: Dict[str, Tuple[str, str]] = {
+    "RA101": (WARNING, "overlap"),
+    "RA102": (WARNING, "shadowed-lemma"),
+    "RA103": (ERROR, "duplicate-lemma-name"),
+    "RA201": (INFO, "uncovered-head"),
+    "RB201": (ERROR, "uninit-read"),
+    "RB202": (WARNING, "dead-store"),
+    "RB203": (WARNING, "unreachable"),
+    "RB204": (ERROR, "stackalloc-use-after-scope"),
+    "RB205": (ERROR, "stackalloc-escape"),
+    "RB206": (ERROR, "footprint-violation"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding, with a stable code and a stable location.
+
+    ``subject`` names the audited object (a database, lemma, or function
+    name); ``where`` is a structural path inside it (a lemma pair, an
+    AST path like ``body.seq[2].then``) chosen to be deterministic so
+    golden fixtures can pin exact diagnostics.
+    """
+
+    code: str
+    subject: str
+    where: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.code not in CATALOG:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def severity(self) -> str:
+        return CATALOG[self.code][0]
+
+    @property
+    def slug(self) -> str:
+        return CATALOG[self.code][1]
+
+    def render(self) -> str:
+        return (
+            f"{self.code} {self.slug} [{self.severity}] "
+            f"{self.subject}::{self.where}: {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "slug": self.slug,
+            "severity": self.severity,
+            "subject": self.subject,
+            "where": self.where,
+            "message": self.message,
+        }
+
+
+def gating(diags: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """The findings that should fail a lint gate (errors and warnings)."""
+    return [d for d in diags if d.severity in (ERROR, WARNING)]
+
+
+def errors(diags: Iterable[Diagnostic]) -> List[Diagnostic]:
+    return [d for d in diags if d.severity == ERROR]
+
+
+def emit_to_tracer(diags: Iterable[Diagnostic], subject_kind: str) -> None:
+    """Mirror findings to the active flight recorder (no-op when disabled)."""
+    from repro.obs.trace import current_tracer
+
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return
+    for diag in diags:
+        tracer.event(
+            "lint_diag",
+            code=diag.code,
+            severity=diag.severity,
+            kind=subject_kind,
+            subject=diag.subject,
+            where=diag.where,
+        )
+        tracer.inc("analysis.diags")
+        tracer.inc(f"analysis.diags.{diag.code}")

@@ -384,10 +384,12 @@ class Engine:
                             conditions=len(conditions),
                         )
                 return expr, node
+            stall_head = head if trace else term_head(term)
             if trace:
                 tracer.inc("lemma.attempts", scanned)
                 tracer.inc("lemma.misses", scanned)
                 tracer.inc(f"stall.{StallReport.NO_EXPR_LEMMA}")
+                tracer.inc(f"stall.{StallReport.NO_EXPR_LEMMA}.head.{stall_head}")
             raise CompilationStalled(
                 goal.describe(),
                 advice=(
@@ -398,6 +400,7 @@ class Engine:
                 family="engine",
                 databases=(self.expr_db.name,),
                 nearest_misses=tuple(self.expr_db.nearest_misses(term)),
+                head=stall_head,
             )
 
     # -- Binding compilation -----------------------------------------------------------
@@ -484,10 +487,12 @@ class Engine:
                             conditions=len(conditions),
                         )
                 return stmt, new_state, node
+            stall_head = head if trace else term_head(value)
             if trace:
                 tracer.inc("lemma.attempts", scanned)
                 tracer.inc("lemma.misses", scanned)
                 tracer.inc(f"stall.{StallReport.NO_BINDING_LEMMA}")
+                tracer.inc(f"stall.{StallReport.NO_BINDING_LEMMA}.head.{stall_head}")
             raise CompilationStalled(
                 goal.describe(),
                 advice=(
@@ -498,6 +503,7 @@ class Engine:
                 family="engine",
                 databases=(self.binding_db.name,),
                 nearest_misses=tuple(self.binding_db.nearest_misses(value)),
+                head=stall_head,
             )
 
     def compile_value_into(

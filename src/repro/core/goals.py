@@ -101,6 +101,11 @@ class StallReport:
     databases: Tuple[str, ...] = ()
     hint: str = ""
     nearest_misses: Tuple[str, ...] = field(default_factory=tuple)
+    # The goal term's head constructor (``Term`` subclass name) for
+    # NO_*_LEMMA stalls: the row of the auditor's coverage matrix this
+    # stall falls under, so predictions can be cross-checked against
+    # observed stalls without re-parsing the pretty-printed goal.
+    head: str = ""
 
     def to_dict(self) -> dict:
         return {
@@ -110,6 +115,7 @@ class StallReport:
             "databases": list(self.databases),
             "hint": self.hint,
             "nearest_misses": list(self.nearest_misses),
+            "head": self.head,
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -147,6 +153,7 @@ class CompilationStalled(CompileError):
         family: str = "",
         databases: Tuple[str, ...] = (),
         nearest_misses: Tuple[str, ...] = (),
+        head: str = "",
     ):
         self.goal_description = goal_description
         self.advice = advice
@@ -154,6 +161,7 @@ class CompilationStalled(CompileError):
         self.family = family
         self.databases = tuple(databases)
         self.nearest_misses = tuple(nearest_misses)
+        self.head = head
         message = "compilation stalled on unsolved subgoal:\n" + goal_description
         if advice:
             message += "\n\nhint: " + advice
@@ -168,6 +176,7 @@ class CompilationStalled(CompileError):
             databases=self.databases,
             hint=self.advice,
             nearest_misses=self.nearest_misses,
+            head=self.head,
         )
 
 

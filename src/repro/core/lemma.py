@@ -75,10 +75,21 @@ class BindingLemma:
     ``matches`` guard refused it is a **nearest miss** -- exactly the
     "shape of the missing lemma" §3.1 says users learn from stall
     reports, so stalls list these lemmas first.
+
+    ``shape_total`` declares that ``matches`` accepts *every* goal whose
+    value's head constructor is in ``shapes`` (the guard is the
+    ``isinstance`` test and nothing else).  The hint-DB auditor
+    (:mod:`repro.analysis.hintdb`) relies on this: a total lemma makes
+    its heads stall-proof in any database that contains it, and any
+    same-shape lemma registered after it can never fire (priority
+    shadowing).  Declaring totality for a guarded lemma is a soundness
+    bug in the declaration, not the auditor -- leave it False when in
+    doubt.
     """
 
     name: str = "<unnamed>"
     shapes: Tuple[str, ...] = ()
+    shape_total: bool = False
 
     def matches(self, goal: BindingGoal) -> bool:
         raise NotImplementedError
@@ -90,10 +101,15 @@ class BindingLemma:
 
 
 class ExprLemma:
-    """Relates a scalar term shape to a Bedrock2 expression template."""
+    """Relates a scalar term shape to a Bedrock2 expression template.
+
+    ``shapes`` and ``shape_total`` carry the same audit metadata as on
+    :class:`BindingLemma`.
+    """
 
     name: str = "<unnamed>"
     shapes: Tuple[str, ...] = ()
+    shape_total: bool = False
 
     def matches(self, goal: ExprGoal) -> bool:
         raise NotImplementedError
@@ -102,6 +118,18 @@ class ExprLemma:
         self, goal: ExprGoal, engine: "Engine"
     ) -> Tuple["ast.Expr", List["CertNode"]]:
         raise NotImplementedError
+
+
+class DuplicateLemma(ValueError):
+    """Two lemmas with the same registered name in one database.
+
+    Lemma names are the identity the rest of the toolchain keys on --
+    ``remove`` targets them, stall reports list them, the auditor's
+    overlap/shadow diagnostics cite them, and per-lemma metrics counters
+    are named after them -- so a silent duplicate would make every one of
+    those reports ambiguous.  Pass ``replace=True`` to ``register`` when
+    the duplication is an intentional override.
+    """
 
 
 class HintDb:
@@ -118,8 +146,26 @@ class HintDb:
         self._entries: List[Tuple[int, int, object]] = []
         self._counter = 0
 
-    def register(self, lemma: object, priority: int = 10) -> object:
-        """Add a lemma; returns it so this can be used as a decorator helper."""
+    def register(self, lemma: object, priority: int = 10, *, replace: bool = False) -> object:
+        """Add a lemma; returns it so this can be used as a decorator helper.
+
+        Registering a second lemma under an already-taken name raises
+        :class:`DuplicateLemma` unless ``replace=True``, which removes
+        the existing entry first (the explicit override workflow,
+        matching ``remove`` + ``register``).  Unnamed entries (no
+        ``name`` attribute, or the ``"<unnamed>"`` placeholder) are
+        exempt: they have no identity to collide on.
+        """
+        name = getattr(lemma, "name", None)
+        if name is not None and name != "<unnamed>" and any(
+            getattr(entry[2], "name", None) == name for entry in self._entries
+        ):
+            if not replace:
+                raise DuplicateLemma(
+                    f"database {self.name!r} already has a lemma named {name!r}; "
+                    "remove it first or register with replace=True"
+                )
+            self.remove(name)
         self._counter += 1
         self._entries.append((priority, -self._counter, lemma))
         self._entries.sort(key=lambda e: (e[0], e[1]))
@@ -135,6 +181,16 @@ class HintDb:
 
     def __iter__(self) -> Iterator[object]:
         return (entry[2] for entry in self._entries)
+
+    def entries(self) -> List[Tuple[int, object]]:
+        """``(priority, lemma)`` pairs in scan order.
+
+        The auditor (:mod:`repro.analysis.hintdb`) needs priorities, not
+        just the scan sequence: two lemmas claiming the same shape at the
+        *same* priority are ordered only by registration recency, which
+        is the nondeterminism hazard its overlap report flags.
+        """
+        return [(priority, lemma) for priority, _, lemma in self._entries]
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -182,13 +238,26 @@ class HintDb:
         construct but their guards (name conventions, binding kinds,
         memory-clause requirements) refused the goal -- the closest
         existing lemmas to the one the user would need to write.
+
+        When *no* lemma in this database claims the head at all, the
+        auditor's coverage matrix over the standard library is consulted
+        instead, so the suggestions name the missing lemma *family*
+        (``"loops.compile_arraymap_inplace"``) rather than coming back
+        empty -- the user learns which stdlib module to load or imitate.
         """
         head = type(term).__name__
-        return [
+        misses = [
             getattr(lemma, "name", "<unnamed>")
             for lemma in self
             if head in getattr(lemma, "shapes", ())
         ]
+        if misses:
+            return misses
+        try:  # lazy: repro.analysis depends on this module, not vice versa
+            from repro.analysis.hintdb import missing_lemma_suggestions
+        except ImportError:  # pragma: no cover - partial installs
+            return misses
+        return missing_lemma_suggestions(head, present=set(self.lemma_names()))
 
     def copy(self, name: Optional[str] = None) -> "HintDb":
         clone = HintDb(name or self.name)

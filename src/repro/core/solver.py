@@ -20,6 +20,7 @@ combined system is infeasible over the rationals, the obligation follows.
 
 from __future__ import annotations
 
+import contextlib
 from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -94,9 +95,12 @@ def normalize_append_len(first: t.Term, second: t.Term) -> Optional[t.Term]:
         inner_first = first
         if isinstance(inner_first, t.ArrayMap):
             inner_first = inner_first.arr
-        if isinstance(inner_first, t.FirstN):
-            if inner_first.arr == second.arr and inner_first.count == second.count:
-                return normalize_len(second.arr)
+        if (
+            isinstance(inner_first, t.FirstN)
+            and inner_first.arr == second.arr
+            and inner_first.count == second.count
+        ):
+            return normalize_len(second.arr)
     return None
 
 
@@ -413,7 +417,7 @@ def upper_bound(term: t.Term, width: int, state=None) -> int:
         return term.value
     if state is not None:
         # Type-level bounds: bytes are < 256, booleans < 2.
-        try:
+        with contextlib.suppress(Exception):
             from repro.core.typecheck import infer_type
             from repro.source.types import BOOL as _BOOL, BYTE as _BYTE
 
@@ -422,8 +426,6 @@ def upper_bound(term: t.Term, width: int, state=None) -> int:
                 full = 0xFF
             elif ty is _BOOL:
                 full = 1
-        except Exception:
-            pass
     if isinstance(term, t.TableGet):
         return max(term.data) if term.data else 0
     if isinstance(term, t.Prim):

@@ -81,6 +81,11 @@ EVENT_SCHEMA: Dict[str, Dict[str, tuple]] = {
         "optional": ("kind", "cache", "level", "detail"),
     },
     "serve_request": {"required": ("op", "ok"), "optional": ("program", "detail")},
+    # repro.analysis: one event per lint/audit diagnostic.
+    "lint_diag": {
+        "required": ("code", "severity"),
+        "optional": ("kind", "subject", "where", "message"),
+    },
     "timings": {"required": ("spans",), "optional": ("total_ms",)},
 }
 
@@ -100,6 +105,7 @@ SPAN_KINDS = (
     "cache_load",
     "batch_job",
     "serve_request",
+    "lint",
 )
 
 

@@ -127,15 +127,27 @@ class PassManager:
         passes: Sequence[Pass],
         width: int = 64,
         validator: Optional[PassValidator] = None,
+        lint: bool = True,
     ):
         self.passes = list(passes)
         self.width = width
         self.validator = validator
+        # When on, each candidate is also run through the dataflow lint
+        # (repro.analysis.dataflow) and rejected if it *introduces* any
+        # error-severity diagnostic the pre-pass AST did not have (a
+        # stale-stackalloc deref, an escaping pointer, ...).  Warnings
+        # (dead stores, unreachable code) are deliberately not gated
+        # per-pass: the pipeline relies on them transiently -- ptrloop
+        # orphans induction variables for the final DCE to sweep -- and
+        # the end-to-end `repro lint` gate still requires the *final*
+        # output to be warning-clean.
+        self.lint = lint
 
     def run(self, fn: ast.Function) -> "tuple[ast.Function, List[PassCertificate]]":
         tracer = current_tracer()
         trace = tracer.enabled
         certificates: List[PassCertificate] = []
+        baseline = self._lint_counts(fn) if self.lint else None
         for pass_ in self.passes:
             span = tracer.span("opt_pass", name=pass_.name) if trace else NULL_SPAN
             with span:
@@ -162,6 +174,8 @@ class PassManager:
                     self._trace_cert(tracer, certificates[-1])
                     continue
                 error = self._check(candidate, pass_.name)
+                if error is None and baseline is not None:
+                    error, candidate_counts = self._lint_gate(candidate, baseline)
                 if error is not None:
                     certificates.append(
                         PassCertificate(
@@ -175,7 +189,42 @@ class PassManager:
                 )
                 self._trace_cert(tracer, certificates[-1])
                 fn = candidate
+                if baseline is not None:
+                    baseline = candidate_counts
         return fn, certificates
+
+    @staticmethod
+    def _lint_counts(fn: ast.Function) -> "dict[str, int]":
+        from collections import Counter
+
+        from repro.analysis.dataflow import lint_function
+        from repro.analysis.diagnostics import errors
+
+        return dict(Counter(d.code for d in errors(lint_function(fn))))
+
+    def _lint_gate(
+        self, candidate: ast.Function, baseline: "dict[str, int]"
+    ) -> "tuple[Optional[str], dict[str, int]]":
+        """Reject a candidate that introduces new dataflow diagnostics.
+
+        The comparison is per code against the pre-pass AST, so a
+        pipeline run on already-dirty input is not blocked -- only
+        regressions are (the property the optimizer fuzz tests assert).
+        """
+        counts = self._lint_counts(candidate)
+        introduced = sorted(
+            code for code, n in counts.items() if n > baseline.get(code, 0)
+        )
+        if introduced:
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.inc("analysis.optgate.rejected")
+            return (
+                "lint: pass introduces dataflow diagnostics "
+                + ", ".join(introduced),
+                counts,
+            )
+        return None, counts
 
     @staticmethod
     def _trace_cert(tracer, cert: PassCertificate) -> None:

@@ -171,9 +171,8 @@ class ConstantFolding(Pass):
             elif op == "divu":
                 if rv == 1:
                     return lhs
-            elif op == "remu":
-                if rv == 1 and expr_is_pure(lhs):
-                    return ast.ELit(0)
+            elif op == "remu" and rv == 1 and expr_is_pure(lhs):
+                return ast.ELit(0)
             return expr
 
         return self._with_body(fn, map_stmt_exprs(fn.body, fold))
@@ -517,9 +516,8 @@ class ForwardSubstitution(Pass):
             return None
         if isinstance(target, ast.SSet):
             redefines = target.lhs == x
-            if not redefines:
-                if not top_level or not self._dead_after(items, j, x):
-                    return None
+            if not redefines and (not top_level or not self._dead_after(items, j, x)):
+                return None
             new = ast.SSet(target.lhs, subst_expr(target.rhs, x, e1))
             if expr_depth(new.rhs) > MAX_EXPR_DEPTH:
                 return None

@@ -136,10 +136,7 @@ def upstr_extracted(runtime: ExtractedRuntime, data: bytes) -> bytes:
         # toupper a disjunction with one case per lowercase letter".
         # Extraction keeps that shape: matching scans the 26 cases, and
         # each case compares an 8-tuple of booleans constructor-wise.
-        if ord("a") <= b <= ord("z"):
-            cases_scanned = b - ord("a") + 1
-        else:
-            cases_scanned = 26
+        cases_scanned = b - ord("a") + 1 if ord("a") <= b <= ord("z") else 26
         runtime.costs.arith += 8 * cases_scanned  # 8 boolean fields/case
         if ord("a") <= b <= ord("z"):
             return b - 32

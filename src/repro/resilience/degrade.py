@@ -84,10 +84,11 @@ class DegradedFunction:
         for output, value in zip(self.spec.outputs, result.outputs):
             if output.kind is OutKind.ARRAY:
                 assert output.param is not None
-                if isinstance(value, CellV):
-                    out_memory[output.param] = [int(value.value) & mask]
-                else:
-                    out_memory[output.param] = [int(v) & mask for v in value]
+                out_memory[output.param] = (
+                    [int(value.value) & mask]
+                    if isinstance(value, CellV)
+                    else [int(v) & mask for v in value]
+                )
             else:
                 scalar = value.value if isinstance(value, CellV) else value
                 if isinstance(scalar, bool):

@@ -117,14 +117,15 @@ def _gen_scalar_chain(rng: random.Random, name: str) -> FuzzCase:
     pool: List[SymValue] = [sym("a", WORD), sym("b", WORD)]
     bindings = []
     for index in range(rng.randint(1, 4)):
-        if rng.random() < 0.25:
-            value = ite(
+        value = (
+            ite(
                 _word_cond(rng, pool),
                 _word_expr(rng, pool, 2),
                 _word_expr(rng, pool, 2),
             )
-        else:
-            value = _word_expr(rng, pool, 2)
+            if rng.random() < 0.25
+            else _word_expr(rng, pool, 2)
+        )
         binder = f"x{index}"
         bindings.append((binder, value))
         pool.append(sym(binder, WORD))

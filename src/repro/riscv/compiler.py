@@ -380,7 +380,7 @@ class _FunctionCompiler:
             self.emit(Instr("add", A_REGS[index], T_REGS[0], ZERO))
         if len(self.fn.rets) > 2:
             raise CompileError("at most two results supported")
-        for index, (value, reg) in enumerate(self.pool.items()):
+        for index, (_value, reg) in enumerate(self.pool.items()):
             self.emit(Instr("ld", reg, SP, frame - 24 - 8 * index))
         self.emit(Instr("ld", RA, SP, frame - 8))
         self.emit(Instr("ld", FP, SP, frame - 16))

@@ -192,7 +192,7 @@ def decode(word: int) -> Instr:
     if word == SYSTEM["ecall"]:
         return Instr("ecall")
     if opcode == 0b0110011:
-        for name, (op, f3, f7) in R_TYPE.items():
+        for name, (_op, f3, f7) in R_TYPE.items():
             if funct3 == f3 and funct7 == f7:
                 return Instr(name, rd, rs1, rs2)
     if opcode in (0b0010011, 0b0000011, 0b1100111):
@@ -207,7 +207,7 @@ def decode(word: int) -> Instr:
                 return Instr(name, rd, rs1, imm)
     if opcode == 0b0100011:
         imm = _sext((funct7 << 5) | rd, 12)
-        for name, (op, f3) in S_TYPE.items():
+        for name, (_op, f3) in S_TYPE.items():
             if funct3 == f3:
                 return Instr(name, rs2, rs1, imm)
     if opcode == 0b1100011:
@@ -218,7 +218,7 @@ def decode(word: int) -> Instr:
             | ((word >> 8 & 0xF) << 1)
         )
         imm = _sext(imm, 13)
-        for name, (op, f3) in B_TYPE.items():
+        for name, (_op, f3) in B_TYPE.items():
             if funct3 == f3:
                 return Instr(name, rs1, rs2, imm)
     if opcode == U_TYPE["lui"]:

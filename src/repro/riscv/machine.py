@@ -172,10 +172,9 @@ class Machine:
         elif name == "jalr":
             target = (self.get(instr.b) + instr.c) & ~1 & MASK64
             self.set(instr.a, 4 * (self.pc + 1) + CODE_BASE)
-            if target == 0xDEAD0000:
-                next_pc = (0xDEAD0000 - CODE_BASE) // 4  # sentinel: return
-            else:
-                next_pc = (target - CODE_BASE) // 4
+            # 0xDEAD0000 is the return sentinel.
+            sentinel = target == 0xDEAD0000
+            next_pc = ((0xDEAD0000 if sentinel else target) - CODE_BASE) // 4
         elif name == "ecall":
             action_id = self.get(REG_NUM["a7"])
             if self.ecall_handler is None:

@@ -33,6 +33,7 @@ served from disk.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -186,6 +187,15 @@ class CompilationCache:
             )
         except CertificateError as exc:
             raise CacheRejected(f"certificate: {exc}") from None
+        # Dataflow lint (repro.analysis): a tampered or stale entry whose
+        # code is well-formed can still deref dead stack memory or write
+        # outside the spec's footprint; error-severity findings reject.
+        from repro.analysis.dataflow import lint_function
+        from repro.analysis.diagnostics import errors
+
+        found = errors(lint_function(fn, spec=spec))
+        if found:
+            raise CacheRejected("lint: " + "; ".join(d.render() for d in found))
 
     def lookup(
         self, key: str, model: Model, spec: FnSpec
@@ -278,10 +288,8 @@ class CompilationCache:
                 fh.write(json.dumps(entry, sort_keys=True, separators=(",", ":")))
             os.replace(tmp, path)
         except BaseException:
-            try:
+            with contextlib.suppress(OSError):
                 os.unlink(tmp)
-            except OSError:
-                pass
             raise
         self.stats.stores += 1
         tracer = current_tracer()

@@ -32,6 +32,7 @@ request runs under a ``serve_request`` span and emits a
 
 from __future__ import annotations
 
+import contextlib
 import json
 import sys
 from typing import Optional
@@ -180,10 +181,8 @@ class CompileService:
         import os
         import socket
 
-        try:
+        with contextlib.suppress(OSError):
             os.unlink(path)
-        except OSError:
-            pass
         server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         try:
             server.bind(path)
@@ -196,7 +195,5 @@ class CompileService:
                     self.serve_stream(reader, writer)
         finally:
             server.close()
-            try:
+            with contextlib.suppress(OSError):
                 os.unlink(path)
-            except OSError:
-                pass

@@ -251,10 +251,12 @@ def ite(cond: TermLike, then_: TermLike, else_: TermLike) -> SymValue:
 def let_n(name: str, value: TermLike, body: TermLike) -> SymValue:
     """``let/n name := value in body`` (§3.4.1's annotated let)."""
     value_v = lift(value) if isinstance(value, (SymValue, t.Term)) else lift(value, WORD)
-    if isinstance(value_v, SymValue):
-        value_term, value_ty = value_v.term, value_v.ty
-    else:  # pragma: no cover - lift always returns SymValue
-        value_term, value_ty = value_v, None
+    # lift always returns SymValue; the fallback is for raw Terms.
+    value_term, value_ty = (
+        (value_v.term, value_v.ty)
+        if isinstance(value_v, SymValue)
+        else (value_v, None)
+    )
     body_v = lift(body) if isinstance(body, SymValue) else lift(body, value_ty)
     return SymValue(t.Let(name, value_term, body_v.term), body_v.ty)
 
@@ -341,10 +343,11 @@ def trace_lambda(
     """
     if arg_names is None:
         code = getattr(fn, "__code__", None)
-        if code is not None and code.co_argcount == len(arg_types):
-            arg_names = code.co_varnames[: code.co_argcount]
-        else:
-            arg_names = [_fresh_name("x") for _ in arg_types]
+        arg_names = (
+            code.co_varnames[: code.co_argcount]
+            if code is not None and code.co_argcount == len(arg_types)
+            else [_fresh_name("x") for _ in arg_types]
+        )
     args = [sym(name, ty) for name, ty in zip(arg_names, arg_types)]
     result = fn(*args)
     result_v = lift(result, arg_types[0] if arg_types else WORD)

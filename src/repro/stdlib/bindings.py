@@ -42,6 +42,7 @@ class CompilePointerIdentity(BindingLemma):
     """
 
     name = "compile_pointer_identity"
+    shapes = ("Var", "MRet")
 
     def matches(self, goal: BindingGoal) -> bool:
         from repro.core.sepstate import PointerBinding
@@ -70,6 +71,7 @@ class CompileSetScalar(BindingLemma):
     """
 
     name = "compile_set_scalar"
+    shapes = tuple(cls.__name__ for cls in SCALAR_VALUE_NODES)
 
     def matches(self, goal: BindingGoal) -> bool:
         value = goal.value
@@ -89,17 +91,15 @@ class CompileSetScalar(BindingLemma):
             value = value.value
         resolved = resolve(goal.state, value)
         ty = infer_type(goal.state, resolved)
-        if ty is NAT:
-            # Nats are represented as words, so the emitted expression is
-            # the word encoding of_nat(v) (with its fits-in-a-word
-            # obligation); the *binding* keeps the nat term so that later
-            # nat-level uses (e.g. array indices) resolve correctly --
-            # the lookup lemma knows a NAT binding's local holds of_nat.
-            expr, node = engine.compile_expr_term(
-                goal.state, t.Prim("cast.of_nat", (resolved,)), WORD
-            )
-        else:
-            expr, node = engine.compile_expr_term(goal.state, resolved, ty)
+        # Nats are represented as words, so the emitted expression is
+        # the word encoding of_nat(v) (with its fits-in-a-word
+        # obligation); the *binding* keeps the nat term so that later
+        # nat-level uses (e.g. array indices) resolve correctly --
+        # the lookup lemma knows a NAT binding's local holds of_nat.
+        source_term = t.Prim("cast.of_nat", (resolved,)) if ty is NAT else resolved
+        expr, node = engine.compile_expr_term(
+            goal.state, source_term, WORD if ty is NAT else ty
+        )
         state = goal.state.copy()
         state.bind_scalar(goal.name, resolved, ty)
         return ast.SSet(goal.name, expr), state, [node]

@@ -36,6 +36,7 @@ class CompileErrGuard(BindingLemma):
 
     name = "compile_err_guard"
     shapes = ("ErrGuard",)
+    shape_total = True
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.ErrGuard)

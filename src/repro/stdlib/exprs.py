@@ -199,6 +199,7 @@ class ExprArrayGet(ExprLemma):
 
     name = "expr_array_get"
     shapes = ("ArrayGet",)
+    shape_total = True
 
     def matches(self, goal: ExprGoal) -> bool:
         return isinstance(goal.term, t.ArrayGet)
@@ -247,6 +248,7 @@ class ExprPrim(ExprLemma):
 
     name = "expr_prim"
     shapes = ("Prim",)
+    shape_total = True
 
     def matches(self, goal: ExprGoal) -> bool:
         return isinstance(goal.term, t.Prim)

@@ -144,10 +144,7 @@ class _LoopLemma(BindingLemma):
             stmt, after, nodes = engine.compile_value_into(loop_state, target, body, spec)
             return stmt, nodes
         resolved = resolve(loop_state, body)
-        if ty is NAT:
-            resolved_expr = t.Prim("cast.of_nat", (resolved,))
-        else:
-            resolved_expr = resolved
+        resolved_expr = t.Prim("cast.of_nat", (resolved,)) if ty is NAT else resolved
         expr, node = engine.compile_expr_term(loop_state, resolved_expr, ty)
         return ast.SSet(target, expr), [node]
 
@@ -457,6 +454,7 @@ class CompileRangedFor(_LoopLemma):
 
     name = "compile_rangedfor"
     shapes = ("RangedFor",)
+    shape_total = True
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.RangedFor)
@@ -512,6 +510,7 @@ class CompileNatIter(_LoopLemma):
 
     name = "compile_natiter"
     shapes = ("NatIter",)
+    shape_total = True
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.NatIter)

@@ -40,6 +40,7 @@ class CompileIORead(BindingLemma):
 
     name = "compile_io_read"
     shapes = ("IORead",)
+    shape_total = True
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.IORead)
@@ -59,6 +60,7 @@ class CompileIOWrite(BindingLemma):
 
     name = "compile_io_write"
     shapes = ("IOWrite",)
+    shape_total = True
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.IOWrite)
@@ -80,6 +82,7 @@ class CompileWriterTell(BindingLemma):
 
     name = "compile_writer_tell"
     shapes = ("WriterTell",)
+    shape_total = True
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.WriterTell)
@@ -103,6 +106,7 @@ class CompileNdAny(BindingLemma):
 
     name = "compile_nd_any"
     shapes = ("NdAny",)
+    shape_total = True
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.NdAny)

@@ -35,6 +35,7 @@ class CompileStackAlloc(BindingLemma):
 
     name = "compile_stack_alloc"
     shapes = ("Stack",)
+    shape_total = True
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.Stack)
@@ -106,6 +107,8 @@ class CompileNdAlloc(BindingLemma):
     """
 
     name = "compile_nd_alloc"
+    shapes = ("NdAllocBytes",)
+    shape_total = True
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.NdAllocBytes)

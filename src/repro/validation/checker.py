@@ -70,14 +70,18 @@ def check_certificate(
         raise CertificateError(
             "certificate does not end in a postcondition check (compile_done)"
         )
-    if statement_count is not None and certificate.size() - 2 > 0:
-        # Every statement should be accounted for by at least one lemma
-        # application (derive and compile_done are bookkeeping).
-        if statement_count > 0 and certificate.size() < 3:
-            raise CertificateError(
-                f"derivation has {certificate.size()} nodes for "
-                f"{statement_count} statements"
-            )
+    # Every statement should be accounted for by at least one lemma
+    # application (derive and compile_done are bookkeeping).
+    if (
+        statement_count is not None
+        and certificate.size() - 2 > 0
+        and statement_count > 0
+        and certificate.size() < 3
+    ):
+        raise CertificateError(
+            f"derivation has {certificate.size()} nodes for "
+            f"{statement_count} statements"
+        )
 
 
 def replay_derivation(

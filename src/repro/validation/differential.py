@@ -71,10 +71,11 @@ def differential_check(
 
     for _ in range(trials):
         report.trials += 1
-        if input_gen is not None:
-            params = input_gen(rng)
-        else:
-            params = make_inputs(model, rng, array_len=rng.randrange(max_array_len))
+        params = (
+            input_gen(rng)
+            if input_gen is not None
+            else make_inputs(model, rng, array_len=rng.randrange(max_array_len))
+        )
         io_input = [rng.getrandbits(32) for _ in range(io_words)]
 
         # Record the bytes injected into stack allocations so the model's
@@ -195,10 +196,7 @@ def _compare(report, params, spec, run, model_result, width: int) -> None:
             continue
         final = run.out_memory.get(arg.param)
         initial = params.get(arg.param)
-        if isinstance(initial, list):
-            unchanged = final == initial
-        else:
-            unchanged = final == initial  # CellV comparison
+        unchanged = final == initial  # lists and CellV compare structurally
         if not unchanged:
             report.failures.append(
                 DifferentialFailure(

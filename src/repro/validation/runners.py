@@ -78,10 +78,11 @@ def run_function(
         value = param_values[arg.param]
         if arg.kind is ArgKind.POINTER:
             encoded = _encode_composite(value, arg.ty, width)
-            if encoded:
-                base = memory.place_bytes(encoded, label=arg.name)
-            else:
-                base = memory.allocate(0, label=arg.name)
+            base = (
+                memory.place_bytes(encoded, label=arg.name)
+                if encoded
+                else memory.allocate(0, label=arg.name)
+            )
             pointer_bases[arg.param] = (base, len(encoded), arg.ty)
             arg_words.append(Word(width, base))
         elif arg.kind is ArgKind.LENGTH:
@@ -99,7 +100,9 @@ def run_function(
             try:
                 return [Word(width, next(reads))]
             except StopIteration:
-                raise RuntimeError("target performed more reads than provided")
+                raise RuntimeError(
+                    "target performed more reads than provided"
+                ) from None
         if action in ("write", "tell"):
             return []
         raise RuntimeError(f"unknown external action {action!r}")
@@ -154,10 +157,11 @@ def run_function_riscv(
         value = param_values[arg.param]
         if arg.kind is ArgKind.POINTER:
             encoded = _encode_composite(value, arg.ty, width)
-            if encoded:
-                base = memory.place_bytes(encoded, label=arg.name)
-            else:
-                base = memory.allocate(0, label=arg.name)
+            base = (
+                memory.place_bytes(encoded, label=arg.name)
+                if encoded
+                else memory.allocate(0, label=arg.name)
+            )
             pointer_bases[arg.param] = (base, len(encoded), arg.ty)
             args.append(base)
         elif arg.kind is ArgKind.LENGTH:

@@ -1,0 +1,92 @@
+"""CLI integration for ``python -m repro lint``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_full_gate_passes_and_renders(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "lint: ok" in out
+    assert "hintdb bindings" in out and "hintdb exprs" in out
+    assert "program fnv1a@-O0" in out and "program fnv1a@-O1" in out
+    # The known stdlib coverage holes surface as info lines, not failures.
+    assert "RA201" in out
+
+
+def test_json_output_is_machine_readable(capsys):
+    assert main(["lint", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["counts"] == {"RA201": 3}
+    names = {s["name"] for s in payload["subjects"]}
+    assert {"bindings", "exprs"} <= names
+    for subject in payload["subjects"]:
+        for diag in subject["diagnostics"]:
+            assert set(diag) == {"code", "slug", "severity", "subject", "where", "message"}
+
+
+def test_db_flag_narrows_to_audits_only(capsys):
+    assert main(["lint", "--db", "bindings"]) == 0
+    payload_text = capsys.readouterr().out
+    assert "hintdb bindings" in payload_text
+    assert "exprs" not in payload_text
+    assert "program" not in payload_text
+
+
+def test_program_flag_narrows_to_one_program(capsys):
+    assert main(["lint", "--program", "crc32", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    kinds = {(s["kind"], s["name"]) for s in payload["subjects"]}
+    assert kinds == {("program", "crc32@-O0"), ("program", "crc32@-O1")}
+
+
+def test_opt_level_flag_narrows_levels(capsys):
+    assert main(["lint", "--program", "crc32", "-O", "1", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [s["name"] for s in payload["subjects"]] == ["crc32@-O1"]
+
+
+def test_unknown_program_exits_2(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["lint", "--program", "nosuch"])
+    assert excinfo.value.code == 2
+    assert "unknown program 'nosuch'" in capsys.readouterr().err
+
+
+def test_unknown_db_exits_2(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["lint", "--db", "nosuch"])
+    assert excinfo.value.code == 2
+    assert "unknown hint database 'nosuch'" in capsys.readouterr().err
+
+
+def test_trace_records_lint_spans_and_diag_events(tmp_path):
+    from repro.obs.trace import read_jsonl, validate_events
+
+    trace_path = tmp_path / "lint.jsonl"
+    assert main(["lint", "--program", "fnv1a", "--trace", str(trace_path)]) == 0
+    records = read_jsonl(str(trace_path))
+    validate_events(records)
+    spans = [
+        r for r in records if r.get("ev") == "span_open" and r.get("kind") == "lint"
+    ]
+    assert {s["name"] for s in spans} == {"program:fnv1a@-O0", "program:fnv1a@-O1"}
+
+
+def test_lint_diag_events_reach_the_trace(tmp_path):
+    from repro.obs.trace import read_jsonl
+
+    trace_path = tmp_path / "lint.jsonl"
+    assert main(["lint", "--db", "bindings", "--trace", str(trace_path)]) == 0
+    records = read_jsonl(str(trace_path))
+    diags = [r for r in records if r.get("ev") == "lint_diag"]
+    assert {d["code"] for d in diags} == {"RA201"}
+    metrics = [r for r in records if r.get("ev") == "metrics"]
+    assert metrics and metrics[0]["counters"]["analysis.diags"] == 3
+    assert metrics[0]["counters"]["analysis.diags.RA201"] == 3

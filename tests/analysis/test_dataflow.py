@@ -1,0 +1,218 @@
+"""Bedrock2 dataflow lint: seeded defects, clean programs, edge cases.
+
+Each seeded-defect test plants exactly one bug class in a hand-built AST
+and asserts the lint reports it with the right code at the right path --
+and nothing else.  The sweep test then asserts the whole compiled
+program registry is diagnostic-free at both optimization levels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.dataflow import CFG, lint_compiled, lint_function
+from repro.analysis.diagnostics import errors, gating
+from repro.bedrock2 import ast as b
+from repro.core.spec import FnSpec, array_out, len_arg, ptr_arg
+from repro.programs import all_programs
+from repro.source import terms as t
+from repro.source.types import ARRAY_BYTE
+
+
+def fn(body, args=(), rets=(), name="f"):
+    return b.Function(name=name, args=tuple(args), rets=tuple(rets), body=body)
+
+
+def by_code(diags):
+    out = {}
+    for d in diags:
+        out.setdefault(d.code, []).append(d)
+    return out
+
+
+def read_only_spec():
+    """s is read-only, d is the declared output buffer."""
+    return FnSpec(
+        "f",
+        [ptr_arg("s", ARRAY_BYTE), ptr_arg("d", ARRAY_BYTE), len_arg("len", "s")],
+        [array_out("d")],
+    )
+
+
+class TestSeededDefects:
+    """One fixture per defect class; exact code and location."""
+
+    def test_uninitialized_read_rb201(self):
+        body = b.seq_of(
+            b.SSet("r", b.add(b.var("x"), b.lit(1))),
+            b.SSet("r", b.add(b.var("r"), b.lit(1))),
+        )
+        diags = lint_function(fn(body, args=("n",), rets=("r",)))
+        found = by_code(diags)
+        assert list(found) == ["RB201"]
+        assert found["RB201"][0].where == "body[0]"
+        assert "'x'" in found["RB201"][0].message
+
+    def test_maybe_unset_return_rb201(self):
+        body = b.SCond(b.var("n"), b.SSet("r", b.lit(1)), b.SSkip())
+        diags = lint_function(fn(body, args=("n",), rets=("r",)))
+        found = by_code(diags)
+        assert list(found) == ["RB201"]
+        assert found["RB201"][0].where == "exit"
+        assert "may be unset" in found["RB201"][0].message
+
+    def test_dead_store_rb202(self):
+        body = b.seq_of(
+            b.SSet("tmp", b.add(b.var("n"), b.lit(1))),
+            b.SSet("r", b.lit(2)),
+        )
+        diags = lint_function(fn(body, args=("n",), rets=("r",)))
+        found = by_code(diags)
+        assert list(found) == ["RB202"]
+        assert found["RB202"][0].where == "body[0]"
+        assert found["RB202"][0].severity == "warning"
+
+    def test_constant_false_branch_rb203(self):
+        body = b.SCond(b.lit(0), b.SSet("r", b.lit(1)), b.SSet("r", b.lit(2)))
+        diags = lint_function(fn(body, args=(), rets=("r",)))
+        found = by_code(diags)
+        assert list(found) == ["RB203"]
+        assert found["RB203"][0].where == "body.then"
+
+    def test_infinite_loop_fallthrough_rb203(self):
+        body = b.seq_of(
+            b.SSet("r", b.lit(0)),
+            b.SWhile(b.lit(1), b.SSet("r", b.add(b.var("r"), b.lit(1)))),
+            b.SSet("r", b.lit(9)),
+        )
+        diags = lint_function(fn(body, args=(), rets=("r",)))
+        assert [d.code for d in diags] == ["RB203"]
+        assert diags[0].where == "body[2]"
+
+    def test_stackalloc_use_after_scope_rb204(self):
+        body = b.seq_of(
+            b.SStackalloc("p", 8, b.seq_of(
+                b.SStore(1, b.var("p"), b.lit(0)),
+                b.SSet("q", b.var("p")),
+            )),
+            b.SSet("r", b.load1(b.var("q"))),
+        )
+        diags = lint_function(fn(body, args=(), rets=("r",)))
+        found = by_code(diags)
+        assert "RB204" in found
+        assert found["RB204"][0].where == "body[1]"
+        assert found["RB204"][0].severity == "error"
+
+    def test_stackalloc_escape_via_store_rb205(self):
+        body = b.SStackalloc("p", 8, b.SStore(8, b.var("d"), b.var("p")))
+        diags = lint_function(fn(body, args=("d",), rets=()))
+        found = by_code(diags)
+        assert list(found) == ["RB205"]
+        assert found["RB205"][0].where == "body.body"
+
+    def test_stackalloc_escape_via_return_rb205(self):
+        body = b.SStackalloc("p", 8, b.SStore(1, b.var("p"), b.lit(0)))
+        diags = lint_function(fn(body, args=(), rets=("p",)))
+        found = by_code(diags)
+        assert list(found) == ["RB205"]
+        assert found["RB205"][0].where == "exit"
+
+    def test_footprint_violation_rb206(self):
+        # Writes through s, which the spec declares read-only.
+        body = b.seq_of(
+            b.SStore(1, b.var("s"), b.lit(0)),
+            b.SStore(1, b.var("d"), b.lit(0)),
+        )
+        diags = lint_function(
+            fn(body, args=("s", "d", "len")), spec=read_only_spec()
+        )
+        found = by_code(diags)
+        assert list(found) == ["RB206"]
+        assert found["RB206"][0].where == "body[0]"
+        assert "'s'" in found["RB206"][0].message
+
+    def test_clean_function_has_no_diagnostics(self):
+        body = b.seq_of(
+            b.SSet("r", b.lit(0)),
+            b.SWhile(
+                b.ltu(b.var("r"), b.var("n")),
+                b.SSet("r", b.add(b.var("r"), b.lit(1))),
+            ),
+        )
+        assert lint_function(fn(body, args=("n",), rets=("r",))) == []
+
+
+class TestEdgeCases:
+    def test_loop_counter_is_not_a_dead_store(self):
+        # The increment's value is consumed on the back edge, not after
+        # the loop -- liveness must follow the cycle.
+        body = b.seq_of(
+            b.SSet("i", b.lit(0)),
+            b.SWhile(b.ltu(b.var("i"), b.var("n")),
+                     b.SSet("i", b.add(b.var("i"), b.lit(1)))),
+            b.SSet("r", b.var("i")),
+        )
+        assert lint_function(fn(body, args=("n",), rets=("r",))) == []
+
+    def test_taint_stops_at_loads(self):
+        # Loading *through* a stack pointer yields data, not a pointer:
+        # the loaded value must not carry the stack region.
+        body = b.seq_of(
+            b.SStackalloc("p", 8, b.seq_of(
+                b.SStore(1, b.var("p"), b.lit(7)),
+                b.SSet("x", b.load1(b.var("p"))),
+            )),
+            b.SSet("r", b.add(b.var("x"), b.lit(1))),
+        )
+        assert lint_function(fn(body, args=(), rets=("r",))) == []
+
+    def test_in_scope_stackalloc_use_is_clean(self):
+        body = b.SStackalloc("p", 8, b.seq_of(
+            b.SStore(1, b.var("p"), b.lit(1)),
+            b.SSet("r", b.load1(b.var("p"))),
+        ))
+        assert lint_function(fn(body, args=(), rets=("r",))) == []
+
+    def test_store_through_writable_arg_is_clean(self):
+        body = b.SStore(1, b.add(b.var("d"), b.var("len")), b.lit(0))
+        diags = lint_function(
+            fn(body, args=("s", "d", "len")), spec=read_only_spec()
+        )
+        assert diags == []
+
+    def test_both_branches_defining_is_clean(self):
+        body = b.SCond(b.var("n"), b.SSet("r", b.lit(1)), b.SSet("r", b.lit(2)))
+        assert lint_function(fn(body, args=("n",), rets=("r",))) == []
+
+    def test_unset_discards_definition(self):
+        body = b.seq_of(
+            b.SSet("r", b.lit(1)),
+            b.SUnset("r"),
+        )
+        diags = lint_function(fn(body, args=(), rets=("r",)))
+        assert any(d.code == "RB201" and d.where == "exit" for d in diags)
+
+    def test_cfg_paths_are_stable(self):
+        body = b.seq_of(b.SSet("a", b.lit(1)), b.SSet("b", b.var("a")))
+        cfg = CFG(fn(body, rets=("b",)))
+        assert [n.path for n in cfg.nodes] == ["entry", "body[0]", "body[1]", "exit"]
+
+
+class TestRegistryIsClean:
+    """Acceptance gate: zero diagnostics on every shipped program, at
+    both optimization levels, including the warning tier."""
+
+    @pytest.mark.parametrize("level", [0, 1], ids=["O0", "O1"])
+    @pytest.mark.parametrize(
+        "name", [p.name for p in all_programs()]
+    )
+    def test_program_is_diagnostic_free(self, name, level):
+        from repro.programs import get_program
+
+        program = get_program(name)
+        compiled = program.compile()
+        if level:
+            compiled = compiled.optimize(level=level)
+        diags = lint_compiled(compiled)
+        assert gating(diags) == [], "\n".join(d.render() for d in diags)
+        assert errors(diags) == []

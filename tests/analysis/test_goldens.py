@@ -1,0 +1,148 @@
+"""Golden diagnostic fixtures: the lint's *exact* output is pinned.
+
+Diagnostic codes, paths, and messages are a stable interface -- CI jobs
+grep them, cache invalidation reasons embed them.  Each defect fixture
+below is linted and the rendered diagnostics must match the committed
+golden file byte for byte, like the flight-recorder traces in
+``tests/obs``.  Intentional changes: rerun with ``--update-goldens``.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.dataflow import lint_function
+from repro.analysis.hintdb import audit_hintdb
+from repro.analysis.runner import run_lint
+from repro.bedrock2 import ast as b
+from repro.core.spec import FnSpec, array_out, len_arg, ptr_arg
+from repro.source.types import ARRAY_BYTE
+from repro.stdlib import default_databases
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+def _fn(body, args=(), rets=(), name="fixture"):
+    return b.Function(name=name, args=tuple(args), rets=tuple(rets), body=body)
+
+
+def _spec():
+    return FnSpec(
+        "fixture",
+        [ptr_arg("s", ARRAY_BYTE), ptr_arg("d", ARRAY_BYTE), len_arg("len", "s")],
+        [array_out("d")],
+    )
+
+
+def fixture_uninit_read():
+    body = b.seq_of(
+        b.SSet("r", b.add(b.var("x"), b.lit(1))),
+        b.SCond(b.var("n"), b.SSet("y", b.lit(1)), b.SSkip()),
+        b.SSet("r", b.var("y")),
+    )
+    return lint_function(_fn(body, args=("n",), rets=("r",)))
+
+
+def fixture_dead_and_unreachable():
+    body = b.seq_of(
+        b.SSet("tmp", b.lit(3)),
+        b.SCond(b.lit(0), b.SSet("r", b.lit(1)), b.SSet("r", b.lit(2))),
+        b.SWhile(b.lit(1), b.SSet("r", b.add(b.var("r"), b.lit(1)))),
+        b.SSet("r", b.lit(9)),
+    )
+    return lint_function(_fn(body, rets=("r",)))
+
+
+def fixture_stackalloc_misuse():
+    body = b.seq_of(
+        b.SStackalloc("p", 8, b.seq_of(
+            b.SStore(1, b.var("p"), b.lit(0)),
+            b.SSet("q", b.var("p")),
+            b.SStore(8, b.var("d"), b.var("p")),
+        )),
+        b.SSet("r", b.load1(b.var("q"))),
+    )
+    return lint_function(_fn(body, args=("d",), rets=("r",)))
+
+
+def fixture_footprint_violation():
+    body = b.seq_of(
+        b.SStore(1, b.var("s"), b.lit(0)),
+        b.SStore(1, b.var("d"), b.lit(0)),
+    )
+    return lint_function(_fn(body, args=("s", "d", "len")), spec=_spec())
+
+
+def fixture_stdlib_audit():
+    binding_db, expr_db = default_databases()
+    return audit_hintdb(binding_db, "binding") + audit_hintdb(expr_db, "expr")
+
+
+FIXTURES = {
+    "uninit_read": fixture_uninit_read,
+    "dead_and_unreachable": fixture_dead_and_unreachable,
+    "stackalloc_misuse": fixture_stackalloc_misuse,
+    "footprint_violation": fixture_footprint_violation,
+    "stdlib_audit": fixture_stdlib_audit,
+}
+
+
+def golden_text(diags) -> str:
+    return "".join(json.dumps(d.to_dict(), sort_keys=True) + "\n" for d in diags)
+
+
+@pytest.mark.parametrize("name", sorted(FIXTURES))
+def test_diagnostics_match_golden(name, request):
+    actual = golden_text(FIXTURES[name]())
+    golden_path = GOLDEN_DIR / f"{name}.diags.jsonl"
+
+    if request.config.getoption("--update-goldens"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(actual)
+        return
+
+    assert golden_path.exists(), (
+        f"no golden diagnostics for {name!r}; generate with\n"
+        f"  PYTHONPATH=src python -m pytest tests/analysis --update-goldens"
+    )
+    expected = golden_path.read_text()
+    if actual != expected:
+        diff = "\n".join(
+            difflib.unified_diff(
+                expected.splitlines(),
+                actual.splitlines(),
+                fromfile=f"goldens/{name}.diags.jsonl",
+                tofile="actual",
+                lineterm="",
+                n=2,
+            )
+        )
+        pytest.fail(
+            f"diagnostics for fixture {name!r} diverged from the golden "
+            f"file.  If intentional, rerun with --update-goldens and "
+            f"commit.\n{diff}"
+        )
+
+
+def test_goldens_are_committed_for_every_fixture():
+    committed = {p.stem.replace(".diags", "") for p in GOLDEN_DIR.glob("*.diags.jsonl")}
+    assert committed == set(FIXTURES), (
+        f"golden files {sorted(committed)} do not match fixtures "
+        f"{sorted(FIXTURES)}; rerun with --update-goldens"
+    )
+
+
+def test_full_lint_report_shape_is_stable():
+    """The CI gate's JSON report: stable keys, ok verdict, info-only diags."""
+    report = run_lint()
+    data = report.to_dict()
+    assert data["ok"] is True
+    assert set(data) == {"ok", "subjects", "counts"}
+    assert data["counts"] == {"RA201": 3}
+    kinds = {(s["kind"], s["name"]) for s in data["subjects"]}
+    assert ("hintdb", "bindings") in kinds and ("hintdb", "exprs") in kinds
+    assert sum(1 for k, _ in kinds if k == "program") == 14  # 7 programs x 2 levels

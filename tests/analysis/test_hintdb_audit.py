@@ -1,0 +1,265 @@
+"""Hint-DB auditor: overlap/shadow/duplicate detection, coverage matrix,
+and the cross-check of matrix *predictions* against *observed* stalls.
+
+The last class is the auditor's soundness contract: a head the matrix
+calls ``total`` or ``engine`` must never produce a ``no-binding-lemma``
+/ ``no-expr-lemma`` stall, on the whole fuzz corpus, under both the
+full standard library and deliberately stripped databases.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.analysis.hintdb import (
+    CoverageMatrix,
+    audit_hintdb,
+    missing_lemma_suggestions,
+)
+from repro.core.engine import Engine
+from repro.core.goals import BindingGoal, CompilationStalled, StallReport
+from repro.core.lemma import BindingLemma, DuplicateLemma, HintDb
+from repro.source import terms as t
+from repro.stdlib import default_databases
+
+
+class _StubLemma(BindingLemma):
+    def __init__(self, name, shapes, total=False, priority=None):
+        self.name = name
+        self.shapes = tuple(shapes)
+        self.shape_total = total
+
+    def matches(self, goal: BindingGoal) -> bool:  # pragma: no cover - unused
+        return False
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+class TestDefaultDatabasesAreClean:
+    """The shipped standard library must carry no gating audit findings."""
+
+    @pytest.mark.parametrize(
+        "which,kind", [(0, "binding"), (1, "expr")], ids=["bindings", "exprs"]
+    )
+    def test_no_overlap_shadow_or_duplicates(self, which, kind):
+        db = default_databases()[which]
+        found = codes(audit_hintdb(db, kind))
+        assert "RA101" not in found
+        assert "RA102" not in found
+        assert "RA103" not in found
+
+    def test_expr_db_has_full_coverage(self):
+        _, expr_db = default_databases()
+        assert codes(audit_hintdb(expr_db, "expr")) == []
+
+    def test_binding_coverage_holes_are_the_known_slicing_heads(self):
+        binding_db, _ = default_databases()
+        matrix = CoverageMatrix.from_db(binding_db, "binding")
+        # FirstN/SkipN/Append only occur inside loop-invariant shapes,
+        # never as binding values, so no lemma claims them.
+        assert matrix.uncovered_heads() == ["Append", "FirstN", "SkipN"]
+
+
+class TestSeededDefects:
+    def test_same_priority_overlap_is_ra101(self):
+        db = HintDb("seeded")
+        db.register(_StubLemma("a", ("If",)), priority=10)
+        db.register(_StubLemma("b", ("If", "Stack")), priority=10)
+        diags = [d for d in audit_hintdb(db) if d.code == "RA101"]
+        assert len(diags) == 1
+        # Within a priority, later registrations scan first: b precedes a.
+        assert diags[0].where == "b/a"
+        assert "priority 10" in diags[0].message
+
+    def test_distinct_priorities_do_not_overlap(self):
+        db = HintDb("seeded")
+        db.register(_StubLemma("specific", ("CellPut",)), priority=18)
+        db.register(_StubLemma("generic", ("CellPut",)), priority=20)
+        assert "RA101" not in codes(audit_hintdb(db))
+
+    def test_lemma_after_shape_total_is_ra102(self):
+        db = HintDb("seeded")
+        db.register(_StubLemma("catch_all", ("If",), total=True), priority=10)
+        db.register(_StubLemma("too_late", ("If",)), priority=20)
+        diags = [d for d in audit_hintdb(db) if d.code == "RA102"]
+        assert [d.where for d in diags] == ["too_late"]
+
+    def test_guarded_earlier_lemma_does_not_shadow(self):
+        db = HintDb("seeded")
+        db.register(_StubLemma("guarded", ("If",), total=False), priority=10)
+        db.register(_StubLemma("later", ("If",)), priority=20)
+        assert "RA102" not in codes(audit_hintdb(db))
+
+    def test_duplicate_name_is_ra103(self):
+        db = HintDb("seeded")
+        db.register(_StubLemma("dup", ("If",)), priority=10)
+        sneaked = _StubLemma("other", ("Stack",))
+        db.register(sneaked, priority=20)
+        sneaked.name = "dup"  # bypasses the register-time guard
+        diags = [d for d in audit_hintdb(db) if d.code == "RA103"]
+        assert len(diags) == 1 and diags[0].severity == "error"
+
+    def test_uncovered_head_is_info_only(self):
+        db = HintDb("seeded")
+        diags = audit_hintdb(db, "expr")
+        assert diags and all(d.code == "RA201" for d in diags)
+        assert all(d.severity == "info" for d in diags)
+
+
+class TestRegisterDuplicateGuard:
+    """Satellite: ``HintDb.register`` rejects duplicate lemma names."""
+
+    def test_duplicate_registration_raises(self):
+        db = HintDb("guarded")
+        db.register(_StubLemma("x", ()), priority=5)
+        with pytest.raises(DuplicateLemma, match="'x'"):
+            db.register(_StubLemma("x", ()), priority=50)
+        assert db.lemma_names() == ["x"]
+
+    def test_replace_true_overrides_in_place(self):
+        db = HintDb("guarded")
+        old = _StubLemma("x", ("If",))
+        db.register(old, priority=5)
+        new = _StubLemma("x", ("Stack",))
+        db.register(new, priority=1, replace=True)
+        assert db.lemma_names() == ["x"]
+        assert next(iter(db)) is new
+
+    def test_remove_then_register_still_works(self):
+        db = HintDb("guarded")
+        db.register(_StubLemma("x", ()), priority=5)
+        assert db.remove("x")
+        db.register(_StubLemma("x", ()), priority=5)
+        assert len(db) == 1
+
+    def test_unnamed_entries_are_exempt(self):
+        db = HintDb("guarded")
+        db.register(object(), priority=5)
+        db.register(object(), priority=5)
+        assert len(db) == 2
+
+    def test_default_databases_register_cleanly(self):
+        # The guard must not fire on the standard library itself.
+        binding_db, expr_db = default_databases()
+        assert len(binding_db) > 0 and len(expr_db) > 0
+
+
+class TestNearestMissFamilySuggestions:
+    """Satellite: stalls on *unclaimed* heads name the missing stdlib family."""
+
+    def test_stripped_db_suggests_the_family(self):
+        binding_db, _ = default_databases()
+        stripped = binding_db.copy("stripped")
+        assert stripped.remove("compile_arraymap_inplace")
+        term = t.ArrayMap("b", t.Var("b"), t.Var("s"))
+        assert stripped.nearest_misses(term) == ["loops.compile_arraymap_inplace"]
+
+    def test_present_lemma_is_reported_as_miss_not_suggestion(self):
+        binding_db, _ = default_databases()
+        term = t.ArrayMap("b", t.Var("b"), t.Var("s"))
+        # The lemma exists: its own name is the nearest miss, unqualified.
+        assert binding_db.nearest_misses(term) == ["compile_arraymap_inplace"]
+
+    def test_totally_unknown_head_suggests_nothing(self):
+        db = HintDb("empty")
+        class Mystery(t.Term):
+            pass
+        assert db.nearest_misses(Mystery()) == []
+
+    def test_suggestions_helper_filters_present(self):
+        present = {"compile_arraymap_inplace"}
+        assert missing_lemma_suggestions("ArrayMap", present=present) == []
+
+
+class TestCoverageMatrixCrossCheck:
+    """Matrix predictions vs observed ``stall.*.head.*`` counters.
+
+    Acceptance criterion: on the fuzz corpus, no head the matrix calls
+    stall-proof (``total``/``engine``) may ever appear in an observed
+    ``no-binding-lemma`` / ``no-expr-lemma`` stall -- under the full
+    standard library *and* under stripped databases (where the matrix
+    itself downgrades the stripped heads, predicting the new stalls).
+    """
+
+    CORPUS = 16
+
+    def _run_corpus(self, engine, binding_db, expr_db):
+        from repro.obs.trace import Tracer, use_tracer
+        from repro.resilience.generator import generate_case
+
+        rng = random.Random(7)
+        tracer = Tracer(name="crosscheck")
+        observed = []
+        with use_tracer(tracer):
+            for index in range(self.CORPUS):
+                case = generate_case(rng, index)
+                try:
+                    engine.compile_function(case.model, case.spec)
+                except CompilationStalled as exc:
+                    report = exc.report
+                    if report.reason in (
+                        StallReport.NO_BINDING_LEMMA,
+                        StallReport.NO_EXPR_LEMMA,
+                    ):
+                        observed.append((report.reason, report.head))
+                except Exception:
+                    pass  # other stall reasons / evaluator limits: not our concern
+        counters = tracer.metrics.to_dict()["counters"]
+        matrices = {
+            StallReport.NO_BINDING_LEMMA: CoverageMatrix.from_db(
+                binding_db, "binding"
+            ),
+            StallReport.NO_EXPR_LEMMA: CoverageMatrix.from_db(expr_db, "expr"),
+        }
+        return observed, counters, matrices
+
+    def _assert_predictions_hold(self, observed, counters, matrices):
+        for reason, head in observed:
+            assert head, "stall reports must carry the goal head"
+            level = matrices[reason].levels.get(head, "none")
+            assert level not in ("total", "engine"), (
+                f"matrix claimed head {head!r} stall-proof ({level}) but a "
+                f"{reason} stall was observed"
+            )
+        # The flight recorder agrees with the collected reports, stall by stall.
+        expected = Counter(f"stall.{reason}.head.{head}" for reason, head in observed)
+        actual = {k: v for k, v in counters.items() if ".head." in k and k.startswith("stall.")}
+        assert dict(expected) == actual
+
+    def test_full_stdlib_predictions(self):
+        binding_db, expr_db = default_databases()
+        engine = Engine(binding_db, expr_db, width=64)
+        observed, counters, matrices = self._run_corpus(engine, binding_db, expr_db)
+        self._assert_predictions_hold(observed, counters, matrices)
+
+    def test_stripped_binding_db_predictions(self):
+        binding_db, expr_db = default_databases()
+        stripped = binding_db.copy("stripped")
+        for name in ("compile_arraymap_inplace", "compile_arrayfold"):
+            assert stripped.remove(name)
+        engine = Engine(stripped, expr_db, width=64)
+        observed, counters, matrices = self._run_corpus(engine, stripped, expr_db)
+        self._assert_predictions_hold(observed, counters, matrices)
+        # Stripping the loop lemmas downgrades those heads in the matrix...
+        matrix = matrices[StallReport.NO_BINDING_LEMMA]
+        assert matrix.levels.get("ArrayMap", "none") != "total"
+        assert matrix.levels.get("ArrayFold", "none") != "total"
+        # ...and the corpus does contain such models, so the predicted
+        # stalls are actually observed (the prediction is not vacuous).
+        heads = {head for _, head in observed}
+        assert {"ArrayMap", "ArrayFold"} <= heads
+
+    def test_stripped_expr_db_predictions(self):
+        binding_db, expr_db = default_databases()
+        stripped = expr_db.copy("stripped")
+        assert stripped.remove("expr_prim")
+        engine = Engine(binding_db, stripped, width=64)
+        observed, counters, matrices = self._run_corpus(engine, binding_db, stripped)
+        self._assert_predictions_hold(observed, counters, matrices)
+        assert matrices[StallReport.NO_EXPR_LEMMA].levels["Prim"] == "none"
+        assert any(head == "Prim" for _, head in observed)

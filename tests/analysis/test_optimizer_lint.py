@@ -1,0 +1,140 @@
+"""The pass manager's dataflow-lint gate.
+
+A pass whose output *introduces* an error-severity dataflow diagnostic
+(stale stack pointer, escaping allocation, ...) is rejected even when it
+is well-formed and no differential validator is installed -- the lint is
+a third, independent line of defense.  Conversely the gate must not
+interfere with the shipped pipeline: warnings are allowed to appear
+transiently (ptrloop orphans induction variables for DCE to sweep), and
+the real pipeline on real and fuzzed programs never trips it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.dataflow import lint_function
+from repro.analysis.diagnostics import errors
+from repro.bedrock2 import ast as b2
+from repro.opt import Pass, PassManager
+from repro.opt.manager import optimize_function
+from repro.programs import get_program
+
+
+class StaleStackPointer(Pass):
+    """Broken: saves a stackalloc'd pointer and dereferences it after
+    the allocation's scope has ended (well-formed -- locals persist --
+    but an RB204 error)."""
+
+    name = "stale-stack"
+
+    def run(self, fn: b2.Function, width: int) -> b2.Function:
+        poison = b2.seq_of(
+            b2.SStackalloc("lint_p", 8, b2.SSet("lint_q", b2.EVar("lint_p"))),
+            b2.SSet("lint_r", b2.load1(b2.EVar("lint_q"))),
+        )
+        return self._with_body(fn, b2.seq_of(poison, fn.body))
+
+
+class EscapingStackPointer(Pass):
+    """Broken: stores a stack pointer into caller-visible memory (RB205)."""
+
+    name = "escaping-stack"
+
+    def run(self, fn: b2.Function, width: int) -> b2.Function:
+        target = b2.EVar(fn.args[0])
+        poison = b2.SStackalloc("lint_p", 8, b2.SStore(8, target, b2.EVar("lint_p")))
+        return self._with_body(fn, b2.seq_of(poison, fn.body))
+
+
+class HarmlessDeadStore(Pass):
+    """Introduces only a warning (dead store): must NOT be gated per-pass."""
+
+    name = "dead-store"
+
+    def run(self, fn: b2.Function, width: int) -> b2.Function:
+        return self._with_body(
+            fn, b2.seq_of(b2.SSet("lint_dead", b2.lit(1)), fn.body)
+        )
+
+
+class TestAdversarialPasses:
+    @pytest.mark.parametrize(
+        "pass_,code",
+        [(StaleStackPointer(), "RB204"), (EscapingStackPointer(), "RB205")],
+        ids=["stale", "escape"],
+    )
+    def test_error_introducing_pass_is_rejected(self, pass_, code):
+        compiled = get_program("upstr").compile()
+        manager = PassManager([pass_], validator=None)
+        fn, certs = manager.run(compiled.bedrock_fn)
+        (cert,) = certs
+        assert cert.status == "rejected"
+        assert cert.detail.startswith("lint: pass introduces dataflow diagnostics")
+        assert code in cert.detail
+        assert fn == compiled.bedrock_fn  # fallback to the pre-pass AST
+
+    def test_warning_only_pass_is_not_gated(self):
+        compiled = get_program("fnv1a").compile()
+        manager = PassManager([HarmlessDeadStore()], validator=None)
+        fn, certs = manager.run(compiled.bedrock_fn)
+        (cert,) = certs
+        assert cert.status == "validated"
+        assert fn != compiled.bedrock_fn
+
+    def test_gate_can_be_disabled(self):
+        compiled = get_program("upstr").compile()
+        manager = PassManager([StaleStackPointer()], validator=None, lint=False)
+        _, certs = manager.run(compiled.bedrock_fn)
+        assert certs[0].status == "validated"
+
+    def test_already_dirty_input_is_not_blocked(self):
+        # The gate compares against the pre-pass baseline, not zero: a
+        # function that already carries an RB204 may still be optimized.
+        compiled = get_program("upstr").compile()
+        dirty = StaleStackPointer().run(compiled.bedrock_fn, 64)
+        assert errors(lint_function(dirty))  # the input really is dirty
+        manager = PassManager([HarmlessDeadStore()], validator=None)
+        _, certs = manager.run(dirty)
+        assert certs[0].status == "validated"
+
+
+class TestShippedPipelineUnaffected:
+    def test_fnv1a_o1_still_applies_ptrloop(self):
+        optimized = get_program("fnv1a").compile().optimize(level=1)
+        report = optimized.opt_report
+        assert report.rejected == []
+        assert "ptrloop" in report.applied
+
+    @pytest.mark.parametrize("name", ["crc32", "upstr", "fasta"])
+    def test_registry_programs_never_trip_the_gate(self, name):
+        optimized = get_program(name).compile().optimize(level=1)
+        assert optimized.opt_report.rejected == []
+
+    def test_pipeline_never_introduces_errors_on_fuzz_models(self):
+        """Property: on fuzz-generated compiled functions, the shipped
+        -O1 pipeline's output has no error-severity dataflow diagnostics
+        the input did not have (here: none at all)."""
+        from repro.core.goals import CompilationStalled
+        from repro.resilience.generator import generate_case
+        from repro.stdlib import default_engine
+
+        engine = default_engine()
+        rng = random.Random(21)
+        checked = 0
+        for index in range(12):
+            case = generate_case(rng, index)
+            try:
+                compiled = engine.compile_function(case.model, case.spec)
+            except CompilationStalled:
+                continue
+            assert errors(lint_function(compiled.bedrock_fn)) == []
+            opt_fn, report = optimize_function(compiled.bedrock_fn, level=1)
+            assert errors(lint_function(opt_fn)) == [], case.name
+            assert not any(
+                c.detail.startswith("lint:") for c in report.rejected
+            ), case.name
+            checked += 1
+        assert checked >= 8  # the corpus must actually exercise the property

@@ -9,6 +9,7 @@ rejection paths on hand-built malformed traces.
 
 from __future__ import annotations
 
+import contextlib
 import random
 
 import pytest
@@ -82,10 +83,9 @@ def test_fuzz_generated_models_trace_cleanly(seed):
         engine = Engine(
             binding_db, expr_db, budget=Budget(fuel=200_000, deadline=20.0)
         )
-        try:
+        # A stall must still close its spans.
+        with contextlib.suppress(CompileError):
             engine.compile_function(case.model, case.spec)
-        except CompileError:
-            pass  # a stall must still close its spans
     validate_events(tracer.events)
     assert tracer.open_spans() == []
 
@@ -102,9 +102,8 @@ def test_stalled_span_closes_with_reason():
     spec = FnSpec("f", [scalar_arg("x")], [scalar_out()])
     model = Model("f", [("x", WORD)], body)
     tracer = Tracer()
-    with use_tracer(tracer):
-        with pytest.raises(CompileError):
-            Engine(HintDb("empty"), HintDb("empty")).compile_function(model, spec)
+    with use_tracer(tracer), pytest.raises(CompileError):
+        Engine(HintDb("empty"), HintDb("empty")).compile_function(model, spec)
     closes = [
         e
         for e in tracer.events

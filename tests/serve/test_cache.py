@@ -135,7 +135,8 @@ def test_bitflip_fails_digest_check(tmp_path):
     compile_program_cached(cache, program)
     key = cache.key_for(program.build_model(), program.build_spec())
     path = cache._path(key)
-    entry = json.loads(open(path).read())
+    with open(path) as fh:
+        entry = json.load(fh)
     entry["opt_level"] = 9  # silent mutation, digest now stale
     with open(path, "w") as fh:
         fh.write(json.dumps(entry, sort_keys=True, separators=(",", ":")))
@@ -156,7 +157,8 @@ def test_tampered_payload_rejected_by_revalidation(tmp_path):
     donor_compiled, _ = compile_program_cached(cache, donor)
     key = cache.key_for(victim.build_model(), victim.build_spec())
     path = cache._path(key)
-    entry = json.loads(open(path).read())
+    with open(path) as fh:
+        entry = json.load(fh)
     from repro.bedrock2.serial import encode_function
 
     entry["function"] = encode_function(donor_compiled.bedrock_fn)

@@ -62,7 +62,8 @@ def test_hintdb_fingerprint_sees_order_and_content():
     # Re-registering an existing lemma at the front changes the scan
     # order -- and lemma order is semantically significant (first match
     # commits), so it must move the fingerprint too.
+    # (replace=True: same-name re-registration is an explicit override.)
     reordered = binding_db.copy()
-    first = next(iter(binding_db))
-    reordered.register(first, priority=-1)
+    last = list(binding_db)[-1]
+    reordered.register(last, priority=-1, replace=True)
     assert reordered.fingerprint() != base
