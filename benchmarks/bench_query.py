@@ -1,0 +1,131 @@
+"""E13 -- `repro.query`: end-to-end query throughput.
+
+For each registered query program this measures rows/second at three
+table sizes, twice per configuration:
+
+- **reference**: the Python plan evaluator (`repro.query.evaluator`),
+  the semantic baseline every compiled query is validated against;
+- **compiled**: the derived Bedrock2 function executed under the
+  trusted simulator (`run_function`).
+
+Both run on *identical* tables, and every timed sample is checked
+against the reference answer -- a benchmark row is only reported if the
+compiled query still agrees with the model.  The equi-join is quadratic
+in the table size (nested-loop lowering), so its rows/sec column is
+expected to fall as tables grow; the linear shapes should stay roughly
+flat.  ``python -m benchmarks.bench_query`` emits the JSON report.
+"""
+
+import json
+import random
+import time
+from typing import Dict, List
+
+from repro.query import evaluator as qe
+from repro.query import ir
+from repro.query.programs import QueryProgram, all_query_programs
+
+SIZES = (16, 64, 256)
+
+
+def sized_tables(program: QueryProgram, rng: random.Random, n: int):
+    """A database for ``program`` with every table exactly ``n`` rows."""
+    reified = program.reified()
+    tables: qe.Tables = {}
+    for table, cols in reified.table_cols:
+        tables[table] = {
+            col.name: [
+                rng.randrange(256) if col.ty == "byte" else rng.getrandbits(64)
+                for _ in range(n)
+            ]
+            for col in cols
+        }
+    shape = ir.check_plan(program.plan)
+    out_len = n if shape == "table" else 8 if shape == "groups" else 0
+    return tables, out_len
+
+
+def _time(body, min_seconds: float = 0.05) -> float:
+    """Seconds per call, repeating until ``min_seconds`` of work."""
+    reps, elapsed = 0, 0.0
+    while elapsed < min_seconds:
+        start = time.perf_counter()
+        body()
+        elapsed += time.perf_counter() - start
+        reps += 1
+    return elapsed / reps
+
+
+def _bench_one(program: QueryProgram, compiled, tables, out_len) -> Dict[str, object]:
+    """One throughput row: both runtimes on one fixed database."""
+    from repro.validation.runners import run_function
+
+    reified = program.reified()
+    params = program.inputs_from_tables(tables, out_len)
+    expected = program.reference(tables, out_len)
+
+    def run_reference():
+        return program.reference(tables, out_len)
+
+    def run_compiled():
+        fresh = {name: list(col) for name, col in params.items()}
+        result = run_function(compiled.bedrock_fn, compiled.spec, fresh)
+        if reified.kind == "scalar":
+            return result.rets[0]
+        return result.out_memory[reified.out_param]
+
+    assert run_compiled() == expected, program.name
+    input_rows = sum(len(next(iter(cols.values()))) for cols in tables.values())
+    return {
+        "program": program.name,
+        "via": reified.via,
+        "rows": input_rows,
+        "reference_rows_per_sec": input_rows / _time(run_reference),
+        "compiled_rows_per_sec": input_rows / _time(run_compiled),
+    }
+
+
+def query_throughputs(
+    sizes=SIZES, opt_level: int = 1, seed: int = 0
+) -> List[Dict[str, object]]:
+    """One row per (program, size): rows/sec, reference and compiled."""
+    rows: List[Dict[str, object]] = []
+    for program in all_query_programs():
+        compiled = program.compile(opt_level=opt_level)
+        for n in sizes:
+            rng = random.Random(seed * 7919 + n)
+            tables, out_len = sized_tables(program, rng, n)
+            rows.append(_bench_one(program, compiled, tables, out_len))
+    return rows
+
+
+def report(sizes=SIZES, opt_level: int = 1) -> Dict[str, object]:
+    """The JSON report: one throughput table plus the configuration."""
+    return {
+        "benchmark": "query",
+        "opt_level": opt_level,
+        "sizes": list(sizes),
+        "throughputs": query_throughputs(sizes=sizes, opt_level=opt_level),
+    }
+
+
+# -- pytest entry points -------------------------------------------------------
+
+
+def test_report_covers_every_program_and_size():
+    data = report(sizes=(4, 8), opt_level=0)
+    programs = {p.name for p in all_query_programs()}
+    assert {r["program"] for r in data["throughputs"]} == programs
+    assert len(data["throughputs"]) == len(programs) * 2
+    for row in data["throughputs"]:
+        # rates are machine-dependent; the structure is not
+        assert row["reference_rows_per_sec"] > 0
+        assert row["compiled_rows_per_sec"] > 0
+
+
+def main() -> None:
+    print(json.dumps(report(), indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

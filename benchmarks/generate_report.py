@@ -607,10 +607,10 @@ def section_observability() -> str:
         f"{pct(comp_std_ratio):+5.1f}%   debug {pct(comp_dbg_ratio):+5.1f}%",
         "```",
         "",
-        f"With the recorder enabled at the default `standard` detail the",
+        "With the recorder enabled at the default `standard` detail the",
         f"end-to-end overhead is {pct(pipe_ratio):+.1f}% "
         f"({'within' if pct(pipe_ratio) < 5 else 'against'} the <5% "
-        f"budget); when disabled (the",
+        "budget); when disabled (the",
         "default for every command) the entire hot-path cost is one",
         "`tracer.enabled` predicate per instrumentation point on the shared",
         "null tracer — indistinguishable from noise.  `standard` drops no",
@@ -679,7 +679,7 @@ def section_serving() -> str:
     lines += [
         "Batch compilation of a cold 17-job manifest (7 registry programs at",
         "`-O1` + 10 fuzz-corpus models at `-O0`) under",
-        f"`python -m repro batch --jobs N`, fresh cache per run, on a",
+        "`python -m repro batch --jobs N`, fresh cache per run, on a",
         f"{cpus}-CPU host:",
         "",
         "```",
@@ -725,6 +725,52 @@ def section_serving() -> str:
     return "\n".join(lines)
 
 
+def section_query() -> str:
+    from benchmarks.bench_query import SIZES, query_throughputs
+
+    rows = query_throughputs(sizes=SIZES, opt_level=1)
+    lines = [
+        "## E13 — `repro.query`: end-to-end query throughput",
+        "",
+        "**Claim (Table 1, scaled up):** a whole source domain — a",
+        "relational-algebra query frontend — rides on three registered",
+        "lemmas (two pure reductions to `RangedFor`, one new store-loop",
+        "invariant) with the engine and checkers untouched; see",
+        "`docs/query.md`.  This benchmark times the reference plan",
+        "evaluator (plain Python over row dicts) against the derived",
+        "Bedrock2 function under the trusted simulator, on identical",
+        "databases; every timed configuration is first checked against the",
+        "reference answer.",
+        "",
+        "**Measured** (`python -m benchmarks.bench_query`; `-O1`, table",
+        f"sizes {'/'.join(str(s) for s in SIZES)}; compiled rates are the",
+        "*fuel-based interpreter*, so shapes, not absolutes, are the claim):",
+        "",
+        "```",
+        f"{'program':<16} {'via':<12} {'rows':>5} {'ref rows/s':>12} {'compiled rows/s':>16}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['program']:<16} {r['via']:<12} {r['rows']:>5} "
+            f"{r['reference_rows_per_sec']:>12.0f} {r['compiled_rows_per_sec']:>16.0f}"
+        )
+    lines += [
+        "```",
+        "",
+        "Linear lowerings (fold, fold_break, aggregate, project) hold",
+        "roughly flat rows/sec as tables grow; the equi-join's nested-loop",
+        "lowering is quadratic by construction, so its per-row rate falls",
+        "~4x per 4x size step, and the grouped count pays one inner",
+        "aggregation pass per histogram slot.  The reference evaluator is",
+        "faster in absolute terms (it is a few-line Python loop), which is",
+        "exactly why it serves as the differential oracle —",
+        "`tests/query/test_differential.py` holds every program to it on",
+        "100 seeded databases per opt level.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
 def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--size", type=int, default=2048)
@@ -761,6 +807,7 @@ def main() -> None:
         section_e8(),
         section_observability(),
         section_serving(),
+        section_query(),
     ]
     with open(args.out, "w") as handle:
         handle.write("\n".join(header) + "\n" + "\n".join(sections))

@@ -20,6 +20,9 @@ Commands:
   content-addressed cache (``--cache``);
 - ``serve``                     -- long-lived JSON-lines compilation
   service over stdio or a Unix socket (see ``docs/serving.md``);
+- ``query <action>``            -- the relational-algebra frontend
+  (``repro.query``): list/explain/compile/validate/run the registered
+  query programs (see ``docs/query.md``);
 - ``lint``                      -- static analysis (``repro.analysis``):
   audit the standard hint databases for determinism/coverage defects and
   run the Bedrock2 dataflow lint over compiled suite programs; exits
@@ -339,6 +342,84 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _query_program(name: str):
+    from repro.query.programs import QUERY_PROGRAMS, get_query_program
+
+    try:
+        return get_query_program(name)
+    except KeyError:
+        known = ", ".join(sorted(QUERY_PROGRAMS))
+        print(
+            f"unknown query program {name!r}; have: {known}", file=sys.stderr
+        )
+        raise SystemExit(2) from None
+
+
+def cmd_query(args) -> int:
+    from repro.query.programs import all_query_programs
+
+    if args.action == "list":
+        for program in all_query_programs():
+            via = program.reified().via
+            print(f"{program.name:<16} {program.description}  [{via}]")
+        return 0
+
+    if not args.program:
+        print(f"query {args.action} needs a program name", file=sys.stderr)
+        return 2
+    program = _query_program(args.program)
+    if args.action == "explain":
+        print(program.explain())
+        return 0
+
+    with _maybe_trace(args, f"query:{args.action}:{args.program}", detail="debug"):
+        if args.action == "compile":
+            compiled = program.compile(opt_level=args.opt_level)
+            print(compiled.c_source())
+            _print_opt_summary(compiled)
+            return 0
+        if args.action == "validate":
+            from repro.validation.checker import validate
+
+            compiled = program.compile(opt_level=args.opt_level)
+            report = validate(
+                compiled,
+                trials=args.trials,
+                rng=random.Random(args.seed),
+                input_gen=program.validation_input_gen(),
+            )
+            print(
+                f"{compiled.name}: certificate ok; {report.trials} "
+                f"differential trials, 0 failures"
+            )
+            return 0
+        # run: one seeded random database through the reference evaluator
+        # and the compiled code; print both answers.
+        from repro.validation.runners import run_function
+
+        compiled = program.compile(opt_level=args.opt_level)
+        rng = random.Random(args.seed)
+        tables, out_len = program.gen_tables(rng)
+        params = program.inputs_from_tables(tables, out_len)
+        expected = program.reference(tables, out_len)
+        result = run_function(compiled.bedrock_fn, compiled.spec, params)
+        reified = program.reified()
+        got = (
+            result.rets[0]
+            if reified.kind == "scalar"
+            else result.out_memory[reified.out_param]
+        )
+        for table, cols in reified.table_cols:
+            shown = {col.name: tables[table][col.name] for col in cols}
+            print(f"// {table}: {shown}")
+        print(f"reference: {expected}")
+        print(f"compiled:  {got}")
+        if got != expected:
+            print("MISMATCH", file=sys.stderr)
+            return 1
+        return 0
+
+
 def cmd_lint(args) -> int:
     from repro.analysis.runner import run_lint
 
@@ -491,6 +572,20 @@ def main(argv=None) -> int:
                    help="listen on a Unix domain socket instead of stdio")
     p.add_argument("--trace", metavar="FILE", help=trace_help)
     p = sub.add_parser(
+        "query", help="relational-algebra frontend (repro.query)"
+    )
+    p.add_argument(
+        "action", choices=("list", "explain", "compile", "validate", "run")
+    )
+    p.add_argument("program", nargs="?", help="query program name")
+    p.add_argument(
+        "-O", dest="opt_level", type=int, choices=(0, 1), default=0,
+        help="optimization level (-O0 none, -O1 validated passes)",
+    )
+    p.add_argument("--trials", type=int, default=30)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", metavar="FILE", help=trace_help)
+    p = sub.add_parser(
         "lint",
         help="static analysis: hint-DB audit + Bedrock2 dataflow lint",
     )
@@ -534,6 +629,7 @@ def main(argv=None) -> int:
         "profile": cmd_profile,
         "batch": cmd_batch,
         "serve": cmd_serve,
+        "query": cmd_query,
         "lint": cmd_lint,
     }
     return handlers[args.command](args)

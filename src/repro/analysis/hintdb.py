@@ -52,17 +52,27 @@ COVER_ENGINE = "engine"
 def all_term_heads() -> Tuple[str, ...]:
     """Every source ``Term`` head constructor, by introspection.
 
-    Enumerated from :mod:`repro.source.terms` so newly added constructors
+    Enumerated from :mod:`repro.source.terms` plus the extension-domain
+    term modules (:mod:`repro.query.terms`), so newly added constructors
     appear in the matrix automatically (as uncovered rows, until a lemma
-    claims them).
+    claims them).  A database with the query lemmas stripped therefore
+    gets honest RA201 predictions for the query heads instead of the
+    auditor silently not knowing them.
     """
+    from repro.query import terms as qt
     from repro.source import terms as t
 
-    return tuple(
+    heads = {
         name
-        for name, obj in sorted(vars(t).items())
-        if inspect.isclass(obj) and issubclass(obj, t.Term) and obj is not t.Term
-    )
+        for module in (t, qt)
+        for name, obj in vars(module).items()
+        if inspect.isclass(obj)
+        and issubclass(obj, t.Term)
+        and obj is not t.Term
+        # extension modules re-import core heads; count each class once
+        and obj.__module__ == module.__name__
+    }
+    return tuple(sorted(heads))
 
 
 @dataclass

@@ -147,6 +147,14 @@ def resolve(state: SymState, term: t.Term, shadowed: frozenset = frozenset()) ->
                 tracer.inc("resolve.rewrites")
             return value
         return t.CellGet(resolve(state, term.cell, shadowed))
+    # Open extension point: Term subclasses from other packages (e.g.
+    # repro.query) resolve themselves, respecting their own binders.
+    # Without this an unknown node with binders would fall through to the
+    # binder-free congruence below and _rebuild would drop its resolved
+    # children entirely.
+    hook = getattr(term, "resolve_node", None)
+    if hook is not None:
+        return hook(state, shadowed, resolve)
     # Congruence over nodes without binders, via subst-free reconstruction.
     rebuilt = _rebuild(term, [resolve(state, c, shadowed) for c in term.children()])
     return rebuilt

@@ -72,6 +72,12 @@ def normalize_len(arr: t.Term) -> t.Term:
         return t.ArrayLen(arr)
     if isinstance(arr, t.Lit) and isinstance(arr.value, (list, tuple)):
         return t.Lit(len(arr.value), NAT)
+    # Open extension point: array-producing Term subclasses from other
+    # packages (repro.query) contribute their own structural length rule
+    # (e.g. a projection writes one element per element of its target).
+    hook = getattr(arr, "normalize_len_node", None)
+    if hook is not None:
+        return hook(normalize_len)
     return t.ArrayLen(arr)
 
 
@@ -95,6 +101,13 @@ def normalize_append_len(first: t.Term, second: t.Term) -> Optional[t.Term]:
         inner_first = first
         if isinstance(inner_first, t.ArrayMap):
             inner_first = inner_first.arr
+        else:
+            # Open extension point: external loop-invariant shapes (e.g.
+            # repro.query's projection) expose the prefix array whose
+            # length they preserve.
+            prefix = getattr(inner_first, "invariant_prefix_node", None)
+            if prefix is not None:
+                inner_first = prefix()
         if (
             isinstance(inner_first, t.FirstN)
             and inner_first.arr == second.arr

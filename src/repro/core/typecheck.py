@@ -79,4 +79,9 @@ def infer_type(state: SymState, term: t.Term) -> SourceType:
         return array_of(BYTE)
     if isinstance(term, t.Call):
         return WORD  # external calls return machine words
+    # Open extension point: Term subclasses from other packages
+    # (repro.query) type themselves via ``infer_type_node``.
+    hook = getattr(term, "infer_type_node", None)
+    if hook is not None:
+        return hook(state, infer_type)
     raise TypeInferenceError(f"cannot infer type of {term!r}")

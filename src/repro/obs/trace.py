@@ -81,6 +81,9 @@ EVENT_SCHEMA: Dict[str, Dict[str, tuple]] = {
         "optional": ("kind", "cache", "level", "detail"),
     },
     "serve_request": {"required": ("op", "ok"), "optional": ("program", "detail")},
+    # repro.query: one event per query-combinator lowering (the lemma
+    # family's reduction of a query head to core loop lemmas).
+    "query_lower": {"required": ("head", "via"), "optional": ("name",)},
     # repro.analysis: one event per lint/audit diagnostic.
     "lint_diag": {
         "required": ("code", "severity"),

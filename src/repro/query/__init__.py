@@ -1,0 +1,61 @@
+"""``repro.query``: a relational-algebra frontend over ListArray tables.
+
+The paper's extensibility claim (Table 1, §4.1) says a new source domain
+costs new term heads plus new lemmas -- never engine edits.  This
+package is that claim at subsystem scale: a small query IR
+(:mod:`repro.query.ir`), its reference evaluator
+(:mod:`repro.query.evaluator`), a reifier lowering plans into the
+``Term`` language (:mod:`repro.query.reify`), three new term heads
+(:mod:`repro.query.terms`) compiled by the ``repro.stdlib.queries``
+lemma family, and a registry of end-to-end query programs
+(:mod:`repro.query.programs`) exercised by ``python -m repro query``.
+"""
+
+from repro.query.evaluator import eval_plan, eval_rows
+from repro.query.ir import (
+    Aggregate,
+    BinOp,
+    Cmp,
+    Col,
+    ColRef,
+    EquiJoin,
+    Filter,
+    IntLit,
+    Plan,
+    PlanError,
+    Project,
+    Scan,
+    Schema,
+    check_plan,
+    explain,
+    schema,
+)
+from repro.query.reify import ReifiedQuery, reify
+from repro.query.terms import QUERY_TERM_HEADS, QAggregate, QJoinAgg, QProjectInto
+
+__all__ = [
+    "Aggregate",
+    "BinOp",
+    "Cmp",
+    "Col",
+    "ColRef",
+    "EquiJoin",
+    "Filter",
+    "IntLit",
+    "Plan",
+    "PlanError",
+    "Project",
+    "QUERY_TERM_HEADS",
+    "QAggregate",
+    "QJoinAgg",
+    "QProjectInto",
+    "ReifiedQuery",
+    "Scan",
+    "Schema",
+    "check_plan",
+    "eval_plan",
+    "eval_rows",
+    "explain",
+    "reify",
+    "schema",
+]

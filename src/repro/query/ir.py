@@ -1,0 +1,345 @@
+"""The relational-algebra query IR: schemas, row expressions, plans.
+
+A *plan* is a tiny logical query tree -- ``Scan``/``Filter``/``Project``/
+``EquiJoin``/``Aggregate`` -- over ListArray-backed tables.  A table is
+columnar: each column is one contiguous array (``word`` or ``byte``
+elements), all columns of a table equal in length.  That layout is what
+lets :mod:`repro.query.reify` lower a plan onto the existing compilation
+pipeline: a column is exactly an array parameter, a row index is exactly
+a loop counter.
+
+The IR is deliberately small and *checked*: :func:`check_plan` validates
+schemas, column references, and combinator arity up front, so the
+downstream reifier and evaluator can assume well-formed trees and a user
+typo surfaces as a :class:`PlanError` naming the offending node instead
+of a stall deep inside proof search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple
+
+COL_TYPES = ("word", "byte")
+
+ARITH_OPS = ("add", "sub", "mul", "and", "or", "xor")
+CMP_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+AGG_KINDS = ("sum", "count", "any")
+
+
+class PlanError(Exception):
+    """A malformed query plan (bad schema, unknown column, wrong arity)."""
+
+
+# -- Schemas -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Col:
+    """One typed column: ``word`` (64-bit) or ``byte`` (0..255)."""
+
+    name: str
+    ty: str = "word"
+
+    def __post_init__(self) -> None:
+        if self.ty not in COL_TYPES:
+            raise PlanError(f"column {self.name!r}: unknown type {self.ty!r}")
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered tuple of columns with distinct names."""
+
+    cols: Tuple[Col, ...]
+
+    def __post_init__(self) -> None:
+        names = [col.name for col in self.cols]
+        if len(set(names)) != len(names):
+            raise PlanError(f"schema has duplicate column names: {names}")
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(col.name for col in self.cols)
+
+    def col(self, name: str) -> Col:
+        for col in self.cols:
+            if col.name == name:
+                return col
+        raise PlanError(f"unknown column {name!r} (have {list(self.names)})")
+
+    def __contains__(self, name: str) -> bool:
+        return any(col.name == name for col in self.cols)
+
+
+def schema(*cols) -> Schema:
+    """``schema(("k", "byte"), "v")`` -- strings default to ``word``."""
+    built = []
+    for spec in cols:
+        if isinstance(spec, Col):
+            built.append(spec)
+        elif isinstance(spec, str):
+            built.append(Col(spec))
+        else:
+            name, ty = spec
+            built.append(Col(name, ty))
+    return Schema(tuple(built))
+
+
+# -- Row expressions -----------------------------------------------------------
+
+
+class RowExpr:
+    """A per-row scalar expression over the current schema's columns."""
+
+
+@dataclass(frozen=True)
+class ColRef(RowExpr):
+    """The current row's value in one column (bytes widen to words)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class IntLit(RowExpr):
+    """A word literal."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < (1 << 64):
+            raise PlanError(f"literal {self.value} does not fit in a word")
+
+
+@dataclass(frozen=True)
+class BinOp(RowExpr):
+    """Word arithmetic/bitwise op: one of ``ARITH_OPS``."""
+
+    op: str
+    lhs: RowExpr
+    rhs: RowExpr
+
+    def __post_init__(self) -> None:
+        if self.op not in ARITH_OPS:
+            raise PlanError(f"unknown arithmetic op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Cmp(RowExpr):
+    """Unsigned word comparison: one of ``CMP_OPS``; boolean-valued."""
+
+    op: str
+    lhs: RowExpr
+    rhs: RowExpr
+
+    def __post_init__(self) -> None:
+        if self.op not in CMP_OPS:
+            raise PlanError(f"unknown comparison op {self.op!r}")
+
+
+def expr_cols(expr: RowExpr) -> Set[str]:
+    """Column names an expression reads."""
+    if isinstance(expr, ColRef):
+        return {expr.name}
+    if isinstance(expr, IntLit):
+        return set()
+    if isinstance(expr, (BinOp, Cmp)):
+        return expr_cols(expr.lhs) | expr_cols(expr.rhs)
+    raise PlanError(f"not a row expression: {expr!r}")
+
+
+def check_expr(expr: RowExpr, sch: Schema, want: str = "word") -> None:
+    """Type-check a row expression against a schema.
+
+    ``want`` is ``"word"`` (value position) or ``"bool"`` (predicate
+    position); comparisons are boolean, everything else is word-valued.
+    """
+    if isinstance(expr, Cmp):
+        if want != "bool":
+            raise PlanError(f"comparison {expr.op!r} used in value position")
+        check_expr(expr.lhs, sch, "word")
+        check_expr(expr.rhs, sch, "word")
+        return
+    if want == "bool":
+        raise PlanError(f"predicate position needs a comparison, got {expr!r}")
+    if isinstance(expr, ColRef):
+        sch.col(expr.name)  # raises PlanError if unknown
+        return
+    if isinstance(expr, IntLit):
+        return
+    if isinstance(expr, BinOp):
+        check_expr(expr.lhs, sch, "word")
+        check_expr(expr.rhs, sch, "word")
+        return
+    raise PlanError(f"not a row expression: {expr!r}")
+
+
+def render_expr(expr: RowExpr) -> str:
+    if isinstance(expr, ColRef):
+        return expr.name
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, (BinOp, Cmp)):
+        return f"({render_expr(expr.lhs)} {expr.op} {render_expr(expr.rhs)})"
+    raise PlanError(f"not a row expression: {expr!r}")
+
+
+# -- Plans ---------------------------------------------------------------------
+
+
+class Plan:
+    """A logical query-plan node."""
+
+
+@dataclass(frozen=True)
+class Scan(Plan):
+    """All rows of one columnar table."""
+
+    table: str
+    schema: Schema
+
+
+@dataclass(frozen=True)
+class Filter(Plan):
+    """Rows of ``source`` satisfying ``pred`` (a boolean row expression)."""
+
+    pred: RowExpr
+    source: Plan
+
+
+@dataclass(frozen=True)
+class Project(Plan):
+    """One output column per ``(name, expr)`` pair, row for row."""
+
+    cols: Tuple[Tuple[str, RowExpr], ...]
+    source: Plan
+
+
+@dataclass(frozen=True)
+class EquiJoin(Plan):
+    """``left >< right`` on ``left_col == right_col`` (nested-loop).
+
+    The joined schema is the concatenation of both inputs' columns, so
+    the two sides' column names must be disjoint.
+    """
+
+    left: Plan
+    right: Plan
+    left_col: str
+    right_col: str
+
+
+@dataclass(frozen=True)
+class Aggregate(Plan):
+    """Collapse rows to a scalar (``sum``/``count``/``any``) or, with
+    ``group_by``, to one counter per group key (``count`` only).
+
+    ``expr`` is the summed value for ``sum`` and the tested predicate
+    for ``any``; ``count`` takes no expression.  A ``group_by`` column's
+    value indexes the output histogram directly (out-of-range keys fall
+    outside every group).
+    """
+
+    kind: str
+    source: Plan
+    expr: Optional[RowExpr] = None
+    group_by: Optional[str] = None
+
+
+# -- Checking ------------------------------------------------------------------
+
+
+def output_schema(plan: Plan) -> Schema:
+    """The row schema a relational (non-aggregate) plan produces."""
+    if isinstance(plan, Scan):
+        return plan.schema
+    if isinstance(plan, Filter):
+        sch = output_schema(plan.source)
+        check_expr(plan.pred, sch, "bool")
+        return sch
+    if isinstance(plan, Project):
+        sch = output_schema(plan.source)
+        if not plan.cols:
+            raise PlanError("projection with no output columns")
+        names = [name for name, _expr in plan.cols]
+        if len(set(names)) != len(names):
+            raise PlanError(f"projection has duplicate output names: {names}")
+        for _name, expr in plan.cols:
+            check_expr(expr, sch, "word")
+        return Schema(tuple(Col(name) for name in names))
+    if isinstance(plan, EquiJoin):
+        left = output_schema(plan.left)
+        right = output_schema(plan.right)
+        overlap = set(left.names) & set(right.names)
+        if overlap:
+            raise PlanError(f"join sides share column names: {sorted(overlap)}")
+        left.col(plan.left_col)
+        right.col(plan.right_col)
+        return Schema(left.cols + right.cols)
+    if isinstance(plan, Aggregate):
+        raise PlanError("aggregate produces a scalar, not rows")
+    raise PlanError(f"not a plan node: {plan!r}")
+
+
+def check_plan(plan: Plan) -> str:
+    """Validate a whole plan; returns its result kind.
+
+    ``"table"`` (rows), ``"scalar"`` (one value), or ``"groups"``
+    (one counter per group key).  Raises :class:`PlanError` otherwise.
+    """
+    if isinstance(plan, Aggregate):
+        if plan.kind not in AGG_KINDS:
+            raise PlanError(f"unknown aggregate kind {plan.kind!r}")
+        sch = output_schema(plan.source)
+        if plan.kind == "sum":
+            if plan.expr is None:
+                raise PlanError("sum aggregate needs an expression")
+            check_expr(plan.expr, sch, "word")
+        elif plan.kind == "any":
+            if plan.expr is None:
+                raise PlanError("any aggregate needs a predicate")
+            check_expr(plan.expr, sch, "bool")
+        elif plan.expr is not None:
+            raise PlanError("count aggregate takes no expression")
+        if plan.group_by is not None:
+            if plan.kind != "count":
+                raise PlanError("group_by is only supported with count")
+            sch.col(plan.group_by)
+            return "groups"
+        return "scalar"
+    output_schema(plan)
+    return "table"
+
+
+# -- Explain -------------------------------------------------------------------
+
+
+def explain(plan: Plan, indent: int = 0) -> str:
+    """Human-readable plan tree (the ``repro query explain`` payload)."""
+    pad = "  " * indent
+    if isinstance(plan, Scan):
+        cols = ", ".join(f"{c.name}:{c.ty}" for c in plan.schema.cols)
+        return f"{pad}Scan {plan.table} [{cols}]"
+    if isinstance(plan, Filter):
+        return (
+            f"{pad}Filter {render_expr(plan.pred)}\n"
+            + explain(plan.source, indent + 1)
+        )
+    if isinstance(plan, Project):
+        cols = ", ".join(f"{n} := {render_expr(e)}" for n, e in plan.cols)
+        return f"{pad}Project [{cols}]\n" + explain(plan.source, indent + 1)
+    if isinstance(plan, EquiJoin):
+        return (
+            f"{pad}EquiJoin on {plan.left_col} == {plan.right_col}\n"
+            + explain(plan.left, indent + 1)
+            + "\n"
+            + explain(plan.right, indent + 1)
+        )
+    if isinstance(plan, Aggregate):
+        detail = plan.kind
+        if plan.expr is not None:
+            detail += f" {render_expr(plan.expr)}"
+        if plan.group_by is not None:
+            detail += f" group by {plan.group_by}"
+        return f"{pad}Aggregate {detail}\n" + explain(plan.source, indent + 1)
+    raise PlanError(f"not a plan node: {plan!r}")

@@ -1,0 +1,484 @@
+"""Reification: lowering a checked query plan into the ``Term`` language.
+
+This is the bridge between the relational-algebra frontend and the
+relational *compiler*: a plan becomes a functional model (``Model``)
+plus the ABI contract (``FnSpec``) that seeds proof search.  The
+lowering is deliberately shape-directed and reuses existing source
+constructs wherever they fit -- the paper's extension economics:
+
+- unfiltered single-column ``sum``      -> ``ListArray.fold``
+  (:class:`~repro.source.terms.ArrayFold`, zero new heads);
+- single-column ``any``                 -> ``ListArray.fold_break``
+  (early exit, zero new heads);
+- filtered/compound aggregation         -> :class:`~repro.query.terms.QAggregate`;
+- equi-join aggregation                 -> :class:`~repro.query.terms.QJoinAgg`;
+- single-column projection              -> :class:`~repro.query.terms.QProjectInto`;
+- grouped count                         -> ``QProjectInto`` over a
+  nested ``QAggregate`` (one histogram slot per group key).
+
+Columns become array parameters (bytes widen through ``cast.b2w``); one
+length argument anchors each table and ``nat.eqb`` facts equate its
+other columns' lengths, which is exactly what the bounds solver needs to
+discharge every in-bounds side condition the loops raise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.spec import FnSpec, Model, array_out, len_arg, ptr_arg, scalar_out
+from repro.query import terms as qt
+from repro.query.ir import (
+    Aggregate,
+    BinOp,
+    Cmp,
+    Col,
+    ColRef,
+    EquiJoin,
+    Filter,
+    IntLit,
+    Plan,
+    PlanError,
+    Project,
+    RowExpr,
+    Scan,
+    check_plan,
+    expr_cols,
+)
+from repro.source import terms as t
+from repro.source.types import ARRAY_BYTE, ARRAY_WORD, BYTE, WORD, SourceType
+
+# Loop binders introduced by the lowering; column names may not collide
+# with these or with the generated parameter names.
+_IDX, _JDX, _GDX, _ACC, _ELEM, _RES = "_qi", "_qj", "_qg", "_qacc", "_qe", "_qr"
+_RESERVED = {"out", "hist", "n", "n_left", "n_right", "groups"}
+
+
+@dataclass(frozen=True)
+class ReifiedQuery:
+    """A lowered plan: the model/spec pair plus harness metadata."""
+
+    model: Model
+    spec: FnSpec
+    kind: str  # "scalar" | "array"
+    via: str  # which lowering shape fired (fold, fold_break, aggregate, ...)
+    # table name -> referenced columns, in ABI order
+    table_cols: Tuple[Tuple[str, Tuple[Col, ...]], ...]
+    out_param: Optional[str] = None  # "out" / "hist" for array results
+
+    @property
+    def tables(self) -> Tuple[str, ...]:
+        return tuple(name for name, _cols in self.table_cols)
+
+
+def _array_ty(col: Col) -> SourceType:
+    return ARRAY_BYTE if col.ty == "byte" else ARRAY_WORD
+
+
+def _col_term(col: Col, idx: str) -> t.Term:
+    value = t.ArrayGet(t.Var(col.name), t.Var(idx))
+    return t.Prim("cast.b2w", (value,)) if col.ty == "byte" else value
+
+
+def _negb(term: t.Term) -> t.Term:
+    return t.Prim("bool.negb", (term,))
+
+
+def _expr_term(expr: RowExpr, col_of: Callable[[str], Tuple[Col, str]]) -> t.Term:
+    """A word-valued row expression as a term (``col_of`` maps a column
+    name to its :class:`Col` and the loop index it is read under)."""
+    if isinstance(expr, ColRef):
+        col, idx = col_of(expr.name)
+        return _col_term(col, idx)
+    if isinstance(expr, IntLit):
+        return t.Lit(expr.value, WORD)
+    if isinstance(expr, BinOp):
+        return t.Prim(
+            f"word.{expr.op}",
+            (_expr_term(expr.lhs, col_of), _expr_term(expr.rhs, col_of)),
+        )
+    raise PlanError(f"not a word-valued row expression: {expr!r}")
+
+
+def _pred_term(expr: RowExpr, col_of) -> t.Term:
+    """A boolean row expression (comparison) as a BOOL-typed term."""
+    if not isinstance(expr, Cmp):
+        raise PlanError(f"not a predicate: {expr!r}")
+    lhs = _expr_term(expr.lhs, col_of)
+    rhs = _expr_term(expr.rhs, col_of)
+    if expr.op == "eq":
+        return t.Prim("word.eq", (lhs, rhs))
+    if expr.op == "ne":
+        return _negb(t.Prim("word.eq", (lhs, rhs)))
+    if expr.op == "lt":
+        return t.Prim("word.ltu", (lhs, rhs))
+    if expr.op == "ge":
+        return _negb(t.Prim("word.ltu", (lhs, rhs)))
+    if expr.op == "gt":
+        return t.Prim("word.ltu", (rhs, lhs))
+    return _negb(t.Prim("word.ltu", (rhs, lhs)))  # le
+
+
+def _and_all(preds: List[t.Term]) -> Optional[t.Term]:
+    if not preds:
+        return None
+    combined = preds[0]
+    for pred in preds[1:]:
+        combined = t.Prim("bool.andb", (combined, pred))
+    return combined
+
+
+def _peel_filters(plan: Plan) -> Tuple[Plan, List[RowExpr]]:
+    preds: List[RowExpr] = []
+    while isinstance(plan, Filter):
+        preds.append(plan.pred)
+        plan = plan.source
+    return plan, preds
+
+
+def _referenced(scan: Scan, names: set) -> Tuple[Col, ...]:
+    """Referenced columns of one scan, in schema order; at least one (the
+    first schema column anchors the table's length argument even if no
+    expression reads it, as in ``count(*)``)."""
+    for name in names:
+        scan.schema.col(name)  # unknown columns fail here with a clear error
+    cols = tuple(col for col in scan.schema.cols if col.name in names)
+    if not cols:
+        cols = (scan.schema.cols[0],)
+    for col in cols:
+        if col.name.startswith("_") or col.name in _RESERVED:
+            raise PlanError(f"column name {col.name!r} is reserved")
+    return cols
+
+
+def _table_facts(cols: Tuple[Col, ...]) -> List[t.Term]:
+    """Equate every column's length with the table's anchor (first) column."""
+    anchor = cols[0]
+    return [
+        t.Prim(
+            "nat.eqb",
+            (t.ArrayLen(t.Var(col.name)), t.ArrayLen(t.Var(anchor.name))),
+        )
+        for col in cols[1:]
+    ]
+
+
+def _out_facts(cols: Tuple[Col, ...], out: str) -> List[t.Term]:
+    return [
+        t.Prim("nat.eqb", (t.ArrayLen(t.Var(col.name)), t.ArrayLen(t.Var(out))))
+        for col in cols
+    ]
+
+
+def _single_col(preds: List[RowExpr], expr: Optional[RowExpr]) -> Optional[str]:
+    names = set()
+    for pred in preds:
+        names |= expr_cols(pred)
+    if expr is not None:
+        names |= expr_cols(expr)
+    return names.pop() if len(names) == 1 else None
+
+
+def reify(plan: Plan, name: str) -> ReifiedQuery:
+    """Lower a checked plan to a :class:`ReifiedQuery`.
+
+    Raises :class:`PlanError` for plans outside the compilable fragment
+    (multi-column projections, aggregates of aggregates, ...); the
+    fragment is documented shape by shape in ``docs/query.md``.
+    """
+    kind = check_plan(plan)
+    if kind == "table":
+        if not isinstance(plan, Project):
+            raise PlanError(
+                "row-producing plans reify only as single-column projections"
+            )
+        return _reify_project(plan, name)
+    assert isinstance(plan, Aggregate)
+    if kind == "groups":
+        return _reify_group_count(plan, name)
+    source, preds = _peel_filters(plan.source)
+    if isinstance(source, Scan):
+        return _reify_single_table(plan, source, preds, name)
+    if isinstance(source, EquiJoin):
+        return _reify_join(plan, source, preds, name)
+    raise PlanError(
+        f"aggregate source must reduce to a scan or an equi-join, "
+        f"got {type(source).__name__}"
+    )
+
+
+# -- Single-table aggregates ---------------------------------------------------
+
+
+def _reify_single_table(
+    plan: Aggregate, scan: Scan, preds: List[RowExpr], name: str
+) -> ReifiedQuery:
+    names = set()
+    for pred in preds:
+        names |= expr_cols(pred)
+    if plan.expr is not None:
+        names |= expr_cols(plan.expr)
+    cols = _referenced(scan, names)
+    by_name = {col.name: col for col in cols}
+
+    def col_of(col_name: str) -> Tuple[Col, str]:
+        return by_name[col_name], _IDX
+
+    # Reuse paths first: they introduce no query heads at all.
+    only = _single_col(preds, plan.expr)
+    if plan.kind == "sum" and not preds and isinstance(plan.expr, ColRef):
+        col = by_name[plan.expr.name]
+        elem = t.Var(_ELEM)
+        if col.ty == "byte":
+            elem = t.Prim("cast.b2w", (elem,))
+        body = t.Prim("word.add", (t.Var(_ACC), elem))
+        agg = t.ArrayFold(_ACC, _ELEM, body, t.Lit(0, WORD), t.Var(col.name))
+        return _scalar_query(name, plan, (scan.table, cols), agg, via="fold")
+    if plan.kind == "any" and not preds and only is not None:
+        col = by_name[only]
+        pred = _pred_over_elem(plan.expr, only, t.Var(_ELEM), col.ty)
+        body = t.If(pred, t.Lit(1, WORD), t.Var(_ACC))
+        until = t.Prim("word.ltu", (t.Lit(0, WORD), t.Var(_ACC)))
+        agg = t.ArrayFoldBreak(
+            _ACC, _ELEM, body, t.Lit(0, WORD), t.Var(col.name), until
+        )
+        return _scalar_query(
+            name, plan, (scan.table, cols), agg, via="fold_break"
+        )
+
+    # General case: QAggregate with the filters folded into an if.
+    if plan.kind == "sum":
+        step = t.Prim("word.add", (t.Var(_ACC), _expr_term(plan.expr, col_of)))
+    elif plan.kind == "count":
+        step = t.Prim("word.add", (t.Var(_ACC), t.Lit(1, WORD)))
+    else:  # any: latch the flag
+        step = t.Lit(1, WORD)
+        preds = preds + [plan.expr]
+    pred = _and_all([_pred_term(p, col_of) for p in preds])
+    body = step if pred is None else t.If(pred, step, t.Var(_ACC))
+    agg = qt.QAggregate(
+        _IDX, _ACC, t.ArrayLen(t.Var(cols[0].name)), t.Lit(0, WORD), body
+    )
+    return _scalar_query(name, plan, (scan.table, cols), agg, via="aggregate")
+
+
+def _pred_over_elem(
+    expr: RowExpr, col_name: str, elem: t.Term, col_ty: str
+) -> t.Term:
+    """A single-column predicate with the column read replaced by the
+    fold's element binder (widened when the column holds bytes)."""
+    value = t.Prim("cast.b2w", (elem,)) if col_ty == "byte" else elem
+
+    def walk(node: RowExpr) -> t.Term:
+        if isinstance(node, ColRef):
+            assert node.name == col_name
+            return value
+        if isinstance(node, IntLit):
+            return t.Lit(node.value, WORD)
+        if isinstance(node, BinOp):
+            return t.Prim(f"word.{node.op}", (walk(node.lhs), walk(node.rhs)))
+        raise PlanError(f"not a word-valued row expression: {node!r}")
+
+    assert isinstance(expr, Cmp)
+    lhs, rhs = walk(expr.lhs), walk(expr.rhs)
+    if expr.op == "eq":
+        return t.Prim("word.eq", (lhs, rhs))
+    if expr.op == "ne":
+        return _negb(t.Prim("word.eq", (lhs, rhs)))
+    if expr.op == "lt":
+        return t.Prim("word.ltu", (lhs, rhs))
+    if expr.op == "ge":
+        return _negb(t.Prim("word.ltu", (lhs, rhs)))
+    if expr.op == "gt":
+        return t.Prim("word.ltu", (rhs, lhs))
+    return _negb(t.Prim("word.ltu", (rhs, lhs)))  # le
+
+
+def _scalar_query(
+    name: str,
+    plan: Aggregate,
+    table: Tuple[str, Tuple[Col, ...]],
+    agg: t.Term,
+    via: str,
+) -> ReifiedQuery:
+    table_name, cols = table
+    params = [(col.name, _array_ty(col)) for col in cols]
+    term = t.Let(_RES, agg, t.Var(_RES))
+    model = Model(name, params, term, WORD)
+    spec = FnSpec(
+        name,
+        [ptr_arg(col.name, _array_ty(col)) for col in cols]
+        + [len_arg("n", cols[0].name)],
+        [scalar_out()],
+        facts=_table_facts(cols),
+    )
+    return ReifiedQuery(
+        model, spec, "scalar", via, ((table_name, cols),), out_param=None
+    )
+
+
+# -- Join aggregates -----------------------------------------------------------
+
+
+def _reify_join(
+    plan: Aggregate, join: EquiJoin, preds: List[RowExpr], name: str
+) -> ReifiedQuery:
+    left, left_preds = _peel_filters(join.left)
+    right, right_preds = _peel_filters(join.right)
+    if not isinstance(left, Scan) or not isinstance(right, Scan):
+        raise PlanError("equi-join sides must reduce to scans")
+    preds = preds + left_preds + right_preds
+
+    names = {join.left_col, join.right_col}
+    for pred in preds:
+        names |= expr_cols(pred)
+    if plan.expr is not None:
+        names |= expr_cols(plan.expr)
+    left_cols = _referenced(left, {n for n in names if n in left.schema})
+    right_cols = _referenced(right, {n for n in names if n in right.schema})
+    by_name = {col.name: (col, _IDX) for col in left_cols}
+    by_name.update({col.name: (col, _JDX) for col in right_cols})
+
+    def col_of(col_name: str) -> Tuple[Col, str]:
+        return by_name[col_name]
+
+    join_pred = t.Prim(
+        "word.eq",
+        (
+            _col_term(*col_of(join.left_col)),
+            _col_term(*col_of(join.right_col)),
+        ),
+    )
+    pred = _and_all([join_pred] + [_pred_term(p, col_of) for p in preds])
+    if plan.kind == "sum":
+        step = t.Prim("word.add", (t.Var(_ACC), _expr_term(plan.expr, col_of)))
+    elif plan.kind == "count":
+        step = t.Prim("word.add", (t.Var(_ACC), t.Lit(1, WORD)))
+    else:  # any over a join: latch, no early exit
+        step = t.Lit(1, WORD)
+        if plan.expr is not None:
+            pred = t.Prim("bool.andb", (pred, _pred_term(plan.expr, col_of)))
+    body = t.If(pred, step, t.Var(_ACC))
+    agg = qt.QJoinAgg(
+        _IDX,
+        _JDX,
+        _ACC,
+        t.ArrayLen(t.Var(left_cols[0].name)),
+        t.ArrayLen(t.Var(right_cols[0].name)),
+        t.Lit(0, WORD),
+        body,
+    )
+    all_cols = left_cols + right_cols
+    params = [(col.name, _array_ty(col)) for col in all_cols]
+    term = t.Let(_RES, agg, t.Var(_RES))
+    model = Model(name, params, term, WORD)
+    spec = FnSpec(
+        name,
+        [ptr_arg(col.name, _array_ty(col)) for col in all_cols]
+        + [
+            len_arg("n_left", left_cols[0].name),
+            len_arg("n_right", right_cols[0].name),
+        ],
+        [scalar_out()],
+        facts=_table_facts(left_cols) + _table_facts(right_cols),
+    )
+    return ReifiedQuery(
+        model,
+        spec,
+        "scalar",
+        "join",
+        ((left.table, left_cols), (right.table, right_cols)),
+        out_param=None,
+    )
+
+
+# -- Projections and grouped counts -------------------------------------------
+
+
+def _reify_project(plan: Project, name: str) -> ReifiedQuery:
+    source, preds = _peel_filters(plan.source)
+    if preds:
+        raise PlanError(
+            "filtered projections change the output length and do not "
+            "reify; aggregate instead"
+        )
+    if not isinstance(source, Scan):
+        raise PlanError("projection source must be a scan")
+    if len(plan.cols) != 1:
+        raise PlanError("only single-column projections reify")
+    _out_name, expr = plan.cols[0]
+    cols = _referenced(source, expr_cols(expr))
+    by_name = {col.name: col for col in cols}
+
+    def col_of(col_name: str) -> Tuple[Col, str]:
+        return by_name[col_name], _IDX
+
+    body = _expr_term(expr, col_of)
+    proj = qt.QProjectInto(_IDX, t.Var("out"), body)
+    params = [(col.name, _array_ty(col)) for col in cols] + [
+        ("out", ARRAY_WORD)
+    ]
+    term = t.Let("out", proj, t.Var("out"))
+    model = Model(name, params, term, ARRAY_WORD)
+    spec = FnSpec(
+        name,
+        [ptr_arg(col.name, _array_ty(col)) for col in cols]
+        + [ptr_arg("out", ARRAY_WORD), len_arg("n", "out")],
+        [array_out("out")],
+        facts=_out_facts(cols, "out"),
+    )
+    return ReifiedQuery(
+        model, spec, "array", "project", ((source.table, cols),), out_param="out"
+    )
+
+
+def _reify_group_count(plan: Aggregate, name: str) -> ReifiedQuery:
+    source, preds = _peel_filters(plan.source)
+    if not isinstance(source, Scan):
+        raise PlanError("grouped count source must reduce to a scan")
+    names = {plan.group_by}
+    for pred in preds:
+        names |= expr_cols(pred)
+    cols = _referenced(source, names)
+    by_name = {col.name: col for col in cols}
+
+    def col_of(col_name: str) -> Tuple[Col, str]:
+        return by_name[col_name], _IDX
+
+    key = _col_term(by_name[plan.group_by], _IDX)
+    group_pred = t.Prim(
+        "word.eq", (key, t.Prim("cast.of_nat", (t.Var(_GDX),)))
+    )
+    pred = _and_all([group_pred] + [_pred_term(p, col_of) for p in preds])
+    body = t.If(
+        pred, t.Prim("word.add", (t.Var(_ACC), t.Lit(1, WORD))), t.Var(_ACC)
+    )
+    inner = qt.QAggregate(
+        _IDX, _ACC, t.ArrayLen(t.Var(cols[0].name)), t.Lit(0, WORD), body
+    )
+    proj = qt.QProjectInto(_GDX, t.Var("hist"), inner)
+    params = [(col.name, _array_ty(col)) for col in cols] + [
+        ("hist", ARRAY_WORD)
+    ]
+    term = t.Let("hist", proj, t.Var("hist"))
+    model = Model(name, params, term, ARRAY_WORD)
+    spec = FnSpec(
+        name,
+        [ptr_arg(col.name, _array_ty(col)) for col in cols]
+        + [
+            ptr_arg("hist", ARRAY_WORD),
+            len_arg("n", cols[0].name),
+            len_arg("groups", "hist"),
+        ],
+        [array_out("hist")],
+        facts=_table_facts(cols),
+    )
+    return ReifiedQuery(
+        model,
+        spec,
+        "array",
+        "group_count",
+        ((source.table, cols),),
+        out_param="hist",
+    )

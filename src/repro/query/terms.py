@@ -1,0 +1,291 @@
+"""Query-combinator term heads: the relational algebra's footprint in
+the source IR.
+
+The paper's extension story (Table 1, §4.1) is that a new domain enters
+the compiler as *new term heads plus new lemmas*, never as edits to the
+engine.  These three nodes are exactly the residue left after
+:mod:`repro.query.reify` lowers a relational-algebra plan: a bounded
+aggregation loop, an index-driven projection into an existing array, and
+a nested-loop join aggregation.  Everything simpler (unfiltered
+single-column folds, existence checks) reuses ``ListArray``'s
+``fold``/``fold_break`` and introduces no new heads at all.
+
+Each class implements the duck-typed extension hooks the core consults
+on unknown heads -- ``free_vars_node``/``subst_node``/``pretty_node``
+(:mod:`repro.source.terms`), ``eval_node``
+(:mod:`repro.source.evaluator`), ``resolve_node``
+(:mod:`repro.core.engine`), ``infer_type_node``
+(:mod:`repro.core.typecheck`), and the solver's length hooks -- so
+``repro.source``/``repro.core`` never import this package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.source import terms as t
+from repro.source.types import NAT, SourceType
+
+
+@dataclass(frozen=True)
+class QAggregate(t.Term):
+    """``aggregate over idx in [0, count) with acc := init { body }``.
+
+    The accumulator form of ``Filter . Aggregate``: ``body`` (free in
+    ``idx_name`` and ``acc_name``) computes the next accumulator, and a
+    filtered row simply returns the accumulator unchanged.  Semantically
+    a :class:`~repro.source.terms.RangedFor` from 0; the compilation
+    lemma discharges it by exactly that reduction.
+    """
+
+    idx_name: str
+    acc_name: str
+    count: t.Term
+    init: t.Term
+    body: t.Term
+
+    statement_shape = True  # compiles to a loop, never to one expression
+
+    def children(self) -> Tuple[t.Term, ...]:
+        return (self.count, self.init, self.body)
+
+    def binders(self) -> Tuple[str, ...]:
+        return (self.idx_name, self.acc_name)
+
+    def as_ranged_for(self) -> t.RangedFor:
+        """The equivalent core term the lemma family reduces to."""
+        return t.RangedFor(
+            t.Lit(0, NAT), self.count, self.idx_name, self.acc_name,
+            self.body, self.init,
+        )
+
+    # -- core extension hooks -------------------------------------------------
+
+    def free_vars_node(self, free_vars) -> set:
+        bound = {self.idx_name, self.acc_name}
+        return (
+            free_vars(self.count)
+            | free_vars(self.init)
+            | (free_vars(self.body) - bound)
+        )
+
+    def subst_node(self, name: str, replacement: t.Term, subst) -> "QAggregate":
+        shadowed = name in (self.idx_name, self.acc_name)
+        return QAggregate(
+            self.idx_name,
+            self.acc_name,
+            subst(self.count, name, replacement),
+            subst(self.init, name, replacement),
+            self.body if shadowed else subst(self.body, name, replacement),
+        )
+
+    def resolve_node(self, state, shadowed: frozenset, resolve) -> "QAggregate":
+        inner = shadowed | {self.idx_name, self.acc_name}
+        return QAggregate(
+            self.idx_name,
+            self.acc_name,
+            resolve(state, self.count, shadowed),
+            resolve(state, self.init, shadowed),
+            resolve(state, self.body, inner),
+        )
+
+    def eval_node(self, evaluator, env: dict, fx) -> object:
+        count = int(evaluator._eval(self.count, env, fx))
+        acc = evaluator._eval(self.init, env, fx)
+        for index in range(count):
+            inner = dict(env)
+            inner[self.idx_name] = index
+            inner[self.acc_name] = acc
+            acc = evaluator._eval(self.body, inner, fx)
+        return acc
+
+    def infer_type_node(self, state, infer_type) -> SourceType:
+        return infer_type(state, self.init)
+
+    def pretty_node(self, pretty) -> str:
+        return (
+            f"query.aggregate {self.idx_name} < {pretty(self.count)} "
+            f"(acc {self.acc_name} := {pretty(self.init)}) "
+            f"{{ {pretty(self.body)} }}"
+        )
+
+
+@dataclass(frozen=True)
+class QProjectInto(t.Term):
+    """``[ body idx | idx < length out ]`` -- projection into ``out``.
+
+    Rebinding ``out``'s own name (``let/n out := QProjectInto(idx, out,
+    body) in k``) licenses in-place mutation, exactly like the paper's
+    ``ListArray.map`` walkthrough -- but the body is *index*-driven, so
+    it can read several source columns at once.  The loop invariant is
+    ``QProjectInto(idx, firstn i out, body) ++ skipn i out``.
+    """
+
+    idx_name: str
+    out: t.Term
+    body: t.Term
+
+    statement_shape = True
+
+    def children(self) -> Tuple[t.Term, ...]:
+        return (self.out, self.body)
+
+    def binders(self) -> Tuple[str, ...]:
+        return (self.idx_name,)
+
+    # -- core extension hooks -------------------------------------------------
+
+    def free_vars_node(self, free_vars) -> set:
+        return free_vars(self.out) | (free_vars(self.body) - {self.idx_name})
+
+    def subst_node(self, name: str, replacement: t.Term, subst) -> "QProjectInto":
+        return QProjectInto(
+            self.idx_name,
+            subst(self.out, name, replacement),
+            self.body if name == self.idx_name
+            else subst(self.body, name, replacement),
+        )
+
+    def resolve_node(self, state, shadowed: frozenset, resolve) -> "QProjectInto":
+        inner = shadowed | {self.idx_name}
+        return QProjectInto(
+            self.idx_name,
+            resolve(state, self.out, shadowed),
+            resolve(state, self.body, inner),
+        )
+
+    def eval_node(self, evaluator, env: dict, fx) -> list:
+        out = evaluator._array(self.out, env, fx)
+        result = []
+        for index in range(len(out)):
+            inner = dict(env)
+            inner[self.idx_name] = index
+            result.append(evaluator._eval(self.body, inner, fx))
+        return result
+
+    def infer_type_node(self, state, infer_type) -> SourceType:
+        return infer_type(state, self.out)
+
+    def pretty_node(self, pretty) -> str:
+        return (
+            f"query.project (fun {self.idx_name} => {pretty(self.body)}) "
+            f"into {pretty(self.out)}"
+        )
+
+    # -- solver hooks (structural length facts) -------------------------------
+
+    def normalize_len_node(self, normalize_len) -> t.Term:
+        # One output element per element of the target array.
+        return normalize_len(self.out)
+
+    def invariant_prefix_node(self) -> t.Term:
+        # For the ``QProjectInto(_, firstn i l, _) ++ skipn i l`` loop
+        # invariant: the prefix whose length this node preserves.
+        return self.out
+
+
+@dataclass(frozen=True)
+class QJoinAgg(t.Term):
+    """Nested-loop equi-join folded straight into an accumulator.
+
+    ``body`` (free in ``i_name``, ``j_name``, ``acc_name``) sees one row
+    pair per iteration of the ``left_count`` x ``right_count`` product;
+    the join predicate lives inside it as an ``if``.  Semantically two
+    nested :class:`~repro.source.terms.RangedFor` loops sharing one
+    accumulator, which is precisely the reduction the lemma performs.
+    """
+
+    i_name: str
+    j_name: str
+    acc_name: str
+    left_count: t.Term
+    right_count: t.Term
+    init: t.Term
+    body: t.Term
+
+    statement_shape = True
+
+    def children(self) -> Tuple[t.Term, ...]:
+        return (self.left_count, self.right_count, self.init, self.body)
+
+    def binders(self) -> Tuple[str, ...]:
+        return (self.i_name, self.j_name, self.acc_name)
+
+    def as_nested_ranged_for(self) -> t.RangedFor:
+        """Outer loop over the left table, inner over the right.
+
+        Both loops bind the *same* accumulator name: the inner loop's
+        init reads the outer accumulator, and the outer body's value is
+        the inner loop itself.
+        """
+        inner = t.RangedFor(
+            t.Lit(0, NAT), self.right_count, self.j_name, self.acc_name,
+            self.body, t.Var(self.acc_name),
+        )
+        return t.RangedFor(
+            t.Lit(0, NAT), self.left_count, self.i_name, self.acc_name,
+            inner, self.init,
+        )
+
+    # -- core extension hooks -------------------------------------------------
+
+    def free_vars_node(self, free_vars) -> set:
+        bound = {self.i_name, self.j_name, self.acc_name}
+        return (
+            free_vars(self.left_count)
+            | free_vars(self.right_count)
+            | free_vars(self.init)
+            | (free_vars(self.body) - bound)
+        )
+
+    def subst_node(self, name: str, replacement: t.Term, subst) -> "QJoinAgg":
+        shadowed = name in (self.i_name, self.j_name, self.acc_name)
+        return QJoinAgg(
+            self.i_name,
+            self.j_name,
+            self.acc_name,
+            subst(self.left_count, name, replacement),
+            subst(self.right_count, name, replacement),
+            subst(self.init, name, replacement),
+            self.body if shadowed else subst(self.body, name, replacement),
+        )
+
+    def resolve_node(self, state, shadowed: frozenset, resolve) -> "QJoinAgg":
+        inner = shadowed | {self.i_name, self.j_name, self.acc_name}
+        return QJoinAgg(
+            self.i_name,
+            self.j_name,
+            self.acc_name,
+            resolve(state, self.left_count, shadowed),
+            resolve(state, self.right_count, shadowed),
+            resolve(state, self.init, shadowed),
+            resolve(state, self.body, inner),
+        )
+
+    def eval_node(self, evaluator, env: dict, fx) -> object:
+        left = int(evaluator._eval(self.left_count, env, fx))
+        right = int(evaluator._eval(self.right_count, env, fx))
+        acc = evaluator._eval(self.init, env, fx)
+        for i in range(left):
+            for j in range(right):
+                inner = dict(env)
+                inner[self.i_name] = i
+                inner[self.j_name] = j
+                inner[self.acc_name] = acc
+                acc = evaluator._eval(self.body, inner, fx)
+        return acc
+
+    def infer_type_node(self, state, infer_type) -> SourceType:
+        return infer_type(state, self.init)
+
+    def pretty_node(self, pretty) -> str:
+        return (
+            f"query.join_agg {self.i_name} < {pretty(self.left_count)}, "
+            f"{self.j_name} < {pretty(self.right_count)} "
+            f"(acc {self.acc_name} := {pretty(self.init)}) "
+            f"{{ {pretty(self.body)} }}"
+        )
+
+
+QUERY_TERM_HEADS = ("QAggregate", "QJoinAgg", "QProjectInto")

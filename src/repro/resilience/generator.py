@@ -291,6 +291,118 @@ def _gen_stack_table(rng: random.Random, name: str) -> FuzzCase:
     return FuzzCase(name, "stack_table", model, spec, input_gen, "scalar")
 
 
+def _gen_query_plan(rng: random.Random, name: str) -> FuzzCase:
+    """A random relational-algebra plan through ``repro.query.reify``.
+
+    Covers every lowering shape of the query frontend: filtered and
+    grouped aggregation, existence checks, nested-loop join aggregation,
+    and index-driven projection.  The plan is built from the same seeded
+    draws as its input generator, so key spans and filter thresholds
+    stay matched and both branches of every predicate get exercised.
+    """
+    from repro.query import ir
+    from repro.query.reify import reify
+
+    shape = rng.randrange(6)
+    cmp_op = rng.choice(ir.CMP_OPS)
+    arith_op = rng.choice(("add", "xor", "and"))
+    key_ty = rng.choice(("word", "byte"))
+    span = rng.randrange(2, 9)
+    threshold = rng.randrange(span + 2)
+
+    def keys(r: random.Random, n: int) -> List[int]:
+        return [r.randrange(span) for _ in range(n)]
+
+    def words(r: random.Random, n: int) -> List[int]:
+        return [r.getrandbits(64) for _ in range(n)]
+
+    if shape in (0, 1):  # filtered sum / count over one table
+        sch = ir.schema(("k", key_ty), "v")
+        pred = ir.Cmp(cmp_op, ir.ColRef("k"), ir.IntLit(threshold))
+        source = ir.Filter(pred, ir.Scan("t", sch))
+        if shape == 0:
+            value = ir.BinOp(arith_op, ir.ColRef("v"), ir.ColRef("k"))
+            plan = ir.Aggregate("sum", source, expr=value)
+
+            def input_gen(r: random.Random) -> Dict[str, object]:
+                n = r.randrange(12)
+                return {"k": keys(r, n), "v": words(r, n)}
+
+        else:
+            # count only references the filter column, so the ABI is just k.
+            plan = ir.Aggregate("count", source)
+
+            def input_gen(r: random.Random) -> Dict[str, object]:
+                return {"k": keys(r, r.randrange(12))}
+
+    elif shape == 2:  # existence check (fold_break reuse)
+        sch = ir.schema(("k", key_ty))
+        plan = ir.Aggregate(
+            "any", ir.Scan("t", sch),
+            expr=ir.Cmp(cmp_op, ir.ColRef("k"), ir.IntLit(threshold)),
+        )
+
+        def input_gen(r: random.Random) -> Dict[str, object]:
+            return {"k": keys(r, r.randrange(12))}
+
+    elif shape == 3:  # equi-join aggregation
+        agg_kind = rng.choice(("sum", "count"))
+        join = ir.EquiJoin(
+            ir.Scan("l", ir.schema("a0", "a1")),
+            ir.Scan("r", ir.schema("b0", "b1")),
+            "a0",
+            "b0",
+        )
+        if agg_kind == "sum":
+            plan = ir.Aggregate(
+                "sum", join,
+                expr=ir.BinOp(arith_op, ir.ColRef("a1"), ir.ColRef("b1")),
+            )
+
+            def input_gen(r: random.Random) -> Dict[str, object]:
+                n, m = r.randrange(7), r.randrange(7)
+                return {
+                    "a0": keys(r, n), "a1": words(r, n),
+                    "b0": keys(r, m), "b1": words(r, m),
+                }
+
+        else:
+            # count only references the join keys.
+            plan = ir.Aggregate("count", join)
+
+            def input_gen(r: random.Random) -> Dict[str, object]:
+                return {"a0": keys(r, r.randrange(7)), "b0": keys(r, r.randrange(7))}
+
+    elif shape == 4:  # projection (store loop)
+        plan = ir.Project(
+            (("c", ir.BinOp(arith_op, ir.ColRef("a"), ir.ColRef("b"))),),
+            ir.Scan("t", ir.schema("a", ("b", key_ty))),
+        )
+
+        def input_gen(r: random.Random) -> Dict[str, object]:
+            n = r.randrange(12)
+            b = (
+                [r.randrange(256) for _ in range(n)]
+                if key_ty == "byte"
+                else words(r, n)
+            )
+            return {"a": words(r, n), "b": b, "out": [0] * n}
+
+    else:  # grouped count (histogram)
+        sch = ir.schema(("key", key_ty))
+        plan = ir.Aggregate("count", ir.Scan("t", sch), group_by="key")
+
+        def input_gen(r: random.Random) -> Dict[str, object]:
+            n = r.randrange(12)
+            groups = r.randrange(1, span + 2)
+            return {"key": keys(r, n), "hist": [0] * groups}
+
+    reified = reify(plan, name)
+    return FuzzCase(
+        name, "query_plan", reified.model, reified.spec, input_gen, "query"
+    )
+
+
 FAMILIES = (
     _gen_scalar_chain,
     _gen_byte_map,
@@ -298,6 +410,7 @@ FAMILIES = (
     _gen_ranged_sum,
     _gen_array_put,
     _gen_stack_table,
+    _gen_query_plan,
 )
 
 FAMILY_NAMES = tuple(fn.__name__.replace("_gen_", "") for fn in FAMILIES)

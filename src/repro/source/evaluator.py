@@ -261,6 +261,15 @@ class Evaluator:
             fx.state = self._eval(term.value, env, fx)
             return fx.state
 
+        # Open extension point: Term subclasses defined outside
+        # repro.source (e.g. repro.query's combinators) carry their own
+        # functional semantics via ``eval_node`` instead of growing this
+        # chain.  The hook receives the evaluator so it can recurse (and
+        # so fuel accounting stays shared).
+        hook = getattr(term, "eval_node", None)
+        if hook is not None:
+            return hook(self, env, fx)
+
         raise EvalError(f"cannot evaluate {term!r}")
 
     # -- Helpers ----------------------------------------------------------------

@@ -8,6 +8,16 @@ operations but tells Rupicola to use a contiguous array)".
 Functionally, everything here is a plain list operation (see the
 evaluator); the only effect of going through this module is that the
 compiler will represent the value as a contiguous Bedrock2 array.
+
+Edge-case semantics (shared by the evaluator and the compiled loops):
+
+- the empty array is a perfectly good table: ``map`` leaves it empty
+  and ``fold``/``fold_break`` return ``init`` without evaluating their
+  bodies (the compiled loop guard fails immediately);
+- ``get`` has *no* defined out-of-range value.  The evaluator raises
+  ``EvalError``, and the compiler only accepts a ``get`` whose index it
+  can prove in bounds from the spec's facts -- an unprovable index is a
+  side-condition stall, never a wrapped or clamped load.
 """
 
 from __future__ import annotations
@@ -33,7 +43,11 @@ def length(arr: SymValue) -> SymValue:
 
 
 def get(arr: SymValue, index) -> SymValue:
-    """``ListArray.get a i`` (functionally ``nth i a``)."""
+    """``ListArray.get a i`` (functionally ``nth i a``).
+
+    Defined only for ``i < length a``: evaluation raises ``EvalError``
+    out of range, and compilation demands an in-bounds proof.
+    """
     elem = _array_elem(arr)
     return SymValue(t.ArrayGet(arr.term, to_term(index, NAT)), elem)
 
@@ -64,7 +78,10 @@ def fold(
     acc_ty: Optional[SourceType] = None,
     names: Optional[Sequence[str]] = None,
 ) -> SymValue:
-    """``List.fold_left (fun acc b => ...) a init``."""
+    """``List.fold_left (fun acc b => ...) a init``.
+
+    On the empty array this is ``init`` (the body never runs).
+    """
     elem = _array_elem(arr)
     init_v = lift(init, acc_ty)
     acc_ty = acc_ty or init_v.ty
@@ -90,7 +107,11 @@ def fold_break(
     names: Optional[Sequence[str]] = None,
 ) -> SymValue:
     """A fold with an early exit: stop (before the next element) once
-    ``until(acc)`` holds.  The paper's "folds ... with early exits"."""
+    ``until(acc)`` holds.  The paper's "folds ... with early exits".
+
+    On the empty array this is ``init``; ``until`` is only consulted
+    between elements, so it never fires on an empty input.
+    """
     from repro.source import terms as t
     from repro.source.types import BOOL
 

@@ -501,6 +501,12 @@ def free_vars(term: Term) -> set:
             | (free_vars(term.body) - {term.acc_name})
             | free_vars(term.init)
         )
+    # Open extension point: a Term subclass defined outside this module
+    # (e.g. repro.query's plan combinators) that binds names implements
+    # ``free_vars_node`` instead of growing this isinstance chain.
+    hook = getattr(term, "free_vars_node", None)
+    if hook is not None:
+        return hook(free_vars)
     out: set = set()
     for child in term.children():
         out |= free_vars(child)
@@ -618,6 +624,13 @@ def subst(term: Term, name: str, replacement: Term) -> Term:
         return WriterTell(subst(term.value, name, replacement))
     if isinstance(term, StPut):
         return StPut(subst(term.value, name, replacement))
+    # Open extension point: external Term subclasses with children (and
+    # possibly binders) substitute through ``subst_node``; without it an
+    # unknown node would be returned unchanged, silently dropping the
+    # substitution inside its children.
+    hook = getattr(term, "subst_node", None)
+    if hook is not None:
+        return hook(name, replacement, subst)
     return term
 
 
@@ -715,4 +728,9 @@ def pretty(term: Term, indent: int = 0) -> str:
         return "st.get()"
     if isinstance(term, StPut):
         return f"st.put({pretty(term.value)})"
+    # Open extension point mirroring free_vars/subst: external nodes
+    # render themselves (stall reports stay readable for new domains).
+    hook = getattr(term, "pretty_node", None)
+    if hook is not None:
+        return hook(pretty)
     return repr(term)

@@ -12,6 +12,9 @@ exactly the way the paper's evaluation slices them (Table 1, §4.1.2):
 - :mod:`repro.stdlib.control` -- conditionals with predicate inference;
 - :mod:`repro.stdlib.loops` -- map/fold/iter/ranged-for loop lemmas with
   automatic invariant inference (§3.4.2);
+- :mod:`repro.stdlib.queries` -- the relational-algebra combinators of
+  :mod:`repro.query`, mostly by reduction to the loop lemmas (the
+  Table 1 extension story exercised on a whole new domain);
 - :mod:`repro.stdlib.inline_tables` -- Bedrock2 inline tables (§4.1.2);
 - :mod:`repro.stdlib.stack_alloc` -- stack allocation (§4.1.2);
 - :mod:`repro.stdlib.monads` -- extensional effects: I/O, writer,
@@ -46,6 +49,7 @@ def default_databases():
         loops,
         monads,
         mutation,
+        queries,
         stack_alloc,
     )
 
@@ -61,6 +65,7 @@ def default_databases():
     copying.register(binding_db)
     control.register(binding_db)
     loops.register(binding_db)
+    queries.register(binding_db)
     stack_alloc.register(binding_db)
     monads.register(binding_db)
     errors.register(binding_db)

@@ -47,6 +47,16 @@ def _has_statement_shape(term: t.Term) -> bool:
     """Does this term need statement-level compilation (vs one expression)?"""
     if isinstance(term, (t.If, t.Let, t.MBind, t.ArrayPut, t.CellPut)):
         return True
+    # Loops can only ever compile as statements; a loop body that is
+    # itself a nested loop must be routed through binding compilation.
+    if isinstance(
+        term, (t.RangedFor, t.NatIter, t.ArrayFold, t.ArrayFoldBreak, t.ArrayMap)
+    ):
+        return True
+    # External Term subclasses (repro.query combinators) declare
+    # statement-ness via a ``statement_shape`` class attribute.
+    if getattr(term, "statement_shape", False):
+        return True
     return any(_has_statement_shape(child) for child in term.children())
 
 

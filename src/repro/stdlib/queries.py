@@ -1,0 +1,205 @@
+"""Compilation lemmas for the relational-algebra query combinators.
+
+The paper's Table 1 argues extensibility: a new source domain is
+supported by *registering lemmas*, not by touching the engine.  This
+module is that claim exercised end-to-end for ``repro.query``: three
+lemmas, two of which are pure *reductions* -- they rewrite the query
+head into the equivalent core loop term and delegate to the existing
+loop lemmas, so their correctness argument is exactly the equation the
+reduction implements:
+
+- :class:`CompileQueryAggregate`: ``QAggregate(i, acc, n, init, body)``
+  *is* ``RangedFor(0, n, i, acc, body, init)``; compile that.
+- :class:`CompileQueryJoinAgg`: a nested-loop join aggregation *is* two
+  nested ``RangedFor`` loops sharing one accumulator; compile those.
+- :class:`CompileQueryProjectInto`: a genuinely new loop lemma (modeled
+  on ``compile_arraymap_inplace``) for index-driven projection into an
+  array the binding rebinds, with the §3.4.2 invariant
+  ``QProjectInto(idx, firstn i out, body) ++ skipn i out``.
+
+Each firing emits a ``query_lower`` trace event and a
+``query.lowered.<Head>`` counter; the engine's own instrumentation
+already yields ``lemma.family.queries`` hits because families are named
+after defining modules.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bedrock2 import ast
+from repro.core.certificate import CertNode
+from repro.core.engine import resolve
+from repro.core.goals import BindingGoal, CompilationStalled, StallReport
+from repro.core.lemma import HintDb
+from repro.core.sepstate import PointerBinding
+from repro.query import terms as qt
+from repro.source import terms as t
+from repro.source.types import NAT
+from repro.stdlib.loops import _has_statement_shape, _LoopLemma
+
+
+def _note_lowering(engine, head: str, via: str, name: str) -> None:
+    """Flight-recorder breadcrumb: which reduction fired for which goal."""
+    tracer = engine.tracer
+    if tracer.enabled:
+        tracer.event("query_lower", head=head, via=via, name=name)
+        tracer.inc(f"query.lowered.{head}")
+
+
+class CompileQueryAggregate(_LoopLemma):
+    """``let/n x := QAggregate(...) in k`` by reduction to ``RangedFor``."""
+
+    name = "compile_query_aggregate"
+    shapes = ("QAggregate",)
+    shape_total = True
+
+    def matches(self, goal: BindingGoal) -> bool:
+        return isinstance(goal.value, qt.QAggregate)
+
+    def apply(self, goal: BindingGoal, engine) -> Tuple[ast.Stmt, object, List[CertNode]]:
+        value = goal.value
+        assert isinstance(value, qt.QAggregate)
+        _note_lowering(engine, "QAggregate", "compile_rangedfor", goal.name)
+        stmt, state, node = engine.compile_binding(
+            goal.state, goal.name, value.as_ranged_for(), goal.spec
+        )
+        return stmt, state, [node]
+
+
+class CompileQueryJoinAgg(_LoopLemma):
+    """Nested-loop join aggregation by reduction to nested ``RangedFor``."""
+
+    name = "compile_query_join_agg"
+    shapes = ("QJoinAgg",)
+    shape_total = True
+
+    def matches(self, goal: BindingGoal) -> bool:
+        return isinstance(goal.value, qt.QJoinAgg)
+
+    def apply(self, goal: BindingGoal, engine) -> Tuple[ast.Stmt, object, List[CertNode]]:
+        value = goal.value
+        assert isinstance(value, qt.QJoinAgg)
+        _note_lowering(engine, "QJoinAgg", "compile_rangedfor", goal.name)
+        stmt, state, node = engine.compile_binding(
+            goal.state, goal.name, value.as_nested_ranged_for(), goal.spec
+        )
+        return stmt, state, [node]
+
+
+class CompileQueryProjectInto(_LoopLemma):
+    """``let/n out := QProjectInto(idx, out, body) in k`` ~ a store loop.
+
+    The rebinding of ``out``'s own name licenses in-place mutation, as
+    in the paper's ``ListArray.map`` walkthrough; unlike a map the body
+    is a function of the *index*, so it can read any number of source
+    columns (whose lengths the spec's facts equate with ``out``'s).
+    """
+
+    name = "compile_query_project_into"
+    shapes = ("QProjectInto",)
+
+    def matches(self, goal: BindingGoal) -> bool:
+        value = goal.value
+        return (
+            isinstance(value, qt.QProjectInto)
+            and isinstance(value.out, t.Var)
+            and isinstance(
+                goal.state.binding(value.out.name), PointerBinding
+            )
+        )
+
+    def apply(self, goal: BindingGoal, engine) -> Tuple[ast.Stmt, object, List[CertNode]]:
+        value = goal.value
+        assert isinstance(value, qt.QProjectInto) and isinstance(value.out, t.Var)
+        out_name = value.out.name
+        if goal.name != out_name:
+            raise CompilationStalled(
+                goal.describe(),
+                advice=(
+                    "projection writes in place: rebind the target "
+                    "array's own name (let/n out := project ... into out)"
+                ),
+                reason=StallReport.UNSUPPORTED_SHAPE,
+                family="queries",
+            )
+        state = goal.state
+        binding = state.binding(out_name)
+        assert isinstance(binding, PointerBinding)
+        clause = state.heap.get(binding.ptr)
+        if clause is None:
+            raise CompilationStalled(
+                goal.describe(),
+                advice=f"no clause owns {binding.ptr!r}",
+                reason=StallReport.MISSING_CLAUSE,
+                family="queries",
+            )
+        _note_lowering(engine, "QProjectInto", "store_loop", goal.name)
+        out0 = clause.value
+        resolved = resolve(state, value)
+        assert isinstance(resolved, qt.QProjectInto)
+        body_res = resolved.body
+        elem_ty = clause.ty.elem
+        assert elem_ty is not None
+        esz = engine.elem_byte_size(clause.ty)
+
+        lo_term = t.Lit(0, NAT)
+        hi_term = t.ArrayLen(out0)
+        idx_local, ghost, prologue, guard, nodes, work = self._counter_setup(
+            engine, state, lo_term, hi_term
+        )
+
+        loop_state = self._loop_body_state(work, idx_local, ghost, lo_term, hi_term)
+        # Invariant: projected prefix ++ untouched suffix (§3.4.2 shape).
+        invariant_value = t.Append(
+            qt.QProjectInto(
+                value.idx_name, t.FirstN(t.Var(ghost), out0), body_res
+            ),
+            t.SkipN(t.Var(ghost), out0),
+        )
+        loop_state.set_heap_value(binding.ptr, invariant_value)
+
+        # The index binder denotes the ghost counter inside the body.
+        body_inlined = t.subst(body_res, value.idx_name, t.Var(ghost))
+
+        addr_index_expr, idx_node = engine.compile_expr_term(
+            loop_state, t.Prim("cast.of_nat", (t.Var(ghost),)), None
+        )
+        nodes.append(idx_node)
+        from repro.stdlib.exprs import scaled_index
+
+        addr = ast.EOp(
+            "add", ast.EVar(out_name), scaled_index(engine, addr_index_expr, esz)
+        )
+
+        if _has_statement_shape(body_inlined):
+            tmp = loop_state.fresh_local("_v")
+            body_stmt, _after, body_nodes = engine.compile_value_into(
+                loop_state, tmp, body_inlined, goal.spec
+            )
+            store = ast.SStore(esz, addr, ast.EVar(tmp))
+            body_code = ast.seq_of(body_stmt, store)
+        else:
+            body_resolved = resolve(loop_state, body_inlined)
+            expr, body_node = engine.compile_expr_term(
+                loop_state, body_resolved, elem_ty
+            )
+            body_nodes = [body_node]
+            body_code = ast.SStore(esz, addr, expr)
+        nodes.extend(body_nodes)
+
+        loop = ast.SWhile(guard, ast.seq_of(body_code, self._increment(idx_local)))
+        stmt = ast.seq_of(*prologue, loop)
+
+        post = work.copy()
+        post.set_heap_value(binding.ptr, resolved)
+        self._cleanup(post, [idx_local])
+        self._drop_body_binders(post, body_res)
+        return stmt, post, nodes
+
+
+def register(db: HintDb) -> HintDb:
+    db.register(CompileQueryAggregate(), priority=23)
+    db.register(CompileQueryJoinAgg(), priority=23)
+    db.register(CompileQueryProjectInto(), priority=23)
+    return db

@@ -1,0 +1,126 @@
+"""Query IR well-formedness: schemas, expressions, plan checking, explain."""
+
+import pytest
+
+from repro.query import ir
+
+
+def test_schema_rejects_duplicate_columns():
+    with pytest.raises(ir.PlanError):
+        ir.schema("a", "a")
+
+
+def test_schema_rejects_unknown_type():
+    with pytest.raises(ir.PlanError):
+        ir.schema(("a", "short"))
+
+
+def test_schema_lookup():
+    sch = ir.schema(("k", "byte"), "v")
+    assert sch.names == ("k", "v")
+    assert sch.col("k").ty == "byte"
+    assert "v" in sch and "w" not in sch
+    with pytest.raises(ir.PlanError):
+        sch.col("w")
+
+
+def test_literal_must_fit_in_a_word():
+    with pytest.raises(ir.PlanError):
+        ir.IntLit(1 << 64)
+    with pytest.raises(ir.PlanError):
+        ir.IntLit(-1)
+
+
+def test_unknown_ops_rejected():
+    with pytest.raises(ir.PlanError):
+        ir.BinOp("div", ir.ColRef("a"), ir.ColRef("b"))
+    with pytest.raises(ir.PlanError):
+        ir.Cmp("like", ir.ColRef("a"), ir.IntLit(1))
+
+
+def test_check_plan_kinds():
+    sch = ir.schema("k", "v")
+    scan = ir.Scan("t", sch)
+    assert ir.check_plan(scan) == "table"
+    assert (
+        ir.check_plan(ir.Aggregate("sum", scan, expr=ir.ColRef("v"))) == "scalar"
+    )
+    assert (
+        ir.check_plan(ir.Aggregate("count", scan, group_by="k")) == "groups"
+    )
+
+
+def test_check_plan_rejects_bad_aggregates():
+    scan = ir.Scan("t", ir.schema("v"))
+    with pytest.raises(ir.PlanError):
+        ir.check_plan(ir.Aggregate("sum", scan))  # missing expr
+    with pytest.raises(ir.PlanError):
+        ir.check_plan(ir.Aggregate("count", scan, expr=ir.ColRef("v")))
+    with pytest.raises(ir.PlanError):
+        # any needs a predicate, not a word expression
+        ir.check_plan(ir.Aggregate("any", scan, expr=ir.ColRef("v")))
+    with pytest.raises(ir.PlanError):
+        # group_by only works with count
+        ir.check_plan(
+            ir.Aggregate("sum", scan, expr=ir.ColRef("v"), group_by="v")
+        )
+
+
+def test_check_plan_rejects_unknown_columns():
+    scan = ir.Scan("t", ir.schema("v"))
+    with pytest.raises(ir.PlanError):
+        ir.check_plan(ir.Filter(ir.Cmp("lt", ir.ColRef("w"), ir.IntLit(1)), scan))
+
+
+def test_predicate_and_value_positions_are_distinct():
+    scan = ir.Scan("t", ir.schema("v"))
+    pred = ir.Cmp("lt", ir.ColRef("v"), ir.IntLit(1))
+    with pytest.raises(ir.PlanError):
+        # comparison in value position
+        ir.check_plan(ir.Aggregate("sum", scan, expr=pred))
+    with pytest.raises(ir.PlanError):
+        # word expression in predicate position
+        ir.check_plan(ir.Filter(ir.ColRef("v"), scan))
+
+
+def test_join_schema_requires_disjoint_names():
+    left = ir.Scan("l", ir.schema("k", "v"))
+    right = ir.Scan("r", ir.schema("k", "w"))
+    with pytest.raises(ir.PlanError):
+        ir.output_schema(ir.EquiJoin(left, right, "k", "k"))
+
+
+def test_join_schema_concatenates():
+    left = ir.Scan("l", ir.schema("k", "v"))
+    right = ir.Scan("r", ir.schema("j", "w"))
+    sch = ir.output_schema(ir.EquiJoin(left, right, "k", "j"))
+    assert sch.names == ("k", "v", "j", "w")
+
+
+def test_projection_checks():
+    scan = ir.Scan("t", ir.schema("a"))
+    sch = ir.output_schema(
+        ir.Project((("x", ir.ColRef("a")), ("y", ir.IntLit(1))), scan)
+    )
+    assert sch.names == ("x", "y")
+    with pytest.raises(ir.PlanError):
+        ir.output_schema(ir.Project((), scan))
+    with pytest.raises(ir.PlanError):
+        ir.output_schema(
+            ir.Project((("x", ir.ColRef("a")), ("x", ir.IntLit(0))), scan)
+        )
+
+
+def test_explain_renders_the_tree():
+    plan = ir.Aggregate(
+        "sum",
+        ir.Filter(
+            ir.Cmp("lt", ir.ColRef("k"), ir.IntLit(10)),
+            ir.Scan("t", ir.schema(("k", "byte"), "v")),
+        ),
+        expr=ir.ColRef("v"),
+    )
+    text = ir.explain(plan)
+    assert "Aggregate sum v" in text
+    assert "Filter (k lt 10)" in text
+    assert "Scan t [k:byte, v:word]" in text

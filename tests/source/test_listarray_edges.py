@@ -1,0 +1,88 @@
+"""ListArray edge cases (ISSUE satellite 2): empty tables, out-of-range
+gets, and property checks over generated tables."""
+
+import random
+
+import pytest
+
+from repro.core.spec import FnSpec, Model, len_arg, ptr_arg, scalar_out
+from repro.source import listarray, terms as t
+from repro.source.builder import let_n, sym, word_lit
+from repro.source.evaluator import EvalError, Evaluator
+from repro.source.types import ARRAY_WORD, WORD
+from repro.stdlib import default_engine
+from repro.validation.checker import validate
+from repro.validation.runners import run_function
+
+
+def _fold_sum_term():
+    arr = sym("s", ARRAY_WORD)
+    return let_n(
+        "acc",
+        listarray.fold(lambda acc, x: acc + x, word_lit(0), arr),
+        sym("acc", WORD),
+    ).term
+
+
+def test_fold_over_empty_array_returns_init():
+    assert Evaluator().eval(_fold_sum_term(), {"s": []}) == 0
+
+
+def test_fold_break_over_empty_array_returns_init():
+    arr = sym("s", ARRAY_WORD)
+    term = let_n(
+        "acc",
+        listarray.fold_break(
+            lambda acc, x: acc + x,
+            word_lit(7),
+            arr,
+            until=lambda acc: word_lit(1000).ltu(acc),
+        ),
+        sym("acc", WORD),
+    ).term
+    assert Evaluator().eval(term, {"s": []}) == 7
+
+
+def test_out_of_range_get_raises_eval_error():
+    term = t.ArrayGet(t.Var("s"), t.Lit(3, WORD))
+    with pytest.raises(EvalError):
+        Evaluator().eval(term, {"s": [1, 2, 3]})
+    with pytest.raises(EvalError):
+        Evaluator().eval(term, {"s": []})
+
+
+def test_get_at_every_valid_index():
+    rng = random.Random(5)
+    for _ in range(25):
+        values = [rng.getrandbits(64) for _ in range(rng.randrange(1, 9))]
+        for index in range(len(values)):
+            term = t.ArrayGet(t.Var("s"), t.Lit(index, WORD))
+            assert Evaluator().eval(term, {"s": list(values)}) == values[index]
+
+
+def test_fold_matches_python_sum_on_generated_tables():
+    rng = random.Random(6)
+    evaluator = Evaluator()
+    mask = (1 << 64) - 1
+    for _ in range(50):
+        values = [rng.getrandbits(64) for _ in range(rng.randrange(10))]
+        got = evaluator.eval(_fold_sum_term(), {"s": list(values)})
+        assert got == sum(values) & mask
+
+
+def test_compiled_fold_handles_empty_table():
+    model = Model("edge_sum", [("s", ARRAY_WORD)], _fold_sum_term(), WORD)
+    spec = FnSpec(
+        "edge_sum",
+        [ptr_arg("s", ARRAY_WORD), len_arg("n", "s")],
+        [scalar_out()],
+    )
+    compiled = default_engine().compile_function(model, spec)
+    result = run_function(compiled.bedrock_fn, compiled.spec, {"s": []})
+    assert result.rets[0] == 0
+    validate(
+        compiled,
+        trials=25,
+        rng=random.Random(8),
+        input_gen=lambda r: {"s": [r.getrandbits(64) for _ in range(r.randrange(6))]},
+    )
