@@ -1,4 +1,5 @@
-"""E12 -- `repro.serve`: warm-cache latency and batch throughput.
+"""E12/E14 -- `repro.serve`: warm-cache latency, batch throughput, and
+supervised-pool serving under concurrent clients.
 
 The paper's determinism argument (§3.2) makes derivations memoizable;
 this benchmark quantifies what that buys.  Two measurements:
@@ -15,10 +16,23 @@ this benchmark quantifies what that buys.  Two measurements:
   container) the ``--jobs > 1`` rows measure pool overhead, and the
   portable claim is the serial/parallel report equivalence pinned by
   the tests.
+- **supervised serving under concurrent clients** (E14): warm compile
+  requests through the fault-tolerant worker pool
+  (``repro.serve.supervisor``) at 1 and 8 concurrent clients --
+  p50/p99 latency and aggregate throughput, which prices the whole
+  robustness stack (IPC round-trip, admission control, deadline
+  plumbing) relative to an in-process warm load.
+
+``python -m benchmarks.bench_serve`` writes the measurements as a JSON
+baseline (consumed by ``generate_report.py`` when present, so the
+expensive supervised runs are not repeated per report build).
 """
 
+import json
 import shutil
+import statistics
 import tempfile
+import threading
 import time
 from typing import Dict, List, Tuple
 
@@ -71,6 +85,118 @@ def batch_throughputs(jobs_counts=(1, 2, 4), fuzz_count: int = 10) -> Dict[int, 
     return results
 
 
+def _percentile(samples: List[float], q: float) -> float:
+    """The q-th percentile by linear interpolation (q in [0, 100])."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    frac = rank - low
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def supervised_latencies(
+    client_counts=(1, 8),
+    requests_per_client: int = 25,
+    workers: int = 2,
+    queue_depth: int = 32,
+) -> List[dict]:
+    """Warm compile latency/throughput through the supervised pool.
+
+    Each configuration hammers one pool (pre-warmed cache, so workers
+    serve re-validated cache hits) with ``client_counts`` concurrent
+    client threads issuing ``requests_per_client`` compile requests
+    each.  Reported per row: client count, p50/p99 latency (ms), and
+    aggregate throughput (requests/s).  ``queue_depth`` is sized above
+    the client count so admission control never sheds during the
+    measurement -- backpressure behaviour has its own tests; this
+    measures the happy path's price.
+    """
+    from repro.programs import all_programs
+    from repro.serve.supervisor import Supervisor, SupervisorConfig
+
+    names = [p.name for p in all_programs()]
+    rows: List[dict] = []
+    root = tempfile.mkdtemp(prefix="serve_bench_sup_")
+    try:
+        config = SupervisorConfig(
+            workers=workers, request_timeout=60.0, queue_depth=queue_depth
+        )
+        with Supervisor(config, cache_dir=root, allow_test_ops=False) as sup:
+            for name in names:  # pre-warm the cache through the pool
+                response = sup.submit({"op": "compile", "program": name})
+                assert response["ok"], response
+            for clients in client_counts:
+                latencies: List[float] = []
+                failures: List[dict] = []
+                lock = threading.Lock()
+
+                def client(client_index: int) -> None:
+                    for i in range(requests_per_client):
+                        program = names[(client_index + i) % len(names)]
+                        start = time.perf_counter()
+                        response = sup.submit({"op": "compile", "program": program})
+                        elapsed_ms = (time.perf_counter() - start) * 1000
+                        with lock:
+                            if response.get("ok"):
+                                latencies.append(elapsed_ms)
+                            else:
+                                failures.append(response)
+
+                threads = [
+                    threading.Thread(target=client, args=(c,)) for c in range(clients)
+                ]
+                wall_start = time.perf_counter()
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                wall_s = time.perf_counter() - wall_start
+                assert not failures, failures[:3]
+                rows.append(
+                    {
+                        "clients": clients,
+                        "requests": len(latencies),
+                        "p50_ms": round(_percentile(latencies, 50), 3),
+                        "p99_ms": round(_percentile(latencies, 99), 3),
+                        "mean_ms": round(statistics.fmean(latencies), 3),
+                        "throughput_rps": round(len(latencies) / wall_s, 1),
+                        "workers": workers,
+                    }
+                )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return rows
+
+
+BASELINE_PATH = "benchmarks/serve_baseline.json"
+
+
+def write_baseline(path: str = BASELINE_PATH) -> dict:
+    """Measure everything and persist the JSON baseline for reports."""
+    cold_warm = cold_warm_latencies(opt_level=1)
+    payload = {
+        "schema": 1,
+        "cold_warm": [
+            {"program": name, "cold_ms": round(c, 3), "warm_ms": round(w, 3)}
+            for name, c, w in cold_warm
+        ],
+        "batch_throughput": {
+            str(jobs): round(rate, 2)
+            for jobs, rate in batch_throughputs().items()
+        },
+        "supervised": supervised_latencies(),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
 def test_warm_cache_speedup_meets_the_bar():
     """Suite-level warm speedup >=5x, re-validation included (issue AC)."""
     rows = cold_warm_latencies(opt_level=1)
@@ -110,3 +236,22 @@ def test_warm_cache_suite(benchmark):
         benchmark(warm)
     finally:
         shutil.rmtree(root, ignore_errors=True)
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=BASELINE_PATH)
+    args = parser.parse_args()
+    payload = write_baseline(args.out)
+    for row in payload["supervised"]:
+        print(
+            f"{row['clients']} client(s): p50 {row['p50_ms']:.1f}ms "
+            f"p99 {row['p99_ms']:.1f}ms {row['throughput_rps']:.1f} req/s"
+        )
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

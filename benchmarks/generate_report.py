@@ -725,6 +725,60 @@ def section_serving() -> str:
     return "\n".join(lines)
 
 
+def section_supervised() -> str:
+    import json
+    import os
+
+    from benchmarks.bench_serve import BASELINE_PATH, supervised_latencies
+
+    if os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH) as handle:
+            rows = json.load(handle)["supervised"]
+        source = f"baseline `{BASELINE_PATH}`, regenerate with `python -m benchmarks.bench_serve`"
+    else:
+        rows = supervised_latencies()
+        source = "measured live (no baseline file found)"
+
+    lines = [
+        "## E14 — `repro.serve.supervisor`: fault-tolerant serving under concurrent clients",
+        "",
+        "**Claim (operational):** the robustness stack — subprocess worker",
+        "pool, JSON-lines IPC, per-request deadlines, admission control,",
+        "retry/backoff bookkeeping — prices in at low single-digit",
+        "milliseconds per warm request, so fault tolerance is not in tension",
+        "with the E12 memoization win.  Workers hold warm lemma databases and",
+        "serve re-validated cache hits; every number below includes the full",
+        "parent→worker→parent round-trip.",
+        "",
+        f"**Measured** ({source}; warm compiles through a",
+        f"{rows[0]['workers']}-worker pool):",
+        "",
+        "```",
+        f"{'clients':>7} {'p50 ms':>8} {'p99 ms':>8} {'req/s':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['clients']:>7} {row['p50_ms']:>8.1f} {row['p99_ms']:>8.1f} "
+            f"{row['throughput_rps']:>8.1f}"
+        )
+    lines += [
+        "```",
+        "",
+        "At 8 clients on a small host the p99 grows with queue wait (requests",
+        "admitted but waiting for a free worker), while aggregate throughput",
+        "rises — the admission queue is doing its job.  The availability",
+        "properties themselves are pinned by the serve-layer fault campaign",
+        "(`repro faults --serve`: worker crash mid-compile, slow-worker",
+        "timeout, cache corruption under load, queue saturation, crash loop —",
+        "100% detection-or-recovery) and by `benchmarks/soak_serve.py`, which",
+        "holds the pool under sustained concurrent traffic and fails on any",
+        "unstructured response.  See `docs/serving.md` (Operations) for the",
+        "tuning knobs.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
 def section_query() -> str:
     from benchmarks.bench_query import SIZES, query_throughputs
 
@@ -808,6 +862,7 @@ def main() -> None:
         section_observability(),
         section_serving(),
         section_query(),
+        section_supervised(),
     ]
     with open(args.out, "w") as handle:
         handle.write("\n".join(header) + "\n" + "\n".join(sections))

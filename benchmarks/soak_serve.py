@@ -1,0 +1,141 @@
+"""Soak the supervised pool: concurrent clients, sustained load, zero
+tolerance for malformed responses.
+
+``python -m benchmarks.soak_serve --seconds 30 --clients 4 --workers 2``
+runs mixed traffic (warm compiles, certs, pings, stats) through one
+:class:`~repro.serve.supervisor.Supervisor` for a wall-clock window and
+then audits the ledger:
+
+- every response is a dict with an ``ok`` field (the supervisor's
+  "never raises" contract -- a timeout, an overload, or a worker death
+  must surface as a *structured* response, never an exception);
+- at least one request succeeded (the pool did real work);
+- the supervisor itself survived (a final ping round-trips).
+
+Overload shedding is allowed -- this is a soak, not a latency SLA --
+but anything unstructured fails the run.  CI runs this as the
+``chaos-smoke`` job's second half; exit status is the verdict.
+"""
+
+import argparse
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, List
+
+
+def soak(
+    seconds: float = 30.0,
+    clients: int = 4,
+    workers: int = 2,
+    queue_depth: int = 8,
+) -> dict:
+    """Run the soak; returns the audit summary (raises on violations)."""
+    from repro.programs import all_programs
+    from repro.serve.supervisor import Supervisor, SupervisorConfig
+
+    names = [p.name for p in all_programs()]
+    requests = [{"op": "compile", "program": n} for n in names]
+    requests += [{"op": "cert", "program": n} for n in names[:2]]
+    requests += [{"op": "ping"}, {"op": "stats"}, {"op": "list"}]
+
+    root = tempfile.mkdtemp(prefix="serve_soak_")
+    outcomes: Dict[str, int] = {}
+    violations: List[str] = []
+    lock = threading.Lock()
+    stop = threading.Event()
+    try:
+        config = SupervisorConfig(
+            workers=workers, request_timeout=60.0, queue_depth=queue_depth
+        )
+        with Supervisor(config, cache_dir=root, allow_test_ops=False) as sup:
+
+            def client(index: int) -> None:
+                i = index  # stagger the request mix across clients
+                while not stop.is_set():
+                    request = dict(requests[i % len(requests)])
+                    i += 1
+                    try:
+                        response = sup.submit(request)
+                    except Exception as exc:  # noqa: BLE001 - the violation we hunt
+                        with lock:
+                            violations.append(f"submit raised: {exc!r}")
+                        return
+                    if not isinstance(response, dict) or "ok" not in response:
+                        with lock:
+                            violations.append(f"unstructured response: {response!r}")
+                        return
+                    slug = (
+                        "ok"
+                        if response["ok"]
+                        else f"error:{response.get('error', '?')}"
+                    )
+                    with lock:
+                        outcomes[slug] = outcomes.get(slug, 0) + 1
+
+            threads = [
+                threading.Thread(target=client, args=(c,)) for c in range(clients)
+            ]
+            start = time.monotonic()
+            for thread in threads:
+                thread.start()
+            time.sleep(seconds)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=90.0)
+            wall_s = time.monotonic() - start
+            alive = sup.submit({"op": "ping"})
+            stats = sup.stats()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    total = sum(outcomes.values())
+    summary = {
+        "seconds": round(wall_s, 1),
+        "clients": clients,
+        "workers": workers,
+        "requests": total,
+        "outcomes": dict(sorted(outcomes.items())),
+        "throughput_rps": round(total / wall_s, 1) if wall_s else 0.0,
+        "violations": violations,
+        "supervisor_alive": bool(alive.get("ok")),
+        "counters": stats["counters"],
+    }
+    if violations:
+        raise AssertionError(f"soak violations: {violations[:5]}")
+    if not outcomes.get("ok"):
+        raise AssertionError(f"no request succeeded in {wall_s:.1f}s: {outcomes}")
+    if not summary["supervisor_alive"]:
+        raise AssertionError("supervisor did not answer the post-soak ping")
+    return summary
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seconds", type=float, default=30.0)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--queue-depth", type=int, default=8)
+    args = parser.parse_args()
+    try:
+        summary = soak(
+            seconds=args.seconds,
+            clients=args.clients,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+        )
+    except AssertionError as exc:
+        print(f"SOAK FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"soak ok: {summary['requests']} requests in {summary['seconds']}s "
+        f"({summary['throughput_rps']} req/s, {args.clients} clients, "
+        f"{args.workers} workers); outcomes: {summary['outcomes']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

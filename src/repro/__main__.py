@@ -13,13 +13,19 @@ Commands:
   (random models through compile/certify/validate/optimize/RISC-V);
 - ``faults``                    -- cross-layer fault-injection campaign
   (corrupt untrusted components; assert the trusted checkers notice);
+  ``--serve`` runs the serve-layer availability campaign instead
+  (worker crashes, timeouts, cache corruption, queue saturation);
 - ``profile <program>``         -- compile under the flight recorder and
   print the per-phase / per-lemma time breakdown;
 - ``batch <manifest>``          -- compile a manifest of programs and/or
   a fuzz corpus through the worker pool (``--jobs``) and the
   content-addressed cache (``--cache``);
 - ``serve``                     -- long-lived JSON-lines compilation
-  service over stdio or a Unix socket (see ``docs/serving.md``);
+  service over stdio or a Unix socket; ``--workers N`` dispatches
+  through the supervised worker pool (timeouts, retry/backoff,
+  backpressure, degraded mode -- see ``docs/serving.md``);
+- ``cache <verify|gc|repair>``  -- offline cache maintenance sweeps
+  (re-check entries, sweep writer debris, recompile quarantined keys);
 - ``query <action>``            -- the relational-algebra frontend
   (``repro.query``): list/explain/compile/validate/run the registered
   query programs (see ``docs/query.md``);
@@ -45,6 +51,7 @@ depending on ambient RNG state.
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 from contextlib import contextmanager
@@ -231,18 +238,27 @@ def cmd_fuzz(args) -> int:
 
 
 def cmd_faults(args) -> int:
-    from repro.resilience.faults import run_faults
-
     def progress(message: str) -> None:
         print(f"// {message}", file=sys.stderr)
 
     with _maybe_trace(args, f"faults:{args.seed}"):
-        report = run_faults(
-            seed=args.seed,
-            budget=args.budget,
-            progress=progress if args.verbose else None,
-            jobs=args.jobs,
-        )
+        if getattr(args, "serve", False):
+            from repro.resilience.serve_faults import run_serve_faults
+
+            report = run_serve_faults(
+                seed=args.seed,
+                jobs=args.jobs,
+                progress=progress if args.verbose else None,
+            )
+        else:
+            from repro.resilience.faults import run_faults
+
+            report = run_faults(
+                seed=args.seed,
+                budget=args.budget,
+                progress=progress if args.verbose else None,
+                jobs=args.jobs,
+            )
     if args.json:
         import json
 
@@ -329,17 +345,64 @@ def cmd_batch(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    from repro.serve.service import CompileService
+    supervisor = None
+    if args.workers > 0:
+        from repro.serve.supervisor import (
+            SupervisedService,
+            Supervisor,
+            SupervisorConfig,
+        )
 
-    service = CompileService(cache_dir=args.cache)
+        config = SupervisorConfig(
+            workers=args.workers,
+            request_timeout=args.timeout,
+            max_retries=args.retries,
+            queue_depth=args.queue_depth,
+            degrade_after=args.degrade_after,
+        )
+        supervisor = Supervisor(config, cache_dir=args.cache)
+        service = SupervisedService(supervisor)
+    else:
+        from repro.serve.service import CompileService
+
+        service = CompileService(cache_dir=args.cache)
+    service.install_signal_handlers()
     with _maybe_trace(args, "serve"):
-        if args.socket:
-            print(f"// serving on {args.socket}", file=sys.stderr)
-            service.serve_socket(args.socket)
-        else:
-            service.serve_stdio()
-    print(f"// served {service.requests} requests", file=sys.stderr)
+        try:
+            if supervisor is not None:
+                supervisor.start()
+            if args.socket:
+                print(f"// serving on {args.socket}", file=sys.stderr)
+                service.serve_socket(args.socket, concurrency=args.concurrency)
+            else:
+                service.serve_stdio()
+        finally:
+            if supervisor is not None:
+                supervisor.stop()
+    print(f"// {service.drain_summary()}", file=sys.stderr)
     return 0
+
+
+def cmd_cache(args) -> int:
+    from repro.serve.admin import gc_cache, repair_cache, verify_cache
+
+    if not os.path.isdir(args.dir):
+        # A typo'd path must not look like a healthy cache to cron.
+        print(f"cache {args.action}: no such cache directory: {args.dir}", file=sys.stderr)
+        return 2
+    if args.action == "verify":
+        report = verify_cache(args.dir, quarantine=args.quarantine)
+    elif args.action == "gc":
+        report = gc_cache(args.dir)
+    else:
+        report = repair_cache(args.dir)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.clean else 1
 
 
 def _query_program(name: str):
@@ -531,6 +594,11 @@ def main(argv=None) -> int:
         "--jobs", type=int, default=1,
         help="worker processes (default 1: single-process, full tracing)",
     )
+    p.add_argument(
+        "--serve", action="store_true",
+        help="run the serve-layer availability campaign (supervised pool) "
+        "instead of the checker-soundness campaign",
+    )
     p = sub.add_parser("bench")
     p.add_argument("--size", type=int, default=1024)
     p.add_argument(
@@ -570,7 +638,43 @@ def main(argv=None) -> int:
                    help="content-addressed derivation cache")
     p.add_argument("--socket", metavar="PATH",
                    help="listen on a Unix domain socket instead of stdio")
+    p.add_argument(
+        "--workers", type=int, default=0,
+        help="dispatch through a supervised pool of N worker subprocesses "
+        "(0: compile in-process, the original single-tenant mode)",
+    )
+    p.add_argument(
+        "--queue-depth", type=int, default=8,
+        help="max requests waiting for a worker before backpressure",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="hard wall-clock seconds per request (supervised mode)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=1,
+        help="retries for transient failures such as worker deaths",
+    )
+    p.add_argument(
+        "--degrade-after", type=int, default=3,
+        help="consecutive compile failures before the unverified "
+        "interpreter fallback",
+    )
+    p.add_argument(
+        "--concurrency", type=int, default=1,
+        help="socket connections served concurrently (supervised mode)",
+    )
     p.add_argument("--trace", metavar="FILE", help=trace_help)
+    p = sub.add_parser(
+        "cache", help="offline cache maintenance (verify / gc / repair)"
+    )
+    p.add_argument("action", choices=("verify", "gc", "repair"))
+    p.add_argument("dir", help="cache directory to sweep")
+    p.add_argument(
+        "--quarantine", action="store_true",
+        help="verify: move corrupt entries to the quarantine directory",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable report")
     p = sub.add_parser(
         "query", help="relational-algebra frontend (repro.query)"
     )
@@ -629,6 +733,7 @@ def main(argv=None) -> int:
         "profile": cmd_profile,
         "batch": cmd_batch,
         "serve": cmd_serve,
+        "cache": cmd_cache,
         "query": cmd_query,
         "lint": cmd_lint,
     }

@@ -81,6 +81,17 @@ EVENT_SCHEMA: Dict[str, Dict[str, tuple]] = {
         "optional": ("kind", "cache", "level", "detail"),
     },
     "serve_request": {"required": ("op", "ok"), "optional": ("program", "detail")},
+    # repro.serve.supervisor: every failure path of the worker pool.
+    "worker_restart": {
+        "required": ("worker", "reason"),
+        "optional": ("backoff_ms", "restarts"),
+    },
+    "serve_retry": {
+        "required": ("op", "attempt"),
+        "optional": ("program", "reason"),
+    },
+    "serve_degraded": {"required": ("program",), "optional": ("reason",)},
+    "cache_quarantine": {"required": ("key", "reason"), "optional": ("program",)},
     # repro.query: one event per query-combinator lowering (the lemma
     # family's reduction of a query head to core loop lemmas).
     "query_lower": {"required": ("head", "via"), "optional": ("name",)},
@@ -108,6 +119,7 @@ SPAN_KINDS = (
     "cache_load",
     "batch_job",
     "serve_request",
+    "supervised_request",
     "lint",
 )
 

@@ -1,0 +1,396 @@
+"""The serve-layer fault campaign: does the supervised pool survive it?
+
+:mod:`repro.resilience.faults` attacks the *soundness* story (do the
+trusted checkers catch lies?); this module attacks the *availability*
+story of :mod:`repro.serve.supervisor`.  Each injection point drives a
+real supervised pool -- actual subprocess workers, actual SIGKILLs,
+actual bytes corrupted on disk -- and classifies what the service did:
+
+- ``detected``  -- the failure came back as a structured, typed
+  response (timeout, overloaded, unavailable) and the service kept
+  serving;
+- ``recovered`` -- the service absorbed the failure and still produced
+  a *correct* result (a retried request succeeded; a corrupted cache
+  entry was quarantined and recompiled byte-identically);
+- ``harmless``  -- the fault had no observable effect;
+- ``crash``     -- the *supervisor* (not a worker -- workers are
+  supposed to die) raised or wedged;
+- ``silent``    -- the fault changed an answer without any signal
+  (e.g. a corrupt cache entry served as a different artifact).
+
+The acceptance bar mirrors the soundness campaign: **zero** ``crash``
+and **zero** ``silent`` outcomes -- 100% detection-or-recovery.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.resilience.faults import CRASH, DETECTED, HARMLESS, SILENT
+
+RECOVERED = "recovered"
+
+
+@dataclass
+class ServeFaultOutcome:
+    """What one serve-layer fault did and how the pool responded."""
+
+    point: str
+    outcome: str  # DETECTED | RECOVERED | HARMLESS | CRASH | SILENT
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"[{self.outcome}] {self.point}: {self.detail}"
+
+
+@dataclass
+class ServeFaultReport:
+    """Aggregated outcomes of one serve-layer campaign."""
+
+    seed: int
+    outcomes: List[ServeFaultOutcome] = field(default_factory=list)
+
+    def count(self, outcome: str) -> int:
+        return sum(1 for o in self.outcomes if o.outcome == outcome)
+
+    @property
+    def injected(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def detection_or_recovery(self) -> float:
+        effective = [o for o in self.outcomes if o.outcome != HARMLESS]
+        if not effective:
+            return 1.0
+        good = sum(1 for o in effective if o.outcome in (DETECTED, RECOVERED))
+        return good / len(effective)
+
+    @property
+    def ok(self) -> bool:
+        return self.count(CRASH) == 0 and self.count(SILENT) == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "injected": self.injected,
+            "detected": self.count(DETECTED),
+            "recovered": self.count(RECOVERED),
+            "harmless": self.count(HARMLESS),
+            "crashes": self.count(CRASH),
+            "silent_wrong": self.count(SILENT),
+            "detection_or_recovery": self.detection_or_recovery,
+            "outcomes": [str(o) for o in self.outcomes],
+            "ok": self.ok,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"serve fault campaign: seed={self.seed} injected={self.injected} "
+            f"detected={self.count(DETECTED)} recovered={self.count(RECOVERED)} "
+            f"harmless={self.count(HARMLESS)} crashes={self.count(CRASH)} "
+            f"silent={self.count(SILENT)}"
+        ]
+        lines.append(
+            f"  detection-or-recovery: {self.detection_or_recovery:.0%}"
+        )
+        for outcome in self.outcomes:
+            lines.append(f"  {outcome}")
+        lines.append(
+            "  result: OK (every fault detected or recovered)"
+            if self.ok
+            else "  result: FAILED"
+        )
+        return "\n".join(lines)
+
+
+# -- Injection points ---------------------------------------------------------------
+#
+# Each point builds its own small pool (short timeouts, tiny backoff) so
+# the whole campaign stays in CI-smoke territory; each returns exactly
+# one outcome and always tears its pool down.
+
+
+def _pool(tmp, **overrides):
+    from repro.serve.supervisor import Supervisor, SupervisorConfig
+
+    defaults = dict(
+        workers=1,
+        request_timeout=20.0,
+        max_retries=1,
+        queue_depth=4,
+        degrade_after=3,
+        backoff_base=0.01,
+        backoff_cap=0.1,
+        restart_window=60.0,
+        max_restarts_in_window=20,
+        spawn_timeout=120.0,
+    )
+    defaults.update(overrides)
+    cache_dir = os.path.join(tmp, "cache")
+    return Supervisor(
+        SupervisorConfig(**defaults), cache_dir=cache_dir, allow_test_ops=True
+    )
+
+
+def _inject_worker_crash(tmp: str) -> ServeFaultOutcome:
+    """SIGKILL-grade death mid-request: the retry must recover it."""
+    point = "worker-crash-mid-compile"
+    marker = os.path.join(tmp, "crashed-once")
+    with _pool(tmp) as sup:
+        response = sup.submit({"op": "test_exit", "marker": marker, "code": 9})
+        follow_up = sup.submit({"op": "ping"})
+    if not response.get("ok"):
+        return ServeFaultOutcome(
+            point, CRASH, f"retry did not recover: {response!r}"
+        )
+    if not follow_up.get("ok"):
+        return ServeFaultOutcome(
+            point, CRASH, f"pool wedged after crash: {follow_up!r}"
+        )
+    attempts = response.get("attempts", 1)
+    if attempts < 2:
+        return ServeFaultOutcome(
+            point, SILENT, "crash left no trace in the response"
+        )
+    return ServeFaultOutcome(
+        point, RECOVERED, f"retried once on a fresh worker (attempts={attempts})"
+    )
+
+
+def _inject_slow_worker(tmp: str) -> ServeFaultOutcome:
+    """A wedged derivation: the deadline must fire and must not block
+    the next request (the acceptance-criteria regression)."""
+    point = "slow-worker-timeout"
+    with _pool(tmp) as sup:
+        start = time.monotonic()
+        response = sup.submit(
+            {"op": "test_sleep", "seconds": 30.0, "deadline_ms": 300}
+        )
+        elapsed = time.monotonic() - start
+        follow_up = sup.submit({"op": "ping"})
+    if response.get("error") != "timeout":
+        return ServeFaultOutcome(
+            point, CRASH, f"no timeout response: {response!r}"
+        )
+    if elapsed > 10.0:
+        return ServeFaultOutcome(
+            point, CRASH, f"deadline did not bound the wait ({elapsed:.1f}s)"
+        )
+    if not follow_up.get("ok"):
+        return ServeFaultOutcome(
+            point, CRASH, f"timed-out request blocked the next one: {follow_up!r}"
+        )
+    return ServeFaultOutcome(
+        point,
+        DETECTED,
+        f"timeout after {elapsed:.2f}s; next request served by a fresh worker",
+    )
+
+
+def _corrupt_one_entry(cache_dir: str) -> Optional[str]:
+    """Append garbage to the first cache entry found; returns its path."""
+    for dirpath, dirnames, filenames in os.walk(cache_dir):
+        if os.path.basename(dirpath) == "quarantine":
+            dirnames[:] = []
+            continue
+        for name in sorted(filenames):
+            if name.endswith(".json"):
+                path = os.path.join(dirpath, name)
+                with open(path, "a") as fh:
+                    fh.write("GARBAGE-INJECTED-BY-FAULT-CAMPAIGN")
+                return path
+    return None
+
+
+def _inject_cache_corruption(tmp: str, program: str = "fnv1a") -> ServeFaultOutcome:
+    """Corrupt a published entry on disk between two warm requests: it
+    must be quarantined and recompiled byte-identically, never served."""
+    point = "cache-corruption-under-load"
+    cache_dir = os.path.join(tmp, "cache")
+    with _pool(tmp) as sup:
+        cold = sup.submit({"op": "compile", "program": program})
+        if not cold.get("ok"):
+            return ServeFaultOutcome(point, CRASH, f"priming failed: {cold!r}")
+        corrupted = _corrupt_one_entry(cache_dir)
+        if corrupted is None:
+            return ServeFaultOutcome(point, HARMLESS, "no entry was published")
+        warm = sup.submit({"op": "compile", "program": program})
+    if not warm.get("ok"):
+        return ServeFaultOutcome(
+            point, CRASH, f"recompile after corruption failed: {warm!r}"
+        )
+    if warm.get("c") != cold.get("c"):
+        return ServeFaultOutcome(
+            point, SILENT, "corrupted cache changed the served artifact"
+        )
+    quarantine = os.path.join(cache_dir, "quarantine")
+    held = (
+        [n for n in os.listdir(quarantine) if n.endswith(".json")]
+        if os.path.isdir(quarantine)
+        else []
+    )
+    if not held:
+        return ServeFaultOutcome(
+            point, SILENT, "corrupt entry was not quarantined"
+        )
+    return ServeFaultOutcome(
+        point,
+        RECOVERED,
+        f"entry quarantined ({len(held)} held), recompiled byte-identical",
+    )
+
+
+def _inject_queue_saturation(tmp: str) -> ServeFaultOutcome:
+    """Flood a one-worker pool past its queue depth: the overflow must
+    get explicit backpressure, not an unbounded wait."""
+    point = "queue-saturation"
+    with _pool(tmp, workers=1, queue_depth=2, request_timeout=20.0) as sup:
+        results: List[dict] = []
+        lock = threading.Lock()
+
+        def client(seconds: float):
+            response = sup.submit({"op": "test_sleep", "seconds": seconds})
+            with lock:
+                results.append(response)
+
+        threads = [
+            threading.Thread(target=client, args=(1.0,), daemon=True)
+            for _ in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        follow_up = sup.submit({"op": "ping"})
+    if any(thread.is_alive() for thread in threads):
+        return ServeFaultOutcome(point, CRASH, "a flooded client never returned")
+    overloaded = [r for r in results if r.get("error") == "overloaded"]
+    served = [r for r in results if r.get("ok")]
+    if not overloaded:
+        return ServeFaultOutcome(
+            point, SILENT, f"no backpressure under flood: {len(served)} served"
+        )
+    if any("retry_after_ms" not in r for r in overloaded):
+        return ServeFaultOutcome(
+            point, CRASH, "overloaded response missing retry_after_ms"
+        )
+    if not follow_up.get("ok"):
+        return ServeFaultOutcome(point, CRASH, "pool wedged after the flood")
+    return ServeFaultOutcome(
+        point,
+        DETECTED,
+        f"{len(served)} served, {len(overloaded)} shed with retry_after_ms",
+    )
+
+
+def _inject_crash_loop(tmp: str) -> ServeFaultOutcome:
+    """A worker binary that can never come up: the restart cap must turn
+    it into 'unavailable' responses, not an infinite respawn loop."""
+    import sys
+
+    point = "worker-crash-loop"
+    from repro.serve.supervisor import Supervisor, SupervisorConfig
+
+    config = SupervisorConfig(
+        workers=1,
+        request_timeout=5.0,
+        max_retries=1,
+        backoff_base=0.01,
+        backoff_cap=0.05,
+        restart_window=60.0,
+        max_restarts_in_window=2,
+        spawn_timeout=10.0,
+    )
+    broken = [sys.executable, "-c", "import sys; sys.exit(3)"]
+    with Supervisor(config, worker_command=broken) as sup:
+        responses = [sup.submit({"op": "ping"}) for _ in range(4)]
+        stats = sup.stats()
+    if any(r.get("ok") for r in responses):
+        return ServeFaultOutcome(
+            point, SILENT, "a request 'succeeded' against a dead binary"
+        )
+    unavailable = [r for r in responses if r.get("error") == "unavailable"]
+    if not unavailable:
+        return ServeFaultOutcome(
+            point, CRASH, f"no structured unavailability: {responses!r}"
+        )
+    return ServeFaultOutcome(
+        point,
+        DETECTED,
+        f"{len(unavailable)}/4 answered 'unavailable'; "
+        f"restarts capped at {stats['workers'][0]['restarts']}",
+    )
+
+
+INJECTION_POINTS = (
+    ("worker-crash-mid-compile", _inject_worker_crash),
+    ("slow-worker-timeout", _inject_slow_worker),
+    ("cache-corruption-under-load", _inject_cache_corruption),
+    ("queue-saturation", _inject_queue_saturation),
+    ("worker-crash-loop", _inject_crash_loop),
+)
+
+
+def run_serve_faults(
+    seed: int = 0, jobs: int = 1, progress=None
+) -> ServeFaultReport:
+    """Run the serve-layer campaign; each point gets a fresh pool and a
+    fresh scratch directory.
+
+    ``jobs > 1`` runs injection points on concurrent threads (each point
+    spends its time blocked on worker subprocess I/O, so threads are the
+    right concurrency here); the merged report is in plan order either
+    way.  The supervisor never being the thing that dies is itself part
+    of the assertion: any exception escaping a point is a ``crash``
+    outcome, not an abort.
+    """
+    from repro.obs.trace import current_tracer
+
+    tracer = current_tracer()
+    report = ServeFaultReport(seed=seed)
+
+    def run_point(index: int, point: str, inject) -> ServeFaultOutcome:
+        if progress is not None:
+            progress(f"injecting {point} ({index + 1}/{len(INJECTION_POINTS)})")
+        tmp = tempfile.mkdtemp(prefix=f"serve-fault-{index}-")
+        try:
+            return inject(tmp)
+        except Exception as exc:  # noqa: BLE001 - a leaky pool is the finding
+            return ServeFaultOutcome(point, CRASH, repr(exc))
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    if jobs > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(run_point, index, point, inject)
+                for index, (point, inject) in enumerate(INJECTION_POINTS)
+            ]
+            outcomes = [future.result() for future in futures]
+    else:
+        outcomes = [
+            run_point(index, point, inject)
+            for index, (point, inject) in enumerate(INJECTION_POINTS)
+        ]
+
+    for outcome in outcomes:
+        if tracer.enabled:
+            tracer.event(
+                "fault_outcome",
+                point=outcome.point,
+                target="serve",
+                outcome=outcome.outcome,
+                detail=outcome.detail,
+            )
+            tracer.inc("faults.injected")
+            tracer.inc(f"faults.outcome.{outcome.outcome}")
+        report.outcomes.append(outcome)
+    return report

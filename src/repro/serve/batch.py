@@ -97,7 +97,7 @@ class BatchReport:
 
     @property
     def crashes(self) -> List[dict]:
-        return [r for r in self.results if r["outcome"] == "crash"]
+        return [r for r in self.results if r["outcome"] in ("crash", "worker-lost")]
 
     @property
     def throughput(self) -> float:
@@ -259,8 +259,10 @@ def _execute_job(
     """Run one job to a plain-dict result (crosses the process boundary).
 
     Outcome slugs: ``ok``, ``stall:<taxonomy-reason>``,
-    ``exhausted:<fuel|deadline>``, ``crash``.  ``cache`` is ``"hit"`` /
-    ``"miss"`` / ``"invalidated"`` / ``"off"``.
+    ``exhausted:<fuel|deadline>``, ``crash`` (the job raised), or --
+    filled in by the *parent*, since the worker is not around to say so
+    -- ``worker-lost`` (the worker process died mid-job).  ``cache`` is
+    ``"hit"`` / ``"miss"`` / ``"invalidated"`` / ``"off"``.
     """
     from repro.core.engine import Engine
     from repro.stdlib import default_databases
@@ -276,6 +278,26 @@ def _execute_job(
         "statements": 0,
         "cache_stats": None,
     }
+    if job.kind == "worker-exit":
+        # Fault-campaign hook (env-gated so no manifest can reach it by
+        # accident): hard-kill this worker once, succeed on the retry.
+        # ``job.name`` is a marker-file path recording the first death;
+        # the literal name ``"-"`` dies every time (the deterministic
+        # killer the worker-lost reporting path is tested against).
+        import os
+
+        if not os.environ.get("REPRO_BATCH_TEST_OPS"):
+            result["outcome"] = "crash"
+            result["detail"] = "worker-exit job without REPRO_BATCH_TEST_OPS"
+            return result
+        if job.name == "-":
+            os._exit(3)
+        if not os.path.exists(job.name):
+            with open(job.name, "w") as fh:
+                fh.write("died once\n")
+            os._exit(3)
+        result["detail"] = "survived retry"
+        return result
     start = time.perf_counter()
     own_cache = None
     try:
@@ -343,8 +365,16 @@ def run_batch(
     ``jobs_n <= 1`` runs in-process (deterministic result *order*, one
     shared cache handle, jobs nested under the ambient tracer's
     ``batch_job`` spans).  ``jobs_n > 1`` fans out over a process pool;
-    results arrive in completion order and the parent re-emits one
-    ``batch_job`` event per result, merging worker cache counters.
+    the parent re-emits one ``batch_job`` event per result (in manifest
+    order) and merges worker cache counters.
+
+    A worker that *dies* (SIGKILL, ``os._exit``, OOM) breaks the whole
+    ``ProcessPoolExecutor``: its own job and every job still queued
+    behind it raise ``BrokenProcessPool`` instead of returning.  Those
+    jobs are retried exactly once in a fresh pool -- a one-off death
+    (the transient case) costs one pool respawn; a job that kills its
+    worker *deterministically* fails the retry too and is reported as a
+    structured ``worker-lost`` row, never silently dropped.
     """
     from repro.obs.trace import NULL_SPAN, current_tracer
 
@@ -371,24 +401,71 @@ def run_batch(
             report.cache_stats = cache.stats.to_dict()
     else:
         merged = CacheStats()
+        rows = {}
+        done = 0
+
+        def record(i: int, result: dict, retried: bool) -> None:
+            nonlocal done
+            worker_stats = result.pop("cache_stats", None)
+            if worker_stats:
+                merged.merge(worker_stats)
+            result["cache_stats"] = None
+            if retried:
+                result["retried"] = 1
+            rows[i] = result
+            done += 1
+            if progress is not None:
+                progress(f"[{done}/{len(jobs)}] {result['job']}: {result['outcome']}")
+
+        lost = []
         with ProcessPoolExecutor(max_workers=jobs_n) as pool:
-            futures = [
-                pool.submit(_execute_job, job, cache_dir, budget) for job in jobs
+            submitted = [
+                (i, job, pool.submit(_execute_job, job, cache_dir, budget))
+                for i, job in enumerate(jobs)
             ]
-            done = 0
-            for future in futures:
-                result = future.result()
-                worker_stats = result.pop("cache_stats", None)
-                if worker_stats:
-                    merged.merge(worker_stats)
-                result["cache_stats"] = None
-                _trace_job(tracer, result)
-                report.results.append(result)
-                done += 1
-                if progress is not None:
-                    progress(
-                        f"[{done}/{len(jobs)}] {result['job']}: {result['outcome']}"
-                    )
+            for i, job, future in submitted:
+                try:
+                    result = future.result()
+                except Exception as exc:  # noqa: BLE001 - BrokenProcessPool
+                    # The worker died; this job (and every job queued
+                    # behind the breakage) got no result.
+                    lost.append((i, job, repr(exc)))
+                    continue
+                record(i, result, retried=False)
+        if lost and progress is not None:
+            progress(f"retrying {len(lost)} job(s) lost to a dead worker")
+        for i, job, detail in lost:
+            # Retry each lost job once in its *own* single-worker pool:
+            # a job that deterministically kills its worker then cannot
+            # take the other retried (innocent-bystander) jobs with it.
+            try:
+                with ProcessPoolExecutor(max_workers=1) as pool:
+                    result = pool.submit(
+                        _execute_job, job, cache_dir, budget
+                    ).result()
+            except Exception as exc:  # noqa: BLE001
+                # The retry died too: deterministic.  A structured row,
+                # not silence -- the report shows exactly what was lost.
+                record(
+                    i,
+                    {
+                        "job": job.name,
+                        "kind": job.kind,
+                        "opt_level": job.opt_level,
+                        "outcome": "worker-lost",
+                        "detail": repr(exc),
+                        "cache": "off",
+                        "elapsed_ms": 0.0,
+                        "statements": 0,
+                        "cache_stats": None,
+                    },
+                    retried=True,
+                )
+                continue
+            record(i, result, retried=True)
+        report.results = [rows[i] for i in sorted(rows)]
+        for result in report.results:
+            _trace_job(tracer, result)
         if cache_dir is not None:
             report.cache_stats = merged.to_dict()
 

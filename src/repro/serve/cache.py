@@ -38,6 +38,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
@@ -56,6 +57,13 @@ HIT = "hit"
 MISS = "miss"
 INVALIDATED = "invalidated"
 
+QUARANTINE_DIR = "quarantine"
+
+#: A publish lock untouched for this long belongs to a dead writer and
+#: may be stolen.  Publishes are a single serialize + rename, so any
+#: live holder is done in milliseconds, not tens of seconds.
+LOCK_STALE_SECONDS = 30.0
+
 
 @dataclass
 class CacheStats:
@@ -65,6 +73,7 @@ class CacheStats:
     misses: int = 0
     invalidated: int = 0
     stores: int = 0
+    quarantined: int = 0
     invalidation_reasons: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -73,6 +82,7 @@ class CacheStats:
             "misses": self.misses,
             "invalidated": self.invalidated,
             "stores": self.stores,
+            "quarantined": self.quarantined,
             "invalidation_reasons": dict(self.invalidation_reasons),
         }
 
@@ -82,6 +92,7 @@ class CacheStats:
         self.misses += other.get("misses", 0)
         self.invalidated += other.get("invalidated", 0)
         self.stores += other.get("stores", 0)
+        self.quarantined += other.get("quarantined", 0)
         for reason, count in other.get("invalidation_reasons", {}).items():
             self.invalidation_reasons[reason] = (
                 self.invalidation_reasons.get(reason, 0) + count
@@ -101,6 +112,76 @@ class CacheRejected(Exception):
     def __init__(self, reason: str):
         super().__init__(reason)
         self.reason = reason
+
+
+class PublishLock:
+    """A per-key advisory lock file around cache publishes.
+
+    ``O_CREAT | O_EXCL`` makes creation the atomic acquire on every
+    POSIX filesystem; the file body records the holder's pid for
+    ``repro cache gc`` forensics.  A lock whose mtime is older than
+    ``stale_after`` is presumed orphaned (its writer was SIGKILLed
+    between create and unlink) and is stolen -- publishes themselves
+    are idempotent and atomic, so the worst cost of a steal is two
+    processes racing one ``os.replace``, which is exactly the benign
+    race the lock exists to *bound*, not to make impossible.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        timeout: float = 10.0,
+        stale_after: float = LOCK_STALE_SECONDS,
+        poll: float = 0.01,
+    ):
+        self.path = path
+        self.timeout = timeout
+        self.stale_after = stale_after
+        self.poll = poll
+        self._held = False
+
+    def acquire(self) -> bool:
+        """Take the lock; ``False`` if the wait timed out (caller may
+        still publish -- the publish is atomic -- but the race window
+        is then unbounded by us)."""
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                self._steal_if_stale()
+                if time.monotonic() >= deadline:
+                    return False
+                time.sleep(self.poll)
+                continue
+            except OSError:
+                return False
+            with os.fdopen(fd, "w") as fh:
+                fh.write(f"{os.getpid()}\n")
+            self._held = True
+            return True
+
+    def _steal_if_stale(self) -> None:
+        try:
+            age = time.time() - os.stat(self.path).st_mtime
+        except OSError:
+            return  # released under us: retry the open
+        if age > self.stale_after:
+            with contextlib.suppress(OSError):
+                os.unlink(self.path)
+
+    def release(self) -> None:
+        if self._held:
+            self._held = False
+            with contextlib.suppress(OSError):
+                os.unlink(self.path)
+
+    def __enter__(self) -> "PublishLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
 
 
 class CompilationCache:
@@ -126,8 +207,57 @@ class CompilationCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], f"{key}.json")
 
+    def _lock_path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.lock")
+
     def contains(self, key: str) -> bool:
         return os.path.exists(self._path(key))
+
+    # -- Quarantine ------------------------------------------------------------
+
+    @property
+    def quarantine_root(self) -> str:
+        return os.path.join(self.root, QUARANTINE_DIR)
+
+    def quarantine(self, key: str, reason: str) -> bool:
+        """Move a rejected entry aside instead of leaving it to be
+        rejected again on every load.  The entry bytes are preserved
+        under ``quarantine/<key>.json`` with a ``.reason`` sidecar for
+        forensics (``repro cache verify`` / ``repair`` sweep them);
+        the address itself goes back to a clean MISS, so the fallback
+        compile's fresh store repairs it in place.  Returns ``False``
+        if a concurrent reader already moved it."""
+        src = self._path(key)
+        os.makedirs(self.quarantine_root, exist_ok=True)
+        dst = os.path.join(self.quarantine_root, f"{key}.json")
+        try:
+            os.replace(src, dst)
+        except OSError:
+            return False
+        with contextlib.suppress(OSError), open(dst + ".reason", "w") as fh:
+            fh.write(reason + "\n")
+        self.stats.quarantined += 1
+        from repro.obs.trace import current_tracer
+
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "cache_quarantine", key=key, reason=reason.split(":", 1)[0]
+            )
+            tracer.inc("cache.quarantined")
+        return True
+
+    def quarantined_keys(self) -> list:
+        root = self.quarantine_root
+        try:
+            names = os.listdir(root)
+        except OSError:
+            return []
+        return sorted(
+            name[: -len(".json")]
+            for name in names
+            if name.endswith(".json")
+        )
 
     # -- Load path -------------------------------------------------------------
 
@@ -231,6 +361,10 @@ class CompilationCache:
                 self.stats.invalidation_reasons[reason] = (
                     self.stats.invalidation_reasons.get(reason, 0) + 1
                 )
+                # Never serve it, never re-reject it on every load: the
+                # bad bytes move to the quarantine directory and the
+                # address reverts to a MISS the fallback store repairs.
+                self.quarantine(key, rejection.reason)
                 if trace:
                     handle.note(reason="rejected")
                 self._trace_lookup(tracer, key, INVALIDATED, spec.fname)
@@ -278,19 +412,21 @@ class CompilationCache:
         entry["payload_sha"] = _payload_digest(entry)
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        # Atomic publish: a concurrent reader (or a killed writer) must
-        # never observe a half-written entry -- it would be rejected by
-        # the digest check anyway, but an os.replace keeps the cache
-        # clean under the parallel batch compiler's many writers.
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                fh.write(json.dumps(entry, sort_keys=True, separators=(",", ":")))
-            os.replace(tmp, path)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp)
-            raise
+        # Atomic publish under a per-key advisory lock: the os.replace
+        # alone already guarantees a reader never observes a half-written
+        # entry, and the lock serializes concurrent *writers* of the same
+        # key so the parallel batch compiler and the supervised pool do
+        # only one redundant serialize apiece instead of N.
+        with PublishLock(self._lock_path(key)):
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(json.dumps(entry, sort_keys=True, separators=(",", ":")))
+                os.replace(tmp, path)
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp)
+                raise
         self.stats.stores += 1
         tracer = current_tracer()
         if tracer.enabled:

@@ -23,31 +23,90 @@ Requests and responses::
     {"op": "shutdown"}
         -> {"ok": true, "op": "shutdown"}  (and the service exits)
 
+``compile`` and ``cert`` accept optional ``"fuel"`` and
+``"deadline_ms"`` fields: the derivation then runs under a
+:class:`repro.resilience.budget.Budget` and exhaustion comes back as
+``{"ok": false, "error": ..., "exhausted": "fuel"|"deadline"}``.
+
 Errors never kill the service: a stall, an unknown program, or a
 malformed request produces ``{"ok": false, "error": ...}`` (stalls keep
 their taxonomy slug in ``"stall"``) and the loop continues.  Every
 request runs under a ``serve_request`` span and emits a
 ``serve_request`` event, so ``--trace`` captures the full session.
+
+SIGTERM/SIGINT trigger a **graceful drain** once
+:meth:`CompileService.install_signal_handlers` has run: an in-flight
+request is finished and answered, stats are flushed, and the process
+exits 0 instead of dumping a traceback from the read loop.
 """
 
 from __future__ import annotations
 
 import contextlib
 import json
+import signal
 import sys
+import threading
 from typing import Optional
 
-from repro.core.goals import CompileError
+from repro.core.goals import CompileError, ResourceExhausted
 from repro.serve.cache import CompilationCache
 
 
-class CompileService:
-    """Request dispatch for the JSON-lines protocol (transport-agnostic)."""
+class _DrainRequested(Exception):
+    """Raised out of a blocking read/accept by the signal handler."""
 
-    def __init__(self, cache_dir: Optional[str] = None):
+
+class CompileService:
+    """Request dispatch for the JSON-lines protocol (transport-agnostic).
+
+    ``allow_test_ops=True`` (used by the supervised worker pool's fault
+    campaign, never the default CLI) enables the ``test_*`` ops that
+    simulate worker misbehaviour: ``test_sleep`` (a stuck derivation),
+    ``test_exit`` (a hard crash, optionally once per marker file), and
+    ``test_fail`` (a canned deterministic failure).
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None, allow_test_ops: bool = False):
         self.cache = CompilationCache(cache_dir) if cache_dir is not None else None
         self.requests = 0
         self.running = True
+        self.allow_test_ops = allow_test_ops
+        self.draining = False
+        self._in_flight = False
+
+    # -- Graceful drain --------------------------------------------------------
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to a graceful drain (main thread only).
+
+        If the service is idle (blocked reading the next request or
+        accepting a connection), the handler raises straight out of the
+        blocking call; if a request is in flight, it only sets the drain
+        flag and the loop exits after the response has been written.
+        """
+
+        def handler(signum, frame):
+            self.draining = True
+            self.running = False
+            if not self._in_flight:
+                raise _DrainRequested()
+
+        try:
+            signal.signal(signal.SIGTERM, handler)
+            signal.signal(signal.SIGINT, handler)
+        except ValueError:  # not the main thread (embedded use): no-op
+            pass
+
+    def drain_summary(self) -> str:
+        parts = [f"drained: {self.requests} requests served"]
+        if self.cache is not None:
+            stats = self.cache.stats
+            parts.append(
+                f"cache: {stats.hits} hits, {stats.misses} misses, "
+                f"{stats.invalidated} invalidated, {stats.stores} stores"
+            )
+        return "; ".join(parts)
 
     # -- Request handling ------------------------------------------------------
 
@@ -72,22 +131,34 @@ class CompileService:
         span = (
             tracer.span("serve_request", name=str(op)) if tracer.enabled else NULL_SPAN
         )
-        with span:
-            handler = getattr(self, f"_op_{op}", None)
-            if handler is None:
-                response = {"ok": False, "error": f"unknown op {op!r}"}
-            else:
-                try:
-                    response = handler(request)
-                except CompileError as exc:
-                    response = {
-                        "ok": False,
-                        "error": str(exc).splitlines()[0],
-                        "stall": exc.report.reason,
-                    }
-                except Exception as exc:  # noqa: BLE001 - never kill the loop
-                    response = {"ok": False, "error": repr(exc)}
-            response.setdefault("op", op)
+        self._in_flight = True
+        try:
+            with span:
+                handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+                if handler is None or (
+                    op.startswith("test_") and not self.allow_test_ops
+                ):
+                    response = {"ok": False, "error": f"unknown op {op!r}"}
+                else:
+                    try:
+                        response = handler(request)
+                    except ResourceExhausted as exc:
+                        response = {
+                            "ok": False,
+                            "error": str(exc).splitlines()[0],
+                            "exhausted": exc.resource,
+                        }
+                    except CompileError as exc:
+                        response = {
+                            "ok": False,
+                            "error": str(exc).splitlines()[0],
+                            "stall": exc.report.reason,
+                        }
+                    except Exception as exc:  # noqa: BLE001 - never kill the loop
+                        response = {"ok": False, "error": repr(exc)}
+                response.setdefault("op", op)
+        finally:
+            self._in_flight = False
         if tracer.enabled:
             tracer.event(
                 "serve_request",
@@ -110,6 +181,20 @@ class CompileService:
 
         return {"ok": True, "programs": [p.name for p in all_programs()]}
 
+    @staticmethod
+    def _request_budget(request: dict):
+        """An engine budget when the request carries fuel/deadline bounds."""
+        fuel = request.get("fuel")
+        deadline_ms = request.get("deadline_ms")
+        if fuel is None and deadline_ms is None:
+            return None
+        from repro.resilience.budget import Budget
+
+        return Budget(
+            fuel=int(fuel) if fuel is not None else None,
+            deadline=float(deadline_ms) / 1000.0 if deadline_ms is not None else None,
+        )
+
     def _compile(self, request: dict):
         from repro.programs.registry import get_program
         from repro.serve.cache import compile_program_cached
@@ -120,6 +205,28 @@ class CompileService:
         except KeyError:
             raise ValueError(f"unknown program {name!r}") from None
         opt_level = int(request.get("opt_level", 0))
+        budget = self._request_budget(request)
+        if budget is not None:
+            from repro.stdlib import default_engine
+
+            engine = default_engine()
+            engine.budget = budget
+            if self.cache is not None:
+                return self.cache.compile(
+                    program.build_model(),
+                    program.build_spec(),
+                    engine=engine,
+                    opt_level=opt_level,
+                    input_gen=program.validation_input_gen(),
+                )
+            compiled = engine.compile_function(
+                program.build_model(), program.build_spec()
+            )
+            if opt_level > 0:
+                compiled = compiled.optimize(
+                    opt_level, input_gen=program.validation_input_gen()
+                )
+            return compiled, "off"
         if self.cache is not None:
             return compile_program_cached(self.cache, program, opt_level=opt_level)
         return program.compile(opt_level=opt_level), "off"
@@ -158,25 +265,69 @@ class CompileService:
         self.running = False
         return {"ok": True}
 
+    # -- Test ops (fault-campaign hooks; require allow_test_ops) ---------------
+
+    def _op_test_sleep(self, request: dict) -> dict:
+        """Simulate a wedged derivation: block for ``seconds``."""
+        import time
+
+        time.sleep(float(request.get("seconds", 1.0)))
+        return {"ok": True, "slept": float(request.get("seconds", 1.0))}
+
+    def _op_test_exit(self, request: dict) -> dict:
+        """Simulate a hard worker crash (``os._exit``: no cleanup, no reply).
+
+        With ``"marker": PATH`` the crash happens only while the marker
+        file does not exist (it is created first), modelling a
+        *transient* mid-compile death: the retried request, served by a
+        restarted worker, finds the marker and succeeds.
+        """
+        import os
+
+        marker = request.get("marker")
+        if marker is not None:
+            if os.path.exists(marker):
+                return {"ok": True, "skipped": True}
+            with open(marker, "w") as fh:
+                fh.write("crashed once\n")
+        os._exit(int(request.get("code", 9)))
+
+    def _op_test_fail(self, request: dict) -> dict:
+        """Simulate a deterministic compile failure with a taxonomy slug."""
+        return {
+            "ok": False,
+            "error": "injected deterministic failure",
+            "stall": str(request.get("stall", "no-binding-lemma")),
+            "program": str(request.get("program", "")),
+        }
+
     # -- Transports ------------------------------------------------------------
 
     def serve_stream(self, reader, writer) -> None:
-        """Pump one line-oriented connection until EOF or shutdown."""
-        for line in reader:
-            response = self.handle_line(line)
-            writer.write(json.dumps(response, sort_keys=True) + "\n")
-            writer.flush()
-            if not self.running:
-                break
+        """Pump one line-oriented connection until EOF, drain, or shutdown."""
+        try:
+            for line in reader:
+                response = self.handle_line(line)
+                writer.write(json.dumps(response, sort_keys=True) + "\n")
+                writer.flush()
+                if not self.running:
+                    break
+        except _DrainRequested:
+            pass
 
     def serve_stdio(self) -> None:
         self.serve_stream(sys.stdin, sys.stdout)
 
-    def serve_socket(self, path: str) -> None:
-        """Listen on a Unix domain socket, one connection at a time.
+    def serve_socket(self, path: str, concurrency: int = 1) -> None:
+        """Listen on a Unix domain socket.
 
-        Sequential accept keeps the service trivially race-free; batch
-        throughput is ``repro batch``'s job, not the socket's.
+        ``concurrency=1`` (the default) accepts one connection at a
+        time, which keeps the plain cache-backed service trivially
+        race-free.  ``concurrency > 1`` serves each connection on its
+        own thread -- meant for the supervised front end
+        (:class:`repro.serve.supervisor.SupervisedService`), whose
+        dispatch is thread-safe and whose admission queue is the actual
+        concurrency limiter.
         """
         import os
         import socket
@@ -184,16 +335,48 @@ class CompileService:
         with contextlib.suppress(OSError):
             os.unlink(path)
         server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        threads = []
         try:
             server.bind(path)
-            server.listen(1)
+            server.listen(max(1, concurrency))
+            if concurrency > 1:
+                # Shutdown arrives on a *connection* thread while this
+                # loop blocks in accept(); wake periodically to notice.
+                server.settimeout(0.2)
             while self.running:
-                conn, _ = server.accept()
-                with conn:
-                    reader = conn.makefile("r", encoding="utf-8")
-                    writer = conn.makefile("w", encoding="utf-8")
-                    self.serve_stream(reader, writer)
+                try:
+                    conn, _ = server.accept()
+                except socket.timeout:
+                    continue
+                except _DrainRequested:
+                    break
+                except OSError:
+                    break
+                conn.settimeout(None)
+                if concurrency <= 1:
+                    with conn:
+                        reader = conn.makefile("r", encoding="utf-8")
+                        writer = conn.makefile("w", encoding="utf-8")
+                        self.serve_stream(reader, writer)
+                else:
+                    thread = threading.Thread(
+                        target=self._serve_connection, args=(conn,), daemon=True
+                    )
+                    thread.start()
+                    threads.append(thread)
+                    threads = [t for t in threads if t.is_alive()]
+        except _DrainRequested:
+            pass
         finally:
             server.close()
+            for thread in threads:
+                thread.join(timeout=5.0)
             with contextlib.suppress(OSError):
                 os.unlink(path)
+
+    def _serve_connection(self, conn) -> None:
+        with conn:
+            reader = conn.makefile("r", encoding="utf-8")
+            writer = conn.makefile("w", encoding="utf-8")
+            with contextlib.suppress(BrokenPipeError, OSError):
+                self.serve_stream(reader, writer)

@@ -104,6 +104,52 @@ def test_unknown_job_is_a_crash_not_an_abort():
     assert outcomes["crc32"] == "ok"
 
 
+def test_worker_death_is_retried_and_the_batch_completes(tmp_path, monkeypatch):
+    """A job whose worker dies mid-run (``os._exit``, the moral
+    equivalent of an OOM kill) is retried once in a fresh pool; the
+    innocent jobs sharing the broken pool complete too."""
+    monkeypatch.setenv("REPRO_BATCH_TEST_OPS", "1")
+    marker = str(tmp_path / "died-once")
+    jobs = [
+        BatchJob(kind="worker-exit", name=marker),
+        BatchJob(kind="program", name="fnv1a"),
+    ]
+    report = run_batch(jobs, jobs_n=2, cache_dir=str(tmp_path / "cache"))
+    rows = {r["job"]: r for r in report.results}
+    assert rows[marker]["outcome"] == "ok"
+    assert rows[marker]["detail"] == "survived retry"
+    assert rows[marker].get("retried") == 1
+    assert rows["fnv1a"]["outcome"] == "ok"
+    assert report.ok_count == 2
+
+
+def test_deterministic_worker_killer_becomes_a_structured_row(tmp_path, monkeypatch):
+    """A job that kills its worker on *every* attempt fails the retry
+    too and is reported as a ``worker-lost`` row -- never dropped, and
+    never able to take retried bystanders down with it (each retry runs
+    in its own single-worker pool)."""
+    monkeypatch.setenv("REPRO_BATCH_TEST_OPS", "1")
+    jobs = [
+        BatchJob(kind="worker-exit", name="-"),  # "-" dies every time
+        BatchJob(kind="program", name="fnv1a"),
+    ]
+    report = run_batch(jobs, jobs_n=2, cache_dir=str(tmp_path / "cache"))
+    rows = {r["job"]: r for r in report.results}
+    assert rows["-"]["outcome"] == "worker-lost"
+    assert rows["-"]["retried"] == 1
+    assert rows["-"]["detail"], "the row must say what broke"
+    assert rows["fnv1a"]["outcome"] == "ok"
+    assert len(report.results) == len(jobs), "no job may be silently dropped"
+    assert report.crashes == [rows["-"]]
+
+
+def test_worker_exit_jobs_are_rejected_without_the_env_gate(monkeypatch):
+    monkeypatch.delenv("REPRO_BATCH_TEST_OPS", raising=False)
+    report = run_batch([BatchJob(kind="worker-exit", name="-")], jobs_n=1)
+    assert report.results[0]["outcome"] == "crash"
+    assert "REPRO_BATCH_TEST_OPS" in report.results[0]["detail"]
+
+
 def test_batch_jobs_are_traced(tmp_path):
     from repro.obs.trace import Tracer, use_tracer
 

@@ -1,0 +1,206 @@
+"""Cache safety under concurrent multi-process use (ISSUE 7 satellite).
+
+Three properties:
+
+1. two processes publishing the same ``compile_key`` race cleanly --
+   both succeed, one valid entry remains, no lock or spool debris;
+2. a reader never observes a half-written entry as a HIT: over 50
+   seeded torn-write interleavings, every outcome is MISS, INVALIDATED
+   (with the bad bytes quarantined), or a HIT whose artifact is
+   byte-identical to the clean compile;
+3. the :class:`~repro.serve.cache.PublishLock` protocol itself --
+   mutual exclusion, stale-steal, release.
+"""
+
+import json
+import os
+import random
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.programs import get_program
+from repro.serve.cache import (
+    HIT,
+    INVALIDATED,
+    MISS,
+    CompilationCache,
+    PublishLock,
+    compile_program_cached,
+)
+
+
+def _publish_from_subprocess(cache_dir: str, program_name: str) -> dict:
+    """One racing writer (runs in its own process)."""
+    cache = CompilationCache(cache_dir)
+    program = get_program(program_name)
+    compiled, outcome = compile_program_cached(cache, program)
+    return {"outcome": outcome, "c": compiled.c_source()}
+
+
+def _walk_files(root: str):
+    for dirpath, _, filenames in os.walk(root):
+        for name in filenames:
+            yield os.path.join(dirpath, name)
+
+
+def test_two_processes_publishing_the_same_key_race_cleanly(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [
+            pool.submit(_publish_from_subprocess, cache_dir, "fnv1a")
+            for _ in range(2)
+        ]
+        results = [future.result() for future in futures]
+    assert all(r["c"] == results[0]["c"] for r in results)
+    # Whatever the interleaving, the survivor entry is valid and warm.
+    cache = CompilationCache(cache_dir)
+    program = get_program("fnv1a")
+    warm, outcome = compile_program_cached(cache, program)
+    assert outcome == HIT
+    assert warm.c_source() == results[0]["c"]
+    leftovers = [
+        p for p in _walk_files(cache_dir) if p.endswith((".tmp", ".lock"))
+    ]
+    assert not leftovers, f"writer debris survived the race: {leftovers}"
+
+
+@pytest.fixture(scope="module")
+def published(tmp_path_factory):
+    """One clean published entry: (cache_dir, key, entry bytes, clean C)."""
+    cache_dir = str(tmp_path_factory.mktemp("torn") / "cache")
+    cache = CompilationCache(cache_dir)
+    program = get_program("fnv1a")
+    compiled, _ = compile_program_cached(cache, program)
+    key = cache.key_for(program.build_model(), program.build_spec())
+    with open(cache._path(key)) as fh:
+        raw = fh.read()
+    return cache_dir, key, raw, compiled.c_source()
+
+
+def test_reader_never_observes_a_half_written_entry(published):
+    """Property test over 50 seeded interleavings: cut the entry at a
+    random byte boundary (a torn write from a crashed or non-atomic
+    writer) and race a reader against it.  The reader may see a MISS or
+    an INVALIDATED -- never a HIT serving different bytes."""
+    cache_dir, key, raw, clean_c = published
+    program = get_program("fnv1a")
+    model, spec = program.build_model(), program.build_spec()
+    path = CompilationCache(cache_dir)._path(key)
+
+    for seed in range(50):
+        rng = random.Random(seed)
+        cut = rng.randrange(0, len(raw) + 1)
+        state = raw[:cut]
+        if rng.random() < 0.2:
+            # Torn *overwrite*: prefix of the new bytes, tail of garbage.
+            state += "X" * rng.randrange(1, 40)
+        with open(path, "w") as fh:
+            fh.write(state)
+        cache = CompilationCache(cache_dir)
+        bundle, outcome = cache.lookup(key, model, spec)
+        if outcome == HIT:
+            assert state == raw, f"seed {seed}: HIT on torn bytes"
+            assert bundle.c_source() == clean_c
+        else:
+            assert outcome in (MISS, INVALIDATED), f"seed {seed}: {outcome}"
+            assert bundle is None
+            # The torn bytes were quarantined, not left to re-reject.
+            assert not os.path.exists(path), f"seed {seed}"
+            held = cache.quarantined_keys()
+            assert key in held, f"seed {seed}: torn entry not quarantined"
+        # Repair by fresh store: the next writer republishes the address.
+        repaired, outcome = compile_program_cached(cache, program)
+        assert repaired.c_source() == clean_c
+        with open(path, "w") as fh:
+            fh.write(raw)  # reset for the next interleaving
+
+
+def test_quarantined_entries_are_never_served(published):
+    """Acceptance criterion: once bytes land in quarantine, no lookup
+    path ever returns them, even for their original key."""
+    cache_dir, key, raw, clean_c = published
+    program = get_program("fnv1a")
+    cache = CompilationCache(cache_dir)
+    path = cache._path(key)
+    with open(path, "w") as fh:
+        fh.write(raw[: len(raw) // 2])
+    bundle, outcome = cache.lookup(key, program.build_model(), program.build_spec())
+    assert bundle is None and outcome == INVALIDATED
+    assert key in cache.quarantined_keys()
+    assert cache.stats.quarantined == 1
+    # The quarantine body exists but the address reads as a MISS.
+    bundle, outcome = cache.lookup(key, program.build_model(), program.build_spec())
+    assert bundle is None and outcome == MISS
+    reason_file = os.path.join(cache.quarantine_root, f"{key}.json.reason")
+    assert os.path.exists(reason_file)
+    with open(path, "w") as fh:
+        fh.write(raw)  # restore for other tests sharing the fixture
+
+
+def test_quarantine_is_traced(tmp_path):
+    from repro.obs.trace import Tracer, use_tracer, validate_events
+
+    cache = CompilationCache(str(tmp_path))
+    program = get_program("m3s")
+    compile_program_cached(cache, program)
+    key = cache.key_for(program.build_model(), program.build_spec())
+    with open(cache._path(key), "a") as fh:
+        fh.write("TRAILING GARBAGE")
+    tracer = Tracer(name="quarantine-test")
+    with use_tracer(tracer):
+        _, outcome = compile_program_cached(cache, program)
+    assert outcome == INVALIDATED
+    events = tracer.events_by_type("cache_quarantine")
+    assert len(events) == 1 and events[0]["key"] == key
+    assert tracer.metrics.to_dict()["counters"]["cache.quarantined"] == 1
+    validate_events(tracer.events)
+
+
+def test_publish_lock_mutual_exclusion(tmp_path):
+    lock_path = str(tmp_path / "k.lock")
+    first = PublishLock(lock_path, timeout=5.0)
+    assert first.acquire()
+    second = PublishLock(lock_path, timeout=0.05, poll=0.01)
+    assert not second.acquire(), "a held lock must not be re-acquired"
+    first.release()
+    assert not os.path.exists(lock_path)
+    assert second.acquire()
+    second.release()
+
+
+def test_publish_lock_steals_stale_locks(tmp_path):
+    """A lock whose holder was SIGKILLed (old mtime, no release) must
+    not wedge publishes forever."""
+    lock_path = str(tmp_path / "k.lock")
+    with open(lock_path, "w") as fh:
+        fh.write("99999\n")
+    old = os.path.getmtime(lock_path) - 3600
+    os.utime(lock_path, (old, old))
+    lock = PublishLock(lock_path, timeout=2.0, stale_after=30.0)
+    assert lock.acquire(), "a stale lock must be stolen, not waited out"
+    lock.release()
+
+
+def test_publish_lock_context_manager_always_releases(tmp_path):
+    lock_path = str(tmp_path / "k.lock")
+    with PublishLock(lock_path) as lock:
+        assert lock._held
+        assert os.path.exists(lock_path)
+    assert not os.path.exists(lock_path)
+
+
+def test_store_leaves_no_lock_behind(tmp_path):
+    cache = CompilationCache(str(tmp_path))
+    program = get_program("upstr")
+    compile_program_cached(cache, program)
+    leftovers = [
+        p
+        for p in _walk_files(str(tmp_path))
+        if p.endswith((".tmp", ".lock"))
+    ]
+    assert not leftovers
+    entries = [p for p in _walk_files(str(tmp_path)) if p.endswith(".json")]
+    assert len(entries) == 1
+    with open(entries[0]) as fh:
+        json.load(fh)  # the published entry is complete, parseable JSON

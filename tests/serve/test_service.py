@@ -2,6 +2,11 @@
 
 import io
 import json
+import os
+import signal
+import subprocess
+import sys
+import time
 
 from repro.serve.service import CompileService
 
@@ -71,6 +76,134 @@ def test_stream_loop_and_shutdown():
     assert [r["op"] for r in responses] == ["ping", "compile", "shutdown"]
     assert all(r["ok"] for r in responses)
     assert not service.running
+
+
+def test_request_budgets_produce_structured_exhaustion():
+    """A request carrying fuel/deadline bounds that cannot be met gets a
+    typed ``exhausted`` response, not a hang or a crash."""
+    service = CompileService()
+    starved = service.handle({"op": "compile", "program": "crc32", "fuel": 3})
+    assert not starved["ok"] and starved["exhausted"] == "fuel"
+    # The same compile with a sane budget succeeds: exhaustion is the
+    # budget's verdict, not a broken service.
+    sane = service.handle(
+        {"op": "compile", "program": "crc32", "fuel": 200_000, "deadline_ms": 20_000}
+    )
+    assert sane["ok"]
+    assert service.handle({"op": "ping"})["ok"]
+
+
+def test_test_ops_are_gated_behind_allow_test_ops():
+    """The fault-campaign hooks must be unreachable on a normal service:
+    without ``allow_test_ops`` they answer like any unknown op."""
+    locked = CompileService()
+    for op in ("test_sleep", "test_exit", "test_fail"):
+        response = locked.handle({"op": op})
+        assert not response["ok"] and "unknown op" in response["error"]
+    unlocked = CompileService(allow_test_ops=True)
+    failed = unlocked.handle({"op": "test_fail", "stall": "no-binding-lemma"})
+    assert not failed["ok"] and failed["stall"] == "no-binding-lemma"
+
+
+def test_sigterm_drains_gracefully_and_exits_zero(tmp_path):
+    """The operational contract: SIGTERM mid-session finishes nothing
+    abruptly -- the service stops reading, prints a drain summary, and
+    exits 0 (so process supervisors see a clean stop, not a unit
+    failure).  SIGINT follows the same path via the same handler."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--cache", str(tmp_path / "cache")],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        proc.stdin.write(json.dumps({"op": "ping"}) + "\n")
+        proc.stdin.flush()
+        response = json.loads(proc.stdout.readline())
+        assert response["ok"]
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 0, f"SIGTERM must exit 0, got {proc.returncode}: {err}"
+    assert "drained: 1 requests served" in out + err
+
+
+def test_sigint_while_idle_drains_too(tmp_path):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        time.sleep(1.0)  # let the handler install before signalling
+        proc.send_signal(signal.SIGINT)
+        out, err = proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 0, f"SIGINT must exit 0, got {proc.returncode}: {err}"
+    assert "drained" in out + err
+
+
+def test_socket_transport_serves_concurrent_connections(tmp_path):
+    """The Unix-socket transport at ``concurrency > 1``: two clients
+    connected at once both get served, and shutdown stops the listener."""
+    import socket
+    import threading
+
+    path = str(tmp_path / "serve.sock")
+    service = CompileService(allow_test_ops=True)
+    server = threading.Thread(
+        target=service.serve_socket, args=(path,), kwargs={"concurrency": 2}
+    )
+    server.start()
+    try:
+        deadline = time.monotonic() + 10.0
+        while not os.path.exists(path) and time.monotonic() < deadline:
+            time.sleep(0.01)
+
+        def ask(request: dict) -> dict:
+            client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            client.connect(path)
+            with client:
+                client.sendall((json.dumps(request) + "\n").encode())
+                reader = client.makefile("r", encoding="utf-8")
+                return json.loads(reader.readline())
+
+        results = []
+        lock = threading.Lock()
+
+        def client_thread():
+            response = ask({"op": "ping"})
+            with lock:
+                results.append(response)
+
+        threads = [threading.Thread(target=client_thread) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert len(results) == 2 and all(r["ok"] for r in results)
+        assert ask({"op": "shutdown"})["ok"]
+    finally:
+        server.join(timeout=10.0)
+    assert not server.is_alive()
+    assert not os.path.exists(path), "the socket file must be cleaned up"
 
 
 def test_requests_are_traced():

@@ -1,0 +1,276 @@
+"""The supervised worker pool: timeouts, retries, backpressure, and
+degradation (ISSUE 7 tentpole).
+
+A module-scoped pool with test ops enabled serves the request-path
+tests (spawning a warm worker costs a real process start, so the tests
+share one); the failure-policy tests that must corrupt the pool itself
+(crash loops, saturation, degradation) each build their own.
+"""
+
+import os
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.serve.supervisor import (
+    SupervisedService,
+    Supervisor,
+    SupervisorConfig,
+    default_worker_command,
+)
+
+
+@pytest.fixture(scope="module")
+def pool(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("supervised")
+    config = SupervisorConfig(
+        workers=1,
+        request_timeout=60.0,
+        max_retries=1,
+        backoff_base=0.01,
+        backoff_cap=0.05,
+    )
+    with Supervisor(
+        config, cache_dir=str(tmp / "cache"), allow_test_ops=True
+    ) as sup:
+        yield sup
+
+
+def test_requests_flow_through_a_worker(pool):
+    assert pool.submit({"op": "ping"}) == {"ok": True, "op": "ping"}
+    listing = pool.submit({"op": "list"})
+    assert listing["ok"] and "crc32" in listing["programs"]
+
+
+def test_warm_pool_results_byte_identical_to_cold(pool):
+    """The E12 invariant survives the process boundary: a supervised
+    warm hit serves the same bytes as the cold compile -- and the same
+    bytes as an in-process derivation."""
+    cold = pool.submit({"op": "compile", "program": "fnv1a"})
+    warm = pool.submit({"op": "compile", "program": "fnv1a"})
+    assert cold["ok"] and cold["cache"] == "miss"
+    assert warm["ok"] and warm["cache"] == "hit"
+    assert warm["c"] == cold["c"]
+    from repro.programs import get_program
+
+    assert cold["c"] == get_program("fnv1a").compile().c_source()
+
+
+def test_timeout_fails_fast_and_never_blocks_the_next_request(pool):
+    """The acceptance-criteria regression: a wedged request comes back
+    as a structured timeout inside its deadline, and the *next* request
+    is served normally by a fresh worker."""
+    start = time.monotonic()
+    wedged = pool.submit({"op": "test_sleep", "seconds": 60, "deadline_ms": 250})
+    elapsed = time.monotonic() - start
+    assert wedged == {
+        "ok": False,
+        "error": "timeout",
+        "timeout_s": wedged["timeout_s"],
+        "attempts": 1,
+        "op": "test_sleep",
+    }
+    assert elapsed < 10.0, "the deadline must bound the wait"
+    assert pool.submit({"op": "ping"})["ok"]
+    assert pool.counters["serve.timeout.requests"] >= 1
+
+
+def test_worker_death_is_retried_once_and_recovers(pool, tmp_path):
+    """A worker that dies mid-request (here: ``os._exit``, the moral
+    equivalent of a SIGKILL) is transient: the retried request runs on
+    a respawned worker and succeeds."""
+    marker = str(tmp_path / "crashed-once")
+    response = pool.submit({"op": "test_exit", "marker": marker, "code": 9})
+    assert response["ok"] and response["attempts"] == 2
+    assert os.path.exists(marker)
+    assert pool.counters["serve.retry.worker_death"] >= 1
+    assert pool.counters["serve.worker.restart"] >= 1
+
+
+def test_per_request_deadline_tightens_the_wall_clock(pool):
+    assert pool._request_deadline({}) == pool.config.request_timeout
+    tight = pool._request_deadline({"deadline_ms": 100})
+    assert 0.1 < tight < 1.0
+    assert (
+        pool._request_deadline({"deadline_ms": 10_000_000})
+        == pool.config.request_timeout
+    )
+
+
+def test_shutdown_never_reaches_a_worker(pool):
+    response = pool.submit({"op": "shutdown"})
+    assert not response["ok"]
+    assert pool.submit({"op": "ping"})["ok"], "the pool must survive"
+
+
+def test_stats_reports_workers_and_counters(pool):
+    stats = pool.stats()
+    assert stats["config"]["workers"] == 1
+    assert len(stats["workers"]) == 1
+    assert stats["workers"][0]["alive"]
+    assert isinstance(stats["workers"][0]["pid"], int)
+
+
+def test_overload_sheds_with_retry_after(tmp_path):
+    """More waiters than ``queue_depth`` get explicit backpressure."""
+    config = SupervisorConfig(
+        workers=1, request_timeout=30.0, queue_depth=1,
+        backoff_base=0.01, backoff_cap=0.05,
+    )
+    with Supervisor(
+        config, cache_dir=str(tmp_path / "cache"), allow_test_ops=True
+    ) as sup:
+        results = []
+        lock = threading.Lock()
+
+        def client():
+            response = sup.submit({"op": "test_sleep", "seconds": 0.8})
+            with lock:
+                results.append(response)
+
+        threads = [threading.Thread(target=client) for _ in range(5)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        shed = [r for r in results if r.get("error") == "overloaded"]
+        served = [r for r in results if r.get("ok")]
+        assert len(results) == 5
+        assert shed, "flooding past queue_depth must shed load"
+        assert all(r["retry_after_ms"] > 0 for r in shed)
+        assert served, "the worker must still have served the admitted ones"
+        assert sup.submit({"op": "ping"})["ok"]
+
+
+def test_crash_loop_is_capped_into_cooldown():
+    """A worker binary that can never come up must not respawn forever:
+    after the windowed cap the slot cools down and requests get a
+    structured 'unavailable', while the supervisor itself stays alive."""
+    config = SupervisorConfig(
+        workers=1, request_timeout=5.0, max_retries=1,
+        backoff_base=0.01, backoff_cap=0.05,
+        restart_window=60.0, max_restarts_in_window=2, spawn_timeout=10.0,
+    )
+    broken = [sys.executable, "-c", "import sys; sys.exit(3)"]
+    with Supervisor(config, worker_command=broken) as sup:
+        responses = [sup.submit({"op": "ping"}) for _ in range(4)]
+        assert all(not r["ok"] for r in responses)
+        assert any(r["error"] == "unavailable" for r in responses)
+        cooled = [r for r in responses if "retry_after_ms" in r]
+        assert cooled and all(r["retry_after_ms"] > 0 for r in cooled)
+        stats = sup.stats()
+        assert stats["workers"][0]["restarts"] <= 2
+        assert stats["workers"][0]["cooling_down"]
+
+
+def test_degrades_after_consecutive_failures(tmp_path):
+    """After ``degrade_after`` consecutive compile failures for one
+    program, the pool answers from the parent-side interpreter fallback
+    with ``degraded: true`` -- and never claims verification."""
+    from repro.resilience.faults import _solver_lie_target
+
+    stalling = _solver_lie_target("always_stalls")
+
+    class FakeProgram:
+        def build_model(self):
+            return stalling.model
+
+        def build_spec(self):
+            return stalling.spec
+
+    config = SupervisorConfig(
+        workers=1, request_timeout=30.0, degrade_after=2,
+        backoff_base=0.01, backoff_cap=0.05,
+    )
+    with Supervisor(
+        config,
+        cache_dir=str(tmp_path / "cache"),
+        allow_test_ops=True,
+        program_resolver=lambda name: FakeProgram(),
+    ) as sup:
+        for _ in range(2):
+            failed = sup.submit(
+                {"op": "test_fail", "program": "always_stalls", "stall": "x"}
+            )
+            assert not failed["ok"]
+        assert sup.failure_streak("always_stalls") == 2
+        degraded = sup.submit({"op": "compile", "program": "always_stalls"})
+        assert degraded["ok"] and degraded["degraded"] is True
+        assert degraded["verified"] is False
+        assert "DEGRADED" in degraded["banner"]
+        assert sup.counters["serve.degraded"] == 1
+
+
+def test_deterministic_failures_fail_fast_not_retried(pool):
+    """A structured compile failure (stall slug) is deterministic: it
+    comes back first try with its taxonomy slug, no retry burned."""
+    before = pool.counters.get("serve.retry.attempts", 0)
+    response = pool.submit(
+        {"op": "test_fail", "stall": "no-binding-lemma", "program": "zzz"}
+    )
+    assert not response["ok"]
+    assert response["stall"] == "no-binding-lemma"
+    assert "attempts" not in response
+    assert pool.counters.get("serve.retry.attempts", 0) == before
+
+
+def test_supervised_service_front_end(pool):
+    service = SupervisedService(pool)
+    assert service.handle({"op": "ping"})["ok"]
+    stats = service.handle({"op": "stats"})
+    assert stats["ok"] and "supervisor" in stats
+    assert stats["supervisor"]["config"]["workers"] == 1
+    down = service.handle({"op": "shutdown"})
+    assert down["ok"] and not service.running
+    assert "drained" in service.drain_summary()
+
+
+def test_supervised_requests_are_traced(pool):
+    from repro.obs.trace import Tracer, use_tracer
+
+    tracer = Tracer(name="supervised-test")
+    service = SupervisedService(pool)
+    with use_tracer(tracer):
+        service.handle({"op": "ping"})
+    spans = [e for e in tracer.events if e["ev"] == "span_open"]
+    assert any(s["kind"] == "supervised_request" for s in spans)
+    assert tracer.metrics.to_dict()["counters"]["serve.requests"] == 1
+    from repro.obs.trace import validate_events
+
+    validate_events(tracer.events)
+
+
+def test_worker_main_loop_in_process(tmp_path, monkeypatch, capsys):
+    """The worker's stdin/stdout loop, driven in-process: handshake
+    first, one response line per request, loop ends on shutdown."""
+    import io
+    import json
+
+    from repro.serve import worker
+
+    requests = "\n".join(
+        json.dumps(r)
+        for r in (
+            {"op": "ping"},
+            {"op": "compile", "program": "fnv1a"},
+            {"op": "shutdown"},
+            {"op": "ping"},  # never read: shutdown breaks the loop
+        )
+    )
+    monkeypatch.setattr("sys.stdin", io.StringIO(requests + "\n\n"))
+    assert worker.main(["--cache", str(tmp_path / "cache")]) == 0
+    lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+    assert lines[0]["ready"] and isinstance(lines[0]["pid"], int)
+    assert [r["op"] for r in lines[1:]] == ["ping", "compile", "shutdown"]
+    assert lines[2]["cache"] == "miss"
+
+
+def test_default_worker_command_flags(tmp_path):
+    command = default_worker_command(str(tmp_path), allow_test_ops=True)
+    assert command[:3] == [sys.executable, "-m", "repro.serve.worker"]
+    assert "--cache" in command and "--allow-test-ops" in command
+    assert default_worker_command() == [
+        sys.executable, "-m", "repro.serve.worker",
+    ]
