@@ -1,4 +1,4 @@
-"""E5 -- §4.3: compiler throughput.
+"""E5/E15 -- §4.3: compiler throughput, and what the fast path buys.
 
 The paper: "Rupicola itself is not [fast]: it runs at the speed of Coq's
 proof engine, which in our experience means compiling anywhere between 2
@@ -7,7 +7,25 @@ linear in the program size".  We measure the same quantity -- derived
 Bedrock2 statements per second of proof search -- for every suite
 program, plus a linearity check on a family of growing straight-line
 programs.
+
+``python -m benchmarks.bench_compile_speed`` adds the E15 measurement:
+indexed-vs-scan throughput across the Table 2 registry, the query
+registry, and a seeded fuzz-corpus slice, with the head index, term
+interning, and subterm memoization toggled together (the same switches
+as the CLI's ``--no-index``/``--no-intern``/``--no-memo``).  The
+committed ``benchmarks/dispatch_baseline.json`` stores the *speedup
+ratios* -- machine-independent, unlike raw latencies -- pinned at the
+per-suite minimum over several measurement runs (a conservative draw,
+so run-to-run noise does not flake the gate), and
+``--compare-baseline`` is the CI gate: it fails when a suite's measured
+indexed-over-scan speedup drops below 80% of the committed one, i.e. on
+a >20% relative regression of the indexed path.
 """
+
+import json
+import random
+import sys
+import time
 
 import pytest
 
@@ -85,6 +103,181 @@ def test_compile_time_value_chains_documented(capsys):
     assert large > 0  # informational
 
 
+# -- E15: indexed dispatch vs linear scan -------------------------------------------
+
+DISPATCH_BASELINE_PATH = "benchmarks/dispatch_baseline.json"
+# The CI gate: measured speedup must stay within 80% of the committed
+# baseline speedup (a >20% relative regression of the indexed path fails).
+REGRESSION_TOLERANCE = 0.8
+
+
+def _fast_path(enabled: bool):
+    """Toggle all three fast-path layers; returns the previous flags."""
+    from repro.core import engine as engine_mod
+    from repro.core import lemma as lemma_mod
+    from repro.source import terms as t
+
+    return (
+        lemma_mod.set_index_enabled(enabled),
+        engine_mod.set_memo_enabled(enabled),
+        t.set_interning(enabled),
+    )
+
+
+def _restore_fast_path(previous) -> None:
+    from repro.core import engine as engine_mod
+    from repro.core import lemma as lemma_mod
+    from repro.source import terms as t
+
+    lemma_mod.set_index_enabled(previous[0])
+    engine_mod.set_memo_enabled(previous[1])
+    t.set_interning(previous[2])
+
+
+def dispatch_cases(fuzz_count: int = 20):
+    """(suite, name, model, spec) rows: registry + query + seeded fuzz.
+
+    Fuzz cases that stall under the full standard library (none today,
+    but the generator does not promise it) are dropped up front so both
+    modes time the same successful derivations.
+    """
+    from repro.core.goals import CompileError
+    from repro.query.programs import all_query_programs
+    from repro.resilience.generator import generate_case
+
+    cases = []
+    for program in all_programs():
+        cases.append(("registry", program.name, program.build_model(), program.build_spec()))
+    for program in all_query_programs():
+        cases.append(("query", program.name, program.build_model(), program.build_spec()))
+    for index in range(fuzz_count):
+        case = generate_case(random.Random(1000 + index), index)
+        try:
+            default_engine().compile_function(case.model, case.spec)
+        except CompileError:
+            continue
+        cases.append(("fuzz", case.name, case.model, case.spec))
+    return cases
+
+
+def _suite_throughputs(cases, repeats: int = 5):
+    """suite -> statements/second under the *current* mode (best of N)."""
+    statements = {}
+    best = {}
+    for _ in range(repeats):
+        totals = {}
+        for suite, _name, model, spec in cases:
+            engine = default_engine()  # outside the timed region
+            start = time.perf_counter()
+            compiled = engine.compile_function(model, spec)
+            elapsed = time.perf_counter() - start
+            seconds, stmts = totals.get(suite, (0.0, 0))
+            totals[suite] = (seconds + elapsed, stmts + compiled.statement_count())
+        for suite, (seconds, stmts) in totals.items():
+            statements[suite] = stmts
+            best[suite] = max(best.get(suite, 0.0), stmts / max(seconds, 1e-9))
+    return best, statements
+
+
+def measure_dispatch_speedups(fuzz_count: int = 20, repeats: int = 5) -> dict:
+    """E15 payload: per-suite indexed and scan throughput + speedup ratio."""
+    cases = dispatch_cases(fuzz_count)
+    previous = _fast_path(True)
+    try:
+        indexed, statements = _suite_throughputs(cases, repeats)
+        _fast_path(False)
+        scan, _ = _suite_throughputs(cases, repeats)
+    finally:
+        _restore_fast_path(previous)
+    suites = {}
+    for suite in sorted(indexed):
+        suites[suite] = {
+            "statements": statements[suite],
+            "indexed_stmts_per_s": round(indexed[suite], 1),
+            "scan_stmts_per_s": round(scan[suite], 1),
+            "speedup": round(indexed[suite] / max(scan[suite], 1e-9), 3),
+        }
+    return {
+        "experiment": "E15",
+        "fuzz_count": fuzz_count,
+        "repeats": repeats,
+        "suites": suites,
+    }
+
+
+def compare_dispatch_baseline(measured: dict, baseline_path: str) -> list:
+    """Failure strings for suites regressing past REGRESSION_TOLERANCE."""
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    failures = []
+    for suite, pinned in sorted(baseline["suites"].items()):
+        row = measured["suites"].get(suite)
+        if row is None:
+            failures.append(f"{suite}: missing from measurement")
+            continue
+        floor = REGRESSION_TOLERANCE * pinned["speedup"]
+        if row["speedup"] < floor:
+            failures.append(
+                f"{suite}: indexed speedup {row['speedup']:.3f}x fell below "
+                f"{floor:.3f}x (80% of baseline {pinned['speedup']:.3f}x)"
+            )
+    return failures
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description="E15: indexed-vs-scan dispatch speedup")
+    parser.add_argument("--fuzz-count", type=int, default=20)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--out", default=DISPATCH_BASELINE_PATH)
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=f"write the measurement to --out (default {DISPATCH_BASELINE_PATH})",
+    )
+    parser.add_argument(
+        "--baseline-runs",
+        type=int,
+        default=3,
+        help="with --write-baseline: pin each suite's MINIMUM speedup over "
+        "N full measurement runs, so the committed baseline is a "
+        "conservative draw rather than a lucky one",
+    )
+    parser.add_argument(
+        "--compare-baseline",
+        action="store_true",
+        help="gate: fail on a >20%% speedup regression vs the committed baseline",
+    )
+    args = parser.parse_args()
+    measured = measure_dispatch_speedups(args.fuzz_count, args.repeats)
+    for suite, row in measured["suites"].items():
+        print(
+            f"{suite:>9}: {row['statements']} stmts  "
+            f"indexed {row['indexed_stmts_per_s']:>9.1f}/s  "
+            f"scan {row['scan_stmts_per_s']:>9.1f}/s  "
+            f"speedup {row['speedup']:.3f}x"
+        )
+    if args.write_baseline:
+        for _ in range(max(args.baseline_runs - 1, 0)):
+            rerun = measure_dispatch_speedups(args.fuzz_count, args.repeats)
+            for suite, row in rerun["suites"].items():
+                if row["speedup"] < measured["suites"][suite]["speedup"]:
+                    measured["suites"][suite] = row
+        with open(args.out, "w") as handle:
+            json.dump(measured, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    if args.compare_baseline:
+        failures = compare_dispatch_baseline(measured, DISPATCH_BASELINE_PATH)
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        if failures:
+            return 1
+        print("dispatch speedups within 80% of baseline: ok")
+    return 0
+
+
 def test_throughput_exceeds_coq_baseline():
     """Sanity: our proof search is at least as fast as Coq's 2-15
     statements/second (it should be orders faster -- smaller terms, no
@@ -99,3 +292,7 @@ def test_throughput_exceeds_coq_baseline():
     elapsed = time.perf_counter() - start
     statements_per_second = compiled.statement_count() / max(elapsed, 1e-9)
     assert statements_per_second > 15
+
+
+if __name__ == "__main__":
+    sys.exit(main())

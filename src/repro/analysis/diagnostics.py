@@ -14,6 +14,10 @@ RA101   warning   hint-DB overlap: two lemmas claim the same goal shape at
 RA102   warning   priority shadowing: a lemma that can never fire because an
                   earlier, shape-total lemma subsumes every goal it matches
 RA103   error     duplicate lemma name inside one database
+RA104   error     index mismatch: a lemma's advisory ``shapes`` claims a head
+                  its load-bearing ``index_heads`` declaration excludes, so
+                  the head-indexed dispatch would skip a lemma the linear
+                  scan would have tried
 RA201   info      coverage hole: a source ``Term`` head no lemma (and not
                   the engine) handles -- a statically predicted
                   ``no-binding-lemma`` / ``no-expr-lemma`` stall
@@ -50,6 +54,7 @@ CATALOG: Dict[str, Tuple[str, str]] = {
     "RA101": (WARNING, "overlap"),
     "RA102": (WARNING, "shadowed-lemma"),
     "RA103": (ERROR, "duplicate-lemma-name"),
+    "RA104": (ERROR, "index-shapes-mismatch"),
     "RA201": (INFO, "uncovered-head"),
     "RB201": (ERROR, "uninit-read"),
     "RB202": (WARNING, "dead-store"),

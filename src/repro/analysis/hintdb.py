@@ -12,6 +12,10 @@ That design makes two database-shape defects silently dangerous:
   (one whose guard is exactly the head test) that claims a subset of its
   heads.  The earlier lemma accepts every goal the later one could, so
   the later one is dead weight -- usually a symptom of a priority typo.
+- **index mismatch** (RA104): a lemma's advisory ``shapes`` claims a
+  head its load-bearing ``index_heads`` declaration excludes, so the
+  head-indexed dispatch (``HintDb.candidates``) would skip a lemma the
+  linear scan would have tried.
 
 The auditor also builds a **coverage matrix**: every source ``Term``
 head x how the database handles it (``engine`` / ``total`` /
@@ -232,6 +236,43 @@ def audit_hintdb(db, kind: str = "binding") -> List[Diagnostic]:
             )
         if getattr(lemma, "shape_total", False):
             totals_seen |= shapes
+
+    # RA104: index/shapes mismatch.  ``index_heads`` is load-bearing --
+    # the head-indexed dispatch only consults a lemma for goal heads it
+    # declares (wildcard lemmas are consulted for every head) -- while
+    # ``shapes`` is advisory and drives the coverage matrix and stall
+    # suggestions.  A head claimed in ``shapes`` but excluded by a
+    # declared ``index_heads`` means the matrix promises coverage the
+    # indexed scan will never deliver: the canonical way the index could
+    # silently diverge from the linear scan.
+    candidates = getattr(db, "candidates", None)
+    for _priority, lemma in entries:
+        heads = getattr(lemma, "index_heads", None)
+        if heads is None:
+            continue
+        head_set = set(heads)
+        name = getattr(lemma, "name", "<unnamed>")
+        missing = sorted(
+            h
+            for h in getattr(lemma, "shapes", ())
+            if h not in head_set
+            and (not callable(candidates) or lemma not in candidates(h))
+        )
+        if missing:
+            diags.append(
+                Diagnostic(
+                    code="RA104",
+                    subject=db.name,
+                    where=name,
+                    message=(
+                        f"lemma {name!r} claims head(s) {missing} in its "
+                        "advisory `shapes` but its load-bearing "
+                        f"`index_heads` ({sorted(head_set)}) excludes them: "
+                        "the indexed dispatch will never consult it for "
+                        "those goals, diverging from the linear scan"
+                    ),
+                )
+            )
 
     # RA201 (info): coverage holes predicted by the matrix.
     matrix = CoverageMatrix.from_db(db, kind)

@@ -32,7 +32,7 @@ from repro.core.goals import (
     SideConditionFailed,
     StallReport,
 )
-from repro.core.lemma import HintDb, WrapStmt, lemma_family
+from repro.core.lemma import HintDb, WrapStmt, index_enabled, lemma_family
 from repro.core.render import render_expr, render_stmt_head, term_head
 from repro.core.sepstate import PointerBinding, SymState
 from repro.core.solver import SolverBank
@@ -41,6 +41,30 @@ from repro.core.typecheck import TypeInferenceError, infer_type
 from repro.obs.trace import NULL_SPAN, current_tracer
 from repro.source import terms as t
 from repro.source.types import BOOL, WORD, SourceType
+
+
+# Process-wide default for the per-derivation subterm-compilation memo
+# (tentpole layer 3).  Like the dispatch index, engines snapshot the flag
+# at construction; the CLI's ``--no-memo`` flips it before engines are
+# built.  The memo only ever short-circuits *repeat* expression goals
+# against an identical symbolic state (same object, same version), so the
+# compiled output is the one the un-memoized path would produce -- only
+# the work (and the trace counters) shrink.
+_MEMO_ENABLED = True
+
+
+def memo_enabled() -> bool:
+    return _MEMO_ENABLED
+
+
+def set_memo_enabled(enabled: bool) -> bool:
+    """Toggle the process-wide subterm-memo default; returns the previous
+    value.  Engines snapshot this flag at construction
+    (``Engine(memo_subterms=...)`` overrides it per engine)."""
+    global _MEMO_ENABLED
+    previous = _MEMO_ENABLED
+    _MEMO_ENABLED = bool(enabled)
+    return previous
 
 
 def resolve(state: SymState, term: t.Term, shadowed: frozenset = frozenset()) -> t.Term:
@@ -216,12 +240,34 @@ class Engine:
         width: int = 64,
         budget=None,
         tracer=None,
+        use_index: Optional[bool] = None,
+        memo_subterms: Optional[bool] = None,
     ):
         self.binding_db = binding_db
         self.expr_db = expr_db
         self.solvers = solvers or SolverBank()
         self.width = width
         self.budget = budget  # Optional[repro.resilience.budget.Budget]
+        # Fast-path switches, snapshotted at construction so one engine's
+        # behavior cannot flip mid-derivation.  Both are pure
+        # optimizations: the lemma that commits, the emitted code, and the
+        # certificate are identical either way (the differential harness
+        # in tests/core/test_dispatch_equivalence.py enforces this).
+        self.use_index = index_enabled() if use_index is None else bool(use_index)
+        self.memo_subterms = (
+            memo_enabled() if memo_subterms is None else bool(memo_subterms)
+        )
+        # Per-derivation memo for repeated pure subterm compilations,
+        # keyed (state object, state.version, term, ty) and cleared at
+        # every compile_function entry.  The state object keeps a strong
+        # reference (no id() reuse) and identity equality; the monotone
+        # version counter rules out stale hits after in-place mutation.
+        self._expr_memo: dict = {}
+        # Same contract for discharged side conditions: the winning
+        # solver for (state, version, obligation) is deterministic, so a
+        # repeat discharge replays the certificate record without
+        # re-running the solver bank.
+        self._side_memo: dict = {}
         # An explicit tracer pins the engine to it; otherwise the engine
         # re-reads the process-wide active tracer at every entry point,
         # so CLI commands can install one around cached builders.
@@ -250,8 +296,13 @@ class Engine:
             self._solver_keys[solver] = keys
         return keys
 
-    def _charge(self, goal_description: str) -> None:
+    def _charge(self, goal_description) -> None:
+        # Descriptions may be callables: rendering the pretty-printed goal
+        # eagerly on every fuel tick costs a full term walk that is thrown
+        # away whenever no budget is attached (the common case).
         if self.budget is not None:
+            if callable(goal_description):
+                goal_description = goal_description()
             self.budget.charge(1, goal=goal_description)
 
     def fingerprint(self) -> str:
@@ -280,13 +331,36 @@ class Engine:
 
     def discharge(self, obligation: t.Term, state: SymState, description: str) -> None:
         """Discharge a logical side condition or fail loudly (no backtracking)."""
-        self._charge(f"side condition: {t.pretty(obligation)}")
+        self._charge(lambda: f"side condition: {t.pretty(obligation)}")
         tracer = self.tracer
         trace = tracer.enabled
         # Per-obligation spans, solver_call events, and the pretty-printed
         # goal are debug-tier payloads; standard detail keeps the solver
         # counters (which identify the winning solver) and nothing per-goal.
         debug = trace and tracer.debug
+        memo_key = None
+        if self.memo_subterms:
+            try:
+                hit = self._side_memo.get((state, state.version, obligation))
+            except TypeError:
+                hit = None
+            else:
+                memo_key = (state, state.version, obligation)
+            if hit is not None:
+                # Replay: the record is built exactly as a re-run would
+                # build it (the winning solver is deterministic), only the
+                # solver bank itself is skipped.
+                if trace:
+                    tracer.inc("memo.side.hits")
+                if self._condition_stack:
+                    self._condition_stack[-1].append(
+                        SideCondition(
+                            description=description,
+                            obligation_pretty=t.pretty(obligation),
+                            solver=hit,
+                        )
+                    )
+                return
         pretty = t.pretty(obligation) if debug else None
         span = tracer.span("side_condition", name=description) if debug else NULL_SPAN
         with span:
@@ -303,12 +377,17 @@ class Engine:
                     if solved:
                         tracer.inc(hits_key)
                 if solved:
+                    solver_name = getattr(solver, "__name__", repr(solver))
+                    if memo_key is not None:
+                        self._side_memo[memo_key] = solver_name
+                        if trace:
+                            tracer.inc("memo.side.misses")
                     if self._condition_stack:
                         self._condition_stack[-1].append(
                             SideCondition(
                                 description=description,
                                 obligation_pretty=t.pretty(obligation),
-                                solver=getattr(solver, "__name__", repr(solver)),
+                                solver=solver_name,
                             )
                         )
                     return
@@ -327,19 +406,41 @@ class Engine:
         self, state: SymState, term: t.Term, ty: Optional[SourceType] = None
     ) -> Tuple[ast.Expr, CertNode]:
         goal = ExprGoal(state=state, term=term, ty=ty)
-        self._charge(f"expr goal: {t.pretty(term)}")
+        self._charge(lambda: f"expr goal: {t.pretty(term)}")
         tracer = self.tracer
         trace = tracer.enabled
         debug = trace and tracer.debug
-        head = term_head(term) if trace else ""
+        memo_key = None
+        if self.memo_subterms:
+            try:
+                cached = self._expr_memo.get((state, state.version, term, ty))
+            except TypeError:
+                cached = None  # unhashable payload (e.g. list-valued Lit)
+            else:
+                memo_key = (state, state.version, term, ty)
+            if cached is not None:
+                if trace:
+                    tracer.inc("goals.expr")
+                    tracer.inc("memo.expr.hits")
+                return cached
+        head = term_head(term) if (trace or self.use_index) else ""
         outer = tracer.span("compile_expr", head=head) if debug else NULL_SPAN
         with outer:
             emit = tracer.event
             db_name = self.expr_db.name
             if trace:
                 tracer.inc("goals.expr")
+            if self.use_index:
+                lemma_seq = self.expr_db.candidates(head)
+                if trace:
+                    tracer.inc("dispatch.index.lookups")
+                    tracer.inc(
+                        "dispatch.index.pruned", len(self.expr_db) - len(lemma_seq)
+                    )
+            else:
+                lemma_seq = self.expr_db
             scanned = 0
-            for lemma in self.expr_db:
+            for lemma in lemma_seq:
                 scanned += 1
                 if not lemma.matches(goal):
                     if debug:
@@ -391,6 +492,10 @@ class Engine:
                             "cert_node", lemma=lemma.name, kind="expr",
                             conditions=len(conditions),
                         )
+                if memo_key is not None:
+                    self._expr_memo[memo_key] = (expr, node)
+                    if trace:
+                        tracer.inc("memo.expr.misses")
                 return expr, node
             stall_head = head if trace else term_head(term)
             if trace:
@@ -425,11 +530,11 @@ class Engine:
         goal = BindingGoal(
             state=state, name=name, value=value, spec=spec, monadic=monadic, names=names
         )
-        self._charge(f"binding goal: let/n {name} := {t.pretty(value)}")
+        self._charge(lambda: f"binding goal: let/n {name} := {t.pretty(value)}")
         tracer = self.tracer
         trace = tracer.enabled
         debug = trace and tracer.debug
-        head = term_head(value) if trace else ""
+        head = term_head(value) if (trace or self.use_index) else ""
         outer = (
             tracer.span("compile_binding", name=name, head=head, monadic=monadic)
             if debug
@@ -440,8 +545,17 @@ class Engine:
             db_name = self.binding_db.name
             if trace:
                 tracer.inc("goals.binding")
+            if self.use_index:
+                lemma_seq = self.binding_db.candidates(head)
+                if trace:
+                    tracer.inc("dispatch.index.lookups")
+                    tracer.inc(
+                        "dispatch.index.pruned", len(self.binding_db) - len(lemma_seq)
+                    )
+            else:
+                lemma_seq = self.binding_db
             scanned = 0
-            for lemma in self.binding_db:
+            for lemma in lemma_seq:
                 scanned += 1
                 if not lemma.matches(goal):
                     if debug:
@@ -700,6 +814,12 @@ class Engine:
         # makes the derivation (and its trace) independent of compile
         # history in the process.
         reset_ghosts()
+        # The subterm memo is scoped to one derivation, exactly like
+        # ghost names: entries from a previous function must never be
+        # visible (their states are dead), and clearing also releases the
+        # strong references the keys hold on SymState objects.
+        self._expr_memo.clear()
+        self._side_memo.clear()
         # Late-bind the flight recorder: engines are often built before a
         # CLI command installs its tracer.
         if self._explicit_tracer is None:
@@ -747,10 +867,17 @@ class Engine:
                     tracer.event("cert_node", lemma="derive", kind="root")
                 rewrites = tracer.metrics.get("resolve.rewrites") - rewrites_before
                 tracer.event("resolve_stats", rewrites=rewrites)
+                # Interning counters are process-global (the intern table
+                # outlives derivations), so they ride in a *volatile*
+                # event: visible in dumped traces and profiles, stripped
+                # from golden comparisons like wall-clock timings.
+                tracer.event("interning", **t.intern_stats())
                 tracer.inc("functions.compiled")
                 tracer.observe("certificate.size", certificate.size())
                 tracer.observe("function.statements", certificate.statements_compiled)
                 handle.note(rewrites=rewrites)
+            self._expr_memo.clear()
+            self._side_memo.clear()
             return CompiledFunction(
                 bedrock_fn=fn, certificate=certificate, spec=spec, model=model
             )

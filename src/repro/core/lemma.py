@@ -16,7 +16,8 @@ reports an error rather than silently trying the next lemma.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
+from bisect import insort
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.goals import BindingGoal, ExprGoal
 
@@ -25,6 +26,53 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.certificate import CertNode
     from repro.core.engine import Engine
     from repro.core.sepstate import SymState
+
+
+# -- Head-indexed dispatch ----------------------------------------------------------
+#
+# Lemma selection is a priority-ordered scan; on the standard library that
+# means ~20 ``matches`` calls per binding goal, almost all of which fail
+# on the very first ``isinstance`` test.  The index below moves that test
+# into the database: a lemma *declares* the goal-head constructors it can
+# ever match (``index_heads``), and ``HintDb.candidates(head)`` returns
+# only the plausible lemmas -- in exactly the order the linear scan would
+# have tried them, so committing to the first match is unchanged.
+#
+# ``index_heads = None`` (the default) means *head-agnostic*: the lemma
+# lands in the wildcard bucket and is consulted for every goal, so an
+# undeclared (e.g. third-party) lemma can never be skipped and semantics
+# cannot change.  Declaring ``index_heads`` for a lemma whose ``matches``
+# accepts some other head is a soundness bug in the declaration -- the
+# auditor's RA104 check and the differential equivalence harness
+# (``tests/core/test_dispatch_equivalence.py``) exist to catch it.
+
+_INDEX_ENABLED = True
+
+
+def index_enabled() -> bool:
+    return _INDEX_ENABLED
+
+
+def set_index_enabled(enabled: bool) -> bool:
+    """Toggle head-indexed dispatch globally; returns the previous setting.
+
+    Engines snapshot this flag at construction (``Engine(use_index=...)``
+    overrides it per engine), so flipping it affects engines built
+    afterwards -- the CLI's ``--no-index`` flips it before any engine
+    exists.
+    """
+    global _INDEX_ENABLED
+    previous = _INDEX_ENABLED
+    _INDEX_ENABLED = bool(enabled)
+    return previous
+
+
+def lemma_index_heads(lemma: object) -> Optional[Tuple[str, ...]]:
+    """The declared head keys of ``lemma``; ``None`` means head-agnostic."""
+    heads = getattr(lemma, "index_heads", None)
+    if heads is None:
+        return None
+    return tuple(heads)
 
 
 def lemma_family(lemma: object) -> str:
@@ -85,11 +133,21 @@ class BindingLemma:
     shadowing).  Declaring totality for a guarded lemma is a soundness
     bug in the declaration, not the auditor -- leave it False when in
     doubt.
+
+    ``index_heads`` declares the *complete* set of goal-value head
+    constructors ``matches`` can ever accept, enabling head-indexed
+    dispatch (:meth:`HintDb.candidates`).  Unlike ``shapes`` (advisory,
+    drives stall reporting), ``index_heads`` is load-bearing: a goal
+    whose head is not listed will never be offered to this lemma.  Leave
+    it ``None`` (head-agnostic, always consulted) when the guard
+    inspects anything beyond the value's own constructor -- e.g. reverse
+    value lookups in the symbolic state.
     """
 
     name: str = "<unnamed>"
     shapes: Tuple[str, ...] = ()
     shape_total: bool = False
+    index_heads: Optional[Tuple[str, ...]] = None
 
     def matches(self, goal: BindingGoal) -> bool:
         raise NotImplementedError
@@ -103,13 +161,14 @@ class BindingLemma:
 class ExprLemma:
     """Relates a scalar term shape to a Bedrock2 expression template.
 
-    ``shapes`` and ``shape_total`` carry the same audit metadata as on
-    :class:`BindingLemma`.
+    ``shapes``, ``shape_total``, and ``index_heads`` carry the same
+    audit/dispatch metadata as on :class:`BindingLemma`.
     """
 
     name: str = "<unnamed>"
     shapes: Tuple[str, ...] = ()
     shape_total: bool = False
+    index_heads: Optional[Tuple[str, ...]] = None
 
     def matches(self, goal: ExprGoal) -> bool:
         raise NotImplementedError
@@ -145,6 +204,20 @@ class HintDb:
         self.name = name
         self._entries: List[Tuple[int, int, object]] = []
         self._counter = 0
+        # Head-indexed dispatch: per-head sorted entry lists plus the
+        # wildcard bucket of head-agnostic lemmas (index_heads is None).
+        # Both are kept in the same (priority, -counter) order as
+        # _entries, so merging two buckets reproduces the scan order.
+        self._head_buckets: Dict[str, List[Tuple[int, int, object]]] = {}
+        self._wildcard: List[Tuple[int, int, object]] = []
+        # Memoized candidates() results and fingerprint, dropped on any
+        # mutation.
+        self._candidate_cache: Dict[str, List[object]] = {}
+        self._fingerprint_cache: Optional[str] = None
+
+    def _invalidate(self) -> None:
+        self._candidate_cache.clear()
+        self._fingerprint_cache = None
 
     def register(self, lemma: object, priority: int = 10, *, replace: bool = False) -> object:
         """Add a lemma; returns it so this can be used as a decorator helper.
@@ -167,17 +240,82 @@ class HintDb:
                 )
             self.remove(name)
         self._counter += 1
-        self._entries.append((priority, -self._counter, lemma))
-        self._entries.sort(key=lambda e: (e[0], e[1]))
+        entry = (priority, -self._counter, lemma)
+        # (priority, -counter) pairs are unique, so tuple comparison
+        # never reaches the lemma object; insort keeps registration
+        # O(log n) comparisons instead of the former full re-sort.
+        insort(self._entries, entry)
+        heads = lemma_index_heads(lemma)
+        if heads is None:
+            insort(self._wildcard, entry)
+        else:
+            for head in heads:
+                insort(self._head_buckets.setdefault(head, []), entry)
+        self._invalidate()
         return lemma
 
     def remove(self, lemma_name: str) -> bool:
         """Remove a lemma by name; returns whether something was removed."""
+
+        def keep(entry: Tuple[int, int, object]) -> bool:
+            return getattr(entry[2], "name", None) != lemma_name
+
         before = len(self._entries)
-        self._entries = [
-            entry for entry in self._entries if getattr(entry[2], "name", None) != lemma_name
-        ]
-        return len(self._entries) != before
+        self._entries = [entry for entry in self._entries if keep(entry)]
+        if len(self._entries) == before:
+            return False
+        self._wildcard = [entry for entry in self._wildcard if keep(entry)]
+        for head, bucket in list(self._head_buckets.items()):
+            filtered = [entry for entry in bucket if keep(entry)]
+            if filtered:
+                self._head_buckets[head] = filtered
+            else:
+                del self._head_buckets[head]
+        self._invalidate()
+        return True
+
+    def candidates(self, head: str) -> List[object]:
+        """Lemmas that could match a goal whose value has head ``head``.
+
+        Returns exactly the subsequence of the linear scan consisting of
+        the lemmas indexed under ``head`` plus every wildcard lemma, in
+        the scan's own (priority, registration-recency) order -- so
+        committing to the first match through this list picks the same
+        lemma the full scan would have picked, provided every
+        ``index_heads`` declaration is sound.  Results are memoized per
+        head until the next ``register``/``remove``.
+        """
+        cached = self._candidate_cache.get(head)
+        if cached is not None:
+            return cached
+        bucket = self._head_buckets.get(head)
+        if not bucket:
+            merged = [entry[2] for entry in self._wildcard]
+        elif not self._wildcard:
+            merged = [entry[2] for entry in bucket]
+        else:
+            merged = []
+            i = j = 0
+            wildcard = self._wildcard
+            while i < len(bucket) and j < len(wildcard):
+                if bucket[i][:2] < wildcard[j][:2]:
+                    merged.append(bucket[i][2])
+                    i += 1
+                else:
+                    merged.append(wildcard[j][2])
+                    j += 1
+            merged.extend(entry[2] for entry in bucket[i:])
+            merged.extend(entry[2] for entry in wildcard[j:])
+        self._candidate_cache[head] = merged
+        return merged
+
+    def indexed_heads(self) -> List[str]:
+        """Heads with a dedicated bucket (diagnostics/observability)."""
+        return sorted(self._head_buckets)
+
+    def wildcard_lemmas(self) -> List[object]:
+        """The head-agnostic lemmas, in scan order (diagnostics)."""
+        return [entry[2] for entry in self._wildcard]
 
     def __iter__(self) -> Iterator[object]:
         return (entry[2] for entry in self._entries)
@@ -212,7 +350,13 @@ class HintDb:
         content-addressed keys: registering, removing, reordering, or
         reprioritizing any lemma invalidates exactly the keys derived
         from this database.
+
+        Memoized until the next ``register``/``remove``: the serve layer
+        recomputes cache keys per request against long-lived databases,
+        so the digest is a hot-path cost worth caching.
         """
+        if self._fingerprint_cache is not None:
+            return self._fingerprint_cache
         import hashlib
 
         digest = hashlib.sha256()
@@ -229,7 +373,8 @@ class HintDb:
                 ).encode("utf-8")
             )
             digest.update(b"\x1e")
-        return digest.hexdigest()[:16]
+        self._fingerprint_cache = digest.hexdigest()[:16]
+        return self._fingerprint_cache
 
     def nearest_misses(self, term: object) -> List[str]:
         """Lemmas whose declared shape matches ``term``'s head constructor.
@@ -263,6 +408,10 @@ class HintDb:
         clone = HintDb(name or self.name)
         clone._entries = list(self._entries)
         clone._counter = self._counter
+        clone._wildcard = list(self._wildcard)
+        clone._head_buckets = {
+            head: list(bucket) for head, bucket in self._head_buckets.items()
+        }
         return clone
 
     def extended(self, *lemmas: object, priority: int = 0, name: Optional[str] = None) -> "HintDb":

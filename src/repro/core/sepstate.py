@@ -112,6 +112,11 @@ class SymState:
         # it was bound to, recorded by the engine so out-of-scope errors
         # can point at the binding site (a "source line" stand-in).
         self.binding_sites: Dict[str, str] = {}
+        # Monotone mutation counter.  The engine's per-derivation
+        # subterm-compilation memo keys on (state identity, version):
+        # any in-place update moves the version, so a memo entry can
+        # never be served against content it was not computed from.
+        self.version = 0
 
     # -- Construction -------------------------------------------------------------
 
@@ -135,35 +140,53 @@ class SymState:
     # -- Updates -----------------------------------------------------------------
 
     def bind_scalar(self, name: str, term: t.Term, ty: SourceType) -> None:
+        self.version += 1
         self.locals[name] = ScalarBinding(term, ty)
 
     def bind_pointer(self, name: str, ptr: PtrSym, ty: SourceType) -> None:
+        self.version += 1
         self.locals[name] = PointerBinding(ptr, ty)
 
     def add_clause(self, clause: Clause) -> None:
         if clause.ptr in self.heap:
             raise ValueError(f"heap clause for {clause.ptr!r} already present")
+        self.version += 1
         self.heap[clause.ptr] = clause
 
     def set_heap_value(self, ptr: PtrSym, value: t.Term) -> None:
         clause = self.heap[ptr]
+        self.version += 1
         self.heap[ptr] = replace(clause, value=value)
 
     def drop_clause(self, ptr: PtrSym) -> None:
+        self.version += 1
         del self.heap[ptr]
 
     def add_fact(self, fact: t.Term) -> None:
         if fact not in self.facts:
+            self.version += 1
             self.facts.append(fact)
+
+    def set_ghost_type(self, name: str, ty: SourceType) -> None:
+        """Declare a ghost variable's type (mutates, so versioned)."""
+        self.version += 1
+        self.ghost_types[name] = ty
+
+    def count_io_read(self) -> None:
+        """Record one consumed ``io.read`` event (mutates, so versioned)."""
+        self.version += 1
+        self.io_reads += 1
 
     def note_binding_site(self, name: str, rendered_value: str) -> None:
         """Record where ``name`` was last bound (for stall reports)."""
+        self.version += 1
         self.binding_sites[name] = rendered_value
 
     def binding_site(self, name: str) -> Optional[str]:
         return self.binding_sites.get(name)
 
     def append_trace(self, action: str, args: Tuple[t.Term, ...]) -> None:
+        self.version += 1
         self.trace = self.trace + ((action, args),)
 
     # -- Queries --------------------------------------------------------------------

@@ -21,15 +21,58 @@ combined system is infeasible over the rationals, the obligation follows.
 from __future__ import annotations
 
 import contextlib
-from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.source import terms as t
 from repro.source.types import NAT
 
 # A linear form: mapping from atom (a canonical Term) to coefficient, plus
-# a constant; represents  sum(coeff * atom) + const.
-LinearForm = Tuple[Dict[t.Term, Fraction], Fraction]
+# a constant; represents  sum(coeff * atom) + const.  Coefficients are
+# plain ints: linearization introduces only integers and Fourier-Motzkin
+# eliminates by cross-multiplying with coefficient magnitudes (never
+# dividing), so the system stays integral -- exact, and much cheaper
+# than rational arithmetic on the discharge hot path.
+LinearForm = Tuple[Dict[t.Term, int], int]
+
+# -- Node memos over hash-consed terms ------------------------------------------------
+#
+# ``canonicalize``/``_linearize``/``_fact_to_inequalities`` are pure term
+# walks, and the solver re-runs them for every fact on every discharge.
+# Hash-consing makes them memoizable by node *identity*: a canonical node
+# (``_hc_canonical``) is pinned forever by the intern table, so its
+# ``id()`` is a stable key, and each entry stores ``(node, result)`` so a
+# hit is re-validated by identity.  The memos are registered with
+# :func:`repro.source.terms.register_node_memo` (cleared with the table)
+# and gated on :func:`~repro.source.terms.interning_enabled` so that
+# ``--no-intern`` disables the whole layer, not just the table.  Results
+# are shared, never mutated: every consumer builds fresh dicts/lists
+# (``_add``, ``_scale``, ``_fourier_motzkin_infeasible``).
+
+_CANON_MEMO: Dict[int, tuple] = t.register_node_memo({})
+_LINEARIZE_MEMO: Dict[int, tuple] = t.register_node_memo({})
+_FACT_INEQ_MEMO: Dict[int, tuple] = t.register_node_memo({})
+
+
+def _node_memo(memo: Dict[int, tuple]):
+    """Memoize a unary pure term walk over canonical (interned) nodes."""
+
+    def wrap(walk):
+        def wrapped(term):
+            if not t.interning_enabled():
+                return walk(term)
+            entry = memo.get(id(term))
+            if entry is not None and entry[0] is term:
+                return entry[1]
+            result = walk(term)
+            if term.__dict__.get("_hc_canonical"):
+                memo[id(term)] = (term, result)
+            return result
+
+        wrapped.__name__ = walk.__name__
+        wrapped.__doc__ = walk.__doc__
+        return wrapped
+
+    return wrap
 
 
 # -- Structural normalization of length terms ----------------------------------------
@@ -117,6 +160,7 @@ def normalize_append_len(first: t.Term, second: t.Term) -> Optional[t.Term]:
     return None
 
 
+@_node_memo(_CANON_MEMO)
 def canonicalize(term: t.Term) -> t.Term:
     """Normalize length subterms so syntactic lookups see through mutation.
 
@@ -151,22 +195,23 @@ def canonicalize(term: t.Term) -> t.Term:
 # -- Linearization --------------------------------------------------------------------
 
 
+@_node_memo(_LINEARIZE_MEMO)
 def _linearize(term: t.Term) -> LinearForm:
     """Linearize a nat term over atoms; unknown structure becomes an atom."""
     if isinstance(term, t.Lit) and isinstance(term.value, int):
-        return {}, Fraction(term.value)
+        return {}, term.value
     if isinstance(term, t.Prim):
         if term.op == "nat.add":
             return _add(_linearize(term.args[0]), _linearize(term.args[1]), 1)
         if term.op == "nat.mul":
             lhs, rhs = term.args
             if isinstance(lhs, t.Lit) and isinstance(lhs.value, int):
-                return _scale(_linearize(rhs), Fraction(lhs.value))
+                return _scale(_linearize(rhs), lhs.value)
             if isinstance(rhs, t.Lit) and isinstance(rhs.value, int):
-                return _scale(_linearize(lhs), Fraction(rhs.value))
-            return {_canonical(term): Fraction(1)}, Fraction(0)
+                return _scale(_linearize(lhs), rhs.value)
+            return {_canonical(term): 1}, 0
         if term.op == "cast.to_nat" or term.op == "cast.b2n":
-            return {_canonical(term): Fraction(1)}, Fraction(0)
+            return {_canonical(term): 1}, 0
         # nat.sub is truncated; sound only with relational knowledge, so it
         # stays opaque (see module docstring).
     if isinstance(term, t.ArrayLen):
@@ -177,10 +222,10 @@ def _linearize(term: t.Term) -> LinearForm:
                 normalized = special
         if normalized != term:
             return _linearize(normalized)
-        return {_canonical(term): Fraction(1)}, Fraction(0)
+        return {_canonical(term): 1}, 0
     if isinstance(term, t.Append):
         return _linearize(t.ArrayLen(term))  # pragma: no cover - defensive
-    return {_canonical(term): Fraction(1)}, Fraction(0)
+    return {_canonical(term): 1}, 0
 
 
 def _canonical(term: t.Term) -> t.Term:
@@ -195,19 +240,20 @@ def _canonical(term: t.Term) -> t.Term:
 def _add(a: LinearForm, b: LinearForm, sign: int) -> LinearForm:
     coeffs = dict(a[0])
     for atom, coeff in b[0].items():
-        coeffs[atom] = coeffs.get(atom, Fraction(0)) + sign * coeff
+        coeffs[atom] = coeffs.get(atom, 0) + sign * coeff
         if coeffs[atom] == 0:
             del coeffs[atom]
     return coeffs, a[1] + sign * b[1]
 
 
-def _scale(a: LinearForm, factor: Fraction) -> LinearForm:
+def _scale(a: LinearForm, factor: int) -> LinearForm:
     return {k: v * factor for k, v in a[0].items() if v * factor != 0}, a[1] * factor
 
 
 # -- Inequality systems and Fourier-Motzkin --------------------------------------------
 
 
+@_node_memo(_FACT_INEQ_MEMO)
 def _fact_to_inequalities(fact: t.Term) -> List[LinearForm]:
     """Turn a boolean fact into 0 or more ``expr <= 0`` forms."""
     if isinstance(fact, t.Prim):
@@ -258,7 +304,7 @@ def _fourier_motzkin_infeasible(system: List[LinearForm]) -> bool:
     for var in variables:
         positive, negative, others = [], [], []
         for coeffs, const in constraints:
-            coeff = coeffs.get(var, Fraction(0))
+            coeff = coeffs.get(var, 0)
             if coeff > 0:
                 positive.append((coeffs, const))
             elif coeff < 0:
@@ -270,11 +316,11 @@ def _fourier_motzkin_infeasible(system: List[LinearForm]) -> bool:
             for neg_coeffs, neg_const in negative:
                 scale_pos = -neg_coeffs[var]
                 scale_neg = pos_coeffs[var]
-                merged: Dict[t.Term, Fraction] = {}
+                merged: Dict[t.Term, int] = {}
                 for atom, coeff in pos_coeffs.items():
-                    merged[atom] = merged.get(atom, Fraction(0)) + scale_pos * coeff
+                    merged[atom] = merged.get(atom, 0) + scale_pos * coeff
                 for atom, coeff in neg_coeffs.items():
-                    merged[atom] = merged.get(atom, Fraction(0)) + scale_neg * coeff
+                    merged[atom] = merged.get(atom, 0) + scale_neg * coeff
                 merged = {k: v for k, v in merged.items() if v != 0}
                 merged.pop(var, None)
                 combined.append((merged, scale_pos * pos_const + scale_neg * neg_const))
@@ -334,7 +380,7 @@ def _saturate_subtractions(system: List[LinearForm], state, depth: int) -> None:
             saturated.add(atom)
             lhs, rhs = atom.args
             lhs_form, rhs_form = _linearize(lhs), _linearize(rhs)
-            atom_form: LinearForm = ({atom: Fraction(1)}, Fraction(0))
+            atom_form: LinearForm = ({atom: 1}, 0)
             # s >= a - b  ~>  a - b - s <= 0  (holds unconditionally).
             lower = _add(_add(lhs_form, rhs_form, -1), atom_form, -1)
             system.append(lower)
@@ -358,7 +404,7 @@ def _entails(obligation: t.Term, state, depth: int) -> bool:
         system.extend(_fact_to_inequalities(fact))
     _saturate_subtractions(system, state, depth)
     for atom in _collect_atoms(system):
-        system.append(({atom: Fraction(-1)}, Fraction(0)))
+        system.append(({atom: -1}, 0))
     return _fourier_motzkin_infeasible(system)
 
 
@@ -395,10 +441,10 @@ def linear_arithmetic_solver(obligation: t.Term, state) -> bool:
             and isinstance(atom.args[1].value, int)
             and atom.args[1].value > 0
         ):
-            k = Fraction(atom.args[1].value)
+            k = atom.args[1].value
             numerator = _linearize(atom.args[0])
             atoms.update(numerator[0])
-            d_form: LinearForm = ({atom: k}, Fraction(0))
+            d_form: LinearForm = ({atom: k}, 0)
             # k*D - X <= 0
             system.append(_add(d_form, numerator, -1))
             # X - k*D - (k-1) <= 0
@@ -410,10 +456,10 @@ def linear_arithmetic_solver(obligation: t.Term, state) -> bool:
     # masked index against a table whose length is only known as a fact).
     full = 1 << getattr(state, "width", 64)
     for atom in atoms:
-        system.append(({atom: Fraction(-1)}, Fraction(0)))
+        system.append(({atom: -1}, 0))
         bound = upper_bound(atom, getattr(state, "width", 64), state)
         if bound < full - 1:
-            system.append(({atom: Fraction(1)}, Fraction(-bound)))
+            system.append(({atom: 1}, -bound))
     return _fourier_motzkin_infeasible(system)
 
 

@@ -151,7 +151,7 @@ class FnSpec:
         state = SymState(width=width)
         ghosts = {param: self.ghost_name(param) for param, _ in model.params}
         for param, ty in model.params:
-            state.ghost_types[ghosts[param]] = ty
+            state.set_ghost_type(ghosts[param], ty)
         for arg in self.args:
             ghost = ghosts.get(arg.param, self.ghost_name(arg.param))
             state.ghost_types.setdefault(

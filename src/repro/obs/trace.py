@@ -60,6 +60,10 @@ EVENT_SCHEMA: Dict[str, Dict[str, tuple]] = {
     "solver_call": {"required": ("solver", "solved"), "optional": ("goal",)},
     "cert_node": {"required": ("lemma", "kind"), "optional": ("conditions",)},
     "resolve_stats": {"required": ("rewrites",), "optional": ()},
+    # Term-interning table stats at derivation end.  The intern table is
+    # process-global (hits depend on what compiled earlier in the same
+    # process), so this event is volatile: dumped, never golden-compared.
+    "interning": {"required": ("size", "hits", "misses"), "optional": ()},
     "opt_pass": {
         "required": ("pass", "status"),
         "optional": ("before", "after", "detail"),
@@ -360,7 +364,7 @@ class Tracer:
 
 # Record types and fields that may legitimately differ between two runs
 # of the same seed (wall-clock data); stripped before golden comparison.
-VOLATILE_EVENTS = frozenset({"timings"})
+VOLATILE_EVENTS = frozenset({"timings", "interning"})
 VOLATILE_FIELDS = frozenset({"ms", "dur", "elapsed", "time"})
 
 

@@ -46,12 +46,36 @@ def _digest(*parts: str) -> str:
     return digest.hexdigest()
 
 
+# Per-node memo for term reprs.  With hash-consing on, a model's term is
+# a canonical node whose repr never changes, so the serve hot path (every
+# cache lookup re-fingerprints its model) can skip the recursive repr
+# walk.  Keyed by *identity* -- structural keying would conflate
+# ``Lit(True)``/``Lit(1)``, which are ``==`` but repr differently -- and
+# only for interned nodes, whose table entry keeps them (and hence the
+# id) alive.
+_TERM_REPR_MEMO: dict = {}
+
+
+def _term_repr(term) -> str:
+    from repro.source import terms as t
+
+    if not t.interning_enabled():
+        return repr(term)
+    key = id(term)
+    cached = _TERM_REPR_MEMO.get(key)
+    if cached is not None and cached[0] is term:
+        return cached[1]
+    rendered = repr(term)
+    _TERM_REPR_MEMO[key] = (term, rendered)
+    return rendered
+
+
 def source_fingerprint(model: Model) -> str:
     """A stable hash of the reified functional model."""
     return _digest(
         model.name,
         repr(model.params),
-        repr(model.term),
+        _term_repr(model.term),
         repr(model.result_ty),
     )[:16]
 

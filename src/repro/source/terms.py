@@ -17,12 +17,193 @@ engine, works by syntactic matching on these same nodes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.source.types import SourceType
 
+# -- Hash-consing -------------------------------------------------------------------
+#
+# Structural equality and hashing dominate proof-search cost: the engine's
+# ``resolve``, the reverse value lookups (``find_local_by_value``), and the
+# postcondition checks all compare whole terms, and the default dataclass
+# ``__hash__``/``__eq__`` re-walk the tree on every call.  Hash-consing
+# fixes both costs at the constructor: every ``Term`` class is interned
+# (structurally equal construction returns the *same* object), each node
+# caches its structural hash after the first computation, and equality
+# takes an identity fast path.  All of this is semantically invisible --
+# ``==``, ``hash``, ``repr``, and pickling behave exactly as before -- so
+# derivations, certificates, and cache keys are byte-identical either way.
+#
+# The kill switch (`repro --no-intern`, :func:`set_interning`) disables
+# the interning table; hash caching and the identity fast path stay (they
+# are pure memoization of unchanged functions).
 
-class Term:
+_INTERN_ENABLED = True
+_INTERN_TABLE: Dict[tuple, "Term"] = {}
+_INTERN_HITS = 0
+_INTERN_MISSES = 0
+
+
+# Scalars tagged with their exact type inside intern keys: ``True == 1``
+# and ``hash(True) == hash(1)``, but a bool literal and a word literal
+# are different programs and must not collapse to one table entry.
+_TAGGED_SCALARS = (bool, int, float)
+
+
+def _field_key(value: object) -> object:
+    """A type-exact stand-in for one constructor field in the intern key.
+
+    ``Term`` children stand in by *identity*: children are constructed
+    (hence interned) before their parents, so a canonical child's
+    ``id()`` denotes its exact structure -- type-exactly, unlike ``==``,
+    which conflates ``Lit(True)`` with ``Lit(1)``.  The id is safe
+    because the table holds a strong reference to every canonical node
+    (it cannot be recycled while a key mentions it).  A *non*-canonical
+    child (built while interning was off, or carrying an unhashable
+    payload) has no such guarantee, so the parent skips the table: the
+    ``TypeError`` is caught by the constructor, which returns the parent
+    un-interned.
+    """
+    kind = type(value)
+    if kind in _TAGGED_SCALARS:
+        return (kind, value)
+    if kind is tuple:
+        return tuple(map(_field_key, value))
+    if isinstance(value, Term):
+        if value.__dict__.get("_hc_canonical"):
+            return id(value)
+        raise TypeError("non-canonical Term child")
+    return value
+
+
+def _intern_key(node: "Term") -> tuple:
+    parts: list = [type(node)]
+    for name, value in node.__dict__.items():
+        if name in ("_hc_hash", "_hc_canonical"):
+            continue
+        parts.append(_field_key(value))
+    return tuple(parts)
+
+
+def interning_enabled() -> bool:
+    return _INTERN_ENABLED
+
+
+def set_interning(enabled: bool) -> bool:
+    """Toggle the interning constructor; returns the previous setting."""
+    global _INTERN_ENABLED
+    previous = _INTERN_ENABLED
+    _INTERN_ENABLED = bool(enabled)
+    return previous
+
+
+# Identity-keyed caches over canonical nodes, registered by other modules
+# (solver linearization, serve fingerprinting, ...).  They key on
+# ``id(node)``, which is only stable while the intern table pins the
+# node, so dropping the table must drop them too.
+_NODE_MEMOS: list = []
+
+
+def register_node_memo(memo: dict) -> dict:
+    """Register an ``id(node)``-keyed cache tied to the intern table."""
+    _NODE_MEMOS.append(memo)
+    return memo
+
+
+def clear_intern_table() -> None:
+    """Drop every interned node (memory hygiene for long-lived servers)."""
+    _INTERN_TABLE.clear()
+    for memo in _NODE_MEMOS:
+        memo.clear()
+
+
+def intern_stats() -> Dict[str, int]:
+    """Counters for :mod:`repro.obs`: table size and constructor hit rate."""
+    return {
+        "size": len(_INTERN_TABLE),
+        "hits": _INTERN_HITS,
+        "misses": _INTERN_MISSES,
+    }
+
+
+def _cached_hash(orig_hash):
+    def __hash__(self):
+        try:
+            return self._hc_hash
+        except AttributeError:
+            pass
+        value = orig_hash(self)
+        object.__setattr__(self, "_hc_hash", value)
+        return value
+
+    return __hash__
+
+
+def _identity_fast_eq(orig_eq):
+    def __eq__(self, other):
+        if self is other:
+            return True
+        return orig_eq(self, other)
+
+    return __eq__
+
+
+class _TermMeta(type):
+    """Interning constructor shared by every ``Term`` subclass.
+
+    The dataclass decorator runs *after* class creation, so the generated
+    ``__hash__``/``__eq__`` are wrapped lazily at first instantiation
+    (``_hc_ready``).  Term dataclasses are frozen with no defaults and no
+    ``__post_init__``, so a positional argument list *is* the field list:
+    the intern key is built straight from the arguments and a table hit
+    returns the canonical node without ever running the dataclass
+    constructor -- that short-circuit is what makes interning cheaper
+    than plain construction on the proof-search hot path.  Keyword calls
+    and misses construct normally and are keyed by field (same key
+    shape, so both call styles share one table entry).  Canonical nodes
+    carry a ``_hc_canonical`` mark so parents can key children by
+    ``id()``; nodes with unhashable payloads (e.g. a ``Lit`` holding a
+    list) are returned un-interned -- exactly the nodes that could never
+    key a dict anyway.
+    """
+
+    def __call__(cls, *args, **kwargs):
+        if "_hc_ready" not in cls.__dict__:
+            if "__hash__" in cls.__dict__ and cls.__dict__["__hash__"] is not None:
+                cls.__hash__ = _cached_hash(cls.__dict__["__hash__"])
+            if "__eq__" in cls.__dict__:
+                cls.__eq__ = _identity_fast_eq(cls.__dict__["__eq__"])
+            cls._hc_ready = True
+        if not _INTERN_ENABLED:
+            return super().__call__(*args, **kwargs)
+        global _INTERN_HITS, _INTERN_MISSES
+        if not kwargs:
+            try:
+                key = (cls,) + tuple(map(_field_key, args))
+                cached = _INTERN_TABLE.get(key)
+            except TypeError:  # unhashable payload or non-canonical child
+                return super().__call__(*args, **kwargs)
+            if cached is not None:
+                _INTERN_HITS += 1
+                return cached
+            node = super().__call__(*args)
+        else:
+            node = super().__call__(*args, **kwargs)
+            try:
+                key = _intern_key(node)
+                cached = _INTERN_TABLE.get(key)
+            except TypeError:
+                return node
+            if cached is not None:
+                _INTERN_HITS += 1
+                return cached
+        _INTERN_MISSES += 1
+        _INTERN_TABLE[key] = node
+        object.__setattr__(node, "_hc_canonical", True)
+        return node
+
+
+class Term(metaclass=_TermMeta):
     """Base class of source terms."""
 
     __slots__ = ()
@@ -33,6 +214,16 @@ class Term:
     def binders(self) -> Tuple[str, ...]:
         """Names bound by this node in its (last) child."""
         return ()
+
+    def __getstate__(self):
+        # The cached structural hash must never be pickled: str hashes
+        # are per-process (PYTHONHASHSEED), so a hash computed in one
+        # worker is garbage in another.  The canonical mark is dropped
+        # too -- an unpickled clone is not in any intern table.
+        state = dict(self.__dict__)
+        state.pop("_hc_hash", None)
+        state.pop("_hc_canonical", None)
+        return state
 
 
 @dataclass(frozen=True)
@@ -634,8 +825,27 @@ def subst(term: Term, name: str, replacement: Term) -> Term:
     return term
 
 
+# Certificates record a pretty-printed copy of every discharged side
+# condition, so ``pretty`` runs on the proof-search hot path, usually on
+# the same interned obligation terms over and over.  Only the
+# ``indent == 0`` rendering is cacheable (let-bodies embed the pad).
+_PRETTY_MEMO: Dict[int, tuple] = register_node_memo({})
+
+
 def pretty(term: Term, indent: int = 0) -> str:
     """A compact, Gallina-flavoured rendering used in stall messages."""
+    if indent == 0 and _INTERN_ENABLED:
+        entry = _PRETTY_MEMO.get(id(term))
+        if entry is not None and entry[0] is term:
+            return entry[1]
+        rendered = _pretty_walk(term, 0)
+        if term.__dict__.get("_hc_canonical"):
+            _PRETTY_MEMO[id(term)] = (term, rendered)
+        return rendered
+    return _pretty_walk(term, indent)
+
+
+def _pretty_walk(term: Term, indent: int) -> str:
     pad = "  " * indent
     if isinstance(term, Lit):
         return f"{term.value}"

@@ -43,6 +43,7 @@ class CompilePointerIdentity(BindingLemma):
 
     name = "compile_pointer_identity"
     shapes = ("Var", "MRet")
+    index_heads = ("Var", "MRet")
 
     def matches(self, goal: BindingGoal) -> bool:
         from repro.core.sepstate import PointerBinding
@@ -72,6 +73,7 @@ class CompileSetScalar(BindingLemma):
 
     name = "compile_set_scalar"
     shapes = tuple(cls.__name__ for cls in SCALAR_VALUE_NODES)
+    index_heads = shapes
 
     def matches(self, goal: BindingGoal) -> bool:
         value = goal.value

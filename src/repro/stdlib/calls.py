@@ -26,6 +26,7 @@ class CompileCall(BindingLemma):
 
     name = "compile_call"
     shapes = ("Call",)
+    index_heads = shapes
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.Call) and not goal.value.func.startswith(

@@ -34,6 +34,7 @@ class CompileIf(BindingLemma):
 
     name = "compile_if"
     shapes = ("If",)
+    index_heads = shapes
     shape_total = True
 
     def matches(self, goal: BindingGoal) -> bool:

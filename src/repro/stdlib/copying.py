@@ -49,6 +49,7 @@ class CompileCopyInto(BindingLemma):
 
     name = "compile_copy_into"
     shapes = ("Copy",)
+    index_heads = shapes
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.Copy) and isinstance(
@@ -104,7 +105,7 @@ class CompileCopyInto(BindingLemma):
         ghost = SymState.fresh_ghost("i")
 
         loop_state = work.copy()
-        loop_state.ghost_types[ghost] = NAT
+        loop_state.set_ghost_type(ghost, NAT)
         loop_state.bind_scalar(idx, t.Var(ghost), NAT)
         loop_state.add_fact(t.Prim("nat.ltb", (t.Var(ghost), t.ArrayLen(src))))
         # Invariant: copied prefix ++ untouched destination suffix.

@@ -36,6 +36,7 @@ class CompileErrGuard(BindingLemma):
 
     name = "compile_err_guard"
     shapes = ("ErrGuard",)
+    index_heads = shapes
     shape_total = True
 
     def matches(self, goal: BindingGoal) -> bool:

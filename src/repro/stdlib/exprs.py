@@ -98,6 +98,7 @@ class ExprLit(ExprLemma):
 
     name = "expr_lit"
     shapes = ("Lit",)
+    index_heads = shapes
 
     def matches(self, goal: ExprGoal) -> bool:
         return isinstance(goal.term, t.Lit) and not isinstance(
@@ -126,6 +127,9 @@ class ExprLocalLookup(ExprLemma):
 
     name = "expr_local_lookup"
     shapes = ("Var",)
+    # Head-AGNOSTIC: the reverse value lookup can hit for any term a
+    # local happens to hold, not just Var -- must stay in the
+    # wildcard bucket (index_heads = None, the inherited default).
 
     def matches(self, goal: ExprGoal) -> bool:
         return find_local_canonical(goal.state, goal.term) is not None
@@ -142,6 +146,9 @@ class ExprKnownLength(ExprLemma):
 
     name = "expr_known_len"
     shapes = ("ArrayLen",)
+    # Matches bare ``length a`` AND its word encoding
+    # ``cast.of_nat (length a)`` -- two goal heads, not one.
+    index_heads = ("ArrayLen", "Prim")
 
     def _find(self, state: SymState, term: t.Term):
         inner = term
@@ -168,6 +175,8 @@ class ExprCellLoad(ExprLemma):
 
     name = "expr_cell_load"
     shapes = ("CellGet",)
+    # Head-AGNOSTIC: matches any term some cell clause currently
+    # denotes -- must stay in the wildcard bucket.
 
     def _find(self, state: SymState, term: t.Term):
         for ptr, clause in state.heap.items():
@@ -199,6 +208,7 @@ class ExprArrayGet(ExprLemma):
 
     name = "expr_array_get"
     shapes = ("ArrayGet",)
+    index_heads = shapes
     shape_total = True
 
     def matches(self, goal: ExprGoal) -> bool:
@@ -248,6 +258,7 @@ class ExprPrim(ExprLemma):
 
     name = "expr_prim"
     shapes = ("Prim",)
+    index_heads = shapes
     shape_total = True
 
     def matches(self, goal: ExprGoal) -> bool:

@@ -34,6 +34,7 @@ class ExprTableGet(ExprLemma):
 
     name = "expr_inline_table_get"
     shapes = ("TableGet",)
+    index_heads = shapes
     shape_total = True
 
     def matches(self, goal: ExprGoal) -> bool:

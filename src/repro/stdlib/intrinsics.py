@@ -45,6 +45,7 @@ class CompileCellIAdd(BindingLemma):
 
     name = "compile_cell_iadd"
     shapes = ("CellPut",)
+    index_heads = shapes
 
     def matches(self, goal: BindingGoal) -> bool:
         if _match_iadd(goal) is None:

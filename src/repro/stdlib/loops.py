@@ -131,7 +131,7 @@ class _LoopLemma(BindingLemma):
         hi_term: t.Term,
     ) -> SymState:
         loop_state = work.copy()
-        loop_state.ghost_types[ghost] = NAT
+        loop_state.set_ghost_type(ghost, NAT)
         loop_state.bind_scalar(idx_local, t.Var(ghost), NAT)
         loop_state.add_fact(t.Prim("nat.leb", (lo_term, t.Var(ghost))))
         loop_state.add_fact(t.Prim("nat.ltb", (t.Var(ghost), hi_term)))
@@ -181,6 +181,7 @@ class CompileArrayMapInPlace(_LoopLemma):
 
     name = "compile_arraymap_inplace"
     shapes = ("ArrayMap",)
+    index_heads = shapes
 
     def matches(self, goal: BindingGoal) -> bool:
         value = goal.value
@@ -285,6 +286,7 @@ class CompileArrayFold(_LoopLemma):
 
     name = "compile_arrayfold"
     shapes = ("ArrayFold",)
+    index_heads = shapes
 
     def matches(self, goal: BindingGoal) -> bool:
         value = goal.value
@@ -372,6 +374,7 @@ class CompileArrayFoldBreak(_LoopLemma):
 
     name = "compile_arrayfold_break"
     shapes = ("ArrayFoldBreak",)
+    index_heads = shapes
 
     def matches(self, goal: BindingGoal) -> bool:
         value = goal.value
@@ -464,6 +467,7 @@ class CompileRangedFor(_LoopLemma):
 
     name = "compile_rangedfor"
     shapes = ("RangedFor",)
+    index_heads = shapes
     shape_total = True
 
     def matches(self, goal: BindingGoal) -> bool:
@@ -520,6 +524,7 @@ class CompileNatIter(_LoopLemma):
 
     name = "compile_natiter"
     shapes = ("NatIter",)
+    index_heads = shapes
     shape_total = True
 
     def matches(self, goal: BindingGoal) -> bool:

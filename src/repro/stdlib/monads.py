@@ -40,6 +40,7 @@ class CompileIORead(BindingLemma):
 
     name = "compile_io_read"
     shapes = ("IORead",)
+    index_heads = shapes
     shape_total = True
 
     def matches(self, goal: BindingGoal) -> bool:
@@ -48,9 +49,9 @@ class CompileIORead(BindingLemma):
     def apply(self, goal: BindingGoal, engine) -> Tuple[ast.Stmt, object, List[CertNode]]:
         state = goal.state.copy()
         ghost = SymState.fresh_ghost("io_in")
-        state.ghost_types[ghost] = WORD
+        state.set_ghost_type(ghost, WORD)
         state.bind_scalar(goal.name, t.Var(ghost), WORD)
-        state.io_reads += 1
+        state.count_io_read()
         state.append_trace("read", (t.Var(ghost),))
         return ast.SInteract((goal.name,), "read", ()), state, []
 
@@ -60,6 +61,7 @@ class CompileIOWrite(BindingLemma):
 
     name = "compile_io_write"
     shapes = ("IOWrite",)
+    index_heads = shapes
     shape_total = True
 
     def matches(self, goal: BindingGoal) -> bool:
@@ -82,6 +84,7 @@ class CompileWriterTell(BindingLemma):
 
     name = "compile_writer_tell"
     shapes = ("WriterTell",)
+    index_heads = shapes
     shape_total = True
 
     def matches(self, goal: BindingGoal) -> bool:
@@ -106,6 +109,7 @@ class CompileNdAny(BindingLemma):
 
     name = "compile_nd_any"
     shapes = ("NdAny",)
+    index_heads = shapes
     shape_total = True
 
     def matches(self, goal: BindingGoal) -> bool:
@@ -125,6 +129,7 @@ class CompileStGet(BindingLemma):
 
     name = "compile_st_get"
     shapes = ("StGet",)
+    index_heads = shapes
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.StGet) and goal.spec.state_param is not None
@@ -162,6 +167,7 @@ class CompileStPut(CompileStGet):
 
     name = "compile_st_put"
     shapes = ("StPut",)
+    index_heads = shapes
 
     def matches(self, goal: BindingGoal) -> bool:
         return isinstance(goal.value, t.StPut) and goal.spec.state_param is not None

@@ -38,6 +38,7 @@ class CompileArrayPut(BindingLemma):
 
     name = "compile_array_put"
     shapes = ("ArrayPut",)
+    index_heads = shapes
 
     def matches(self, goal: BindingGoal) -> bool:
         value = goal.value
@@ -105,6 +106,7 @@ class CompileCellPut(BindingLemma):
 
     name = "compile_cell_put"
     shapes = ("CellPut",)
+    index_heads = shapes
 
     def matches(self, goal: BindingGoal) -> bool:
         value = goal.value

@@ -52,6 +52,7 @@ class CompileQueryAggregate(_LoopLemma):
 
     name = "compile_query_aggregate"
     shapes = ("QAggregate",)
+    index_heads = shapes
     shape_total = True
 
     def matches(self, goal: BindingGoal) -> bool:
@@ -72,6 +73,7 @@ class CompileQueryJoinAgg(_LoopLemma):
 
     name = "compile_query_join_agg"
     shapes = ("QJoinAgg",)
+    index_heads = shapes
     shape_total = True
 
     def matches(self, goal: BindingGoal) -> bool:
@@ -98,6 +100,7 @@ class CompileQueryProjectInto(_LoopLemma):
 
     name = "compile_query_project_into"
     shapes = ("QProjectInto",)
+    index_heads = shapes
 
     def matches(self, goal: BindingGoal) -> bool:
         value = goal.value

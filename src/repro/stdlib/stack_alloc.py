@@ -35,6 +35,7 @@ class CompileStackAlloc(BindingLemma):
 
     name = "compile_stack_alloc"
     shapes = ("Stack",)
+    index_heads = shapes
     shape_total = True
 
     def matches(self, goal: BindingGoal) -> bool:
@@ -108,6 +109,7 @@ class CompileNdAlloc(BindingLemma):
 
     name = "compile_nd_alloc"
     shapes = ("NdAllocBytes",)
+    index_heads = shapes
     shape_total = True
 
     def matches(self, goal: BindingGoal) -> bool:
@@ -123,7 +125,7 @@ class CompileNdAlloc(BindingLemma):
         ghost = SymState.fresh_ghost("nd")
         ptr = PtrSym(f"stk_{goal.name}_{SymState.fresh_ghost('s')}")
         new_state = state.copy()
-        new_state.ghost_types[ghost] = ARRAY_BYTE
+        new_state.set_ghost_type(ghost, ARRAY_BYTE)
         new_state.bind_pointer(goal.name, ptr, ARRAY_BYTE)
         new_state.add_clause(
             Clause(ptr=ptr, ty=ARRAY_BYTE, value=t.Var(ghost), capacity=value.nbytes)

@@ -1,0 +1,188 @@
+"""Index-order properties of ``HintDb.candidates`` (tentpole layer 1).
+
+The index is only sound if, for every head, ``candidates(head)``
+enumerates *exactly* the subsequence of the linear scan a goal with that
+head could ever commit to -- same members, same order -- under any
+history of registrations, ``replace=True`` overrides, and removals.
+Hypothesis drives random database scripts through that invariant, and
+the auditor cross-checks close the loop: RA104 is the static face of the
+same property, and RA101/RA102's order-sensitive diagnostics must
+describe the indexed scan as accurately as the linear one.
+"""
+
+import time
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.hintdb import audit_hintdb
+from repro.core.lemma import DuplicateLemma, HintDb
+
+HEADS = ("Lit", "Var", "Prim", "If", "ArrayGet", "ArrayLen")
+
+
+class FakeLemma:
+    def __init__(self, name, index_heads=None, shapes=(), shape_total=False):
+        self.name = name
+        self.index_heads = index_heads
+        self.shapes = tuple(shapes)
+        self.shape_total = shape_total
+
+    def matches(self, goal):  # pragma: no cover - auditor looks, never calls
+        return True
+
+    def __repr__(self):
+        return f"FakeLemma({self.name}, heads={self.index_heads})"
+
+
+def expected_candidates(db, head):
+    """The ground truth: filter the linear scan by declared heads."""
+    return [
+        lemma
+        for lemma in db
+        if lemma.index_heads is None or head in lemma.index_heads
+    ]
+
+
+def check_index_matches_scan(db):
+    for head in HEADS + ("NeverIndexed",):
+        assert db.candidates(head) == expected_candidates(db, head), head
+
+
+_op = st.tuples(
+    st.sampled_from(["register", "register", "register", "replace", "remove"]),
+    st.integers(min_value=0, max_value=11),  # name pool
+    st.integers(min_value=0, max_value=4),  # priority
+    st.one_of(  # index_heads: None = wildcard
+        st.none(),
+        st.sets(st.sampled_from(HEADS), min_size=1, max_size=3).map(
+            lambda s: tuple(sorted(s))
+        ),
+    ),
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(_op, min_size=1, max_size=30))
+def test_candidates_is_exact_scan_subsequence(script):
+    db = HintDb("random")
+    for kind, which, priority, heads in script:
+        name = f"lem{which}"
+        if kind == "remove":
+            db.remove(name)
+            continue
+        lemma = FakeLemma(name, index_heads=heads, shapes=heads or ())
+        try:
+            db.register(lemma, priority=priority, replace=(kind == "replace"))
+        except DuplicateLemma:
+            pass  # plain register of a taken name: correctly refused
+        check_index_matches_scan(db)
+    # The copy must inherit a correct index too (serve clones databases).
+    check_index_matches_scan(db.copy("clone"))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_op, min_size=1, max_size=20))
+def test_sound_declarations_never_trip_ra104(script):
+    """shapes ⊆ index_heads (our generator's invariant) ⟹ no RA104."""
+    db = HintDb("sound")
+    for kind, which, priority, heads in script:
+        if kind == "remove":
+            db.remove(f"lem{which}")
+            continue
+        try:
+            db.register(
+                FakeLemma(f"lem{which}", index_heads=heads, shapes=heads or ()),
+                priority=priority,
+                replace=(kind == "replace"),
+            )
+        except DuplicateLemma:
+            pass
+    assert not [d for d in audit_hintdb(db) if d.code == "RA104"]
+
+
+def test_ra104_fires_on_index_shapes_mismatch():
+    db = HintDb("mismatched")
+    db.register(FakeLemma("narrow", index_heads=("Lit",), shapes=("Lit", "Var")))
+    codes = [d for d in audit_hintdb(db) if d.code == "RA104"]
+    assert len(codes) == 1 and "Var" in codes[0].message
+    # And the dynamic view agrees: the indexed scan skips it for Var.
+    assert db.candidates("Var") == []
+    assert db.candidates("Lit") == [next(iter(db))]
+
+
+def test_ra101_overlap_order_matches_candidates_order():
+    """Same-priority overlap: recency decides -- identically in both scans."""
+    db = HintDb("overlap")
+    first = db.register(FakeLemma("first", index_heads=("Lit",), shapes=("Lit",)))
+    second = db.register(FakeLemma("second", index_heads=("Lit",), shapes=("Lit",)))
+    assert any(d.code == "RA101" for d in audit_hintdb(db))
+    # Later registration wins in the linear scan; candidates agrees.
+    assert list(db) == [second, first]
+    assert db.candidates("Lit") == [second, first]
+
+
+def test_ra102_shadowed_lemma_still_enumerated_after_its_shadower():
+    """Shadowing is an *order* property; the index must preserve it."""
+    db = HintDb("shadow")
+    total = db.register(
+        FakeLemma("total", index_heads=("Lit",), shapes=("Lit",), shape_total=True),
+        priority=5,
+    )
+    shadowed = db.register(
+        FakeLemma("shadowed", index_heads=("Lit",), shapes=("Lit",)), priority=9
+    )
+    assert any(d.code == "RA102" for d in audit_hintdb(db))
+    assert db.candidates("Lit") == [total, shadowed]
+
+
+def test_wildcards_interleave_by_priority():
+    db = HintDb("mixed")
+    early_wild = db.register(FakeLemma("early_wild", index_heads=None), priority=1)
+    keyed = db.register(FakeLemma("keyed", index_heads=("Var",)), priority=5)
+    late_wild = db.register(FakeLemma("late_wild", index_heads=None), priority=9)
+    assert db.candidates("Var") == [early_wild, keyed, late_wild]
+    assert db.candidates("Lit") == [early_wild, late_wild]
+    assert db.wildcard_lemmas() == [early_wild, late_wild]
+    assert db.indexed_heads() == ["Var"]
+
+
+# -- Registration cost regression ---------------------------------------------------
+
+
+class CountingInt(int):
+    """A priority that counts its ordering comparisons."""
+
+    comparisons = 0
+
+    def __lt__(self, other):
+        CountingInt.comparisons += 1
+        return int.__lt__(self, other)
+
+    def __gt__(self, other):
+        CountingInt.comparisons += 1
+        return int.__gt__(self, other)
+
+
+def test_register_1k_lemmas_is_not_quadratic():
+    """Regression for the former full re-sort on every ``register``.
+
+    1k insertions via ``insort`` need O(n log n) ~ 10k priority
+    comparisons; the old per-insert ``sort`` needed ~n per insert even
+    on the best case (~500k).  The bound sits far from both so noise
+    cannot flip it, and a generous wall-clock cap catches gross
+    regressions of any other flavour.
+    """
+    CountingInt.comparisons = 0
+    db = HintDb("bulk")
+    start = time.perf_counter()
+    for index in range(1000):
+        db.register(
+            FakeLemma(f"bulk{index}", index_heads=(HEADS[index % len(HEADS)],)),
+            priority=CountingInt(index % 17),
+        )
+    elapsed = time.perf_counter() - start
+    assert len(db) == 1000
+    assert CountingInt.comparisons < 100_000, CountingInt.comparisons
+    assert elapsed < 5.0, elapsed
+    check_index_matches_scan(db)
