@@ -1,0 +1,139 @@
+"""E16 -- `repro.lift`: round-trip lifting rate and lift-validate cost.
+
+Two measurements over the full program corpus (the Table 2 suite plus
+the query registry):
+
+- **lift rate**: for each program at -O0 and -O1, lift the derived
+  Bedrock2 code back to a functional model and certify it (recompile
+  when the forward derivation of the lifted model is byte-identical,
+  extensional otherwise).  The report carries per-program lift time,
+  backward-step count, and certificate kind; a stall is a report row,
+  not an exception, so the success rate is an honest fraction.
+- **lift-validate overhead**: wall-clock of `-O1` optimization with and
+  without the ``lift_validate`` cross-check, per suite program.  This
+  prices the end-to-end model comparison the per-pass certificates do
+  not give you (see ``repro faults --lift`` for what it buys).
+
+``python -m benchmarks.bench_lift`` emits the JSON report consumed by
+``benchmarks/generate_report.py`` (EXPERIMENTS.md E16).
+"""
+
+import json
+import random
+import time
+from typing import Dict, List
+
+from repro.lift import certify, clear_lift_memo, lift_function
+from repro.programs.registry import all_programs
+from repro.query.programs import all_query_programs
+
+OPT_LEVELS = (0, 1)
+
+
+def _corpus():
+    return [("suite", p) for p in all_programs()] + [
+        ("query", p) for p in all_query_programs()
+    ]
+
+
+def lift_rows(opt_levels=OPT_LEVELS, seed: int = 0) -> List[Dict[str, object]]:
+    """One row per (program, opt level): lift time, steps, certificate."""
+    rows: List[Dict[str, object]] = []
+    for registry, program in _corpus():
+        for level in opt_levels:
+            compiled = program.compile(fresh=True, opt_level=level)
+            clear_lift_memo()
+            start = time.perf_counter()
+            result = lift_function(
+                compiled.bedrock_fn, compiled.spec, use_cache=False
+            )
+            lift_ms = (time.perf_counter() - start) * 1e3
+            row: Dict[str, object] = {
+                "program": program.name,
+                "registry": registry,
+                "opt_level": level,
+                "lift_ms": lift_ms,
+                "lifted": result.ok,
+            }
+            if result.ok:
+                cert = certify(
+                    result,
+                    rng=random.Random(seed),
+                    input_gen=program.validation_input_gen(),
+                )
+                row["steps"] = len(result.steps)
+                row["certificate"] = cert.kind
+            else:
+                row["stall"] = result.stall.reason
+            rows.append(row)
+    return rows
+
+
+def overhead_rows(seed: int = 0) -> List[Dict[str, object]]:
+    """Per suite program: -O1 wall-clock with and without lift-validate."""
+    rows: List[Dict[str, object]] = []
+    for program in all_programs():
+        compiled = program.compile(fresh=True)
+        input_gen = program.validation_input_gen()
+
+        start = time.perf_counter()
+        plain = compiled.optimize(
+            1, rng=random.Random(seed), input_gen=input_gen
+        )
+        plain_ms = (time.perf_counter() - start) * 1e3
+
+        clear_lift_memo()
+        start = time.perf_counter()
+        checked = compiled.optimize(
+            1, rng=random.Random(seed), input_gen=input_gen, lift_validate=True
+        )
+        checked_ms = (time.perf_counter() - start) * 1e3
+
+        cert = next(
+            c
+            for c in checked.opt_report.certificates
+            if c.pass_name == "lift-validate"
+        )
+        rows.append(
+            {
+                "program": program.name,
+                "optimize_ms": plain_ms,
+                "optimize_lift_validate_ms": checked_ms,
+                "overhead_ratio": checked_ms / plain_ms if plain_ms else 0.0,
+                "lift_validate": cert.status,
+                "stmts_after": plain.statement_count(),
+            }
+        )
+    return rows
+
+
+def report() -> Dict[str, object]:
+    rows = lift_rows()
+    lifted = sum(1 for r in rows if r["lifted"])
+    return {
+        "benchmark": "lift",
+        "opt_levels": list(OPT_LEVELS),
+        "lifts": rows,
+        "success": {"lifted": lifted, "total": len(rows)},
+        "overhead": overhead_rows(),
+    }
+
+
+# -- pytest entry points -------------------------------------------------------
+
+
+def test_report_lifts_the_whole_corpus():
+    rows = lift_rows(opt_levels=(0,))
+    assert len(rows) == len(_corpus())
+    for row in rows:
+        assert row["lifted"], row
+        assert row["certificate"] in ("recompile", "extensional"), row
+        assert row["steps"] > 0
+
+
+def main() -> None:
+    print(json.dumps(report(), indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -825,6 +825,75 @@ def section_query() -> str:
     return "\n".join(lines)
 
 
+def section_lift() -> str:
+    from benchmarks.bench_lift import lift_rows, overhead_rows
+
+    rows = lift_rows()
+    lifted = sum(1 for r in rows if r["lifted"])
+    recompile = sum(1 for r in rows if r.get("certificate") == "recompile")
+    overhead = overhead_rows()
+    worst = max(r["overhead_ratio"] for r in overhead)
+    lines = [
+        "## E16 — `repro.lift`: round-trip lifting and lift-based validation",
+        "",
+        "**Claim (§CoCompiler, inverted):** the same deterministic,",
+        "priority-ordered lemma roster that drives forward derivation can be",
+        "walked *backwards* — each stdlib lemma registers an inverse pattern,",
+        "and a single non-backtracking pass over the Bedrock2 AST",
+        "re-synthesizes a functional model `s` with `t ~ s`.  Every lift is",
+        "certified: *recompile* when re-deriving the lifted model reproduces",
+        "the input byte for byte, *extensional* otherwise (boundary-first",
+        "seeded comparison).  See `docs/lifting.md`.",
+        "",
+        "**Measured** (`python -m benchmarks.bench_lift`; suite + query",
+        "corpus at -O0 and -O1):",
+        "",
+        "```",
+        f"{'program':<16} {'-O':>3} {'steps':>6} {'lift ms':>8}  certificate",
+    ]
+    for r in rows:
+        cert = r.get("certificate", f"STALL ({r.get('stall')})")
+        lines.append(
+            f"{r['program']:<16} {r['opt_level']:>3} {r.get('steps', 0):>6} "
+            f"{r['lift_ms']:>8.1f}  {cert}"
+        )
+    lines += [
+        "```",
+        "",
+        f"Lift rate: {lifted}/{len(rows)} configurations",
+        f"({recompile} byte-identical recompile certificates; optimizer",
+        "output usually lifts to an extensionally-equal but syntactically",
+        "different model, e.g. pointer-strength-reduced loops come back as",
+        "`RangedFor`).",
+        "",
+        "**Lift-validate overhead** (`-O1` wall-clock with vs without the",
+        "end-to-end model cross-check):",
+        "",
+        "```",
+        f"{'program':<8} {'plain ms':>9} {'+lift ms':>9} {'ratio':>6}",
+    ]
+    for r in overhead:
+        lines.append(
+            f"{r['program']:<8} {r['optimize_ms']:>9.1f} "
+            f"{r['optimize_lift_validate_ms']:>9.1f} "
+            f"{r['overhead_ratio']:>6.2f}"
+        )
+    lines += [
+        "```",
+        "",
+        f"Worst-case overhead is {worst:.1f}x the plain `-O1` pipeline —",
+        "the price of a check that catches whole-pipeline semantic drift",
+        "the per-pass differential certificates and `repro lint` both miss",
+        "(demonstrated by `python -m repro faults --lift`, which seeds a",
+        "first-iteration loop-peel pass: per-pass validation under a",
+        "non-boundary sampler accepts it, the dataflow lint accepts it, and",
+        "the lifted model's boundary-first comparison rejects it on the",
+        "empty input).",
+        "",
+    ]
+    return "\n".join(lines)
+
+
 def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--size", type=int, default=2048)
@@ -863,6 +932,7 @@ def main() -> None:
         section_serving(),
         section_query(),
         section_supervised(),
+        section_lift(),
     ]
     with open(args.out, "w") as handle:
         handle.write("\n".join(header) + "\n" + "\n".join(sections))

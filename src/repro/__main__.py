@@ -29,6 +29,12 @@ Commands:
 - ``query <action>``            -- the relational-algebra frontend
   (``repro.query``): list/explain/compile/validate/run the registered
   query programs (see ``docs/query.md``);
+- ``lift <action> <program>``   -- the round-trip lifter (``repro.lift``):
+  ``lift`` synthesizes and prints the functional model recovered from a
+  compiled program's Bedrock2 code (``--file`` lifts a serialized legacy
+  bundle instead); ``explain`` prints the backward-search step trace;
+  ``validate`` certifies the lift (recompile or extensional -- see
+  ``docs/lifting.md``);
 - ``lint``                      -- static analysis (``repro.analysis``):
   audit the standard hint databases for determinism/coverage defects and
   run the Bedrock2 dataflow lint over compiled suite programs; exits
@@ -174,7 +180,17 @@ def cmd_validate(args) -> int:
             return 0
 
     with _maybe_trace(args, f"validate:{args.program}", detail="debug"):
-        program, compiled = _compiled(args)
+        if getattr(args, "lift_validate", False):
+            # Re-optimize explicitly so the lift cross-check runs on the
+            # pipeline output (the cached registry bundle would skip it).
+            program = _program(args.program)
+            compiled = program.compile(fresh=True).optimize(
+                level=max(args.opt_level, 1),
+                input_gen=program.validation_input_gen(),
+                lift_validate=True,
+            )
+        else:
+            program, compiled = _compiled(args)
         kwargs = {}
         input_gen = program.validation_input_gen()
         if input_gen is not None:
@@ -186,6 +202,9 @@ def cmd_validate(args) -> int:
     if compiled.opt_report is not None:
         applied = ", ".join(compiled.opt_report.applied) or "none"
         suffix = f"; optimizer passes validated: {applied}"
+        for cert in compiled.opt_report.certificates:
+            if cert.pass_name == "lift-validate":
+                suffix += f"; lift-validate: {cert.status}"
     print(
         f"{compiled.name}: certificate ok; {report.trials} differential "
         f"trials, 0 failures{suffix}"
@@ -248,6 +267,13 @@ def cmd_faults(args) -> int:
             report = run_serve_faults(
                 seed=args.seed,
                 jobs=args.jobs,
+                progress=progress if args.verbose else None,
+            )
+        elif getattr(args, "lift", False):
+            from repro.resilience.lift_faults import run_lift_faults
+
+            report = run_lift_faults(
+                seed=args.seed,
                 progress=progress if args.verbose else None,
             )
         else:
@@ -483,6 +509,83 @@ def cmd_query(args) -> int:
         return 0
 
 
+def _lift_target(args):
+    """Resolve a lift target to ``(fn, spec, validation_input_gen)``.
+
+    Three sources, in the order a user reaches for them: a serialized
+    legacy bundle (``--file``), a suite program, a query program.  The
+    compiled sources honour ``-O`` so one can lift optimizer output.
+    """
+    if getattr(args, "file", None):
+        from repro.lift.legacy import load_bundle
+
+        fn, spec = load_bundle(args.file)
+        return fn, spec, None
+    if not args.program:
+        print("lift needs a program name or --file BUNDLE", file=sys.stderr)
+        raise SystemExit(2)
+    from repro.programs import all_programs, get_program
+    from repro.query.programs import QUERY_PROGRAMS, get_query_program
+
+    try:
+        program = get_program(args.program)
+    except KeyError:
+        try:
+            program = get_query_program(args.program)
+        except KeyError:
+            known = ", ".join(
+                [p.name for p in all_programs()] + sorted(QUERY_PROGRAMS)
+            )
+            print(
+                f"unknown program {args.program!r}; have: {known}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2) from None
+    compiled = program.compile(opt_level=args.opt_level)
+    return compiled.bedrock_fn, compiled.spec, program.validation_input_gen()
+
+
+def cmd_lift(args) -> int:
+    from repro.lift import certify, lift_function
+
+    with _maybe_trace(args, f"lift:{args.action}:{args.program or args.file}",
+                      detail="debug"):
+        fn, spec, input_gen = _lift_target(args)
+        result = lift_function(fn, spec, use_cache=False)
+        if not result.ok:
+            print(f"{fn.name}: lift stalled", file=sys.stderr)
+            print(result.stall.to_json(), file=sys.stderr)
+            return 1
+        if args.action == "explain":
+            print(f"// {fn.name}: {len(result.steps)} backward steps "
+                  f"(key {result.key})")
+            for index, step in enumerate(result.steps):
+                extra = {k: v for k, v in step.items() if k not in ("head", "via")}
+                suffix = f"  {extra}" if extra else ""
+                print(f"  {index:>3}  {step['head']:<14} ~> {step['via']}{suffix}")
+            return 0
+        if args.action == "validate":
+            cert = certify(
+                result,
+                trials=args.trials,
+                rng=random.Random(args.seed),
+                input_gen=input_gen,
+            )
+            print(f"{fn.name}: lift certified [{cert.kind}] {cert.detail}")
+            return 0
+    # lift: print the synthesized functional model.
+    from repro.source.terms import pretty
+
+    model = result.model
+    params = ", ".join(f"{name}: {ty}" for name, ty in model.params)
+    print(f"// lifted from {fn.name} in {len(result.steps)} steps "
+          f"(key {result.key})")
+    print(f"def {model.name}({params}) -> {model.result_ty}:")
+    for line in pretty(model.term).splitlines():
+        print(f"    {line}")
+    return 0
+
+
 def cmd_lint(args) -> int:
     from repro.analysis.runner import run_lint
 
@@ -582,6 +685,11 @@ def main(argv=None) -> int:
         help="on compilation failure, fall back to interpreting the "
         "functional model (clearly marked unverified) instead of aborting",
     )
+    p.add_argument(
+        "--lift-validate", action="store_true", dest="lift_validate",
+        help="with -O1: lift the optimizer output back to a functional "
+        "model and cross-check it against the source model (repro.lift)",
+    )
     p.add_argument("--trace", metavar="FILE", help=trace_help)
     p = sub.add_parser("fuzz", help="seeded pipeline fuzzing campaign")
     p.add_argument("--seed", type=int, default=0)
@@ -614,6 +722,12 @@ def main(argv=None) -> int:
         "--serve", action="store_true",
         help="run the serve-layer availability campaign (supervised pool) "
         "instead of the checker-soundness campaign",
+    )
+    p.add_argument(
+        "--lift", action="store_true",
+        help="run the lift fault campaign: seed a model-drifting optimizer "
+        "pass that per-pass certificates and `repro lint` both accept, and "
+        "assert the repro.lift cross-check rejects it",
     )
     p = sub.add_parser("bench")
     p.add_argument("--size", type=int, default=1024)
@@ -706,6 +820,30 @@ def main(argv=None) -> int:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--trace", metavar="FILE", help=trace_help)
     p = sub.add_parser(
+        "lift",
+        help="lift Bedrock2 back to a functional model (repro.lift)",
+    )
+    p.add_argument(
+        "action", choices=("lift", "explain", "validate"),
+        help="lift: print the synthesized model; explain: print the "
+        "backward-search step trace; validate: lift and certify",
+    )
+    p.add_argument("program", nargs="?",
+                   help="suite or query program name (see `list`/`query list`)")
+    p.add_argument(
+        "--file", metavar="BUNDLE",
+        help="lift a serialized legacy bundle (JSON: function + spec) "
+        "instead of a registered program",
+    )
+    p.add_argument(
+        "-O", dest="opt_level", type=int, choices=(0, 1), default=0,
+        help="lift the optimizer's output instead of the raw derivation",
+    )
+    p.add_argument("--trials", type=int, default=24,
+                   help="validate: trials for the extensional certificate")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", metavar="FILE", help=trace_help)
+    p = sub.add_parser(
         "lint",
         help="static analysis: hint-DB audit + Bedrock2 dataflow lint",
     )
@@ -763,6 +901,7 @@ def main(argv=None) -> int:
         "serve": cmd_serve,
         "cache": cmd_cache,
         "query": cmd_query,
+        "lift": cmd_lift,
         "lint": cmd_lint,
     }
     return handlers[args.command](args)

@@ -21,6 +21,11 @@ RA104   error     index mismatch: a lemma's advisory ``shapes`` claims a head
 RA201   info      coverage hole: a source ``Term`` head no lemma (and not
                   the engine) handles -- a statically predicted
                   ``no-binding-lemma`` / ``no-expr-lemma`` stall
+RA202   info      liftability hole: a forward lemma has no registered
+                  inverse pattern (``repro.lift``), so code whose
+                  derivation used it cannot be lifted back to a
+                  functional model -- a statically predicted
+                  ``no-inverse-pattern`` lift stall
 RB201   error     dataflow: a local may be read before assignment (or a
                   declared return variable may be unset) on some path
 RB202   warning   dataflow: dead store -- the assigned value can never be
@@ -56,6 +61,7 @@ CATALOG: Dict[str, Tuple[str, str]] = {
     "RA103": (ERROR, "duplicate-lemma-name"),
     "RA104": (ERROR, "index-shapes-mismatch"),
     "RA201": (INFO, "uncovered-head"),
+    "RA202": (INFO, "no-inverse-pattern"),
     "RB201": (ERROR, "uninit-read"),
     "RB202": (WARNING, "dead-store"),
     "RB203": (WARNING, "unreachable"),

@@ -52,6 +52,31 @@ COVER_GUARDED = "guarded"
 COVER_TOTAL = "total"
 COVER_ENGINE = "engine"
 
+# Liftability levels (the repro.lift column of the coverage matrix):
+# can code whose derivation went through this head's lemmas be lifted
+# back to a functional model?
+LIFT_FULL = "full"  # every claiming lemma has an inverse pattern
+LIFT_PARTIAL = "partial"  # some claiming lemmas do, some don't
+LIFT_NONE = "none"  # no claiming lemma has an inverse (or no claims)
+
+
+def _lifted_lemma_names() -> Set[str]:
+    """Forward lemma names with a registered inverse pattern.
+
+    The roster is populated by the stdlib modules' own registrations, so
+    the standard library must be importable; a broken import degrades to
+    "nothing is liftable", which the RA202 diagnostics then surface
+    loudly rather than hiding.
+    """
+    try:
+        from repro.lift.patterns import lifted_lemma_names
+        from repro.stdlib import load_extensions
+
+        load_extensions()  # registers the inverse roster
+        return set(lifted_lemma_names())
+    except Exception:
+        return set()
+
 
 def all_term_heads() -> Tuple[str, ...]:
     """Every source ``Term`` head constructor, by introspection.
@@ -100,6 +125,9 @@ class CoverageMatrix:
     claims: Dict[str, List[str]] = field(default_factory=dict)
     # lemma name -> family (defining module), for suggestions
     families: Dict[str, str] = field(default_factory=dict)
+    # head -> LIFT_FULL / LIFT_PARTIAL / LIFT_NONE: whether code derived
+    # through this head's lemmas can be lifted back (repro.lift)
+    liftability: Dict[str, str] = field(default_factory=dict)
 
     @classmethod
     def from_db(cls, db, kind: str) -> "CoverageMatrix":
@@ -130,6 +158,15 @@ class CoverageMatrix:
                     matrix.levels[head] = COVER_TOTAL
                 elif level == COVER_NONE:
                     matrix.levels[head] = COVER_GUARDED
+        lifted = _lifted_lemma_names()
+        for head, names in matrix.claims.items():
+            inverted = sum(1 for name in names if name in lifted)
+            if names and inverted == len(names):
+                matrix.liftability[head] = LIFT_FULL
+            elif inverted:
+                matrix.liftability[head] = LIFT_PARTIAL
+            else:
+                matrix.liftability[head] = LIFT_NONE
         return matrix
 
     def stall_proof_heads(self) -> Set[str]:
@@ -149,6 +186,7 @@ class CoverageMatrix:
             "kind": self.kind,
             "levels": dict(sorted(self.levels.items())),
             "claims": {h: list(names) for h, names in sorted(self.claims.items())},
+            "liftability": dict(sorted(self.liftability.items())),
         }
 
 
@@ -286,6 +324,29 @@ def audit_hintdb(db, kind: str = "binding") -> List[Diagnostic]:
                 message=(
                     f"no {kind} lemma claims source head {head!r}; a goal "
                     f"with this head will stall with {reason}"
+                ),
+            )
+        )
+
+    # RA202 (info): liftability holes.  A forward lemma with no inverse
+    # pattern is a statically predicted ``no-inverse-pattern`` lift
+    # stall: any derivation that used it produces code ``repro lift``
+    # cannot walk back.  Round-trip coverage should track forward
+    # coverage; this names exactly the lemmas where it doesn't.
+    lifted = _lifted_lemma_names()
+    for _priority, lemma in entries:
+        name = getattr(lemma, "name", "<unnamed>")
+        if name == "<unnamed>" or name in lifted:
+            continue
+        diags.append(
+            Diagnostic(
+                code="RA202",
+                subject=db.name,
+                where=name,
+                message=(
+                    f"forward lemma {name!r} has no registered inverse "
+                    "pattern (repro.lift); code derived through it lifts "
+                    "only as far as a no-inverse-pattern stall"
                 ),
             )
         )

@@ -227,6 +227,7 @@ class CompiledFunction:
         rng=None,
         input_gen=None,
         width: int = 64,
+        lift_validate: bool = False,
     ) -> "CompiledFunction":
         """Run the translation-validated optimizer (``repro.opt``).
 
@@ -236,6 +237,12 @@ class CompiledFunction:
         pre-pass AST, so the result is never less correct than the
         input.  The returned bundle carries the per-pass certificates in
         ``opt_report``; ``level <= 0`` returns ``self`` unchanged.
+
+        ``lift_validate=True`` adds the ``repro.lift`` end-to-end check:
+        the pipeline output is lifted back to a functional model and
+        cross-checked against this bundle's model; drift rejects the
+        whole optimization (see
+        :func:`repro.validation.passcheck.optimize_compiled`).
         """
         if level <= 0:
             return self
@@ -248,5 +255,6 @@ class CompiledFunction:
             rng=rng,
             input_gen=input_gen,
             width=width,
+            lift_validate=lift_validate,
         )
         return optimized

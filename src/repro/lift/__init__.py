@@ -1,0 +1,82 @@
+"""``repro.lift`` -- the CoCompiler direction of ``t ~ s``.
+
+The forward engine (``repro.core``) turns functional models into
+Bedrock2; this package runs the same lemma databases *backwards*: given
+a Bedrock2 function (registry output, optimizer output, or serialized
+legacy code) plus its ABI spec, synthesize a model ``s`` with ``t ~ s``
+and certify it -- by byte-identical recompilation when the derivation is
+invertible, or by seeded extensional equivalence otherwise.
+
+Layers:
+
+- :mod:`repro.lift.patterns` -- inverse matchers derived from each
+  stdlib lemma's conclusion shape, registered by the stdlib modules.
+- :mod:`repro.lift.engine` -- the backward search (symbolic walk over
+  statements, loop-shape recognition, budget + trace integration).
+- :mod:`repro.lift.validate` -- the two certificate kinds and the
+  ``--lift-validate`` model cross-check.
+- :mod:`repro.lift.legacy` -- JSON bundles for hand-written code.
+- :mod:`repro.lift.goals` -- the ``LiftStallReport`` taxonomy.
+"""
+
+from repro.lift.engine import (
+    LiftResult,
+    clear_lift_memo,
+    lift_function,
+    lift_key,
+)
+from repro.lift.goals import (
+    LiftError,
+    LiftStallReport,
+    LiftStalled,
+    LiftValidationFailed,
+)
+from repro.lift.legacy import decode_bundle, encode_bundle, load_bundle
+from repro.lift.patterns import (
+    InversePattern,
+    all_inverse_patterns,
+    inverse_for_lemma,
+    lifted_lemma_names,
+    patterns_for_head,
+    register_inverse,
+    roster_fingerprint,
+)
+from repro.lift.validate import (
+    EXTENSIONAL,
+    RECOMPILE,
+    LiftCertificate,
+    boundary_input_gen,
+    certify,
+    extensional_certificate,
+    models_equivalent,
+    recompile_certificate,
+)
+
+__all__ = [
+    "EXTENSIONAL",
+    "RECOMPILE",
+    "InversePattern",
+    "LiftCertificate",
+    "LiftError",
+    "LiftResult",
+    "LiftStallReport",
+    "LiftStalled",
+    "LiftValidationFailed",
+    "all_inverse_patterns",
+    "boundary_input_gen",
+    "certify",
+    "clear_lift_memo",
+    "decode_bundle",
+    "encode_bundle",
+    "extensional_certificate",
+    "inverse_for_lemma",
+    "lift_function",
+    "lift_key",
+    "lifted_lemma_names",
+    "load_bundle",
+    "models_equivalent",
+    "patterns_for_head",
+    "recompile_certificate",
+    "register_inverse",
+    "roster_fingerprint",
+]

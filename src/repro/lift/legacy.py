@@ -1,0 +1,195 @@
+"""The "legacy code" entry point: lift hand-written, serialized Bedrock2.
+
+The lifter's third input class (besides registry output and optimizer
+output) is code that never went through the forward engine at all --
+hand-written Bedrock2 shipped as JSON.  A legacy bundle pairs the
+:mod:`repro.bedrock2.serial` function encoding with a small ABI codec,
+because lifting is spec-directed: the spec tells the backward search
+which argument words are pointers, which are lengths, and what the
+outputs are, exactly as it tells the forward search (§3.2).
+
+Bundle format (canonical JSON, schema-versioned like the AST codec)::
+
+    {
+      "schema": 1,
+      "function": { ...repro.bedrock2.serial function encoding... },
+      "spec": {
+        "fname": "bump",
+        "args": [
+          {"kind": "pointer", "name": "s", "param": "s", "ty": "array(byte)"},
+          {"kind": "length", "name": "n", "param": "s"}
+        ],
+        "outputs": [{"kind": "array", "param": "s"}],
+        "facts": []
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Tuple
+
+from repro.bedrock2 import ast, serial
+from repro.core.spec import (
+    ArgKind,
+    ArgSpec,
+    FnSpec,
+    OutKind,
+    Output,
+)
+from repro.source import terms as t
+from repro.source.types import (
+    BOOL,
+    BYTE,
+    NAT,
+    WORD,
+    SourceType,
+    TypeKind,
+    array_of,
+    cell_of,
+)
+
+LEGACY_SCHEMA_VERSION = 1
+
+_SCALARS = {"word": WORD, "byte": BYTE, "bool": BOOL, "nat": NAT}
+
+
+class LegacyDecodeError(ValueError):
+    """A malformed legacy bundle (bad schema, type, or AST encoding)."""
+
+
+# -- incidental facts ---------------------------------------------------------
+#
+# Facts are source terms; bundles only need the comparison/arithmetic
+# fragment specs actually write (§3.4.2's incidental facts), so the
+# codec covers Prim/Var/Lit/ArrayLen and rejects anything else.
+
+
+def encode_fact(term: t.Term) -> dict:
+    if isinstance(term, t.Var):
+        return {"t": "var", "name": term.name}
+    if isinstance(term, t.Lit):
+        return {"t": "lit", "value": term.value, "ty": encode_type(term.ty)}
+    if isinstance(term, t.ArrayLen):
+        return {"t": "len", "arr": encode_fact(term.arr)}
+    if isinstance(term, t.Prim):
+        return {
+            "t": "prim",
+            "op": term.op,
+            "args": [encode_fact(arg) for arg in term.args],
+        }
+    raise LegacyDecodeError(f"fact term {term!r} has no legacy encoding")
+
+
+def decode_fact(data: dict) -> t.Term:
+    tag = data.get("t") if isinstance(data, dict) else None
+    if tag == "var":
+        return t.Var(data["name"])
+    if tag == "lit":
+        return t.Lit(data["value"], decode_type(data["ty"]))
+    if tag == "len":
+        return t.ArrayLen(decode_fact(data["arr"]))
+    if tag == "prim":
+        return t.Prim(data["op"], tuple(decode_fact(a) for a in data["args"]))
+    raise LegacyDecodeError(f"unknown fact encoding {data!r}")
+
+
+def encode_type(ty: SourceType) -> str:
+    if ty.kind is TypeKind.ARRAY:
+        return f"array({encode_type(ty.elem)})"
+    if ty.kind is TypeKind.CELL:
+        return f"cell({encode_type(ty.elem)})"
+    if ty.kind.value in _SCALARS:
+        return ty.kind.value
+    raise LegacyDecodeError(f"type {ty!r} has no legacy encoding")
+
+
+def decode_type(text: str) -> SourceType:
+    text = text.strip()
+    if text in _SCALARS:
+        return _SCALARS[text]
+    for prefix, build in (("array(", array_of), ("cell(", cell_of)):
+        if text.startswith(prefix) and text.endswith(")"):
+            return build(decode_type(text[len(prefix) : -1]))
+    raise LegacyDecodeError(f"unknown type encoding {text!r}")
+
+
+def encode_spec(spec: FnSpec) -> dict:
+    args = []
+    for arg in spec.args:
+        entry = {"kind": arg.kind.value, "name": arg.name, "param": arg.param}
+        if arg.kind is not ArgKind.LENGTH:
+            entry["ty"] = encode_type(arg.ty)
+        args.append(entry)
+    outputs = []
+    for out in spec.outputs:
+        entry = {"kind": out.kind.value}
+        if out.param is not None:
+            entry["param"] = out.param
+        outputs.append(entry)
+    return {
+        "fname": spec.fname,
+        "args": args,
+        "outputs": outputs,
+        "facts": [encode_fact(fact) for fact in spec.facts],
+    }
+
+
+def decode_spec(data: dict) -> FnSpec:
+    if not isinstance(data, dict):
+        raise LegacyDecodeError("spec must be an object")
+    try:
+        args = []
+        for entry in data["args"]:
+            kind = ArgKind(entry["kind"])
+            ty = decode_type(entry["ty"]) if kind is not ArgKind.LENGTH else WORD
+            args.append(ArgSpec(entry["name"], kind, entry["param"], ty))
+        outputs = [
+            Output(OutKind(entry["kind"]), entry.get("param"))
+            for entry in data.get("outputs", ())
+        ]
+        facts = [decode_fact(fact) for fact in data.get("facts", ())]
+        return FnSpec(data["fname"], args, outputs, facts)
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, LegacyDecodeError):
+            raise
+        raise LegacyDecodeError(f"malformed spec: {exc}") from None
+
+
+def encode_bundle(fn: ast.Function, spec: FnSpec) -> str:
+    """Canonical JSON for one legacy function + its ABI."""
+    return json.dumps(
+        {
+            "schema": LEGACY_SCHEMA_VERSION,
+            "function": serial.encode_function(fn),
+            "spec": encode_spec(spec),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def decode_bundle(text: str) -> Tuple[ast.Function, FnSpec]:
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise LegacyDecodeError(f"not JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise LegacyDecodeError("bundle must be an object")
+    if data.get("schema") != LEGACY_SCHEMA_VERSION:
+        raise LegacyDecodeError(
+            f"unsupported legacy schema {data.get('schema')!r} "
+            f"(expected {LEGACY_SCHEMA_VERSION})"
+        )
+    try:
+        fn = serial.decode_function(data["function"])
+    except (KeyError, serial.ASTDecodeError) as exc:
+        raise LegacyDecodeError(f"malformed function: {exc}") from None
+    spec = decode_spec(data.get("spec"))
+    return fn, spec
+
+
+def load_bundle(path: str) -> Tuple[ast.Function, FnSpec]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return decode_bundle(handle.read())

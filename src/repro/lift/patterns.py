@@ -1,0 +1,124 @@
+"""The inverse-pattern registry: lemma conclusions, read backwards.
+
+Every forward lemma's conclusion fixes the Bedrock2 shape it emits --
+``CompileArrayPut`` always concludes in an ``SStore`` at a scaled base
+offset, ``ExprPrim`` in an ``EOp`` tree, the loop family in the counted
+``SWhile`` skeleton of §3.4.2.  Because forward search is deterministic
+and non-backtracking, those conclusion shapes *partition* the emitted
+code: each statement or expression node of a derived function was put
+there by exactly one lemma.  An :class:`InversePattern` records that
+correspondence declaratively -- which Bedrock2 heads a lemma's
+conclusion covers, which forward lemma it inverts, and which source head
+the inversion reconstructs.
+
+The registry is the lift-side mirror of ``index_heads``: the backward
+engine dispatches on the Bedrock2 node head exactly the way the forward
+engine dispatches on the source-term head, and a head with no registered
+pattern is a ``no-inverse-pattern`` stall -- statically predictable,
+which is what the auditor's liftability column
+(:mod:`repro.analysis.hintdb`) does.
+
+Patterns are registered *by the stdlib modules that define the forward
+lemmas* (at import time, next to the ``register`` call for the forward
+direction), so the pairing is maintained in one place per family.
+Families that are genuinely uninvertible -- external calls, monadic
+effects, stack allocation -- simply register nothing, and the auditor
+reports them (RA202) instead of the lifter failing opaquely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Bedrock2 node heads the lift engine walks structurally (sequencing and
+#: no-ops), mirroring ``ENGINE_BINDING_HEADS`` on the forward side.
+ENGINE_LIFT_HEADS = frozenset({"SSeq", "SSkip"})
+
+
+@dataclass(frozen=True)
+class InversePattern:
+    """One lemma conclusion, registered as a backward matcher.
+
+    ``heads`` are the Bedrock2 node class names the conclusion shape can
+    open with (the dispatch key); ``lemma`` names the forward lemma this
+    inverts (the ``name`` attribute of the lemma class, as it appears in
+    hint databases and stall reports); ``source_head`` is the source
+    ``Term`` constructor the inversion reconstructs.  ``priority``
+    orders patterns within one head, lowest first, mirroring hint-DB
+    scan order.
+    """
+
+    name: str
+    lemma: str
+    family: str  # stdlib module family: "exprs", "loops", ...
+    heads: Tuple[str, ...]
+    source_head: str
+    priority: int = 50
+    description: str = ""
+
+
+_BY_HEAD: Dict[str, List[InversePattern]] = {}
+_BY_NAME: Dict[str, InversePattern] = {}
+_BY_LEMMA: Dict[str, InversePattern] = {}
+
+
+def register_inverse(pattern: InversePattern) -> InversePattern:
+    """Register one inverse pattern; duplicate names are rejected.
+
+    A forward lemma may be covered by at most one pattern (the auditor
+    counts a lemma "liftable" iff it has an entry), but one pattern may
+    cover several heads -- e.g. the loop family's shared ``SWhile``
+    skeleton.
+    """
+    if pattern.name in _BY_NAME:
+        raise ValueError(f"inverse pattern {pattern.name!r} registered twice")
+    if pattern.lemma in _BY_LEMMA:
+        raise ValueError(
+            f"forward lemma {pattern.lemma!r} already has inverse pattern "
+            f"{_BY_LEMMA[pattern.lemma].name!r}"
+        )
+    _BY_NAME[pattern.name] = pattern
+    _BY_LEMMA[pattern.lemma] = pattern
+    for head in pattern.heads:
+        _BY_HEAD.setdefault(head, []).append(pattern)
+        _BY_HEAD[head].sort(key=lambda p: p.priority)
+    return pattern
+
+
+def patterns_for_head(head: str) -> Tuple[InversePattern, ...]:
+    """Inverse patterns whose conclusion can open with ``head``, in order."""
+    return tuple(_BY_HEAD.get(head, ()))
+
+
+def inverse_for_lemma(lemma_name: str):
+    """The inverse pattern covering a forward lemma, or ``None``."""
+    return _BY_LEMMA.get(lemma_name)
+
+
+def lifted_lemma_names() -> frozenset:
+    """Names of all forward lemmas with a registered inverse."""
+    return frozenset(_BY_LEMMA)
+
+
+def all_inverse_patterns() -> Tuple[InversePattern, ...]:
+    return tuple(sorted(_BY_NAME.values(), key=lambda p: (p.family, p.name)))
+
+
+def roster_fingerprint() -> str:
+    """A stable hash of the registered roster, a ``lift_key`` input.
+
+    Adding, removing, or re-prioritizing an inverse pattern changes what
+    the lifter can derive, so it must move every cached lift result --
+    the same invalidation-by-key-movement discipline ``compile_key``
+    uses for the forward derivation inputs.
+    """
+    digest = hashlib.sha256()
+    for pattern in all_inverse_patterns():
+        digest.update(
+            f"{pattern.name}:{pattern.lemma}:{pattern.family}:"
+            f"{','.join(pattern.heads)}:{pattern.source_head}:{pattern.priority}".encode()
+        )
+        digest.update(b"\x1e")
+    return digest.hexdigest()[:16]

@@ -99,6 +99,13 @@ EVENT_SCHEMA: Dict[str, Dict[str, tuple]] = {
     # repro.query: one event per query-combinator lowering (the lemma
     # family's reduction of a query head to core loop lemmas).
     "query_lower": {"required": ("head", "via"), "optional": ("name",)},
+    # repro.lift: one event per inverse-pattern application (the
+    # backward analogue of lemma_hit) and one per lift outcome.
+    "lift_step": {"required": ("head", "via"), "optional": ("name", "detail")},
+    "lift_outcome": {
+        "required": ("function", "outcome"),
+        "optional": ("reason", "certificate", "detail"),
+    },
     # repro.analysis: one event per lint/audit diagnostic.
     "lint_diag": {
         "required": ("code", "severity"),
@@ -125,6 +132,7 @@ SPAN_KINDS = (
     "serve_request",
     "supervised_request",
     "lint",
+    "lift_function",
 )
 
 

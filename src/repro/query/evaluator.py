@@ -150,4 +150,8 @@ def eval_plan(plan: Plan, tables: Tables, groups: int = 0):
         return len(rows) & MASK
     if plan.kind == "any":
         return int(any(eval_expr(plan.expr, row) for row in rows))
+    if plan.kind == "min":
+        return min((eval_expr(plan.expr, row) for row in rows), default=MASK)
+    if plan.kind == "max":
+        return max((eval_expr(plan.expr, row) for row in rows), default=0)
     raise PlanError(f"unknown aggregate kind {plan.kind!r}")

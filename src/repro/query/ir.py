@@ -25,7 +25,7 @@ COL_TYPES = ("word", "byte")
 ARITH_OPS = ("add", "sub", "mul", "and", "or", "xor")
 CMP_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
 
-AGG_KINDS = ("sum", "count", "any")
+AGG_KINDS = ("sum", "count", "any", "min", "max")
 
 
 class PlanError(Exception):
@@ -231,13 +231,16 @@ class EquiJoin(Plan):
 
 @dataclass(frozen=True)
 class Aggregate(Plan):
-    """Collapse rows to a scalar (``sum``/``count``/``any``) or, with
-    ``group_by``, to one counter per group key (``count`` only).
+    """Collapse rows to a scalar (``sum``/``count``/``any``/``min``/
+    ``max``) or, with ``group_by``, to one counter per group key
+    (``count`` only).
 
-    ``expr`` is the summed value for ``sum`` and the tested predicate
-    for ``any``; ``count`` takes no expression.  A ``group_by`` column's
-    value indexes the output histogram directly (out-of-range keys fall
-    outside every group).
+    ``expr`` is the summed value for ``sum``, the minimized/maximized
+    value for ``min``/``max``, and the tested predicate for ``any``;
+    ``count`` takes no expression.  Over zero rows ``min`` is the word
+    maximum (2^64 - 1) and ``max`` is 0 -- the fold identities.  A
+    ``group_by`` column's value indexes the output histogram directly
+    (out-of-range keys fall outside every group).
     """
 
     kind: str
@@ -291,9 +294,9 @@ def check_plan(plan: Plan) -> str:
         if plan.kind not in AGG_KINDS:
             raise PlanError(f"unknown aggregate kind {plan.kind!r}")
         sch = output_schema(plan.source)
-        if plan.kind == "sum":
+        if plan.kind in ("sum", "min", "max"):
             if plan.expr is None:
-                raise PlanError("sum aggregate needs an expression")
+                raise PlanError(f"{plan.kind} aggregate needs an expression")
             check_expr(plan.expr, sch, "word")
         elif plan.kind == "any":
             if plan.expr is None:

@@ -123,9 +123,9 @@ def all_query_programs() -> List[QueryProgram]:
 
 # -- The standard corpus -------------------------------------------------------
 #
-# Together the six programs cover every lowering shape ``reify`` knows:
-# fold and fold_break reuse, QAggregate, QJoinAgg, QProjectInto, and the
-# nested grouped count.
+# Together the eight programs cover every lowering shape ``reify`` knows:
+# fold and fold_break reuse, QAggregate (additive and extremal),
+# QJoinAgg, QProjectInto, and the nested grouped count.
 
 
 def _words(rng: random.Random, n: int) -> List[int]:
@@ -233,6 +233,41 @@ register_query_program(
                 0,
             )
         )(rng.randrange(8), rng.randrange(8)),
+    )
+)
+
+register_query_program(
+    QueryProgram(
+        name="q_max_value",
+        description="unfiltered single-column max (reuses ListArray.fold)",
+        plan=ir.Aggregate("max", ir.Scan("t", ir.schema("v")), expr=ir.ColRef("v")),
+        gen_tables=lambda rng: (
+            {"t": {"v": _words(rng, rng.randrange(12))}},
+            0,
+        ),
+    )
+)
+
+register_query_program(
+    QueryProgram(
+        name="q_min_filtered",
+        description="min (v + 1) over rows where k < 50 (extremal QAggregate)",
+        plan=ir.Aggregate(
+            "min",
+            ir.Filter(
+                ir.Cmp("lt", ir.ColRef("k"), ir.IntLit(50)),
+                ir.Scan("t", _T_KV),
+            ),
+            expr=ir.BinOp("add", ir.ColRef("v"), ir.IntLit(1)),
+        ),
+        gen_tables=lambda rng: (
+            {
+                "t": (
+                    lambda n: {"k": _bytes_(rng, n), "v": _words(rng, n)}
+                )(rng.randrange(12))
+            },
+            0,
+        ),
     )
 )
 

@@ -6,7 +6,7 @@ plus the ABI contract (``FnSpec``) that seeds proof search.  The
 lowering is deliberately shape-directed and reuses existing source
 constructs wherever they fit -- the paper's extension economics:
 
-- unfiltered single-column ``sum``      -> ``ListArray.fold``
+- unfiltered single-column ``sum``/``min``/``max`` -> ``ListArray.fold``
   (:class:`~repro.source.terms.ArrayFold`, zero new heads);
 - single-column ``any``                 -> ``ListArray.fold_break``
   (early exit, zero new heads);
@@ -53,6 +53,26 @@ from repro.source.types import ARRAY_BYTE, ARRAY_WORD, BYTE, WORD, SourceType
 # with these or with the generated parameter names.
 _IDX, _JDX, _GDX, _ACC, _ELEM, _RES = "_qi", "_qj", "_qg", "_qacc", "_qe", "_qr"
 _RESERVED = {"out", "hist", "n", "n_left", "n_right", "groups"}
+
+# Fold identities for the extremal aggregates: ``min`` over zero rows is
+# the word maximum, ``max`` is zero (both are absorbed by the first row).
+_MIN_IDENTITY = (1 << 64) - 1
+_MAX_IDENTITY = 0
+
+
+def _extremal_step(kind: str, value: t.Term) -> t.Term:
+    """``if value beats acc then value else acc`` (unsigned)."""
+    if kind == "min":
+        better = t.Prim("word.ltu", (value, t.Var(_ACC)))
+    else:
+        better = t.Prim("word.ltu", (t.Var(_ACC), value))
+    return t.If(better, value, t.Var(_ACC))
+
+
+def _agg_init(kind: str) -> t.Term:
+    if kind == "min":
+        return t.Lit(_MIN_IDENTITY, WORD)
+    return t.Lit(0, WORD)  # sum, count, any, max
 
 
 @dataclass(frozen=True)
@@ -235,6 +255,20 @@ def _reify_single_table(
         body = t.Prim("word.add", (t.Var(_ACC), elem))
         agg = t.ArrayFold(_ACC, _ELEM, body, t.Lit(0, WORD), t.Var(col.name))
         return _scalar_query(name, plan, (scan.table, cols), agg, via="fold")
+    if (
+        plan.kind in ("min", "max")
+        and not preds
+        and isinstance(plan.expr, ColRef)
+    ):
+        col = by_name[plan.expr.name]
+        elem = t.Var(_ELEM)
+        if col.ty == "byte":
+            elem = t.Prim("cast.b2w", (elem,))
+        body = _extremal_step(plan.kind, elem)
+        agg = t.ArrayFold(
+            _ACC, _ELEM, body, _agg_init(plan.kind), t.Var(col.name)
+        )
+        return _scalar_query(name, plan, (scan.table, cols), agg, via="fold")
     if plan.kind == "any" and not preds and only is not None:
         col = by_name[only]
         pred = _pred_over_elem(plan.expr, only, t.Var(_ELEM), col.ty)
@@ -252,13 +286,15 @@ def _reify_single_table(
         step = t.Prim("word.add", (t.Var(_ACC), _expr_term(plan.expr, col_of)))
     elif plan.kind == "count":
         step = t.Prim("word.add", (t.Var(_ACC), t.Lit(1, WORD)))
+    elif plan.kind in ("min", "max"):
+        step = _extremal_step(plan.kind, _expr_term(plan.expr, col_of))
     else:  # any: latch the flag
         step = t.Lit(1, WORD)
         preds = preds + [plan.expr]
     pred = _and_all([_pred_term(p, col_of) for p in preds])
     body = step if pred is None else t.If(pred, step, t.Var(_ACC))
     agg = qt.QAggregate(
-        _IDX, _ACC, t.ArrayLen(t.Var(cols[0].name)), t.Lit(0, WORD), body
+        _IDX, _ACC, t.ArrayLen(t.Var(cols[0].name)), _agg_init(plan.kind), body
     )
     return _scalar_query(name, plan, (scan.table, cols), agg, via="aggregate")
 
@@ -355,6 +391,8 @@ def _reify_join(
         step = t.Prim("word.add", (t.Var(_ACC), _expr_term(plan.expr, col_of)))
     elif plan.kind == "count":
         step = t.Prim("word.add", (t.Var(_ACC), t.Lit(1, WORD)))
+    elif plan.kind in ("min", "max"):
+        step = _extremal_step(plan.kind, _expr_term(plan.expr, col_of))
     else:  # any over a join: latch, no early exit
         step = t.Lit(1, WORD)
         if plan.expr is not None:
@@ -366,7 +404,7 @@ def _reify_join(
         _ACC,
         t.ArrayLen(t.Var(left_cols[0].name)),
         t.ArrayLen(t.Var(right_cols[0].name)),
-        t.Lit(0, WORD),
+        _agg_init(plan.kind),
         body,
     )
     all_cols = left_cols + right_cols

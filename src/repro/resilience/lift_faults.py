@@ -1,0 +1,256 @@
+"""The lift fault campaign: drift that only ``--lift-validate`` catches.
+
+The 8-point campaign in :mod:`repro.resilience.faults` establishes that
+the per-artifact checkers catch *structural* lies.  This campaign
+targets the blind spot the lift-based cross-check exists for: an
+optimizer pass that changes semantics only on inputs the per-pass
+differential sampler never draws, while keeping the dataflow lint
+perfectly happy.
+
+The seeded fault is **first-iteration loop peeling**::
+
+    while (c) { b }   -->   b; while (c) { b }
+
+The peeled program is identical whenever the loop runs at least once
+and wrong exactly when it runs zero times (an empty input executes the
+body once anyway: out-of-bounds reads, spurious accumulator updates).
+So:
+
+- the per-pass differential check *accepts* it under any input
+  generator that never draws the empty case (modeled here with a
+  4..48-length generator -- precisely the kind of "reasonable" sampler
+  a generic harness uses);
+- ``repro lint`` *accepts* it (every local the peeled body reads is
+  initialized; no dead stores, no footprint violation);
+- ``--lift-validate`` *catches* it: the lifter re-synthesizes a model
+  from the peeled code, and the model cross-check leads with the empty
+  input, where the lifted model faults (or disagrees) and the original
+  model does not.
+
+The campaign passes when at least one target shows the full gap and no
+target gets a *false* "validated" certificate on drifted code.  A lift
+stall on the drifted shape is recorded separately: the drift would ship,
+but under a visible "cross-check skipped" certificate, which is a
+weaker guarantee -- not a silent lie.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bedrock2 import ast as b2
+from repro.resilience.faults import rebuild_stmt
+
+# Row outcomes.
+GAP_SHOWN = "gap-shown"  # weak checks accept, lift-validate rejects
+HARMLESS = "harmless"  # target has no loop to peel (nothing to show)
+NOT_MISSED = "not-missed"  # a weak check caught it (no gap on this target)
+STALLED = "stalled"  # lift stalled on the drifted code: check visibly skipped
+NOT_CAUGHT = "not-caught"  # lift-validate VALIDATED drifted code (false cert)
+CRASH = "crash"
+
+
+class _PeelFirstIteration:
+    """The model-drifting pass: unconditionally peel every loop once."""
+
+    name = "peel_first_iteration"
+
+    def run(self, fn: b2.Function, width: int) -> b2.Function:
+        def peel(stmt: b2.Stmt) -> b2.Stmt:
+            if isinstance(stmt, b2.SWhile):
+                return b2.SSeq(stmt.body, stmt)
+            return stmt
+
+        # rebuild_stmt never re-visits a transform's output, so each
+        # loop is peeled exactly once.
+        return b2.Function(fn.name, fn.args, fn.rets, rebuild_stmt(fn.body, peel))
+
+
+def _nonempty_input_gen(prog):
+    """A per-pass sampler that never draws the boundary (length < 4)."""
+
+    def gen(rng: random.Random) -> Dict[str, object]:
+        return {"s": list(prog.gen_input(rng, 4 + rng.randrange(44)))}
+
+    return gen
+
+
+@dataclass
+class LiftFaultOutcome:
+    target: str
+    outcome: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.target:<12} {self.outcome:<12} {self.detail}"
+
+
+@dataclass
+class LiftFaultReport:
+    seed: int
+    outcomes: List[LiftFaultOutcome] = field(default_factory=list)
+
+    def count(self, outcome: str) -> int:
+        return sum(1 for o in self.outcomes if o.outcome == outcome)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.count(CRASH) == 0
+            and self.count(NOT_CAUGHT) == 0
+            and self.count(GAP_SHOWN) > 0
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "fault": _PeelFirstIteration.name,
+            "outcomes": [
+                {"target": o.target, "outcome": o.outcome, "detail": o.detail}
+                for o in self.outcomes
+            ],
+            "counts": {
+                outcome: self.count(outcome)
+                for outcome in (
+                    GAP_SHOWN,
+                    HARMLESS,
+                    NOT_MISSED,
+                    STALLED,
+                    NOT_CAUGHT,
+                    CRASH,
+                )
+            },
+            "ok": self.ok,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"lift fault campaign (seed {self.seed}): "
+            f"fault = first-iteration loop peel",
+            "",
+        ]
+        lines.extend(f"  {o}" for o in self.outcomes)
+        lines.append("")
+        lines.append(
+            f"  gap shown on {self.count(GAP_SHOWN)}/{len(self.outcomes)} targets"
+            f" ({self.count(HARMLESS)} loop-free, "
+            f"{self.count(NOT_MISSED)} caught early, "
+            f"{self.count(STALLED)} stalled (visible skip), "
+            f"{self.count(NOT_CAUGHT)} FALSELY VALIDATED, "
+            f"{self.count(CRASH)} crashed)"
+        )
+        lines.append(f"  verdict: {'OK' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def _inject_peel(prog, rng: random.Random, width: int) -> LiftFaultOutcome:
+    from repro.analysis.dataflow import lint_function
+    from repro.analysis.diagnostics import gating
+    from repro.opt.manager import PassManager
+    from repro.validation.passcheck import (
+        _lift_validate_certificate,
+        pass_validator,
+    )
+
+    clean = prog.compile()
+    weak_gen = _nonempty_input_gen(prog)
+    validator = pass_validator(
+        clean,
+        trials=8,
+        rng=random.Random(rng.getrandbits(32)),
+        input_gen=weak_gen,
+        width=width,
+    )
+    manager = PassManager([_PeelFirstIteration()], width=width, validator=validator)
+    fn, certificates = manager.run(clean.bedrock_fn)
+    cert = certificates[0]
+    if b2.fingerprint(fn) == b2.fingerprint(clean.bedrock_fn):
+        if cert.status == "rejected":
+            return LiftFaultOutcome(
+                prog.name, NOT_MISSED, f"per-pass check caught it: {cert.detail}"
+            )
+        return LiftFaultOutcome(prog.name, HARMLESS, "no loop to peel")
+
+    # The weak per-pass check adopted drifted code.  Does lint mind?
+    lint_gating = gating(lint_function(fn, clean.spec))
+    if lint_gating:
+        return LiftFaultOutcome(
+            prog.name, NOT_MISSED, f"lint caught it: {lint_gating[0].code}"
+        )
+
+    # Only the lift cross-check is left standing.
+    lift_cert, reverted = _lift_validate_certificate(clean, fn, width=width)
+    if lift_cert.status == "rejected":
+        if b2.fingerprint(reverted) != b2.fingerprint(clean.bedrock_fn):
+            return LiftFaultOutcome(
+                prog.name, CRASH, "rejected but did not revert the AST"
+            )
+        return LiftFaultOutcome(
+            prog.name, GAP_SHOWN, f"lift-validate rejected: {lift_cert.detail[:90]}"
+        )
+    if lift_cert.status == "no-change":
+        # The lifter stalled on the drifted shape.  The drift would ship,
+        # but with a visible "cross-check skipped" certificate -- unlike a
+        # false "validated" certificate, the operator can see the gap.
+        return LiftFaultOutcome(prog.name, STALLED, lift_cert.detail[:90])
+    return LiftFaultOutcome(
+        prog.name,
+        NOT_CAUGHT,
+        f"lift-validate returned {lift_cert.status!r} on drifted code",
+    )
+
+
+def run_lift_faults(
+    seed: int = 0,
+    width: int = 64,
+    progress=None,
+    targets: Optional[List[str]] = None,
+) -> LiftFaultReport:
+    """Peel-inject every (pointer-taking) registry program; seeded."""
+    from repro.obs.trace import NULL_SPAN, current_tracer
+    from repro.programs.registry import all_programs
+
+    tracer = current_tracer()
+    master = random.Random(seed)
+    report = LiftFaultReport(seed=seed)
+    eligible = [
+        prog
+        for prog in all_programs()
+        if prog.calling_style in ("hash", "inplace")
+    ]
+    if targets is not None:
+        unknown = set(targets) - {prog.name for prog in eligible}
+        if unknown:
+            raise KeyError(
+                f"unknown lift-fault targets: {sorted(unknown)} "
+                f"(eligible: {sorted(p.name for p in eligible)})"
+            )
+    programs = [
+        prog for prog in eligible if targets is None or prog.name in targets
+    ]
+    for index, prog in enumerate(programs):
+        if progress is not None:
+            progress(f"peeling {prog.name} ({index + 1}/{len(programs)})")
+        rng = random.Random(master.getrandbits(64))
+        span = (
+            tracer.span("fault_injection", name="lift-loop-peel", program=prog.name)
+            if tracer.enabled
+            else NULL_SPAN
+        )
+        with span:
+            try:
+                outcome = _inject_peel(prog, rng, width)
+            except Exception as exc:  # noqa: BLE001 - a leaky harness is a finding
+                outcome = LiftFaultOutcome(prog.name, CRASH, repr(exc))
+        if tracer.enabled:
+            tracer.event(
+                "fault_outcome",
+                point="lift-loop-peel",
+                target=prog.name,
+                outcome=outcome.outcome,
+            )
+            tracer.inc("lift.faults.injected")
+        report.outcomes.append(outcome)
+    return report

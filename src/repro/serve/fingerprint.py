@@ -109,3 +109,34 @@ def compile_key(model: Model, spec: FnSpec, engine, opt_level: int = 0) -> str:
         engine.fingerprint(),
         pipeline_fingerprint(opt_level),
     )[:32]
+
+
+def lift_key(fn, spec: FnSpec, width: int = 64) -> str:
+    """The content address of one *lift* request (``repro.lift``).
+
+    The backward search is deterministic for the same reason the forward
+    search is, so a lift result is a pure function of
+
+    1. the exact Bedrock2 syntax (``bedrock2.ast.fingerprint``);
+    2. the ABI spec directing the backward walk;
+    3. the registered inverse-pattern roster
+       (:func:`repro.lift.patterns.roster_fingerprint`);
+    4. the word width.
+
+    Any change to any of them moves the key -- the same
+    invalidation-by-key-movement discipline as :func:`compile_key`.
+    """
+    from repro.bedrock2 import ast
+    from repro.lift.patterns import roster_fingerprint
+    from repro.stdlib import load_extensions
+
+    load_extensions()  # the roster must be registered before fingerprinting
+
+    return _digest(
+        f"lift-key-schema:{KEY_SCHEMA_VERSION}",
+        f"ast-schema:{AST_SCHEMA_VERSION}",
+        ast.fingerprint(fn),
+        spec_fingerprint(spec),
+        roster_fingerprint(),
+        str(width),
+    )[:32]

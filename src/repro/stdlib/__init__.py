@@ -35,6 +35,34 @@ from repro.core.lemma import HintDb
 from repro.core.solver import SolverBank
 
 
+def load_extensions():
+    """Import every stdlib lemma module for its registration side effects.
+
+    Lemma classes live in the submodules; the ``repro.lift`` inverse
+    patterns are registered at submodule import time, next to the forward
+    lemma each one inverts.  Anything that consults the inverse roster
+    without first building an engine (``lift_function`` on a legacy
+    bundle, the auditor's liftability column, ``lift_key``) must call
+    this rather than a bare ``import repro.stdlib``, which loads none of
+    the submodules.
+    """
+    from repro.stdlib import (  # noqa: F401
+        bindings,
+        calls,
+        control,
+        copying,
+        errors,
+        exprs,
+        inline_tables,
+        intrinsics,
+        loops,
+        monads,
+        mutation,
+        queries,
+        stack_alloc,
+    )
+
+
 def default_databases():
     """The standard binding/expression hint databases (all extensions loaded)."""
     from repro.stdlib import (

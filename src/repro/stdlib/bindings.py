@@ -111,3 +111,35 @@ def register(db: HintDb) -> HintDb:
     db.register(CompilePointerIdentity(), priority=19)
     db.register(CompileSetScalar(), priority=90)
     return db
+
+
+# -- Inverse patterns (repro.lift) -------------------------------------------
+#
+# Registered next to the forward lemmas so the pairing lives in one
+# place per family; the lifter dispatches on these, and the auditor's
+# liftability column counts them.
+
+from repro.lift.patterns import InversePattern, register_inverse  # noqa: E402
+
+register_inverse(
+    InversePattern(
+        name="lift_pointer_identity",
+        lemma="compile_pointer_identity",
+        family="bindings",
+        heads=("SSet",),
+        source_head="Var",
+        priority=19,
+        description="a local aliasing a pointer argument erases to the binder",
+    )
+)
+register_inverse(
+    InversePattern(
+        name="lift_set_scalar",
+        lemma="compile_set_scalar",
+        family="bindings",
+        heads=("SSet",),
+        source_head="Let",
+        priority=90,
+        description="an SSet of a scalar expression inverts to a let/n binding",
+    )
+)

@@ -191,3 +191,20 @@ def _negate(cond: t.Term):
 def register(db: HintDb) -> HintDb:
     db.register(CompileIf(), priority=30)
     return db
+
+
+# -- Inverse patterns (repro.lift) -------------------------------------------
+
+from repro.lift.patterns import InversePattern, register_inverse  # noqa: E402
+
+register_inverse(
+    InversePattern(
+        name="lift_if",
+        lemma="compile_if",
+        family="control",
+        heads=("SCond",),
+        source_head="If",
+        priority=30,
+        description="an SCond merges its branch environments into If terms",
+    )
+)

@@ -349,3 +349,75 @@ def register(db: HintDb) -> HintDb:
     db.register(ExprArrayGet(), priority=13)
     db.register(ExprPrim(), priority=14)
     return db
+
+
+# -- Inverse patterns (repro.lift) -------------------------------------------
+
+from repro.lift.patterns import InversePattern, register_inverse  # noqa: E402
+
+register_inverse(
+    InversePattern(
+        name="lift_lit",
+        lemma="expr_lit",
+        family="exprs",
+        heads=("ELit",),
+        source_head="Lit",
+        priority=10,
+        description="a word literal inverts to Lit",
+    )
+)
+register_inverse(
+    InversePattern(
+        name="lift_local_lookup",
+        lemma="expr_local_lookup",
+        family="exprs",
+        heads=("EVar",),
+        source_head="Var",
+        priority=11,
+        description="a local read inverts to the value bound to that local",
+    )
+)
+register_inverse(
+    InversePattern(
+        name="lift_known_length",
+        lemma="expr_known_len",
+        family="exprs",
+        heads=("EVar", "ELit"),
+        source_head="ArrayLen",
+        priority=12,
+        description="a LENGTH argument or known capacity inverts to ArrayLen",
+    )
+)
+register_inverse(
+    InversePattern(
+        name="lift_cell_load",
+        lemma="expr_cell_load",
+        family="exprs",
+        heads=("ELoad",),
+        source_head="CellGet",
+        priority=12,
+        description="a load through a cell pointer inverts to CellGet",
+    )
+)
+register_inverse(
+    InversePattern(
+        name="lift_array_get",
+        lemma="expr_array_get",
+        family="exprs",
+        heads=("ELoad",),
+        source_head="ArrayGet",
+        priority=13,
+        description="a scaled load off an array base inverts to ArrayGet",
+    )
+)
+register_inverse(
+    InversePattern(
+        name="lift_prim",
+        lemma="expr_prim",
+        family="exprs",
+        heads=("EOp",),
+        source_head="Prim",
+        priority=14,
+        description="a Bedrock2 binary operator inverts to the word/bool Prim",
+    )
+)

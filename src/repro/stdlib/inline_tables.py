@@ -62,3 +62,20 @@ class ExprTableGet(ExprLemma):
 def register(db: HintDb) -> HintDb:
     db.register(ExprTableGet(), priority=13)
     return db
+
+
+# -- Inverse patterns (repro.lift) -------------------------------------------
+
+from repro.lift.patterns import InversePattern, register_inverse  # noqa: E402
+
+register_inverse(
+    InversePattern(
+        name="lift_table_get",
+        lemma="expr_inline_table_get",
+        family="inline_tables",
+        heads=("EInlineTable",),
+        source_head="TableGet",
+        priority=13,
+        description="an inlinetable read unpacks little-endian into TableGet",
+    )
+)

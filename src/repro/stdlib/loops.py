@@ -577,3 +577,70 @@ def register(db: HintDb) -> HintDb:
     db.register(CompileRangedFor(), priority=25)
     db.register(CompileNatIter(), priority=25)
     return db
+
+
+# -- Inverse patterns (repro.lift) -------------------------------------------
+#
+# All five loop lemmas share the counted SWhile skeleton, so the lifter
+# recognizes the skeleton once and specializes: map-in-place and
+# fold-break when their stricter shapes hold, RangedFor otherwise
+# (ArrayFold and NatIter emissions are RangedFor-shaped, so their code
+# round-trips through the RangedFor inverse).
+
+from repro.lift.patterns import InversePattern, register_inverse  # noqa: E402
+
+register_inverse(
+    InversePattern(
+        name="lift_map_inplace",
+        lemma="compile_arraymap_inplace",
+        family="loops",
+        heads=("SWhile",),
+        source_head="ArrayMap",
+        priority=25,
+        description="a full-array store-back loop inverts to ArrayMap",
+    )
+)
+register_inverse(
+    InversePattern(
+        name="lift_array_fold",
+        lemma="compile_arrayfold",
+        family="loops",
+        heads=("SWhile",),
+        source_head="ArrayFold",
+        priority=25,
+        description="a fold emission is RangedFor-shaped; lifted via RangedFor",
+    )
+)
+register_inverse(
+    InversePattern(
+        name="lift_fold_break",
+        lemma="compile_arrayfold_break",
+        family="loops",
+        heads=("SWhile",),
+        source_head="ArrayFoldBreak",
+        priority=24,
+        description="an and(ltu, eq(p,0)) guard inverts to ArrayFoldBreak",
+    )
+)
+register_inverse(
+    InversePattern(
+        name="lift_ranged_for",
+        lemma="compile_rangedfor",
+        family="loops",
+        heads=("SWhile",),
+        source_head="RangedFor",
+        priority=25,
+        description="a counted single-accumulator loop inverts to RangedFor",
+    )
+)
+register_inverse(
+    InversePattern(
+        name="lift_nat_iter",
+        lemma="compile_natiter",
+        family="loops",
+        heads=("SWhile",),
+        source_head="NatIter",
+        priority=25,
+        description="a NatIter emission is RangedFor-shaped; lifted via RangedFor",
+    )
+)

@@ -155,3 +155,31 @@ def register(db: HintDb) -> HintDb:
     db.register(CompileArrayPut(), priority=20)
     db.register(CompileCellPut(), priority=20)
     return db
+
+
+# -- Inverse patterns (repro.lift) -------------------------------------------
+
+from repro.lift.patterns import InversePattern, register_inverse  # noqa: E402
+
+register_inverse(
+    InversePattern(
+        name="lift_array_put",
+        lemma="compile_array_put",
+        family="mutation",
+        heads=("SStore",),
+        source_head="ArrayPut",
+        priority=20,
+        description="a scaled store off an array base inverts to ArrayPut",
+    )
+)
+register_inverse(
+    InversePattern(
+        name="lift_cell_put",
+        lemma="compile_cell_put",
+        family="mutation",
+        heads=("SStore",),
+        source_head="CellPut",
+        priority=20,
+        description="a store through a cell pointer inverts to CellPut",
+    )
+)

@@ -206,3 +206,47 @@ def register(db: HintDb) -> HintDb:
     db.register(CompileQueryJoinAgg(), priority=23)
     db.register(CompileQueryProjectInto(), priority=23)
     return db
+
+
+# -- Inverse patterns (repro.lift) -------------------------------------------
+#
+# The query lemmas emit the loop family's counted skeletons, so their
+# code lifts through the generic loop inverses; the entries here record
+# that the family is liftable (auditor liftability column) even though
+# the lifted model is RangedFor/If-shaped rather than a Q* plan term.
+
+from repro.lift.patterns import InversePattern, register_inverse  # noqa: E402
+
+register_inverse(
+    InversePattern(
+        name="lift_query_aggregate",
+        lemma="compile_query_aggregate",
+        family="queries",
+        heads=("SWhile",),
+        source_head="QAggregate",
+        priority=23,
+        description="aggregate scans lift through the RangedFor inverse",
+    )
+)
+register_inverse(
+    InversePattern(
+        name="lift_query_join_agg",
+        lemma="compile_query_join_agg",
+        family="queries",
+        heads=("SWhile",),
+        source_head="QJoinAgg",
+        priority=23,
+        description="nested-loop join aggregates lift through RangedFor",
+    )
+)
+register_inverse(
+    InversePattern(
+        name="lift_query_project_into",
+        lemma="compile_query_project_into",
+        family="queries",
+        heads=("SWhile",),
+        source_head="QProjectInto",
+        priority=23,
+        description="projection store loops lift through RangedFor/ArrayPut",
+    )
+)

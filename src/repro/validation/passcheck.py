@@ -70,6 +70,7 @@ def optimize_compiled(
     rng: Optional[random.Random] = None,
     input_gen: Optional[InputGen] = None,
     width: int = 64,
+    lift_validate: bool = False,
 ) -> Tuple[CompiledFunction, OptimizationReport]:
     """Optimize a compiled function with per-pass differential validation.
 
@@ -78,6 +79,18 @@ def optimize_compiled(
     :class:`OptimizationReport` carrying one ``PassCertificate`` per
     pipeline stage.  The report is also attached to the returned bundle
     as ``opt_report``.
+
+    With ``lift_validate=True`` the whole-pipeline output is additionally
+    *lifted* back to a functional model (``repro.lift``) and cross-checked
+    extensionally against the model the code was derived from.  This is
+    an end-to-end check over the composed pipeline, independent of the
+    per-pass certificates: a semantics change that every per-pass
+    differential sample happens to miss (e.g. one that only shows on
+    boundary inputs the generic generators rarely draw) still has to get
+    past the lifted model's boundary-first comparison.  A failing
+    cross-check rejects the *entire* optimization: the returned bundle
+    falls back to the unoptimized AST and the report carries a rejected
+    ``lift-validate`` certificate.
     """
     report = OptimizationReport(
         function=compiled.name,
@@ -89,6 +102,67 @@ def optimize_compiled(
     )
     manager = PassManager(pipeline_for(level), width=width, validator=validator)
     fn, report.certificates = manager.run(compiled.bedrock_fn)
+    if lift_validate:
+        cert, fn = _lift_validate_certificate(compiled, fn, width=width)
+        report.certificates.append(cert)
     report.stmts_after = ast.statement_count(fn.body)
     optimized = replace(compiled, bedrock_fn=fn, opt_report=report)
     return optimized, report
+
+
+def _lift_validate_certificate(compiled, fn, *, width=64):
+    """Lift the optimized function and cross-check models.
+
+    Returns ``(certificate, fn)`` where ``fn`` is reverted to the
+    original AST when the cross-check finds drift.  A lift *stall* is
+    recorded as a ``no-change`` certificate (the check could not run --
+    visible, but not a rejection: the per-pass certificates still stand).
+    """
+    from repro.opt.manager import PassCertificate
+
+    before = ast.fingerprint(compiled.bedrock_fn)
+    after = ast.fingerprint(fn)
+    try:
+        from repro.lift import lift_function, models_equivalent
+
+        result = lift_function(fn, compiled.spec, width=width)
+        if not result.ok:
+            return (
+                PassCertificate(
+                    pass_name="lift-validate",
+                    before_hash=before,
+                    after_hash=after,
+                    status="no-change",
+                    detail=(
+                        "lift stalled "
+                        f"({result.stall.reason}): model cross-check skipped"
+                    ),
+                ),
+                fn,
+            )
+        divergence = models_equivalent(
+            result.model, compiled.model, compiled.spec, width=width
+        )
+    except Exception as exc:  # noqa: BLE001 - a broken check is a rejection
+        divergence = f"lift cross-check raised {exc!r}"
+    if divergence is not None:
+        return (
+            PassCertificate(
+                pass_name="lift-validate",
+                before_hash=before,
+                after_hash=before,
+                status="rejected",
+                detail=f"lifted model diverges from source model: {divergence}",
+            ),
+            compiled.bedrock_fn,
+        )
+    return (
+        PassCertificate(
+            pass_name="lift-validate",
+            before_hash=before,
+            after_hash=after,
+            status="validated",
+            detail="lifted model extensionally equal to the source model",
+        ),
+        fn,
+    )

@@ -23,7 +23,7 @@ def test_json_output_is_machine_readable(capsys):
     assert main(["lint", "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)
     assert payload["ok"] is True
-    assert payload["counts"] == {"RA201": 3}
+    assert payload["counts"] == {"RA201": 3, "RA202": 12}
     names = {s["name"] for s in payload["subjects"]}
     assert {"bindings", "exprs"} <= names
     for subject in payload["subjects"]:
@@ -86,7 +86,8 @@ def test_lint_diag_events_reach_the_trace(tmp_path):
     assert main(["lint", "--db", "bindings", "--trace", str(trace_path)]) == 0
     records = read_jsonl(str(trace_path))
     diags = [r for r in records if r.get("ev") == "lint_diag"]
-    assert {d["code"] for d in diags} == {"RA201"}
+    assert {d["code"] for d in diags} == {"RA201", "RA202"}
     metrics = [r for r in records if r.get("ev") == "metrics"]
-    assert metrics and metrics[0]["counters"]["analysis.diags"] == 3
+    assert metrics and metrics[0]["counters"]["analysis.diags"] == 15
     assert metrics[0]["counters"]["analysis.diags.RA201"] == 3
+    assert metrics[0]["counters"]["analysis.diags.RA202"] == 12

@@ -1,0 +1,99 @@
+"""Seeded fuzz round trips: lift(compile(s)) ~ s over generated programs.
+
+The corpus round trips in :mod:`tests.lift.test_roundtrip` pin fifteen
+hand-written programs; this campaign drives the same property through
+the resilience generator's program families, which reach shapes the
+registry does not (deep scalar chains, generated predicates, random
+fold bodies).  The contract per case:
+
+- if the forward engine compiles it, the lifter must either lift it or
+  stall with the statically predictable ``no-inverse-pattern`` reason
+  (the stack-allocation family is uninvertible by design -- the
+  auditor's RA202 diagnostics say so up front);
+- every lifted model must be extensionally equal to the generated
+  source model on seeded trials.
+
+At least 100 generated programs must complete the full round trip.
+"""
+
+import random
+
+import pytest
+
+from repro.lift import clear_lift_memo, lift_function, models_equivalent
+from repro.resilience.generator import generate_case
+from repro.stdlib import default_engine
+
+SEED = 0xF12  # master campaign seed
+TARGET_LIFTED = 100
+MAX_CASES = 400  # generation budget; the campaign fails if it runs dry
+
+
+def _campaign():
+    """Generate-compile-lift until TARGET_LIFTED cases round trip."""
+    engine = default_engine()
+    rng = random.Random(SEED)
+    lifted, stalls, skipped = [], [], 0
+    for index in range(MAX_CASES):
+        if len(lifted) >= TARGET_LIFTED:
+            break
+        case = generate_case(rng, index)
+        try:
+            compiled = engine.compile_function(case.model, case.spec)
+        except Exception:
+            skipped += 1  # generator emitted an uncompilable case
+            continue
+        clear_lift_memo()
+        result = lift_function(
+            compiled.bedrock_fn, case.spec, use_cache=False
+        )
+        if result.ok:
+            lifted.append((case, result))
+        else:
+            stalls.append((case, result.stall))
+    return lifted, stalls, skipped
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return _campaign()
+
+
+class TestFuzzRoundTrip:
+    def test_at_least_100_cases_round_trip(self, campaign):
+        lifted, _, skipped = campaign
+        assert len(lifted) >= TARGET_LIFTED, (len(lifted), skipped)
+
+    def test_stalls_are_only_the_predicted_kind(self, campaign):
+        _, stalls, _ = campaign
+        for case, report in stalls:
+            assert report.reason == "no-inverse-pattern", (
+                case.name,
+                case.family,
+                report.to_dict(),
+            )
+            assert case.family == "stack_table", case.family
+
+    def test_uninvertible_family_actually_stalls(self, campaign):
+        # The stack_table family exists to exercise the stall path; the
+        # campaign must have hit it, or the coverage claim is hollow.
+        _, stalls, _ = campaign
+        assert stalls, "no stack_table case reached the lifter"
+
+    def test_lifted_models_are_extensionally_equal(self, campaign):
+        lifted, _, _ = campaign
+        assert lifted
+        for case, result in lifted:
+            mismatch = models_equivalent(
+                result.model,
+                case.model,
+                case.spec,
+                trials=8,
+                rng=random.Random(SEED ^ hash(case.name) & 0xFFFF),
+            )
+            assert mismatch is None, (case.name, case.family, mismatch)
+
+    def test_families_beyond_the_registry_are_covered(self, campaign):
+        lifted, _, _ = campaign
+        families = {case.family for case, _ in lifted}
+        assert len(families) >= 5, families

@@ -1,0 +1,74 @@
+"""The lift stall taxonomy mirrors the forward StallReport contract."""
+
+import json
+
+from repro.lift import LiftStalled, LiftStallReport, LiftValidationFailed
+from repro.lift.goals import LiftError
+
+
+class TestLiftStallReport:
+    def test_slug_taxonomy(self):
+        slugs = {
+            LiftStallReport.NO_INVERSE_PATTERN,
+            LiftStallReport.UNSUPPORTED_SHAPE,
+            LiftStallReport.LOOP_SHAPE,
+            LiftStallReport.UNBOUND_LOCAL,
+            LiftStallReport.MEMORY_SHAPE,
+            LiftStallReport.SPEC_MISMATCH,
+            LiftStallReport.RESOURCE_EXHAUSTED,
+            LiftStallReport.VALIDATION_FAILED,
+            LiftStallReport.INTERNAL,
+        }
+        assert len(slugs) == 9  # all distinct
+        assert LiftStallReport.NO_INVERSE_PATTERN == "no-inverse-pattern"
+
+    def test_to_dict_matches_forward_report_shape(self):
+        # Same keys as repro.core.goals.StallReport, so the fuzz/fault
+        # tooling can consume both with one parser.
+        from repro.core.goals import StallReport
+
+        assert set(LiftStallReport().to_dict()) == set(StallReport().to_dict())
+
+    def test_to_json_round_trips(self):
+        report = LiftStallReport(
+            reason=LiftStallReport.LOOP_SHAPE,
+            goal="while (e) { ... }",
+            family="lift.engine",
+            hint="register an inverse loop pattern",
+            head="SWhile",
+        )
+        decoded = json.loads(report.to_json())
+        assert decoded["reason"] == "unrecognized-loop-shape"
+        assert decoded["head"] == "SWhile"
+        assert decoded["hint"].startswith("register")
+
+
+class TestLiftErrors:
+    def test_stalled_carries_its_report(self):
+        err = LiftStalled(
+            "stackalloc buf 32 { ... }",
+            "stack allocation has no inverse pattern",
+            reason=LiftStallReport.NO_INVERSE_PATTERN,
+            family="lift.engine",
+            head="SStackalloc",
+        )
+        assert isinstance(err, LiftError)
+        report = err.report
+        assert report.reason == "no-inverse-pattern"
+        assert report.head == "SStackalloc"
+        assert "stackalloc" in report.goal
+        assert "stalled" in str(err)
+        assert json.loads(err.to_json())["reason"] == "no-inverse-pattern"
+
+    def test_validation_failed_carries_counterexample(self):
+        err = LiftValidationFailed(
+            "crc32", "outputs diverge", counterexample={"s": []}
+        )
+        assert err.report.reason == LiftStallReport.VALIDATION_FAILED
+        assert err.report.family == "lift.validate"
+        assert "counterexample" in str(err)
+
+    def test_base_error_reports_internal(self):
+        err = LiftError("wires crossed")
+        assert err.report.reason == LiftStallReport.INTERNAL
+        assert "wires crossed" in err.report.goal

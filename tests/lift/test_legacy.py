@@ -1,0 +1,84 @@
+"""Legacy bundles: serialized hand-written Bedrock2 + ABI codec."""
+
+import json
+
+import pytest
+
+from repro.bedrock2 import ast
+from repro.lift import decode_bundle, encode_bundle, lift_function, load_bundle
+from repro.lift.legacy import (
+    LegacyDecodeError,
+    decode_spec,
+    decode_type,
+    encode_spec,
+    encode_type,
+)
+from repro.lift.validate import models_equivalent
+from repro.programs.registry import get_program
+from repro.source.types import BYTE, WORD, array_of, cell_of
+
+
+class TestTypeCodec:
+    def test_round_trip(self):
+        for ty in (WORD, BYTE, array_of(BYTE), array_of(WORD), cell_of(WORD)):
+            assert decode_type(encode_type(ty)) == ty
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(LegacyDecodeError):
+            decode_type("matrix(word)")
+
+
+class TestBundleCodec:
+    def test_registry_round_trip(self):
+        compiled = get_program("fnv1a").compile()
+        text = encode_bundle(compiled.bedrock_fn, compiled.spec)
+        fn, spec = decode_bundle(text)
+        assert ast.fingerprint(fn) == ast.fingerprint(compiled.bedrock_fn)
+        assert spec.fname == compiled.spec.fname
+        assert encode_spec(spec) == encode_spec(compiled.spec)
+
+    def test_spec_codec_round_trip(self):
+        spec = get_program("crc32").compile().spec
+        assert encode_spec(decode_spec(encode_spec(spec))) == encode_spec(spec)
+
+    def test_not_json_rejected(self):
+        with pytest.raises(LegacyDecodeError, match="not JSON"):
+            decode_bundle("{")
+
+    def test_wrong_schema_rejected(self):
+        compiled = get_program("fnv1a").compile()
+        data = json.loads(encode_bundle(compiled.bedrock_fn, compiled.spec))
+        data["schema"] = 999
+        with pytest.raises(LegacyDecodeError, match="schema"):
+            decode_bundle(json.dumps(data))
+
+    def test_corrupt_function_rejected(self):
+        compiled = get_program("fnv1a").compile()
+        data = json.loads(encode_bundle(compiled.bedrock_fn, compiled.spec))
+        data["function"] = {"nonsense": True}
+        with pytest.raises(LegacyDecodeError, match="function"):
+            decode_bundle(json.dumps(data))
+
+    def test_malformed_spec_rejected(self):
+        compiled = get_program("fnv1a").compile()
+        data = json.loads(encode_bundle(compiled.bedrock_fn, compiled.spec))
+        del data["spec"]["fname"]
+        with pytest.raises(LegacyDecodeError, match="spec"):
+            decode_bundle(json.dumps(data))
+
+
+class TestLegacyLift:
+    def test_bundle_lifts_from_disk(self, tmp_path):
+        """The full legacy path: serialize, reload, lift, compare models."""
+        program = get_program("upstr")
+        compiled = program.compile()
+        path = tmp_path / "upstr.bundle.json"
+        path.write_text(encode_bundle(compiled.bedrock_fn, compiled.spec))
+
+        fn, spec = load_bundle(str(path))
+        result = lift_function(fn, spec, use_cache=False)
+        assert result.ok, result.stall.to_dict()
+        assert (
+            models_equivalent(result.model, compiled.model, compiled.spec)
+            is None
+        )

@@ -1,0 +1,99 @@
+"""The inverse-pattern roster: registration invariants and fingerprints."""
+
+import pytest
+
+from repro.lift import patterns as pat
+from repro.stdlib import load_extensions
+
+load_extensions()  # registers the standard inverse roster
+
+
+class TestRoster:
+    def test_standard_roster_is_nonempty_and_sorted(self):
+        roster = pat.all_inverse_patterns()
+        assert len(roster) >= 15
+        keys = [(p.family, p.name) for p in roster]
+        assert keys == sorted(keys)
+
+    def test_names_and_lemma_coverage_are_unique(self):
+        roster = pat.all_inverse_patterns()
+        names = [p.name for p in roster]
+        lemmas = [p.lemma for p in roster]
+        assert len(set(names)) == len(names)
+        assert len(set(lemmas)) == len(lemmas)
+
+    def test_every_pattern_reachable_through_its_heads(self):
+        for pattern in pat.all_inverse_patterns():
+            for head in pattern.heads:
+                assert pattern in pat.patterns_for_head(head), (
+                    pattern.name,
+                    head,
+                )
+
+    def test_head_dispatch_is_priority_ordered(self):
+        for head in ("SSet", "SWhile", "ELoad", "EOp"):
+            priorities = [p.priority for p in pat.patterns_for_head(head)]
+            assert priorities == sorted(priorities), head
+
+    def test_inverse_for_lemma(self):
+        inverse = pat.inverse_for_lemma("compile_rangedfor")
+        assert inverse is not None
+        assert inverse.name == "lift_ranged_for"
+        assert pat.inverse_for_lemma("no_such_lemma") is None
+
+    def test_lifted_lemma_names_match_roster(self):
+        names = pat.lifted_lemma_names()
+        assert "compile_set_scalar" in names
+        assert "compile_if" in names
+        # Uninvertible families stay out (they have no registered inverse).
+        assert "compile_stack_alloc" not in names
+
+    def test_engine_heads_are_structural(self):
+        # SSeq/SSkip are walked by the engine itself, never via a pattern.
+        assert pat.ENGINE_LIFT_HEADS == frozenset({"SSeq", "SSkip"})
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        existing = pat.all_inverse_patterns()[0]
+        with pytest.raises(ValueError, match="twice"):
+            pat.register_inverse(
+                pat.InversePattern(
+                    name=existing.name,
+                    lemma="some_fresh_lemma",
+                    family="test",
+                    heads=("SSet",),
+                    source_head="Let",
+                )
+            )
+
+    def test_duplicate_lemma_coverage_rejected(self):
+        existing = pat.all_inverse_patterns()[0]
+        with pytest.raises(ValueError):
+            pat.register_inverse(
+                pat.InversePattern(
+                    name="lift_test_fresh_name",
+                    lemma=existing.lemma,
+                    family="test",
+                    heads=("SSet",),
+                    source_head="Let",
+                )
+            )
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        assert pat.roster_fingerprint() == pat.roster_fingerprint()
+        assert len(pat.roster_fingerprint()) == 16
+
+    def test_lift_key_covers_roster_and_width(self):
+        from repro.lift import lift_key
+        from repro.programs.registry import get_program
+
+        compiled = get_program("fnv1a").compile()
+        key64 = lift_key(compiled.bedrock_fn, compiled.spec, width=64)
+        key32 = lift_key(compiled.bedrock_fn, compiled.spec, width=32)
+        assert key64 != key32
+        assert key64 == lift_key(compiled.bedrock_fn, compiled.spec, width=64)
+        other = get_program("crc32").compile()
+        assert key64 != lift_key(other.bedrock_fn, other.spec, width=64)
