@@ -1,0 +1,201 @@
+"""E17 -- what the abstract-interpretation range engine buys the solver bank.
+
+Two claims, both gated:
+
+1. **Fewer Fourier-Motzkin invocations.**  ``range_solver`` sits in the
+   bank just before ``linear_arithmetic_solver`` and discharges
+   range-shaped obligations (``nat.ltb``, ``word.ltu``, ...) from the
+   fact-seeded interval map alone.  Compiling the whole registry with and
+   without it in the roster, the FM call count must drop by at least
+   ``FM_REDUCTION_FLOOR`` (30%).  The counts are deterministic -- no
+   committed baseline file is needed; the ratio *is* the gate.
+
+2. **The kill switch changes nothing.**  ``--no-absint``
+   (:func:`repro.analysis.absint.set_absint_enabled`) disables only the
+   per-state caching of range maps; every verdict is recomputed
+   identically, so compiled artifacts (AST fingerprint, certificate
+   serialization, C output) must be byte-identical with the cache on or
+   off, on the full corpus.
+
+Run as a module for the table / CI gate::
+
+    python -m benchmarks.bench_absint --check
+    python -m benchmarks.bench_absint --json
+
+Both claims are also pinned as plain pytest tests, so tier-1 keeps them.
+"""
+
+import json
+import sys
+
+from repro.obs.trace import Tracer, use_tracer
+
+# The E17 gate: range_solver must absorb at least this fraction of the
+# corpus's Fourier-Motzkin invocations.
+FM_REDUCTION_FLOOR = 0.30
+
+FM_KEY = "solver.calls.linear_arithmetic_solver"
+RANGE_CALLS_KEY = "solver.calls.range_solver"
+RANGE_WINS_KEY = "solver.hits.range_solver"
+
+
+def _registry_cases():
+    from repro.programs.registry import all_programs
+
+    return [(p.name, p.build_model(), p.build_spec()) for p in all_programs()]
+
+
+def _compile_corpus(bank_solvers=None):
+    """Fresh-compile every registry program; return summed solver counters."""
+    from repro.core.solver import SolverBank
+    from repro.stdlib import default_engine
+
+    totals = {}
+    for name, model, spec in _registry_cases():
+        engine = default_engine()
+        if bank_solvers is not None:
+            engine.solvers = SolverBank(list(bank_solvers))
+        tracer = Tracer(name=f"absint-bench:{name}")
+        with use_tracer(tracer):
+            engine.compile_function(model, spec)
+        for key, value in tracer.metrics.to_dict()["counters"].items():
+            if key.startswith(("solver.", "absint.")):
+                totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+def measure_fm_reduction() -> dict:
+    """E17 payload: FM call counts with and without range_solver."""
+    from repro.core.solver import DEFAULT_SOLVERS, range_solver
+
+    with_range = _compile_corpus()
+    ablated_roster = [s for s in DEFAULT_SOLVERS if s is not range_solver]
+    without_range = _compile_corpus(ablated_roster)
+    fm_with = with_range.get(FM_KEY, 0)
+    fm_without = without_range.get(FM_KEY, 0)
+    reduction = 1.0 - fm_with / fm_without if fm_without else 0.0
+    return {
+        "experiment": "E17",
+        "programs": len(_registry_cases()),
+        "fm_calls_without_range_solver": fm_without,
+        "fm_calls_with_range_solver": fm_with,
+        "fm_reduction": round(reduction, 3),
+        "fm_reduction_floor": FM_REDUCTION_FLOOR,
+        "range_solver_calls": with_range.get(RANGE_CALLS_KEY, 0),
+        "range_solver_wins": with_range.get(RANGE_WINS_KEY, 0),
+        "absint_cache_hits": with_range.get("absint.map.hit", 0),
+        "absint_cache_misses": with_range.get("absint.map.miss", 0),
+    }
+
+
+def _corpus_fingerprints() -> dict:
+    """name -> (AST fingerprint, serialized certificate, C text) per program."""
+    from repro.bedrock2 import ast as b2
+    from repro.bedrock2.c_printer import print_c_function
+    from repro.stdlib import default_engine
+
+    out = {}
+    for name, model, spec in _registry_cases():
+        compiled = default_engine().compile_function(model, spec)
+        out[name] = (
+            b2.fingerprint(compiled.bedrock_fn),
+            json.dumps(compiled.certificate.to_dict(), sort_keys=True),
+            print_c_function(compiled.bedrock_fn),
+        )
+    return out
+
+
+def measure_kill_switch() -> dict:
+    """Recompile the corpus with the absint cache off; diff every artifact."""
+    from repro.analysis.absint import absint_enabled, set_absint_enabled
+
+    previous = absint_enabled()
+    set_absint_enabled(True)
+    try:
+        cached = _corpus_fingerprints()
+        set_absint_enabled(False)
+        uncached = _corpus_fingerprints()
+    finally:
+        set_absint_enabled(previous)
+    mismatches = sorted(
+        name for name in cached if cached[name] != uncached.get(name)
+    )
+    return {
+        "programs": len(cached),
+        "byte_identical": not mismatches,
+        "mismatches": mismatches,
+    }
+
+
+# -- pytest pins (tier-1 keeps the E17 claims) ---------------------------------------
+
+
+def test_range_solver_reduces_fm_invocations():
+    measured = measure_fm_reduction()
+    assert measured["fm_calls_without_range_solver"] > 0
+    assert measured["fm_reduction"] >= FM_REDUCTION_FLOOR, measured
+
+
+def test_kill_switch_is_byte_identical():
+    report = measure_kill_switch()
+    assert report["byte_identical"], report["mismatches"]
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="E17: absint range solver vs Fourier-Motzkin, kill-switch identity"
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate: fail below the 30%% FM-reduction floor or on any "
+        "kill-switch artifact mismatch",
+    )
+    args = parser.parse_args()
+    measured = measure_fm_reduction()
+    identity = measure_kill_switch()
+    if args.json:
+        print(json.dumps({"e17": measured, "kill_switch": identity}, indent=2))
+    else:
+        print(
+            f"E17: {measured['programs']} programs  "
+            f"FM calls {measured['fm_calls_without_range_solver']} -> "
+            f"{measured['fm_calls_with_range_solver']}  "
+            f"(reduction {measured['fm_reduction']:.0%}, floor "
+            f"{FM_REDUCTION_FLOOR:.0%})"
+        )
+        print(
+            f"     range_solver: {measured['range_solver_wins']}/"
+            f"{measured['range_solver_calls']} obligations won  "
+            f"cache {measured['absint_cache_hits']} hit(s) / "
+            f"{measured['absint_cache_misses']} miss(es)"
+        )
+        print(
+            "     kill switch: artifacts byte-identical"
+            if identity["byte_identical"]
+            else f"     kill switch: MISMATCH on {identity['mismatches']}"
+        )
+    if args.check:
+        failures = []
+        if measured["fm_reduction"] < FM_REDUCTION_FLOOR:
+            failures.append(
+                f"FM reduction {measured['fm_reduction']:.0%} below floor "
+                f"{FM_REDUCTION_FLOOR:.0%}"
+            )
+        if not identity["byte_identical"]:
+            failures.append(
+                "kill switch changed artifacts: " + ", ".join(identity["mismatches"])
+            )
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        if failures:
+            return 1
+        print("E17 gates: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -118,7 +118,7 @@ def test_optimizer_strictly_improves(bench_size, capsys):
     with capsys.disabled():
         print()
         print(render_optimizer_table(rows))
-    assert len(rows) == 7
+    assert len(rows) == 9
     for row in rows:
         # Never a regression, and never an unvalidated pass.
         assert row.total_ops_opt <= row.total_ops_unopt, row.program

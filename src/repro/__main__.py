@@ -600,6 +600,7 @@ def cmd_lint(args) -> int:
                 db_names=db_names,
                 program_names=program_names,
                 opt_levels=tuple(args.opt_levels) if args.opt_levels else (0, 1),
+                ranges=args.ranges,
             )
         except KeyError as exc:
             print(f"lint: {exc.args[0]}", file=sys.stderr)
@@ -651,6 +652,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--no-memo", action="store_true",
         help="disable per-derivation memoization of repeated pure subterms",
+    )
+    parser.add_argument(
+        "--no-absint", action="store_true",
+        help="disable per-state caching of abstract-interpretation range maps",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list the benchmark suite")
@@ -860,6 +865,10 @@ def main(argv=None) -> int:
         default=[],
         help="optimization level(s) to lint programs at (default: both)",
     )
+    p.add_argument(
+        "--ranges", action="store_true",
+        help="also show the inferred per-variable value ranges (absint)",
+    )
     p.add_argument("--json", action="store_true", help="machine-readable report")
     p.add_argument("--trace", metavar="FILE", help=trace_help)
     p = sub.add_parser(
@@ -887,6 +896,10 @@ def main(argv=None) -> int:
         from repro.core.engine import set_memo_enabled
 
         set_memo_enabled(False)
+    if args.no_absint:
+        from repro.analysis.absint import set_absint_enabled
+
+        set_absint_enabled(False)
     handlers = {
         "list": cmd_list,
         "compile": cmd_compile,

@@ -1,0 +1,79 @@
+"""Abstract interpretation over an interval x congruence domain.
+
+The package analyzes value ranges at three layers and feeds three
+consumers:
+
+- :mod:`repro.analysis.absint.domain` -- the ``Range`` lattice (interval
+  with optional open upper bound, times a congruence class) and sound
+  transfer functions for the source and Bedrock2 operator sets;
+- :mod:`repro.analysis.absint.terms` -- source-side analyses: the
+  fact-derived range map behind ``range_solver`` (see
+  :mod:`repro.core.solver`) and the whole-model binding ranges behind
+  the soundness property suite;
+- :mod:`repro.analysis.absint.bedrock` -- a CFG fixpoint with widening
+  at loop heads over compiled Bedrock2 functions, behind the ``RB3xx``
+  range lints and the ``RangeGuardElimination`` optimizer pass.
+
+Everything here is *untrusted* analysis in the paper's sense: a wrong
+range can only ever make the proof search or the optimizer attempt
+something the trusted checkers (certificate validation, differential
+testing) then reject.
+
+Like the side-condition memo in :mod:`repro.core.engine`, the analysis
+has a kill switch.  ``set_absint_enabled(False)`` (CLI ``--no-absint``)
+disables the per-state caching of fact-range maps; verdicts are
+recomputed from the same facts for every obligation, so all compiled
+outputs are byte-identical either way -- the switch only trades speed
+for a simpler-to-audit execution.
+"""
+
+from repro.analysis.absint import bedrock, domain, terms
+from repro.analysis.absint.bedrock import (
+    AbsintResult,
+    analyze_function,
+    eval_expr_range,
+    function_ranges,
+    range_lint,
+    refine_env,
+)
+from repro.analysis.absint.domain import Range
+from repro.analysis.absint.terms import (
+    ModelRanges,
+    analyze_model,
+    discharge_bounds,
+    fact_ranges,
+    state_ranges,
+)
+
+_ABSINT_ENABLED = True
+
+
+def absint_enabled() -> bool:
+    return _ABSINT_ENABLED
+
+
+def set_absint_enabled(enabled: bool) -> None:
+    """Toggle fact-range caching (the ``--no-absint`` kill switch)."""
+    global _ABSINT_ENABLED
+    _ABSINT_ENABLED = bool(enabled)
+
+
+__all__ = [
+    "AbsintResult",
+    "ModelRanges",
+    "Range",
+    "absint_enabled",
+    "analyze_function",
+    "analyze_model",
+    "bedrock",
+    "discharge_bounds",
+    "domain",
+    "eval_expr_range",
+    "fact_ranges",
+    "function_ranges",
+    "range_lint",
+    "refine_env",
+    "set_absint_enabled",
+    "state_ranges",
+    "terms",
+]

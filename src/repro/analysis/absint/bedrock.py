@@ -1,0 +1,423 @@
+"""Abstract interpretation of Bedrock2 functions.
+
+A classic forward dataflow fixpoint over the :class:`repro.analysis.dataflow.CFG`:
+each node carries an abstract environment (variable name -> :class:`Range`
+over the word's unsigned representative; absent = the full word), edges out
+of ``cond``/``while`` nodes refine the environment with what the branch
+condition being true/false implies, and back edges are *widened* at loop
+heads (``while`` nodes) after :data:`WIDEN_AFTER` growing visits, which
+bounds every chain.
+
+Three consumers sit on top:
+
+- :func:`range_lint` emits the RB3xx diagnostic family (provable
+  wraparound, inline-table overrun, oversized shift amounts, feasible
+  division by zero);
+- :class:`repro.opt.passes.RangeGuardElimination` shares
+  :func:`eval_expr_range` and :func:`refine_env` for its rewriting walk;
+- ``repro lint --ranges`` reports :func:`function_ranges` per program.
+
+Transfer functions mirror :func:`repro.bedrock2.semantics.apply_op`
+bit-for-bit (shift amounts mod width, RISC-V division-by-zero results);
+the soundness property suite in ``tests/analysis`` co-executes the
+interpreter against these environments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.dataflow import CFG, Node
+from repro.analysis.diagnostics import Diagnostic
+from repro.bedrock2 import ast
+from repro.analysis.absint import domain
+from repro.analysis.absint.domain import Range
+
+Env = Dict[str, Range]
+
+# Join this many times at a loop head before widening kicks in.
+WIDEN_AFTER = 3
+
+# Inline-table reads enumerate feasible offsets up to this many entries
+# when computing the loaded value's range; beyond it, fall back to the
+# full ``2**(8*size) - 1`` bound.
+TABLE_ENUM_LIMIT = 4096
+
+
+# -- Expression ranges ------------------------------------------------------
+
+
+def eval_expr_range(expr: ast.Expr, env: Env, width: int) -> Range:
+    """The range of ``expr``'s unsigned value under ``env``."""
+    if isinstance(expr, ast.ELit):
+        return domain.const(expr.value & ((1 << width) - 1))
+    if isinstance(expr, ast.EVar):
+        return env.get(expr.name, domain.top(width))
+    if isinstance(expr, ast.ELoad):
+        return domain.make(0, min((1 << (8 * expr.size)), 1 << width) - 1)
+    if isinstance(expr, ast.EInlineTable):
+        return _table_range(expr, eval_expr_range(expr.index, env, width), width)
+    if isinstance(expr, ast.EOp):
+        lhs = eval_expr_range(expr.lhs, env, width)
+        rhs = eval_expr_range(expr.rhs, env, width)
+        return _apply_op_range(expr.op, lhs, rhs, width)
+    return domain.top(width)
+
+
+def _apply_op_range(op: str, a: Range, b: Range, width: int) -> Range:
+    if op == "add":
+        return domain.add(a, b, width)
+    if op == "sub":
+        return domain.sub(a, b, width)
+    if op == "mul":
+        return domain.mul(a, b, width)
+    if op == "mulhuu":
+        if a.hi is not None and b.hi is not None:
+            return domain.make((a.lo * b.lo) >> width, (a.hi * b.hi) >> width)
+        return domain.top(width)
+    if op == "divu":
+        return domain.divu(a, b, width)
+    if op == "remu":
+        return domain.remu(a, b, width)
+    if op == "and":
+        return domain.and_(a, b, width)
+    if op == "or":
+        return domain.or_(a, b, width)
+    if op == "xor":
+        return domain.xor(a, b, width)
+    if op == "slu":
+        return domain.shl(a, b, width)
+    if op == "sru":
+        return domain.shr(a, b, width)
+    if op == "srs":
+        return domain.sar(a, b, width)
+    if op == "ltu":
+        if a.hi is not None and a.hi < b.lo:
+            return domain.const(1)
+        if b.hi is not None and b.hi <= a.lo:
+            return domain.const(0)
+        return domain.boolean()
+    if op == "eq":
+        if a.is_const and b.is_const:
+            return domain.const(1 if a.lo == b.lo else 0)
+        if (a.hi is not None and a.hi < b.lo) or (b.hi is not None and b.hi < a.lo):
+            return domain.const(0)
+        return domain.boolean()
+    if op == "lts":
+        return domain.boolean()
+    return domain.top(width)
+
+
+def _table_range(expr: ast.EInlineTable, index: Range, width: int) -> Range:
+    """Range of the loaded value over all *feasible* in-bounds offsets."""
+    full = domain.make(0, min((1 << (8 * expr.size)), 1 << width) - 1)
+    limit = len(expr.data) - expr.size
+    if limit < 0:
+        return full
+    lo = max(index.lo, 0)
+    hi = limit if index.hi is None else min(index.hi, limit)
+    if hi < lo or (hi - lo) // index.mod + 1 > TABLE_ENUM_LIMIT:
+        return full
+    values = [
+        int.from_bytes(expr.data[o : o + expr.size], "little")
+        for o in range(lo, hi + 1)
+        if o % index.mod == index.rem
+    ]
+    if not values:
+        return full
+    return domain.make(min(values), max(values))
+
+
+# -- Environment plumbing ----------------------------------------------------
+
+
+def _norm(env: Env, width: int) -> Env:
+    """Drop entries carrying no information (absent means the full word)."""
+    t = domain.top(width)
+    return {k: v for k, v in env.items() if v != t}
+
+
+def join_envs(a: Env, b: Env, width: int) -> Env:
+    out: Env = {}
+    for name, r in a.items():
+        other = b.get(name)
+        if other is not None:
+            out[name] = domain.join(r, other)
+    return _norm(out, width)
+
+
+def _widen_envs(old: Env, new: Env, width: int) -> Env:
+    out: Env = {}
+    maxword = (1 << width) - 1
+    for name, r in new.items():
+        prev = old.get(name)
+        if prev is None:
+            continue
+        w = domain.widen(prev, r)
+        if w.hi is None:
+            w = domain.make(w.lo, maxword, w.mod, w.rem)
+        out[name] = w
+    return _norm(out, width)
+
+
+def refine_env(env: Env, cond: ast.Expr, truth: bool, width: int) -> Env:
+    """Refine ``env`` with ``cond`` evaluating to nonzero (``truth=True``)
+    or zero.  Conservative: only variable-vs-expression comparisons are
+    narrowed, and a refinement that would empty a range is skipped."""
+    out = dict(env)
+
+    def narrow(name: str, lo: Optional[int] = None, hi: Optional[int] = None):
+        out[name] = domain.meet_interval(out.get(name, domain.top(width)), lo, hi)
+
+    if isinstance(cond, ast.EVar):
+        if truth:
+            narrow(cond.name, lo=1)
+        else:
+            narrow(cond.name, lo=0, hi=0)
+        return _norm(out, width)
+    if not isinstance(cond, ast.EOp):
+        return env
+    lhs, rhs = cond.lhs, cond.rhs
+    lrange = eval_expr_range(lhs, env, width)
+    rrange = eval_expr_range(rhs, env, width)
+    if cond.op == "ltu":
+        if truth:
+            if isinstance(lhs, ast.EVar) and rrange.hi is not None:
+                narrow(lhs.name, hi=rrange.hi - 1)
+            if isinstance(rhs, ast.EVar):
+                narrow(rhs.name, lo=lrange.lo + 1)
+        else:
+            if isinstance(lhs, ast.EVar):
+                narrow(lhs.name, lo=rrange.lo)
+            if isinstance(rhs, ast.EVar) and lrange.hi is not None:
+                narrow(rhs.name, hi=lrange.hi)
+        return _norm(out, width)
+    if cond.op == "eq" and truth:
+        if isinstance(lhs, ast.EVar):
+            narrow(lhs.name, lo=rrange.lo, hi=rrange.hi)
+        if isinstance(rhs, ast.EVar):
+            narrow(rhs.name, lo=lrange.lo, hi=lrange.hi)
+        return _norm(out, width)
+    return env
+
+
+# -- The CFG fixpoint --------------------------------------------------------
+
+
+@dataclass
+class AbsintResult:
+    """Per-node abstract environments plus fixpoint effort counters."""
+
+    cfg: CFG
+    width: int
+    env_in: Dict[int, Env] = field(default_factory=dict)
+    iterations: int = 0
+    widenings: int = 0
+
+    def stmt_envs(self) -> Dict[int, Env]:
+        """``id(stmt)`` -> environment *before* that statement (joined if
+        the same statement object appears at several nodes)."""
+        out: Dict[int, Env] = {}
+        for node in self.cfg.nodes:
+            if node.stmt is None or node.id not in self.env_in:
+                continue
+            key = id(node.stmt)
+            if key in out:
+                out[key] = join_envs(out[key], self.env_in[node.id], self.width)
+            else:
+                out[key] = self.env_in[node.id]
+        return out
+
+    def exit_env(self) -> Env:
+        return self.env_in.get(self.cfg.exit, {})
+
+
+def _transfer(node: Node, env: Env, width: int) -> Env:
+    if node.kind == "set":
+        out = dict(env)
+        out[node.stmt.lhs] = eval_expr_range(node.stmt.rhs, env, width)
+        return _norm(out, width)
+    if node.kind in ("unset", "stackalloc", "call", "interact"):
+        defs = {node.stmt.name} if node.kind == "unset" else set(node.defs)
+        if node.kind == "stackalloc":
+            defs = {node.stmt.lhs}
+        return {k: v for k, v in env.items() if k not in defs}
+    return env
+
+
+def _edge_env(node: Node, succ: Node, env: Env, width: int) -> Env:
+    if node.kind == "cond":
+        if succ.path.startswith(node.path + ".then"):
+            return refine_env(env, node.stmt.cond, True, width)
+        if succ.path.startswith(node.path + ".else"):
+            return refine_env(env, node.stmt.cond, False, width)
+        return env
+    if node.kind == "while":
+        if succ.id == node.id or succ.path.startswith(node.path + ".body"):
+            return refine_env(env, node.stmt.cond, True, width)
+        return refine_env(env, node.stmt.cond, False, width)
+    return env
+
+
+def analyze_function(
+    fn: ast.Function, width: int = 64, seed_env: Optional[Env] = None
+) -> AbsintResult:
+    """Run the interval/congruence fixpoint over ``fn``'s CFG."""
+    from repro.obs.trace import current_tracer
+
+    cfg = CFG(fn)
+    result = AbsintResult(cfg=cfg, width=width)
+    result.env_in[cfg.entry] = _norm(dict(seed_env or {}), width)
+    work = deque([cfg.entry])
+    queued = {cfg.entry}
+    updates: Dict[int, int] = {}
+    cap = 1000 + 200 * len(cfg.nodes)  # backstop; widening bounds the chains
+    while work:
+        result.iterations += 1
+        force_top = result.iterations > cap
+        nid = work.popleft()
+        queued.discard(nid)
+        node = cfg.nodes[nid]
+        out = _transfer(node, result.env_in.get(nid, {}), width)
+        for succ_id in node.succs:
+            succ = cfg.nodes[succ_id]
+            edge = _edge_env(node, succ, out, width)
+            old = result.env_in.get(succ_id)
+            new = dict(edge) if old is None else join_envs(old, edge, width)
+            if old is not None and new != old:
+                count = updates.get(succ_id, 0)
+                if force_top:
+                    new = {}
+                elif succ.kind == "while" and count >= WIDEN_AFTER:
+                    new = _widen_envs(old, new, width)
+                    result.widenings += 1
+            if old is None or new != old:
+                result.env_in[succ_id] = new
+                updates[succ_id] = updates.get(succ_id, 0) + 1
+                if succ_id not in queued:
+                    work.append(succ_id)
+                    queued.add(succ_id)
+    tracer = current_tracer()
+    tracer.inc("absint.fixpoint.iterations", result.iterations)
+    if result.widenings:
+        tracer.inc("absint.widenings", result.widenings)
+    return result
+
+
+# -- The RB3xx lint ----------------------------------------------------------
+
+
+def _node_exprs(stmt: Optional[ast.Stmt]) -> Iterable[ast.Expr]:
+    """The expressions evaluated *at* this node (nested statements have
+    their own CFG nodes)."""
+    if isinstance(stmt, ast.SSet):
+        return (stmt.rhs,)
+    if isinstance(stmt, ast.SStore):
+        return (stmt.addr, stmt.value)
+    if isinstance(stmt, (ast.SCond, ast.SWhile)):
+        return (stmt.cond,)
+    if isinstance(stmt, (ast.SCall, ast.SInteract)):
+        return tuple(stmt.args)
+    return ()
+
+
+def _check_expr(
+    expr: ast.Expr,
+    env: Env,
+    width: int,
+    subject: str,
+    where: str,
+    diags: List[Diagnostic],
+) -> None:
+    maxword = (1 << width) - 1
+    if isinstance(expr, ast.EOp):
+        lhs = eval_expr_range(expr.lhs, env, width)
+        rhs = eval_expr_range(expr.rhs, env, width)
+        if expr.op == "add" and lhs.lo + rhs.lo > maxword:
+            diags.append(
+                Diagnostic(
+                    "RB301",
+                    subject,
+                    where,
+                    f"word add provably wraps at {width} bits: operands in "
+                    f"{lhs.pretty()} and {rhs.pretty()}",
+                )
+            )
+        elif expr.op == "sub" and lhs.hi is not None and lhs.hi < rhs.lo:
+            diags.append(
+                Diagnostic(
+                    "RB301",
+                    subject,
+                    where,
+                    f"word sub provably wraps at {width} bits: minuend in "
+                    f"{lhs.pretty()} is below subtrahend in {rhs.pretty()}",
+                )
+            )
+        elif expr.op == "mul" and lhs.lo * rhs.lo > maxword:
+            diags.append(
+                Diagnostic(
+                    "RB301",
+                    subject,
+                    where,
+                    f"word mul provably wraps at {width} bits: operands in "
+                    f"{lhs.pretty()} and {rhs.pretty()}",
+                )
+            )
+        elif expr.op in ("slu", "sru", "srs") and rhs.lo >= width:
+            diags.append(
+                Diagnostic(
+                    "RB303",
+                    subject,
+                    where,
+                    f"shift amount in {rhs.pretty()} is provably >= the "
+                    f"{width}-bit width (Bedrock2 takes it mod {width})",
+                )
+            )
+        elif expr.op in ("divu", "remu") and not rhs.excludes_zero():
+            diags.append(
+                Diagnostic(
+                    "RB304",
+                    subject,
+                    where,
+                    f"divisor of {expr.op} is not provably nonzero "
+                    f"(range {rhs.pretty()})",
+                )
+            )
+        _check_expr(expr.lhs, env, width, subject, where, diags)
+        _check_expr(expr.rhs, env, width, subject, where, diags)
+    elif isinstance(expr, ast.ELoad):
+        _check_expr(expr.addr, env, width, subject, where, diags)
+    elif isinstance(expr, ast.EInlineTable):
+        index = eval_expr_range(expr.index, env, width)
+        if index.lo + expr.size > len(expr.data):
+            diags.append(
+                Diagnostic(
+                    "RB302",
+                    subject,
+                    where,
+                    f"inline-table read of {expr.size} byte(s) at offset >= "
+                    f"{index.lo} overruns the {len(expr.data)}-byte table",
+                )
+            )
+        _check_expr(expr.index, env, width, subject, where, diags)
+
+
+def range_lint(fn: ast.Function, width: int = 64) -> List[Diagnostic]:
+    """RB301-RB304: word-level defects the range analysis can prove."""
+    result = analyze_function(fn, width)
+    diags: List[Diagnostic] = []
+    for node in result.cfg.nodes:
+        if node.id not in result.cfg.reachable or node.id not in result.env_in:
+            continue
+        env = result.env_in[node.id]
+        for expr in _node_exprs(node.stmt):
+            _check_expr(expr, env, width, fn.name, node.path, diags)
+    return diags
+
+
+def function_ranges(fn: ast.Function, width: int = 64) -> Dict[str, str]:
+    """Pretty per-variable ranges at function exit (``repro lint --ranges``)."""
+    result = analyze_function(fn, width)
+    return {name: r.pretty() for name, r in sorted(result.exit_env().items())}

@@ -531,6 +531,11 @@ def lint_function(fn: ast.Function, spec: Optional[FnSpec] = None) -> List[Diagn
                                 ),
                             )
                         )
+    # RB301-RB304: word-level range lints from the abstract interpreter
+    # (lazy import: repro.analysis.absint pulls in the solver machinery).
+    from repro.analysis.absint import range_lint
+
+    diags.extend(range_lint(fn))
     return diags
 
 

@@ -38,6 +38,18 @@ RB205   error     dataflow: a stack-allocated pointer escapes its scope
                   (stored to memory or returned)
 RB206   error     dataflow: a store writes through a pointer argument the
                   ``FnSpec`` does not declare writable (footprint violation)
+RB301   warning   ranges: a word operation provably overflows/wraps (the
+                  abstract interpreter proves every execution wraps, e.g.
+                  adding two values whose lower bounds already exceed the
+                  word maximum)
+RB302   error     ranges: an inline-table load whose index range provably
+                  exceeds the table's length on some execution
+RB303   warning   ranges: a shift whose amount is provably >= the word
+                  width (Bedrock2 reduces the amount mod width, which is
+                  almost never what the source author meant)
+RB304   warning   ranges: a division or modulo whose divisor range cannot
+                  exclude zero (RISC-V returns all-ones / the dividend --
+                  well-defined but usually a latent bug)
 ======  ========  ===========================================================
 
 Severity drives policy: ``error`` diagnostics reject cache entries and
@@ -68,6 +80,10 @@ CATALOG: Dict[str, Tuple[str, str]] = {
     "RB204": (ERROR, "stackalloc-use-after-scope"),
     "RB205": (ERROR, "stackalloc-escape"),
     "RB206": (ERROR, "footprint-violation"),
+    "RB301": (WARNING, "provable-wraparound"),
+    "RB302": (ERROR, "table-index-out-of-bounds"),
+    "RB303": (WARNING, "shift-exceeds-width"),
+    "RB304": (WARNING, "possible-division-by-zero"),
 }
 
 

@@ -22,13 +22,19 @@ class LintSubject:
     kind: str  # "hintdb" | "program"
     name: str  # "bindings", "crc32@-O1", ...
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    # With ``--ranges``: the inferred per-variable value ranges at
+    # function exit (variable -> pretty-printed Range), sorted by name.
+    ranges: Optional[Dict[str, str]] = None
 
     def to_dict(self) -> dict:
-        return {
+        record = {
             "kind": self.kind,
             "name": self.name,
             "diagnostics": [d.to_dict() for d in self.diagnostics],
         }
+        if self.ranges is not None:
+            record["ranges"] = dict(self.ranges)
+        return record
 
 
 @dataclass
@@ -68,6 +74,9 @@ class LintReport:
             lines.append(f"{subject.kind} {subject.name}: {verdict}")
             for diag in subject.diagnostics:
                 lines.append(f"  {diag.render()}")
+            if subject.ranges:
+                for var, rng in subject.ranges.items():
+                    lines.append(f"  range {var} in {rng}")
         total = self._counts()
         summary = ", ".join(f"{code}x{n}" for code, n in total.items()) or "none"
         lines.append(f"diagnostics: {summary}")
@@ -79,13 +88,16 @@ def run_lint(
     db_names: Optional[Sequence[str]] = None,
     program_names: Optional[Sequence[str]] = None,
     opt_levels: Sequence[int] = (0, 1),
+    ranges: bool = False,
 ) -> LintReport:
     """Audit hint databases and lint compiled programs.
 
     With no arguments this is the full CI gate: both standard databases
     plus every registry program at each requested optimization level.
     ``db_names`` / ``program_names`` restrict the scope (an explicit
-    empty sequence skips that half entirely).
+    empty sequence skips that half entirely).  ``ranges=True`` attaches
+    the abstract interpreter's exit-point value ranges to each program
+    subject (the CLI ``--ranges`` detail flag).
     """
     from repro.obs.trace import current_tracer
 
@@ -109,7 +121,12 @@ def run_lint(
                 compiled = program.compile(opt_level=level)
                 diags = lint_compiled(compiled)
                 emit_to_tracer(diags, "program")
-            report.subjects.append(LintSubject("program", label, diags))
+            subject = LintSubject("program", label, diags)
+            if ranges:
+                from repro.analysis.absint import function_ranges
+
+                subject.ranges = function_ranges(compiled.bedrock_fn)
+            report.subjects.append(subject)
     return report
 
 

@@ -296,6 +296,29 @@ class Engine:
             self._solver_keys[solver] = keys
         return keys
 
+    @staticmethod
+    def _absint_counters(tracer, obligation: t.Term, solver_name: str) -> None:
+        """Attribute a discharged obligation to the range analysis.
+
+        ``absint.solver.hit`` (plus a per-head breakdown) counts wins by
+        ``range_solver``; ``absint.solver.miss`` counts range-eligible
+        obligations that fell through to the Fourier-Motzkin solver --
+        the quantity the E17 benchmark and the coverage-matrix
+        crosscheck both read.
+        """
+        from repro.core.solver import RANGE_SOLVER_OPS
+
+        if solver_name == "range_solver":
+            tracer.inc("absint.solver.hit")
+            if isinstance(obligation, t.Prim):
+                tracer.inc(f"absint.solver.hit.op.{obligation.op}")
+        elif (
+            solver_name == "linear_arithmetic_solver"
+            and isinstance(obligation, t.Prim)
+            and obligation.op in RANGE_SOLVER_OPS
+        ):
+            tracer.inc("absint.solver.miss")
+
     def _charge(self, goal_description) -> None:
         # Descriptions may be callables: rendering the pretty-printed goal
         # eagerly on every fuel tick costs a full term walk that is thrown
@@ -378,6 +401,8 @@ class Engine:
                         tracer.inc(hits_key)
                 if solved:
                     solver_name = getattr(solver, "__name__", repr(solver))
+                    if trace:
+                        self._absint_counters(tracer, obligation, solver_name)
                     if memo_key is not None:
                         self._side_memo[memo_key] = solver_name
                         if trace:

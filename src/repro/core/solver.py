@@ -518,8 +518,55 @@ def upper_bound(term: t.Term, width: int, state=None) -> int:
     return full
 
 
+def lower_bound(term: t.Term, width: int, state=None) -> int:
+    """A sound (inclusive) lower bound on a scalar term's value.
+
+    The dual of :func:`upper_bound`, used for the mirrored obligation
+    shape ``k < x``.  Only rules that cannot wrap are applied; unknown
+    structure falls back to 0 (every value here is a natural).
+    """
+    if isinstance(term, t.Lit) and isinstance(term.value, int):
+        return term.value
+    if isinstance(term, t.TableGet):
+        return min(term.data) if term.data else 0
+    if isinstance(term, t.Prim):
+        op = term.op
+        if op in ("cast.to_nat", "cast.b2n", "cast.b2w"):
+            return lower_bound(term.args[0], width, state)
+        if op == "cast.of_nat":
+            # of_nat wraps; the inner bound survives only if it provably fits.
+            if upper_bound(term.args[0], width, state) < (1 << width):
+                return lower_bound(term.args[0], width, state)
+            return 0
+        if op == "nat.add":
+            return lower_bound(term.args[0], width, state) + lower_bound(
+                term.args[1], width, state
+            )
+        if op == "nat.mul":
+            return lower_bound(term.args[0], width, state) * lower_bound(
+                term.args[1], width, state
+            )
+        if op.endswith(".or"):
+            # OR can only set bits.
+            return max(
+                lower_bound(term.args[0], width, state),
+                lower_bound(term.args[1], width, state),
+            )
+    if isinstance(term, t.If):
+        return min(
+            lower_bound(term.then_, width, state),
+            lower_bound(term.else_, width, state),
+        )
+    return 0
+
+
 def bitmask_bounds_solver(obligation: t.Term, state) -> bool:
-    """Discharge ``a < k`` / ``a <= k`` obligations by interval reasoning."""
+    """Discharge ``a < k`` / ``a <= k`` obligations by interval reasoning.
+
+    Both orientations are handled: a literal on the right compares the
+    other side's :func:`upper_bound`, a literal on the left (``k < x``)
+    its :func:`lower_bound`.
+    """
     width = getattr(state, "width", 64)
     if isinstance(obligation, t.Prim) and obligation.op in (
         "nat.ltb",
@@ -533,12 +580,43 @@ def bitmask_bounds_solver(obligation: t.Term, state) -> bool:
             if obligation.op == "nat.leb":
                 return bound <= rhs.value
             return bound < rhs.value
+        if isinstance(lhs, t.Lit) and isinstance(lhs.value, int):
+            bound = lower_bound(rhs, width, state)
+            if obligation.op == "nat.leb":
+                return lhs.value <= bound
+            return lhs.value < bound
     return False
+
+
+# The obligation heads range_solver understands: exactly those the
+# linearizer can turn into ``expr <= 0`` forms (the coverage-matrix
+# crosscheck pins observed hits to this set).
+RANGE_SOLVER_OPS = frozenset(
+    {"nat.ltb", "nat.leb", "nat.eqb", "word.ltu", "byte.ltu", "word.eq"}
+)
+
+
+def range_solver(obligation: t.Term, state) -> bool:
+    """Discharge bounds obligations from the precomputed fact-range map.
+
+    The abstract interpreter (:mod:`repro.analysis.absint`) propagates
+    the state's facts to an interval per linear atom once per state
+    version; an obligation is accepted when each of its linearized
+    inequalities is subsumed by a fact or holds at the interval bounds.
+    Runs after the structural solvers and before the Fourier-Motzkin
+    eliminator, which it exists to short-circuit.
+    """
+    if not (isinstance(obligation, t.Prim) and obligation.op in RANGE_SOLVER_OPS):
+        return False
+    from repro.analysis.absint import discharge_bounds
+
+    return discharge_bounds(obligation, state, getattr(state, "width", 64))
 
 
 DEFAULT_SOLVERS: List[SolverFn] = [
     ground_eval_solver,
     bitmask_bounds_solver,
+    range_solver,
     linear_arithmetic_solver,
 ]
 
@@ -567,5 +645,17 @@ class SolverBank:
         """The registered solvers' names (for structured stall reports)."""
         return [getattr(s, "__name__", repr(s)) for s in self.solvers]
 
+    def solve_with_name(self, obligation: t.Term, state) -> Optional[str]:
+        """Try solvers in order; return the winning solver's name, or None.
+
+        This is what lets ``SideCondition`` records, stall reports, and
+        the ``absint.solver.*`` obs counters attribute each discharged
+        obligation to the solver that actually proved it.
+        """
+        for solver in self.solvers:
+            if solver(obligation, state):
+                return getattr(solver, "__name__", repr(solver))
+        return None
+
     def solve(self, obligation: t.Term, state) -> bool:
-        return any(solver(obligation, state) for solver in self.solvers)
+        return self.solve_with_name(obligation, state) is not None

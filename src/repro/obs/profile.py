@@ -59,11 +59,36 @@ class ProfileReport:
     families: List[LemmaStat] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
 
+    def solver_stats(self) -> List[dict]:
+        """Per-solver call/win counts, ranked by wins then calls.
+
+        Derived from the ``solver.calls.<name>`` / ``solver.hits.<name>``
+        counters the engine emits per bank member; a solver's *wins* are
+        the side conditions it discharged (the name recorded on each
+        :class:`~repro.core.goals.SideCondition` in the certificate).
+        """
+        prefix = "solver.calls."
+        rows = []
+        for key, calls in self.counters.items():
+            if not key.startswith(prefix):
+                continue
+            name = key[len(prefix):]
+            rows.append(
+                {
+                    "solver": name,
+                    "calls": calls,
+                    "wins": self.counters.get(f"solver.hits.{name}", 0),
+                }
+            )
+        rows.sort(key=lambda r: (-r["wins"], -r["calls"], r["solver"]))
+        return rows
+
     def to_dict(self) -> dict:
         return {
             "program": self.program,
             "opt_level": self.opt_level,
             "total_ms": round(self.total_ms, 3),
+            "solvers": self.solver_stats(),
             "phases": [
                 {"kind": p.kind, "count": p.count, "ms": round(p.ms, 3)}
                 for p in self.phases
@@ -104,6 +129,14 @@ class ProfileReport:
                 lines.append(
                     f"    {rank:>2}. {s.name:<28} ({s.family})  "
                     f"x{s.count}  {s.ms:.3f} ms"
+                )
+        solvers = self.solver_stats()
+        if solvers:
+            lines.append("  solver bank (side conditions won per solver):")
+            for row in solvers:
+                lines.append(
+                    f"    {row['solver']:<28} {row['calls']:>4} call(s) "
+                    f"{row['wins']:>4} win(s)"
                 )
         interesting = (
             "goals.binding",

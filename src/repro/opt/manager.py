@@ -133,9 +133,11 @@ class PassManager:
         self.width = width
         self.validator = validator
         # When on, each candidate is also run through the dataflow lint
-        # (repro.analysis.dataflow) and rejected if it *introduces* any
+        # (repro.analysis.dataflow, which folds in the RB3xx range lints
+        # from repro.analysis.absint) and rejected if it *introduces* any
         # error-severity diagnostic the pre-pass AST did not have (a
-        # stale-stackalloc deref, an escaping pointer, ...).  Warnings
+        # stale-stackalloc deref, an escaping pointer, a provably
+        # out-of-bounds table index, ...).  Warnings
         # (dead stores, unreachable code) are deliberately not gated
         # per-pass: the pipeline relies on them transiently -- ptrloop
         # orphans induction variables for the final DCE to sweep -- and

@@ -15,6 +15,9 @@ The suite:
 - :class:`ConstantFolding` — evaluate literal subtrees with the
   interpreter's own :func:`~repro.bedrock2.semantics.apply_op`, plus
   algebraic identities guarded by purity (never deletes a load).
+- :class:`RangeGuardElimination` — delete branches and bounds checks the
+  abstract interpreter (:mod:`repro.analysis.absint`) proves dead, with
+  purity guards on every deleted subtree.
 - :class:`BranchSimplification` — ``if (lit)`` becomes the taken arm;
   ``while (0)`` disappears; ``if c {x} else {x}`` collapses when ``c``
   cannot fault.
@@ -741,6 +744,214 @@ class PointerStrengthReduction(Pass):
 
 
 # ---------------------------------------------------------------------------
+# range-guided guard elimination
+
+
+class RangeGuardElimination(Pass):
+    """Delete branches and bounds checks the range analysis proves dead.
+
+    The pass threads an abstract environment (variable -> value
+    :class:`~repro.analysis.absint.domain.Range`) through the function,
+    sharing the transfer functions and branch refinement of
+    :mod:`repro.analysis.absint.bedrock`.  Three rewrites fire, each only
+    when the deleted subtree is pure (a deleted load could hide a fault
+    the original program had):
+
+    - a conditional whose test provably excludes zero (or is provably
+      zero) collapses to the taken arm;
+    - a loop whose entry test is provably zero disappears;
+    - inside expressions, ``x & mask`` with ``x`` provably within the
+      mask, ``x remu k`` with ``x`` provably below ``k``, and ``ltu``/
+      ``eq`` comparisons the ranges decide fold away.
+
+    Loop bodies are rewritten under a *widened invariant* environment --
+    the fixpoint of joining each iteration's effect -- never under the
+    entry environment, which would be unsound for non-invariant facts.
+
+    The range oracle is untrusted like every pass: ``oracle`` exists so
+    the fault-injection campaign can substitute a lying one and watch
+    the per-pass differential certificate reject the rewrite.
+    """
+
+    name = "rangeguard"
+
+    # Loop-invariant iterations: join this many times before widening,
+    # then give up precision rather than loop.
+    WIDEN_AFTER = 3
+    LOOP_ITER_CAP = 50
+
+    def __init__(self, oracle=None):
+        from repro.analysis.absint.bedrock import eval_expr_range
+
+        self.eval = oracle if oracle is not None else eval_expr_range
+
+    def run(self, fn: ast.Function, width: int) -> ast.Function:
+        self.width = width
+        body, _ = self._block(fn.body, {})
+        return self._with_body(fn, body)
+
+    # -- rewriting walk (returns the new statement and the out-env) --------
+
+    def _block(self, stmt: ast.Stmt, env: dict) -> Tuple[ast.Stmt, dict]:
+        out: List[ast.Stmt] = []
+        for s in flatten(stmt):
+            rewritten, env = self._stmt(s, env)
+            out.append(rewritten)
+        return reseq(out), env
+
+    def _stmt(self, s: ast.Stmt, env: dict) -> Tuple[ast.Stmt, dict]:
+        from repro.analysis.absint.bedrock import join_envs, refine_env
+
+        if isinstance(s, ast.SSet):
+            rhs = self._simplify(s.rhs, env)
+            env = dict(env)
+            env[s.lhs] = self.eval(rhs, env, self.width)
+            return ast.SSet(s.lhs, rhs), env
+        if isinstance(s, ast.SStore):
+            return (
+                ast.SStore(
+                    s.size,
+                    self._simplify(s.addr, env),
+                    self._simplify(s.value, env),
+                ),
+                env,
+            )
+        if isinstance(s, ast.SCond):
+            cond = self._simplify(s.cond, env)
+            crange = self.eval(cond, env, self.width)
+            if expr_is_pure(cond):
+                if crange.excludes_zero():
+                    return self._block(s.then_, refine_env(env, cond, True, self.width))
+                if crange.hi == 0:
+                    return self._block(s.else_, refine_env(env, cond, False, self.width))
+            then_, env_t = self._block(s.then_, refine_env(env, cond, True, self.width))
+            else_, env_e = self._block(s.else_, refine_env(env, cond, False, self.width))
+            return ast.SCond(cond, then_, else_), join_envs(env_t, env_e, self.width)
+        if isinstance(s, ast.SWhile):
+            entry = self.eval(s.cond, env, self.width)
+            if entry.hi == 0 and expr_is_pure(s.cond):
+                return ast.SSkip(), env
+            inv = self._loop_invariant(s, env)
+            cond = self._simplify(s.cond, inv)
+            body, _ = self._block(s.body, refine_env(inv, cond, True, self.width))
+            return ast.SWhile(cond, body), refine_env(inv, cond, False, self.width)
+        if isinstance(s, ast.SStackalloc):
+            inner = {k: v for k, v in env.items() if k != s.lhs}
+            body, out_env = self._block(s.body, inner)
+            return (
+                ast.SStackalloc(s.lhs, s.nbytes, body),
+                {k: v for k, v in out_env.items() if k != s.lhs},
+            )
+        if isinstance(s, (ast.SCall, ast.SInteract)):
+            args = tuple(self._simplify(a, env) for a in s.args)
+            env = {k: v for k, v in env.items() if k not in s.lhss}
+            if isinstance(s, ast.SCall):
+                return ast.SCall(s.lhss, s.func, args), env
+            return ast.SInteract(s.lhss, s.action, args), env
+        if isinstance(s, ast.SUnset):
+            return s, {k: v for k, v in env.items() if k != s.name}
+        return s, env
+
+    # -- pure (non-rewriting) abstract execution for loop invariants -------
+
+    def _loop_invariant(self, loop: ast.SWhile, env: dict) -> dict:
+        from repro.analysis.absint.bedrock import (
+            _widen_envs,
+            join_envs,
+            refine_env,
+        )
+
+        inv = env
+        for iteration in range(self.LOOP_ITER_CAP):
+            body_in = refine_env(inv, loop.cond, True, self.width)
+            body_out = self._abstract_block(loop.body, body_in)
+            joined = join_envs(inv, body_out, self.width)
+            if joined == inv:
+                return inv
+            if iteration >= self.WIDEN_AFTER:
+                joined = _widen_envs(inv, joined, self.width)
+                if joined == inv:
+                    return inv
+            inv = joined
+        return {}
+
+    def _abstract_block(self, stmt: ast.Stmt, env: dict) -> dict:
+        for s in flatten(stmt):
+            env = self._abstract_stmt(s, env)
+        return env
+
+    def _abstract_stmt(self, s: ast.Stmt, env: dict) -> dict:
+        from repro.analysis.absint.bedrock import join_envs, refine_env
+
+        if isinstance(s, ast.SSet):
+            env = dict(env)
+            env[s.lhs] = self.eval(s.rhs, env, self.width)
+            return env
+        if isinstance(s, ast.SCond):
+            env_t = self._abstract_block(s.then_, refine_env(env, s.cond, True, self.width))
+            env_e = self._abstract_block(s.else_, refine_env(env, s.cond, False, self.width))
+            return join_envs(env_t, env_e, self.width)
+        if isinstance(s, ast.SWhile):
+            inv = self._loop_invariant(s, env)
+            return refine_env(inv, s.cond, False, self.width)
+        if isinstance(s, ast.SStackalloc):
+            inner = {k: v for k, v in env.items() if k != s.lhs}
+            out = self._abstract_block(s.body, inner)
+            return {k: v for k, v in out.items() if k != s.lhs}
+        if isinstance(s, (ast.SCall, ast.SInteract)):
+            return {k: v for k, v in env.items() if k not in s.lhss}
+        if isinstance(s, ast.SUnset):
+            return {k: v for k, v in env.items() if k != s.name}
+        return env
+
+    # -- expression simplification -----------------------------------------
+
+    @staticmethod
+    def _is_mask(value: int) -> bool:
+        return value >= 0 and (value + 1) & value == 0
+
+    def _simplify(self, expr: ast.Expr, env: dict) -> ast.Expr:
+        if not isinstance(expr, ast.EOp):
+            return expr
+        lhs = self._simplify(expr.lhs, env)
+        rhs = self._simplify(expr.rhs, env)
+        node = expr if lhs is expr.lhs and rhs is expr.rhs else ast.EOp(expr.op, lhs, rhs)
+        a = self.eval(lhs, env, self.width)
+        b = self.eval(rhs, env, self.width)
+        if node.op == "and":
+            if (
+                b.is_const
+                and self._is_mask(b.lo)
+                and a.hi is not None
+                and a.hi <= b.lo
+                and expr_is_pure(rhs)
+            ):
+                return lhs
+            if (
+                a.is_const
+                and self._is_mask(a.lo)
+                and b.hi is not None
+                and b.hi <= a.lo
+                and expr_is_pure(lhs)
+            ):
+                return rhs
+        elif node.op == "remu":
+            if (
+                b.is_const
+                and b.lo > 0
+                and a.hi is not None
+                and a.hi < b.lo
+                and expr_is_pure(rhs)
+            ):
+                return lhs
+        elif node.op in ("ltu", "eq"):
+            r = self.eval(node, env, self.width)
+            if r.is_const and expr_is_pure(lhs) and expr_is_pure(rhs):
+                return ast.ELit(r.lo)
+        return node
+
+
+# ---------------------------------------------------------------------------
 # dead-code elimination
 
 
@@ -817,6 +1028,7 @@ def default_pipeline() -> List[Pass]:
     return [
         NormalizeStmts(),
         ConstantFolding(),
+        RangeGuardElimination(),
         BranchSimplification(),
         CopyPropagation(),
         LoadCSE(),

@@ -120,7 +120,17 @@ def _load_all() -> None:
     global _LOADED
     if _LOADED:
         return
-    from repro.programs import crc32, fasta, fnv1a, ip, m3s, upstr, utf8  # noqa: F401
+    from repro.programs import (  # noqa: F401
+        crc32,
+        fasta,
+        fnv1a,
+        ip,
+        m3s,
+        sbox,
+        upstr,
+        utf8,
+        xorsum,
+    )
 
     _LOADED = True
 

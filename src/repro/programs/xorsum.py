@@ -1,0 +1,77 @@
+"""xorsum: byte-wise XOR checksum (longitudinal redundancy check).
+
+Model: a fold over the input bytes, ``acc := acc ^ (b & 0xFF)`` starting
+from zero.  The defensive ``& 0xFF`` is redundant -- a loaded byte is
+already in ``[0, 255]`` -- which makes this the registry's fixture for
+the range-guided mask elimination in
+:class:`repro.opt.passes.RangeGuardElimination`: at ``-O1`` the mask is
+removed, at ``-O0`` it survives.
+"""
+
+from __future__ import annotations
+
+from repro.bedrock2 import ast
+from repro.core.spec import FnSpec, Model, len_arg, ptr_arg, scalar_out
+from repro.programs.registry import BenchProgram, register_program
+from repro.source import listarray
+from repro.source.builder import let_n, sym, word_lit
+from repro.source.types import ARRAY_BYTE, WORD
+
+
+def build_model() -> Model:
+    s = sym("s", ARRAY_BYTE)
+    fold = listarray.fold(
+        lambda acc, b: acc ^ (b.to_word() & word_lit(0xFF)),
+        word_lit(0),
+        s,
+        names=("acc", "b"),
+    )
+    program = let_n("acc", fold, sym("acc", WORD))
+    return Model("xorsum", [("s", ARRAY_BYTE)], program.term, WORD)
+
+
+def build_spec() -> FnSpec:
+    return FnSpec(
+        "xorsum",
+        [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s")],
+        [scalar_out()],
+    )
+
+
+def reference(data: bytes) -> int:
+    acc = 0
+    for b in data:
+        acc ^= b
+    return acc
+
+
+def build_handwritten() -> ast.Function:
+    """uint64_t acc = 0; for (...) acc ^= s[i]; return acc;"""
+    from repro.bedrock2.ast import ELit, EOp, SSet, SWhile, load1, seq_of, var
+
+    i, s, ln, acc = var("i"), var("s"), var("len"), var("acc")
+    body = seq_of(
+        SSet("acc", EOp("xor", acc, load1(EOp("add", s, i)))),
+        SSet("i", EOp("add", i, ELit(1))),
+    )
+    code = seq_of(
+        SSet("acc", ELit(0)),
+        SSet("i", ELit(0)),
+        SWhile(EOp("ltu", i, ln), body),
+    )
+    return ast.Function("xorsum_hw", ("s", "len"), ("acc",), code)
+
+
+register_program(
+    BenchProgram(
+        name="xorsum",
+        description="Byte-wise XOR checksum (LRC)",
+        build_model=build_model,
+        build_spec=build_spec,
+        reference=reference,
+        build_handwritten=build_handwritten,
+        calling_style="hash",
+        features=("Arithmetic", "Loops"),
+        end_to_end=True,
+    )
+)

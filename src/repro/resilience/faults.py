@@ -428,6 +428,70 @@ def _inject_optimizer_pass(
     )
 
 
+def _lying_range_oracle(expr: b2.Expr, env: dict, width: int):
+    """A corrupt range oracle: every literal-bounded comparison is "provably
+    true".  Loop conditions (variable against variable) are answered
+    honestly so the lie miscompiles guards without making candidate
+    programs diverge."""
+    from repro.analysis.absint import domain
+    from repro.analysis.absint.bedrock import eval_expr_range
+
+    if (
+        isinstance(expr, b2.EOp)
+        and expr.op in ("ltu", "eq")
+        and isinstance(expr.rhs, b2.ELit)
+    ):
+        return domain.const(1)
+    return eval_expr_range(expr, env, width)
+
+
+def _rangeguard_lie_target(name: str) -> FuzzCase:
+    """A byte map whose guard (``x < 64`` on a full-range byte) is *live*:
+    an honest range analysis keeps the branch, so only the lying oracle
+    deletes it -- and the deletion is wrong for every input byte >= 64."""
+    from repro.core.spec import array_out, len_arg, ptr_arg
+    from repro.source import listarray
+    from repro.source.builder import ite, let_n, sym, word_lit
+    from repro.source.types import ARRAY_BYTE, WORD
+
+    s = sym("s", ARRAY_BYTE)
+    x = sym("x", WORD)
+    program = let_n(
+        "s",
+        listarray.map_(
+            lambda b: let_n(
+                "x", b.to_word(), ite(x.ltu(word_lit(64)), b, b & 0x3F)
+            ),
+            s,
+            elem_name="b",
+        ),
+        s,
+    )
+    model = Model(name, [("s", ARRAY_BYTE)], program.term, ARRAY_BYTE)
+    spec = FnSpec(
+        name, [ptr_arg("s", ARRAY_BYTE), len_arg("len", "s")], [array_out("s")]
+    )
+
+    def input_gen(r: random.Random) -> Dict[str, object]:
+        # Bias toward the falsifying half of the byte space.
+        return {"s": [r.randrange(32, 256) for _ in range(r.randrange(1, 12))]}
+
+    return FuzzCase(name, "rangeguard_lie", model, spec, input_gen, "inplace")
+
+
+def _inject_lying_ranges(_case: FuzzCase, rng: random.Random, width: int) -> FaultOutcome:
+    from repro.opt.passes import RangeGuardElimination
+
+    case = _rangeguard_lie_target("ft_rangelie")
+    return _inject_optimizer_pass(
+        case,
+        rng,
+        width,
+        RangeGuardElimination(oracle=_lying_range_oracle),
+        "optimizer-lying-ranges",
+    )
+
+
 def _inject_cert_phantom(case: FuzzCase, rng: random.Random, width: int) -> FaultOutcome:
     from repro.core.certificate import Certificate, CertNode
     from repro.validation.checker import CertificateError, check_certificate
@@ -604,6 +668,7 @@ INJECTION_POINTS = (
     ("cert-phantom-lemma", _inject_cert_phantom),
     ("cert-drop-compile-done", _inject_cert_drop_done),
     ("cert-code-swap", _inject_code_swap),
+    ("optimizer-lying-ranges", _inject_lying_ranges),
 )
 
 

@@ -68,8 +68,14 @@ def run_function(
     stack_init=None,
     program: Optional[ast.Program] = None,
     fuel: int = Interpreter.DEFAULT_FUEL,
+    interpreter_cls: type = Interpreter,
 ) -> RunResult:
-    """Run ``fn`` under the memory layout ``spec`` declares."""
+    """Run ``fn`` under the memory layout ``spec`` declares.
+
+    ``interpreter_cls`` substitutes an :class:`Interpreter` subclass --
+    the absint soundness suite passes one whose ``exec_stmt`` asserts
+    every live local against the analyzer's per-statement ranges.
+    """
     memory = Memory(width)
     arg_words: List[Word] = []
     pointer_bases: Dict[str, Tuple[int, int, SourceType]] = {}
@@ -107,7 +113,7 @@ def run_function(
             return []
         raise RuntimeError(f"unknown external action {action!r}")
 
-    interp = Interpreter(
+    interp = interpreter_cls(
         program or ast.Program((fn,)),
         width=width,
         external=external,

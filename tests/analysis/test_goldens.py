@@ -145,4 +145,4 @@ def test_full_lint_report_shape_is_stable():
     assert data["counts"] == {"RA201": 3, "RA202": 12}
     kinds = {(s["kind"], s["name"]) for s in data["subjects"]}
     assert ("hintdb", "bindings") in kinds and ("hintdb", "exprs") in kinds
-    assert sum(1 for k, _ in kinds if k == "program") == 14  # 7 programs x 2 levels
+    assert sum(1 for k, _ in kinds if k == "program") == 18  # 9 programs x 2 levels

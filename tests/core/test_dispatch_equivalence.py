@@ -16,6 +16,7 @@ from contextlib import contextmanager
 
 import pytest
 
+from repro.analysis import absint
 from repro.bedrock2.c_printer import print_c_function
 from repro.core import engine as engine_mod
 from repro.core import lemma as lemma_mod
@@ -35,16 +36,24 @@ OPTIMIZED_FUZZ_CASES = 12
 
 @contextmanager
 def fast_path(enabled: bool):
-    """Force all three fast-path layers on or off, restoring on exit."""
+    """Force all four fast-path layers on or off, restoring on exit.
+
+    The absint fact-range cache rides along: like the other three, it is
+    a pure speed layer whose kill switch (``--no-absint``) must leave
+    every compiled artifact byte-identical.
+    """
     prev_index = lemma_mod.set_index_enabled(enabled)
     prev_memo = engine_mod.set_memo_enabled(enabled)
     prev_intern = t.set_interning(enabled)
+    prev_absint = absint.absint_enabled()
+    absint.set_absint_enabled(enabled)
     try:
         yield
     finally:
         lemma_mod.set_index_enabled(prev_index)
         engine_mod.set_memo_enabled(prev_memo)
         t.set_interning(prev_intern)
+        absint.set_absint_enabled(prev_absint)
 
 
 def snapshot(model, spec, opt_level=0, input_gen=None):

@@ -5,12 +5,15 @@ from hypothesis import strategies as st
 
 from repro.core.sepstate import SymState
 from repro.core.solver import (
+    RANGE_SOLVER_OPS,
     SolverBank,
     bitmask_bounds_solver,
     canonicalize,
     ground_eval_solver,
     linear_arithmetic_solver,
+    lower_bound,
     normalize_len,
+    range_solver,
     upper_bound,
 )
 from repro.source import terms as t
@@ -221,6 +224,74 @@ class TestBitmaskSolver:
         assert not bitmask_bounds_solver(ltb(t.Var("x"), t.Var("y")), SymState())
 
 
+class TestLowerBound:
+    def test_literal(self):
+        assert lower_bound(n(7), 64) == 7
+
+    def test_unknown_is_zero(self):
+        assert lower_bound(t.Var("x"), 64) == 0
+
+    def test_table_entries(self):
+        term = t.TableGet((3, 9, 5), BYTE, t.Var("i"))
+        assert lower_bound(term, 64) == 3
+
+    def test_or_with_set_bits(self):
+        term = t.Prim("word.or", (t.Var("x"), t.Lit(0x10, WORD)))
+        assert lower_bound(term, 64) == 0x10
+
+    def test_add_sums_lower_bounds(self):
+        term = t.Prim("nat.add", (n(3), t.Var("x")))
+        assert lower_bound(term, 64) == 3
+
+    def test_if_takes_branch_minimum(self):
+        term = t.If(t.Var("c"), n(5), n(9))
+        assert lower_bound(term, 64) == 5
+
+    def test_of_nat_passes_only_when_nonwrapping(self):
+        # of_nat of a value provably < 2^width keeps its lower bound...
+        small = t.Prim("cast.of_nat", (n(7),))
+        assert lower_bound(small, 64) == 7
+        # ...but an unbounded nat may wrap to 0, so the bound collapses.
+        big = t.Prim("cast.of_nat", (t.Var("x"),))
+        assert lower_bound(big, 64) == 0
+
+
+class TestBitmaskSolverLitOnLeft:
+    """The mirrored shape: literal on the left, bounded term on the right."""
+
+    ORED = t.Prim("word.or", (t.Var("x"), t.Lit(0x10, WORD)))
+
+    def test_leb_literal_below_lower_bound(self):
+        assert bitmask_bounds_solver(leb(n(16), self.ORED), SymState())
+
+    def test_ltb_literal_strictly_below(self):
+        assert bitmask_bounds_solver(ltb(n(15), self.ORED), SymState())
+
+    def test_ltb_equal_literal_not_proved(self):
+        # 16 < (x | 0x10) is falsified by x = 0: lower bound is not enough.
+        assert not bitmask_bounds_solver(ltb(n(16), self.ORED), SymState())
+
+    def test_word_ltu_mirrored(self):
+        obligation = t.Prim("word.ltu", (t.Lit(2, WORD), self.ORED))
+        assert bitmask_bounds_solver(obligation, SymState())
+
+
+class TestRangeSolver:
+    def test_fact_seeded_interval_entailment(self):
+        # i < 10  |-  i < 12 via the interval map (no Fourier-Motzkin).
+        state = state_with_facts(ltb(t.Var("i"), n(10)))
+        assert range_solver(ltb(t.Var("i"), n(12)), state)
+
+    def test_unprovable_bound_not_claimed(self):
+        state = state_with_facts(ltb(t.Var("i"), n(10)))
+        assert not range_solver(ltb(n(12), t.Var("i")), state)
+
+    def test_non_range_heads_ignored(self):
+        obligation = t.Prim("word.mulhuu", (t.Var("a"), t.Var("b")))
+        assert not range_solver(obligation, SymState())
+        assert "word.mulhuu" not in RANGE_SOLVER_OPS
+
+
 class TestSolverBank:
     def test_default_bank_solves_ground(self):
         bank = SolverBank()
@@ -237,6 +308,32 @@ class TestSolverBank:
         bank.register(custom, front=True)
         assert bank.solve(ltb(t.Var("i"), n(0)), SymState())
         assert calls
+
+    def test_solve_with_name_attributes_the_winner(self):
+        bank = SolverBank()
+        assert bank.solve_with_name(ltb(n(1), n(2)), SymState()) == "ground_eval_solver"
+        state = state_with_facts(ltb(t.Var("i"), n(10)))
+        assert bank.solve_with_name(ltb(t.Var("i"), n(12)), state) == "range_solver"
+        assert bank.solve_with_name(ltb(t.Var("i"), t.Var("n")), SymState()) is None
+
+    def test_certificates_record_the_winning_solver(self):
+        """Every SideCondition carries the name of the solver that proved
+        it, and the range solver wins real obligations on the corpus."""
+        from repro.programs.registry import get_program
+
+        compiled = get_program("crc32").compile()
+        names = set(SolverBank().names())
+        winners = set()
+
+        def walk(node):
+            for side in node.side_conditions:
+                assert side.solver in names, side
+                winners.add(side.solver)
+            for child in node.children:
+                walk(child)
+
+        walk(compiled.certificate.root)
+        assert "range_solver" in winners
 
 
 # -- Property: the linear solver never proves a falsifiable obligation --------

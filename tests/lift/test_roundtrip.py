@@ -85,12 +85,15 @@ class TestCorpusRoundTrip:
         # Extensional-only residue is small and known: programs whose
         # emitted skeleton lifts through a different (equivalent) head
         # than the one they were written with -- ip/utf8 (fold-with-break
-        # shapes re-derived via the plain loop inverse) and the two query
-        # programs whose plans reify through QAggregate/QProjectInto
-        # sugar that does not re-print byte-identically.
+        # shapes re-derived via the plain loop inverse), sbox (the
+        # let-bound guarded table read inside its map body lifts to an
+        # equivalent but differently-sugared conditional), and the two
+        # query programs whose plans reify through QAggregate/
+        # QProjectInto sugar that does not re-print byte-identically.
         extensional = set(kinds) - recompiled
         assert extensional == {
             "ip",
+            "sbox",
             "utf8",
             "q_group_count",
             "q_project_copy",

@@ -15,10 +15,10 @@ from repro.serve.batch import (
 
 def test_registry_manifest_covers_the_suite():
     jobs = registry_manifest(opt_level=1)
-    assert len(jobs) == 7
+    assert len(jobs) == 9
     assert all(job.kind == "program" and job.opt_level == 1 for job in jobs)
     assert sorted(j.name for j in jobs) == [
-        "crc32", "fasta", "fnv1a", "ip", "m3s", "upstr", "utf8",
+        "crc32", "fasta", "fnv1a", "ip", "m3s", "sbox", "upstr", "utf8", "xorsum",
     ]
 
 
@@ -31,7 +31,7 @@ def test_fuzz_manifest_is_deterministic():
 
 
 def test_expand_manifest_shapes(tmp_path):
-    assert len(expand_manifest("registry")) == 7
+    assert len(expand_manifest("registry")) == 9
     assert [j.name for j in expand_manifest(["crc32", "utf8"])] == ["crc32", "utf8"]
     combined = expand_manifest(
         {"programs": ["crc32"], "fuzz": {"seed": 1, "count": 3}, "opt_level": 1}
@@ -70,9 +70,9 @@ def test_serial_and_parallel_batches_agree(tmp_path):
 def test_warm_batch_is_all_hits(tmp_path):
     jobs = registry_manifest()
     cold = run_batch(jobs, jobs_n=1, cache_dir=str(tmp_path))
-    assert cold.cache_stats["misses"] == 7 and cold.cache_stats["stores"] == 7
+    assert cold.cache_stats["misses"] == 9 and cold.cache_stats["stores"] == 9
     warm = run_batch(jobs, jobs_n=2, cache_dir=str(tmp_path))
-    assert warm.cache_stats["hits"] == 7
+    assert warm.cache_stats["hits"] == 9
     assert warm.cache_stats["misses"] == 0 and warm.cache_stats["stores"] == 0
     assert all(r["cache"] == "hit" for r in warm.results)
 
